@@ -1,0 +1,165 @@
+//! Application (3): BNN — binarized neural network inference (Rosetta's
+//! `binarized-neural-network` shape).
+//!
+//! A three-layer xnor-popcount network with sign activations classifies
+//! 1024-bit binary input vectors into 10 classes. Weights are deterministic
+//! pseudo-random (seeded), identical in the kernel and the golden model.
+
+use crate::batch::BatchComputeKernel;
+use crate::harness::{AppSetup, ThreadSpec};
+use crate::util::{host_mem_check, prng_bytes, streaming_script};
+
+/// Input vector width in bits.
+pub const IN_BITS: usize = 1024;
+/// Hidden layer 1 width.
+pub const H1: usize = 256;
+/// Hidden layer 2 width.
+pub const H2: usize = 64;
+/// Output classes.
+pub const CLASSES: usize = 10;
+
+/// Bytes per input sample.
+pub const SAMPLE_BYTES: usize = IN_BITS / 8;
+
+/// The binarized network weights (packed bit rows).
+pub struct BnnWeights {
+    l1: Vec<Vec<u8>>, // H1 rows of IN_BITS bits
+    l2: Vec<Vec<u8>>, // H2 rows of H1 bits
+    l3: Vec<Vec<u8>>, // CLASSES rows of H2 bits
+}
+
+impl BnnWeights {
+    /// Generates the deterministic weight set used by kernel and golden.
+    pub fn generate(seed: u64) -> Self {
+        BnnWeights {
+            l1: (0..H1)
+                .map(|i| prng_bytes(seed ^ (i as u64), IN_BITS / 8))
+                .collect(),
+            l2: (0..H2)
+                .map(|i| prng_bytes(seed ^ 0x1000 ^ (i as u64), H1 / 8))
+                .collect(),
+            l3: (0..CLASSES)
+                .map(|i| prng_bytes(seed ^ 0x2000 ^ (i as u64), H2 / 8))
+                .collect(),
+        }
+    }
+}
+
+/// xnor-popcount dot product of two packed bit vectors: the number of
+/// matching bits minus the number of differing bits.
+fn xnor_pop(a: &[u8], b: &[u8]) -> i32 {
+    let bits = (a.len() * 8) as i32;
+    let diff: i32 = a
+        .iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x ^ y).count_ones() as i32)
+        .sum();
+    bits - 2 * diff
+}
+
+fn binarize(acts: &[i32]) -> Vec<u8> {
+    let mut out = vec![0u8; acts.len().div_ceil(8)];
+    for (i, &a) in acts.iter().enumerate() {
+        if a >= 0 {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+/// Classifies one 1024-bit sample; returns the argmax class.
+pub fn classify(weights: &BnnWeights, sample: &[u8]) -> u8 {
+    let a1: Vec<i32> = weights.l1.iter().map(|w| xnor_pop(w, sample)).collect();
+    let b1 = binarize(&a1);
+    let a2: Vec<i32> = weights.l2.iter().map(|w| xnor_pop(w, &b1)).collect();
+    let b2 = binarize(&a2);
+    let scores: Vec<i32> = weights.l3.iter().map(|w| xnor_pop(w, &b2)).collect();
+    scores
+        .iter()
+        .enumerate()
+        .max_by_key(|(i, &s)| (s, std::cmp::Reverse(*i)))
+        .map(|(i, _)| i as u8)
+        .expect("non-empty scores")
+}
+
+/// Classifies a batch of packed samples.
+pub fn classify_all(weights: &BnnWeights, input: &[u8]) -> Vec<u8> {
+    input
+        .chunks_exact(SAMPLE_BYTES)
+        .map(|s| classify(weights, s))
+        .collect()
+}
+
+/// Fabric cycles per batch: one popcount lane processes 512 weight bits per
+/// cycle.
+fn cost(input: &[u8]) -> u64 {
+    let samples = (input.len() / SAMPLE_BYTES) as u64;
+    let ops = (H1 * IN_BITS + H2 * H1 + CLASSES * H2) as u64;
+    samples * ops / 512
+}
+
+/// Builds the BNN workload: `n_samples` random binary vectors.
+pub fn setup(n_samples: u32, seed: u64) -> AppSetup {
+    let weight_seed = 0xb44_u64;
+    let input = prng_bytes(seed, n_samples as usize * SAMPLE_BYTES);
+    let weights = BnnWeights::generate(weight_seed);
+    let expected = classify_all(&weights, &input);
+    let len = input.len() as u32;
+    AppSetup {
+        name: "BNN",
+        kernel: Box::new(move |_dram| {
+            let weights = BnnWeights::generate(weight_seed);
+            Box::new(BatchComputeKernel::new(
+                "bnn",
+                Box::new(move |input, _| classify_all(&weights, input)),
+                Box::new(|input, _| cost(input)),
+            ))
+        }),
+        threads: vec![ThreadSpec {
+            name: "t1".into(),
+            ops: streaming_script(input, &[(0, len)]),
+            start_at: 0,
+            jitter: 16,
+        }],
+        check: host_mem_check(expected),
+        fpga_dram_init: Vec::new(),
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xnor_pop_extremes() {
+        assert_eq!(xnor_pop(&[0xff], &[0xff]), 8);
+        assert_eq!(xnor_pop(&[0xff], &[0x00]), -8);
+        assert_eq!(xnor_pop(&[0xf0], &[0x0f]), -8);
+        assert_eq!(xnor_pop(&[0b1010_1010], &[0b1010_1010]), 8);
+    }
+
+    #[test]
+    fn binarize_packs_signs() {
+        assert_eq!(binarize(&[1, -1, 0, -5, 7, -2, -2, 3]), vec![0b1001_0101]);
+    }
+
+    #[test]
+    fn classification_is_deterministic_and_in_range() {
+        let w = BnnWeights::generate(1);
+        let s = prng_bytes(2, SAMPLE_BYTES);
+        let c1 = classify(&w, &s);
+        let c2 = classify(&w, &s);
+        assert_eq!(c1, c2);
+        assert!((c1 as usize) < CLASSES);
+    }
+
+    #[test]
+    fn different_inputs_spread_over_classes() {
+        let w = BnnWeights::generate(1);
+        let classes: std::collections::HashSet<u8> = (0..40)
+            .map(|i| classify(&w, &prng_bytes(i, SAMPLE_BYTES)))
+            .collect();
+        assert!(classes.len() > 2, "classifier should not be constant");
+    }
+}

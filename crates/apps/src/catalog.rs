@@ -1,0 +1,123 @@
+//! The application catalog: the ten Table 1 workloads behind one enum.
+
+use crate::dram_dma::{self, DmaCompletion};
+use crate::harness::AppSetup;
+use crate::{bnn, digit_rec, face_detect, mobilenet, optical_flow, rendering3d, sha256, spam_filter, sssp};
+
+/// The ten evaluated applications (Table 1 rows).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AppId {
+    /// (1) DRAM DMA (polling completion).
+    Dma,
+    /// (2) 3D rendering.
+    Rendering3d,
+    /// (3) Binarized neural network.
+    Bnn,
+    /// (4) Digit recognition (KNN).
+    DigitRec,
+    /// (5) Face detection (cascade classifier).
+    FaceDetect,
+    /// (6) Spam filter (SGD training).
+    SpamFilter,
+    /// (7) Optical flow (Lucas–Kanade).
+    OpticalFlow,
+    /// (8) Single-source shortest paths (Bellman–Ford).
+    Sssp,
+    /// (9) SHA-256 hashing.
+    Sha,
+    /// (10) MobileNet-style quantized CNN.
+    MobileNet,
+}
+
+/// Workload sizing: `Test` keeps debug-mode test runs fast; `Bench` scales
+/// workloads so the relative execution times rank like Table 1
+/// (SSSP ≫ MNet > SHA > FaceD > OpFlw > DigitR > BNN > 3D > DMA ≈ SpamF).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Small workloads for unit/integration tests.
+    Test,
+    /// Paper-shaped workloads for the benchmark harness.
+    Bench,
+}
+
+impl AppId {
+    /// All ten applications in Table 1 order.
+    pub const ALL: [AppId; 10] = [
+        AppId::Dma,
+        AppId::Rendering3d,
+        AppId::Bnn,
+        AppId::DigitRec,
+        AppId::FaceDetect,
+        AppId::SpamFilter,
+        AppId::OpticalFlow,
+        AppId::Sssp,
+        AppId::Sha,
+        AppId::MobileNet,
+    ];
+
+    /// The Table 1 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AppId::Dma => "DMA",
+            AppId::Rendering3d => "3D",
+            AppId::Bnn => "BNN",
+            AppId::DigitRec => "DigitR",
+            AppId::FaceDetect => "FaceD",
+            AppId::SpamFilter => "SpamF",
+            AppId::OpticalFlow => "OpFlw",
+            AppId::Sssp => "SSSP",
+            AppId::Sha => "SHA",
+            AppId::MobileNet => "MNet",
+        }
+    }
+
+    /// Builds the application's workload at the given scale.
+    pub fn setup(self, scale: Scale, seed: u64) -> AppSetup {
+        let bench = scale == Scale::Bench;
+        match self {
+            AppId::Dma => dram_dma::setup(
+                if bench { 6 } else { 2 },
+                if bench { 16384 } else { 1024 },
+                DmaCompletion::Polling {
+                    interval: if bench { 256 } else { 64 },
+                },
+                seed,
+            ),
+            AppId::Rendering3d => rendering3d::setup(if bench { 150 } else { 12 }, seed),
+            AppId::Bnn => bnn::setup(if bench { 60 } else { 4 }, seed),
+            AppId::DigitRec => digit_rec::setup(if bench { 200 } else { 8 }, seed),
+            AppId::FaceDetect => face_detect::setup(if bench { 3 } else { 1 }, seed),
+            AppId::SpamFilter => spam_filter::setup(if bench { 600 } else { 16 }, seed),
+            AppId::OpticalFlow => optical_flow::setup(if bench { 10 } else { 1 }, seed),
+            AppId::Sssp => sssp::setup(
+                if bench { 300 } else { 24 },
+                if bench { 2400 } else { 40 },
+                seed,
+            ),
+            AppId::Sha => sha256::setup(if bench { 96_000 } else { 2048 }, seed),
+            AppId::MobileNet => mobilenet::setup(if bench { 80 } else { 2 }, seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_table1() {
+        let labels: Vec<&str> = AppId::ALL.iter().map(|a| a.label()).collect();
+        assert_eq!(
+            labels,
+            ["DMA", "3D", "BNN", "DigitR", "FaceD", "SpamF", "OpFlw", "SSSP", "SHA", "MNet"]
+        );
+    }
+
+    #[test]
+    fn every_app_builds_a_setup() {
+        for app in AppId::ALL {
+            let s = app.setup(Scale::Test, 1);
+            assert!(!s.threads.is_empty(), "{} has a software side", s.name);
+        }
+    }
+}

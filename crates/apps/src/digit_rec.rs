@@ -1,0 +1,186 @@
+//! Application (4): DigitR — k-nearest-neighbour digit recognition
+//! (Rosetta's `digit-recognition` shape).
+//!
+//! Each digit is a 196-bit downsampled bitmap (14×14). A fixed,
+//! seeded 1000-entry training set lives in on-chip ROM; the kernel
+//! classifies each test digit by majority vote among its K=3 nearest
+//! neighbours under Hamming distance.
+
+use crate::batch::BatchComputeKernel;
+use crate::harness::{AppSetup, ThreadSpec};
+use crate::util::{host_mem_check, prng_bytes, streaming_script};
+
+/// Bits per digit bitmap (14×14).
+#[allow(dead_code)]
+pub const DIGIT_BITS: usize = 196;
+/// Packed bytes per digit (rounded up, padding bits zero).
+pub const DIGIT_BYTES: usize = 25;
+/// Training set size.
+pub const TRAIN_N: usize = 1000;
+/// Neighbours for the vote.
+pub const K: usize = 3;
+
+/// The training set: packed bitmaps plus labels 0..=9.
+pub struct TrainingSet {
+    digits: Vec<[u8; DIGIT_BYTES]>,
+    labels: Vec<u8>,
+}
+
+impl TrainingSet {
+    /// Generates the deterministic training set. Each entry is biased
+    /// toward its label's prototype so that classification is non-trivial:
+    /// prototype bits for label `l` come from seed `l`, and each training
+    /// digit flips a random 15% of bits.
+    pub fn generate(seed: u64) -> Self {
+        let prototypes: Vec<Vec<u8>> = (0..10).map(|l| prng_bytes(seed ^ l, DIGIT_BYTES)).collect();
+        let mut digits = Vec::with_capacity(TRAIN_N);
+        let mut labels = Vec::with_capacity(TRAIN_N);
+        for i in 0..TRAIN_N {
+            let label = (i % 10) as u8;
+            let noise = prng_bytes(seed ^ 0xff00 ^ (i as u64), DIGIT_BYTES);
+            let mut d = [0u8; DIGIT_BYTES];
+            for (j, b) in d.iter_mut().enumerate() {
+                // Flip a bit where the noise byte is small (~15% of bits).
+                let flips = noise[j] & 0x25 & ((noise[j] >> 3) | 0xe0);
+                *b = prototypes[label as usize][j] ^ flips;
+            }
+            mask_padding(&mut d);
+            digits.push(d);
+            labels.push(label);
+        }
+        TrainingSet { digits, labels }
+    }
+}
+
+/// Clears the 4 padding bits above bit 195.
+fn mask_padding(d: &mut [u8; DIGIT_BYTES]) {
+    d[DIGIT_BYTES - 1] &= 0x0f;
+}
+
+fn hamming(a: &[u8], b: &[u8]) -> u32 {
+    a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones()).sum()
+}
+
+/// Classifies one digit by K-nearest majority vote (ties break toward the
+/// smaller label, matching the hardware's priority encoder).
+pub fn classify(train: &TrainingSet, digit: &[u8]) -> u8 {
+    let mut best: Vec<(u32, u8)> = Vec::with_capacity(K + 1);
+    for (d, &l) in train.digits.iter().zip(&train.labels) {
+        let dist = hamming(d, digit);
+        best.push((dist, l));
+        best.sort_unstable();
+        best.truncate(K);
+    }
+    let mut votes = [0u8; 10];
+    for &(_, l) in &best {
+        votes[l as usize] += 1;
+    }
+    votes
+        .iter()
+        .enumerate()
+        .max_by_key(|(i, &v)| (v, std::cmp::Reverse(*i)))
+        .map(|(i, _)| i as u8)
+        .expect("ten classes")
+}
+
+/// Classifies a batch of packed digits.
+pub fn classify_all(train: &TrainingSet, input: &[u8]) -> Vec<u8> {
+    input
+        .chunks_exact(DIGIT_BYTES)
+        .map(|d| classify(train, d))
+        .collect()
+}
+
+/// Fabric cycles: the hardware streams the ROM once per test digit,
+/// comparing 4 training digits per cycle.
+fn cost(input: &[u8]) -> u64 {
+    (input.len() / DIGIT_BYTES) as u64 * (TRAIN_N as u64 / 4)
+}
+
+/// Generates `n` test digits: noisy prototypes with known ground truth
+/// bias.
+pub fn test_digits(n: u32, seed: u64) -> Vec<u8> {
+    let train_seed = 0xd161_u64;
+    let prototypes: Vec<Vec<u8>> =
+        (0..10).map(|l| prng_bytes(train_seed ^ l, DIGIT_BYTES)).collect();
+    let mut out = Vec::with_capacity(n as usize * DIGIT_BYTES);
+    for i in 0..n {
+        let label = (i % 10) as usize;
+        let noise = prng_bytes(seed ^ 0xaa55 ^ (i as u64), DIGIT_BYTES);
+        let mut d = [0u8; DIGIT_BYTES];
+        for (j, b) in d.iter_mut().enumerate() {
+            let flips = noise[j] & 0x11;
+            *b = prototypes[label][j] ^ flips;
+        }
+        mask_padding(&mut d);
+        out.extend_from_slice(&d);
+    }
+    out
+}
+
+/// Builds the DigitR workload: `n_digits` noisy test digits.
+pub fn setup(n_digits: u32, seed: u64) -> AppSetup {
+    let train_seed = 0xd161_u64;
+    let input = test_digits(n_digits, seed);
+    let train = TrainingSet::generate(train_seed);
+    let expected = classify_all(&train, &input);
+    let len = input.len() as u32;
+    AppSetup {
+        name: "DigitR",
+        kernel: Box::new(move |_dram| {
+            let train = TrainingSet::generate(train_seed);
+            Box::new(BatchComputeKernel::new(
+                "digit_rec",
+                Box::new(move |input, _| classify_all(&train, input)),
+                Box::new(|input, _| cost(input)),
+            ))
+        }),
+        threads: vec![ThreadSpec {
+            name: "t1".into(),
+            ops: streaming_script(input, &[(0, len)]),
+            start_at: 0,
+            jitter: 16,
+        }],
+        check: host_mem_check(expected),
+        fpga_dram_init: Vec::new(),
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_basics() {
+        assert_eq!(hamming(&[0xff, 0x00], &[0xff, 0x00]), 0);
+        assert_eq!(hamming(&[0xff], &[0x00]), 8);
+        assert_eq!(hamming(&[0b1010], &[0b0101]), 4);
+    }
+
+    #[test]
+    fn classifies_prototypes_correctly() {
+        // An exact prototype should be classified as its own label: its
+        // noisy training copies are the nearest neighbours.
+        let train = TrainingSet::generate(0xd161);
+        for l in 0..10u64 {
+            let mut proto: [u8; DIGIT_BYTES] =
+                prng_bytes(0xd161 ^ l, DIGIT_BYTES).try_into().unwrap();
+            mask_padding(&mut proto);
+            assert_eq!(classify(&train, &proto), l as u8, "prototype {l}");
+        }
+    }
+
+    #[test]
+    fn noisy_digits_mostly_recovered() {
+        let train = TrainingSet::generate(0xd161);
+        let digits = test_digits(50, 9);
+        let labels = classify_all(&train, &digits);
+        let correct = labels
+            .iter()
+            .enumerate()
+            .filter(|(i, &l)| l == (*i % 10) as u8)
+            .count();
+        assert!(correct >= 45, "KNN should recover most noisy digits, got {correct}/50");
+    }
+}

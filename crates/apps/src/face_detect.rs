@@ -1,0 +1,202 @@
+//! Application (5): FaceD — cascade-classifier face detection (Rosetta's
+//! `face-detection` shape).
+//!
+//! Input: a 64×64 8-bit grayscale image. The kernel computes its integral
+//! image and slides a 16×16 window; each window runs a 4-stage cascade of
+//! Haar-like rectangle features (deterministic, seeded). Output: one byte
+//! per window position (1 = detection).
+
+use crate::batch::BatchComputeKernel;
+use crate::harness::{AppSetup, ThreadSpec};
+use crate::util::{host_mem_check, prng_bytes, streaming_script};
+
+/// Image edge length in pixels.
+pub const IMG: usize = 64;
+/// Detection window edge length.
+pub const WIN: usize = 16;
+/// Window positions per axis.
+pub const POSITIONS: usize = IMG - WIN + 1;
+/// Cascade stages.
+pub const STAGES: usize = 4;
+/// Features per stage.
+pub const FEATS: usize = 3;
+
+/// One Haar-like feature: a positive and a negative rectangle inside the
+/// window, compared against a threshold.
+#[derive(Clone, Copy, Debug)]
+pub struct HaarFeature {
+    pos: (u8, u8, u8, u8), // x, y, w, h
+    neg: (u8, u8, u8, u8),
+    threshold: i32,
+}
+
+/// The seeded cascade shared by kernel and golden model.
+pub fn cascade(seed: u64) -> Vec<Vec<HaarFeature>> {
+    (0..STAGES)
+        .map(|s| {
+            (0..FEATS)
+                .map(|f| {
+                    let r = prng_bytes(seed ^ ((s * 31 + f) as u64), 10);
+                    let rect = |a: u8, b: u8, c: u8, d: u8| {
+                        let x = a % (WIN as u8 - 2);
+                        let y = b % (WIN as u8 - 2);
+                        let w = c % (WIN as u8 - x).max(1) + 1;
+                        let h = d % (WIN as u8 - y).max(1) + 1;
+                        (x, y, w.min(WIN as u8 - x), h.min(WIN as u8 - y))
+                    };
+                    HaarFeature {
+                        pos: rect(r[0], r[1], r[2], r[3]),
+                        neg: rect(r[4], r[5], r[6], r[7]),
+                        threshold: (r[8] as i32 - 128) * 64,
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Computes the (IMG+1)² integral image (row 0 and column 0 are zero).
+pub fn integral(image: &[u8]) -> Vec<u64> {
+    let n = IMG + 1;
+    let mut ii = vec![0u64; n * n];
+    for y in 0..IMG {
+        let mut row = 0u64;
+        for x in 0..IMG {
+            row += image[y * IMG + x] as u64;
+            ii[(y + 1) * n + (x + 1)] = ii[y * n + (x + 1)] + row;
+        }
+    }
+    ii
+}
+
+fn rect_sum(ii: &[u64], ox: usize, oy: usize, r: (u8, u8, u8, u8)) -> i64 {
+    let n = IMG + 1;
+    let (x, y, w, h) = (
+        ox + r.0 as usize,
+        oy + r.1 as usize,
+        r.2 as usize,
+        r.3 as usize,
+    );
+    (ii[(y + h) * n + (x + w)] + ii[y * n + x]) as i64
+        - (ii[y * n + (x + w)] + ii[(y + h) * n + x]) as i64
+}
+
+/// Runs the cascade at every window position; 1 = all stages passed.
+pub fn detect(image: &[u8], cascade: &[Vec<HaarFeature>]) -> Vec<u8> {
+    let ii = integral(image);
+    let mut out = vec![0u8; POSITIONS * POSITIONS];
+    for oy in 0..POSITIONS {
+        'win: for ox in 0..POSITIONS {
+            for stage in cascade {
+                let mut score = 0i64;
+                for f in stage {
+                    let v = rect_sum(&ii, ox, oy, f.pos) - rect_sum(&ii, ox, oy, f.neg);
+                    if v > f.threshold as i64 {
+                        score += 1;
+                    }
+                }
+                if score < 2 {
+                    continue 'win; // stage rejected the window
+                }
+            }
+            out[oy * POSITIONS + ox] = 1;
+        }
+    }
+    out
+}
+
+/// Fabric cycles: integral image (1 px/cycle) plus 2 cycles per evaluated
+/// stage-feature (conservatively: all windows × stage 1, half × later
+/// stages).
+fn cost(input: &[u8]) -> u64 {
+    let images = (input.len() / (IMG * IMG)) as u64;
+    let windows = (POSITIONS * POSITIONS) as u64;
+    images * ((IMG * IMG) as u64 + windows * (FEATS as u64 * 2 + 3))
+}
+
+/// Builds the FaceD workload over `n_images` synthetic images.
+pub fn setup(n_images: u32, seed: u64) -> AppSetup {
+    let cascade_seed = 0xface_u64;
+    let input = prng_bytes(seed, n_images as usize * IMG * IMG);
+    let c = cascade(cascade_seed);
+    let expected: Vec<u8> = input
+        .chunks_exact(IMG * IMG)
+        .flat_map(|img| detect(img, &c))
+        .collect();
+    let len = input.len() as u32;
+    AppSetup {
+        name: "FaceD",
+        kernel: Box::new(move |_dram| {
+            let c = cascade(cascade_seed);
+            Box::new(BatchComputeKernel::new(
+                "face_detect",
+                Box::new(move |input, _| {
+                    input
+                        .chunks_exact(IMG * IMG)
+                        .flat_map(|img| detect(img, &c))
+                        .collect()
+                }),
+                Box::new(|input, _| cost(input)),
+            ))
+        }),
+        threads: vec![ThreadSpec {
+            name: "t1".into(),
+            ops: streaming_script(input, &[(0, len)]),
+            start_at: 0,
+            jitter: 16,
+        }],
+        check: host_mem_check(expected),
+        fpga_dram_init: Vec::new(),
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integral_of_ones() {
+        let img = vec![1u8; IMG * IMG];
+        let ii = integral(&img);
+        let n = IMG + 1;
+        assert_eq!(ii[n * n - 1], (IMG * IMG) as u64);
+        assert_eq!(ii[n + 1], 1);
+        assert_eq!(ii[0], 0);
+    }
+
+    #[test]
+    fn rect_sum_matches_naive() {
+        let img = prng_bytes(3, IMG * IMG);
+        let ii = integral(&img);
+        let naive: i64 = (4..9)
+            .flat_map(|y| (2..7).map(move |x| (x, y)))
+            .map(|(x, y)| img[y * IMG + x] as i64)
+            .sum();
+        assert_eq!(rect_sum(&ii, 0, 0, (2, 4, 5, 5)), naive);
+    }
+
+    #[test]
+    fn detection_map_shape_and_determinism() {
+        let img = prng_bytes(5, IMG * IMG);
+        let c = cascade(0xface);
+        let d1 = detect(&img, &c);
+        let d2 = detect(&img, &c);
+        assert_eq!(d1.len(), POSITIONS * POSITIONS);
+        assert_eq!(d1, d2);
+        assert!(d1.iter().all(|&v| v <= 1));
+    }
+
+    #[test]
+    fn cascade_features_stay_inside_window() {
+        for stage in cascade(0xface) {
+            for f in stage {
+                for r in [f.pos, f.neg] {
+                    assert!(r.0 as usize + r.2 as usize <= WIN);
+                    assert!(r.1 as usize + r.3 as usize <= WIN);
+                    assert!(r.2 > 0 && r.3 > 0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! The kernel interface: what an accelerator's compute core looks like to
+//! the shared shell.
+
+use vidi_hwsim::Bits;
+
+/// What a kernel did in one clock cycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KernelStep {
+    /// Nothing to do (waiting for input or not started).
+    Idle,
+    /// Computing; no output this cycle.
+    Busy,
+    /// One 64-byte output beat destined for host memory (sent via `pcim`).
+    Output {
+        /// Host memory byte address.
+        addr: u64,
+        /// 512-bit data beat.
+        beat: Bits,
+    },
+}
+
+/// An accelerator compute core hosted by [`crate::shell::AccelShell`].
+///
+/// The shell handles all AXI protocol work; a kernel only sees a stream of
+/// input beats (from CPU `pcis` DMA writes), produces output beats (to CPU
+/// memory via `pcim`), and signals completion. Kernels model their compute
+/// latency by returning [`KernelStep::Busy`] for as many cycles as the
+/// computation would occupy the fabric — this is what sets each
+/// application's compute-to-I/O ratio, the property Table 1's overhead and
+/// trace-size results hinge on.
+pub trait Kernel {
+    /// Kernel name (for diagnostics).
+    fn name(&self) -> &str;
+
+    /// Begins a task. `args` are the user registers (0x10..) of the shell's
+    /// register file at the time CTRL.start was written.
+    fn start(&mut self, args: &[u32]);
+
+    /// Whether the kernel consumes the `pcis` write stream at all. Kernels
+    /// that operate on on-FPGA DRAM contents directly (e.g. DRAM DMA)
+    /// return `false`, and the shell routes write beats to DRAM only.
+    fn consumes_stream(&self) -> bool {
+        true
+    }
+
+    /// Whether the kernel can accept an input beat this cycle.
+    fn wants_input(&self) -> bool;
+
+    /// Delivers one input beat (a `pcis` DMA write beat and its address).
+    fn consume(&mut self, addr: u64, beat: Bits);
+
+    /// Advances one clock cycle; called whenever a task is running and the
+    /// output queue has space.
+    fn step(&mut self) -> KernelStep;
+
+    /// Whether the current task has completed.
+    fn done(&self) -> bool;
+
+    /// Application-specific read-only registers (shell addresses 0x80+).
+    fn reg_read(&self, _idx: usize) -> u32 {
+        0
+    }
+}

@@ -1,0 +1,73 @@
+//! # vidi-apps — the evaluated FPGA applications
+//!
+//! Simulated ports of the paper's benchmark suite (§5.1): the AWS DRAM DMA
+//! example, six Rosetta HLS benchmarks, and three open-source accelerators
+//! — every kernel performs its real computation (real SHA-256, real
+//! Bellman–Ford, real rasterization, …) behind the same three F1
+//! interfaces (`ocl`, `pcis`, `pcim`) the original designs use, plus the
+//! two case-study applications built around known-buggy IP blocks
+//! (the Frame FIFO echo server of §5.2 and the `axi_atop_filter`
+//! ping-pong server of §5.3).
+//!
+//! ```no_run
+//! use vidi_apps::{build_app, run_app, AppId, Scale};
+//! use vidi_core::VidiConfig;
+//!
+//! // Record a run of the SHA-256 accelerator under Vidi (configuration R2).
+//! let setup = AppId::Sha.setup(Scale::Test, 42);
+//! let built = build_app(setup, VidiConfig::record());
+//! let outcome = run_app(built, 2_000_000)?;
+//! assert!(outcome.output_ok.is_ok());
+//! let trace = outcome.trace.expect("recording produces a trace");
+//! println!("recorded {} transactions", trace.transaction_count());
+//! # Ok::<(), vidi_hwsim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod bnn;
+mod catalog;
+mod digit_rec;
+mod dram_dma;
+mod echo_atop;
+mod echo_fifo;
+mod face_detect;
+mod harness;
+mod kernel;
+mod mobilenet;
+mod optical_flow;
+mod rendering3d;
+mod sha256;
+mod shell;
+mod spam_filter;
+mod sssp;
+mod util;
+
+pub use batch::{BatchComputeKernel, ComputeFn, CostFn};
+pub use catalog::{AppId, Scale};
+pub use harness::{
+    build_app, run_app, AppSetup, BuiltApp, CheckFn, KernelFactory, RunOutcome, ThreadSpec,
+};
+pub use kernel::{Kernel, KernelStep};
+pub use shell::{regs, AccelShell};
+pub use util::{bytes_to_beats, host_mem_check, prng_bytes, streaming_script, OUT_ADDR};
+
+pub use dram_dma::{setup as dma_setup, DmaCompletion, DramDmaKernel, DMA_DST};
+pub use echo_atop::{run_echo_atop, EchoAtopOutcome, PONG_ADDR};
+pub use echo_fifo::{run_echo_fifo, EchoFifoConfig, EchoFifoOutcome, ECHO_DST};
+
+pub mod algorithms {
+    //! Direct access to each application's computational core and workload
+    //! generators (golden models included), for benches and examples.
+    pub use crate::bnn::{classify_all as bnn_classify, BnnWeights};
+    pub use crate::digit_rec::{classify_all as knn_classify, test_digits, TrainingSet};
+    pub use crate::face_detect::{cascade, detect as face_detect, integral};
+    pub use crate::mobilenet::{classify_all as mnet_classify, gap_features as mnet_gap_debug, test_images as mnet_test_images, MnetWeights};
+    pub use crate::optical_flow::{flow, shifted_pair};
+    pub use crate::rendering3d::{rasterize, Triangle};
+    pub use crate::sha256::{compress as sha256_compress, sha256};
+    pub use crate::spam_filter::{samples as spam_samples, train as spam_train};
+    pub use crate::sssp::{bellman_ford, parse_edges, random_graph, Edge, INF};
+}

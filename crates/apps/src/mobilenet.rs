@@ -1,0 +1,274 @@
+//! Application (10): MNet — a small quantized depthwise-separable
+//! convolutional network (the `iSmartDNN` MobileNet-style design of §5.1).
+//!
+//! Input: 28×28 8-bit images. The network is integer-only: 3×3 conv
+//! (8 filters) → ReLU → 2×2 max-pool → 3×3 depthwise conv → 1×1 pointwise
+//! conv (16 channels) → ReLU → global average pool → 10-way FC → argmax.
+//! Weights are deterministic (seeded) i8, shared by kernel and golden.
+
+use crate::batch::BatchComputeKernel;
+use crate::harness::{AppSetup, ThreadSpec};
+use crate::util::{host_mem_check, prng_bytes, streaming_script};
+
+/// Input image edge length.
+pub const IMG: usize = 28;
+/// Conv-1 output channels.
+pub const C1: usize = 8;
+/// Pointwise output channels.
+pub const C2: usize = 16;
+/// Output classes.
+pub const CLASSES: usize = 10;
+/// Bytes per input image.
+pub const IMAGE_BYTES: usize = IMG * IMG;
+
+/// The quantized weight set.
+pub struct MnetWeights {
+    conv1: Vec<i8>,   // C1 × 3×3
+    dw: Vec<i8>,      // C1 × 3×3 (depthwise)
+    pw: Vec<i8>,      // C2 × C1 (pointwise)
+    fc: Vec<i8>,      // CLASSES × (4 × C2), over quadrant-pooled features
+}
+
+impl MnetWeights {
+    /// Generates the deterministic weights.
+    pub fn generate(seed: u64) -> Self {
+        let signed = |s: u64, n: usize| -> Vec<i8> {
+            prng_bytes(s, n).into_iter().map(|b| (b as i8) / 8).collect()
+        };
+        MnetWeights {
+            conv1: signed(seed ^ 1, C1 * 9),
+            dw: signed(seed ^ 2, C1 * 9),
+            pw: signed(seed ^ 3, C2 * C1),
+            fc: signed(seed ^ 4, CLASSES * C2 * 4),
+        }
+    }
+}
+
+fn conv3x3(input: &[i32], w: usize, h: usize, kernel: &[i8]) -> Vec<i32> {
+    let ow = w - 2;
+    let oh = h - 2;
+    let mut out = vec![0i32; ow * oh];
+    for y in 0..oh {
+        for x in 0..ow {
+            let mut acc = 0i32;
+            for ky in 0..3 {
+                for kx in 0..3 {
+                    acc += input[(y + ky) * w + (x + kx)] * kernel[ky * 3 + kx] as i32;
+                }
+            }
+            out[y * ow + x] = acc;
+        }
+    }
+    out
+}
+
+fn relu_shift(v: &mut [i32], shift: u32) {
+    for x in v.iter_mut() {
+        *x = (*x >> shift).max(0);
+    }
+}
+
+fn maxpool2(input: &[i32], w: usize, h: usize) -> Vec<i32> {
+    let ow = w / 2;
+    let oh = h / 2;
+    let mut out = vec![0i32; ow * oh];
+    for y in 0..oh {
+        for x in 0..ow {
+            out[y * ow + x] = input[(2 * y) * w + 2 * x]
+                .max(input[(2 * y) * w + 2 * x + 1])
+                .max(input[(2 * y + 1) * w + 2 * x])
+                .max(input[(2 * y + 1) * w + 2 * x + 1]);
+        }
+    }
+    out
+}
+
+/// Classifies one image; returns the argmax class.
+pub fn classify(weights: &MnetWeights, image: &[u8]) -> u8 {
+    classify_internal(weights, image).1
+}
+
+fn classify_internal(weights: &MnetWeights, image: &[u8]) -> (Vec<i32>, u8) {
+    let input: Vec<i32> = image.iter().map(|&b| b as i32).collect();
+    // Conv1: C1 feature maps of 26×26.
+    let mut maps: Vec<Vec<i32>> = (0..C1)
+        .map(|c| {
+            let mut m = conv3x3(&input, IMG, IMG, &weights.conv1[c * 9..(c + 1) * 9]);
+            relu_shift(&mut m, 2);
+            m
+        })
+        .collect();
+    // Max-pool to 13×13.
+    maps = maps.into_iter().map(|m| maxpool2(&m, 26, 26)).collect();
+    // Depthwise 3×3 to 11×11.
+    let dw_maps: Vec<Vec<i32>> = maps
+        .iter()
+        .enumerate()
+        .map(|(c, m)| {
+            let mut d = conv3x3(m, 13, 13, &weights.dw[c * 9..(c + 1) * 9]);
+            relu_shift(&mut d, 2);
+            d
+        })
+        .collect();
+    // Pointwise 1×1 to C2 channels of 11×11.
+    let hw = 11 * 11;
+    debug_assert_eq!(hw, 121);
+    let mut pw_maps = vec![vec![0i32; hw]; C2];
+    for (o, pw_map) in pw_maps.iter_mut().enumerate() {
+        for i in 0..hw {
+            let mut acc = 0i32;
+            for (c, dw_map) in dw_maps.iter().enumerate() {
+                acc += dw_map[i] * weights.pw[o * C1 + c] as i32;
+            }
+            pw_map[i] = acc >> 2; // signed: no ReLU before global pooling
+        }
+    }
+    // Quadrant average pooling → 4 × C2 values. (Pure global pooling would
+    // discard all spatial information, collapsing every input to nearly the
+    // same feature direction under random weights.)
+    let side = 11;
+    let mut gap: Vec<i32> = Vec::with_capacity(4 * C2);
+    for m in &pw_maps {
+        for (qy, qx) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+            let (y0, y1) = if qy == 0 { (0, side / 2) } else { (side / 2, side) };
+            let (x0, x1) = if qx == 0 { (0, side / 2) } else { (side / 2, side) };
+            let mut sum = 0i64;
+            let mut n = 0i64;
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    sum += m[y * side + x] as i64;
+                    n += 1;
+                }
+            }
+            gap.push((sum / n) as i32);
+        }
+    }
+    // Mean-centre the features (batch-norm analogue): removes the common
+    // mode that would otherwise make the argmax depend only on FC row sums.
+    let mean = gap.iter().sum::<i32>() / gap.len() as i32;
+    let centred: Vec<i32> = gap.iter().map(|g| g - mean).collect();
+    // FC → class scores.
+    let n_feat = 4 * C2;
+    let scores: Vec<i32> = (0..CLASSES)
+        .map(|o| {
+            (0..n_feat)
+                .map(|c| centred[c] * weights.fc[o * n_feat + c] as i32)
+                .sum()
+        })
+        .collect();
+    let class = scores
+        .iter()
+        .enumerate()
+        .max_by_key(|(i, &s)| (s, std::cmp::Reverse(*i)))
+        .map(|(i, _)| i as u8)
+        .expect("ten classes");
+    (gap, class)
+}
+
+/// Generates `n` structured test images (a bright rectangle of varying
+/// size/position over a dim textured background). Uniform random noise is
+/// the wrong workload for a convolutional network: global average pooling
+/// averages unstructured noise into near-identical features.
+pub fn test_images(n: u32, seed: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(n as usize * IMAGE_BYTES);
+    for i in 0..n {
+        let params = prng_bytes(seed ^ 0x77 ^ (i as u64), 8);
+        let cx = (params[0] as usize) % (IMG - 8) + 4;
+        let cy = (params[1] as usize) % (IMG - 8) + 4;
+        let r = (params[2] as usize) % 8 + 2;
+        let bright = 120 + (params[3] % 120);
+        let noise = prng_bytes(seed ^ 0x99 ^ (i as u64), IMAGE_BYTES);
+        for y in 0..IMG {
+            for x in 0..IMG {
+                let inside = x.abs_diff(cx) < r && y.abs_diff(cy) < r;
+                let v = if inside { bright } else { 20 + (noise[y * IMG + x] % 30) };
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// Returns the global-average-pool feature vector for one image (exposed
+/// for diagnostics and tests).
+pub fn gap_features(weights: &MnetWeights, image: &[u8]) -> Vec<i32> {
+    classify_internal(weights, image).0
+}
+
+/// Classifies a batch of packed images.
+pub fn classify_all(weights: &MnetWeights, input: &[u8]) -> Vec<u8> {
+    input
+        .chunks_exact(IMAGE_BYTES)
+        .map(|img| classify(weights, img))
+        .collect()
+}
+
+/// Fabric cycles: total MACs at 16 MACs/cycle.
+fn cost(input: &[u8]) -> u64 {
+    let images = (input.len() / IMAGE_BYTES) as u64;
+    let macs = (C1 * 26 * 26 * 9 + C1 * 11 * 11 * 9 + C2 * C1 * 11 * 11 + CLASSES * C2) as u64;
+    images * macs / 16
+}
+
+/// Builds the MNet workload over `n_images` random images.
+pub fn setup(n_images: u32, seed: u64) -> AppSetup {
+    let weight_seed = 0x14e7_u64;
+    let input = test_images(n_images, seed);
+    let weights = MnetWeights::generate(weight_seed);
+    let expected = classify_all(&weights, &input);
+    let len = input.len() as u32;
+    AppSetup {
+        name: "MNet",
+        kernel: Box::new(move |_dram| {
+            let weights = MnetWeights::generate(weight_seed);
+            Box::new(BatchComputeKernel::new(
+                "mobilenet",
+                Box::new(move |input, _| classify_all(&weights, input)),
+                Box::new(|input, _| cost(input)),
+            ))
+        }),
+        threads: vec![ThreadSpec {
+            name: "t1".into(),
+            ops: streaming_script(input, &[(0, len)]),
+            start_at: 0,
+            jitter: 16,
+        }],
+        check: host_mem_check(expected),
+        fpga_dram_init: Vec::new(),
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_identity_kernel() {
+        // Kernel with 1 at center = crop.
+        let mut k = [0i8; 9];
+        k[4] = 1;
+        let input: Vec<i32> = (0..25).collect();
+        let out = conv3x3(&input, 5, 5, &k);
+        assert_eq!(out, vec![6, 7, 8, 11, 12, 13, 16, 17, 18]);
+    }
+
+    #[test]
+    fn maxpool_picks_max() {
+        let input = vec![1, 9, 2, 3, 4, 5, 6, 7, 8, 1, 0, 2, 3, 4, 5, 6];
+        let out = maxpool2(&input, 4, 4);
+        assert_eq!(out, vec![9, 7, 8, 6]);
+    }
+
+    #[test]
+    fn classification_deterministic_and_varied() {
+        let w = MnetWeights::generate(0x14e7);
+        let imgs = test_images(20, 3);
+        let a = classify_all(&w, &imgs);
+        let b = classify_all(&w, &imgs);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&c| (c as usize) < CLASSES));
+        let distinct: std::collections::HashSet<u8> = a.iter().copied().collect();
+        assert!(distinct.len() > 1, "network should not be constant");
+    }
+}

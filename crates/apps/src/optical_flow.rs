@@ -1,0 +1,159 @@
+//! Application (7): OpFlw — Lucas–Kanade optical flow (Rosetta's
+//! `optical-flow` shape).
+//!
+//! Input: two consecutive 32×32 grayscale frames. For every interior pixel
+//! the kernel computes spatial/temporal gradients over a 3×3 window, forms
+//! the structure tensor, and solves the 2×2 Lucas–Kanade system in integer
+//! arithmetic. Output: (u, v) flow components as i8 pairs.
+
+use crate::batch::BatchComputeKernel;
+use crate::harness::{AppSetup, ThreadSpec};
+use crate::util::{host_mem_check, prng_bytes, streaming_script};
+
+/// Frame edge length in pixels.
+pub const IMG: usize = 32;
+/// Bytes per input pair (two frames).
+pub const PAIR_BYTES: usize = 2 * IMG * IMG;
+
+fn px(f: &[u8], x: i32, y: i32) -> i32 {
+    let xc = x.clamp(0, IMG as i32 - 1) as usize;
+    let yc = y.clamp(0, IMG as i32 - 1) as usize;
+    f[yc * IMG + xc] as i32
+}
+
+/// Computes Lucas–Kanade flow for one frame pair; output is (u, v) i8
+/// pairs in row-major order (scaled ×8 fixed point, saturated).
+pub fn flow(frames: &[u8]) -> Vec<u8> {
+    let (f0, f1) = frames.split_at(IMG * IMG);
+    let mut out = vec![0u8; 2 * IMG * IMG];
+    for y in 0..IMG as i32 {
+        for x in 0..IMG as i32 {
+            // Structure tensor accumulated over a 3×3 window.
+            let (mut sxx, mut sxy, mut syy, mut sxt, mut syt) = (0i64, 0i64, 0i64, 0i64, 0i64);
+            for wy in -1..=1 {
+                for wx in -1..=1 {
+                    let (qx, qy) = (x + wx, y + wy);
+                    let ix = px(f0, qx + 1, qy) - px(f0, qx - 1, qy);
+                    let iy = px(f0, qx, qy + 1) - px(f0, qx, qy - 1);
+                    let it = px(f1, qx, qy) - px(f0, qx, qy);
+                    sxx += (ix * ix) as i64;
+                    sxy += (ix * iy) as i64;
+                    syy += (iy * iy) as i64;
+                    sxt += (ix * it) as i64;
+                    syt += (iy * it) as i64;
+                }
+            }
+            let det = sxx * syy - sxy * sxy;
+            let (u, v) = if det != 0 {
+                // Cramer's rule, scaled by 8 for fixed-point output.
+                let u = (-(syy * sxt - sxy * syt) * 8) / det;
+                let v = (-(sxx * syt - sxy * sxt) * 8) / det;
+                (u.clamp(-127, 127) as i8, v.clamp(-127, 127) as i8)
+            } else {
+                (0, 0)
+            };
+            let idx = (y as usize * IMG + x as usize) * 2;
+            out[idx] = u as u8;
+            out[idx + 1] = v as u8;
+        }
+    }
+    out
+}
+
+/// Fabric cycles: a 9-tap window pipeline retiring one pixel every 6
+/// cycles (division unit is the bottleneck).
+fn cost(input: &[u8]) -> u64 {
+    (input.len() / PAIR_BYTES) as u64 * (IMG * IMG) as u64 * 6
+}
+
+/// Generates a frame pair where frame 1 is frame 0 shifted right by one
+/// pixel — ground truth flow is (+1, 0).
+pub fn shifted_pair(seed: u64) -> Vec<u8> {
+    let f0 = prng_bytes(seed, IMG * IMG);
+    let mut f1 = vec![0u8; IMG * IMG];
+    for y in 0..IMG {
+        for x in 0..IMG {
+            let sx = if x == 0 { 0 } else { x - 1 };
+            f1[y * IMG + x] = f0[y * IMG + sx];
+        }
+    }
+    let mut out = f0;
+    out.extend_from_slice(&f1);
+    out
+}
+
+/// Builds the OpFlw workload over `n_pairs` frame pairs.
+pub fn setup(n_pairs: u32, seed: u64) -> AppSetup {
+    let input: Vec<u8> = (0..n_pairs)
+        .flat_map(|i| shifted_pair(seed.wrapping_add(i as u64)))
+        .collect();
+    let expected: Vec<u8> = input.chunks_exact(PAIR_BYTES).flat_map(flow).collect();
+    let len = input.len() as u32;
+    AppSetup {
+        name: "OpFlw",
+        kernel: Box::new(move |_dram| {
+            Box::new(BatchComputeKernel::new(
+                "optical_flow",
+                Box::new(|input, _| input.chunks_exact(PAIR_BYTES).flat_map(flow).collect()),
+                Box::new(|input, _| cost(input)),
+            ))
+        }),
+        threads: vec![ThreadSpec {
+            name: "t1".into(),
+            ops: streaming_script(input, &[(0, len)]),
+            start_at: 0,
+            jitter: 16,
+        }],
+        check: host_mem_check(expected),
+        fpga_dram_init: Vec::new(),
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_scene_has_zero_flow() {
+        let f0 = prng_bytes(1, IMG * IMG);
+        let mut frames = f0.clone();
+        frames.extend_from_slice(&f0);
+        let out = flow(&frames);
+        assert!(out.iter().all(|&b| b == 0), "no motion, no flow");
+    }
+
+    #[test]
+    fn rightward_shift_yields_positive_u() {
+        let frames = shifted_pair(42);
+        let out = flow(&frames);
+        // Average u over interior pixels should be clearly positive
+        // (+1 px scaled by 8 ≈ +8).
+        let mut sum = 0i64;
+        let mut n = 0i64;
+        for y in 2..IMG - 2 {
+            for x in 2..IMG - 2 {
+                sum += (out[(y * IMG + x) * 2] as i8) as i64;
+                n += 1;
+            }
+        }
+        let avg = sum / n;
+        // Integer truncation and random-texture aliasing bias the estimate
+        // low; directionality is what matters.
+        assert!(avg >= 2, "mean u = {avg}, expected clearly positive");
+        let mut vsum = 0i64;
+        for y in 2..IMG - 2 {
+            for x in 2..IMG - 2 {
+                vsum += (out[(y * IMG + x) * 2 + 1] as i8) as i64;
+            }
+        }
+        let avg_v = vsum / n;
+        assert!(avg_v.abs() <= avg, "v should be small: avg_v = {avg_v}");
+    }
+
+    #[test]
+    fn output_shape() {
+        let frames = shifted_pair(3);
+        assert_eq!(flow(&frames).len(), 2 * IMG * IMG);
+    }
+}

@@ -1,0 +1,170 @@
+//! Application (2): 3D rendering — a triangle rasterizer (Rosetta's
+//! `3d-rendering` benchmark shape).
+//!
+//! Input: a stream of 3D triangles with 8-bit coordinates. The kernel
+//! orthographically projects each triangle (dropping z after depth
+//! ordering) and rasterizes it into a 64×64 1-byte-per-pixel frame buffer
+//! using bounding-box edge tests. Output: the frame buffer.
+
+use crate::batch::BatchComputeKernel;
+use crate::harness::{AppSetup, ThreadSpec};
+use crate::util::{host_mem_check, prng_bytes, streaming_script};
+
+/// Frame buffer edge length in pixels.
+pub const FRAME: usize = 64;
+/// Bytes per packed triangle: 3 vertices × (x, y, z).
+pub const TRI_BYTES: usize = 9;
+
+/// One triangle with 8-bit integer coordinates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Triangle {
+    /// Vertices as (x, y, z) with x, y in pixel space.
+    pub v: [(u8, u8, u8); 3],
+}
+
+impl Triangle {
+    /// Parses a triangle from its 9-byte packed form.
+    pub fn from_bytes(b: &[u8]) -> Self {
+        Triangle {
+            v: [
+                (b[0], b[1], b[2]),
+                (b[3], b[4], b[5]),
+                (b[6], b[7], b[8]),
+            ],
+        }
+    }
+}
+
+fn edge(ax: i32, ay: i32, bx: i32, by: i32, px: i32, py: i32) -> i32 {
+    (bx - ax) * (py - ay) - (by - ay) * (px - ax)
+}
+
+/// Rasterizes triangles into a `FRAME`×`FRAME` byte buffer. Later triangles
+/// overwrite earlier ones only where their average depth is nearer
+/// (smaller z); covered pixels hold `z + 1`, background holds 0.
+pub fn rasterize(triangles: &[Triangle]) -> Vec<u8> {
+    let mut fb = vec![0u8; FRAME * FRAME];
+    for t in triangles {
+        let (x0, y0) = (t.v[0].0 as i32 % FRAME as i32, t.v[0].1 as i32 % FRAME as i32);
+        let (x1, y1) = (t.v[1].0 as i32 % FRAME as i32, t.v[1].1 as i32 % FRAME as i32);
+        let (x2, y2) = (t.v[2].0 as i32 % FRAME as i32, t.v[2].1 as i32 % FRAME as i32);
+        let z = ((t.v[0].2 as u32 + t.v[1].2 as u32 + t.v[2].2 as u32) / 3) as u8;
+        let area = edge(x0, y0, x1, y1, x2, y2);
+        if area == 0 {
+            continue;
+        }
+        let (min_x, max_x) = (x0.min(x1).min(x2), x0.max(x1).max(x2));
+        let (min_y, max_y) = (y0.min(y1).min(y2), y0.max(y1).max(y2));
+        for py in min_y..=max_y {
+            for px in min_x..=max_x {
+                let w0 = edge(x1, y1, x2, y2, px, py);
+                let w1 = edge(x2, y2, x0, y0, px, py);
+                let w2 = edge(x0, y0, x1, y1, px, py);
+                let inside = if area > 0 {
+                    w0 >= 0 && w1 >= 0 && w2 >= 0
+                } else {
+                    w0 <= 0 && w1 <= 0 && w2 <= 0
+                };
+                if inside {
+                    let idx = (py as usize) * FRAME + px as usize;
+                    let depth = z.saturating_add(1);
+                    if fb[idx] == 0 || depth < fb[idx] {
+                        fb[idx] = depth;
+                    }
+                }
+            }
+        }
+    }
+    fb
+}
+
+fn parse(input: &[u8]) -> Vec<Triangle> {
+    input
+        .chunks_exact(TRI_BYTES)
+        .map(Triangle::from_bytes)
+        .collect()
+}
+
+/// Approximate fabric cycles: proportional to total bounding-box area.
+fn cost(input: &[u8]) -> u64 {
+    parse(input)
+        .iter()
+        .map(|t| {
+            let xs = [t.v[0].0 as i64 % 64, t.v[1].0 as i64 % 64, t.v[2].0 as i64 % 64];
+            let ys = [t.v[0].1 as i64 % 64, t.v[1].1 as i64 % 64, t.v[2].1 as i64 % 64];
+            let w = xs.iter().max().unwrap() - xs.iter().min().unwrap() + 1;
+            let h = ys.iter().max().unwrap() - ys.iter().min().unwrap() + 1;
+            (w * h) as u64 / 4 + 8
+        })
+        .sum()
+}
+
+/// Builds the 3D rendering workload: `n_triangles` random triangles.
+pub fn setup(n_triangles: u32, seed: u64) -> AppSetup {
+    let input = prng_bytes(seed, n_triangles as usize * TRI_BYTES);
+    let expected = rasterize(&parse(&input));
+    let len = input.len() as u32;
+    AppSetup {
+        name: "3D",
+        kernel: Box::new(move |_dram| {
+            Box::new(BatchComputeKernel::new(
+                "rendering3d",
+                Box::new(|input, _| rasterize(&parse(input))),
+                Box::new(|input, _| cost(input)),
+            ))
+        }),
+        threads: vec![ThreadSpec {
+            name: "t1".into(),
+            ops: streaming_script(input, &[(0, len)]),
+            start_at: 0,
+            jitter: 16,
+        }],
+        check: host_mem_check(expected),
+        fpga_dram_init: Vec::new(),
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_triangle_covers_its_interior() {
+        let t = Triangle {
+            v: [(0, 0, 10), (10, 0, 10), (0, 10, 10)],
+        };
+        let fb = rasterize(&[t]);
+        assert_eq!(fb[0], 11, "vertex pixel covered with depth z+1");
+        assert_eq!(fb[2 * FRAME + 2], 11, "interior pixel covered");
+        assert_eq!(fb[40 * FRAME + 40], 0, "far pixel untouched");
+    }
+
+    #[test]
+    fn degenerate_triangle_is_skipped() {
+        let t = Triangle {
+            v: [(5, 5, 1), (5, 5, 1), (5, 5, 1)],
+        };
+        assert!(rasterize(&[t]).iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn nearer_triangle_wins() {
+        let far = Triangle {
+            v: [(0, 0, 200), (20, 0, 200), (0, 20, 200)],
+        };
+        let near = Triangle {
+            v: [(0, 0, 3), (20, 0, 3), (0, 20, 3)],
+        };
+        let fb = rasterize(&[far, near]);
+        assert_eq!(fb[FRAME + 1], 4, "near depth (3+1) wins");
+        let fb2 = rasterize(&[near, far]);
+        assert_eq!(fb2[FRAME + 1], 4, "order independent for depth test");
+    }
+
+    #[test]
+    fn cost_scales_with_area() {
+        let small = prng_bytes(1, TRI_BYTES);
+        assert!(cost(&small) > 0);
+    }
+}

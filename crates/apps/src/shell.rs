@@ -1,0 +1,417 @@
+//! The shared accelerator shell: the simulation analogue of the F1 FPGA
+//! shell plus the HLS wrapper every evaluated application sits in (§5.1).
+//!
+//! The shell owns the application side of three interfaces:
+//!
+//! * **ocl** (AXI-Lite subordinate): a register file with CTRL/STATUS
+//!   registers, a *blocking* status register (read response withheld until
+//!   task completion — transaction-deterministic), and user argument
+//!   registers.
+//! * **pcis** (AXI4-512 subordinate): CPU→FPGA DMA. Write beats are routed
+//!   to the kernel's input stream *and* to on-FPGA DRAM; read bursts are
+//!   served from on-FPGA DRAM.
+//! * **pcim** (AXI4-512 manager): FPGA→CPU DMA. Kernel output beats are
+//!   coalesced into write bursts against host memory.
+//!
+//! An optional interrupt line provides the cycle-independent completion
+//! signal of §3.6.
+
+use std::collections::VecDeque;
+
+use vidi_chan::{
+    pack_lite_r, unpack_lite_w, AxFields, AxiChannel, AxiIface, BFields, RFields, ReceiverLatch,
+    SenderQueue, WFields,
+};
+use vidi_host::HostMemory;
+use vidi_hwsim::{Bits, Component, SignalId, SignalPool};
+
+use crate::kernel::{Kernel, KernelStep};
+
+/// Register byte addresses in the shell's AXI-Lite register file.
+pub mod regs {
+    /// Write 1 to start the kernel.
+    pub const CTRL: u32 = 0x00;
+    /// Bit 0: task done (polling completion — cycle-dependent).
+    pub const STATUS: u32 = 0x04;
+    /// Reads block until the task is done (transaction-deterministic
+    /// completion).
+    pub const STATUS_BLOCKING: u32 = 0x08;
+    /// Bit 0: raise the interrupt line on completion.
+    pub const IRQ_EN: u32 = 0x0c;
+    /// First of 16 user argument registers.
+    pub const USER0: u32 = 0x10;
+    /// First application-specific read-only register (served by the
+    /// kernel's `reg_read`).
+    pub const APP_RO: u32 = 0x80;
+}
+
+const N_USER_REGS: usize = 16;
+/// Maximum beats coalesced into one pcim write burst.
+const PCIM_BURST: usize = 8;
+/// Maximum outstanding pcim write bursts.
+const PCIM_OUTSTANDING: usize = 4;
+/// Input staging FIFO depth in beats.
+const INPUT_FIFO_DEPTH: usize = 16;
+
+/// The accelerator shell component hosting one [`Kernel`].
+pub struct AccelShell {
+    name: String,
+    // ocl subordinate endpoints.
+    ocl_aw: ReceiverLatch,
+    ocl_w: ReceiverLatch,
+    ocl_b: SenderQueue,
+    ocl_ar: ReceiverLatch,
+    ocl_r: SenderQueue,
+    // pcis subordinate endpoints.
+    pcis_aw: ReceiverLatch,
+    pcis_w: ReceiverLatch,
+    pcis_b: SenderQueue,
+    pcis_ar: ReceiverLatch,
+    pcis_r: SenderQueue,
+    // pcim manager endpoints.
+    pcim_aw: SenderQueue,
+    pcim_w: SenderQueue,
+    pcim_b: ReceiverLatch,
+    pcim_ar: SenderQueue,
+    pcim_r: ReceiverLatch,
+    irq: Option<SignalId>,
+
+    kernel: Box<dyn Kernel>,
+    user_regs: [u32; N_USER_REGS],
+    irq_en: bool,
+    running: bool,
+
+    // ocl bookkeeping.
+    ocl_pending_aw: Option<u32>,
+    ocl_pending_w: Option<(u32, u8)>,
+    /// Blocked STATUS_BLOCKING reads awaiting completion.
+    ocl_blocked_reads: VecDeque<u32>,
+
+    // pcis bookkeeping.
+    pcis_writes: VecDeque<(AxFields, usize)>,
+    pcis_orphans: VecDeque<WFields>,
+    /// Read bursts deferred until the kernel is idle.
+    pcis_blocked_reads: VecDeque<AxFields>,
+    fpga_dram: HostMemory,
+    input_fifo: VecDeque<(u64, Bits)>,
+
+    // pcim bookkeeping.
+    pcim_queue: VecDeque<(u64, Bits)>,
+    pcim_outstanding: usize,
+    pcim_next_id: u16,
+    output_beats_sent: u64,
+}
+
+impl AccelShell {
+    /// Builds the shell over the application sides of the three interfaces.
+    /// `fpga_dram` is the on-FPGA DRAM backing `pcis` reads (share the
+    /// handle with the kernel if it needs DRAM access).
+    pub fn new(
+        name: impl Into<String>,
+        ocl: &AxiIface,
+        pcis: &AxiIface,
+        pcim: &AxiIface,
+        irq: Option<SignalId>,
+        fpga_dram: HostMemory,
+        kernel: Box<dyn Kernel>,
+    ) -> Self {
+        AccelShell {
+            name: name.into(),
+            ocl_aw: ReceiverLatch::new(ocl.channel(AxiChannel::Aw).clone()),
+            ocl_w: ReceiverLatch::new(ocl.channel(AxiChannel::W).clone()),
+            ocl_b: SenderQueue::new(ocl.channel(AxiChannel::B).clone()),
+            ocl_ar: ReceiverLatch::new(ocl.channel(AxiChannel::Ar).clone()),
+            ocl_r: SenderQueue::new(ocl.channel(AxiChannel::R).clone()),
+            pcis_aw: ReceiverLatch::new(pcis.channel(AxiChannel::Aw).clone()),
+            pcis_w: ReceiverLatch::new(pcis.channel(AxiChannel::W).clone()),
+            pcis_b: SenderQueue::new(pcis.channel(AxiChannel::B).clone()),
+            pcis_ar: ReceiverLatch::new(pcis.channel(AxiChannel::Ar).clone()),
+            pcis_r: SenderQueue::new(pcis.channel(AxiChannel::R).clone()),
+            pcim_aw: SenderQueue::new(pcim.channel(AxiChannel::Aw).clone()),
+            pcim_w: SenderQueue::new(pcim.channel(AxiChannel::W).clone()),
+            pcim_b: ReceiverLatch::new(pcim.channel(AxiChannel::B).clone()),
+            pcim_ar: SenderQueue::new(pcim.channel(AxiChannel::Ar).clone()),
+            pcim_r: ReceiverLatch::new(pcim.channel(AxiChannel::R).clone()),
+            irq,
+            kernel,
+            user_regs: [0; N_USER_REGS],
+            irq_en: false,
+            running: false,
+            ocl_pending_aw: None,
+            ocl_pending_w: None,
+            ocl_blocked_reads: VecDeque::new(),
+            pcis_writes: VecDeque::new(),
+            pcis_orphans: VecDeque::new(),
+            pcis_blocked_reads: VecDeque::new(),
+            fpga_dram,
+            input_fifo: VecDeque::new(),
+            pcim_queue: VecDeque::new(),
+            pcim_outstanding: 0,
+            pcim_next_id: 0,
+            output_beats_sent: 0,
+        }
+    }
+
+    /// Total output beats the kernel has emitted via pcim.
+    pub fn output_beats_sent(&self) -> u64 {
+        self.output_beats_sent
+    }
+
+    fn reg_read_value(&self, addr: u32) -> u32 {
+        match addr {
+            regs::CTRL => self.running as u32,
+            regs::STATUS => (!self.running && self.kernel.done()) as u32,
+            regs::IRQ_EN => self.irq_en as u32,
+            a if (regs::USER0..regs::USER0 + (N_USER_REGS as u32) * 4).contains(&a)
+                && a % 4 == 0 =>
+            {
+                self.user_regs[((a - regs::USER0) / 4) as usize]
+            }
+            a if a >= regs::APP_RO && a % 4 == 0 => {
+                self.kernel.reg_read(((a - regs::APP_RO) / 4) as usize)
+            }
+            _ => 0,
+        }
+    }
+
+    fn reg_write(&mut self, addr: u32, value: u32) {
+        match addr {
+            regs::CTRL
+                if value & 1 == 1 => {
+                    self.kernel.start(&self.user_regs);
+                    self.running = true;
+                }
+            regs::IRQ_EN => self.irq_en = value & 1 == 1,
+            a if (regs::USER0..regs::USER0 + (N_USER_REGS as u32) * 4).contains(&a)
+                && a % 4 == 0 =>
+            {
+                self.user_regs[((a - regs::USER0) / 4) as usize] = value;
+            }
+            _ => {}
+        }
+    }
+
+    fn tick_ocl(&mut self, p: &mut SignalPool) {
+        if let Some(raw) = self.ocl_aw.tick(p) {
+            debug_assert!(self.ocl_pending_aw.is_none());
+            self.ocl_pending_aw = Some(raw.to_u64() as u32);
+        }
+        if let Some(raw) = self.ocl_w.tick(p) {
+            debug_assert!(self.ocl_pending_w.is_none());
+            self.ocl_pending_w = Some(unpack_lite_w(&raw));
+        }
+        if let (Some(addr), Some((data, _strb))) = (self.ocl_pending_aw, self.ocl_pending_w) {
+            self.reg_write(addr, data);
+            self.ocl_pending_aw = None;
+            self.ocl_pending_w = None;
+            self.ocl_b.push(Bits::from_u64(2, 0)); // OKAY
+        }
+        if let Some(raw) = self.ocl_ar.tick(p) {
+            let addr = raw.to_u64() as u32;
+            if addr == regs::STATUS_BLOCKING {
+                self.ocl_blocked_reads.push_back(addr);
+            } else {
+                self.ocl_r.push(pack_lite_r(self.reg_read_value(addr), 0));
+            }
+        }
+        // Release blocking reads once the task has completed.
+        if !self.running && self.kernel.done() {
+            while self.ocl_blocked_reads.pop_front().is_some() {
+                self.ocl_r.push(pack_lite_r(1, 0));
+            }
+        }
+        self.ocl_b.tick(p);
+        self.ocl_r.tick(p);
+    }
+
+    fn tick_pcis(&mut self, p: &mut SignalPool) {
+        if let Some(raw) = self.pcis_aw.tick(p) {
+            self.pcis_writes.push_back((AxFields::unpack(&raw), 0));
+        }
+        if let Some(raw) = self.pcis_w.tick(p) {
+            // AXI permits W beats to arrive before their AW (and monitor
+            // back-pressure can skew the two channels), so stage beats and
+            // match them to bursts separately.
+            self.pcis_orphans.push_back(WFields::unpack(&raw));
+        }
+        // Match staged beats to the oldest incomplete burst.
+        while !self.pcis_orphans.is_empty() {
+            let Some(pos) = self
+                .pcis_writes
+                .iter()
+                .position(|(aw, got)| *got < aw.len as usize + 1)
+            else {
+                break;
+            };
+            let beat = self.pcis_orphans.pop_front().expect("non-empty");
+            let (aw, got) = &mut self.pcis_writes[pos];
+            let addr = aw.addr + (*got as u64) * 64;
+            let id = aw.id;
+            *got += 1;
+            let complete = *got == aw.len as usize + 1;
+            // Route the beat: to on-FPGA DRAM and (for streaming kernels)
+            // to the kernel's input stream.
+            self.fpga_dram
+                .write_strobed(addr, &beat.data.to_bytes(), beat.strb);
+            if self.kernel.consumes_stream() {
+                self.input_fifo.push_back((addr, beat.data));
+            }
+            if complete {
+                self.pcis_writes.remove(pos);
+                self.pcis_b.push(BFields { id, resp: 0 }.pack());
+            }
+        }
+        // DRAM reads arbitrate against the kernel's DRAM port: they are
+        // served only while no task is running. (Serving them mid-task
+        // would make response contents depend on the read's cycle-level
+        // timing relative to the computation — cycle-dependent behaviour
+        // that replay could not reproduce, §3.6.)
+        if let Some(raw) = self.pcis_ar.tick(p) {
+            self.pcis_blocked_reads.push_back(AxFields::unpack(&raw));
+        }
+        while !self.running {
+            let Some(ar) = self.pcis_blocked_reads.pop_front() else { break };
+            for i in 0..=ar.len as u64 {
+                let bytes = self.fpga_dram.read(ar.addr + i * 64, 64);
+                self.pcis_r.push(
+                    RFields {
+                        data: Bits::from_bytes(&bytes),
+                        id: ar.id,
+                        resp: 0,
+                        last: i == ar.len as u64,
+                    }
+                    .pack(),
+                );
+            }
+        }
+        self.pcis_b.tick(p);
+        self.pcis_r.tick(p);
+    }
+
+    fn tick_pcim(&mut self, p: &mut SignalPool) {
+        if self.pcim_b.tick(p).is_some() {
+            // Saturating: a spurious early B (possible under the order-less
+            // replay baseline, which violates ordering) confuses the engine
+            // but must not wrap the counter.
+            self.pcim_outstanding = self.pcim_outstanding.saturating_sub(1);
+        }
+        self.pcim_r.tick(p); // unused read path; drain politely
+        // Issue a coalesced burst when allowed. Burst formation must be a
+        // pure function of the beat sequence — never of queue depth at some
+        // cycle — or record and replay would form different bursts
+        // (cycle-dependent behaviour, §3.6): wait for a full burst unless
+        // the kernel has finished and is flushing its tail.
+        let flushable = self.pcim_queue.len() >= PCIM_BURST
+            || (self.kernel.done() && !self.pcim_queue.is_empty());
+        if flushable
+            && self.pcim_outstanding < PCIM_OUTSTANDING
+            && self.pcim_aw.pending() == 0
+        {
+            let (base, _) = *self.pcim_queue.front().expect("non-empty");
+            let mut beats = Vec::new();
+            while beats.len() < PCIM_BURST {
+                match self.pcim_queue.front() {
+                    Some((a, _)) if *a == base + (beats.len() as u64) * 64 => {
+                        let (_, beat) = self.pcim_queue.pop_front().expect("front exists");
+                        beats.push(beat);
+                    }
+                    _ => break,
+                }
+            }
+            let id = self.pcim_next_id;
+            self.pcim_next_id = self.pcim_next_id.wrapping_add(1);
+            self.pcim_aw.push(
+                AxFields {
+                    addr: base,
+                    id,
+                    len: (beats.len() - 1) as u8,
+                    size: 6,
+                }
+                .pack(),
+            );
+            let n = beats.len();
+            for (i, beat) in beats.into_iter().enumerate() {
+                self.pcim_w.push(
+                    WFields {
+                        data: beat,
+                        strb: u64::MAX,
+                        id,
+                        last: i == n - 1,
+                    }
+                    .pack(),
+                );
+            }
+            self.pcim_outstanding += 1;
+            self.output_beats_sent += n as u64;
+        }
+        self.pcim_aw.tick(p);
+        self.pcim_w.tick(p);
+        self.pcim_ar.tick(p);
+    }
+
+    fn tick_kernel(&mut self) {
+        // Feed one input beat per cycle.
+        if self.kernel.wants_input() {
+            if let Some((addr, beat)) = self.input_fifo.pop_front() {
+                self.kernel.consume(addr, beat);
+            }
+        }
+        if self.running && self.pcim_queue.len() < 64 {
+            match self.kernel.step() {
+                KernelStep::Idle | KernelStep::Busy => {}
+                KernelStep::Output { addr, beat } => {
+                    debug_assert_eq!(beat.width(), 512, "pcim beats are 512 bits");
+                    self.pcim_queue.push_back((addr, beat));
+                }
+            }
+            if self.kernel.done() && self.pcim_queue.is_empty() && self.pcim_outstanding == 0 {
+                self.running = false;
+            }
+        }
+    }
+}
+
+impl Component for AccelShell {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, p: &mut SignalPool) {
+        // ocl: accept one request at a time.
+        let aw_free = self.ocl_pending_aw.is_none();
+        let w_free = self.ocl_pending_w.is_none();
+        self.ocl_aw.eval(p, aw_free);
+        self.ocl_w.eval(p, w_free);
+        self.ocl_ar.eval(p, true);
+        self.ocl_b.eval(p, true);
+        self.ocl_r.eval(p, true);
+
+        // pcis: accept writes while the input FIFO has space.
+        let fifo_space =
+            !self.kernel.consumes_stream() || self.input_fifo.len() < INPUT_FIFO_DEPTH;
+        self.pcis_aw.eval(p, true);
+        self.pcis_w.eval(p, fifo_space);
+        self.pcis_ar.eval(p, true);
+        self.pcis_b.eval(p, true);
+        self.pcis_r.eval(p, true);
+
+        // pcim: drive requests, accept responses.
+        self.pcim_aw.eval(p, true);
+        self.pcim_w.eval(p, true);
+        self.pcim_ar.eval(p, false);
+        self.pcim_b.eval(p, true);
+        self.pcim_r.eval(p, true);
+
+        if let Some(irq) = self.irq {
+            let level = self.irq_en && !self.running && self.kernel.done();
+            p.set_bool(irq, level);
+        }
+    }
+
+    fn tick(&mut self, p: &mut SignalPool) {
+        self.tick_ocl(p);
+        self.tick_pcis(p);
+        self.tick_pcim(p);
+        self.tick_kernel();
+    }
+}

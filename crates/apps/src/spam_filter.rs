@@ -1,0 +1,148 @@
+//! Application (6): SpamF — logistic-regression SGD training (Rosetta's
+//! `spam-filter` shape).
+//!
+//! Each input record is one training sample: 60 signed 8-bit features plus
+//! a label, packed into one 64-byte beat. The kernel performs fixed-point
+//! stochastic gradient descent — one sample per few cycles — making this
+//! the most I/O-dense application of the suite (Table 1: highest recording
+//! overhead, smallest trace reduction).
+
+use crate::batch::BatchComputeKernel;
+use crate::harness::{AppSetup, ThreadSpec};
+use crate::util::{host_mem_check, prng_bytes, streaming_script};
+
+/// Features per sample.
+pub const FEATURES: usize = 60;
+/// Bytes per packed sample (features + label + padding to a beat).
+pub const SAMPLE_BYTES: usize = 64;
+/// Fixed-point fractional bits for the weight vector.
+#[allow(dead_code)]
+pub const FRAC_BITS: u32 = 8;
+
+/// A piecewise-linear sigmoid approximation in Q8.8 fixed point, as
+/// hardware implements it: clamps at ±4.0, linear in between.
+fn sigmoid_q8(x: i32) -> i32 {
+    // x is Q8.8; sigmoid(x) ≈ 0.5 + x/8, clamped to [0, 1].
+    let half = 128; // 0.5 in Q8.8
+    let approx = half + (x >> 3);
+    approx.clamp(0, 256)
+}
+
+/// Runs SGD over packed samples and returns the final weight vector as
+/// little-endian i16 Q8.8 values.
+pub fn train(input: &[u8]) -> Vec<u8> {
+    let mut weights = [0i32; FEATURES];
+    for sample in input.chunks_exact(SAMPLE_BYTES) {
+        let label = (sample[FEATURES] & 1) as i32 * 256; // 0 or 1.0 in Q8.8
+        // Dot product: features are i8, weights Q8.8 → product Q8.8.
+        let mut dot = 0i32;
+        for (i, w) in weights.iter().enumerate() {
+            dot += (sample[i] as i8 as i32) * w / 256;
+        }
+        let pred = sigmoid_q8(dot);
+        let err = label - pred; // Q8.8
+        // Learning rate 1/8 (feature × err is Q8.8-scaled by 256, so the
+        // combined divisor is 2048). Large enough that integer updates do
+        // not truncate to zero — SGD must remain genuinely order-sensitive.
+        for (i, w) in weights.iter_mut().enumerate() {
+            *w += (sample[i] as i8 as i32) * err / 2048;
+            *w = (*w).clamp(-32768, 32767);
+        }
+    }
+    weights
+        .iter()
+        .flat_map(|w| (*w as i16).to_le_bytes())
+        .collect()
+}
+
+/// Fabric cycles: the datapath retires one sample every 4 cycles
+/// (fully pipelined 60-lane MAC), so the app is DMA-bandwidth-bound.
+fn cost(input: &[u8]) -> u64 {
+    (input.len() / SAMPLE_BYTES) as u64 * 4
+}
+
+/// Generates `n` packed training samples with a linearly separable-ish
+/// structure: label = sign of feature 0 + noise.
+pub fn samples(n: u32, seed: u64) -> Vec<u8> {
+    let raw = prng_bytes(seed, n as usize * SAMPLE_BYTES);
+    let mut out = raw;
+    for s in out.chunks_exact_mut(SAMPLE_BYTES) {
+        let f0 = s[0] as i8 as i32;
+        let noise = (s[1] as i8 as i32) / 4;
+        s[FEATURES] = ((f0 + noise) > 0) as u8;
+        for b in s[FEATURES + 1..].iter_mut() {
+            *b = 0;
+        }
+    }
+    out
+}
+
+/// Builds the SpamF workload: SGD over `n_samples` packed samples.
+pub fn setup(n_samples: u32, seed: u64) -> AppSetup {
+    let input = samples(n_samples, seed);
+    let expected = train(&input);
+    let len = input.len() as u32;
+    AppSetup {
+        name: "SpamF",
+        kernel: Box::new(move |_dram| {
+            Box::new(BatchComputeKernel::new(
+                "spam_filter",
+                Box::new(|input, _| train(input)),
+                Box::new(|input, _| cost(input)),
+            ))
+        }),
+        threads: vec![ThreadSpec {
+            name: "t1".into(),
+            ops: streaming_script(input, &[(0, len)]),
+            start_at: 0,
+            jitter: 4,
+        }],
+        check: host_mem_check(expected),
+        fpga_dram_init: Vec::new(),
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_clamps_and_centers() {
+        assert_eq!(sigmoid_q8(0), 128);
+        assert_eq!(sigmoid_q8(10_000), 256);
+        assert_eq!(sigmoid_q8(-10_000), 0);
+        assert!(sigmoid_q8(64) > 128);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let s = samples(30, 5);
+        assert_eq!(train(&s), train(&s));
+    }
+
+    #[test]
+    fn learns_the_separating_feature() {
+        // Label correlates with feature 0, so after training w[0] should be
+        // the dominant positive weight.
+        let s = samples(400, 11);
+        let w = train(&s);
+        let w0 = i16::from_le_bytes([w[0], w[1]]) as i32;
+        let mean_abs: i32 = (1..FEATURES)
+            .map(|i| (i16::from_le_bytes([w[i * 2], w[i * 2 + 1]]) as i32).abs())
+            .sum::<i32>()
+            / (FEATURES as i32 - 1);
+        assert!(
+            w0 > mean_abs,
+            "w0={w0} should dominate mean |w|={mean_abs}"
+        );
+    }
+
+    #[test]
+    fn sample_layout() {
+        let s = samples(2, 1);
+        assert_eq!(s.len(), 128);
+        assert!(s[FEATURES] <= 1);
+        assert!(s[FEATURES + 1..SAMPLE_BYTES].iter().all(|&b| b == 0));
+    }
+}

@@ -1,0 +1,188 @@
+//! Application (8): SSSP — single-source shortest paths (the open-source
+//! `sssp-fpga` design of §5.1).
+//!
+//! The kernel runs Bellman–Ford over an edge list streamed in once and kept
+//! in on-chip memory: |V| relaxation rounds, one edge per fabric cycle.
+//! This is the most compute-bound application of the suite (Table 1: 398 s
+//! native, ≈0% recording overhead, 10,000,000× trace reduction) — its I/O
+//! is a tiny edge list and distance table around an enormous compute phase.
+
+use crate::batch::BatchComputeKernel;
+use crate::harness::{AppSetup, ThreadSpec};
+use crate::util::{host_mem_check, prng_bytes, streaming_script};
+
+/// Bytes per packed edge: u16 src, u16 dst, u16 weight.
+pub const EDGE_BYTES: usize = 6;
+/// Distance value for unreachable vertices.
+pub const INF: u32 = u32::MAX;
+
+/// A weighted directed edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: u16,
+    /// Destination vertex.
+    pub dst: u16,
+    /// Edge weight.
+    pub weight: u16,
+}
+
+/// Parses the packed edge list.
+pub fn parse_edges(input: &[u8]) -> Vec<Edge> {
+    input
+        .chunks_exact(EDGE_BYTES)
+        .map(|c| Edge {
+            src: u16::from_le_bytes([c[0], c[1]]),
+            dst: u16::from_le_bytes([c[2], c[3]]),
+            weight: u16::from_le_bytes([c[4], c[5]]),
+        })
+        .collect()
+}
+
+/// Bellman–Ford from `source` over `n_vertices`; returns the distance
+/// table (little-endian u32 per vertex, [`INF`] when unreachable).
+pub fn bellman_ford(n_vertices: usize, edges: &[Edge], source: u16) -> Vec<u32> {
+    let mut dist = vec![INF; n_vertices];
+    dist[source as usize] = 0;
+    for _ in 0..n_vertices.saturating_sub(1) {
+        let mut changed = false;
+        for e in edges {
+            let ds = dist[e.src as usize % n_vertices];
+            if ds != INF {
+                let cand = ds.saturating_add(e.weight as u32);
+                let dd = &mut dist[e.dst as usize % n_vertices];
+                if cand < *dd {
+                    *dd = cand;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+fn distances_bytes(dist: &[u32]) -> Vec<u8> {
+    dist.iter().flat_map(|d| d.to_le_bytes()).collect()
+}
+
+/// Generates a random connected-ish graph as a packed edge list: a ring
+/// backbone (guaranteeing reachability) plus random chords.
+pub fn random_graph(n_vertices: u16, extra_edges: u32, seed: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    let push = |out: &mut Vec<u8>, e: Edge| {
+        out.extend_from_slice(&e.src.to_le_bytes());
+        out.extend_from_slice(&e.dst.to_le_bytes());
+        out.extend_from_slice(&e.weight.to_le_bytes());
+    };
+    for v in 0..n_vertices {
+        push(
+            &mut out,
+            Edge {
+                src: v,
+                dst: (v + 1) % n_vertices,
+                weight: 1 + (v % 7),
+            },
+        );
+    }
+    let rnd = prng_bytes(seed, extra_edges as usize * 6);
+    for c in rnd.chunks_exact(6) {
+        push(
+            &mut out,
+            Edge {
+                src: u16::from_le_bytes([c[0], c[1]]) % n_vertices,
+                dst: u16::from_le_bytes([c[2], c[3]]) % n_vertices,
+                weight: (u16::from_le_bytes([c[4], c[5]]) % 100) + 1,
+            },
+        );
+    }
+    out
+}
+
+/// Fabric cycles: |V| rounds × |E| edges, one edge per cycle. (The hardware
+/// cannot early-exit a round pipeline, so no `changed` shortcut.)
+fn cost(input: &[u8], args: &[u32]) -> u64 {
+    let edges = (input.len() / EDGE_BYTES) as u64;
+    let vertices = args[1] as u64;
+    vertices.saturating_sub(1) * edges
+}
+
+/// Builds the SSSP workload over a random graph.
+pub fn setup(n_vertices: u16, extra_edges: u32, seed: u64) -> AppSetup {
+    let input = random_graph(n_vertices, extra_edges, seed);
+    let expected = distances_bytes(&bellman_ford(n_vertices as usize, &parse_edges(&input), 0));
+    let len = input.len() as u32;
+    AppSetup {
+        name: "SSSP",
+        kernel: Box::new(move |_dram| {
+            Box::new(BatchComputeKernel::new(
+                "sssp",
+                Box::new(|input, args| {
+                    distances_bytes(&bellman_ford(
+                        args[1] as usize,
+                        &parse_edges(input),
+                        args[2] as u16,
+                    ))
+                }),
+                Box::new(cost),
+            ))
+        }),
+        threads: vec![ThreadSpec {
+            name: "t1".into(),
+            ops: streaming_script(input, &[(0, len), (1, n_vertices as u32), (2, 0)]),
+            start_at: 0,
+            jitter: 16,
+        }],
+        check: host_mem_check(expected),
+        fpga_dram_init: Vec::new(),
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_graph_distances() {
+        let edges = vec![
+            Edge { src: 0, dst: 1, weight: 5 },
+            Edge { src: 1, dst: 2, weight: 3 },
+        ];
+        assert_eq!(bellman_ford(3, &edges, 0), vec![0, 5, 8]);
+    }
+
+    #[test]
+    fn shorter_path_wins() {
+        let edges = vec![
+            Edge { src: 0, dst: 1, weight: 10 },
+            Edge { src: 0, dst: 2, weight: 1 },
+            Edge { src: 2, dst: 1, weight: 2 },
+        ];
+        assert_eq!(bellman_ford(3, &edges, 0)[1], 3);
+    }
+
+    #[test]
+    fn unreachable_is_inf() {
+        let edges = vec![Edge { src: 0, dst: 1, weight: 1 }];
+        assert_eq!(bellman_ford(3, &edges, 0)[2], INF);
+    }
+
+    #[test]
+    fn ring_backbone_reaches_everything() {
+        let bytes = random_graph(20, 15, 7);
+        let dist = bellman_ford(20, &parse_edges(&bytes), 0);
+        assert!(dist.iter().all(|&d| d != INF));
+        assert_eq!(dist[0], 0);
+    }
+
+    #[test]
+    fn edges_roundtrip_through_bytes() {
+        let bytes = random_graph(5, 3, 1);
+        let edges = parse_edges(&bytes);
+        assert_eq!(edges.len(), 8);
+        assert!(edges.iter().all(|e| e.src < 5 && e.dst < 5));
+    }
+}

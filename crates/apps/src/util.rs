@@ -1,0 +1,127 @@
+//! Shared helpers for application kernels and workloads.
+
+use vidi_host::{CpuHandle, HostMemory, HostOp};
+use vidi_hwsim::Bits;
+
+use crate::harness::CheckFn;
+use crate::shell::regs;
+
+/// Host-memory base address where kernels deposit their results via pcim.
+pub const OUT_ADDR: u64 = 0x10_0000;
+
+/// Splits a byte buffer into 512-bit beats (zero-padded tail).
+pub fn bytes_to_beats(bytes: &[u8]) -> Vec<Bits> {
+    bytes
+        .chunks(64)
+        .map(|c| {
+            let mut beat = c.to_vec();
+            beat.resize(64, 0);
+            Bits::from_bytes(&beat)
+        })
+        .collect()
+}
+
+/// The standard software script of a streaming accelerator (§5.1 shape):
+/// DMA the input in, set user registers, start, wait for completion via a
+/// blocking status read (transaction-deterministic).
+pub fn streaming_script(input: Vec<u8>, user_regs: &[(u32, u32)]) -> Vec<HostOp> {
+    let mut ops = Vec::new();
+    for &(idx, val) in user_regs {
+        ops.push(HostOp::LiteWrite {
+            iface: "ocl",
+            addr: regs::USER0 + idx * 4,
+            data: val,
+        });
+    }
+    if !input.is_empty() {
+        ops.push(HostOp::DmaWrite {
+            iface: "pcis",
+            addr: 0,
+            bytes: input,
+        });
+    }
+    ops.push(HostOp::LiteWrite {
+        iface: "ocl",
+        addr: regs::CTRL,
+        data: 1,
+    });
+    ops.push(HostOp::LiteRead {
+        iface: "ocl",
+        addr: regs::STATUS_BLOCKING,
+    });
+    ops
+}
+
+/// A checker asserting that host memory at [`OUT_ADDR`] holds `expected`.
+pub fn host_mem_check(expected: Vec<u8>) -> CheckFn {
+    Box::new(move |host: &HostMemory, _fpga: &HostMemory, cpu: &[CpuHandle]| {
+        if cpu.is_empty() {
+            // Replay mode: there is no host environment to land outputs in;
+            // correctness is established by trace comparison instead.
+            return Ok(());
+        }
+        let got = host.read(OUT_ADDR, expected.len());
+        if got == expected {
+            Ok(())
+        } else {
+            let first_bad = got
+                .iter()
+                .zip(expected.iter())
+                .position(|(a, b)| a != b)
+                .unwrap_or(0);
+            Err(format!(
+                "output mismatch at byte {first_bad}: got {:#x}, expected {:#x}",
+                got[first_bad], expected[first_bad]
+            ))
+        }
+    })
+}
+
+/// Deterministic pseudo-random byte generator (xorshift64*), used for
+/// workload synthesis where `rand` machinery is overkill.
+pub fn prng_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 56) as u8
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beats_pad_the_tail() {
+        let beats = bytes_to_beats(&[1u8; 65]);
+        assert_eq!(beats.len(), 2);
+        assert_eq!(beats[0].to_bytes(), vec![1u8; 64]);
+        let mut tail = vec![0u8; 64];
+        tail[0] = 1;
+        assert_eq!(beats[1].to_bytes(), tail);
+    }
+
+    #[test]
+    fn prng_is_deterministic_and_varied() {
+        let a = prng_bytes(42, 256);
+        let b = prng_bytes(42, 256);
+        let c = prng_bytes(43, 256);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Not constant.
+        assert!(a.iter().any(|&x| x != a[0]));
+    }
+
+    #[test]
+    fn script_shape() {
+        let ops = streaming_script(vec![0u8; 10], &[(0, 99)]);
+        assert_eq!(ops.len(), 4);
+        assert!(matches!(ops[0], HostOp::LiteWrite { data: 99, .. }));
+        assert!(matches!(ops[1], HostOp::DmaWrite { .. }));
+        assert!(matches!(ops[3], HostOp::LiteRead { .. }));
+    }
+}

@@ -1,0 +1,59 @@
+//! The §5.2 workflow premise: a trace recorded on hardware can be replayed
+//! in simulation (and vice versa). In this reproduction, "different
+//! platform" means different shim parameters — trace-fetch bandwidth and
+//! FIFO capacity differ wildly between an F1 deployment and a VCS
+//! simulation — and transaction determinism must be insensitive to all of
+//! them.
+
+use vidi_apps::{build_app, run_app, AppId, Scale};
+use vidi_core::{VidiConfig, VidiMode};
+use vidi_trace::compare;
+
+#[test]
+fn replay_is_platform_parameter_insensitive() {
+    // Record with "hardware" parameters.
+    let rec = run_app(
+        build_app(
+            AppId::DigitRec.setup(Scale::Test, 13),
+            VidiConfig {
+                store_bytes_per_cycle: 22,
+                fifo_capacity: 128,
+                ..VidiConfig::record()
+            },
+        ),
+        3_000_000,
+    )
+    .expect("record");
+    assert!(rec.output_ok.is_ok());
+    let reference = rec.trace.expect("trace");
+
+    // Replay under three very different "platforms".
+    let platforms: [(&str, u32, usize); 3] = [
+        ("slow simulator", 3, 64),
+        ("hardware-like", 22, 128),
+        ("infinite-bandwidth model", 4096, 1024),
+    ];
+    for (name, bw, fifo) in platforms {
+        let outcome = run_app(
+            build_app(
+                AppId::DigitRec.setup(Scale::Test, 13),
+                VidiConfig {
+                    mode: VidiMode::ReplayRecord(reference.clone()),
+                    store_bytes_per_cycle: bw,
+                    fetch_bytes_per_cycle: bw,
+                    fifo_capacity: fifo,
+                    record_output_content: true,
+                },
+            ),
+            10_000_000,
+        )
+        .unwrap_or_else(|e| panic!("{name}: replay failed: {e}"));
+        let validation = outcome.trace.expect("validation trace");
+        let report = compare(&reference, &validation);
+        assert!(
+            report.is_clean(),
+            "{name}: replay diverged: {:?}",
+            report.divergences
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! End-to-end record/replay over the full application suite (§5.1, §5.4)
+//! plus both case studies (§5.2, §5.3), at test scale.
+
+use vidi_apps::{build_app, run_app, AppId, Scale};
+use vidi_chan::{AtopFilterMode, FrameFifoMode};
+use vidi_core::VidiConfig;
+use vidi_trace::{compare, reorder_end_before, EndEventRef};
+
+const MAX_CYCLES: u64 = 3_000_000;
+
+/// Records one app and returns (outcome, trace).
+fn record(app: AppId, seed: u64) -> (vidi_apps::RunOutcome, vidi_trace::Trace) {
+    let built = build_app(app.setup(Scale::Test, seed), VidiConfig::record());
+    let outcome = run_app(built, MAX_CYCLES).expect("recording run completes");
+    assert!(
+        outcome.output_ok.is_ok(),
+        "{}: output check failed under recording: {:?}",
+        outcome.name,
+        outcome.output_ok
+    );
+    let trace = outcome.trace.clone().expect("trace recorded");
+    (outcome, trace)
+}
+
+#[test]
+fn all_apps_run_transparently() {
+    for app in AppId::ALL {
+        let built = build_app(app.setup(Scale::Test, 7), VidiConfig::transparent());
+        let outcome = run_app(built, MAX_CYCLES).expect("baseline run completes");
+        assert!(
+            outcome.output_ok.is_ok(),
+            "{}: baseline output check failed: {:?}",
+            outcome.name,
+            outcome.output_ok
+        );
+        assert!(outcome.trace.is_none(), "R1 records nothing");
+    }
+}
+
+#[test]
+fn all_apps_record_without_altering_output() {
+    for app in AppId::ALL {
+        let baseline = run_app(
+            build_app(app.setup(Scale::Test, 9), VidiConfig::transparent()),
+            MAX_CYCLES,
+        )
+        .expect("baseline");
+        let (recorded, trace) = record(app, 9);
+        assert!(
+            trace.transaction_count() > 0,
+            "{}: empty trace",
+            recorded.name
+        );
+        // Recording must not change what the application computes.
+        assert!(recorded.output_ok.is_ok(), "{}", recorded.name);
+        // And the slowdown must be bounded (a loose envelope; exact numbers
+        // are the bench harness's job).
+        assert!(
+            recorded.cycles < baseline.cycles * 2,
+            "{}: recording more than doubled execution ({} -> {})",
+            recorded.name,
+            baseline.cycles,
+            recorded.cycles
+        );
+    }
+}
+
+#[test]
+fn all_apps_replay_with_transaction_determinism() {
+    // §5.4: replay each app's reference trace under R3 and compare the
+    // validation trace. Only DRAM DMA (polling) may diverge in content;
+    // counts and orders must match everywhere.
+    for app in AppId::ALL {
+        let (_, reference) = record(app, 21);
+        let built = build_app(
+            app.setup(Scale::Test, 21),
+            VidiConfig::replay_record(reference.clone()),
+        );
+        let outcome = run_app(built, MAX_CYCLES).expect("replay completes");
+        let validation = outcome.trace.expect("validation trace recorded");
+        let report = compare(&reference, &validation);
+        let non_content = report
+            .divergences
+            .iter()
+            .filter(|d| !matches!(d, vidi_trace::Divergence::ContentMismatch { .. }))
+            .count();
+        assert_eq!(
+            non_content, 0,
+            "{}: count/order divergences must never occur: {:?}",
+            app.label(),
+            report.divergences
+        );
+        if app != AppId::Dma {
+            assert!(
+                report.is_clean(),
+                "{}: unexpected content divergence: {:?}",
+                app.label(),
+                report.divergences
+            );
+        }
+    }
+}
+
+#[test]
+fn interrupt_patch_eliminates_dma_divergences() {
+    // §3.6: the 10-line interrupt patch removes all content divergences.
+    use vidi_apps::{dma_setup, DmaCompletion};
+    let setup = |seed| dma_setup(3, 1024, DmaCompletion::Interrupt, seed);
+    let built = build_app(setup(33), VidiConfig::record());
+    let outcome = run_app(built, MAX_CYCLES).expect("record");
+    assert!(outcome.output_ok.is_ok());
+    let reference = outcome.trace.expect("trace");
+
+    let built = build_app(setup(33), VidiConfig::replay_record(reference.clone()));
+    let outcome = run_app(built, MAX_CYCLES).expect("replay");
+    let validation = outcome.trace.expect("validation");
+    let report = compare(&reference, &validation);
+    assert!(
+        report.is_clean(),
+        "interrupt completion must be divergence-free: {:?}",
+        report.divergences
+    );
+}
+
+#[test]
+fn echo_fifo_delayed_start_loses_data_and_replay_reproduces_it() {
+    use vidi_apps::{run_echo_fifo, EchoFifoConfig};
+    // Aligned, prompt start: even the buggy FIFO behaves.
+    let ok = run_echo_fifo(EchoFifoConfig {
+        vidi: VidiConfig::record(),
+        start_delay: 0,
+        ..EchoFifoConfig::default()
+    })
+    .expect("run");
+    assert!(ok.consistent, "prompt start must echo correctly");
+
+    // Delayed start: the buggy Frame FIFO drops fragments.
+    let buggy = run_echo_fifo(EchoFifoConfig {
+        vidi: VidiConfig::record(),
+        start_delay: 1500,
+        ..EchoFifoConfig::default()
+    })
+    .expect("run");
+    assert!(!buggy.consistent, "delayed start must lose data");
+    let reference = buggy.trace.expect("trace recorded");
+
+    // Replaying the buggy trace reproduces the same inconsistency pattern.
+    let replay = run_echo_fifo(EchoFifoConfig {
+        vidi: VidiConfig::replay_record(reference.clone()),
+        start_delay: 1500,
+        ..EchoFifoConfig::default()
+    })
+    .expect("replay");
+    let validation = replay.trace.expect("validation trace");
+    let report = compare(&reference, &validation);
+    assert!(
+        report.is_clean(),
+        "replay must reproduce the buggy execution exactly: {:?}",
+        report.divergences
+    );
+
+    // The fixed FIFO survives the same delayed start.
+    let fixed = run_echo_fifo(EchoFifoConfig {
+        vidi: VidiConfig::record(),
+        start_delay: 1500,
+        fifo_mode: FrameFifoMode::Fixed,
+        ..EchoFifoConfig::default()
+    })
+    .expect("run");
+    assert!(fixed.consistent, "fixed FIFO must not lose data");
+}
+
+#[test]
+fn echo_fifo_unaligned_bitmask_bug() {
+    use vidi_apps::{run_echo_fifo, EchoFifoConfig};
+    // Buggy frontend ignores write strobes: garbage is echoed.
+    let buggy = run_echo_fifo(EchoFifoConfig {
+        vidi: VidiConfig::record(),
+        unaligned_skip: 8,
+        respect_strobes: false,
+        ..EchoFifoConfig::default()
+    })
+    .expect("run");
+    assert!(!buggy.consistent, "ignoring strobes must corrupt the echo");
+
+    // Fixed frontend honours the strobes.
+    let fixed = run_echo_fifo(EchoFifoConfig {
+        vidi: VidiConfig::record(),
+        unaligned_skip: 8,
+        respect_strobes: true,
+        ..EchoFifoConfig::default()
+    })
+    .expect("run");
+    assert!(fixed.consistent, "respecting strobes echoes valid bytes only");
+}
+
+#[test]
+fn atop_filter_deadlocks_only_under_mutated_replay() {
+    use vidi_apps::run_echo_atop;
+    // 1. Record a healthy execution with the buggy filter in place.
+    let recorded = run_echo_atop(AtopFilterMode::Buggy, VidiConfig::record(), 32, 5)
+        .expect("record run");
+    assert!(recorded.completed, "normal operation must not deadlock");
+    assert!(recorded.host_ok, "pongs must land correctly");
+    let trace = recorded.trace.expect("trace");
+
+    // 2. Mutate: move the first pcim W end before the first pcim AW end
+    //    (legal AXI behaviour the hardware never exhibited).
+    let aw = trace.layout().index_of("pcim.aw").expect("pcim.aw");
+    let w = trace.layout().index_of("pcim.w").expect("pcim.w");
+    let mutated = reorder_end_before(
+        &trace,
+        EndEventRef { channel: w, index: 0 },
+        EndEventRef { channel: aw, index: 0 },
+    )
+    .expect("mutation applies");
+
+    // 3. Replaying the mutated trace deadlocks the buggy filter...
+    let verdict = run_echo_atop(
+        AtopFilterMode::Buggy,
+        VidiConfig::replay(mutated.clone()),
+        32,
+        5,
+    )
+    .expect("replay run");
+    assert!(!verdict.completed, "buggy filter must deadlock under the mutated ordering");
+
+    // 4. ...and the upstream bugfix eliminates the deadlock.
+    let fixed = run_echo_atop(AtopFilterMode::Fixed, VidiConfig::replay(mutated), 32, 5)
+        .expect("replay run");
+    assert!(fixed.completed, "fixed filter must survive the mutated ordering");
+}

@@ -1,0 +1,74 @@
+//! The cross-machine workflow of §5.2: record an execution on "hardware",
+//! save the trace to disk with the runtime library, load it back (as a
+//! developer would on a workstation), and replay it — verifying that the
+//! serialized artifact, not just the in-memory object, carries everything
+//! transaction determinism needs.
+
+use vidi_apps::{build_app, run_app, AppId, Scale};
+use vidi_core::VidiConfig;
+use vidi_host::{load_trace, save_trace};
+use vidi_trace::compare;
+
+#[test]
+fn record_save_load_replay_roundtrip() {
+    let app = AppId::Bnn;
+    let rec = run_app(
+        build_app(app.setup(Scale::Test, 55), VidiConfig::record()),
+        3_000_000,
+    )
+    .expect("record");
+    assert!(rec.output_ok.is_ok());
+    let reference = rec.trace.expect("trace");
+
+    // Through the runtime library's file format.
+    let dir = std::env::temp_dir().join("vidi_persistence_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bnn.vidi");
+    save_trace(&path, &reference).expect("save");
+    let loaded = load_trace(&path).expect("load");
+    assert_eq!(loaded, reference, "disk round-trip must be lossless");
+    let file_len = std::fs::metadata(&path).unwrap().len();
+    assert!(
+        file_len as i64 - reference.body_bytes() as i64 >= 0,
+        "file includes the self-describing header"
+    );
+
+    // Replay from the loaded artifact.
+    let rep = run_app(
+        build_app(app.setup(Scale::Test, 55), VidiConfig::replay_record(loaded)),
+        3_000_000,
+    )
+    .expect("replay");
+    let report = compare(&reference, &rep.trace.expect("validation"));
+    assert!(report.is_clean(), "{:?}", report.divergences);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn traces_from_different_seeds_are_distinct_artifacts() {
+    let t1 = run_app(
+        build_app(AppId::Sha.setup(Scale::Test, 1), VidiConfig::record()),
+        3_000_000,
+    )
+    .unwrap()
+    .trace
+    .unwrap();
+    let t2 = run_app(
+        build_app(AppId::Sha.setup(Scale::Test, 2), VidiConfig::record()),
+        3_000_000,
+    )
+    .unwrap()
+    .trace
+    .unwrap();
+    assert_ne!(t1.encode(), t2.encode(), "different workloads, different traces");
+    // Same seed, same workload: byte-identical artifacts (the whole stack
+    // is deterministic).
+    let t1b = run_app(
+        build_app(AppId::Sha.setup(Scale::Test, 1), VidiConfig::record()),
+        3_000_000,
+    )
+    .unwrap()
+    .trace
+    .unwrap();
+    assert_eq!(t1.encode(), t1b.encode(), "recording is deterministic");
+}

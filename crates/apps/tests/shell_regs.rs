@@ -1,0 +1,160 @@
+//! Direct tests of the accelerator shell's register file and completion
+//! mechanisms through the public harness.
+
+use vidi_apps::{build_app, regs, run_app, AppSetup, Kernel, KernelStep, ThreadSpec};
+use vidi_core::VidiConfig;
+use vidi_host::{CpuHandle, HostMemory, HostOp};
+use vidi_hwsim::Bits;
+
+/// A kernel that completes after a fixed number of steps and exposes an
+/// app-specific read-only register.
+struct StepKernel {
+    remaining: u64,
+    total: u64,
+    started: bool,
+}
+impl Kernel for StepKernel {
+    fn name(&self) -> &str {
+        "stepper"
+    }
+    fn start(&mut self, args: &[u32]) {
+        self.total = args[0] as u64;
+        self.remaining = self.total;
+        self.started = true;
+    }
+    fn wants_input(&self) -> bool {
+        false
+    }
+    fn consumes_stream(&self) -> bool {
+        false
+    }
+    fn consume(&mut self, _addr: u64, _beat: Bits) {}
+    fn step(&mut self) -> KernelStep {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+        }
+        KernelStep::Busy
+    }
+    fn done(&self) -> bool {
+        self.started && self.remaining == 0
+    }
+    fn reg_read(&self, idx: usize) -> u32 {
+        match idx {
+            0 => 0xc0de_0001,
+            1 => (self.total - self.remaining) as u32,
+            _ => 0,
+        }
+    }
+}
+
+fn setup(ops: Vec<HostOp>) -> AppSetup {
+    AppSetup {
+        name: "stepper",
+        kernel: Box::new(|_| {
+            Box::new(StepKernel {
+                remaining: 0,
+                total: 0,
+                started: false,
+            })
+        }),
+        threads: vec![ThreadSpec {
+            name: "t1".into(),
+            ops,
+            start_at: 0,
+            jitter: 0,
+        }],
+        check: Box::new(|_: &HostMemory, _: &HostMemory, _: &[CpuHandle]| Ok(())),
+        fpga_dram_init: Vec::new(),
+        seed: 5,
+    }
+}
+
+#[test]
+fn user_registers_read_back() {
+    let ops = vec![
+        HostOp::LiteWrite {
+            iface: "ocl",
+            addr: regs::USER0 + 8,
+            data: 0x1234_5678,
+        },
+        HostOp::LiteRead {
+            iface: "ocl",
+            addr: regs::USER0 + 8,
+        },
+        HostOp::LiteRead {
+            iface: "ocl",
+            addr: regs::APP_RO,
+        },
+    ];
+    let built = build_app(setup(ops), VidiConfig::transparent());
+    let handle = built.cpu[0].clone();
+    run_app(built, 100_000).unwrap();
+    assert_eq!(handle.borrow().reads, vec![0x1234_5678, 0xc0de_0001]);
+}
+
+#[test]
+fn status_polling_vs_blocking_read() {
+    // Start a 200-step task; STATUS reads 0 while running, the blocking
+    // read returns only after completion.
+    let ops = vec![
+        HostOp::LiteWrite {
+            iface: "ocl",
+            addr: regs::USER0,
+            data: 200,
+        },
+        HostOp::LiteWrite {
+            iface: "ocl",
+            addr: regs::CTRL,
+            data: 1,
+        },
+        HostOp::LiteRead {
+            iface: "ocl",
+            addr: regs::STATUS, // immediately: still running -> 0
+        },
+        HostOp::LiteRead {
+            iface: "ocl",
+            addr: regs::STATUS_BLOCKING, // waits for done -> 1
+        },
+        HostOp::LiteRead {
+            iface: "ocl",
+            addr: regs::STATUS, // after blocking read: done -> 1
+        },
+    ];
+    let built = build_app(setup(ops), VidiConfig::transparent());
+    let handle = built.cpu[0].clone();
+    let out = run_app(built, 100_000).unwrap();
+    assert!(out.cycles >= 200, "task takes at least its step count");
+    assert_eq!(handle.borrow().reads, vec![0, 1, 1]);
+}
+
+#[test]
+fn interrupt_fires_only_when_enabled() {
+    // With IRQ_EN set, WaitIrq completes after the task; without it, the
+    // thread would wait forever (checked via the STATUS fallback instead).
+    let ops = vec![
+        HostOp::LiteWrite {
+            iface: "ocl",
+            addr: regs::IRQ_EN,
+            data: 1,
+        },
+        HostOp::LiteWrite {
+            iface: "ocl",
+            addr: regs::USER0,
+            data: 50,
+        },
+        HostOp::LiteWrite {
+            iface: "ocl",
+            addr: regs::CTRL,
+            data: 1,
+        },
+        HostOp::WaitIrq,
+        HostOp::LiteRead {
+            iface: "ocl",
+            addr: regs::STATUS,
+        },
+    ];
+    let built = build_app(setup(ops), VidiConfig::transparent());
+    let handle = built.cpu[0].clone();
+    run_app(built, 100_000).unwrap();
+    assert_eq!(handle.borrow().reads, vec![1], "done observed after the irq");
+}

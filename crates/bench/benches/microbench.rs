@@ -1,0 +1,142 @@
+//! Criterion micro-benchmarks for Vidi's core data paths: trace
+//! encode/decode throughput, cycle-packet assembly, vector-clock
+//! comparison, trace validation, and trace mutation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use vidi_chan::Direction;
+use vidi_core::VectorClock;
+use vidi_hwsim::Bits;
+use vidi_trace::{
+    compare, pack, reorder_end_before, ChannelInfo, ChannelPacket, CyclePacket, EndEventRef,
+    Trace, TraceLayout,
+};
+
+fn f1_like_layout() -> TraceLayout {
+    TraceLayout::new(vec![
+        ChannelInfo {
+            name: "ocl.aw".into(),
+            width: 32,
+            direction: Direction::Input,
+        },
+        ChannelInfo {
+            name: "ocl.r".into(),
+            width: 34,
+            direction: Direction::Output,
+        },
+        ChannelInfo {
+            name: "pcis.w".into(),
+            width: 593,
+            direction: Direction::Input,
+        },
+        ChannelInfo {
+            name: "pcim.w".into(),
+            width: 593,
+            direction: Direction::Output,
+        },
+    ])
+}
+
+/// Builds a trace with `n` event-dense cycle packets.
+fn synthetic_trace(n: usize) -> Trace {
+    let layout = f1_like_layout();
+    let mut t = Trace::new(layout.clone(), true);
+    for i in 0..n {
+        let beat = Bits::from_u64(593, i as u64);
+        let packets = vec![
+            if i % 3 == 0 {
+                ChannelPacket {
+                    start: true,
+                    content: Some(Bits::from_u64(32, i as u64)),
+                    end: true,
+                }
+            } else {
+                ChannelPacket::default()
+            },
+            if i % 5 == 0 {
+                ChannelPacket {
+                    start: false,
+                    content: Some(Bits::from_u64(34, i as u64)),
+                    end: true,
+                }
+            } else {
+                ChannelPacket::default()
+            },
+            ChannelPacket {
+                start: true,
+                content: Some(beat.clone()),
+                end: true,
+            },
+            ChannelPacket {
+                start: false,
+                content: Some(beat),
+                end: true,
+            },
+        ];
+        t.push(CyclePacket::assemble(&layout, &packets, true));
+    }
+    t
+}
+
+fn bench_trace_codec(c: &mut Criterion) {
+    let trace = synthetic_trace(2000);
+    let bytes = trace.encode();
+    let mut g = c.benchmark_group("trace_codec");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| trace.encode()));
+    g.bench_function("decode", |b| b.iter(|| Trace::decode(&bytes).unwrap()));
+    g.bench_function("storage_pack", |b| b.iter(|| pack(&bytes)));
+    g.finish();
+}
+
+fn bench_cycle_packet_assembly(c: &mut Criterion) {
+    let layout = f1_like_layout();
+    let packets = vec![
+        ChannelPacket::start_with(Bits::from_u64(32, 7)),
+        ChannelPacket::end_only(),
+        ChannelPacket::start_with(Bits::from_u64(593, 9)),
+        ChannelPacket::default(),
+    ];
+    c.bench_function("cycle_packet_assemble", |b| {
+        b.iter(|| CyclePacket::assemble(&layout, &packets, false))
+    });
+}
+
+fn bench_vector_clock(c: &mut Criterion) {
+    // 25 channels, like the full F1 configuration.
+    let a = VectorClock::from_counts((0..25).map(|i| i * 100).collect());
+    let b = VectorClock::from_counts((0..25).map(|i| i * 99).collect());
+    c.bench_function("vclock_geq_25ch", |bench| bench.iter(|| a.geq(&b)));
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let reference = synthetic_trace(1000);
+    let validation = reference.clone();
+    let mut g = c.benchmark_group("offline_tools");
+    g.bench_function("compare_identical_1000", |b| {
+        b.iter(|| compare(&reference, &validation))
+    });
+    g.bench_function("mutate_reorder_1000", |b| {
+        b.iter_batched(
+            || reference.clone(),
+            |t| {
+                reorder_end_before(
+                    &t,
+                    EndEventRef { channel: 3, index: 500 },
+                    EndEventRef { channel: 2, index: 100 },
+                )
+                .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trace_codec,
+    bench_cycle_packet_assembly,
+    bench_vector_clock,
+    bench_validation
+);
+criterion_main!(benches);

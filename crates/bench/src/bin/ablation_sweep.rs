@@ -1,0 +1,66 @@
+//! Design-choice ablations: recording overhead versus (a) trace-store
+//! bandwidth and (b) encoder FIFO capacity, on the most I/O-dense
+//! application (SpamF).
+//!
+//! These sweep the two knobs behind §3.3/§6: more storage bandwidth or a
+//! deeper staging FIFO both reduce back-pressure stalls, at PCIe-share and
+//! BRAM cost respectively — the deployment trade-off the paper's
+//! discussion motivates but does not plot.
+//!
+//! ```text
+//! cargo run --release -p vidi-bench --bin ablation_sweep
+//! ```
+
+use vidi_apps::{build_app, run_app, AppId, Scale};
+use vidi_core::VidiConfig;
+
+const SEED: u64 = 4242;
+const MAX: u64 = 50_000_000;
+
+fn overhead(config: VidiConfig) -> (f64, u64) {
+    let base = run_app(
+        build_app(AppId::SpamFilter.setup(Scale::Bench, SEED), VidiConfig::transparent()),
+        MAX,
+    )
+    .expect("baseline");
+    let rec = run_app(
+        build_app(AppId::SpamFilter.setup(Scale::Bench, SEED), config),
+        MAX,
+    )
+    .expect("recording");
+    assert!(rec.output_ok.is_ok());
+    (
+        100.0 * (rec.cycles as f64 - base.cycles as f64) / base.cycles as f64,
+        rec.backpressure_cycles,
+    )
+}
+
+fn main() {
+    println!("Ablation: recording overhead vs trace-store bandwidth (SpamF)");
+    println!("{:>18} {:>12} {:>20}", "bytes/cycle", "overhead %", "backpressure cycles");
+    for bw in [4u32, 8, 12, 16, 22, 32, 48, 64, 96] {
+        let (oh, bp) = overhead(VidiConfig {
+            store_bytes_per_cycle: bw,
+            ..VidiConfig::record()
+        });
+        println!("{bw:>18} {oh:>12.2} {bp:>20}");
+    }
+    println!();
+    println!("Ablation: recording overhead vs encoder FIFO capacity (SpamF, 12 B/cycle store)");
+    println!("{:>18} {:>12} {:>20}", "fifo packets", "overhead %", "backpressure cycles");
+    for cap in [64usize, 128, 256, 512, 1024, 4096] {
+        let (oh, bp) = overhead(VidiConfig {
+            store_bytes_per_cycle: 12,
+            fifo_capacity: cap,
+            ..VidiConfig::record()
+        });
+        println!("{cap:>18} {oh:>12.2} {bp:>20}");
+    }
+    println!();
+    println!("Reading: bandwidth is the first-order knob — back-pressure vanishes once");
+    println!("the store keeps up with the sustained transaction-content rate (~26 B/cy");
+    println!("here). FIFO depth absorbs bursts: a deep enough buffer hides this whole");
+    println!("(short) workload, but any sustained deficit eventually fills any finite");
+    println!("buffer — which is why Vidi needs back-pressure *correctness*, not just");
+    println!("buffering, to record arbitrarily long executions (§3.3, §6).");
+}

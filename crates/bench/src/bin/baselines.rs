@@ -1,0 +1,90 @@
+//! The §1 design-space comparison, measured: cycle-accurate recording
+//! (efficient? no — trace volume), order-less record/replay (effective?
+//! no — replay divergences on order-dependent apps), and Vidi (both).
+//!
+//! ```text
+//! cargo run --release -p vidi-bench --bin baselines [--test-scale]
+//! ```
+
+use vidi_apps::{build_app, run_app, AppId, Scale};
+use vidi_bench::{fmt_factor, report_to_row, MAX_CYCLES};
+use vidi_core::VidiConfig;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--test-scale") {
+        Scale::Test
+    } else {
+        Scale::Bench
+    };
+
+    println!("Design-space comparison (§1): cycle-accurate vs order-less vs Vidi\n");
+    println!(
+        "{:<8} {:>13} {:>15} {:>17} {:>15}",
+        "App", "Transactions", "CA trace blowup", "Orderless diverg.", "Vidi diverg."
+    );
+    for app in AppId::ALL {
+        let rec = run_app(
+            build_app(app.setup(scale, 42), VidiConfig::record()),
+            MAX_CYCLES,
+        )
+        .expect("record");
+        assert!(rec.output_ok.is_ok());
+        let reference = rec.trace.expect("trace");
+        let blowup = reference.cycle_accurate_bytes(rec.cycles) as f64
+            / reference.body_bytes().max(1) as f64;
+
+        // Order-less baseline replay. Hung replays count as failures too:
+        // without ordering enforcement most apps simply wedge (mis-ordered
+        // responses push their DMA engines into unrecoverable states —
+        // §2.2's "incorrect results, deadlock, or an unrecoverable
+        // error-state"). A modest budget suffices to call the verdict: the
+        // recorded execution itself fits in a fraction of it.
+        let orderless = run_app(
+            build_app(
+                app.setup(scale, 42),
+                VidiConfig::replay_orderless(reference.clone()),
+            ),
+            (rec.cycles * 20).max(100_000),
+        );
+        let orderless_col = match orderless {
+            Ok(out) => {
+                let row = report_to_row(String::new(), &reference, &out.trace.expect("val"));
+                format!(
+                    "{}",
+                    row.content_divergences + row.count_divergences + row.order_divergences
+                )
+            }
+            Err(_) => "HANGS".to_string(),
+        };
+
+        // Vidi replay (R3).
+        let vidi = run_app(
+            build_app(
+                app.setup(scale, 42),
+                VidiConfig::replay_record(reference.clone()),
+            ),
+            MAX_CYCLES,
+        )
+        .expect("vidi replay");
+        let vrow = report_to_row(String::new(), &reference, &vidi.trace.expect("val"));
+        let vidi_col = format!(
+            "{}",
+            vrow.content_divergences + vrow.count_divergences + vrow.order_divergences
+        );
+
+        println!(
+            "{:<8} {:>13} {:>15} {:>17} {:>15}",
+            app.label(),
+            reference.transaction_count(),
+            fmt_factor(blowup),
+            orderless_col,
+            vidi_col,
+        );
+    }
+    println!();
+    println!("Reading (the paper's §1 positioning): cycle-accurate recording inflates");
+    println!("traces by orders of magnitude; order-less replay diverges (or hangs) on");
+    println!("applications whose behaviour depends on cross-channel transaction order");
+    println!("— which includes every application in this suite; Vidi replays all of");
+    println!("them with at most the DRAM-DMA polling divergence (§3.6).");
+}

@@ -1,0 +1,77 @@
+//! Regenerates the §5.4 effectiveness experiment: record each application
+//! (R2), replay while re-recording (R3), and count divergences between the
+//! reference and validation traces. Then demonstrates that the interrupt
+//! patch (§3.6) eliminates the DRAM DMA content divergences.
+//!
+//! ```text
+//! cargo run --release -p vidi-bench --bin effectiveness [--test-scale] [dma_tasks]
+//! ```
+
+use vidi_apps::{build_app, dma_setup, run_app, AppId, DmaCompletion, Scale};
+use vidi_bench::{measure_effectiveness, report_to_row, MAX_CYCLES};
+use vidi_core::VidiConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--test-scale") {
+        Scale::Test
+    } else {
+        Scale::Bench
+    };
+    let dma_tasks: u32 = args.iter().find_map(|a| a.parse().ok()).unwrap_or(24);
+
+    println!("§5.4 — effectiveness of transaction determinism\n");
+    println!(
+        "{:<8} {:>13} {:>8} {:>8} {:>9}",
+        "App", "Transactions", "Count", "Order", "Content"
+    );
+    for app in AppId::ALL {
+        let row = measure_effectiveness(app, scale, 42);
+        println!(
+            "{:<8} {:>13} {:>8} {:>8} {:>9}",
+            row.app,
+            row.transactions,
+            row.count_divergences,
+            row.order_divergences,
+            row.content_divergences
+        );
+        assert_eq!(row.count_divergences, 0, "count divergences must never occur");
+        assert_eq!(row.order_divergences, 0, "order divergences must never occur");
+    }
+
+    // Longer DRAM DMA runs to estimate the content-divergence rate, and the
+    // same workload under the interrupt patch.
+    println!("\nDRAM DMA divergence rate vs completion mechanism ({dma_tasks} tasks):");
+    for (label, completion) in [
+        ("polling (original)", DmaCompletion::Polling { interval: 256 }),
+        ("interrupt (§3.6 patch)", DmaCompletion::Interrupt),
+    ] {
+        let setup = |seed| dma_setup(dma_tasks, 4096, completion, seed);
+        let rec = run_app(build_app(setup(7), VidiConfig::record()), MAX_CYCLES)
+            .expect("record");
+        let reference = rec.trace.expect("trace");
+        let val = run_app(
+            build_app(setup(7), VidiConfig::replay_record(reference.clone())),
+            MAX_CYCLES,
+        )
+        .expect("replay");
+        let validation = val.trace.expect("validation");
+        let row = report_to_row(label.to_string(), &reference, &validation);
+        let rate = if row.content_divergences == 0 {
+            "0".to_string()
+        } else {
+            format!(
+                "1 per {} transactions",
+                row.transactions / row.content_divergences as u64
+            )
+        };
+        println!(
+            "  {:<24} {:>9} transactions, {:>3} content divergences ({rate})",
+            row.app, row.transactions, row.content_divergences
+        );
+    }
+    println!();
+    println!("Paper reference (§5.4): 9/10 applications replay divergence-free;");
+    println!("DRAM DMA shows ~1 content divergence per 1M transactions, all caused");
+    println!("by polling, and the interrupt patch eliminates every divergence.");
+}

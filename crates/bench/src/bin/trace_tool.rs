@@ -1,0 +1,150 @@
+//! The offline trace analysis tools of §4.2, as one CLI:
+//!
+//! ```text
+//! trace_tool dump <trace>                       # inspect a trace file
+//! trace_tool validate <reference> <validation>  # divergence detection (§3.6)
+//! trace_tool mutate <trace> <moved-ch> <moved-idx> <before-ch> <before-idx> <out>
+//!                                               # reorder end events (§5.3)
+//! ```
+//!
+//! Channel arguments accept names (`pcim.w`) or layout indices.
+
+use std::process::ExitCode;
+
+use vidi_host::{load_trace, save_trace};
+use vidi_trace::{compare, reorder_end_before, Divergence, EndEventRef, Trace};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("dump") if args.len() == 2 => dump(&args[1]),
+        Some("validate") if args.len() == 3 => validate(&args[1], &args[2]),
+        Some("mutate") if args.len() == 7 => mutate(&args[1..]),
+        _ => {
+            eprintln!("usage:");
+            eprintln!("  trace_tool dump <trace>");
+            eprintln!("  trace_tool validate <reference> <validation>");
+            eprintln!("  trace_tool mutate <trace> <moved-ch> <moved-idx> <before-ch> <before-idx> <out>");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn channel_index(trace: &Trace, arg: &str) -> Result<usize, String> {
+    if let Some(i) = trace.layout().index_of(arg) {
+        return Ok(i);
+    }
+    arg.parse::<usize>()
+        .ok()
+        .filter(|&i| i < trace.layout().len())
+        .ok_or_else(|| format!("unknown channel '{arg}'"))
+}
+
+fn dump(path: &str) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let trace = load_trace(path)?;
+    println!("trace: {path}");
+    println!(
+        "  {} channels; output contents recorded: {}",
+        trace.layout().len(),
+        trace.records_output_content()
+    );
+    print!("  {}", trace.stats());
+    println!("\n  {:<4} {:<16} {:>6} {:>6} {:>13}", "idx", "channel", "width", "dir", "transactions");
+    for (i, ch) in trace.layout().channels().iter().enumerate() {
+        println!(
+            "  {:<4} {:<16} {:>6} {:>6} {:>13}",
+            i,
+            ch.name,
+            ch.width,
+            ch.direction.to_string(),
+            trace.channel_transaction_count(i)
+        );
+    }
+    // First few events as a timeline.
+    println!("\n  first events:");
+    let mut shown = 0;
+    for (pi, p) in trace.packets().iter().enumerate() {
+        let mut events = Vec::new();
+        let mut in_pos = 0;
+        for (ci, ch) in trace.layout().channels().iter().enumerate() {
+            if ch.direction == vidi_chan::Direction::Input {
+                if p.starts[in_pos] {
+                    events.push(format!("{}↑", ch.name));
+                }
+                in_pos += 1;
+            }
+            if p.ends[ci] {
+                events.push(format!("{}✓", ch.name));
+            }
+        }
+        if !events.is_empty() {
+            println!("    packet {pi:>5}: {}", events.join("  "));
+            shown += 1;
+            if shown >= 12 {
+                println!("    ... ({} more packets)", trace.packets().len() - pi - 1);
+                break;
+            }
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn validate(ref_path: &str, val_path: &str) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let reference = load_trace(ref_path)?;
+    let validation = load_trace(val_path)?;
+    let report = compare(&reference, &validation);
+    println!(
+        "compared {} transactions: {} divergences",
+        report.transactions_checked,
+        report.divergences.len()
+    );
+    for d in report.divergences.iter().take(20) {
+        match d {
+            Divergence::ContentMismatch { context, .. } => {
+                println!("  {d}");
+                for (i, c) in context.iter().enumerate() {
+                    println!("    context[-{}]: {c:x}", context.len() - i);
+                }
+            }
+            other => println!("  {other}"),
+        }
+    }
+    if report.divergences.len() > 20 {
+        println!("  ... and {} more", report.divergences.len() - 20);
+    }
+    Ok(if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn mutate(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let trace = load_trace(&args[0])?;
+    let moved = EndEventRef {
+        channel: channel_index(&trace, &args[1])?,
+        index: args[2].parse()?,
+    };
+    let before = EndEventRef {
+        channel: channel_index(&trace, &args[3])?,
+        index: args[4].parse()?,
+    };
+    let mutated = reorder_end_before(&trace, moved, before)?;
+    save_trace(&args[5], &mutated)?;
+    println!(
+        "moved end #{} of {} before end #{} of {}; wrote {}",
+        moved.index,
+        trace.layout().channels()[moved.channel].name,
+        before.index,
+        trace.layout().channels()[before.channel].name,
+        args[5]
+    );
+    Ok(ExitCode::SUCCESS)
+}

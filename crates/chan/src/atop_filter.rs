@@ -1,0 +1,322 @@
+//! Port of the buggy `axi_atop_filter` from the testing case study (§5.3).
+//!
+//! The original filter (from the PULP platform's AXI library) intercepts a
+//! write path and assumes *the end event of the address transaction always
+//! happens before the end events of data transactions*. The AXI protocol
+//! does not require that ordering (Fig 2): a downstream subordinate may
+//! legally withhold the AW handshake until it has received a W beat. When
+//! that happens, the buggy filter — which refuses to accept W beats until AW
+//! has fired — deadlocks.
+//!
+//! The paper exposes the bug by *mutating* a recorded trace so the first W
+//! end event precedes the AW end event, then replaying; we reproduce that
+//! workflow in `examples/testing_case_study.rs`.
+
+use std::collections::VecDeque;
+
+use vidi_hwsim::{Bits, Component, SignalPool};
+
+use crate::handshake::Channel;
+
+/// Selects the buggy or corrected filter behaviour.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AtopFilterMode {
+    /// Hold W beats (deassert upstream `w.ready`) until the corresponding AW
+    /// handshake completes downstream — the ordering assumption that
+    /// deadlocks (the bug).
+    Buggy,
+    /// Buffer and forward W beats independently of AW completion (the fix
+    /// adopted upstream).
+    Fixed,
+}
+
+/// A write-path filter interposed on an AXI write channel group.
+///
+/// Upstream ports face the FPGA application's DMA engine (the filter is the
+/// receiver of `aw`/`w` and the sender of `b`); downstream ports face the
+/// I/O boundary that Vidi records (the filter is the sender of `aw`/`w` and
+/// receiver of `b`). The filter performs no transformation on the payloads —
+/// exactly like the evaluated configuration of `axi_atop_filter`, which "is
+/// configured to intercept ... but does not filter out any transactions".
+#[derive(Debug)]
+pub struct AtopFilter {
+    name: String,
+    mode: AtopFilterMode,
+    up_aw: Channel,
+    up_w: Channel,
+    up_b: Channel,
+    down_aw: Channel,
+    down_w: Channel,
+    down_b: Channel,
+    /// Pending AW payload captured from upstream, awaiting downstream fire.
+    aw_pending: Option<Bits>,
+    /// Number of downstream AW fires not yet "consumed" by a full W burst
+    /// (buggy mode gates W forwarding on this being non-zero).
+    aw_credits: u64,
+    /// Bit index of WLAST within the W payload.
+    last_bit: u32,
+    /// Buffered W beats (fixed mode and passthrough staging).
+    w_buf: VecDeque<Bits>,
+    w_buf_cap: usize,
+    /// Pending B payload captured downstream, awaiting upstream fire.
+    b_pending: Option<Bits>,
+}
+
+impl AtopFilter {
+    /// Creates a filter between an upstream and a downstream write channel
+    /// group. `last_bit` is the index of the WLAST flag within the W
+    /// payload (bit 592 on the 593-bit F1 W channel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if corresponding up/downstream channel widths differ.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        mode: AtopFilterMode,
+        up_aw: Channel,
+        up_w: Channel,
+        up_b: Channel,
+        down_aw: Channel,
+        down_w: Channel,
+        down_b: Channel,
+        last_bit: u32,
+    ) -> Self {
+        assert_eq!(up_aw.width(), down_aw.width(), "aw width mismatch");
+        assert_eq!(up_w.width(), down_w.width(), "w width mismatch");
+        assert_eq!(up_b.width(), down_b.width(), "b width mismatch");
+        assert!(last_bit < up_w.width(), "last bit out of W payload");
+        AtopFilter {
+            name: name.into(),
+            mode,
+            up_aw,
+            up_w,
+            up_b,
+            down_aw,
+            down_w,
+            down_b,
+            aw_pending: None,
+            aw_credits: 0,
+            last_bit,
+            w_buf: VecDeque::new(),
+            w_buf_cap: 4,
+            b_pending: None,
+        }
+    }
+
+    fn w_gate_open(&self) -> bool {
+        match self.mode {
+            // The bug: W beats are only accepted once the AW handshake has
+            // completed downstream.
+            AtopFilterMode::Buggy => self.aw_credits > 0,
+            AtopFilterMode::Fixed => true,
+        }
+    }
+}
+
+impl Component for AtopFilter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, p: &mut SignalPool) {
+        // AW: registered store-and-forward (accept one, hold until sent).
+        p.set_bool(self.up_aw.ready, self.aw_pending.is_none());
+        match &self.aw_pending {
+            Some(v) => {
+                p.set_bool(self.down_aw.valid, true);
+                p.set(self.down_aw.data, v);
+            }
+            None => p.set_bool(self.down_aw.valid, false),
+        }
+
+        // W: gated by mode; buffered beats forward downstream.
+        let accept_w = self.w_gate_open() && self.w_buf.len() < self.w_buf_cap;
+        p.set_bool(self.up_w.ready, accept_w);
+        match self.w_buf.front() {
+            Some(v) => {
+                p.set_bool(self.down_w.valid, true);
+                p.set(self.down_w.data, v);
+            }
+            None => p.set_bool(self.down_w.valid, false),
+        }
+
+        // B: registered store-and-forward back upstream.
+        p.set_bool(self.down_b.ready, self.b_pending.is_none());
+        match &self.b_pending {
+            Some(v) => {
+                p.set_bool(self.up_b.valid, true);
+                p.set(self.up_b.data, v);
+            }
+            None => p.set_bool(self.up_b.valid, false),
+        }
+    }
+
+    fn tick(&mut self, p: &mut SignalPool) {
+        if self.down_aw.fires(p) {
+            self.aw_pending = None;
+            self.aw_credits += 1;
+        }
+        if self.up_aw.fires(p) {
+            debug_assert!(self.aw_pending.is_none());
+            self.aw_pending = Some(p.get(self.up_aw.data));
+        }
+        if self.down_w.fires(p) {
+            let beat = self.w_buf.pop_front().expect("W fired with empty buffer");
+            if beat.bit(self.last_bit) && self.aw_credits > 0 {
+                self.aw_credits -= 1;
+            }
+        }
+        if self.up_w.fires(p) {
+            self.w_buf.push_back(p.get(self.up_w.data));
+        }
+        if self.down_b.fires(p) {
+            debug_assert!(self.b_pending.is_none());
+            self.b_pending = Some(p.get(self.down_b.data));
+        }
+        if self.up_b.fires(p) {
+            self.b_pending = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handshake::{ReceiverLatch, SenderQueue};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use vidi_hwsim::Simulator;
+
+    const AW_W: u32 = 8;
+    const W_W: u32 = 9; // 8-bit data + last at bit 8
+    const B_W: u32 = 2;
+
+    /// Upstream DMA engine: sends one AW and `beats` W beats, waits for B.
+    struct Dma {
+        aw: SenderQueue,
+        w: SenderQueue,
+        b: ReceiverLatch,
+        got_b: Rc<RefCell<bool>>,
+    }
+    impl Component for Dma {
+        fn name(&self) -> &str {
+            "dma"
+        }
+        fn eval(&mut self, p: &mut SignalPool) {
+            self.aw.eval(p, true);
+            self.w.eval(p, true);
+            self.b.eval(p, true);
+        }
+        fn tick(&mut self, p: &mut SignalPool) {
+            self.aw.tick(p);
+            self.w.tick(p);
+            if self.b.tick(p).is_some() {
+                *self.got_b.borrow_mut() = true;
+            }
+        }
+    }
+
+    /// Downstream subordinate. If `aw_needs_w` it withholds AW ready until
+    /// it has received at least one W beat (legal AXI behaviour; this is
+    /// what the mutated trace models in §5.3).
+    struct Subordinate {
+        aw: ReceiverLatch,
+        w: ReceiverLatch,
+        b: SenderQueue,
+        aw_needs_w: bool,
+        w_seen: bool,
+        aw_seen: bool,
+        w_last: bool,
+    }
+    impl Component for Subordinate {
+        fn name(&self) -> &str {
+            "sub"
+        }
+        fn eval(&mut self, p: &mut SignalPool) {
+            let accept_aw = !self.aw_needs_w || self.w_seen;
+            self.aw.eval(p, accept_aw);
+            self.w.eval(p, true);
+            self.b.eval(p, true);
+        }
+        fn tick(&mut self, p: &mut SignalPool) {
+            if self.aw.tick(p).is_some() {
+                self.aw_seen = true;
+            }
+            if let Some(beat) = self.w.tick(p) {
+                self.w_seen = true;
+                if beat.bit(8) {
+                    self.w_last = true;
+                }
+            }
+            if self.aw_seen && self.w_last {
+                self.aw_seen = false;
+                self.w_last = false;
+                self.b.push(vidi_hwsim::Bits::from_u64(B_W, 0)); // OKAY
+            }
+            self.b.tick(p);
+        }
+    }
+
+    fn run(mode: AtopFilterMode, aw_needs_w: bool) -> bool {
+        let mut sim = Simulator::new();
+        let p = sim.pool_mut();
+        let up_aw = Channel::new(p, "up.aw", AW_W);
+        let up_w = Channel::new(p, "up.w", W_W);
+        let up_b = Channel::new(p, "up.b", B_W);
+        let dn_aw = Channel::new(p, "dn.aw", AW_W);
+        let dn_w = Channel::new(p, "dn.w", W_W);
+        let dn_b = Channel::new(p, "dn.b", B_W);
+
+        let mut aw = SenderQueue::new(up_aw.clone());
+        aw.push(vidi_hwsim::Bits::from_u64(AW_W, 0x10));
+        let mut w = SenderQueue::new(up_w.clone());
+        w.push(vidi_hwsim::Bits::from_u64(W_W, 0x0aa));
+        w.push(vidi_hwsim::Bits::from_u64(W_W, 0x1bb)); // last beat
+        let got_b = Rc::new(RefCell::new(false));
+        sim.add_component(Dma {
+            aw,
+            w,
+            b: ReceiverLatch::new(up_b.clone()),
+            got_b: Rc::clone(&got_b),
+        });
+        sim.add_component(AtopFilter::new(
+            "atop",
+            mode,
+            up_aw,
+            up_w,
+            up_b,
+            dn_aw.clone(),
+            dn_w.clone(),
+            dn_b.clone(),
+            8,
+        ));
+        sim.add_component(Subordinate {
+            aw: ReceiverLatch::new(dn_aw),
+            w: ReceiverLatch::new(dn_w),
+            b: SenderQueue::new(dn_b),
+            aw_needs_w,
+            w_seen: false,
+            aw_seen: false,
+            w_last: false,
+        });
+        let done = Rc::clone(&got_b);
+        sim.run_until(move |_| *done.borrow(), 500, "write response").is_ok()
+    }
+
+    #[test]
+    fn buggy_filter_works_with_prompt_aw() {
+        assert!(run(AtopFilterMode::Buggy, false));
+    }
+
+    #[test]
+    fn buggy_filter_deadlocks_when_subordinate_waits_for_w() {
+        assert!(!run(AtopFilterMode::Buggy, true), "expected deadlock");
+    }
+
+    #[test]
+    fn fixed_filter_never_deadlocks() {
+        assert!(run(AtopFilterMode::Fixed, false));
+        assert!(run(AtopFilterMode::Fixed, true));
+    }
+}

@@ -1,0 +1,303 @@
+//! AXI and AXI-Lite interface groups, modelled on the five AWS F1
+//! interfaces the paper records (§4.1, §5.5).
+//!
+//! An AXI interface is a *group* of five handshake channels with ordering
+//! semantics across them (Fig 2): write address (AW), write data (W), write
+//! response (B), read address (AR) and read data (R). The paper's resource
+//! scalability study (Fig 7) sweeps combinations of the F1 interfaces whose
+//! total monitored widths range from 136 bits (one AXI-Lite) to 3056 bits
+//! (all five); the widths below reproduce those totals exactly.
+
+use vidi_hwsim::SignalPool;
+
+use crate::handshake::{Channel, Direction};
+
+/// Index of a channel within an [`AxiIface`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AxiChannel {
+    /// Write address channel.
+    Aw = 0,
+    /// Write data channel.
+    W = 1,
+    /// Write response channel.
+    B = 2,
+    /// Read address channel.
+    Ar = 3,
+    /// Read data channel.
+    R = 4,
+}
+
+impl AxiChannel {
+    /// All five channels in canonical order.
+    pub const ALL: [AxiChannel; 5] = [
+        AxiChannel::Aw,
+        AxiChannel::W,
+        AxiChannel::B,
+        AxiChannel::Ar,
+        AxiChannel::R,
+    ];
+
+    /// The conventional lowercase name (`"aw"`, `"w"`, ...).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            AxiChannel::Aw => "aw",
+            AxiChannel::W => "w",
+            AxiChannel::B => "b",
+            AxiChannel::Ar => "ar",
+            AxiChannel::R => "r",
+        }
+    }
+}
+
+/// The flavour of an AXI interface.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AxiKind {
+    /// 32-bit AXI-Lite (the F1 `sda`/`ocl`/`bar1` MMIO buses): 136 bits of
+    /// channel payload total.
+    Lite,
+    /// 512-bit AXI4 (the F1 `pcim`/`pcis` DMA buses): 1324 bits of channel
+    /// payload total; the W channel alone is 593 bits — the "largest AXI
+    /// channel" of §6.
+    Full512,
+}
+
+impl AxiKind {
+    /// Payload width of each channel, in [`AxiChannel::ALL`] order.
+    ///
+    /// AXI-Lite: AW=32 (addr), W=36 (data+strb), B=2 (resp), AR=32,
+    /// R=34 (data+resp) — total 136.
+    ///
+    /// AXI4-512: AW=91 (addr 64, id 16, len 8, size 3), W=593 (data 512,
+    /// strb 64, id 16, last 1), B=18 (id 16, resp 2), AR=91, R=531 (data
+    /// 512, id 16, resp 2, last 1) — total 1324.
+    pub fn channel_widths(self) -> [u32; 5] {
+        match self {
+            AxiKind::Lite => [32, 36, 2, 32, 34],
+            AxiKind::Full512 => [91, 593, 18, 91, 531],
+        }
+    }
+
+    /// Sum of all channel payload widths.
+    pub fn total_width(self) -> u32 {
+        self.channel_widths().iter().sum()
+    }
+}
+
+/// Which side of the interface the FPGA application plays.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AxiRole {
+    /// The external environment issues requests (AW/W/AR are inputs to the
+    /// FPGA; B/R are outputs). F1's `sda`/`ocl`/`bar1`/`pcis`.
+    Subordinate,
+    /// The FPGA issues requests (AW/W/AR are outputs; B/R are inputs).
+    /// F1's `pcim`.
+    Manager,
+}
+
+/// One AXI interface: five channels plus direction metadata.
+#[derive(Clone, Debug)]
+pub struct AxiIface {
+    name: String,
+    kind: AxiKind,
+    role: AxiRole,
+    channels: Vec<Channel>,
+}
+
+impl AxiIface {
+    /// Allocates all five channels of an interface in the pool.
+    pub fn new(pool: &mut SignalPool, name: impl Into<String>, kind: AxiKind, role: AxiRole) -> Self {
+        let name = name.into();
+        let widths = kind.channel_widths();
+        let channels = AxiChannel::ALL
+            .iter()
+            .zip(widths.iter())
+            .map(|(ch, &w)| Channel::new(pool, format!("{name}.{}", ch.short_name()), w))
+            .collect();
+        AxiIface {
+            name,
+            kind,
+            role,
+            channels,
+        }
+    }
+
+    /// Wraps existing channels (in AW, W, B, AR, R order) as an interface
+    /// view — used to address the *environment side* channels created by a
+    /// shim with the same interface structure as the application side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel widths do not match `kind`.
+    pub fn from_channels(
+        name: impl Into<String>,
+        kind: AxiKind,
+        role: AxiRole,
+        channels: Vec<Channel>,
+    ) -> Self {
+        assert_eq!(channels.len(), 5, "an AXI interface has five channels");
+        for (ch, w) in channels.iter().zip(kind.channel_widths()) {
+            assert_eq!(ch.width(), w, "channel {} width mismatch", ch.name());
+        }
+        AxiIface {
+            name: name.into(),
+            kind,
+            role,
+            channels,
+        }
+    }
+
+    /// The interface name (e.g. `"ocl"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The interface flavour.
+    pub fn kind(&self) -> AxiKind {
+        self.kind
+    }
+
+    /// The FPGA application's role on this interface.
+    pub fn role(&self) -> AxiRole {
+        self.role
+    }
+
+    /// One channel of the interface.
+    pub fn channel(&self, which: AxiChannel) -> &Channel {
+        &self.channels[which as usize]
+    }
+
+    /// All channels in canonical AW, W, B, AR, R order.
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// Direction of a channel from the FPGA application's perspective.
+    pub fn direction(&self, which: AxiChannel) -> Direction {
+        let request = matches!(which, AxiChannel::Aw | AxiChannel::W | AxiChannel::Ar);
+        match (self.role, request) {
+            (AxiRole::Subordinate, true) | (AxiRole::Manager, false) => Direction::Input,
+            _ => Direction::Output,
+        }
+    }
+
+    /// `(channel, direction)` pairs in canonical order.
+    pub fn channels_with_direction(&self) -> Vec<(Channel, Direction)> {
+        AxiChannel::ALL
+            .iter()
+            .map(|&c| (self.channel(c).clone(), self.direction(c)))
+            .collect()
+    }
+}
+
+/// The five AWS F1 interfaces (§4.1): which subset to instantiate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum F1Interface {
+    /// 32-bit AXI-Lite management bus.
+    Sda,
+    /// 32-bit AXI-Lite application MMIO bus.
+    Ocl,
+    /// 32-bit AXI-Lite BAR1 MMIO bus.
+    Bar1,
+    /// 512-bit AXI4 FPGA-to-CPU DMA bus (FPGA is manager).
+    Pcim,
+    /// 512-bit AXI4 CPU-to-FPGA DMA bus (FPGA is subordinate).
+    Pcis,
+}
+
+impl F1Interface {
+    /// All five F1 interfaces.
+    pub const ALL: [F1Interface; 5] = [
+        F1Interface::Sda,
+        F1Interface::Ocl,
+        F1Interface::Bar1,
+        F1Interface::Pcim,
+        F1Interface::Pcis,
+    ];
+
+    /// The conventional lowercase name.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            F1Interface::Sda => "sda",
+            F1Interface::Ocl => "ocl",
+            F1Interface::Bar1 => "bar1",
+            F1Interface::Pcim => "pcim",
+            F1Interface::Pcis => "pcis",
+        }
+    }
+
+    /// The interface flavour on F1.
+    pub fn kind(self) -> AxiKind {
+        match self {
+            F1Interface::Sda | F1Interface::Ocl | F1Interface::Bar1 => AxiKind::Lite,
+            F1Interface::Pcim | F1Interface::Pcis => AxiKind::Full512,
+        }
+    }
+
+    /// The FPGA's role on this interface on F1.
+    pub fn role(self) -> AxiRole {
+        match self {
+            F1Interface::Pcim => AxiRole::Manager,
+            _ => AxiRole::Subordinate,
+        }
+    }
+
+    /// Instantiates this interface's channels in a pool.
+    pub fn instantiate(self, pool: &mut SignalPool) -> AxiIface {
+        AxiIface::new(pool, self.short_name(), self.kind(), self.role())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_match_the_paper() {
+        assert_eq!(AxiKind::Lite.total_width(), 136);
+        assert_eq!(AxiKind::Full512.total_width(), 1324);
+        // All three AXI-Lite buses plus both 512-bit buses: 3056 bits (§5.5).
+        let total: u32 = F1Interface::ALL.iter().map(|i| i.kind().total_width()).sum();
+        assert_eq!(total, 3056);
+        // The largest channel is the 593-bit W channel (§6).
+        assert_eq!(AxiKind::Full512.channel_widths()[AxiChannel::W as usize], 593);
+    }
+
+    #[test]
+    fn twenty_five_channels_total() {
+        let mut pool = SignalPool::new();
+        let n: usize = F1Interface::ALL
+            .iter()
+            .map(|i| i.instantiate(&mut pool).channels().len())
+            .sum();
+        assert_eq!(n, 25, "Vidi records 25 channels on F1 (§5.1)");
+    }
+
+    #[test]
+    fn subordinate_directions() {
+        let mut pool = SignalPool::new();
+        let ocl = F1Interface::Ocl.instantiate(&mut pool);
+        assert_eq!(ocl.direction(AxiChannel::Aw), Direction::Input);
+        assert_eq!(ocl.direction(AxiChannel::W), Direction::Input);
+        assert_eq!(ocl.direction(AxiChannel::Ar), Direction::Input);
+        assert_eq!(ocl.direction(AxiChannel::B), Direction::Output);
+        assert_eq!(ocl.direction(AxiChannel::R), Direction::Output);
+    }
+
+    #[test]
+    fn manager_directions() {
+        let mut pool = SignalPool::new();
+        let pcim = F1Interface::Pcim.instantiate(&mut pool);
+        assert_eq!(pcim.direction(AxiChannel::Aw), Direction::Output);
+        assert_eq!(pcim.direction(AxiChannel::W), Direction::Output);
+        assert_eq!(pcim.direction(AxiChannel::B), Direction::Input);
+        assert_eq!(pcim.direction(AxiChannel::R), Direction::Input);
+    }
+
+    #[test]
+    fn channel_names_are_hierarchical() {
+        let mut pool = SignalPool::new();
+        let pcis = F1Interface::Pcis.instantiate(&mut pool);
+        assert_eq!(pcis.channel(AxiChannel::W).name(), "pcis.w");
+        assert_eq!(pcis.channel(AxiChannel::W).width(), 593);
+    }
+}

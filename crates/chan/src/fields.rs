@@ -1,0 +1,294 @@
+//! Bit-level field layouts of the AXI channel payloads.
+//!
+//! Senders and receivers on both sides of the record/replay boundary (the
+//! CPU model in `vidi-host` and the application shells in `vidi-apps`) must
+//! agree on how addresses, data, strobes, ids and burst metadata pack into
+//! each channel's payload. These layouts produce exactly the channel widths
+//! of [`crate::AxiKind`].
+
+use vidi_hwsim::Bits;
+
+use crate::axi::AxiKind;
+
+/// Write/read address fields of a 512-bit AXI4 interface (91-bit payload).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct AxFields {
+    /// Byte address.
+    pub addr: u64,
+    /// Transaction id.
+    pub id: u16,
+    /// Burst length minus one (AXI `AxLEN`): a burst of `len + 1` beats.
+    pub len: u8,
+    /// Beat size exponent (AXI `AxSIZE`): bytes per beat = `1 << size`.
+    pub size: u8,
+}
+
+impl AxFields {
+    /// Packs into the 91-bit AW/AR payload.
+    pub fn pack(&self) -> Bits {
+        let mut b = Bits::zero(91);
+        b.set_slice(0, &Bits::from_u64(64, self.addr));
+        b.set_slice(64, &Bits::from_u64(16, self.id as u64));
+        b.set_slice(80, &Bits::from_u64(8, self.len as u64));
+        b.set_slice(88, &Bits::from_u64(3, self.size as u64));
+        b
+    }
+
+    /// Unpacks from the 91-bit AW/AR payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not 91 bits wide.
+    pub fn unpack(b: &Bits) -> Self {
+        assert_eq!(b.width(), 91, "AxFields payload width");
+        AxFields {
+            addr: b.slice(0, 64).to_u64(),
+            id: b.slice(64, 16).to_u64() as u16,
+            len: b.slice(80, 8).to_u64() as u8,
+            size: b.slice(88, 3).to_u64() as u8,
+        }
+    }
+}
+
+/// Write data fields of a 512-bit AXI4 interface (593-bit payload).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WFields {
+    /// 512-bit data beat.
+    pub data: Bits,
+    /// Per-byte write strobes.
+    pub strb: u64,
+    /// Transaction id.
+    pub id: u16,
+    /// Final beat of the burst.
+    pub last: bool,
+}
+
+/// Bit position of WLAST within the 593-bit W payload (used by trace
+/// mutation and the atop filter).
+pub const W_LAST_BIT: u32 = 592;
+
+impl WFields {
+    /// Packs into the 593-bit W payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not 512 bits wide.
+    pub fn pack(&self) -> Bits {
+        assert_eq!(self.data.width(), 512, "W data width");
+        let mut b = Bits::zero(593);
+        b.set_slice(0, &self.data);
+        b.set_slice(512, &Bits::from_u64(64, self.strb));
+        b.set_slice(576, &Bits::from_u64(16, self.id as u64));
+        b.set_bit(W_LAST_BIT, self.last);
+        b
+    }
+
+    /// Unpacks from the 593-bit W payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not 593 bits wide.
+    pub fn unpack(b: &Bits) -> Self {
+        assert_eq!(b.width(), 593, "WFields payload width");
+        WFields {
+            data: b.slice(0, 512),
+            strb: b.slice(512, 64).to_u64(),
+            id: b.slice(576, 16).to_u64() as u16,
+            last: b.bit(W_LAST_BIT),
+        }
+    }
+}
+
+/// Write response fields (18-bit payload).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct BFields {
+    /// Transaction id.
+    pub id: u16,
+    /// Response code (0 = OKAY).
+    pub resp: u8,
+}
+
+impl BFields {
+    /// Packs into the 18-bit B payload.
+    pub fn pack(&self) -> Bits {
+        let mut b = Bits::zero(18);
+        b.set_slice(0, &Bits::from_u64(16, self.id as u64));
+        b.set_slice(16, &Bits::from_u64(2, self.resp as u64));
+        b
+    }
+
+    /// Unpacks from the 18-bit B payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not 18 bits wide.
+    pub fn unpack(b: &Bits) -> Self {
+        assert_eq!(b.width(), 18, "BFields payload width");
+        BFields {
+            id: b.slice(0, 16).to_u64() as u16,
+            resp: b.slice(16, 2).to_u64() as u8,
+        }
+    }
+}
+
+/// Read data fields of a 512-bit AXI4 interface (531-bit payload).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RFields {
+    /// 512-bit data beat.
+    pub data: Bits,
+    /// Transaction id.
+    pub id: u16,
+    /// Response code (0 = OKAY).
+    pub resp: u8,
+    /// Final beat of the burst.
+    pub last: bool,
+}
+
+impl RFields {
+    /// Packs into the 531-bit R payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not 512 bits wide.
+    pub fn pack(&self) -> Bits {
+        assert_eq!(self.data.width(), 512, "R data width");
+        let mut b = Bits::zero(531);
+        b.set_slice(0, &self.data);
+        b.set_slice(512, &Bits::from_u64(16, self.id as u64));
+        b.set_slice(528, &Bits::from_u64(2, self.resp as u64));
+        b.set_bit(530, self.last);
+        b
+    }
+
+    /// Unpacks from the 531-bit R payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not 531 bits wide.
+    pub fn unpack(b: &Bits) -> Self {
+        assert_eq!(b.width(), 531, "RFields payload width");
+        RFields {
+            data: b.slice(0, 512),
+            id: b.slice(512, 16).to_u64() as u16,
+            resp: b.slice(528, 2).to_u64() as u8,
+            last: b.bit(530),
+        }
+    }
+}
+
+/// AXI-Lite write data: 32-bit data + 4-bit strobe (36-bit payload).
+pub fn pack_lite_w(data: u32, strb: u8) -> Bits {
+    let mut b = Bits::zero(36);
+    b.set_slice(0, &Bits::from_u64(32, data as u64));
+    b.set_slice(32, &Bits::from_u64(4, strb as u64));
+    b
+}
+
+/// Unpacks an AXI-Lite W payload into `(data, strb)`.
+///
+/// # Panics
+///
+/// Panics if `b` is not 36 bits wide.
+pub fn unpack_lite_w(b: &Bits) -> (u32, u8) {
+    assert_eq!(b.width(), 36, "lite W payload width");
+    (
+        b.slice(0, 32).to_u64() as u32,
+        b.slice(32, 4).to_u64() as u8,
+    )
+}
+
+/// AXI-Lite read data: 32-bit data + 2-bit resp (34-bit payload).
+pub fn pack_lite_r(data: u32, resp: u8) -> Bits {
+    let mut b = Bits::zero(34);
+    b.set_slice(0, &Bits::from_u64(32, data as u64));
+    b.set_slice(32, &Bits::from_u64(2, resp as u64));
+    b
+}
+
+/// Unpacks an AXI-Lite R payload into `(data, resp)`.
+///
+/// # Panics
+///
+/// Panics if `b` is not 34 bits wide.
+pub fn unpack_lite_r(b: &Bits) -> (u32, u8) {
+    assert_eq!(b.width(), 34, "lite R payload width");
+    (
+        b.slice(0, 32).to_u64() as u32,
+        b.slice(32, 2).to_u64() as u8,
+    )
+}
+
+/// Sanity: the packed layouts fill the declared channel widths.
+pub fn layout_widths_consistent() -> bool {
+    let full = AxiKind::Full512.channel_widths();
+    let lite = AxiKind::Lite.channel_widths();
+    full[0] == 91 && full[1] == 593 && full[2] == 18 && full[3] == 91 && full[4] == 531
+        && lite[0] == 32
+        && lite[1] == 36
+        && lite[2] == 2
+        && lite[3] == 32
+        && lite[4] == 34
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ax_roundtrip() {
+        let f = AxFields {
+            addr: 0xdead_beef_0000_1234,
+            id: 0xabc,
+            len: 15,
+            size: 6,
+        };
+        let b = f.pack();
+        assert_eq!(b.width(), 91);
+        assert_eq!(AxFields::unpack(&b), f);
+    }
+
+    #[test]
+    fn w_roundtrip() {
+        let mut data = Bits::zero(512);
+        data.set_bit(511, true);
+        data.set_bit(0, true);
+        let f = WFields {
+            data,
+            strb: u64::MAX,
+            id: 7,
+            last: true,
+        };
+        let b = f.pack();
+        assert_eq!(b.width(), 593);
+        assert!(b.bit(W_LAST_BIT));
+        assert_eq!(WFields::unpack(&b), f);
+    }
+
+    #[test]
+    fn b_and_r_roundtrip() {
+        let bf = BFields { id: 0x55, resp: 2 };
+        assert_eq!(BFields::unpack(&bf.pack()), bf);
+        let rf = RFields {
+            data: Bits::from_u64(512, 0x1234_5678),
+            id: 3,
+            resp: 0,
+            last: false,
+        };
+        assert_eq!(RFields::unpack(&rf.pack()), rf);
+    }
+
+    #[test]
+    fn lite_roundtrips() {
+        let w = pack_lite_w(0xcafe_f00d, 0xf);
+        assert_eq!(w.width(), 36);
+        assert_eq!(unpack_lite_w(&w), (0xcafe_f00d, 0xf));
+        let r = pack_lite_r(0x8765_4321, 1);
+        assert_eq!(r.width(), 34);
+        assert_eq!(unpack_lite_r(&r), (0x8765_4321, 1));
+    }
+
+    #[test]
+    fn widths_consistent() {
+        assert!(layout_widths_consistent());
+    }
+}

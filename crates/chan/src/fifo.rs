@@ -1,0 +1,165 @@
+//! Synchronous FIFO components.
+
+use std::collections::VecDeque;
+
+use vidi_hwsim::{Bits, Component, SignalPool};
+
+use crate::handshake::Channel;
+
+/// A depth-bounded synchronous FIFO between an input channel (FIFO is the
+/// receiver) and an output channel (FIFO is the sender).
+///
+/// `ready` on the input side is deasserted when full; `valid` on the output
+/// side is asserted when non-empty. A value enqueued on cycle *n* is
+/// available on the output from cycle *n + 1* (registered output).
+#[derive(Debug)]
+pub struct SyncFifo {
+    name: String,
+    input: Channel,
+    output: Channel,
+    depth: usize,
+    buf: VecDeque<Bits>,
+}
+
+impl SyncFifo {
+    /// Creates a FIFO of the given `depth` (in entries) between two channels
+    /// of equal width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel widths differ or `depth` is zero.
+    pub fn new(name: impl Into<String>, input: Channel, output: Channel, depth: usize) -> Self {
+        assert_eq!(input.width(), output.width(), "FIFO channel width mismatch");
+        assert!(depth > 0, "FIFO depth must be positive");
+        SyncFifo {
+            name: name.into(),
+            input,
+            output,
+            depth,
+            buf: VecDeque::with_capacity(depth),
+        }
+    }
+
+    /// Current occupancy in entries.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the FIFO is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl Component for SyncFifo {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, p: &mut SignalPool) {
+        p.set_bool(self.input.ready, self.buf.len() < self.depth);
+        match self.buf.front() {
+            Some(front) => {
+                p.set_bool(self.output.valid, true);
+                p.set(self.output.data, front);
+            }
+            None => p.set_bool(self.output.valid, false),
+        }
+    }
+
+    fn tick(&mut self, p: &mut SignalPool) {
+        if self.output.fires(p) {
+            self.buf.pop_front();
+        }
+        if self.input.fires(p) {
+            debug_assert!(self.buf.len() < self.depth);
+            self.buf.push_back(p.get(self.input.data));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handshake::{ReceiverLatch, SenderQueue};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use vidi_hwsim::Simulator;
+
+    struct Driver {
+        tx: SenderQueue,
+    }
+    impl Component for Driver {
+        fn name(&self) -> &str {
+            "driver"
+        }
+        fn eval(&mut self, p: &mut SignalPool) {
+            self.tx.eval(p, true);
+        }
+        fn tick(&mut self, p: &mut SignalPool) {
+            self.tx.tick(p);
+        }
+    }
+
+    struct Sink {
+        rx: ReceiverLatch,
+        accept_every: u64,
+        cycle: u64,
+        out: Rc<RefCell<Vec<u64>>>,
+    }
+    impl Component for Sink {
+        fn name(&self) -> &str {
+            "sink"
+        }
+        fn eval(&mut self, p: &mut SignalPool) {
+            let accept = self.accept_every != 0 && self.cycle.is_multiple_of(self.accept_every);
+            self.rx.eval(p, accept);
+        }
+        fn tick(&mut self, p: &mut SignalPool) {
+            self.cycle += 1;
+            if let Some(v) = self.rx.tick(p) {
+                self.out.borrow_mut().push(v.to_u64());
+            }
+        }
+    }
+
+    fn run_fifo(depth: usize, n: u64, accept_every: u64) -> Vec<u64> {
+        let mut sim = Simulator::new();
+        let a = Channel::new(sim.pool_mut(), "a", 32);
+        let b = Channel::new(sim.pool_mut(), "b", 32);
+        let mut tx = SenderQueue::new(a.clone());
+        for v in 0..n {
+            tx.push(Bits::from_u64(32, v));
+        }
+        let out = Rc::new(RefCell::new(Vec::new()));
+        sim.add_component(Driver { tx });
+        sim.add_component(SyncFifo::new("fifo", a, b.clone(), depth));
+        sim.add_component(Sink {
+            rx: ReceiverLatch::new(b),
+            accept_every,
+            cycle: 0,
+            out: Rc::clone(&out),
+        });
+        sim.run(n * (accept_every.max(1) + 2) + 10).unwrap();
+        let v = out.borrow().clone();
+        v
+    }
+
+    #[test]
+    fn passes_all_values_in_order() {
+        let got = run_fifo(4, 20, 1);
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slow_consumer_loses_nothing() {
+        let got = run_fifo(2, 15, 3);
+        assert_eq!(got, (0..15).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn depth_one_still_works() {
+        let got = run_fifo(1, 8, 1);
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+}

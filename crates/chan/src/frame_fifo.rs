@@ -1,0 +1,269 @@
+//! The Frame FIFO from the debugging case study (§5.2).
+//!
+//! This is a port of the buggy Frame FIFO from the FPGA-bug survey the paper
+//! builds its debugging case study on. The FIFO groups fixed-width data
+//! fragments into *frames* (delimited by a `last` bit in the fragment) and
+//! enqueues/dequeues fragments one at a time. A correct implementation
+//! blocks incoming data while full; the buggy implementation admits a frame
+//! whenever it has *any* free space at frame start and then silently drops
+//! the fragments that do not fit — data loss that only manifests when an
+//! incoming frame is unaligned with the remaining capacity.
+
+use std::collections::VecDeque;
+
+use vidi_hwsim::{Component, SignalId, SignalPool};
+
+use crate::handshake::Channel;
+
+/// Selects the buggy or corrected Frame FIFO behaviour.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FrameFifoMode {
+    /// Never back-pressure the producer: fragments arriving while the FIFO
+    /// is full are silently dropped — which first happens exactly when an
+    /// incoming frame is unaligned with the remaining capacity (the bug).
+    Buggy,
+    /// Deassert input `ready` whenever the FIFO is full (the fix).
+    Fixed,
+}
+
+/// Frame-aware FIFO carrying `width`-bit fragments with a `last` delimiter.
+///
+/// The input and output channels carry `width + 1` bits: the fragment in the
+/// low bits and the frame-`last` flag in the top bit.
+#[derive(Debug)]
+pub struct FrameFifo {
+    name: String,
+    input: Channel,
+    output: Channel,
+    capacity: usize,
+    mode: FrameFifoMode,
+    buf: VecDeque<u128>,
+    /// Whether the fragment arriving now belongs to an admitted frame.
+    in_admitted_frame: bool,
+    /// Whether we are mid-frame on the input side at all.
+    mid_frame: bool,
+    dropped: u64,
+    /// Optional signal driven with the current occupancy (fragments),
+    /// letting surrounding logic observe pipeline quiescence.
+    occupancy: Option<SignalId>,
+}
+
+impl FrameFifo {
+    /// Creates a frame FIFO holding up to `capacity` fragments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if channel widths differ, exceed 128 bits, or capacity is 0.
+    pub fn new(
+        name: impl Into<String>,
+        input: Channel,
+        output: Channel,
+        capacity: usize,
+        mode: FrameFifoMode,
+    ) -> Self {
+        assert_eq!(input.width(), output.width(), "frame FIFO width mismatch");
+        assert!(input.width() <= 128, "frame FIFO fragment too wide");
+        assert!(capacity > 0, "frame FIFO capacity must be positive");
+        FrameFifo {
+            name: name.into(),
+            input,
+            output,
+            capacity,
+            mode,
+            buf: VecDeque::with_capacity(capacity),
+            in_admitted_frame: false,
+            mid_frame: false,
+            dropped: 0,
+            occupancy: None,
+        }
+    }
+
+    /// Drives `signal` (≥ 16 bits wide) with the FIFO's occupancy each
+    /// cycle, so surrounding logic can observe pipeline quiescence.
+    pub fn set_occupancy_signal(&mut self, signal: SignalId) {
+        self.occupancy = Some(signal);
+    }
+
+    /// Number of fragments silently dropped so far (non-zero only in
+    /// [`FrameFifoMode::Buggy`]).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Current occupancy in fragments.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the FIFO holds no fragments.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    fn last_bit(&self, v: u128) -> bool {
+        (v >> (self.input.width() - 1)) & 1 == 1
+    }
+}
+
+impl Component for FrameFifo {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, p: &mut SignalPool) {
+        if let Some(sig) = self.occupancy {
+            p.set_u64(sig, self.buf.len() as u64);
+        }
+        let ready = match self.mode {
+            // The bug: the FIFO never blocks the producer; overflowing
+            // fragments are dropped in `tick`.
+            FrameFifoMode::Buggy => true,
+            FrameFifoMode::Fixed => self.buf.len() < self.capacity,
+        };
+        p.set_bool(self.input.ready, ready);
+        match self.buf.front() {
+            Some(&front) => {
+                p.set_bool(self.output.valid, true);
+                let width = p.width(self.output.data);
+                if width <= 64 {
+                    p.set_u64(self.output.data, front as u64);
+                } else {
+                    p.set(self.output.data, &vidi_hwsim::Bits::from_u128(width, front));
+                }
+            }
+            None => p.set_bool(self.output.valid, false),
+        }
+    }
+
+    fn tick(&mut self, p: &mut SignalPool) {
+        if self.output.fires(p) {
+            self.buf.pop_front();
+        }
+        if self.input.fires(p) {
+            let v = p.get(self.input.data).to_u128();
+            let last = self.last_bit(v);
+            if !self.mid_frame {
+                // Frame start: decide admission.
+                self.in_admitted_frame = true;
+            }
+            self.mid_frame = !last;
+            if self.buf.len() < self.capacity {
+                self.buf.push_back(v);
+            } else {
+                // Only reachable in Buggy mode: ready stayed high while full.
+                debug_assert_eq!(self.mode, FrameFifoMode::Buggy);
+                self.dropped += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handshake::{ReceiverLatch, SenderQueue};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use vidi_hwsim::{Bits, Simulator};
+
+    struct Driver {
+        tx: SenderQueue,
+    }
+    impl Component for Driver {
+        fn name(&self) -> &str {
+            "driver"
+        }
+        fn eval(&mut self, p: &mut SignalPool) {
+            self.tx.eval(p, true);
+        }
+        fn tick(&mut self, p: &mut SignalPool) {
+            self.tx.tick(p);
+        }
+    }
+
+    struct Sink {
+        rx: ReceiverLatch,
+        stall_until: u64,
+        cycle: u64,
+        out: Rc<RefCell<Vec<u64>>>,
+    }
+    impl Component for Sink {
+        fn name(&self) -> &str {
+            "sink"
+        }
+        fn eval(&mut self, p: &mut SignalPool) {
+            let accept = self.cycle >= self.stall_until;
+            self.rx.eval(p, accept);
+        }
+        fn tick(&mut self, p: &mut SignalPool) {
+            self.cycle += 1;
+            if let Some(v) = self.rx.tick(p) {
+                self.out.borrow_mut().push(v.to_u64());
+            }
+        }
+    }
+
+    /// Sends `frames` of `frame_len` fragments each through a FIFO of
+    /// `capacity`, with the sink stalled for `stall` cycles at the start.
+    fn run(
+        mode: FrameFifoMode,
+        capacity: usize,
+        frames: u64,
+        frame_len: u64,
+        stall: u64,
+    ) -> (Vec<u64>, Vec<u64>) {
+        let mut sim = Simulator::new();
+        let width = 33; // 32-bit fragment + last flag
+        let a = Channel::new(sim.pool_mut(), "in", width);
+        let b = Channel::new(sim.pool_mut(), "out", width);
+        let mut tx = SenderQueue::new(a.clone());
+        let mut sent = Vec::new();
+        for f in 0..frames {
+            for i in 0..frame_len {
+                let value = f * 1000 + i;
+                let last = (i == frame_len - 1) as u64;
+                sent.push(value | (last << 32));
+                tx.push(Bits::from_u64(width, value | (last << 32)));
+            }
+        }
+        let out = Rc::new(RefCell::new(Vec::new()));
+        sim.add_component(Driver { tx });
+        sim.add_component(FrameFifo::new("ffifo", a, b.clone(), capacity, mode));
+        sim.add_component(Sink {
+            rx: ReceiverLatch::new(b),
+            stall_until: stall,
+            cycle: 0,
+            out: Rc::clone(&out),
+        });
+        sim.run(frames * frame_len * 4 + stall + 20).unwrap();
+        let got = out.borrow().clone();
+        (sent, got)
+    }
+
+    #[test]
+    fn fixed_mode_never_drops() {
+        let (sent, got) = run(FrameFifoMode::Fixed, 4, 6, 3, 10);
+        assert_eq!(got, sent);
+    }
+
+    #[test]
+    fn buggy_mode_drops_on_unaligned_frames() {
+        // Capacity 4, frames of 3 fragments, sink stalled: the second frame
+        // starts with 1 slot free, is admitted, and overflows.
+        let (sent, got) = run(FrameFifoMode::Buggy, 4, 6, 3, 12);
+        assert!(got.len() < sent.len(), "buggy FIFO must lose fragments");
+        // Everything that did arrive is a subsequence of what was sent.
+        let mut it = sent.iter();
+        for g in &got {
+            assert!(it.any(|s| s == g), "output must be a subsequence of input");
+        }
+    }
+
+    #[test]
+    fn buggy_mode_is_correct_when_aligned() {
+        // Frames of 4 exactly fill capacity 4: admission only happens when
+        // empty enough, so the bug never triggers with a fast sink.
+        let (sent, got) = run(FrameFifoMode::Buggy, 4, 5, 1, 0);
+        assert_eq!(got, sent);
+    }
+}

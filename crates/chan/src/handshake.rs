@@ -1,0 +1,343 @@
+//! VALID/READY handshake channels (Fig 1 of the paper).
+//!
+//! A *channel* is a unidirectional communication path between one sender and
+//! one receiver sharing a clock. The sender drives `valid` and `data`; the
+//! receiver drives `ready`. A *transaction* starts on the first cycle where
+//! `valid` is high and ends (*fires*) on the cycle where both `valid` and
+//! `ready` are high at the clock edge. Between start and fire, the protocol
+//! requires `valid` to stay high and `data` to stay constant.
+
+use std::collections::VecDeque;
+
+use vidi_hwsim::{Bits, SignalId, SignalPool};
+
+/// Which side of the FPGA application a channel is on, from the
+/// application's perspective.
+///
+/// Vidi records input channels at coarse granularity (start, end, content)
+/// and output channels at end-event granularity (§3.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Direction {
+    /// The external environment sends; the FPGA application receives.
+    Input,
+    /// The FPGA application sends; the external environment receives.
+    Output,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::Input => Direction::Output,
+            Direction::Output => Direction::Input,
+        }
+    }
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Direction::Input => write!(f, "input"),
+            Direction::Output => write!(f, "output"),
+        }
+    }
+}
+
+/// The three shared signals of one handshake channel.
+///
+/// `Channel` is a cheap handle (signal ids are `Copy`); clone it freely to
+/// hand the same wires to a sender component, a receiver component and any
+/// interposed monitor.
+#[derive(Clone, Debug)]
+pub struct Channel {
+    name: String,
+    width: u32,
+    /// Driven by the sender: a transaction is in flight.
+    pub valid: SignalId,
+    /// Driven by the sender: the transaction content.
+    pub data: SignalId,
+    /// Driven by the receiver: willing to complete the transaction.
+    pub ready: SignalId,
+}
+
+impl Channel {
+    /// Allocates the `valid`/`data`/`ready` signals for a new channel.
+    pub fn new(pool: &mut SignalPool, name: impl Into<String>, width: u32) -> Self {
+        let name = name.into();
+        let valid = pool.add(format!("{name}.valid"), 1);
+        let data = pool.add(format!("{name}.data"), width);
+        let ready = pool.add(format!("{name}.ready"), 1);
+        Channel {
+            name,
+            width,
+            valid,
+            data,
+            ready,
+        }
+    }
+
+    /// The channel's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The data width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Whether a transaction completes on this cycle (`valid && ready`).
+    /// Meaningful once signals have settled, i.e. from `tick`.
+    pub fn fires(&self, pool: &SignalPool) -> bool {
+        pool.get_bool(self.valid) && pool.get_bool(self.ready)
+    }
+}
+
+/// Sender-side endpoint helper: a queue of values to transmit.
+///
+/// Embed a `SenderQueue` in a [`vidi_hwsim::Component`]; call
+/// [`eval`](SenderQueue::eval) from the component's `eval` and
+/// [`tick`](SenderQueue::tick) from its `tick`. `valid` never depends on
+/// `ready`, as AXI recommends, so senders and receivers cannot form
+/// combinational loops through this helper.
+#[derive(Debug)]
+pub struct SenderQueue {
+    channel: Channel,
+    queue: VecDeque<Bits>,
+    sent: u64,
+    /// A transfer has been presented (VALID asserted) and must stay
+    /// presented until it fires — the protocol forbids retracting VALID.
+    committed: bool,
+}
+
+impl SenderQueue {
+    /// Creates an endpoint driving the sender side of `channel`.
+    pub fn new(channel: Channel) -> Self {
+        SenderQueue {
+            channel,
+            queue: VecDeque::new(),
+            sent: 0,
+            committed: false,
+        }
+    }
+
+    /// The channel this endpoint drives.
+    pub fn channel(&self) -> &Channel {
+        &self.channel
+    }
+
+    /// Enqueues a value for transmission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value width does not match the channel width.
+    pub fn push(&mut self, value: Bits) {
+        assert_eq!(
+            value.width(),
+            self.channel.width,
+            "pushed value width mismatch on {}",
+            self.channel.name
+        );
+        self.queue.push_back(value);
+    }
+
+    /// Number of values waiting to be sent (including any in flight).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total transactions completed by this endpoint.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Drives `valid`/`data` from the queue head. `gate` suppresses
+    /// *starting* a transfer (used by workload drivers to model think-time);
+    /// once a transfer has been presented it stays presented until it fires,
+    /// as the handshake protocol requires (§2.1) — closing the gate cannot
+    /// retract VALID mid-transaction.
+    pub fn eval(&mut self, pool: &mut SignalPool, gate: bool) {
+        match self.queue.front() {
+            Some(front) if gate || self.committed => {
+                pool.set_bool(self.channel.valid, true);
+                pool.set(self.channel.data, front);
+            }
+            _ => {
+                pool.set_bool(self.channel.valid, false);
+            }
+        }
+    }
+
+    /// Commits a fire, popping the transmitted value. Returns the value if a
+    /// transaction completed this cycle.
+    pub fn tick(&mut self, pool: &SignalPool) -> Option<Bits> {
+        if self.channel.fires(pool) {
+            self.sent += 1;
+            self.committed = false;
+            self.queue.pop_front()
+        } else {
+            // An in-flight (presented but unfired) transfer must be held.
+            self.committed = pool.get_bool(self.channel.valid);
+            None
+        }
+    }
+}
+
+/// Receiver-side endpoint helper: captures fired transactions.
+#[derive(Debug)]
+pub struct ReceiverLatch {
+    channel: Channel,
+    received: VecDeque<Bits>,
+    count: u64,
+}
+
+impl ReceiverLatch {
+    /// Creates an endpoint driving the receiver side of `channel`.
+    pub fn new(channel: Channel) -> Self {
+        ReceiverLatch {
+            channel,
+            received: VecDeque::new(),
+            count: 0,
+        }
+    }
+
+    /// The channel this endpoint drives.
+    pub fn channel(&self) -> &Channel {
+        &self.channel
+    }
+
+    /// Drives `ready`. Pass `accept = false` to back-pressure the sender.
+    pub fn eval(&mut self, pool: &mut SignalPool, accept: bool) {
+        pool.set_bool(self.channel.ready, accept);
+    }
+
+    /// Captures a fired transaction, if any, into the received queue.
+    pub fn tick(&mut self, pool: &SignalPool) -> Option<Bits> {
+        if self.channel.fires(pool) {
+            let v = pool.get(self.channel.data);
+            self.count += 1;
+            self.received.push_back(v.clone());
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    /// Pops the oldest captured value.
+    pub fn pop(&mut self) -> Option<Bits> {
+        self.received.pop_front()
+    }
+
+    /// Number of captured values not yet popped.
+    pub fn buffered(&self) -> usize {
+        self.received.len()
+    }
+
+    /// Total transactions completed by this endpoint.
+    pub fn received_count(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vidi_hwsim::{Component, Simulator};
+
+    struct Producer {
+        tx: SenderQueue,
+    }
+    impl Component for Producer {
+        fn name(&self) -> &str {
+            "producer"
+        }
+        fn eval(&mut self, p: &mut SignalPool) {
+            self.tx.eval(p, true);
+        }
+        fn tick(&mut self, p: &mut SignalPool) {
+            self.tx.tick(p);
+        }
+    }
+
+    struct Consumer {
+        rx: ReceiverLatch,
+        accept: bool,
+    }
+    impl Component for Consumer {
+        fn name(&self) -> &str {
+            "consumer"
+        }
+        fn eval(&mut self, p: &mut SignalPool) {
+            let accept = self.accept;
+            self.rx.eval(p, accept);
+        }
+        fn tick(&mut self, p: &mut SignalPool) {
+            self.rx.tick(p);
+        }
+    }
+
+    #[test]
+    fn transfers_in_order() {
+        let mut sim = Simulator::new();
+        let ch = Channel::new(sim.pool_mut(), "ch", 16);
+        let mut tx = SenderQueue::new(ch.clone());
+        for v in [1u64, 2, 3] {
+            tx.push(Bits::from_u64(16, v));
+        }
+        sim.add_component(Producer { tx });
+        sim.add_component(Consumer {
+            rx: ReceiverLatch::new(ch.clone()),
+            accept: true,
+        });
+        sim.run(5).unwrap();
+        // Can't reach into boxed components; re-check via a fresh latch is
+        // not possible, so assert through signal state: queue drained means
+        // valid is low.
+        assert!(!sim.pool().get_bool(ch.valid));
+    }
+
+    #[test]
+    fn backpressure_holds_data_stable() {
+        let mut sim = Simulator::new();
+        let ch = Channel::new(sim.pool_mut(), "ch", 8);
+        let mut tx = SenderQueue::new(ch.clone());
+        tx.push(Bits::from_u64(8, 0x7f));
+        sim.add_component(Producer { tx });
+        sim.add_component(Consumer {
+            rx: ReceiverLatch::new(ch.clone()),
+            accept: false,
+        });
+        for _ in 0..4 {
+            sim.run_cycle().unwrap();
+            assert!(sim.pool().get_bool(ch.valid), "valid must stay high");
+            assert_eq!(sim.pool().get_u64(ch.data), 0x7f, "data must stay constant");
+            assert!(!sim.pool().get_bool(ch.ready));
+        }
+    }
+
+    #[test]
+    fn fire_requires_both() {
+        let mut pool = SignalPool::new();
+        let ch = Channel::new(&mut pool, "ch", 4);
+        assert!(!ch.fires(&pool));
+        pool.set_bool(ch.valid, true);
+        assert!(!ch.fires(&pool));
+        pool.set_bool(ch.ready, true);
+        assert!(ch.fires(&pool));
+    }
+
+    #[test]
+    fn direction_flip() {
+        assert_eq!(Direction::Input.flip(), Direction::Output);
+        assert_eq!(Direction::Output.flip(), Direction::Input);
+        assert_eq!(Direction::Input.to_string(), "input");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn push_wrong_width_panics() {
+        let mut pool = SignalPool::new();
+        let ch = Channel::new(&mut pool, "ch", 8);
+        SenderQueue::new(ch).push(Bits::from_u64(9, 0));
+    }
+}

@@ -1,0 +1,46 @@
+//! # vidi-chan — handshake channels and AXI interfaces
+//!
+//! The communication substrate of the Vidi reproduction: VALID/READY
+//! handshake [`Channel`]s (§2.1 / Fig 1 of the paper), endpoint helpers for
+//! building senders and receivers, synchronous FIFOs, the five AWS F1 AXI
+//! interface groups with their exact paper widths (§4.1, §5.5), a handshake
+//! [`ProtocolChecker`], and the two buggy IP blocks the paper's case studies
+//! revolve around: the [`FrameFifo`] (§5.2) and the [`AtopFilter`] (§5.3).
+//!
+//! ```
+//! use vidi_chan::{AxiKind, F1Interface};
+//!
+//! // The paper's Fig 7 sweeps monitored widths from 136 bits (one AXI-Lite
+//! // bus) to 3056 bits (all five F1 interfaces).
+//! assert_eq!(AxiKind::Lite.total_width(), 136);
+//! let all: u32 = F1Interface::ALL.iter().map(|i| i.kind().total_width()).sum();
+//! assert_eq!(all, 3056);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod atop_filter;
+mod axi;
+mod checker;
+mod fields;
+mod fifo;
+mod frame_fifo;
+mod handshake;
+mod reg_slice;
+mod wide_frame_fifo;
+
+pub use atop_filter::{AtopFilter, AtopFilterMode};
+pub use fields::{
+    layout_widths_consistent, pack_lite_r, pack_lite_w, unpack_lite_r, unpack_lite_w, AxFields,
+    BFields, RFields, WFields, W_LAST_BIT,
+};
+pub use axi::{AxiChannel, AxiIface, AxiKind, AxiRole, F1Interface};
+pub use checker::{violation_log, ProtocolChecker, Violation, ViolationKind, ViolationLog};
+pub use fifo::SyncFifo;
+pub use frame_fifo::{FrameFifo, FrameFifoMode};
+pub use wide_frame_fifo::{
+    pack_frame, unpack_frame, WideFrameFifo, FRAGS_PER_FRAME, FRAG_BITS, FRAME_CHANNEL_BITS,
+};
+pub use handshake::{Channel, Direction, ReceiverLatch, SenderQueue};
+pub use reg_slice::RegSlice;

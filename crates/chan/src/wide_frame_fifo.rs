@@ -1,0 +1,284 @@
+//! Frame-atomic variant of the buggy Frame FIFO (§5.2 case study).
+//!
+//! The original fragment-serial [`crate::FrameFifo`] exposes its drop
+//! behaviour through a sub-transaction race: whether a fragment lands in a
+//! freed slot depends on the cycle alignment between the converter's
+//! trickle and the drain — *cycle-dependent* behaviour that transaction
+//! determinism cannot (and should not) reproduce (§3.6). Vidi's divergence
+//! detection flags exactly this when the echo server is built around the
+//! serial FIFO. `WideFrameFifo` is the transaction-deterministic
+//! restructuring: whole frames (one 512-bit DMA beat = 16 fragments, with a
+//! validity mask) enqueue and dequeue atomically per handshake, so the drop
+//! pattern is a pure function of the transaction order — while the *bug*
+//! (dropping overflow fragments instead of blocking) is unchanged.
+
+use std::collections::VecDeque;
+
+use vidi_hwsim::{Bits, Component, SignalId, SignalPool};
+
+use crate::FrameFifoMode;
+use crate::handshake::Channel;
+
+/// Fragments per frame (one 512-bit beat of 32-bit fragments).
+pub const FRAGS_PER_FRAME: usize = 16;
+/// Fragment payload width.
+pub const FRAG_BITS: u32 = 32;
+/// Frame channel payload: 512 data bits + 16-bit fragment validity mask.
+pub const FRAME_CHANNEL_BITS: u32 = 512 + 16;
+
+/// Frame-atomic FIFO carrying masked 16-fragment frames.
+#[derive(Debug)]
+pub struct WideFrameFifo {
+    name: String,
+    input: Channel,
+    output: Channel,
+    capacity: usize,
+    mode: FrameFifoMode,
+    buf: VecDeque<u32>,
+    dropped: u64,
+    occupancy: Option<SignalId>,
+}
+
+/// Packs a 512-bit beat and a fragment validity mask into the frame
+/// channel payload.
+pub fn pack_frame(data: &Bits, mask: u16) -> Bits {
+    assert_eq!(data.width(), 512, "frame data width");
+    let mut b = Bits::zero(FRAME_CHANNEL_BITS);
+    b.set_slice(0, data);
+    b.set_slice(512, &Bits::from_u64(16, mask as u64));
+    b
+}
+
+/// Unpacks a frame channel payload into `(data, mask)`.
+pub fn unpack_frame(b: &Bits) -> (Bits, u16) {
+    assert_eq!(b.width(), FRAME_CHANNEL_BITS, "frame payload width");
+    (b.slice(0, 512), b.slice(512, 16).to_u64() as u16)
+}
+
+impl WideFrameFifo {
+    /// Creates a FIFO holding up to `capacity` fragments; both channels
+    /// carry [`FRAME_CHANNEL_BITS`]-bit masked frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if channel widths are wrong or capacity is zero.
+    pub fn new(
+        name: impl Into<String>,
+        input: Channel,
+        output: Channel,
+        capacity: usize,
+        mode: FrameFifoMode,
+    ) -> Self {
+        assert_eq!(input.width(), FRAME_CHANNEL_BITS, "frame input width");
+        assert_eq!(output.width(), FRAME_CHANNEL_BITS, "frame output width");
+        assert!(capacity > 0, "capacity must be positive");
+        WideFrameFifo {
+            name: name.into(),
+            input,
+            output,
+            capacity,
+            mode,
+            buf: VecDeque::with_capacity(capacity),
+            dropped: 0,
+            occupancy: None,
+        }
+    }
+
+    /// Drives `signal` (≥ 16 bits) with occupancy each cycle.
+    pub fn set_occupancy_signal(&mut self, signal: SignalId) {
+        self.occupancy = Some(signal);
+    }
+
+    /// Fragments silently dropped so far (buggy mode only).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Current occupancy in fragments.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the FIFO holds no fragments.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    fn out_frame(&self) -> (Bits, u16) {
+        let mut data = Bits::zero(512);
+        let mut mask = 0u16;
+        for (i, frag) in self.buf.iter().take(FRAGS_PER_FRAME).enumerate() {
+            data.set_slice((i as u32) * FRAG_BITS, &Bits::from_u64(FRAG_BITS, *frag as u64));
+            mask |= 1 << i;
+        }
+        (data, mask)
+    }
+}
+
+impl Component for WideFrameFifo {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, p: &mut SignalPool) {
+        if let Some(sig) = self.occupancy {
+            p.set_u64(sig, self.buf.len() as u64);
+        }
+        let ready = match self.mode {
+            // The bug: never block the producer; overflow drops in tick.
+            FrameFifoMode::Buggy => true,
+            // The fix: only accept a frame that is guaranteed to fit.
+            FrameFifoMode::Fixed => self.capacity - self.buf.len() >= FRAGS_PER_FRAME,
+        };
+        p.set_bool(self.input.ready, ready);
+        if self.buf.is_empty() {
+            p.set_bool(self.output.valid, false);
+        } else {
+            let (data, mask) = self.out_frame();
+            p.set_bool(self.output.valid, true);
+            p.set(self.output.data, &pack_frame(&data, mask));
+        }
+    }
+
+    fn tick(&mut self, p: &mut SignalPool) {
+        if self.output.fires(p) {
+            let n = self.buf.len().min(FRAGS_PER_FRAME);
+            for _ in 0..n {
+                self.buf.pop_front();
+            }
+        }
+        if self.input.fires(p) {
+            let (data, mask) = unpack_frame(&p.get(self.input.data));
+            for i in 0..FRAGS_PER_FRAME {
+                if mask >> i & 1 == 0 {
+                    continue;
+                }
+                let frag = data.slice((i as u32) * FRAG_BITS, FRAG_BITS).to_u64() as u32;
+                if self.buf.len() < self.capacity {
+                    self.buf.push_back(frag);
+                } else {
+                    debug_assert_eq!(self.mode, FrameFifoMode::Buggy);
+                    self.dropped += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handshake::{ReceiverLatch, SenderQueue};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use vidi_hwsim::Simulator;
+
+    struct Driver {
+        tx: SenderQueue,
+    }
+    impl Component for Driver {
+        fn name(&self) -> &str {
+            "driver"
+        }
+        fn eval(&mut self, p: &mut SignalPool) {
+            self.tx.eval(p, true);
+        }
+        fn tick(&mut self, p: &mut SignalPool) {
+            self.tx.tick(p);
+        }
+    }
+
+    struct Sink {
+        rx: ReceiverLatch,
+        accept_from: u64,
+        cycle: u64,
+        frags: Rc<RefCell<Vec<u32>>>,
+    }
+    impl Component for Sink {
+        fn name(&self) -> &str {
+            "sink"
+        }
+        fn eval(&mut self, p: &mut SignalPool) {
+            let accept = self.cycle >= self.accept_from;
+            self.rx.eval(p, accept);
+        }
+        fn tick(&mut self, p: &mut SignalPool) {
+            self.cycle += 1;
+            if let Some(v) = self.rx.tick(p) {
+                let (data, mask) = unpack_frame(&v);
+                for i in 0..FRAGS_PER_FRAME {
+                    if mask >> i & 1 == 1 {
+                        self.frags
+                            .borrow_mut()
+                            .push(data.slice((i as u32) * FRAG_BITS, FRAG_BITS).to_u64() as u32);
+                    }
+                }
+            }
+        }
+    }
+
+    fn frame(base: u32) -> Bits {
+        let mut d = Bits::zero(512);
+        for i in 0..16u32 {
+            d.set_slice(i * 32, &Bits::from_u64(32, (base + i) as u64));
+        }
+        pack_frame(&d, 0xffff)
+    }
+
+    fn run(mode: FrameFifoMode, capacity: usize, frames: u32, accept_from: u64) -> Vec<u32> {
+        let mut sim = Simulator::new();
+        let a = Channel::new(sim.pool_mut(), "a", FRAME_CHANNEL_BITS);
+        let b = Channel::new(sim.pool_mut(), "b", FRAME_CHANNEL_BITS);
+        let mut tx = SenderQueue::new(a.clone());
+        for f in 0..frames {
+            tx.push(frame(f * 100));
+        }
+        let frags = Rc::new(RefCell::new(Vec::new()));
+        sim.add_component(Driver { tx });
+        sim.add_component(WideFrameFifo::new("wfifo", a, b.clone(), capacity, mode));
+        sim.add_component(Sink {
+            rx: ReceiverLatch::new(b),
+            accept_from,
+            cycle: 0,
+            frags: Rc::clone(&frags),
+        });
+        sim.run(accept_from + frames as u64 * 4 + 50).unwrap();
+        let v = frags.borrow().clone();
+        v
+    }
+
+    #[test]
+    fn fixed_mode_passes_everything() {
+        let got = run(FrameFifoMode::Fixed, 40, 5, 0);
+        assert_eq!(got.len(), 80);
+        assert_eq!(got[0], 0);
+        assert_eq!(got[79], 415);
+    }
+
+    #[test]
+    fn buggy_mode_drops_overflow_deterministically() {
+        // Capacity 40, sink stalled: frames 1-2 fit (32), frame 3 stores 8
+        // and drops 8, frames 4-5 drop entirely.
+        let got = run(FrameFifoMode::Buggy, 40, 5, 1000);
+        assert_eq!(got.len(), 40);
+        let again = run(FrameFifoMode::Buggy, 40, 5, 1000);
+        assert_eq!(got, again, "drop pattern is deterministic");
+    }
+
+    #[test]
+    fn buggy_mode_lossless_when_drained() {
+        let got = run(FrameFifoMode::Buggy, 40, 5, 0);
+        assert_eq!(got.len(), 80, "prompt drain loses nothing");
+    }
+
+    #[test]
+    fn frame_pack_roundtrip() {
+        let mut d = Bits::zero(512);
+        d.set_bit(0, true);
+        d.set_bit(511, true);
+        let p = pack_frame(&d, 0xaaaa);
+        let (d2, m) = unpack_frame(&p);
+        assert_eq!(d2, d);
+        assert_eq!(m, 0xaaaa);
+    }
+}

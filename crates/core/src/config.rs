@@ -1,0 +1,144 @@
+//! Vidi shim configuration (the R1/R2/R3 configurations of §5.1).
+
+use vidi_trace::Trace;
+
+/// What the shim does with the channels it interposes.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum VidiMode {
+    /// R1: recording and replaying disabled; monitors are transparent
+    /// combinational passthroughs. This is the baseline configuration.
+    #[default]
+    Transparent,
+    /// R2: record. Input channels undergo coarse-grained input recording;
+    /// output channels record end events (plus contents when
+    /// [`VidiConfig::record_output_content`] is set).
+    Record,
+    /// Replay a previously recorded trace; monitors are transparent.
+    Replay(Trace),
+    /// R3: replay a reference trace while simultaneously re-recording (used
+    /// by divergence detection, §3.6). Output contents are always recorded
+    /// in this mode.
+    ReplayRecord(Trace),
+    /// The order-less baseline of §1 (DebugGovernor-style): replay each
+    /// channel's recorded contents independently, with **no cross-channel
+    /// happens-before enforcement**, while re-recording a validation trace.
+    /// Applications whose behaviour depends on transaction ordering produce
+    /// wrong outputs under this baseline — the motivating comparison for
+    /// transaction determinism.
+    ReplayOrderless(Trace),
+}
+
+impl VidiMode {
+    /// Whether monitors actively record in this mode.
+    pub fn records(&self) -> bool {
+        matches!(
+            self,
+            VidiMode::Record | VidiMode::ReplayRecord(_) | VidiMode::ReplayOrderless(_)
+        )
+    }
+
+    /// Whether replayers drive the environment side in this mode.
+    pub fn replays(&self) -> bool {
+        matches!(
+            self,
+            VidiMode::Replay(_) | VidiMode::ReplayRecord(_) | VidiMode::ReplayOrderless(_)
+        )
+    }
+}
+
+/// Configuration of one Vidi shim instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VidiConfig {
+    /// Operating mode.
+    pub mode: VidiMode,
+    /// Record the content of output transactions in addition to their end
+    /// events, enabling divergence detection (§3.6). The paper's evaluation
+    /// runs with this on (§5.1); it costs extra trace bandwidth.
+    pub record_output_content: bool,
+    /// Capacity of the trace encoder's cycle-packet FIFO, in packets — the
+    /// on-FPGA BRAM staging buffer (§3.3).
+    pub fifo_capacity: usize,
+    /// Sustained bandwidth of the trace store's path to external storage, in
+    /// bytes per cycle. The paper's F1 deployment sees ~5.5 GB/s effective
+    /// PCIe bandwidth at a 250 MHz fabric clock — 22 bytes/cycle (§6).
+    pub store_bytes_per_cycle: u32,
+    /// Bandwidth of trace fetch during replay, in bytes per cycle.
+    pub fetch_bytes_per_cycle: u32,
+}
+
+impl Default for VidiConfig {
+    fn default() -> Self {
+        VidiConfig {
+            mode: VidiMode::Transparent,
+            record_output_content: true,
+            fifo_capacity: 128,
+            store_bytes_per_cycle: 22,
+            fetch_bytes_per_cycle: 22,
+        }
+    }
+}
+
+impl VidiConfig {
+    /// The R1 baseline configuration.
+    pub fn transparent() -> Self {
+        VidiConfig::default()
+    }
+
+    /// The R2 recording configuration used throughout §5.
+    pub fn record() -> Self {
+        VidiConfig {
+            mode: VidiMode::Record,
+            ..VidiConfig::default()
+        }
+    }
+
+    /// A plain replay of `trace` without re-recording.
+    pub fn replay(trace: Trace) -> Self {
+        VidiConfig {
+            mode: VidiMode::Replay(trace),
+            ..VidiConfig::default()
+        }
+    }
+
+    /// The R3 replay-while-recording configuration of §3.6.
+    pub fn replay_record(trace: Trace) -> Self {
+        VidiConfig {
+            mode: VidiMode::ReplayRecord(trace),
+            ..VidiConfig::default()
+        }
+    }
+
+    /// The order-less baseline (§1): replay without happens-before
+    /// enforcement, re-recording a validation trace for comparison.
+    pub fn replay_orderless(trace: Trace) -> Self {
+        VidiConfig {
+            mode: VidiMode::ReplayOrderless(trace),
+            ..VidiConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vidi_trace::TraceLayout;
+
+    #[test]
+    fn mode_predicates() {
+        let t = Trace::new(TraceLayout::default(), true);
+        assert!(!VidiMode::Transparent.records());
+        assert!(!VidiMode::Transparent.replays());
+        assert!(VidiMode::Record.records());
+        assert!(VidiMode::Replay(t.clone()).replays());
+        assert!(!VidiMode::Replay(t.clone()).records());
+        assert!(VidiMode::ReplayRecord(t.clone()).records());
+        assert!(VidiMode::ReplayRecord(t).replays());
+    }
+
+    #[test]
+    fn presets() {
+        assert_eq!(VidiConfig::transparent().mode, VidiMode::Transparent);
+        assert_eq!(VidiConfig::record().mode, VidiMode::Record);
+        assert_eq!(VidiConfig::default().store_bytes_per_cycle, 22);
+    }
+}

@@ -1,0 +1,104 @@
+//! The trace decoder core (§3.4).
+//!
+//! During replay the decoder fetches cycle packets from the trace store
+//! (bandwidth-limited, like the recording path) and decomposes each into
+//! per-channel stream elements: the channel's own packet plus the cycle's
+//! `Ends` field, which every replayer needs to maintain its `T_expected`
+//! vector clock.
+
+use std::rc::Rc;
+
+use vidi_chan::Direction;
+use vidi_trace::Trace;
+
+use crate::replayer::{ReplayElem, ReplayerCore};
+use crate::store::packet_bytes;
+
+/// The decoder's registered core, embedded in the Vidi engine.
+#[derive(Debug)]
+pub struct DecoderCore {
+    trace: Trace,
+    next: usize,
+    fetch_bytes_per_cycle: u32,
+    credit: u64,
+    credit_cap: u64,
+}
+
+impl DecoderCore {
+    /// Creates a decoder over a previously recorded trace.
+    pub fn new(trace: Trace, fetch_bytes_per_cycle: u32) -> Self {
+        DecoderCore {
+            trace,
+            next: 0,
+            fetch_bytes_per_cycle,
+            credit: 0,
+            // Must admit the largest possible cycle packet (see StoreCore).
+            credit_cap: ((fetch_bytes_per_cycle as u64).max(1) * 16).max(8192),
+        }
+    }
+
+    /// Number of cycle packets dispatched so far.
+    pub fn dispatched(&self) -> usize {
+        self.next
+    }
+
+    /// Total cycle packets in the trace.
+    pub fn total(&self) -> usize {
+        self.trace.packets().len()
+    }
+
+    /// Whether every packet has been dispatched to the replayers.
+    pub fn done(&self) -> bool {
+        self.next >= self.trace.packets().len()
+    }
+
+    /// Clock-edge phase: dispatches packets to replayers as long as the
+    /// fetch bandwidth budget and every replayer's queue space allow.
+    pub fn tick(&mut self, replayers: &mut [ReplayerCore]) {
+        self.credit = (self.credit + self.fetch_bytes_per_cycle as u64).min(self.credit_cap);
+        let layout = self.trace.layout().clone();
+        let record_output = self.trace.records_output_content();
+        while self.next < self.trace.packets().len() {
+            if !replayers.iter().all(|r| r.has_space()) {
+                break;
+            }
+            let packet = &self.trace.packets()[self.next];
+            let size = packet_bytes(&layout, packet);
+            if self.credit < size {
+                break;
+            }
+            self.credit -= size;
+            let ends: Rc<Vec<u16>> = Rc::new(
+                packet
+                    .ends
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &e)| e)
+                    .map(|(i, _)| i as u16)
+                    .collect(),
+            );
+            let channel_packets = packet.disassemble(&layout, record_output);
+            for (idx, (info, pkt)) in layout
+                .channels()
+                .iter()
+                .zip(channel_packets)
+                .enumerate()
+            {
+                // Replayers only need content for input starts; output
+                // contents (present in §3.6 reference traces) are checked by
+                // the validation recording path, not the replayer.
+                let content = match info.direction {
+                    Direction::Input => pkt.content,
+                    Direction::Output => None,
+                };
+                replayers[idx].push(ReplayElem {
+                    start: pkt.start,
+                    end: pkt.end,
+                    content,
+                    ends: Rc::clone(&ends),
+                });
+            }
+            self.next += 1;
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! The trace encoder core (§3.2).
+//!
+//! Each cycle the encoder grants reservations to channel monitors, collects
+//! the channel-packet events they present, assembles them into a single
+//! cycle packet (Fig 5), and stages it in a bounded FIFO for the trace
+//! store. When the FIFO approaches capacity the encoder stops granting
+//! reservations, which back-pressures the monitors — and, transitively, the
+//! application's I/O — without ever dropping an event (§3.3, §6).
+
+use std::collections::VecDeque;
+
+use vidi_chan::Direction;
+use vidi_hwsim::SignalPool;
+use vidi_trace::{ChannelPacket, CyclePacket, TraceLayout};
+
+use crate::port::EncoderPort;
+
+/// The encoder's combinational+registered core, embedded in the Vidi engine.
+#[derive(Debug)]
+pub struct EncoderCore {
+    layout: TraceLayout,
+    record_output_content: bool,
+    ports: Vec<EncoderPort>,
+    fifo: VecDeque<CyclePacket>,
+    capacity: usize,
+    /// Cycles in which at least one reservation request was denied — the
+    /// back-pressure indicator reported by the shim's statistics.
+    backpressure_cycles: u64,
+    events_logged: u64,
+}
+
+impl EncoderCore {
+    /// Creates an encoder over the given channel ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of ports does not match the layout, or the FIFO
+    /// capacity is too small to hold one in-flight reservation per channel
+    /// (which would deadlock a fully loaded design).
+    pub fn new(
+        layout: TraceLayout,
+        ports: Vec<EncoderPort>,
+        capacity: usize,
+        record_output_content: bool,
+    ) -> Self {
+        assert_eq!(ports.len(), layout.len(), "one encoder port per channel");
+        assert!(
+            capacity >= 2 * layout.len() + 2,
+            "encoder FIFO capacity {} too small for {} channels",
+            capacity,
+            layout.len()
+        );
+        EncoderCore {
+            layout,
+            record_output_content,
+            ports,
+            fifo: VecDeque::with_capacity(capacity),
+            capacity,
+            backpressure_cycles: 0,
+            events_logged: 0,
+        }
+    }
+
+    /// Current FIFO occupancy in cycle packets.
+    pub fn fifo_len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// Pops the oldest staged cycle packet (called by the trace store).
+    pub fn pop(&mut self) -> Option<CyclePacket> {
+        self.fifo.pop_front()
+    }
+
+    /// Peeks the oldest staged cycle packet.
+    pub fn front(&self) -> Option<&CyclePacket> {
+        self.fifo.front()
+    }
+
+    /// Cycles during which back-pressure denied at least one request.
+    pub fn backpressure_cycles(&self) -> u64 {
+        self.backpressure_cycles
+    }
+
+    /// Total channel-packet events folded into cycle packets.
+    pub fn events_logged(&self) -> u64 {
+        self.events_logged
+    }
+
+    /// Combinational phase: computes reservation grants.
+    ///
+    /// Budget accounting is conservative: each grant (a transaction that may
+    /// later deliver an end event in an arbitrary cycle) is charged two FIFO
+    /// slots — one for the cycle packet that will carry its events and one
+    /// of safety margin — so held reservations can always land. The
+    /// invariant is re-checked by a hard assertion at collection time.
+    pub fn eval(&mut self, p: &mut SignalPool) {
+        let held: usize = self
+            .ports
+            .iter()
+            .filter(|port| p.get_bool(port.resv_hold))
+            .count();
+        let mut budget =
+            self.capacity as i64 - self.fifo.len() as i64 - 2 * held as i64 - 2;
+        for port in &self.ports {
+            let req = p.get_bool(port.resv_req);
+            let grant = req && budget >= 2;
+            if grant {
+                budget -= 2;
+            }
+            p.set_bool(port.resv_grant, grant);
+        }
+    }
+
+    /// Clock-edge phase: collects presented events into one cycle packet.
+    pub fn tick(&mut self, p: &mut SignalPool) {
+        let mut any_denied = false;
+        let mut any_event = false;
+        let mut packets: Vec<ChannelPacket> = Vec::with_capacity(self.layout.len());
+        for (info, port) in self.layout.channels().iter().zip(&self.ports) {
+            if p.get_bool(port.resv_req) && !p.get_bool(port.resv_grant) {
+                any_denied = true;
+            }
+            if !p.get_bool(port.pkt_valid) {
+                packets.push(ChannelPacket::default());
+                continue;
+            }
+            any_event = true;
+            let start = p.get_bool(port.pkt_start);
+            let end = p.get_bool(port.pkt_end);
+            let wants_content = match info.direction {
+                Direction::Input => start,
+                Direction::Output => end && self.record_output_content,
+            };
+            let content = wants_content.then(|| p.get(port.pkt_content).resize(info.width));
+            self.events_logged += (start as u64) + (end as u64);
+            packets.push(ChannelPacket {
+                start,
+                content,
+                end,
+            });
+        }
+        if any_denied {
+            self.backpressure_cycles += 1;
+        }
+        if any_event {
+            let packet = CyclePacket::assemble(&self.layout, &packets, self.record_output_content);
+            // Hard assertion (cheap, hot-path-safe): the conservative
+            // reservation budget must make overflow impossible; tripping
+            // this would mean events could be lost, the one thing Vidi's
+            // design exists to prevent.
+            assert!(
+                self.fifo.len() < self.capacity,
+                "encoder FIFO overflow: reservation accounting violated"
+            );
+            self.fifo.push_back(packet);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! The Vidi engine: encoder + store + decoder + replayers as one
+//! synchronous component.
+//!
+//! The four cores keep the architectural roles of Fig 3 (trace encoder,
+//! trace store, trace decoder, channel replayers); the engine is the
+//! clocked container that wires their data paths together in a fixed,
+//! documented order each cycle. Channel monitors remain independent
+//! components that talk to the engine purely over signals — the
+//! monitor↔encoder handshake is where all of the back-pressure subtlety
+//! lives, so it stays at the signal level.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use vidi_chan::{Channel, Direction};
+use vidi_hwsim::{Component, SignalPool};
+use vidi_trace::{Trace, TraceLayout};
+
+use crate::decoder::DecoderCore;
+use crate::encoder::EncoderCore;
+use crate::port::EncoderPort;
+use crate::replayer::ReplayerCore;
+use crate::store::{RecordHandle, StoreCore};
+use crate::vclock::VectorClock;
+
+/// Live status of a replay, shared with the harness.
+#[derive(Debug, Default)]
+pub struct ReplayStatus {
+    /// Cycle packets dispatched to replayers so far.
+    pub dispatched: usize,
+    /// Total cycle packets in the trace being replayed.
+    pub total: usize,
+    /// All packets dispatched and all replayers drained.
+    pub complete: bool,
+    /// Channels still holding undrained stream elements (diagnostics;
+    /// populated once dispatch has finished but draining stalls).
+    pub stalled: Vec<String>,
+}
+
+/// Shared handle to a replay's status.
+pub type ReplayHandle = Rc<RefCell<ReplayStatus>>;
+
+/// Aggregate statistics shared with the harness.
+#[derive(Debug, Default)]
+pub struct VidiStats {
+    /// Cycles in which the encoder denied at least one reservation request
+    /// (recording back-pressure).
+    pub backpressure_cycles: u64,
+    /// Channel-packet events folded into the trace.
+    pub events_logged: u64,
+}
+
+/// Shared handle to engine statistics.
+pub type StatsHandle = Rc<RefCell<VidiStats>>;
+
+/// The engine component. Construct through
+/// [`VidiShim::install`](crate::shim::VidiShim::install) rather than
+/// directly.
+pub struct VidiEngine {
+    encoder: Option<EncoderCore>,
+    store: Option<StoreCore>,
+    decoder: Option<DecoderCore>,
+    replayers: Vec<ReplayerCore>,
+    replay_channels: Vec<Channel>,
+    t_current: VectorClock,
+    replay_status: Option<ReplayHandle>,
+    stats: StatsHandle,
+}
+
+impl VidiEngine {
+    /// Builds the engine for recording: encoder + store over the ports.
+    pub(crate) fn recording(
+        layout: TraceLayout,
+        ports: Vec<EncoderPort>,
+        fifo_capacity: usize,
+        record_output_content: bool,
+        store_bytes_per_cycle: u32,
+    ) -> (Self, RecordHandle, StatsHandle) {
+        let encoder = EncoderCore::new(
+            layout.clone(),
+            ports,
+            fifo_capacity,
+            record_output_content,
+        );
+        let (store, record) = StoreCore::new(layout.clone(), record_output_content, store_bytes_per_cycle);
+        let stats: StatsHandle = Rc::new(RefCell::new(VidiStats::default()));
+        let n = layout.len();
+        (
+            VidiEngine {
+                encoder: Some(encoder),
+                store: Some(store),
+                decoder: None,
+                replayers: Vec::new(),
+                replay_channels: Vec::new(),
+                t_current: VectorClock::zero(n),
+                replay_status: None,
+                stats: Rc::clone(&stats),
+            },
+            record,
+            stats,
+        )
+    }
+
+    /// Adds the replay path (decoder + replayers over the environment-side
+    /// channels) to an engine. `env_channels` must follow layout order.
+    pub(crate) fn with_replay(
+        mut self,
+        trace: Trace,
+        env_channels: Vec<(Channel, Direction)>,
+        fetch_bytes_per_cycle: u32,
+        orderless: bool,
+    ) -> (Self, ReplayHandle) {
+        let n = env_channels.len();
+        self.replayers = env_channels
+            .iter()
+            .enumerate()
+            .map(|(i, (ch, dir))| {
+                let mut r = ReplayerCore::new(ch.clone(), *dir, i, n);
+                if orderless {
+                    r.set_orderless();
+                }
+                r
+            })
+            .collect();
+        self.replay_channels = env_channels.into_iter().map(|(c, _)| c).collect();
+        let status: ReplayHandle = Rc::new(RefCell::new(ReplayStatus {
+            total: trace.packets().len(),
+            ..ReplayStatus::default()
+        }));
+        self.decoder = Some(DecoderCore::new(trace, fetch_bytes_per_cycle));
+        self.replay_status = Some(Rc::clone(&status));
+        (self, status)
+    }
+
+    /// Disables the recording path (plain-replay configurations).
+    pub(crate) fn without_recording(mut self) -> Self {
+        self.encoder = None;
+        self.store = None;
+        self
+    }
+}
+
+impl Component for VidiEngine {
+    fn name(&self) -> &str {
+        "vidi.engine"
+    }
+
+    fn eval(&mut self, p: &mut SignalPool) {
+        if let Some(encoder) = &mut self.encoder {
+            encoder.eval(p);
+        }
+        for r in &mut self.replayers {
+            r.eval(p, &self.t_current);
+        }
+    }
+
+    fn tick(&mut self, p: &mut SignalPool) {
+        // 1. Recording path: collect this cycle's events, drain to storage.
+        if let Some(encoder) = &mut self.encoder {
+            encoder.tick(p);
+            if let Some(store) = &mut self.store {
+                store.tick(encoder);
+            }
+            let mut stats = self.stats.borrow_mut();
+            stats.backpressure_cycles = encoder.backpressure_cycles();
+            stats.events_logged = encoder.events_logged();
+        }
+
+        // 2. Replay path. `t0` is the clock value this cycle's eval exposed;
+        //    advancing decisions must use it so signal driving and stream
+        //    consumption agree.
+        if let Some(decoder) = &mut self.decoder {
+            let t0 = self.t_current.clone();
+            for (r, ch) in self.replayers.iter_mut().zip(&self.replay_channels) {
+                if ch.fires(p) {
+                    r.observe_fire();
+                    self.t_current.increment(r.index());
+                }
+            }
+            for r in &mut self.replayers {
+                r.advance(&t0);
+            }
+            decoder.tick(&mut self.replayers);
+            if let Some(status) = &self.replay_status {
+                let mut s = status.borrow_mut();
+                s.dispatched = decoder.dispatched();
+                s.complete = decoder.done() && self.replayers.iter().all(|r| r.drained());
+                if decoder.done() && !s.complete {
+                    s.stalled = self
+                        .replayers
+                        .iter()
+                        .zip(&self.replay_channels)
+                        .filter(|(r, _)| !r.drained())
+                        .map(|(r, ch)| {
+                            format!(
+                                "{} ({} queued: {})",
+                                ch.name(),
+                                r.queue_len(),
+                                r.debug_head(&self.t_current)
+                            )
+                        })
+                        .collect();
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for VidiEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VidiEngine")
+            .field("recording", &self.encoder.is_some())
+            .field("replaying", &self.decoder.is_some())
+            .field("channels", &self.t_current.len())
+            .finish()
+    }
+}

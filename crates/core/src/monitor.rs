@@ -1,0 +1,267 @@
+//! Channel monitors (§3.1).
+//!
+//! A channel monitor transparently interposes on one channel between the
+//! external environment and the FPGA application by coordinating
+//! transactions across three channels: environment↔monitor, monitor↔app,
+//! and monitor↔trace-encoder. Input-channel monitors perform coarse-grained
+//! input recording (start event, content, end event); output-channel
+//! monitors record end events, plus contents when divergence detection is
+//! enabled (§3.6).
+//!
+//! The delicate part — the part the paper formally verified — is completing
+//! three handshakes *simultaneously* at a transaction's end even though the
+//! encoder may be back-pressured. The monitor achieves this with an eager
+//! reservation: it never exposes a transaction to the downstream party until
+//! the encoder has guaranteed (via `resv_grant`) that the start event is
+//! logged *and* the eventual end event can be accepted in whatever cycle it
+//! arrives.
+
+use vidi_chan::{Channel, Direction};
+use vidi_hwsim::{Bits, Component, SignalId, SignalPool};
+
+use crate::port::EncoderPort;
+
+/// Operating mode of one monitor.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MonitorMode {
+    /// Pure combinational passthrough (R1 and plain replay).
+    Transparent,
+    /// Record events through the encoder port.
+    Record,
+}
+
+#[derive(Clone, Debug)]
+enum State {
+    /// No transaction in flight past the monitor.
+    Idle,
+    /// A transaction is exposed downstream; the reservation is held and the
+    /// latched content is being driven (input monitors only).
+    Active(Bits),
+    /// An output transaction is exposed to the environment; reservation held.
+    Exposed,
+}
+
+/// A monitor interposed on one channel.
+///
+/// For an input channel the *environment* is the sender (`env` channel) and
+/// the application the receiver (`app` channel). For an output channel the
+/// roles are reversed. Either way the monitor owns the wiring between the
+/// two channels.
+#[derive(Debug)]
+pub struct ChannelMonitor {
+    name: String,
+    direction: Direction,
+    env: Channel,
+    app: Channel,
+    port: EncoderPort,
+    mode: MonitorMode,
+    /// Capture content of output transactions (§3.6 divergence detection).
+    capture_output_content: bool,
+    /// Runtime record-enable line (§4.2): while low, a Record-mode monitor
+    /// behaves transparently. The switch only takes effect between
+    /// transactions — an in-flight transaction always finishes being
+    /// recorded, so the trace never holds a start without its end.
+    record_enable: Option<SignalId>,
+    state: State,
+    transactions: u64,
+}
+
+impl ChannelMonitor {
+    /// Creates a monitor between `env` and `app` sides of one logical
+    /// channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two channels have different widths.
+    pub fn new(
+        direction: Direction,
+        env: Channel,
+        app: Channel,
+        port: EncoderPort,
+        mode: MonitorMode,
+        capture_output_content: bool,
+    ) -> Self {
+        assert_eq!(env.width(), app.width(), "monitor channel width mismatch");
+        ChannelMonitor {
+            name: format!("monitor.{}", app.name()),
+            direction,
+            env,
+            app,
+            port,
+            mode,
+            capture_output_content,
+            record_enable: None,
+            state: State::Idle,
+            transactions: 0,
+        }
+    }
+
+    /// Attaches the runtime record-enable line (§4.2). Only meaningful for
+    /// [`MonitorMode::Record`] monitors; when the line is low the monitor
+    /// passes transactions through without recording them.
+    pub fn set_record_enable(&mut self, line: SignalId) {
+        self.record_enable = Some(line);
+    }
+
+    /// Whether recording is active this cycle (enable line high or absent),
+    /// or an in-flight recorded transaction still needs its end event.
+    fn recording_now(&self, p: &SignalPool) -> bool {
+        if !matches!(self.state, State::Idle) {
+            return true;
+        }
+        self.record_enable.map(|l| p.get_bool(l)).unwrap_or(true)
+    }
+
+    /// Total transactions that have completed through this monitor.
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// `(sender_side, receiver_side)` channels for the current direction.
+    fn sides(&self) -> (&Channel, &Channel) {
+        match self.direction {
+            Direction::Input => (&self.env, &self.app),
+            Direction::Output => (&self.app, &self.env),
+        }
+    }
+
+    fn eval_transparent(&self, p: &mut SignalPool) {
+        let (s, r) = self.sides();
+        p.copy(r.valid, s.valid);
+        p.copy(r.data, s.data);
+        p.copy(s.ready, r.ready);
+        p.set_bool(self.port.pkt_valid, false);
+        p.set_bool(self.port.resv_req, false);
+        p.set_bool(self.port.resv_hold, false);
+    }
+
+    fn eval_record_input(&self, p: &mut SignalPool) {
+        let sender = self.env.clone();
+        let receiver = self.app.clone();
+        match &self.state {
+            State::Idle => {
+                p.set_bool(self.port.resv_hold, false);
+                let sv = p.get_bool(sender.valid);
+                p.set_bool(self.port.resv_req, sv);
+                let grant = sv && p.get_bool(self.port.resv_grant);
+                if grant {
+                    // Start is logged this cycle; expose to the receiver in
+                    // the same cycle (back-to-back throughput when the
+                    // encoder keeps up).
+                    p.set_bool(receiver.valid, true);
+                    p.copy(receiver.data, sender.data);
+                    p.copy(sender.ready, receiver.ready);
+                    let fires = p.get_bool(receiver.ready);
+                    p.set_bool(self.port.pkt_valid, true);
+                    p.set_bool(self.port.pkt_start, true);
+                    p.set_bool(self.port.pkt_end, fires);
+                    p.copy(self.port.pkt_content, sender.data);
+                } else {
+                    p.set_bool(receiver.valid, false);
+                    p.set_bool(sender.ready, false);
+                    p.set_bool(self.port.pkt_valid, false);
+                }
+            }
+            State::Active(content) => {
+                // Start already logged; reservation held for the end event.
+                p.set_bool(self.port.resv_req, false);
+                p.set_bool(self.port.resv_hold, true);
+                p.set_bool(receiver.valid, true);
+                p.set(receiver.data, content);
+                p.copy(sender.ready, receiver.ready);
+                let fires = p.get_bool(receiver.ready);
+                p.set_bool(self.port.pkt_valid, fires);
+                p.set_bool(self.port.pkt_start, false);
+                p.set_bool(self.port.pkt_end, true);
+            }
+            State::Exposed => unreachable!("input monitor never enters Exposed"),
+        }
+    }
+
+    fn eval_record_output(&self, p: &mut SignalPool) {
+        let sender = self.app.clone();
+        let receiver = self.env.clone();
+        let exposed = matches!(self.state, State::Exposed);
+        if exposed {
+            p.set_bool(self.port.resv_req, false);
+            p.set_bool(self.port.resv_hold, true);
+        } else {
+            p.set_bool(self.port.resv_hold, false);
+            let sv = p.get_bool(sender.valid);
+            p.set_bool(self.port.resv_req, sv);
+        }
+        let grant = exposed
+            || (p.get_bool(sender.valid) && p.get_bool(self.port.resv_grant));
+        if grant {
+            p.set_bool(receiver.valid, true);
+            p.copy(receiver.data, sender.data);
+            p.copy(sender.ready, receiver.ready);
+            let fires = p.get_bool(receiver.ready);
+            p.set_bool(self.port.pkt_valid, fires);
+            p.set_bool(self.port.pkt_start, false);
+            p.set_bool(self.port.pkt_end, true);
+            if self.capture_output_content {
+                p.copy(self.port.pkt_content, sender.data);
+            }
+        } else {
+            p.set_bool(receiver.valid, false);
+            p.set_bool(sender.ready, false);
+            p.set_bool(self.port.pkt_valid, false);
+        }
+    }
+}
+
+impl Component for ChannelMonitor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, p: &mut SignalPool) {
+        match (self.mode, self.direction) {
+            (MonitorMode::Transparent, _) => self.eval_transparent(p),
+            (MonitorMode::Record, _) if !self.recording_now(p) => self.eval_transparent(p),
+            (MonitorMode::Record, Direction::Input) => self.eval_record_input(p),
+            (MonitorMode::Record, Direction::Output) => self.eval_record_output(p),
+        }
+    }
+
+    fn tick(&mut self, p: &mut SignalPool) {
+        let (_, receiver) = self.sides();
+        let fired = receiver.fires(p);
+        if fired {
+            self.transactions += 1;
+        }
+        if self.mode == MonitorMode::Transparent || !self.recording_now(p) {
+            return;
+        }
+        match (&self.state, self.direction) {
+            (State::Idle, Direction::Input) => {
+                let granted =
+                    p.get_bool(self.port.resv_req) && p.get_bool(self.port.resv_grant);
+                if granted && !fired {
+                    self.state = State::Active(p.get(self.env.data));
+                }
+            }
+            (State::Active(_), Direction::Input) => {
+                if fired {
+                    self.state = State::Idle;
+                }
+            }
+            (State::Idle, Direction::Output) => {
+                let granted =
+                    p.get_bool(self.port.resv_req) && p.get_bool(self.port.resv_grant);
+                if granted && !fired {
+                    self.state = State::Exposed;
+                }
+            }
+            (State::Exposed, Direction::Output) => {
+                if fired {
+                    self.state = State::Idle;
+                }
+            }
+            (State::Exposed, Direction::Input) | (State::Active(_), Direction::Output) => {
+                unreachable!("monitor state does not match direction")
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! The signal-level port between a channel monitor and the trace encoder.
+
+use vidi_hwsim::{SignalId, SignalPool};
+
+/// The wires connecting one channel monitor to the trace encoder (§3.1).
+///
+/// The monitor→encoder path is itself transactional: channel-packet events
+/// (`pkt_*`) are only presented when the encoder has signalled capacity, via
+/// the *eager reservation* wires (`resv_*`). The reservation guarantees that
+/// a transaction's end event can be logged in the exact cycle it fires, so
+/// the monitor can complete its three handshakes (sender, receiver, encoder)
+/// simultaneously.
+#[derive(Clone, Copy, Debug)]
+pub struct EncoderPort {
+    /// Monitor → encoder: requesting a reservation this cycle.
+    pub resv_req: SignalId,
+    /// Encoder → monitor: reservation granted this cycle (combinational
+    /// function of encoder buffer state and all requests).
+    pub resv_grant: SignalId,
+    /// Monitor → encoder: a previously granted reservation is still held for
+    /// an in-flight transaction (registered).
+    pub resv_hold: SignalId,
+    /// Monitor → encoder: a channel-packet event is presented this cycle.
+    pub pkt_valid: SignalId,
+    /// Monitor → encoder: the event includes a transaction start.
+    pub pkt_start: SignalId,
+    /// Monitor → encoder: the event includes a transaction end.
+    pub pkt_end: SignalId,
+    /// Monitor → encoder: the transaction content (channel width bits).
+    pub pkt_content: SignalId,
+}
+
+impl EncoderPort {
+    /// Allocates the port wires for a channel of `width` bits.
+    pub fn new(pool: &mut SignalPool, channel_name: &str, width: u32) -> Self {
+        let n = |s: &str| format!("vidi.{channel_name}.{s}");
+        EncoderPort {
+            resv_req: pool.add(n("resv_req"), 1),
+            resv_grant: pool.add(n("resv_grant"), 1),
+            resv_hold: pool.add(n("resv_hold"), 1),
+            pkt_valid: pool.add(n("pkt_valid"), 1),
+            pkt_start: pool.add(n("pkt_start"), 1),
+            pkt_end: pool.add(n("pkt_end"), 1),
+            pkt_content: pool.add(n("pkt_content"), width.max(1)),
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Channel replayers (§3.5).
+//!
+//! During replay each channel has a replayer driving the environment side of
+//! the channel. Input replayers control when each input transaction starts
+//! and its content (driving VALID/DATA); output replayers control when each
+//! output transaction ends (driving READY). Replayers coordinate through
+//! vector clocks: each holds `T_expected`, accumulated from the `Ends`
+//! fields of consumed cycle packets, and proceeds with an event only once
+//! the shared `T_current` (completed-transaction counts broadcast by all
+//! replayers) satisfies `T_current ≥ T_expected`.
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use vidi_chan::{Channel, Direction};
+use vidi_hwsim::{Bits, SignalPool};
+
+use crate::vclock::VectorClock;
+
+/// One element of a replayer's event stream: the channel's own packet for a
+/// recorded cycle plus the cycle's `Ends` field (§3.4).
+#[derive(Clone, Debug)]
+pub struct ReplayElem {
+    /// A transaction start (input channels only).
+    pub start: bool,
+    /// A transaction end.
+    pub end: bool,
+    /// Content to drive on a start.
+    pub content: Option<Bits>,
+    /// Channel indices that completed a transaction in this cycle packet,
+    /// shared across all replayers fed from the same packet.
+    pub ends: Rc<Vec<u16>>,
+}
+
+impl ReplayElem {
+    /// Whether the element carries no event for this channel (it still
+    /// advances `T_expected`).
+    pub fn is_bookkeeping(&self) -> bool {
+        !self.start && !self.end
+    }
+}
+
+/// The per-channel replayer core, embedded in the Vidi engine.
+#[derive(Debug)]
+pub struct ReplayerCore {
+    channel: Channel,
+    direction: Direction,
+    /// This channel's index in the trace layout (and in vector clocks).
+    index: usize,
+    queue: VecDeque<ReplayElem>,
+    queue_cap: usize,
+    t_expected: VectorClock,
+    /// Content currently driven on an in-flight input transaction.
+    driving: Option<Bits>,
+    /// Fires observed on this channel not yet matched to an end element.
+    pending_fires: u64,
+    /// Total transactions replayed on this channel.
+    replayed: u64,
+    /// Whether happens-before relationships are enforced. `false` yields
+    /// the order-less baseline of §1 (DebugGovernor-style): each channel's
+    /// contents are replayed independently, with no cross-channel ordering.
+    enforce_ordering: bool,
+}
+
+impl ReplayerCore {
+    /// Creates a replayer for the environment side of `channel`.
+    pub fn new(channel: Channel, direction: Direction, index: usize, n_channels: usize) -> Self {
+        ReplayerCore {
+            channel,
+            direction,
+            index,
+            queue: VecDeque::new(),
+            queue_cap: 64,
+            t_expected: VectorClock::zero(n_channels),
+            driving: None,
+            pending_fires: 0,
+            replayed: 0,
+            enforce_ordering: true,
+        }
+    }
+
+    /// Disables happens-before enforcement (the order-less baseline).
+    pub fn set_orderless(&mut self) {
+        self.enforce_ordering = false;
+    }
+
+    fn check(&self, t_current: &VectorClock) -> bool {
+        !self.enforce_ordering || t_current.geq(&self.t_expected)
+    }
+
+    /// Whether the replayer can accept another stream element.
+    pub fn has_space(&self) -> bool {
+        self.queue.len() < self.queue_cap
+    }
+
+    /// Feeds one stream element (called by the trace decoder).
+    pub fn push(&mut self, elem: ReplayElem) {
+        debug_assert!(self.has_space());
+        self.queue.push_back(elem);
+    }
+
+    /// Whether all fed elements have been fully replayed.
+    pub fn drained(&self) -> bool {
+        self.queue.is_empty() && self.driving.is_none()
+    }
+
+    /// Number of queued stream elements (diagnostics).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Describes the head element and clock state (diagnostics).
+    pub fn debug_head(&self, t_current: &VectorClock) -> String {
+        match self.queue.front() {
+            None => format!("empty, driving={}", self.driving.is_some()),
+            Some(h) => format!(
+                "head(start={} end={}) check={} texp={} tcur={} pending_fires={} driving={}",
+                h.start,
+                h.end,
+                t_current.geq(&self.t_expected),
+                self.t_expected,
+                t_current,
+                self.pending_fires,
+                self.driving.is_some(),
+            ),
+        }
+    }
+
+    /// Total transactions replayed on this channel.
+    pub fn replayed(&self) -> u64 {
+        self.replayed
+    }
+
+    /// The channel index in the layout.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Combinational phase: drives the environment side of the channel.
+    pub fn eval(&mut self, p: &mut SignalPool, t_current: &VectorClock) {
+        match self.direction {
+            Direction::Input => {
+                if let Some(d) = &self.driving {
+                    p.set_bool(self.channel.valid, true);
+                    p.set(self.channel.data, d);
+                    return;
+                }
+                let launch = self.queue.front().and_then(|head| {
+                    (head.start && self.check(t_current)).then(|| head.content.clone())
+                });
+                match launch {
+                    Some(Some(content)) => {
+                        p.set_bool(self.channel.valid, true);
+                        p.set(self.channel.data, &content);
+                    }
+                    Some(None) => panic!(
+                        "replay trace start on {} has no content",
+                        self.channel.name()
+                    ),
+                    None => p.set_bool(self.channel.valid, false),
+                }
+            }
+            Direction::Output => {
+                let accept = self
+                    .queue
+                    .front()
+                    .map(|head| head.end && self.check(t_current))
+                    .unwrap_or(false);
+                p.set_bool(self.channel.ready, accept);
+            }
+        }
+    }
+
+    /// Records a fire observed on this channel at the clock edge.
+    pub fn observe_fire(&mut self) {
+        self.pending_fires += 1;
+        self.replayed += 1;
+        self.driving = None;
+    }
+
+    /// Clock-edge phase: advances through the stream as far as the vector
+    /// clock `t0` (the value visible to this cycle's `eval`) permits.
+    #[allow(clippy::while_let_loop)] // the loop body matches on more than the binding
+    pub fn advance(&mut self, t0: &VectorClock) {
+        loop {
+            let Some(head) = self.queue.front() else { break };
+            if head.is_bookkeeping() {
+                let ends = Rc::clone(&head.ends);
+                self.queue.pop_front();
+                self.consume_ends(&ends);
+                continue;
+            }
+            if self.enforce_ordering && !t0.geq(&self.t_expected) {
+                break;
+            }
+            match self.direction {
+                Direction::Input => {
+                    if head.start && head.end {
+                        // Same-cycle start+fire recorded: pop at fire.
+                        if self.pending_fires > 0 {
+                            self.pending_fires -= 1;
+                            let ends = Rc::clone(&head.ends);
+                            self.queue.pop_front();
+                            self.consume_ends(&ends);
+                            continue;
+                        }
+                        // Launched (eval asserted valid); hold until fire.
+                        if self.driving.is_none() {
+                            self.driving = head.content.clone();
+                        }
+                        break;
+                    }
+                    if head.start {
+                        // Start-only: transaction launched this cycle. If an
+                        // unmatched fire is pending it can only be this
+                        // launch completing in its very first cycle (all
+                        // earlier end elements were matched before reaching
+                        // this element), so leave `driving` clear and let
+                        // the later end element consume the fire.
+                        if self.pending_fires == 0 && self.driving.is_none() {
+                            self.driving = head.content.clone();
+                        }
+                        let ends = Rc::clone(&head.ends);
+                        self.queue.pop_front();
+                        self.consume_ends(&ends);
+                        continue;
+                    }
+                    // End-only: the application completes input transactions;
+                    // match it against an observed fire.
+                    if self.pending_fires > 0 {
+                        self.pending_fires -= 1;
+                        let ends = Rc::clone(&head.ends);
+                        self.queue.pop_front();
+                        self.consume_ends(&ends);
+                        continue;
+                    }
+                    break;
+                }
+                Direction::Output => {
+                    debug_assert!(head.end, "output stream elements are end events");
+                    if self.pending_fires > 0 {
+                        self.pending_fires -= 1;
+                        let ends = Rc::clone(&head.ends);
+                        self.queue.pop_front();
+                        self.consume_ends(&ends);
+                        continue;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    fn consume_ends(&mut self, ends: &[u16]) {
+        for &c in ends {
+            self.t_expected.increment(c as usize);
+        }
+    }
+}

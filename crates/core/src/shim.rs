@@ -1,0 +1,270 @@
+//! The Vidi shim: installing record/replay around an application (§3, §4.1).
+//!
+//! The shim is the deployment unit of Vidi: given the set of channels an
+//! FPGA application exposes at its I/O boundary, [`VidiShim::install`]
+//! interposes a channel monitor on every channel, instantiates the trace
+//! engine, and (in replay modes) attaches channel replayers to the
+//! environment side — all without touching the application itself, exactly
+//! like the paper's drop-in F1 shell shim.
+
+use std::error::Error;
+use std::fmt;
+
+use vidi_chan::{Channel, Direction};
+use vidi_hwsim::{SignalId, Simulator};
+use vidi_trace::{ChannelInfo, Trace, TraceLayout};
+
+use crate::config::{VidiConfig, VidiMode};
+use crate::engine::{ReplayHandle, StatsHandle, VidiEngine, VidiStats};
+use crate::monitor::{ChannelMonitor, MonitorMode};
+use crate::port::EncoderPort;
+use crate::store::RecordHandle;
+
+/// An error installing the shim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShimError {
+    /// A replay trace's channel layout does not match the design's channels.
+    LayoutMismatch {
+        /// The layout recorded in the trace.
+        expected: String,
+        /// The layout derived from the design.
+        actual: String,
+    },
+}
+
+impl fmt::Display for ShimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShimError::LayoutMismatch { expected, actual } => write!(
+                f,
+                "replay trace layout {expected} does not match design layout {actual}"
+            ),
+        }
+    }
+}
+
+impl Error for ShimError {}
+
+/// An installed Vidi shim: handles for driving the environment side and for
+/// collecting results.
+#[derive(Debug)]
+pub struct VidiShim {
+    layout: TraceLayout,
+    env_channels: Vec<Channel>,
+    record: Option<RecordHandle>,
+    replay: Option<ReplayHandle>,
+    stats: Option<StatsHandle>,
+    record_enable: Option<SignalId>,
+}
+
+impl VidiShim {
+    /// Interposes Vidi on every `(app_side_channel, direction)` pair.
+    ///
+    /// For each channel a new environment-side channel is allocated; the
+    /// external environment (CPU model, or Vidi's replayers) connects there,
+    /// while the application keeps its original channel. Channel order
+    /// defines the trace layout and must therefore be identical between a
+    /// recording run and its replays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShimError::LayoutMismatch`] when a replayed trace was
+    /// recorded over a different channel layout.
+    pub fn install(
+        sim: &mut Simulator,
+        app_channels: &[(Channel, Direction)],
+        config: VidiConfig,
+    ) -> Result<VidiShim, ShimError> {
+        let layout = TraceLayout::new(
+            app_channels
+                .iter()
+                .map(|(ch, dir)| ChannelInfo {
+                    name: ch.name().to_string(),
+                    width: ch.width(),
+                    direction: *dir,
+                })
+                .collect(),
+        );
+
+        // Validate replay traces against the design's layout up front.
+        let replay_trace = match &config.mode {
+            VidiMode::Replay(t) | VidiMode::ReplayRecord(t) | VidiMode::ReplayOrderless(t) => {
+                if t.layout() != &layout {
+                    return Err(ShimError::LayoutMismatch {
+                        expected: format!("{:?}", t.layout()),
+                        actual: format!("{layout:?}"),
+                    });
+                }
+                Some(t.clone())
+            }
+            _ => None,
+        };
+
+        let monitor_mode = if config.mode.records() {
+            MonitorMode::Record
+        } else {
+            MonitorMode::Transparent
+        };
+        let record_output_content = config.record_output_content
+            || matches!(
+                config.mode,
+                VidiMode::ReplayRecord(_) | VidiMode::ReplayOrderless(_)
+            );
+
+        // Runtime record-enable line (§4.2), high by default so recording
+        // runs cover the whole execution unless the harness gates it.
+        let record_enable = if config.mode.records() {
+            let line = sim.pool_mut().add("vidi.record_enable", 1);
+            sim.pool_mut().set_bool(line, true);
+            Some(line)
+        } else {
+            None
+        };
+
+        // Environment-side channels, encoder ports, and monitors.
+        let mut env_channels = Vec::with_capacity(app_channels.len());
+        let mut env_with_dir = Vec::with_capacity(app_channels.len());
+        let mut ports = Vec::with_capacity(app_channels.len());
+        for (app_ch, dir) in app_channels {
+            let env_ch = Channel::new(
+                sim.pool_mut(),
+                format!("env.{}", app_ch.name()),
+                app_ch.width(),
+            );
+            let port = EncoderPort::new(sim.pool_mut(), app_ch.name(), app_ch.width());
+            let mut monitor = ChannelMonitor::new(
+                *dir,
+                env_ch.clone(),
+                app_ch.clone(),
+                port,
+                monitor_mode,
+                record_output_content,
+            );
+            if let Some(line) = record_enable {
+                monitor.set_record_enable(line);
+            }
+            sim.add_component(monitor);
+            env_with_dir.push((env_ch.clone(), *dir));
+            env_channels.push(env_ch);
+            ports.push(port);
+        }
+
+        // The engine: recording path, replay path, or both (R3).
+        let (engine, record, stats) = VidiEngine::recording(
+            layout.clone(),
+            ports,
+            config.fifo_capacity,
+            record_output_content,
+            config.store_bytes_per_cycle,
+        );
+        let (engine, record, stats) = if config.mode.records() {
+            (engine, Some(record), Some(stats))
+        } else {
+            (engine.without_recording(), None, None)
+        };
+        let orderless = matches!(config.mode, VidiMode::ReplayOrderless(_));
+        let (engine, replay) = match replay_trace {
+            Some(trace) => {
+                let (engine, handle) = engine.with_replay(
+                    trace,
+                    env_with_dir,
+                    config.fetch_bytes_per_cycle,
+                    orderless,
+                );
+                (engine, Some(handle))
+            }
+            None => (engine, None),
+        };
+        sim.add_component(engine);
+
+        Ok(VidiShim {
+            layout,
+            env_channels,
+            record,
+            replay,
+            stats,
+            record_enable,
+        })
+    }
+
+    /// The trace layout induced by the design's channels.
+    pub fn layout(&self) -> &TraceLayout {
+        &self.layout
+    }
+
+    /// Enables or disables recording at runtime (§4.2's runtime library:
+    /// "enable and disable record/replay around the invocation of each
+    /// FPGA-side application"). Transactions already in flight finish being
+    /// recorded; new transactions pass through unrecorded while disabled.
+    /// No-op in non-recording modes.
+    pub fn set_recording(&self, sim: &mut Simulator, enable: bool) {
+        if let Some(line) = self.record_enable {
+            sim.pool_mut().set_bool(line, enable);
+        }
+    }
+
+    /// The environment-side channels, in layout order. In non-replay modes
+    /// the harness's CPU/environment model drives these.
+    pub fn env_channels(&self) -> &[Channel] {
+        &self.env_channels
+    }
+
+    /// The environment-side channel for a named application channel.
+    pub fn env_channel(&self, name: &str) -> Option<&Channel> {
+        self.layout
+            .index_of(name)
+            .map(|i| &self.env_channels[i])
+    }
+
+    /// The trace recorded so far (clone). `None` in non-recording modes.
+    pub fn recorded_trace(&self) -> Option<Trace> {
+        self.record.as_ref().map(|r| r.borrow().trace.clone())
+    }
+
+    /// Raw trace body bytes written to storage so far.
+    pub fn recorded_bytes(&self) -> u64 {
+        self.record.as_ref().map(|r| r.borrow().body_bytes).unwrap_or(0)
+    }
+
+    /// Whether a replay has dispatched every packet and drained every
+    /// replayer. `false` in non-replay modes.
+    pub fn replay_complete(&self) -> bool {
+        self.replay
+            .as_ref()
+            .map(|r| r.borrow().complete)
+            .unwrap_or(false)
+    }
+
+    /// Channels whose replayers are stalled (diagnostics).
+    pub fn replay_stalled(&self) -> Vec<String> {
+        self.replay
+            .as_ref()
+            .map(|r| r.borrow().stalled.clone())
+            .unwrap_or_default()
+    }
+
+    /// `(dispatched, total)` cycle packets of the in-progress replay.
+    pub fn replay_progress(&self) -> (usize, usize) {
+        self.replay
+            .as_ref()
+            .map(|r| {
+                let s = r.borrow();
+                (s.dispatched, s.total)
+            })
+            .unwrap_or((0, 0))
+    }
+
+    /// Engine statistics snapshot (zeroes in transparent mode).
+    pub fn stats(&self) -> VidiStats {
+        self.stats
+            .as_ref()
+            .map(|s| {
+                let s = s.borrow();
+                VidiStats {
+                    backpressure_cycles: s.backpressure_cycles,
+                    events_logged: s.events_logged,
+                }
+            })
+            .unwrap_or_default()
+    }
+}

@@ -1,0 +1,99 @@
+//! The trace store core (§3.3).
+//!
+//! During recording the store drains cycle packets from the encoder FIFO
+//! into external storage (CPU-side DRAM over PCIe on F1), subject to a
+//! sustained-bandwidth budget. The stored trace and its size accounting are
+//! shared with the harness through [`RecordHandle`].
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use vidi_trace::{storage_bytes, CyclePacket, Trace, TraceLayout};
+
+use crate::encoder::EncoderCore;
+
+/// The accumulating result of a recording run.
+#[derive(Debug)]
+pub struct RecordedRun {
+    /// The recorded trace (cycle packets in order).
+    pub trace: Trace,
+    /// Raw trace body bytes written to storage.
+    pub body_bytes: u64,
+}
+
+impl RecordedRun {
+    /// The 64-byte-aligned storage footprint (§3.3).
+    pub fn storage_footprint(&self) -> u64 {
+        storage_bytes(self.body_bytes)
+    }
+}
+
+/// Shared handle through which the harness reads a recording's results.
+pub type RecordHandle = Rc<RefCell<RecordedRun>>;
+
+/// Size in bytes of one cycle packet in the storage encoding.
+pub fn packet_bytes(layout: &TraceLayout, packet: &CyclePacket) -> u64 {
+    let n_inputs = layout.input_indices().count();
+    let fixed = (n_inputs.div_ceil(8) + layout.len().div_ceil(8)) as u64;
+    let contents: u64 = packet
+        .contents
+        .iter()
+        .map(|c| c.width().div_ceil(8) as u64)
+        .sum();
+    fixed + contents
+}
+
+/// The store's registered core, embedded in the Vidi engine.
+#[derive(Debug)]
+pub struct StoreCore {
+    layout: TraceLayout,
+    handle: RecordHandle,
+    bytes_per_cycle: u32,
+    /// Accumulated write-bandwidth credit, in bytes.
+    credit: u64,
+    /// Cap on accumulated credit so idle periods cannot bank unbounded
+    /// burst bandwidth (PCIe posting buffers are finite).
+    credit_cap: u64,
+}
+
+impl StoreCore {
+    /// Creates a store writing a trace with the given layout.
+    pub fn new(
+        layout: TraceLayout,
+        record_output_content: bool,
+        bytes_per_cycle: u32,
+    ) -> (Self, RecordHandle) {
+        let handle = Rc::new(RefCell::new(RecordedRun {
+            trace: Trace::new(layout.clone(), record_output_content),
+            body_bytes: 0,
+        }));
+        let store = StoreCore {
+            layout,
+            handle: Rc::clone(&handle),
+            bytes_per_cycle,
+            credit: 0,
+            // The cap bounds how much idle bandwidth can be banked for a
+            // burst, but must always admit the largest possible cycle
+            // packet or a slow store could wedge forever.
+            credit_cap: ((bytes_per_cycle as u64).max(1) * 16).max(8192),
+        };
+        (store, handle)
+    }
+
+    /// Clock-edge phase: drains as many packets as the bandwidth budget
+    /// allows from the encoder FIFO to storage.
+    pub fn tick(&mut self, encoder: &mut EncoderCore) {
+        self.credit = (self.credit + self.bytes_per_cycle as u64).min(self.credit_cap);
+        while let Some(front) = encoder.front() {
+            let size = packet_bytes(&self.layout, front);
+            if self.credit < size {
+                break;
+            }
+            self.credit -= size;
+            let packet = encoder.pop().expect("front() was Some");
+            let mut run = self.handle.borrow_mut();
+            run.body_bytes += size;
+            run.trace.push(packet);
+        }
+    }
+}

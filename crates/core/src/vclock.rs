@@ -1,0 +1,116 @@
+//! Vector clocks over channel transaction counts (§3.5).
+//!
+//! Vidi associates a logical timestamp `⟨t₁, t₂, …, tₙ⟩` with each
+//! transaction event, where `tᵢ` is the number of completed transactions on
+//! the i-th channel. Channel replayers compare these timestamps under the
+//! pointwise partial order to decide when a recorded happens-before
+//! relationship is satisfied.
+
+/// A logical timestamp: per-channel completed-transaction counts.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct VectorClock {
+    counts: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock over `n` channels (replay initial state).
+    pub fn zero(n: usize) -> Self {
+        VectorClock {
+            counts: vec![0; n],
+        }
+    }
+
+    /// Builds a clock from explicit counts.
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        VectorClock { counts }
+    }
+
+    /// Number of channels this clock covers.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the clock covers no channels.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// The count for one channel.
+    pub fn get(&self, channel: usize) -> u64 {
+        self.counts[channel]
+    }
+
+    /// The raw per-channel counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Increments one channel's completed-transaction count.
+    pub fn increment(&mut self, channel: usize) {
+        self.counts[channel] += 1;
+    }
+
+    /// The pointwise partial order of §3.5: `self ≥ other` iff every element
+    /// of `self` is at least the corresponding element of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clocks cover different channel counts.
+    pub fn geq(&self, other: &VectorClock) -> bool {
+        assert_eq!(self.counts.len(), other.counts.len(), "clock length mismatch");
+        self.counts
+            .iter()
+            .zip(other.counts.iter())
+            .all(|(a, b)| a >= b)
+    }
+}
+
+impl std::fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "⟨")?;
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_minimal() {
+        let z = VectorClock::zero(3);
+        let c = VectorClock::from_counts(vec![1, 0, 2]);
+        assert!(c.geq(&z));
+        assert!(z.geq(&z));
+        assert!(!z.geq(&c));
+    }
+
+    #[test]
+    fn partial_order_is_not_total() {
+        let a = VectorClock::from_counts(vec![2, 0]);
+        let b = VectorClock::from_counts(vec![0, 2]);
+        assert!(!a.geq(&b));
+        assert!(!b.geq(&a));
+    }
+
+    #[test]
+    fn increment_advances() {
+        let mut c = VectorClock::zero(2);
+        c.increment(1);
+        assert_eq!(c.get(1), 1);
+        assert_eq!(c.get(0), 0);
+        assert!(c.geq(&VectorClock::zero(2)));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let c = VectorClock::from_counts(vec![1, 2, 3]);
+        assert_eq!(c.to_string(), "⟨1, 2, 3⟩");
+    }
+}

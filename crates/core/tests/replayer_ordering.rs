@@ -1,0 +1,238 @@
+//! Direct tests of transaction-determinism enforcement (§3.5): replayers
+//! must withhold events until the recorded happens-before relationships are
+//! satisfied, even when the application would be ready much earlier.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use vidi_chan::{Channel, Direction, ReceiverLatch, SenderQueue};
+use vidi_core::{VidiConfig, VidiShim};
+use vidi_hwsim::{Bits, Component, SignalPool, Simulator};
+use vidi_trace::{ChannelInfo, ChannelPacket, CyclePacket, Trace, TraceLayout};
+
+/// The layout used by all tests here: one input command channel and one
+/// output response channel, both 32 bits.
+fn layout() -> TraceLayout {
+    TraceLayout::new(vec![
+        ChannelInfo {
+            name: "cmd".into(),
+            width: 32,
+            direction: Direction::Input,
+        },
+        ChannelInfo {
+            name: "resp".into(),
+            width: 32,
+            direction: Direction::Output,
+        },
+    ])
+}
+
+fn input_start_end(value: u64) -> ChannelPacket {
+    ChannelPacket {
+        start: true,
+        content: Some(Bits::from_u64(32, value)),
+        end: true,
+    }
+}
+
+/// An app that emits a response *immediately* on startup (long before any
+/// command) and records the cycle at which each of its events fired.
+struct EagerApp {
+    cmd: ReceiverLatch,
+    resp: SenderQueue,
+    cycle: u64,
+    resp_fired_at: Rc<RefCell<Option<u64>>>,
+    cmd_fired_at: Rc<RefCell<Option<u64>>>,
+}
+impl Component for EagerApp {
+    fn name(&self) -> &str {
+        "eager"
+    }
+    fn eval(&mut self, p: &mut SignalPool) {
+        self.cmd.eval(p, true);
+        self.resp.eval(p, true);
+    }
+    fn tick(&mut self, p: &mut SignalPool) {
+        self.cycle += 1;
+        if self.cmd.tick(p).is_some() && self.cmd_fired_at.borrow().is_none() {
+            *self.cmd_fired_at.borrow_mut() = Some(self.cycle);
+        }
+        if self.resp.tick(p).is_some() && self.resp_fired_at.borrow().is_none() {
+            *self.resp_fired_at.borrow_mut() = Some(self.cycle);
+        }
+    }
+}
+
+/// Builds a replay sim for a hand-crafted trace with the eager app.
+fn run_replay(trace: Trace) -> (Option<u64>, Option<u64>) {
+    let mut sim = Simulator::new();
+    let cmd = Channel::new(sim.pool_mut(), "cmd", 32);
+    let resp = Channel::new(sim.pool_mut(), "resp", 32);
+    let shim = VidiShim::install(
+        &mut sim,
+        &[
+            (cmd.clone(), Direction::Input),
+            (resp.clone(), Direction::Output),
+        ],
+        VidiConfig::replay(trace),
+    )
+    .unwrap();
+    let resp_at = Rc::new(RefCell::new(None));
+    let cmd_at = Rc::new(RefCell::new(None));
+    let mut tx = SenderQueue::new(resp);
+    tx.push(Bits::from_u64(32, 0xbeef)); // response available from cycle 0
+    sim.add_component(EagerApp {
+        cmd: ReceiverLatch::new(cmd),
+        resp: tx,
+        cycle: 0,
+        resp_fired_at: Rc::clone(&resp_at),
+        cmd_fired_at: Rc::clone(&cmd_at),
+    });
+    for _ in 0..50 {
+        sim.run(16).unwrap();
+        if shim.replay_complete() {
+            break;
+        }
+    }
+    assert!(shim.replay_complete(), "replay must complete");
+    let r = *resp_at.borrow();
+    let c = *cmd_at.borrow();
+    (c, r)
+}
+
+#[test]
+fn output_end_waits_for_recorded_predecessor() {
+    // Recorded order: cmd start+end first, THEN resp end. The app has its
+    // response ready from cycle 0, but the replayer must withhold READY
+    // until the cmd transaction has completed.
+    let l = layout();
+    let mut t = Trace::new(l.clone(), false);
+    t.push(CyclePacket::assemble(
+        &l,
+        &[input_start_end(7), ChannelPacket::default()],
+        false,
+    ));
+    t.push(CyclePacket::assemble(
+        &l,
+        &[ChannelPacket::default(), ChannelPacket::end_only()],
+        false,
+    ));
+    let (cmd_at, resp_at) = run_replay(t);
+    let (cmd_at, resp_at) = (cmd_at.unwrap(), resp_at.unwrap());
+    assert!(
+        cmd_at < resp_at,
+        "recorded happens-before (cmd end < resp end) must be enforced: \
+         cmd@{cmd_at} resp@{resp_at}"
+    );
+}
+
+#[test]
+fn simultaneous_events_may_fire_together() {
+    // Recorded order: cmd and resp end in the SAME cycle packet — neither
+    // happens before the other, so the replay may complete them in either
+    // order (and typically the same cycle).
+    let l = layout();
+    let mut t = Trace::new(l.clone(), false);
+    t.push(CyclePacket::assemble(
+        &l,
+        &[input_start_end(7), ChannelPacket::end_only()],
+        false,
+    ));
+    let (cmd_at, resp_at) = run_replay(t);
+    assert!(cmd_at.is_some() && resp_at.is_some());
+}
+
+#[test]
+fn chained_orderings_serialize_a_burst() {
+    // Recorded: cmd#1 end -> resp#1 end -> cmd#2 end -> resp#2 end.
+    // The replay must interleave them in exactly that transaction order.
+    struct CountingApp {
+        cmd: ReceiverLatch,
+        resp: SenderQueue,
+        order: Rc<RefCell<Vec<&'static str>>>,
+    }
+    impl Component for CountingApp {
+        fn name(&self) -> &str {
+            "counting"
+        }
+        fn eval(&mut self, p: &mut SignalPool) {
+            self.cmd.eval(p, true);
+            self.resp.eval(p, true);
+        }
+        fn tick(&mut self, p: &mut SignalPool) {
+            if self.cmd.tick(p).is_some() {
+                self.order.borrow_mut().push("cmd");
+            }
+            if self.resp.tick(p).is_some() {
+                self.order.borrow_mut().push("resp");
+            }
+        }
+    }
+
+    let l = layout();
+    let mut t = Trace::new(l.clone(), false);
+    for v in [1u64, 2] {
+        t.push(CyclePacket::assemble(
+            &l,
+            &[input_start_end(v), ChannelPacket::default()],
+            false,
+        ));
+        t.push(CyclePacket::assemble(
+            &l,
+            &[ChannelPacket::default(), ChannelPacket::end_only()],
+            false,
+        ));
+    }
+
+    let mut sim = Simulator::new();
+    let cmd = Channel::new(sim.pool_mut(), "cmd", 32);
+    let resp = Channel::new(sim.pool_mut(), "resp", 32);
+    let shim = VidiShim::install(
+        &mut sim,
+        &[
+            (cmd.clone(), Direction::Input),
+            (resp.clone(), Direction::Output),
+        ],
+        VidiConfig::replay(t),
+    )
+    .unwrap();
+    let order = Rc::new(RefCell::new(Vec::new()));
+    let mut tx = SenderQueue::new(resp);
+    tx.push(Bits::from_u64(32, 0xa));
+    tx.push(Bits::from_u64(32, 0xb)); // both responses ready immediately
+    sim.add_component(CountingApp {
+        cmd: ReceiverLatch::new(cmd),
+        resp: tx,
+        order: Rc::clone(&order),
+    });
+    for _ in 0..100 {
+        sim.run(16).unwrap();
+        if shim.replay_complete() {
+            break;
+        }
+    }
+    assert!(shim.replay_complete());
+    // cmd#2 must come after resp#1 (its Texpected includes resp#1's end).
+    let seq = order.borrow().clone();
+    assert_eq!(seq, vec!["cmd", "resp", "cmd", "resp"], "recorded interleaving enforced");
+}
+
+#[test]
+fn layout_mismatch_is_rejected_at_install() {
+    // A trace recorded over a different layout must be refused up front.
+    let other = TraceLayout::new(vec![ChannelInfo {
+        name: "different".into(),
+        width: 8,
+        direction: Direction::Input,
+    }]);
+    let trace = Trace::new(other, false);
+    let mut sim = Simulator::new();
+    let cmd = Channel::new(sim.pool_mut(), "cmd", 32);
+    let err = VidiShim::install(
+        &mut sim,
+        &[(cmd, Direction::Input)],
+        VidiConfig::replay(trace),
+    )
+    .unwrap_err();
+    assert!(matches!(err, vidi_core::ShimError::LayoutMismatch { .. }));
+}

@@ -1,0 +1,508 @@
+//! The scripted CPU model.
+//!
+//! A [`CpuThread`] executes a sequence of [`HostOp`]s against the
+//! environment side of the shim — MMIO register accesses, DMA transfers,
+//! polling loops, interrupt waits, and think-time delays — with seeded
+//! timing jitter standing in for OS scheduling noise. The paper's
+//! applications all follow this shape (§5.1); the delayed-start bug of §5.2
+//! comes from running *two* CPU threads whose relative timing races.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vidi_chan::AxiIface;
+use vidi_hwsim::{Bits, Component, SignalId, SignalPool};
+
+use crate::masters::{AxiLiteMaster, AxiMaster, DMA_BURST_BEATS};
+
+/// Cycles between consecutive DMA bursts from one thread — the PCIe
+/// round-trip latency of a strictly ordered DMA engine (~160 ns at the
+/// 250 MHz fabric clock). Without this pacing the model would stream at an
+/// unrealistic 16 GB/s and saturate paths a real host never saturates.
+pub const DMA_BURST_GAP: u64 = 24;
+
+/// One operation in a CPU thread's script.
+#[derive(Clone, Debug)]
+pub enum HostOp {
+    /// 32-bit MMIO register write on a named AXI-Lite interface; waits for
+    /// the write response.
+    LiteWrite {
+        /// Interface name (e.g. `"ocl"`).
+        iface: &'static str,
+        /// Register address.
+        addr: u32,
+        /// Value to write.
+        data: u32,
+    },
+    /// 32-bit MMIO register read; the value is appended to
+    /// [`CpuResults::reads`].
+    LiteRead {
+        /// Interface name.
+        iface: &'static str,
+        /// Register address.
+        addr: u32,
+    },
+    /// Repeated MMIO read every `interval` cycles until
+    /// `(value & mask) == expect` — the cycle-dependent polling construct
+    /// that causes the DRAM DMA divergence (§3.6).
+    PollUntil {
+        /// Interface name.
+        iface: &'static str,
+        /// Register address.
+        addr: u32,
+        /// Bits to test.
+        mask: u32,
+        /// Expected masked value.
+        expect: u32,
+        /// Polling period in cycles.
+        interval: u64,
+    },
+    /// DMA-write a byte buffer to the FPGA over a named 512-bit interface.
+    DmaWrite {
+        /// Interface name (e.g. `"pcis"`).
+        iface: &'static str,
+        /// Target address in the FPGA's address space.
+        addr: u64,
+        /// Payload; padded to 64-byte beats.
+        bytes: Vec<u8>,
+    },
+    /// Like `DmaWrite`, but the first beat carries a partial write strobe —
+    /// models an unaligned DMA transfer whose leading bytes are invalid
+    /// (the §5.2 bitmask scenario).
+    DmaWriteMasked {
+        /// Interface name.
+        iface: &'static str,
+        /// Target address.
+        addr: u64,
+        /// Payload; padded to 64-byte beats.
+        bytes: Vec<u8>,
+        /// Strobe for the very first beat (later beats use full strobes).
+        first_strb: u64,
+    },
+    /// DMA-read `len` bytes from the FPGA; appended to
+    /// [`CpuResults::dma_reads`].
+    DmaRead {
+        /// Interface name.
+        iface: &'static str,
+        /// Source address in the FPGA's address space.
+        addr: u64,
+        /// Length in bytes (rounded up to 64-byte beats internally).
+        len: usize,
+    },
+    /// Block until the interrupt line is high (the cycle-independent
+    /// completion construct that fixes the polling divergence, §3.6).
+    WaitIrq,
+    /// Idle for a fixed number of cycles (think time).
+    Delay(u64),
+}
+
+/// Results accumulated by a CPU thread.
+#[derive(Debug, Default)]
+pub struct CpuResults {
+    /// Values returned by `LiteRead` and by the final read of each
+    /// `PollUntil`.
+    pub reads: Vec<u32>,
+    /// Buffers returned by `DmaRead` ops, in order.
+    pub dma_reads: Vec<Vec<u8>>,
+    /// Total poll reads issued (across all `PollUntil` ops).
+    pub polls_issued: u64,
+    /// The script ran to completion.
+    pub finished: bool,
+}
+
+/// Shared handle to a thread's results.
+pub type CpuHandle = Rc<RefCell<CpuResults>>;
+
+#[derive(Debug)]
+enum OpState {
+    Ready,
+    AwaitWriteResp,
+    AwaitReadResp,
+    Polling { next_poll: u64, outstanding: bool },
+    DmaSending { offset: usize, awaiting_resp: u32, resume_at: u64 },
+    DmaReceiving { collected: Vec<u8>, want: usize, issued: usize, resume_at: u64 },
+    Delaying { until: u64 },
+}
+
+/// A scripted CPU thread driving the environment side of the design.
+pub struct CpuThread {
+    name: String,
+    ops: Vec<HostOp>,
+    pc: usize,
+    state: OpState,
+    lite: HashMap<&'static str, AxiLiteMaster>,
+    dma: HashMap<&'static str, AxiMaster>,
+    irq: Option<SignalId>,
+    rng: SmallRng,
+    jitter: u64,
+    start_at: u64,
+    cycle: u64,
+    /// Think-time delay applied before the next op starts.
+    pending_think: Option<u64>,
+    /// Payload of the in-progress DMA write, cached once per op so the
+    /// per-cycle state machine never clones a multi-kilobyte buffer.
+    dma_payload: Option<std::rc::Rc<Vec<u8>>>,
+    results: CpuHandle,
+}
+
+impl CpuThread {
+    /// Creates a thread running `ops`. `start_at` delays the whole script
+    /// (modelling a late thread, as in the delayed-start bug of §5.2);
+    /// `jitter` is the maximum random inter-op think time.
+    pub fn new(
+        name: impl Into<String>,
+        ops: Vec<HostOp>,
+        seed: u64,
+        start_at: u64,
+        jitter: u64,
+    ) -> (Self, CpuHandle) {
+        let results: CpuHandle = Rc::new(RefCell::new(CpuResults::default()));
+        let handle = Rc::clone(&results);
+        (
+            CpuThread {
+                name: name.into(),
+                ops,
+                pc: 0,
+                state: OpState::Ready,
+                lite: HashMap::new(),
+                dma: HashMap::new(),
+                irq: None,
+                rng: SmallRng::seed_from_u64(seed),
+                jitter,
+                start_at,
+                cycle: 0,
+                pending_think: None,
+                dma_payload: None,
+                results,
+            },
+            handle,
+        )
+    }
+
+    /// Attaches an AXI-Lite interface (environment side) under a name used
+    /// by `LiteWrite`/`LiteRead`/`PollUntil` ops.
+    pub fn attach_lite(&mut self, name: &'static str, iface: &AxiIface) {
+        self.lite.insert(name, AxiLiteMaster::new(iface));
+    }
+
+    /// Attaches a 512-bit DMA interface (environment side) under a name
+    /// used by `DmaWrite`/`DmaRead` ops.
+    pub fn attach_dma(&mut self, name: &'static str, iface: &AxiIface) {
+        self.dma.insert(name, AxiMaster::new(iface));
+    }
+
+    /// Attaches the interrupt line observed by `WaitIrq`.
+    pub fn attach_irq(&mut self, irq: SignalId) {
+        self.irq = Some(irq);
+    }
+
+    fn lite_mut(&mut self, name: &str) -> &mut AxiLiteMaster {
+        self.lite
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("CPU thread has no AXI-Lite interface {name}"))
+    }
+
+    fn dma_mut(&mut self, name: &str) -> &mut AxiMaster {
+        self.dma
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("CPU thread has no DMA interface {name}"))
+    }
+
+    fn think(&mut self) -> u64 {
+        if self.jitter == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..self.jitter)
+        }
+    }
+
+    /// Advances the script state machine by one cycle.
+    fn step(&mut self, p: &mut SignalPool) {
+        if self.cycle < self.start_at || self.pc >= self.ops.len() {
+            return;
+        }
+        // Clone the current op for the match below — but never the DMA
+        // payload on steady-state cycles: the heavy buffer is cached in
+        // `dma_payload` when the op starts, and the in-progress arms read
+        // the cache, so the per-cycle snapshot strips `bytes`.
+        let op = match (&self.state, &self.ops[self.pc]) {
+            (
+                OpState::DmaSending { .. },
+                HostOp::DmaWrite { iface, addr, .. },
+            ) => HostOp::DmaWrite {
+                iface,
+                addr: *addr,
+                bytes: Vec::new(),
+            },
+            (
+                OpState::DmaSending { .. },
+                HostOp::DmaWriteMasked {
+                    iface,
+                    addr,
+                    first_strb,
+                    ..
+                },
+            ) => HostOp::DmaWriteMasked {
+                iface,
+                addr: *addr,
+                bytes: Vec::new(),
+                first_strb: *first_strb,
+            },
+            (_, op) => op.clone(),
+        };
+        match (&mut self.state, op) {
+            (OpState::Ready, HostOp::LiteWrite { iface, addr, data }) => {
+                self.lite_mut(iface).issue_write(addr, data);
+                self.state = OpState::AwaitWriteResp;
+            }
+            (OpState::AwaitWriteResp, HostOp::LiteWrite { iface, .. }) => {
+                if self.lite_mut(iface).take_write_resp().is_some() {
+                    self.finish_op();
+                }
+            }
+            (OpState::Ready, HostOp::LiteRead { iface, addr }) => {
+                self.lite_mut(iface).issue_read(addr);
+                self.state = OpState::AwaitReadResp;
+            }
+            (OpState::AwaitReadResp, HostOp::LiteRead { iface, .. }) => {
+                if let Some((v, _)) = self.lite_mut(iface).take_read_resp() {
+                    self.results.borrow_mut().reads.push(v);
+                    self.finish_op();
+                }
+            }
+            (OpState::Ready, HostOp::PollUntil { .. }) => {
+                self.state = OpState::Polling {
+                    next_poll: self.cycle,
+                    outstanding: false,
+                };
+            }
+            (
+                OpState::Polling { next_poll, outstanding },
+                HostOp::PollUntil {
+                    iface,
+                    addr,
+                    mask,
+                    expect,
+                    interval,
+                },
+            ) => {
+                if *outstanding {
+                    let np = *next_poll;
+                    if let Some((v, _)) = self.lite_mut(iface).take_read_resp() {
+                        self.results.borrow_mut().polls_issued += 1;
+                        if v & mask == expect {
+                            self.results.borrow_mut().reads.push(v);
+                            self.finish_op();
+                        } else {
+                            self.state = OpState::Polling {
+                                next_poll: np.max(self.cycle) + interval,
+                                outstanding: false,
+                            };
+                        }
+                    }
+                } else if self.cycle >= *next_poll {
+                    self.lite_mut(iface).issue_read(addr);
+                    self.state = match std::mem::replace(&mut self.state, OpState::Ready) {
+                        OpState::Polling { next_poll, .. } => OpState::Polling {
+                            next_poll,
+                            outstanding: true,
+                        },
+                        other => other,
+                    };
+                }
+            }
+            (
+                OpState::Ready,
+                HostOp::DmaWrite { bytes, .. } | HostOp::DmaWriteMasked { bytes, .. },
+            ) => {
+                self.dma_payload = Some(std::rc::Rc::new(bytes));
+                self.state = OpState::DmaSending {
+                    offset: 0,
+                    awaiting_resp: 0,
+                    resume_at: 0,
+                };
+            }
+            (
+                OpState::DmaSending { offset, awaiting_resp, resume_at },
+                HostOp::DmaWrite { iface, addr, .. }
+                | HostOp::DmaWriteMasked { iface, addr, .. },
+            ) => {
+                let first_strb = match &self.ops[self.pc] {
+                    HostOp::DmaWriteMasked { first_strb, .. } => Some(*first_strb),
+                    _ => None,
+                };
+                let bytes = std::rc::Rc::clone(
+                    self.dma_payload.as_ref().expect("payload cached at op start"),
+                );
+                // Retire completed burst responses; pace the next burst by
+                // the PCIe round-trip gap.
+                let mut resp = *awaiting_resp;
+                let mut off = *offset;
+                let mut resume = *resume_at;
+                while self.dma_mut(iface).take_write_resp().is_some() {
+                    resp -= 1;
+                    resume = self.cycle + DMA_BURST_GAP;
+                }
+                // Issue the next burst when the previous ones are retired
+                // (simple, strictly ordered DMA engine).
+                if resp == 0 && self.cycle >= resume {
+                    if off >= bytes.len() {
+                        self.finish_op();
+                        return;
+                    }
+                    let chunk_len = (bytes.len() - off).min(DMA_BURST_BEATS * 64);
+                    let mut beats = Vec::new();
+                    let mut i = 0;
+                    while i < chunk_len {
+                        let end = (i + 64).min(chunk_len);
+                        let mut beat = bytes[off + i..off + end].to_vec();
+                        beat.resize(64, 0);
+                        beats.push(Bits::from_bytes(&beat));
+                        i += 64;
+                    }
+                    let strbs: Vec<u64> = beats
+                        .iter()
+                        .enumerate()
+                        .map(|(i, _)| match (off, i, first_strb) {
+                            (0, 0, Some(s)) => s,
+                            _ => u64::MAX,
+                        })
+                        .collect();
+                    self.dma_mut(iface)
+                        .issue_write_burst_strobed(addr + off as u64, &beats, &strbs);
+                    off += chunk_len;
+                    resp += 1;
+                }
+                self.state = OpState::DmaSending {
+                    offset: off,
+                    awaiting_resp: resp,
+                    resume_at: resume,
+                };
+            }
+            (OpState::Ready, HostOp::DmaRead { len, .. }) => {
+                self.state = OpState::DmaReceiving {
+                    collected: Vec::with_capacity(len),
+                    want: len,
+                    issued: 0,
+                    resume_at: 0,
+                };
+            }
+            (
+                OpState::DmaReceiving { collected, want, issued, resume_at },
+                HostOp::DmaRead { iface, addr, .. },
+            ) => {
+                let want = *want;
+                let mut collected = std::mem::take(collected);
+                let mut issued = *issued;
+                let mut resume = *resume_at;
+                // Collect beats.
+                while let Some(beat) = self.dma_mut(iface).take_read_beat() {
+                    collected.extend_from_slice(&beat.data.to_bytes());
+                }
+                if collected.len() >= want {
+                    collected.truncate(want);
+                    self.results.borrow_mut().dma_reads.push(collected);
+                    self.finish_op();
+                    return;
+                }
+                // Issue the next burst once the previous one fully arrived
+                // (simple, strictly ordered DMA engine), paced by the PCIe
+                // round-trip gap.
+                let beats_needed = want.div_ceil(64);
+                if issued < beats_needed
+                    && self.dma_mut(iface).pending_requests() == 0
+                    && collected.len() == issued * 64
+                {
+                    if issued > 0 && resume == 0 {
+                        resume = self.cycle + DMA_BURST_GAP;
+                    }
+                    if issued == 0 || self.cycle >= resume {
+                        let n = (beats_needed - issued).min(DMA_BURST_BEATS);
+                        self.dma_mut(iface)
+                            .issue_read_burst(addr + (issued as u64) * 64, n);
+                        issued += n;
+                        resume = 0;
+                    }
+                }
+                self.state = OpState::DmaReceiving {
+                    collected,
+                    want,
+                    issued,
+                    resume_at: resume,
+                };
+            }
+            (OpState::Ready, HostOp::WaitIrq) => {
+                let irq = self.irq.expect("WaitIrq without attached irq line");
+                if p.get_bool(irq) {
+                    self.finish_op();
+                }
+            }
+            (OpState::Ready, HostOp::Delay(n)) => {
+                self.state = OpState::Delaying {
+                    until: self.cycle + n,
+                };
+            }
+            (OpState::Delaying { until }, HostOp::Delay(_)) => {
+                if self.cycle >= *until {
+                    self.finish_op();
+                }
+            }
+            (state, op) => unreachable!("CPU state {state:?} does not match op {op:?}"),
+        }
+    }
+
+    fn finish_op(&mut self) {
+        self.pc += 1;
+        self.state = OpState::Ready;
+        self.dma_payload = None;
+        if self.pc >= self.ops.len() {
+            self.results.borrow_mut().finished = true;
+            return;
+        }
+        let think = self.think();
+        if think > 0 {
+            self.pending_think = Some(self.cycle + think);
+        }
+    }
+
+    /// Whether the script has completed.
+    pub fn finished(&self) -> bool {
+        self.pc >= self.ops.len()
+    }
+}
+
+impl Component for CpuThread {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, p: &mut SignalPool) {
+        for m in self.lite.values_mut() {
+            m.eval(p);
+        }
+        for m in self.dma.values_mut() {
+            m.eval(p);
+        }
+    }
+
+    fn tick(&mut self, p: &mut SignalPool) {
+        for m in self.lite.values_mut() {
+            m.tick(p);
+        }
+        for m in self.dma.values_mut() {
+            m.tick(p);
+        }
+        if let Some(t) = self.pending_think {
+            if self.cycle < t {
+                self.cycle += 1;
+                return;
+            }
+            self.pending_think = None;
+        }
+        self.step(p);
+        self.cycle += 1;
+    }
+}

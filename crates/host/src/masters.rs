@@ -1,0 +1,201 @@
+//! AXI master endpoint helpers for the CPU model.
+//!
+//! These are not components; embed them in a component (the CPU model) and
+//! forward `eval`/`tick`.
+
+use vidi_chan::{
+    pack_lite_w, unpack_lite_r, AxFields, AxiChannel, AxiIface, BFields, RFields, ReceiverLatch,
+    SenderQueue, WFields,
+};
+use vidi_hwsim::{Bits, SignalPool};
+
+/// Master endpoint on an AXI-Lite interface (CPU side of `sda`/`ocl`/`bar1`).
+#[derive(Debug)]
+pub struct AxiLiteMaster {
+    aw: SenderQueue,
+    w: SenderQueue,
+    b: ReceiverLatch,
+    ar: SenderQueue,
+    r: ReceiverLatch,
+}
+
+impl AxiLiteMaster {
+    /// Creates a master driving the five channels of `iface` (must be an
+    /// AXI-Lite interface; the CPU is the requester).
+    pub fn new(iface: &AxiIface) -> Self {
+        AxiLiteMaster {
+            aw: SenderQueue::new(iface.channel(AxiChannel::Aw).clone()),
+            w: SenderQueue::new(iface.channel(AxiChannel::W).clone()),
+            b: ReceiverLatch::new(iface.channel(AxiChannel::B).clone()),
+            ar: SenderQueue::new(iface.channel(AxiChannel::Ar).clone()),
+            r: ReceiverLatch::new(iface.channel(AxiChannel::R).clone()),
+        }
+    }
+
+    /// Enqueues a 32-bit register write.
+    pub fn issue_write(&mut self, addr: u32, data: u32) {
+        self.aw.push(Bits::from_u64(32, addr as u64));
+        self.w.push(pack_lite_w(data, 0xf));
+    }
+
+    /// Enqueues a 32-bit register read.
+    pub fn issue_read(&mut self, addr: u32) {
+        self.ar.push(Bits::from_u64(32, addr as u64));
+    }
+
+    /// Pops a completed write response, if any.
+    pub fn take_write_resp(&mut self) -> Option<u8> {
+        self.b.pop().map(|b| b.to_u64() as u8)
+    }
+
+    /// Pops a completed read response `(data, resp)`, if any.
+    pub fn take_read_resp(&mut self) -> Option<(u32, u8)> {
+        self.r.pop().map(|b| unpack_lite_r(&b))
+    }
+
+    /// Drives request channels and response readiness.
+    pub fn eval(&mut self, p: &mut SignalPool) {
+        self.aw.eval(p, true);
+        self.w.eval(p, true);
+        self.ar.eval(p, true);
+        self.b.eval(p, true);
+        self.r.eval(p, true);
+    }
+
+    /// Commits fires on all five channels.
+    pub fn tick(&mut self, p: &mut SignalPool) {
+        self.aw.tick(p);
+        self.w.tick(p);
+        self.ar.tick(p);
+        self.b.tick(p);
+        self.r.tick(p);
+    }
+}
+
+/// Master endpoint on a 512-bit AXI4 interface (CPU side of `pcis`).
+#[derive(Debug)]
+pub struct AxiMaster {
+    aw: SenderQueue,
+    w: SenderQueue,
+    b: ReceiverLatch,
+    ar: SenderQueue,
+    r: ReceiverLatch,
+    next_id: u16,
+}
+
+/// Maximum beats per burst issued by the DMA engine (AXI4 allows 256; the
+/// F1 shell uses shorter bursts — 16 beats = 1 KiB).
+pub const DMA_BURST_BEATS: usize = 16;
+
+impl AxiMaster {
+    /// Creates a master driving the five channels of `iface` (must be a
+    /// 512-bit AXI4 interface with the CPU as requester).
+    pub fn new(iface: &AxiIface) -> Self {
+        AxiMaster {
+            aw: SenderQueue::new(iface.channel(AxiChannel::Aw).clone()),
+            w: SenderQueue::new(iface.channel(AxiChannel::W).clone()),
+            b: ReceiverLatch::new(iface.channel(AxiChannel::B).clone()),
+            ar: SenderQueue::new(iface.channel(AxiChannel::Ar).clone()),
+            r: ReceiverLatch::new(iface.channel(AxiChannel::R).clone()),
+            next_id: 0,
+        }
+    }
+
+    /// Enqueues one write burst of up to [`DMA_BURST_BEATS`] 64-byte beats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beats` is empty or longer than [`DMA_BURST_BEATS`].
+    pub fn issue_write_burst(&mut self, addr: u64, beats: &[Bits], strb: u64) {
+        let strbs = vec![strb; beats.len()];
+        self.issue_write_burst_strobed(addr, beats, &strbs);
+    }
+
+    /// Like [`AxiMaster::issue_write_burst`] but with a per-beat strobe —
+    /// how a DMA engine expresses an unaligned transfer (leading invalid
+    /// bytes masked off), the trigger of the §5.2 bitmask bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beats` is empty, longer than [`DMA_BURST_BEATS`], or
+    /// `strbs` has a different length.
+    pub fn issue_write_burst_strobed(&mut self, addr: u64, beats: &[Bits], strbs: &[u64]) {
+        assert!(!beats.is_empty() && beats.len() <= DMA_BURST_BEATS);
+        assert_eq!(beats.len(), strbs.len(), "one strobe per beat");
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        self.aw.push(
+            AxFields {
+                addr,
+                id,
+                len: (beats.len() - 1) as u8,
+                size: 6,
+            }
+            .pack(),
+        );
+        for (i, (beat, strb)) in beats.iter().zip(strbs).enumerate() {
+            self.w.push(
+                WFields {
+                    data: beat.clone(),
+                    strb: *strb,
+                    id,
+                    last: i == beats.len() - 1,
+                }
+                .pack(),
+            );
+        }
+    }
+
+    /// Enqueues one read burst of `beats` 64-byte beats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beats` is zero or exceeds [`DMA_BURST_BEATS`].
+    pub fn issue_read_burst(&mut self, addr: u64, beats: usize) {
+        assert!(beats > 0 && beats <= DMA_BURST_BEATS);
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        self.ar.push(
+            AxFields {
+                addr,
+                id,
+                len: (beats - 1) as u8,
+                size: 6,
+            }
+            .pack(),
+        );
+    }
+
+    /// Pops a completed write response, if any.
+    pub fn take_write_resp(&mut self) -> Option<BFields> {
+        self.b.pop().map(|b| BFields::unpack(&b))
+    }
+
+    /// Pops one received read beat, if any.
+    pub fn take_read_beat(&mut self) -> Option<RFields> {
+        self.r.pop().map(|b| RFields::unpack(&b))
+    }
+
+    /// Outstanding queued request payloads (for pacing decisions).
+    pub fn pending_requests(&self) -> usize {
+        self.aw.pending() + self.w.pending() + self.ar.pending()
+    }
+
+    /// Drives request channels and response readiness.
+    pub fn eval(&mut self, p: &mut SignalPool) {
+        self.aw.eval(p, true);
+        self.w.eval(p, true);
+        self.ar.eval(p, true);
+        self.b.eval(p, true);
+        self.r.eval(p, true);
+    }
+
+    /// Commits fires on all five channels.
+    pub fn tick(&mut self, p: &mut SignalPool) {
+        self.aw.tick(p);
+        self.w.tick(p);
+        self.ar.tick(p);
+        self.b.tick(p);
+        self.r.tick(p);
+    }
+}

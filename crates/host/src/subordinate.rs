@@ -1,0 +1,223 @@
+//! The CPU-side AXI subordinate backing `pcim` with host memory.
+//!
+//! On F1, an FPGA application's `pcim` interface issues DMA writes and reads
+//! against CPU DRAM. This component plays the CPU/DRAM side: it accepts
+//! AW/W/AR requests on the environment side of the interface and services
+//! them against a [`HostMemory`], with seeded response-latency jitter — the
+//! natural source of recording nondeterminism a real host exhibits.
+
+use std::collections::VecDeque;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vidi_chan::{AxFields, BFields, Channel, RFields, ReceiverLatch, SenderQueue, WFields};
+use vidi_hwsim::{Bits, Component, SignalPool};
+
+use crate::mem::HostMemory;
+
+/// Host-memory subordinate for a 512-bit AXI4 interface where the FPGA is
+/// the manager (F1 `pcim`).
+#[derive(Debug)]
+pub struct HostMemSubordinate {
+    name: String,
+    aw: ReceiverLatch,
+    w: ReceiverLatch,
+    b: SenderQueue,
+    ar: ReceiverLatch,
+    r: SenderQueue,
+    mem: HostMemory,
+    rng: SmallRng,
+    /// Write bursts awaiting data beats: (fields, beats received).
+    write_in_flight: VecDeque<(AxFields, Vec<WFields>)>,
+    /// W beats that arrived before their AW (AXI permits this ordering).
+    orphan_beats: VecDeque<WFields>,
+    /// Pending B responses with their release cycle.
+    b_pending: VecDeque<(u64, BFields)>,
+    /// Pending R bursts with their release cycle.
+    r_pending: VecDeque<(u64, Vec<RFields>)>,
+    cycle: u64,
+    latency_range: (u64, u64),
+    writes_serviced: u64,
+    reads_serviced: u64,
+}
+
+impl HostMemSubordinate {
+    /// Creates a subordinate over the environment-side channels of a `pcim`
+    /// style interface: `(aw, w, b, ar, r)` in canonical order.
+    pub fn new(
+        name: impl Into<String>,
+        channels: [Channel; 5],
+        mem: HostMemory,
+        seed: u64,
+        latency_range: (u64, u64),
+    ) -> Self {
+        let [aw, w, b, ar, r] = channels;
+        HostMemSubordinate {
+            name: name.into(),
+            aw: ReceiverLatch::new(aw),
+            w: ReceiverLatch::new(w),
+            b: SenderQueue::new(b),
+            ar: ReceiverLatch::new(ar),
+            r: SenderQueue::new(r),
+            mem,
+            rng: SmallRng::seed_from_u64(seed),
+            write_in_flight: VecDeque::new(),
+            orphan_beats: VecDeque::new(),
+            b_pending: VecDeque::new(),
+            r_pending: VecDeque::new(),
+            cycle: 0,
+            latency_range,
+            writes_serviced: 0,
+            reads_serviced: 0,
+        }
+    }
+
+    /// DMA write bursts completed.
+    pub fn writes_serviced(&self) -> u64 {
+        self.writes_serviced
+    }
+
+    /// DMA read bursts completed.
+    pub fn reads_serviced(&self) -> u64 {
+        self.reads_serviced
+    }
+
+    fn latency(&mut self) -> u64 {
+        let (lo, hi) = self.latency_range;
+        if hi > lo {
+            self.rng.gen_range(lo..hi)
+        } else {
+            lo
+        }
+    }
+
+    fn attach_beat(&mut self, beat: WFields) {
+        // Match beats to their burst by transaction id (AXI permits
+        // same-id beats only in order, and distinct-id bursts may not
+        // interleave beats within one id), falling back to issue order for
+        // id-less traffic.
+        for (aw, beats) in self.write_in_flight.iter_mut() {
+            if beats.len() < aw.len as usize + 1 && aw.id == beat.id {
+                beats.push(beat);
+                return;
+            }
+        }
+        for (aw, beats) in self.write_in_flight.iter_mut() {
+            if beats.len() < aw.len as usize + 1 {
+                debug_assert_eq!(
+                    aw.id, beat.id,
+                    "W beat id does not match any incomplete burst"
+                );
+                beats.push(beat);
+                return;
+            }
+        }
+        self.orphan_beats.push_back(beat);
+    }
+
+    fn complete_writes(&mut self) {
+        while let Some((aw, beats)) = self.write_in_flight.front() {
+            let expected = aw.len as usize + 1;
+            if beats.len() < expected {
+                break;
+            }
+            let (aw, beats) = self.write_in_flight.pop_front().expect("front exists");
+            for (i, beat) in beats.iter().enumerate() {
+                self.mem.write_strobed(
+                    aw.addr + (i as u64) * 64,
+                    &beat.data.to_bytes(),
+                    beat.strb,
+                );
+            }
+            let delay = self.latency();
+            self.b_pending
+                .push_back((self.cycle + delay, BFields { id: aw.id, resp: 0 }));
+            self.writes_serviced += 1;
+        }
+    }
+}
+
+impl Component for HostMemSubordinate {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, p: &mut SignalPool) {
+        self.aw.eval(p, true);
+        self.w.eval(p, true);
+        self.ar.eval(p, true);
+        // Release delayed responses whose time has come.
+        self.b.eval(p, true);
+        self.r.eval(p, true);
+    }
+
+    fn tick(&mut self, p: &mut SignalPool) {
+        self.cycle += 1;
+        if let Some(raw) = self.aw.tick(p) {
+            let aw = AxFields::unpack(&raw);
+            let mut beats = Vec::with_capacity(aw.len as usize + 1);
+            // Adopt any orphan beats that belong to this burst.
+            while beats.len() < aw.len as usize + 1 {
+                match self.orphan_beats.pop_front() {
+                    Some(b) => {
+                        let last = b.last;
+                        beats.push(b);
+                        if last {
+                            break;
+                        }
+                    }
+                    None => break,
+                }
+            }
+            self.write_in_flight.push_back((aw, beats));
+        }
+        if let Some(raw) = self.w.tick(p) {
+            let beat = WFields::unpack(&raw);
+            self.attach_beat(beat);
+        }
+        self.complete_writes();
+
+        if let Some(raw) = self.ar.tick(p) {
+            let ar = AxFields::unpack(&raw);
+            let n = ar.len as usize + 1;
+            let beats: Vec<RFields> = (0..n)
+                .map(|i| {
+                    let bytes = self.mem.read(ar.addr + (i as u64) * 64, 64);
+                    RFields {
+                        data: Bits::from_bytes(&bytes),
+                        id: ar.id,
+                        resp: 0,
+                        last: i == n - 1,
+                    }
+                })
+                .collect();
+            let delay = self.latency();
+            self.r_pending.push_back((self.cycle + delay, beats));
+            self.reads_serviced += 1;
+        }
+
+        // Move due responses into the send queues.
+        while self
+            .b_pending
+            .front()
+            .map(|(t, _)| *t <= self.cycle)
+            .unwrap_or(false)
+        {
+            let (_, bf) = self.b_pending.pop_front().expect("front exists");
+            self.b.push(bf.pack());
+        }
+        while self
+            .r_pending
+            .front()
+            .map(|(t, _)| *t <= self.cycle)
+            .unwrap_or(false)
+        {
+            let (_, beats) = self.r_pending.pop_front().expect("front exists");
+            for beat in beats {
+                self.r.push(beat.pack());
+            }
+        }
+        self.b.tick(p);
+        self.r.tick(p);
+    }
+}

@@ -1,0 +1,506 @@
+//! Arbitrary-width bit-vector values.
+//!
+//! Hardware signals are not `u64`s: AXI data buses on AWS F1 are 512 bits
+//! wide and a cycle packet's `Contents` field is wider still. [`Bits`] is the
+//! value type carried by every signal in the simulator. It stores bits
+//! LSB-first in 64-bit limbs and maintains the invariant that bits above
+//! `width` are zero, so equality and hashing are structural.
+//!
+//! ```
+//! use vidi_hwsim::Bits;
+//!
+//! let addr = Bits::from_u64(64, 0xdead_beef);
+//! let lo = addr.slice(0, 16);
+//! assert_eq!(lo.to_u64(), 0xbeef);
+//! let both = lo.concat(&addr.slice(16, 16));
+//! assert_eq!(both.to_u64(), 0xdead_beef);
+//! ```
+
+use std::fmt;
+
+/// Number of bits in one storage limb.
+const LIMB_BITS: u32 = 64;
+
+/// An arbitrary-width, unsigned bit-vector value.
+///
+/// `Bits` is the universal payload type for simulator signals: a 1-bit wire,
+/// a 512-bit AXI beat and a variable-width trace packet are all `Bits`.
+///
+/// Bits above the declared width are always zero (a maintained invariant),
+/// so derived `PartialEq`/`Hash` compare values structurally. Two `Bits` are
+/// equal only if both width and value match.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bits {
+    width: u32,
+    limbs: Vec<u64>,
+}
+
+fn limbs_for(width: u32) -> usize {
+    width.div_ceil(LIMB_BITS) as usize
+}
+
+impl Bits {
+    /// Creates an all-zero value of the given width. Width 0 is permitted
+    /// and represents the empty vector (useful for zero-width channels).
+    pub fn zero(width: u32) -> Self {
+        Bits {
+            width,
+            limbs: vec![0; limbs_for(width)],
+        }
+    }
+
+    /// Creates an all-ones value of the given width.
+    pub fn ones(width: u32) -> Self {
+        let mut b = Bits {
+            width,
+            limbs: vec![u64::MAX; limbs_for(width)],
+        };
+        b.mask_top();
+        b
+    }
+
+    /// Creates a value of `width` bits from a `u64`, truncating if
+    /// `width < 64`.
+    pub fn from_u64(width: u32, value: u64) -> Self {
+        let mut b = Bits::zero(width);
+        if !b.limbs.is_empty() {
+            b.limbs[0] = value;
+        }
+        b.mask_top();
+        b
+    }
+
+    /// Creates a value of `width` bits from a `u128`, truncating if needed.
+    pub fn from_u128(width: u32, value: u128) -> Self {
+        let mut b = Bits::zero(width);
+        if !b.limbs.is_empty() {
+            b.limbs[0] = value as u64;
+        }
+        if b.limbs.len() > 1 {
+            b.limbs[1] = (value >> 64) as u64;
+        }
+        b.mask_top();
+        b
+    }
+
+    /// Creates a single-bit value.
+    pub fn from_bool(value: bool) -> Self {
+        Bits::from_u64(1, value as u64)
+    }
+
+    /// Creates a value from LSB-first limbs; extra high bits are masked off.
+    pub fn from_limbs(width: u32, limbs: &[u64]) -> Self {
+        let n = limbs_for(width);
+        let mut v = vec![0u64; n];
+        for (dst, src) in v.iter_mut().zip(limbs.iter()) {
+            *dst = *src;
+        }
+        let mut b = Bits { width, limbs: v };
+        b.mask_top();
+        b
+    }
+
+    /// Creates a value of `width = 8 * bytes.len()` from little-endian bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let width = (bytes.len() * 8) as u32;
+        let mut b = Bits::zero(width);
+        for (i, byte) in bytes.iter().enumerate() {
+            let limb = i / 8;
+            let shift = (i % 8) * 8;
+            b.limbs[limb] |= (*byte as u64) << shift;
+        }
+        b
+    }
+
+    /// The declared width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Whether every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// The LSB-first limb view of the value.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// The value as `u64`, ignoring (asserting against, in debug builds)
+    /// any set bits above bit 63.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if a bit above 63 is set.
+    pub fn to_u64(&self) -> u64 {
+        debug_assert!(
+            self.limbs.iter().skip(1).all(|&l| l == 0),
+            "Bits::to_u64 on a value wider than 64 bits with high bits set"
+        );
+        self.limbs.first().copied().unwrap_or(0)
+    }
+
+    /// The low 128 bits of the value as `u128`.
+    pub fn to_u128(&self) -> u128 {
+        let lo = self.limbs.first().copied().unwrap_or(0) as u128;
+        let hi = self.limbs.get(1).copied().unwrap_or(0) as u128;
+        lo | (hi << 64)
+    }
+
+    /// The value as little-endian bytes, `ceil(width / 8)` of them.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n = self.width.div_ceil(8) as usize;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let limb = self.limbs[i / 8];
+            out.push((limb >> ((i % 8) * 8)) as u8);
+        }
+        out
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= width`.
+    pub fn bit(&self, index: u32) -> bool {
+        assert!(index < self.width, "bit index {index} out of width {}", self.width);
+        (self.limbs[(index / LIMB_BITS) as usize] >> (index % LIMB_BITS)) & 1 == 1
+    }
+
+    /// Writes one bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= width`.
+    pub fn set_bit(&mut self, index: u32, value: bool) {
+        assert!(index < self.width, "bit index {index} out of width {}", self.width);
+        let limb = (index / LIMB_BITS) as usize;
+        let mask = 1u64 << (index % LIMB_BITS);
+        if value {
+            self.limbs[limb] |= mask;
+        } else {
+            self.limbs[limb] &= !mask;
+        }
+    }
+
+    /// Extracts `width` bits starting at bit `lo` as a new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo + width > self.width()`.
+    pub fn slice(&self, lo: u32, width: u32) -> Bits {
+        assert!(
+            lo + width <= self.width,
+            "slice [{lo}, {lo}+{width}) out of width {}",
+            self.width
+        );
+        let mut out = Bits::zero(width);
+        let limb_off = (lo / LIMB_BITS) as usize;
+        let bit_off = lo % LIMB_BITS;
+        for i in 0..out.limbs.len() {
+            let lo_part = self.limbs.get(limb_off + i).copied().unwrap_or(0) >> bit_off;
+            let hi_part = if bit_off == 0 {
+                0
+            } else {
+                self.limbs.get(limb_off + i + 1).copied().unwrap_or(0) << (LIMB_BITS - bit_off)
+            };
+            out.limbs[i] = lo_part | hi_part;
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Overwrites `value.width()` bits starting at `lo` with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo + value.width() > self.width()`.
+    pub fn set_slice(&mut self, lo: u32, value: &Bits) {
+        assert!(
+            lo + value.width <= self.width,
+            "set_slice [{lo}, {lo}+{}) out of width {}",
+            value.width,
+            self.width
+        );
+        for i in 0..value.width {
+            self.set_bit(lo + i, value.bit(i));
+        }
+    }
+
+    /// Returns `self` in the low bits and `high` above it:
+    /// `result = (high << self.width) | self`.
+    pub fn concat(&self, high: &Bits) -> Bits {
+        let mut out = Bits::zero(self.width + high.width);
+        out.set_slice(0, self);
+        out.set_slice(self.width, high);
+        out
+    }
+
+    /// Zero-extends or truncates to a new width.
+    pub fn resize(&self, width: u32) -> Bits {
+        let mut out = Bits::zero(width);
+        let copy = self.width.min(width);
+        if copy > 0 {
+            out.set_slice(0, &self.slice(0, copy));
+        }
+        out
+    }
+
+    /// The number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.limbs.iter().map(|l| l.count_ones()).sum()
+    }
+
+    /// Bitwise XOR with another value of the same width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn xor(&self, other: &Bits) -> Bits {
+        assert_eq!(self.width, other.width, "xor width mismatch");
+        let mut out = self.clone();
+        for (l, r) in out.limbs.iter_mut().zip(other.limbs.iter()) {
+            *l ^= r;
+        }
+        out
+    }
+
+    /// Bitwise AND with another value of the same width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn and(&self, other: &Bits) -> Bits {
+        assert_eq!(self.width, other.width, "and width mismatch");
+        let mut out = self.clone();
+        for (l, r) in out.limbs.iter_mut().zip(other.limbs.iter()) {
+            *l &= r;
+        }
+        out
+    }
+
+    /// Bitwise OR with another value of the same width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn or(&self, other: &Bits) -> Bits {
+        assert_eq!(self.width, other.width, "or width mismatch");
+        let mut out = self.clone();
+        for (l, r) in out.limbs.iter_mut().zip(other.limbs.iter()) {
+            *l |= r;
+        }
+        out
+    }
+
+    /// Bitwise NOT (within the declared width).
+    pub fn not(&self) -> Bits {
+        let mut out = self.clone();
+        for l in out.limbs.iter_mut() {
+            *l = !*l;
+        }
+        out.mask_top();
+        out
+    }
+
+    fn mask_top(&mut self) {
+        let rem = self.width % LIMB_BITS;
+        if rem != 0 {
+            if let Some(top) = self.limbs.last_mut() {
+                *top &= (1u64 << rem) - 1;
+            }
+        }
+        if self.width == 0 {
+            self.limbs.clear();
+        }
+    }
+}
+
+impl Default for Bits {
+    /// The empty (zero-width) vector.
+    fn default() -> Self {
+        Bits::zero(0)
+    }
+}
+
+impl fmt::Debug for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bits<{}>({self:x})", self.width)
+    }
+}
+
+impl fmt::Display for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:x}")
+    }
+}
+
+impl fmt::LowerHex for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.limbs.is_empty() {
+            return write!(f, "0");
+        }
+        let mut started = false;
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            if started {
+                write!(f, "{limb:016x}")?;
+            } else if *limb != 0 || i == 0 {
+                write!(f, "{limb:x}")?;
+                started = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Binary for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.width == 0 {
+            return write!(f, "0");
+        }
+        for i in (0..self.width).rev() {
+            write!(f, "{}", if self.bit(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl From<bool> for Bits {
+    fn from(v: bool) -> Self {
+        Bits::from_bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_ones() {
+        let z = Bits::zero(130);
+        assert!(z.is_zero());
+        assert_eq!(z.width(), 130);
+        let o = Bits::ones(130);
+        assert_eq!(o.count_ones(), 130);
+        assert_eq!(o.limbs().len(), 3);
+        // invariant: bits above width are zero
+        assert_eq!(o.limbs()[2] >> 2, 0);
+    }
+
+    #[test]
+    fn u64_roundtrip_truncates() {
+        let b = Bits::from_u64(8, 0x1ff);
+        assert_eq!(b.to_u64(), 0xff);
+        let b = Bits::from_u64(64, u64::MAX);
+        assert_eq!(b.to_u64(), u64::MAX);
+    }
+
+    #[test]
+    fn u128_roundtrip() {
+        let v = 0x0123_4567_89ab_cdef_fedc_ba98_7654_3210u128;
+        let b = Bits::from_u128(128, v);
+        assert_eq!(b.to_u128(), v);
+        assert_eq!(Bits::from_u128(100, v).to_u128(), v & ((1u128 << 100) - 1));
+    }
+
+    #[test]
+    fn bit_access() {
+        let mut b = Bits::zero(70);
+        b.set_bit(69, true);
+        b.set_bit(0, true);
+        assert!(b.bit(69));
+        assert!(b.bit(0));
+        assert!(!b.bit(35));
+        b.set_bit(69, false);
+        assert!(!b.bit(69));
+        assert_eq!(b.count_ones(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of width")]
+    fn bit_out_of_range_panics() {
+        Bits::zero(4).bit(4);
+    }
+
+    #[test]
+    fn slice_within_limb() {
+        let b = Bits::from_u64(32, 0xabcd_1234);
+        assert_eq!(b.slice(0, 16).to_u64(), 0x1234);
+        assert_eq!(b.slice(16, 16).to_u64(), 0xabcd);
+        assert_eq!(b.slice(4, 8).to_u64(), 0x23);
+    }
+
+    #[test]
+    fn slice_across_limbs() {
+        let b = Bits::from_u128(128, (0x1111_2222_3333_4444u128 << 64) | 0x5555_6666_7777_8888);
+        assert_eq!(b.slice(32, 64).to_u64(), 0x3333_4444_5555_6666);
+        assert_eq!(b.slice(60, 8).to_u64(), 0x45);
+    }
+
+    #[test]
+    fn concat_and_set_slice() {
+        let lo = Bits::from_u64(8, 0x34);
+        let hi = Bits::from_u64(8, 0x12);
+        let c = lo.concat(&hi);
+        assert_eq!(c.width(), 16);
+        assert_eq!(c.to_u64(), 0x1234);
+
+        let mut b = Bits::zero(512);
+        b.set_slice(500, &Bits::from_u64(12, 0xfff));
+        assert_eq!(b.slice(500, 12).to_u64(), 0xfff);
+        assert_eq!(b.count_ones(), 12);
+    }
+
+    #[test]
+    fn resize() {
+        let b = Bits::from_u64(16, 0xbeef);
+        assert_eq!(b.resize(8).to_u64(), 0xef);
+        assert_eq!(b.resize(64).to_u64(), 0xbeef);
+        assert_eq!(b.resize(64).width(), 64);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let bytes = [0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09];
+        let b = Bits::from_bytes(&bytes);
+        assert_eq!(b.width(), 72);
+        assert_eq!(b.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn logic_ops() {
+        let a = Bits::from_u64(8, 0b1100_1010);
+        let b = Bits::from_u64(8, 0b1010_0110);
+        assert_eq!(a.xor(&b).to_u64(), 0b0110_1100);
+        assert_eq!(a.and(&b).to_u64(), 0b1000_0010);
+        assert_eq!(a.or(&b).to_u64(), 0b1110_1110);
+        assert_eq!(a.not().to_u64(), 0b0011_0101);
+    }
+
+    #[test]
+    fn formatting() {
+        let b = Bits::from_u64(12, 0xabc);
+        assert_eq!(format!("{b:x}"), "abc");
+        assert_eq!(format!("{b:b}"), "101010111100");
+        let wide = Bits::from_u128(80, 0x1_0000_0000_0000_beef);
+        assert_eq!(format!("{wide:x}"), "1000000000000beef");
+    }
+
+    #[test]
+    fn zero_width() {
+        let b = Bits::zero(0);
+        assert_eq!(b.width(), 0);
+        assert!(b.is_zero());
+        assert_eq!(b.to_bytes().len(), 0);
+        assert_eq!(b.concat(&Bits::from_u64(4, 0xf)).to_u64(), 0xf);
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(Bits::from_u64(8, 5), Bits::from_u64(8, 5));
+        assert_ne!(Bits::from_u64(8, 5), Bits::from_u64(9, 5));
+        assert_ne!(Bits::from_u64(8, 5), Bits::from_u64(8, 6));
+    }
+}

@@ -1,0 +1,65 @@
+//! The component model: synchronous hardware blocks.
+
+use crate::signal::SignalPool;
+
+/// A synchronous hardware component.
+///
+/// Components follow the standard two-phase RTL discipline:
+///
+/// * [`eval`](Component::eval) computes *combinational* outputs from the
+///   component's registered state and the current signal values. It may be
+///   called several times per cycle while the scheduler searches for the
+///   combinational fixed point, so it must be **idempotent**: calling it
+///   again with unchanged inputs must write the same outputs.
+/// * [`tick`](Component::tick) is the clock edge. It may read the settled
+///   signal values and update the component's internal state, but it must
+///   **not** write signals (registered outputs become visible through the
+///   next cycle's `eval`). Tick order across components is unspecified, so a
+///   correct component never depends on it.
+///
+/// ```
+/// use vidi_hwsim::{Component, SignalId, SignalPool, Simulator};
+///
+/// /// An 8-bit counter that increments while `enable` is high.
+/// struct Counter {
+///     enable: SignalId,
+///     count: SignalId,
+///     state: u64,
+/// }
+///
+/// impl Component for Counter {
+///     fn name(&self) -> &str {
+///         "counter"
+///     }
+///     fn eval(&mut self, p: &mut SignalPool) {
+///         p.set_u64(self.count, self.state);
+///     }
+///     fn tick(&mut self, p: &mut SignalPool) {
+///         if p.get_bool(self.enable) {
+///             self.state = (self.state + 1) & 0xff;
+///         }
+///     }
+/// }
+///
+/// let mut sim = Simulator::new();
+/// let enable = sim.pool_mut().add("enable", 1);
+/// let count = sim.pool_mut().add("count", 8);
+/// sim.add_component(Counter { enable, count, state: 0 });
+/// sim.pool_mut().set_bool(enable, true);
+/// sim.run(5).unwrap();
+/// // `count` is a registered output: the visible signal reflects the state
+/// // at the last settle phase, one cycle behind the internal register.
+/// assert_eq!(sim.pool().get_u64(count), 4);
+/// ```
+pub trait Component {
+    /// A diagnostic name for error messages and waveforms.
+    fn name(&self) -> &str;
+
+    /// Computes combinational outputs from internal state and input signals.
+    /// Must be idempotent; see the trait documentation.
+    fn eval(&mut self, pool: &mut SignalPool);
+
+    /// The clock edge: reads settled signals and updates internal state.
+    /// Must not write signals; see the trait documentation.
+    fn tick(&mut self, pool: &mut SignalPool);
+}

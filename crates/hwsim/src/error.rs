@@ -1,0 +1,43 @@
+//! Simulator error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while advancing a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The combinational evaluation did not reach a fixed point within the
+    /// iteration bound — the design contains a combinational loop (or an
+    /// `eval` implementation that is not idempotent).
+    CombinationalLoop {
+        /// Cycle at which the loop was detected.
+        cycle: u64,
+        /// The iteration bound that was exceeded.
+        iterations: usize,
+    },
+    /// `run_until` exhausted its cycle budget before the predicate held.
+    /// This is how deadlocks and hangs (e.g. the `axi_atop_filter` case
+    /// study) surface to the harness.
+    Timeout {
+        /// The cycle count at which the simulation gave up.
+        cycle: u64,
+        /// Human-readable description of what was being awaited.
+        waiting_for: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CombinationalLoop { cycle, iterations } => write!(
+                f,
+                "combinational loop: no fixed point after {iterations} eval passes at cycle {cycle}"
+            ),
+            SimError::Timeout { cycle, waiting_for } => {
+                write!(f, "timeout at cycle {cycle} waiting for {waiting_for}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}

@@ -1,0 +1,65 @@
+//! # vidi-hwsim — deterministic delta-cycle hardware simulator
+//!
+//! This crate is the hardware substrate of the Vidi reproduction. The paper
+//! deploys Vidi on a Xilinx VU9P FPGA; we have no FPGA, so every "hardware"
+//! block in this repository — the applications, the AXI channels, and Vidi's
+//! own monitors, encoder, store, decoder, and replayers — is a synchronous
+//! [`Component`] simulated by this kernel.
+//!
+//! The model is standard RTL semantics:
+//!
+//! * all state is held in per-component registers,
+//! * combinational logic is re-evaluated to a fixed point every cycle
+//!   (a bounded delta-cycle loop that turns true combinational loops into
+//!   errors), and
+//! * the clock edge commits new register state simultaneously everywhere.
+//!
+//! A transaction in the Vidi sense *fires* on a cycle where a channel's
+//! VALID and READY are both high at the clock edge — exactly the AXI rule
+//! shown in Fig 1 of the paper.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use vidi_hwsim::{Bits, Component, SignalId, SignalPool, Simulator};
+//!
+//! /// Drives `out = in + 1` combinationally.
+//! struct Inc {
+//!     input: SignalId,
+//!     output: SignalId,
+//! }
+//! impl Component for Inc {
+//!     fn name(&self) -> &str { "inc" }
+//!     fn eval(&mut self, p: &mut SignalPool) {
+//!         let v = p.get_u64(self.input);
+//!         p.set_u64(self.output, v.wrapping_add(1));
+//!     }
+//!     fn tick(&mut self, _p: &mut SignalPool) {}
+//! }
+//!
+//! let mut sim = Simulator::new();
+//! let input = sim.pool_mut().add("in", 32);
+//! let output = sim.pool_mut().add("out", 32);
+//! sim.add_component(Inc { input, output });
+//! sim.pool_mut().set_u64(input, 41);
+//! sim.run_cycle()?;
+//! assert_eq!(sim.pool().get_u64(output), 42);
+//! # Ok::<(), vidi_hwsim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bits;
+mod component;
+mod error;
+mod signal;
+mod sim;
+mod vcd;
+
+pub use bits::Bits;
+pub use component::Component;
+pub use error::SimError;
+pub use signal::{SignalId, SignalPool};
+pub use sim::Simulator;
+pub use vcd::VcdWriter;

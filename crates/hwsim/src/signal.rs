@@ -1,0 +1,319 @@
+//! Signal storage shared by all components of a simulation.
+//!
+//! A [`SignalPool`] owns the value of every wire in the design, stored as a
+//! flat array of 64-bit limbs for cache-friendly access. Components read and
+//! write signals through [`SignalId`] handles during evaluation; the pool
+//! tracks whether any value changed so the scheduler can detect the
+//! combinational fixed point.
+
+use crate::bits::Bits;
+
+/// Handle to a signal allocated in a [`SignalPool`].
+///
+/// `SignalId`s are cheap to copy and are only meaningful for the pool that
+/// created them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SignalId(u32);
+
+impl SignalId {
+    /// The raw index of the signal within its pool.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug)]
+struct SignalMeta {
+    name: String,
+    width: u32,
+    offset: u32,
+    limbs: u32,
+}
+
+/// Owns the current value of every signal in a simulated design.
+///
+/// ```
+/// use vidi_hwsim::{Bits, SignalPool};
+///
+/// let mut pool = SignalPool::new();
+/// let valid = pool.add("valid", 1);
+/// let data = pool.add("data", 512);
+/// pool.set_bool(valid, true);
+/// pool.set(data, &Bits::from_u64(512, 42));
+/// assert!(pool.get_bool(valid));
+/// assert_eq!(pool.get(data).to_u64(), 42);
+/// ```
+#[derive(Debug, Default)]
+pub struct SignalPool {
+    meta: Vec<SignalMeta>,
+    data: Vec<u64>,
+    changed: bool,
+}
+
+impl SignalPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a new signal of `width` bits, initially all-zero.
+    ///
+    /// The `name` is used for diagnostics and waveform dumps; it does not
+    /// need to be unique, though hierarchical names (`"app.fifo.ready"`)
+    /// make waveforms much easier to read.
+    pub fn add(&mut self, name: impl Into<String>, width: u32) -> SignalId {
+        let limbs = width.div_ceil(64);
+        let offset = self.data.len() as u32;
+        self.data.extend(std::iter::repeat_n(0, limbs as usize));
+        let id = SignalId(self.meta.len() as u32);
+        self.meta.push(SignalMeta {
+            name: name.into(),
+            width,
+            offset,
+            limbs,
+        });
+        id
+    }
+
+    /// The number of signals allocated.
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Whether the pool has no signals.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    /// The declared width of a signal.
+    pub fn width(&self, id: SignalId) -> u32 {
+        self.meta[id.index()].width
+    }
+
+    /// The diagnostic name of a signal.
+    pub fn name(&self, id: SignalId) -> &str {
+        &self.meta[id.index()].name
+    }
+
+    /// All signal ids, in allocation order.
+    pub fn ids(&self) -> impl Iterator<Item = SignalId> {
+        (0..self.meta.len() as u32).map(SignalId)
+    }
+
+    fn range(&self, id: SignalId) -> std::ops::Range<usize> {
+        let m = &self.meta[id.index()];
+        m.offset as usize..(m.offset + m.limbs) as usize
+    }
+
+    /// Reads a signal's raw limbs (LSB-first).
+    pub fn limbs(&self, id: SignalId) -> &[u64] {
+        let r = self.range(id);
+        &self.data[r]
+    }
+
+    /// Reads a 1-bit signal as a `bool`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the signal is not 1 bit wide.
+    pub fn get_bool(&self, id: SignalId) -> bool {
+        debug_assert_eq!(self.width(id), 1, "get_bool on multi-bit signal {}", self.name(id));
+        self.data[self.meta[id.index()].offset as usize] & 1 == 1
+    }
+
+    /// Writes a 1-bit signal from a `bool`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the signal is not 1 bit wide.
+    pub fn set_bool(&mut self, id: SignalId, value: bool) {
+        debug_assert_eq!(self.width(id), 1, "set_bool on multi-bit signal {}", self.name(id));
+        let off = self.meta[id.index()].offset as usize;
+        let new = value as u64;
+        if self.data[off] != new {
+            self.data[off] = new;
+            self.changed = true;
+        }
+    }
+
+    /// Reads the low 64 bits of a signal.
+    pub fn get_u64(&self, id: SignalId) -> u64 {
+        let m = &self.meta[id.index()];
+        if m.limbs == 0 {
+            0
+        } else {
+            self.data[m.offset as usize]
+        }
+    }
+
+    /// Writes a signal from a `u64`, truncating to the signal width.
+    pub fn set_u64(&mut self, id: SignalId, value: u64) {
+        let m = &self.meta[id.index()];
+        assert!(m.width <= 64, "set_u64 on {}-bit signal {}", m.width, m.name);
+        if m.limbs == 0 {
+            return;
+        }
+        let masked = if m.width == 64 {
+            value
+        } else {
+            value & ((1u64 << m.width) - 1)
+        };
+        let off = m.offset as usize;
+        if self.data[off] != masked {
+            self.data[off] = masked;
+            self.changed = true;
+        }
+    }
+
+    /// Reads a signal as an owned [`Bits`] value.
+    pub fn get(&self, id: SignalId) -> Bits {
+        Bits::from_limbs(self.width(id), self.limbs(id))
+    }
+
+    /// Writes a signal from a [`Bits`] value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value width does not match the signal width.
+    pub fn set(&mut self, id: SignalId, value: &Bits) {
+        let m = &self.meta[id.index()];
+        assert_eq!(
+            m.width,
+            value.width(),
+            "width mismatch writing signal {}",
+            m.name
+        );
+        let r = self.range(id);
+        let dst = &mut self.data[r];
+        let src = value.limbs();
+        if dst != src {
+            dst.copy_from_slice(src);
+            self.changed = true;
+        }
+    }
+
+    /// Copies the value of `src` into `dst` (a combinational passthrough).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal widths differ.
+    pub fn copy(&mut self, dst: SignalId, src: SignalId) {
+        assert_eq!(
+            self.width(dst),
+            self.width(src),
+            "width mismatch copying {} -> {}",
+            self.name(src),
+            self.name(dst)
+        );
+        let sr = self.range(src);
+        let dr = self.range(dst);
+        if self.data[sr.clone()] != self.data[dr.clone()] {
+            // Ranges never overlap: each signal owns a disjoint slice.
+            let (lo, hi, src_first) = if sr.start < dr.start {
+                (sr, dr, true)
+            } else {
+                (dr, sr, false)
+            };
+            let (a, b) = self.data.split_at_mut(hi.start);
+            let lo_slice = &mut a[lo];
+            let hi_slice = &mut b[..hi.end - hi.start];
+            if src_first {
+                hi_slice.copy_from_slice(lo_slice);
+            } else {
+                lo_slice.copy_from_slice(hi_slice);
+            }
+            self.changed = true;
+        }
+    }
+
+    /// Clears the change flag; used by the scheduler before each
+    /// evaluation pass.
+    pub fn clear_changed(&mut self) {
+        self.changed = false;
+    }
+
+    /// Whether any signal changed since the last [`Self::clear_changed`].
+    pub fn any_changed(&self) -> bool {
+        self.changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_read_back() {
+        let mut p = SignalPool::new();
+        let a = p.add("a", 1);
+        let b = p.add("b", 512);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.width(a), 1);
+        assert_eq!(p.width(b), 512);
+        assert_eq!(p.name(b), "b");
+        assert!(!p.get_bool(a));
+        assert!(p.get(b).is_zero());
+    }
+
+    #[test]
+    fn change_tracking() {
+        let mut p = SignalPool::new();
+        let a = p.add("a", 8);
+        p.clear_changed();
+        assert!(!p.any_changed());
+        p.set_u64(a, 0); // writing the same value is not a change
+        assert!(!p.any_changed());
+        p.set_u64(a, 7);
+        assert!(p.any_changed());
+        p.clear_changed();
+        p.set_u64(a, 7);
+        assert!(!p.any_changed());
+    }
+
+    #[test]
+    fn set_u64_truncates_to_width() {
+        let mut p = SignalPool::new();
+        let a = p.add("a", 4);
+        p.set_u64(a, 0xff);
+        assert_eq!(p.get_u64(a), 0xf);
+    }
+
+    #[test]
+    fn wide_signal_roundtrip() {
+        let mut p = SignalPool::new();
+        let a = p.add("a", 513);
+        let mut v = Bits::zero(513);
+        v.set_bit(512, true);
+        v.set_bit(0, true);
+        p.set(a, &v);
+        assert_eq!(p.get(a), v);
+        assert_eq!(p.limbs(a).len(), 9);
+    }
+
+    #[test]
+    fn copy_between_signals() {
+        let mut p = SignalPool::new();
+        let a = p.add("a", 100);
+        let b = p.add("b", 100);
+        p.set(a, &Bits::ones(100));
+        p.clear_changed();
+        p.copy(b, a);
+        assert!(p.any_changed());
+        assert_eq!(p.get(b), Bits::ones(100));
+        p.clear_changed();
+        p.copy(b, a); // already equal: no change
+        assert!(!p.any_changed());
+        // copy in the other direction (dst before src in storage)
+        p.set(b, &Bits::zero(100));
+        p.copy(a, b);
+        assert!(p.get(a).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn set_wrong_width_panics() {
+        let mut p = SignalPool::new();
+        let a = p.add("a", 8);
+        p.set(a, &Bits::zero(9));
+    }
+}

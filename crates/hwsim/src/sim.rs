@@ -1,0 +1,301 @@
+//! The simulation scheduler.
+
+use crate::component::Component;
+use crate::error::SimError;
+use crate::signal::SignalPool;
+use crate::vcd::VcdWriter;
+
+/// Default bound on combinational settle iterations per cycle.
+const DEFAULT_MAX_EVAL_ITERS: usize = 64;
+
+/// A deterministic delta-cycle simulator.
+///
+/// Each simulated clock cycle proceeds in two phases:
+///
+/// 1. **Settle**: every component's [`Component::eval`] runs repeatedly until
+///    no signal changes (the combinational fixed point). A bounded iteration
+///    count turns genuine combinational loops into a
+///    [`SimError::CombinationalLoop`] instead of a hang.
+/// 2. **Commit**: every component's [`Component::tick`] runs once, observing
+///    the settled signal values and updating registered state.
+///
+/// The simulation is fully deterministic: it is single-threaded, components
+/// are evaluated in insertion order, and any randomness lives in seeded
+/// workload generators outside the kernel.
+///
+/// See [`Component`] for a complete running example.
+#[derive(Default)]
+pub struct Simulator {
+    pool: SignalPool,
+    components: Vec<Box<dyn Component>>,
+    cycle: u64,
+    max_eval_iters: usize,
+    vcd: Option<VcdWriter>,
+}
+
+impl Simulator {
+    /// Creates an empty simulator.
+    pub fn new() -> Self {
+        Simulator {
+            pool: SignalPool::new(),
+            components: Vec::new(),
+            cycle: 0,
+            max_eval_iters: DEFAULT_MAX_EVAL_ITERS,
+            vcd: None,
+        }
+    }
+
+    /// The signal pool, for reading signal values.
+    pub fn pool(&self) -> &SignalPool {
+        &self.pool
+    }
+
+    /// The signal pool, for allocating signals and forcing values from a
+    /// harness.
+    pub fn pool_mut(&mut self) -> &mut SignalPool {
+        &mut self.pool
+    }
+
+    /// Adds a component to the design. Components are evaluated in the order
+    /// they were added (which only affects how quickly the fixed point is
+    /// reached, never the result).
+    pub fn add_component(&mut self, component: impl Component + 'static) {
+        self.components.push(Box::new(component));
+    }
+
+    /// The number of clock cycles executed so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Overrides the combinational settle bound (default 64). Designs with
+    /// long combinational passthrough chains (e.g. many stacked monitors)
+    /// may need a larger bound.
+    pub fn set_max_eval_iters(&mut self, iters: usize) {
+        assert!(iters > 0, "eval iteration bound must be positive");
+        self.max_eval_iters = iters;
+    }
+
+    /// Attaches a VCD waveform writer; every subsequent cycle is dumped.
+    pub fn attach_vcd(&mut self, vcd: VcdWriter) {
+        self.vcd = Some(vcd);
+    }
+
+    /// Detaches and returns the VCD writer, if any, finalizing its header.
+    pub fn take_vcd(&mut self) -> Option<VcdWriter> {
+        self.vcd.take()
+    }
+
+    /// Runs a single clock cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CombinationalLoop`] if the design does not settle.
+    pub fn run_cycle(&mut self) -> Result<(), SimError> {
+        // Settle phase: iterate eval to a fixed point.
+        let mut iters = 0;
+        loop {
+            self.pool.clear_changed();
+            for c in self.components.iter_mut() {
+                c.eval(&mut self.pool);
+            }
+            if !self.pool.any_changed() {
+                break;
+            }
+            iters += 1;
+            if iters >= self.max_eval_iters {
+                return Err(SimError::CombinationalLoop {
+                    cycle: self.cycle,
+                    iterations: self.max_eval_iters,
+                });
+            }
+        }
+        if let Some(vcd) = &mut self.vcd {
+            vcd.sample(self.cycle, &self.pool);
+        }
+        // Commit phase: clock edge.
+        for c in self.components.iter_mut() {
+            c.tick(&mut self.pool);
+        }
+        self.cycle += 1;
+        Ok(())
+    }
+
+    /// Runs `n` clock cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] encountered.
+    pub fn run(&mut self, n: u64) -> Result<(), SimError> {
+        for _ in 0..n {
+            self.run_cycle()?;
+        }
+        Ok(())
+    }
+
+    /// Runs until `done` returns `true` (checked after each cycle), up to
+    /// `max_cycles` additional cycles. Returns the cycle count at completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Timeout`] if the budget is exhausted first — this
+    /// is the mechanism by which harnesses detect hardware deadlocks — or
+    /// [`SimError::CombinationalLoop`] from the settle phase.
+    pub fn run_until(
+        &mut self,
+        mut done: impl FnMut(&SignalPool) -> bool,
+        max_cycles: u64,
+        waiting_for: &str,
+    ) -> Result<u64, SimError> {
+        for _ in 0..max_cycles {
+            self.run_cycle()?;
+            if done(&self.pool) {
+                return Ok(self.cycle);
+            }
+        }
+        Err(SimError::Timeout {
+            cycle: self.cycle,
+            waiting_for: waiting_for.to_string(),
+        })
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("cycle", &self.cycle)
+            .field("signals", &self.pool.len())
+            .field("components", &self.components.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::SignalId;
+
+    /// y = x combinationally; z = register of y.
+    struct Wire {
+        x: SignalId,
+        y: SignalId,
+    }
+    impl Component for Wire {
+        fn name(&self) -> &str {
+            "wire"
+        }
+        fn eval(&mut self, p: &mut SignalPool) {
+            p.copy(self.y, self.x);
+        }
+        fn tick(&mut self, _p: &mut SignalPool) {}
+    }
+
+    struct Reg {
+        d: SignalId,
+        q: SignalId,
+        state: u64,
+    }
+    impl Component for Reg {
+        fn name(&self) -> &str {
+            "reg"
+        }
+        fn eval(&mut self, p: &mut SignalPool) {
+            p.set_u64(self.q, self.state);
+        }
+        fn tick(&mut self, p: &mut SignalPool) {
+            self.state = p.get_u64(self.d);
+        }
+    }
+
+    #[test]
+    fn combinational_chain_settles_in_one_cycle() {
+        let mut sim = Simulator::new();
+        let a = sim.pool_mut().add("a", 8);
+        let b = sim.pool_mut().add("b", 8);
+        let c = sim.pool_mut().add("c", 8);
+        // Deliberately add in reverse order so the fixed point needs >1 pass.
+        sim.add_component(Wire { x: b, y: c });
+        sim.add_component(Wire { x: a, y: b });
+        sim.pool_mut().set_u64(a, 0x5a);
+        sim.run_cycle().unwrap();
+        assert_eq!(sim.pool().get_u64(c), 0x5a);
+    }
+
+    #[test]
+    fn register_delays_by_one_cycle() {
+        let mut sim = Simulator::new();
+        let d = sim.pool_mut().add("d", 8);
+        let q = sim.pool_mut().add("q", 8);
+        sim.add_component(Reg { d, q, state: 0 });
+        sim.pool_mut().set_u64(d, 42);
+        sim.run_cycle().unwrap();
+        assert_eq!(sim.pool().get_u64(q), 0, "q must not update until next eval");
+        sim.run_cycle().unwrap();
+        assert_eq!(sim.pool().get_u64(q), 42);
+    }
+
+    /// A deliberate oscillator: y = !y.
+    struct Loop {
+        y: SignalId,
+    }
+    impl Component for Loop {
+        fn name(&self) -> &str {
+            "loop"
+        }
+        fn eval(&mut self, p: &mut SignalPool) {
+            let v = p.get_bool(self.y);
+            p.set_bool(self.y, !v);
+        }
+        fn tick(&mut self, _p: &mut SignalPool) {}
+    }
+
+    #[test]
+    fn combinational_loop_is_detected() {
+        let mut sim = Simulator::new();
+        let y = sim.pool_mut().add("y", 1);
+        sim.add_component(Loop { y });
+        let err = sim.run_cycle().unwrap_err();
+        assert!(matches!(err, SimError::CombinationalLoop { .. }));
+    }
+
+    #[test]
+    fn run_until_times_out() {
+        let mut sim = Simulator::new();
+        let x = sim.pool_mut().add("x", 1);
+        let err = sim
+            .run_until(|p| p.get_bool(x), 10, "x to rise")
+            .unwrap_err();
+        assert!(matches!(err, SimError::Timeout { cycle: 10, .. }));
+        assert_eq!(sim.cycle(), 10);
+    }
+
+    #[test]
+    fn vcd_attach_take_roundtrip() {
+        use crate::vcd::VcdWriter;
+        let mut sim = Simulator::new();
+        let d = sim.pool_mut().add("d", 4);
+        let q = sim.pool_mut().add("q", 4);
+        sim.add_component(Reg { d, q, state: 0 });
+        let vcd = VcdWriter::new(sim.pool(), &[d, q]);
+        sim.attach_vcd(vcd);
+        sim.pool_mut().set_u64(d, 0xa);
+        sim.run(3).unwrap();
+        let doc = sim.take_vcd().expect("writer attached").finish();
+        assert!(doc.contains("$var wire 4"));
+        assert!(doc.contains("b1010"), "d's value appears in the dump");
+        assert!(sim.take_vcd().is_none(), "taken once");
+    }
+
+    #[test]
+    fn run_until_succeeds() {
+        let mut sim = Simulator::new();
+        let d = sim.pool_mut().add("d", 8);
+        let q = sim.pool_mut().add("q", 8);
+        sim.add_component(Reg { d, q, state: 0 });
+        sim.pool_mut().set_u64(d, 1);
+        let cycles = sim
+            .run_until(|p| p.get_u64(q) == 1, 100, "q == 1")
+            .unwrap();
+        assert_eq!(cycles, 2);
+    }
+}

@@ -1,0 +1,22 @@
+//! # vidi-synth — structural resource estimation
+//!
+//! Stands in for the Vivado synthesis reports behind Table 2 and Fig 7:
+//! a per-primitive cost model over the structure of an instantiated Vidi
+//! configuration, calibrated at the paper's full-configuration operating
+//! point (all five F1 interfaces, 3056 monitored bits → ≈5.6% LUT,
+//! ≈3.8% FF, ≈6.9% BRAM of the F1 budget).
+//!
+//! ```
+//! use vidi_chan::F1Interface;
+//! use vidi_synth::{estimate, f1_layout, VidiFeatures};
+//!
+//! let pct = estimate(&f1_layout(&F1Interface::ALL), VidiFeatures::default()).as_pct();
+//! assert!(pct.lut > 4.0 && pct.lut < 7.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+
+pub use model::{estimate, f1_layout, OverheadPct, Resources, VidiFeatures, F1_BUDGET};

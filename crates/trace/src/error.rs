@@ -1,0 +1,43 @@
+//! Trace (de)serialization errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error decoding a serialized trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The buffer does not begin with the `VIDI` magic.
+    BadMagic,
+    /// The format version is not supported.
+    BadVersion(u16),
+    /// The buffer ended before the structure was complete.
+    Truncated {
+        /// Byte offset at which more data was expected.
+        offset: usize,
+    },
+    /// A channel name was not valid UTF-8.
+    BadChannelName,
+    /// Trailing bytes after the last packet.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not a Vidi trace (bad magic)"),
+            TraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::Truncated { offset } => {
+                write!(f, "trace truncated at byte offset {offset}")
+            }
+            TraceError::BadChannelName => write!(f, "channel name is not valid UTF-8"),
+            TraceError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the last packet")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {}

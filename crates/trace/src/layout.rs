@@ -1,0 +1,132 @@
+//! Trace layout: the fixed set of channels a trace describes.
+
+use vidi_chan::Direction;
+
+/// Metadata for one recorded channel.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ChannelInfo {
+    /// Diagnostic name (e.g. `"ocl.aw"`).
+    pub name: String,
+    /// Payload width in bits.
+    pub width: u32,
+    /// Direction from the FPGA application's perspective.
+    pub direction: Direction,
+}
+
+/// The ordered set of channels covered by a trace.
+///
+/// Channel order is significant: the `Starts` and `Ends` bit-vectors of every
+/// cycle packet are indexed by position in this layout, as are vector-clock
+/// entries during replay. The layout is embedded in the serialized trace
+/// header so a trace is self-describing.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct TraceLayout {
+    channels: Vec<ChannelInfo>,
+}
+
+impl TraceLayout {
+    /// Creates a layout from channel metadata.
+    pub fn new(channels: Vec<ChannelInfo>) -> Self {
+        TraceLayout { channels }
+    }
+
+    /// All channels, in trace order.
+    pub fn channels(&self) -> &[ChannelInfo] {
+        &self.channels
+    }
+
+    /// Number of channels.
+    pub fn len(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Whether the layout has no channels.
+    pub fn is_empty(&self) -> bool {
+        self.channels.is_empty()
+    }
+
+    /// The indices of input channels, in order.
+    pub fn input_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.channels
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.direction == Direction::Input)
+            .map(|(i, _)| i)
+    }
+
+    /// The indices of output channels, in order.
+    pub fn output_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.channels
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.direction == Direction::Output)
+            .map(|(i, _)| i)
+    }
+
+    /// Looks up a channel index by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.channels.iter().position(|c| c.name == name)
+    }
+
+    /// Total width of all channel payloads — the "total monitored width" of
+    /// Fig 7.
+    pub fn total_width(&self) -> u32 {
+        self.channels.iter().map(|c| c.width).sum()
+    }
+
+    /// Total width of all *input signals* to the circuit: for input channels
+    /// VALID + DATA, for output channels READY. This is the per-cycle bit
+    /// count a cycle-accurate recorder would capture (§5.5, "Benefit of
+    /// Coarse-Grained Input Recording").
+    pub fn cycle_accurate_bits_per_cycle(&self) -> u64 {
+        self.channels
+            .iter()
+            .map(|c| match c.direction {
+                Direction::Input => 1 + c.width as u64,
+                Direction::Output => 1,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> TraceLayout {
+        TraceLayout::new(vec![
+            ChannelInfo {
+                name: "in0".into(),
+                width: 32,
+                direction: Direction::Input,
+            },
+            ChannelInfo {
+                name: "out0".into(),
+                width: 16,
+                direction: Direction::Output,
+            },
+            ChannelInfo {
+                name: "in1".into(),
+                width: 8,
+                direction: Direction::Input,
+            },
+        ])
+    }
+
+    #[test]
+    fn indices_by_direction() {
+        let l = layout();
+        assert_eq!(l.input_indices().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(l.output_indices().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn lookup_and_widths() {
+        let l = layout();
+        assert_eq!(l.index_of("out0"), Some(1));
+        assert_eq!(l.index_of("nope"), None);
+        assert_eq!(l.total_width(), 56);
+        // inputs contribute valid+data, outputs contribute ready:
+        assert_eq!(l.cycle_accurate_bits_per_cycle(), (1 + 32) + 1 + (1 + 8));
+    }
+}

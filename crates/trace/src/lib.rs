@@ -1,0 +1,51 @@
+//! # vidi-trace — the Vidi trace format and offline tools
+//!
+//! Everything that touches a recorded trace lives here: the channel/cycle
+//! packet formats of §3.1–§3.2 (Fig 5), the self-describing binary trace
+//! encoding, the 64-byte storage-word packing of §3.3, and the two offline
+//! analysis tools of §4.2 — trace **validation** (divergence detection,
+//! §3.6/§5.4) and trace **mutation** (event reordering for testing, §5.3).
+//!
+//! ```
+//! use vidi_chan::Direction;
+//! use vidi_hwsim::Bits;
+//! use vidi_trace::{ChannelInfo, ChannelPacket, CyclePacket, Trace, TraceLayout};
+//!
+//! let layout = TraceLayout::new(vec![ChannelInfo {
+//!     name: "ocl.aw".into(),
+//!     width: 32,
+//!     direction: Direction::Input,
+//! }]);
+//! let mut trace = Trace::new(layout.clone(), false);
+//! trace.push(CyclePacket::assemble(
+//!     &layout,
+//!     &[ChannelPacket::start_with(Bits::from_u64(32, 0x1000))],
+//!     false,
+//! ));
+//! let bytes = trace.encode();
+//! assert_eq!(Trace::decode(&bytes)?, trace);
+//! # Ok::<(), vidi_trace::TraceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod layout;
+mod mutate;
+mod packet;
+mod reader;
+mod stats;
+mod store_format;
+mod trace;
+mod validate;
+
+pub use error::TraceError;
+pub use layout::{ChannelInfo, TraceLayout};
+pub use mutate::{reorder_end_before, EndEventRef, MutateError};
+pub use packet::{ChannelPacket, CyclePacket};
+pub use reader::TraceReader;
+pub use stats::{ChannelStats, TraceStats};
+pub use store_format::{pack, storage_bytes, unpack, StorageWord, STORAGE_WORD_BYTES};
+pub use trace::Trace;
+pub use validate::{compare, Divergence, DivergenceReport};

@@ -1,0 +1,347 @@
+//! Trace mutation for testing (§4.2, §5.3).
+//!
+//! The paper's testing case study captures a production trace, *reorders*
+//! recorded transaction events offline to model protocol-legal corner cases
+//! (a CPU-side DMA controller that only completes a write address
+//! transaction once it has received a write data beat), and replays the
+//! mutated trace to expose ordering bugs such as the `axi_atop_filter`
+//! deadlock.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::packet::{ChannelPacket, CyclePacket};
+use crate::trace::Trace;
+
+/// Names one end event in a trace: the `index`-th transaction end on
+/// `channel` (trace layout position).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EndEventRef {
+    /// Channel index in the trace layout.
+    pub channel: usize,
+    /// Zero-based index among the channel's end events.
+    pub index: usize,
+}
+
+/// An error applying a trace mutation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MutateError {
+    /// The referenced end event does not exist in the trace.
+    EventNotFound(EndEventRef),
+    /// Both references name the same channel; reordering end events within
+    /// one channel would violate its FIFO transaction order.
+    SameChannel,
+    /// The move would place an input transaction's end before its own start.
+    EndBeforeOwnStart(EndEventRef),
+}
+
+impl fmt::Display for MutateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MutateError::EventNotFound(e) => {
+                write!(f, "end event #{} on channel {} not found", e.index, e.channel)
+            }
+            MutateError::SameChannel => {
+                write!(f, "cannot reorder end events within a single channel")
+            }
+            MutateError::EndBeforeOwnStart(e) => write!(
+                f,
+                "moving end #{} on channel {} before its own start",
+                e.index, e.channel
+            ),
+        }
+    }
+}
+
+impl Error for MutateError {}
+
+/// Finds the packet index holding the `index`-th end event on `channel`.
+fn find_end(trace: &Trace, event: EndEventRef) -> Option<usize> {
+    let mut seen = 0;
+    for (pi, p) in trace.packets().iter().enumerate() {
+        if p.ends[event.channel] {
+            if seen == event.index {
+                return Some(pi);
+            }
+            seen += 1;
+        }
+    }
+    None
+}
+
+/// Finds the packet index holding the `index`-th *start* event on an input
+/// channel (layout position `channel`).
+fn find_start(trace: &Trace, channel: usize, index: usize) -> Option<usize> {
+    let input_pos = trace
+        .layout()
+        .input_indices()
+        .position(|c| c == channel)?;
+    let mut seen = 0;
+    for (pi, p) in trace.packets().iter().enumerate() {
+        if p.starts[input_pos] {
+            if seen == index {
+                return Some(pi);
+            }
+            seen += 1;
+        }
+    }
+    None
+}
+
+/// Produces a new trace in which the `moved` end event happens strictly
+/// before the `before` end event; all other events keep their order.
+///
+/// If `moved` already happens strictly before `before`, the trace is
+/// returned unchanged. Otherwise `moved`'s end (and its recorded content,
+/// for output channels under divergence-detection recording) is detached
+/// from its cycle packet and re-inserted in a fresh cycle packet immediately
+/// preceding `before`'s.
+///
+/// # Errors
+///
+/// * [`MutateError::EventNotFound`] if either reference is out of range.
+/// * [`MutateError::SameChannel`] if both references name one channel.
+/// * [`MutateError::EndBeforeOwnStart`] if the move would place an input
+///   transaction's end before its start (no legal execution can produce
+///   that, so replaying it would be meaningless).
+pub fn reorder_end_before(
+    trace: &Trace,
+    moved: EndEventRef,
+    before: EndEventRef,
+) -> Result<Trace, MutateError> {
+    if moved.channel == before.channel {
+        return Err(MutateError::SameChannel);
+    }
+    let pa = find_end(trace, moved).ok_or(MutateError::EventNotFound(moved))?;
+    let pb = find_end(trace, before).ok_or(MutateError::EventNotFound(before))?;
+    if pa < pb {
+        return Ok(trace.clone());
+    }
+    // An input channel's end may not move before its own start.
+    let layout = trace.layout();
+    let record_output = trace.records_output_content();
+    if layout.channels()[moved.channel].direction == vidi_chan::Direction::Input {
+        if let Some(ps) = find_start(trace, moved.channel, moved.index) {
+            if pb <= ps {
+                return Err(MutateError::EndBeforeOwnStart(moved));
+            }
+        }
+    }
+
+    // Work at the per-channel-packet level so contents travel with events.
+    let mut rows: Vec<Vec<ChannelPacket>> = trace
+        .packets()
+        .iter()
+        .map(|p| p.disassemble(layout, record_output))
+        .collect();
+
+    // Detach the moved end (and any content riding on it for output
+    // channels).
+    let src = &mut rows[pa][moved.channel];
+    src.end = false;
+    let carried_content = if layout.channels()[moved.channel].direction
+        == vidi_chan::Direction::Output
+    {
+        src.content.take()
+    } else {
+        None
+    };
+
+    // Fresh row carrying only the moved end.
+    let mut fresh: Vec<ChannelPacket> = (0..layout.len()).map(|_| ChannelPacket::default()).collect();
+    fresh[moved.channel] = ChannelPacket {
+        start: false,
+        content: carried_content,
+        end: true,
+    };
+    rows.insert(pb, fresh);
+
+    let mut out = Trace::new(layout.clone(), record_output);
+    for row in rows {
+        let packet = CyclePacket::assemble(layout, &row, record_output);
+        if !packet.is_empty() {
+            out.push(packet);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{ChannelInfo, TraceLayout};
+    use vidi_chan::Direction;
+    use vidi_hwsim::Bits;
+
+    /// Layout mirroring a write channel group: aw, w (both outputs of a
+    /// manager-side FPGA, as on pcim), plus an input for start/end checks.
+    fn layout() -> TraceLayout {
+        TraceLayout::new(vec![
+            ChannelInfo {
+                name: "aw".into(),
+                width: 8,
+                direction: Direction::Output,
+            },
+            ChannelInfo {
+                name: "w".into(),
+                width: 8,
+                direction: Direction::Output,
+            },
+            ChannelInfo {
+                name: "cmd".into(),
+                width: 8,
+                direction: Direction::Input,
+            },
+        ])
+    }
+
+    /// cmd start+end at packet 0, aw end at packet 1, w end at packet 2.
+    fn sample() -> Trace {
+        let l = layout();
+        let mut t = Trace::new(l.clone(), true);
+        let mk = |aw: bool, w: bool, cmd: bool| {
+            let row = vec![
+                ChannelPacket {
+                    start: false,
+                    content: aw.then(|| Bits::from_u64(8, 0xA)),
+                    end: aw,
+                },
+                ChannelPacket {
+                    start: false,
+                    content: w.then(|| Bits::from_u64(8, 0xB)),
+                    end: w,
+                },
+                if cmd {
+                    ChannelPacket {
+                        start: true,
+                        content: Some(Bits::from_u64(8, 0xC)),
+                        end: true,
+                    }
+                } else {
+                    ChannelPacket::default()
+                },
+            ];
+            CyclePacket::assemble(&l, &row, true)
+        };
+        t.push(mk(false, false, true));
+        t.push(mk(true, false, false));
+        t.push(mk(false, true, false));
+        t
+    }
+
+    fn end_order(trace: &Trace) -> Vec<(usize, usize)> {
+        // (packet, channel) pairs of end events in time order.
+        let mut out = Vec::new();
+        for (pi, p) in trace.packets().iter().enumerate() {
+            for (c, &e) in p.ends.iter().enumerate() {
+                if e {
+                    out.push((pi, c));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn moves_w_end_before_aw_end() {
+        let t = sample();
+        let mutated = reorder_end_before(
+            &t,
+            EndEventRef { channel: 1, index: 0 },
+            EndEventRef { channel: 0, index: 0 },
+        )
+        .unwrap();
+        let order = end_order(&mutated);
+        let w_pos = order.iter().position(|&(_, c)| c == 1).unwrap();
+        let aw_pos = order.iter().position(|&(_, c)| c == 0).unwrap();
+        assert!(
+            mutated.packets()[order[w_pos].0].ends[1]
+                && order[w_pos].0 < order[aw_pos].0,
+            "w end must be strictly before aw end: {order:?}"
+        );
+        // Output content travels with the moved end.
+        assert_eq!(mutated.output_contents(1), vec![Bits::from_u64(8, 0xB)]);
+        // Counts are preserved.
+        assert_eq!(mutated.transaction_count(), t.transaction_count());
+    }
+
+    #[test]
+    fn already_before_is_identity() {
+        let t = sample();
+        let same = reorder_end_before(
+            &t,
+            EndEventRef { channel: 0, index: 0 },
+            EndEventRef { channel: 1, index: 0 },
+        )
+        .unwrap();
+        assert_eq!(same, t);
+    }
+
+    #[test]
+    fn rejects_same_channel() {
+        let t = sample();
+        assert_eq!(
+            reorder_end_before(
+                &t,
+                EndEventRef { channel: 0, index: 0 },
+                EndEventRef { channel: 0, index: 0 },
+            )
+            .unwrap_err(),
+            MutateError::SameChannel
+        );
+    }
+
+    #[test]
+    fn rejects_missing_event() {
+        let t = sample();
+        let missing = EndEventRef { channel: 1, index: 5 };
+        assert_eq!(
+            reorder_end_before(&t, missing, EndEventRef { channel: 0, index: 0 }).unwrap_err(),
+            MutateError::EventNotFound(missing)
+        );
+    }
+
+    #[test]
+    fn rejects_end_before_own_start() {
+        // Move cmd's end (input channel, starts at packet 0) before... we
+        // need a target end in a packet <= cmd's start packet. cmd starts
+        // and ends at packet 0; aw ends at packet 1. Construct a trace where
+        // aw ends first, then cmd starts+ends, then try to move cmd's end
+        // before aw's end.
+        let l = layout();
+        let mut t = Trace::new(l.clone(), true);
+        t.push(CyclePacket::assemble(
+            &l,
+            &[
+                ChannelPacket {
+                    start: false,
+                    content: Some(Bits::from_u64(8, 0xA)),
+                    end: true,
+                },
+                ChannelPacket::default(),
+                ChannelPacket::default(),
+            ],
+            true,
+        ));
+        t.push(CyclePacket::assemble(
+            &l,
+            &[
+                ChannelPacket::default(),
+                ChannelPacket::default(),
+                ChannelPacket {
+                    start: true,
+                    content: Some(Bits::from_u64(8, 0xC)),
+                    end: true,
+                },
+            ],
+            true,
+        ));
+        let err = reorder_end_before(
+            &t,
+            EndEventRef { channel: 2, index: 0 },
+            EndEventRef { channel: 0, index: 0 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, MutateError::EndBeforeOwnStart(_)));
+    }
+}

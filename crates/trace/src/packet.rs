@@ -1,0 +1,258 @@
+//! Channel packets and cycle packets (§3.1–§3.2, Fig 5).
+
+use vidi_hwsim::Bits;
+
+use crate::layout::TraceLayout;
+
+/// The fixed-format message a channel monitor sends to the trace encoder for
+/// one cycle of activity on its channel (§3.1, Fig 5 left).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ChannelPacket {
+    /// A new handshake started on the channel in this cycle.
+    pub start: bool,
+    /// The transaction content. Present when `start` is set on an input
+    /// channel; also present when `end` is set on an output channel being
+    /// recorded for divergence detection (§3.6).
+    pub content: Option<Bits>,
+    /// A handshake completed on the channel in this cycle.
+    pub end: bool,
+}
+
+impl ChannelPacket {
+    /// A packet recording a transaction start with its content.
+    pub fn start_with(content: Bits) -> Self {
+        ChannelPacket {
+            start: true,
+            content: Some(content),
+            end: false,
+        }
+    }
+
+    /// A packet recording only a transaction end.
+    pub fn end_only() -> Self {
+        ChannelPacket {
+            start: false,
+            content: None,
+            end: true,
+        }
+    }
+
+    /// Whether the packet carries any event.
+    pub fn is_empty(&self) -> bool {
+        !self.start && !self.end && self.content.is_none()
+    }
+}
+
+/// The per-cycle record assembled by the trace encoder (§3.2, Fig 5 right).
+///
+/// `starts` is indexed by *input-channel position* (the n-th input channel in
+/// the layout), `ends` by *channel position over all channels*. Including
+/// both input and output end events in `ends` is what lets replay enforce
+/// transaction determinism. `contents` holds, in channel order, the content
+/// of each input channel whose start bit is set, followed by (when output
+/// recording is enabled) the content of each output channel whose end bit is
+/// set.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CyclePacket {
+    /// Start bits, one per input channel (layout input order).
+    pub starts: Vec<bool>,
+    /// End bits, one per channel (layout order, inputs and outputs).
+    pub ends: Vec<bool>,
+    /// Input-start contents in channel order, then output-end contents in
+    /// channel order when output recording is enabled.
+    pub contents: Vec<Bits>,
+}
+
+impl CyclePacket {
+    /// An empty packet shaped for `layout`.
+    pub fn empty(layout: &TraceLayout) -> Self {
+        CyclePacket {
+            starts: vec![false; layout.input_indices().count()],
+            ends: vec![false; layout.len()],
+            contents: Vec::new(),
+        }
+    }
+
+    /// Whether the packet records no event (such packets are not emitted by
+    /// the encoder).
+    pub fn is_empty(&self) -> bool {
+        !self.starts.iter().any(|&b| b) && !self.ends.iter().any(|&b| b)
+    }
+
+    /// Number of end events recorded in this packet.
+    pub fn end_count(&self) -> usize {
+        self.ends.iter().filter(|&&b| b).count()
+    }
+
+    /// Assembles a cycle packet from per-channel packets, in layout order.
+    ///
+    /// `record_output_content` mirrors the §3.6 configuration: when set,
+    /// contents attached to output-channel end events are included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packets.len() != layout.len()`, or if an input start packet
+    /// is missing its content.
+    pub fn assemble(
+        layout: &TraceLayout,
+        packets: &[ChannelPacket],
+        record_output_content: bool,
+    ) -> Self {
+        assert_eq!(packets.len(), layout.len(), "one channel packet per channel");
+        let mut out = CyclePacket::empty(layout);
+        let mut input_pos = 0;
+        for (idx, (info, pkt)) in layout.channels().iter().zip(packets).enumerate() {
+            out.ends[idx] = pkt.end;
+            if info.direction == vidi_chan::Direction::Input {
+                out.starts[input_pos] = pkt.start;
+                if pkt.start {
+                    let content = pkt
+                        .content
+                        .clone()
+                        .unwrap_or_else(|| panic!("input start on {} missing content", info.name));
+                    assert_eq!(content.width(), info.width, "content width mismatch on {}", info.name);
+                    out.contents.push(content);
+                }
+                input_pos += 1;
+            }
+        }
+        if record_output_content {
+            for (idx, (info, pkt)) in layout.channels().iter().zip(packets).enumerate() {
+                if info.direction == vidi_chan::Direction::Output && out.ends[idx] {
+                    if let Some(content) = &pkt.content {
+                        assert_eq!(content.width(), info.width, "content width mismatch on {}", info.name);
+                        out.contents.push(content.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Decomposes this cycle packet back into per-channel packets (§3.4),
+    /// the inverse of [`CyclePacket::assemble`]. Output-end contents (if
+    /// present) are re-attached to their channel packets.
+    pub fn disassemble(
+        &self,
+        layout: &TraceLayout,
+        record_output_content: bool,
+    ) -> Vec<ChannelPacket> {
+        let mut packets: Vec<ChannelPacket> = Vec::with_capacity(layout.len());
+        let mut content_iter = self.contents.iter();
+        let mut input_pos = 0;
+        for (idx, info) in layout.channels().iter().enumerate() {
+            let mut pkt = ChannelPacket {
+                start: false,
+                content: None,
+                end: self.ends[idx],
+            };
+            if info.direction == vidi_chan::Direction::Input {
+                pkt.start = self.starts[input_pos];
+                if pkt.start {
+                    pkt.content = content_iter.next().cloned();
+                }
+                input_pos += 1;
+            }
+            packets.push(pkt);
+        }
+        if record_output_content {
+            for (idx, info) in layout.channels().iter().enumerate() {
+                if info.direction == vidi_chan::Direction::Output && self.ends[idx] {
+                    packets[idx].content = content_iter.next().cloned();
+                }
+            }
+        }
+        packets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::ChannelInfo;
+    use vidi_chan::Direction;
+
+    fn layout() -> TraceLayout {
+        TraceLayout::new(vec![
+            ChannelInfo {
+                name: "in0".into(),
+                width: 8,
+                direction: Direction::Input,
+            },
+            ChannelInfo {
+                name: "out0".into(),
+                width: 4,
+                direction: Direction::Output,
+            },
+            ChannelInfo {
+                name: "in1".into(),
+                width: 16,
+                direction: Direction::Input,
+            },
+        ])
+    }
+
+    #[test]
+    fn assemble_matches_fig5() {
+        let l = layout();
+        // in0: end only; out0: nothing; in1: start with content.
+        let packets = vec![
+            ChannelPacket::end_only(),
+            ChannelPacket::default(),
+            ChannelPacket::start_with(Bits::from_u64(16, 0xCAFE)),
+        ];
+        let cp = CyclePacket::assemble(&l, &packets, false);
+        assert_eq!(cp.starts, vec![false, true]); // indexed over inputs only
+        assert_eq!(cp.ends, vec![true, false, false]);
+        assert_eq!(cp.contents, vec![Bits::from_u64(16, 0xCAFE)]);
+        assert_eq!(cp.end_count(), 1);
+    }
+
+    #[test]
+    fn disassemble_is_inverse() {
+        let l = layout();
+        let packets = vec![
+            ChannelPacket::start_with(Bits::from_u64(8, 0x5a)),
+            ChannelPacket::end_only(),
+            ChannelPacket {
+                start: true,
+                content: Some(Bits::from_u64(16, 0x1234)),
+                end: true,
+            },
+        ];
+        let cp = CyclePacket::assemble(&l, &packets, false);
+        let back = cp.disassemble(&l, false);
+        assert_eq!(back, packets);
+    }
+
+    #[test]
+    fn output_content_roundtrip_when_enabled() {
+        let l = layout();
+        let packets = vec![
+            ChannelPacket::default(),
+            ChannelPacket {
+                start: false,
+                content: Some(Bits::from_u64(4, 0xd)),
+                end: true,
+            },
+            ChannelPacket::default(),
+        ];
+        let cp = CyclePacket::assemble(&l, &packets, true);
+        assert_eq!(cp.contents.len(), 1);
+        let back = cp.disassemble(&l, true);
+        assert_eq!(back[1].content, Some(Bits::from_u64(4, 0xd)));
+
+        // With output recording off, the content is not stored.
+        let cp2 = CyclePacket::assemble(&l, &packets, false);
+        assert!(cp2.contents.is_empty());
+    }
+
+    #[test]
+    fn empty_detection() {
+        let l = layout();
+        let cp = CyclePacket::empty(&l);
+        assert!(cp.is_empty());
+        assert!(ChannelPacket::default().is_empty());
+        assert!(!ChannelPacket::end_only().is_empty());
+    }
+}

@@ -1,0 +1,279 @@
+//! Streaming trace decoding.
+//!
+//! [`Trace::decode`](crate::Trace::decode) materializes every cycle packet;
+//! for very long recordings (the paper supports "arbitrarily long execution
+//! traces", §3.3) the offline tools want to scan a trace without holding it
+//! in memory. [`TraceReader`] parses the self-describing header once and
+//! then yields cycle packets one at a time.
+
+use vidi_chan::Direction;
+use vidi_hwsim::Bits;
+
+use crate::error::TraceError;
+use crate::layout::{ChannelInfo, TraceLayout};
+use crate::packet::CyclePacket;
+
+/// Incremental reader over the serialized trace format.
+///
+/// ```
+/// use vidi_chan::Direction;
+/// use vidi_hwsim::Bits;
+/// use vidi_trace::{ChannelInfo, ChannelPacket, CyclePacket, Trace, TraceLayout, TraceReader};
+///
+/// let layout = TraceLayout::new(vec![ChannelInfo {
+///     name: "c".into(),
+///     width: 8,
+///     direction: Direction::Input,
+/// }]);
+/// let mut trace = Trace::new(layout.clone(), false);
+/// trace.push(CyclePacket::assemble(
+///     &layout,
+///     &[ChannelPacket::start_with(Bits::from_u64(8, 7))],
+///     false,
+/// ));
+/// let bytes = trace.encode();
+///
+/// let mut reader = TraceReader::new(&bytes)?;
+/// assert_eq!(reader.layout().len(), 1);
+/// let first = reader.next_packet()?.expect("one packet");
+/// assert!(first.starts[0]);
+/// assert!(reader.next_packet()?.is_none());
+/// # Ok::<(), vidi_trace::TraceError>(())
+/// ```
+#[derive(Debug)]
+pub struct TraceReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    layout: TraceLayout,
+    record_output_content: bool,
+    remaining: u64,
+}
+
+impl<'a> TraceReader<'a> {
+    /// Parses the header of a serialized trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] for malformed headers.
+    pub fn new(buf: &'a [u8]) -> Result<Self, TraceError> {
+        let mut r = Cursor { buf, pos: 0 };
+        if r.take(4)? != b"VIDI" {
+            return Err(TraceError::BadMagic);
+        }
+        let version = r.u16()?;
+        if version != 1 {
+            return Err(TraceError::BadVersion(version));
+        }
+        let record_output_content = r.u8()? != 0;
+        let n_channels = r.u16()? as usize;
+        let mut channels = Vec::with_capacity(n_channels);
+        for _ in 0..n_channels {
+            let name_len = r.u16()? as usize;
+            let name = std::str::from_utf8(r.take(name_len)?)
+                .map_err(|_| TraceError::BadChannelName)?
+                .to_string();
+            let width = r.u32()?;
+            let direction = if r.u8()? == 0 {
+                Direction::Input
+            } else {
+                Direction::Output
+            };
+            channels.push(ChannelInfo {
+                name,
+                width,
+                direction,
+            });
+        }
+        let remaining = r.u64()?;
+        Ok(TraceReader {
+            buf,
+            pos: r.pos,
+            layout: TraceLayout::new(channels),
+            record_output_content,
+            remaining,
+        })
+    }
+
+    /// The trace's channel layout.
+    pub fn layout(&self) -> &TraceLayout {
+        &self.layout
+    }
+
+    /// Whether output contents were recorded.
+    pub fn records_output_content(&self) -> bool {
+        self.record_output_content
+    }
+
+    /// Packets not yet read.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Reads the next cycle packet, or `None` at end of trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Truncated`] if the buffer ends mid-packet.
+    pub fn next_packet(&mut self) -> Result<Option<CyclePacket>, TraceError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let mut r = Cursor {
+            buf: self.buf,
+            pos: self.pos,
+        };
+        let n_inputs = self.layout.input_indices().count();
+        let starts = r.bitvec(n_inputs)?;
+        let ends = r.bitvec(self.layout.len())?;
+        let mut contents = Vec::new();
+        let mut input_pos = 0;
+        for ch in self.layout.channels() {
+            if ch.direction == Direction::Input {
+                if starts[input_pos] {
+                    contents.push(r.bits(ch.width)?);
+                }
+                input_pos += 1;
+            }
+        }
+        if self.record_output_content {
+            for (idx, ch) in self.layout.channels().iter().enumerate() {
+                if ch.direction == Direction::Output && ends[idx] {
+                    contents.push(r.bits(ch.width)?);
+                }
+            }
+        }
+        self.pos = r.pos;
+        self.remaining -= 1;
+        Ok(Some(CyclePacket {
+            starts,
+            ends,
+            contents,
+        }))
+    }
+}
+
+impl Iterator for TraceReader<'_> {
+    type Item = Result<CyclePacket, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_packet().transpose()
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+        if self.pos + n > self.buf.len() {
+            return Err(TraceError::Truncated { offset: self.pos });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, TraceError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, TraceError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+    fn u32(&mut self) -> Result<u32, TraceError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64, TraceError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn bitvec(&mut self, n: usize) -> Result<Vec<bool>, TraceError> {
+        let bytes = self.take(n.div_ceil(8))?;
+        Ok((0..n).map(|i| bytes[i / 8] >> (i % 8) & 1 == 1).collect())
+    }
+    fn bits(&mut self, width: u32) -> Result<Bits, TraceError> {
+        let bytes = self.take(width.div_ceil(8) as usize)?;
+        Ok(Bits::from_bytes(bytes).resize(width))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::ChannelPacket;
+    use crate::trace::Trace;
+
+    fn sample() -> Trace {
+        let layout = TraceLayout::new(vec![
+            ChannelInfo {
+                name: "in".into(),
+                width: 16,
+                direction: Direction::Input,
+            },
+            ChannelInfo {
+                name: "out".into(),
+                width: 8,
+                direction: Direction::Output,
+            },
+        ]);
+        let mut t = Trace::new(layout.clone(), true);
+        for i in 0..5u64 {
+            t.push(CyclePacket::assemble(
+                &layout,
+                &[
+                    ChannelPacket {
+                        start: true,
+                        content: Some(Bits::from_u64(16, i)),
+                        end: true,
+                    },
+                    ChannelPacket {
+                        start: false,
+                        content: Some(Bits::from_u64(8, i * 2)),
+                        end: true,
+                    },
+                ],
+                true,
+            ));
+        }
+        t
+    }
+
+    #[test]
+    fn streaming_matches_bulk_decode() {
+        let trace = sample();
+        let bytes = trace.encode();
+        let reader = TraceReader::new(&bytes).unwrap();
+        assert_eq!(reader.layout(), trace.layout());
+        assert_eq!(reader.remaining(), 5);
+        let streamed: Vec<CyclePacket> = reader.map(|p| p.unwrap()).collect();
+        assert_eq!(streamed.as_slice(), trace.packets());
+    }
+
+    #[test]
+    fn truncated_body_reports_offset() {
+        let trace = sample();
+        let mut bytes = trace.encode();
+        bytes.truncate(bytes.len() - 2);
+        let mut reader = TraceReader::new(&bytes).unwrap();
+        let mut saw_err = false;
+        for _ in 0..5 {
+            match reader.next_packet() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(TraceError::Truncated { .. }) => {
+                    saw_err = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(saw_err, "must surface the truncation");
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        assert!(matches!(
+            TraceReader::new(b"XXXX").unwrap_err(),
+            TraceError::BadMagic
+        ));
+    }
+}

@@ -1,0 +1,91 @@
+//! Storage-interface packing (§3.3).
+//!
+//! The trace store converts variable-sized cycle packets into the fixed-size
+//! storage interface available to FPGA applications — on AWS F1, CPU-side
+//! DRAM exposed as 64-byte granular read/write operations over AXI. Multiple
+//! cycle packets are packed into a single storage word when possible (the
+//! paper's example: a 48-byte and a 16-byte packet sharing one cache line).
+
+/// Size of one storage interface word (an F1 PCIe/DRAM cache line).
+pub const STORAGE_WORD_BYTES: usize = 64;
+
+/// One fixed-size storage word.
+pub type StorageWord = [u8; STORAGE_WORD_BYTES];
+
+/// Packs a byte stream into 64-byte storage words, zero-padding the tail.
+///
+/// The byte stream is the concatenation of encoded cycle packets; because
+/// the layout makes every packet self-delimiting, no framing bytes are
+/// needed and packets freely straddle word boundaries.
+pub fn pack(bytes: &[u8]) -> Vec<StorageWord> {
+    bytes
+        .chunks(STORAGE_WORD_BYTES)
+        .map(|chunk| {
+            let mut w = [0u8; STORAGE_WORD_BYTES];
+            w[..chunk.len()].copy_from_slice(chunk);
+            w
+        })
+        .collect()
+}
+
+/// Flattens storage words back into a byte stream of `len` meaningful bytes.
+///
+/// # Panics
+///
+/// Panics if `len` exceeds the total capacity of `words`.
+pub fn unpack(words: &[StorageWord], len: usize) -> Vec<u8> {
+    assert!(
+        len <= words.len() * STORAGE_WORD_BYTES,
+        "unpack length exceeds storage capacity"
+    );
+    let mut out = Vec::with_capacity(len);
+    for w in words {
+        let take = (len - out.len()).min(STORAGE_WORD_BYTES);
+        out.extend_from_slice(&w[..take]);
+        if out.len() == len {
+            break;
+        }
+    }
+    out
+}
+
+/// The storage footprint of `bytes` of trace data, in bytes, after 64-byte
+/// alignment — the size a deployment actually consumes in CPU DRAM.
+pub fn storage_bytes(bytes: u64) -> u64 {
+    bytes.div_ceil(STORAGE_WORD_BYTES as u64) * STORAGE_WORD_BYTES as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let data: Vec<u8> = (0..200u16).map(|i| i as u8).collect();
+        let words = pack(&data);
+        assert_eq!(words.len(), 4); // 200 bytes -> 4 words
+        assert_eq!(unpack(&words, data.len()), data);
+    }
+
+    #[test]
+    fn exact_multiple() {
+        let data = vec![7u8; 128];
+        let words = pack(&data);
+        assert_eq!(words.len(), 2);
+        assert_eq!(unpack(&words, 128), data);
+    }
+
+    #[test]
+    fn empty() {
+        assert!(pack(&[]).is_empty());
+        assert!(unpack(&[], 0).is_empty());
+    }
+
+    #[test]
+    fn footprint_rounds_up() {
+        assert_eq!(storage_bytes(0), 0);
+        assert_eq!(storage_bytes(1), 64);
+        assert_eq!(storage_bytes(64), 64);
+        assert_eq!(storage_bytes(65), 128);
+    }
+}

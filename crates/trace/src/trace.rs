@@ -1,0 +1,423 @@
+//! The trace container, its binary serialization, and size accounting.
+
+use vidi_chan::Direction;
+use vidi_hwsim::Bits;
+
+use crate::error::TraceError;
+use crate::layout::{ChannelInfo, TraceLayout};
+use crate::packet::CyclePacket;
+
+const MAGIC: &[u8; 4] = b"VIDI";
+const VERSION: u16 = 1;
+
+/// A complete recorded execution trace: the channel layout plus the sequence
+/// of cycle packets emitted by the trace encoder.
+///
+/// A trace is self-describing (the layout is embedded in the header), so it
+/// can be saved on one machine — or by one harness configuration — and
+/// replayed by another, exactly like the paper's record-on-hardware,
+/// replay-in-simulation workflow (§5.2).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Trace {
+    layout: TraceLayout,
+    record_output_content: bool,
+    packets: Vec<CyclePacket>,
+}
+
+impl Trace {
+    /// Creates an empty trace for a layout.
+    pub fn new(layout: TraceLayout, record_output_content: bool) -> Self {
+        Trace {
+            layout,
+            record_output_content,
+            packets: Vec::new(),
+        }
+    }
+
+    /// The channel layout.
+    pub fn layout(&self) -> &TraceLayout {
+        &self.layout
+    }
+
+    /// Whether output-transaction contents were recorded (§3.6).
+    pub fn records_output_content(&self) -> bool {
+        self.record_output_content
+    }
+
+    /// Appends one cycle packet.
+    pub fn push(&mut self, packet: CyclePacket) {
+        debug_assert_eq!(packet.ends.len(), self.layout.len());
+        self.packets.push(packet);
+    }
+
+    /// The recorded cycle packets, in order.
+    pub fn packets(&self) -> &[CyclePacket] {
+        &self.packets
+    }
+
+    /// Mutable access for trace mutation tooling.
+    pub fn packets_mut(&mut self) -> &mut Vec<CyclePacket> {
+        &mut self.packets
+    }
+
+    /// Total number of transactions recorded (one end event each).
+    pub fn transaction_count(&self) -> u64 {
+        self.packets.iter().map(|p| p.end_count() as u64).sum()
+    }
+
+    /// Number of transactions completed on one channel.
+    pub fn channel_transaction_count(&self, channel: usize) -> u64 {
+        self.packets.iter().filter(|p| p.ends[channel]).count() as u64
+    }
+
+    /// The contents of every *started* transaction on an input channel, in
+    /// order.
+    pub fn input_contents(&self, channel: usize) -> Vec<Bits> {
+        assert_eq!(
+            self.layout.channels()[channel].direction,
+            Direction::Input,
+            "input_contents on an output channel"
+        );
+        let mut out = Vec::new();
+        for p in &self.packets {
+            let pkt = &p.disassemble(&self.layout, self.record_output_content)[channel];
+            if pkt.start {
+                if let Some(c) = &pkt.content {
+                    out.push(c.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// The contents attached to *completed* transactions on an output
+    /// channel, in order. Empty unless output recording was enabled.
+    pub fn output_contents(&self, channel: usize) -> Vec<Bits> {
+        assert_eq!(
+            self.layout.channels()[channel].direction,
+            Direction::Output,
+            "output_contents on an input channel"
+        );
+        let mut out = Vec::new();
+        for p in &self.packets {
+            if p.ends[channel] {
+                let pkts = p.disassemble(&self.layout, self.record_output_content);
+                if let Some(c) = &pkts[channel].content {
+                    out.push(c.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Serializes the trace to its binary format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        write_u16(&mut out, VERSION);
+        out.push(self.record_output_content as u8);
+        write_u16(&mut out, self.layout.len() as u16);
+        for ch in self.layout.channels() {
+            write_u16(&mut out, ch.name.len() as u16);
+            out.extend_from_slice(ch.name.as_bytes());
+            write_u32(&mut out, ch.width);
+            out.push(match ch.direction {
+                Direction::Input => 0,
+                Direction::Output => 1,
+            });
+        }
+        write_u64(&mut out, self.packets.len() as u64);
+        let n_inputs = self.layout.input_indices().count();
+        for p in &self.packets {
+            write_bitvec(&mut out, &p.starts);
+            write_bitvec(&mut out, &p.ends);
+            debug_assert_eq!(p.starts.len(), n_inputs);
+            for c in &p.contents {
+                out.extend_from_slice(&c.to_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserializes a trace from its binary format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] describing the first structural problem.
+    pub fn decode(bytes: &[u8]) -> Result<Self, TraceError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let version = r.u16()?;
+        if version != VERSION {
+            return Err(TraceError::BadVersion(version));
+        }
+        let record_output_content = r.u8()? != 0;
+        let n_channels = r.u16()? as usize;
+        let mut channels = Vec::with_capacity(n_channels);
+        for _ in 0..n_channels {
+            let name_len = r.u16()? as usize;
+            let name = std::str::from_utf8(r.take(name_len)?)
+                .map_err(|_| TraceError::BadChannelName)?
+                .to_string();
+            let width = r.u32()?;
+            let direction = if r.u8()? == 0 {
+                Direction::Input
+            } else {
+                Direction::Output
+            };
+            channels.push(ChannelInfo {
+                name,
+                width,
+                direction,
+            });
+        }
+        let layout = TraceLayout::new(channels);
+        let n_inputs = layout.input_indices().count();
+        let n_packets = r.u64()? as usize;
+        let mut packets = Vec::with_capacity(n_packets.min(1 << 20));
+        for _ in 0..n_packets {
+            let starts = r.bitvec(n_inputs)?;
+            let ends = r.bitvec(layout.len())?;
+            let mut contents = Vec::new();
+            // Input-start contents, in channel order.
+            let mut input_pos = 0;
+            for ch in layout.channels() {
+                if ch.direction == Direction::Input {
+                    if starts[input_pos] {
+                        contents.push(r.bits(ch.width)?);
+                    }
+                    input_pos += 1;
+                }
+            }
+            // Output-end contents, when enabled.
+            if record_output_content {
+                for (idx, ch) in layout.channels().iter().enumerate() {
+                    if ch.direction == Direction::Output && ends[idx] {
+                        contents.push(r.bits(ch.width)?);
+                    }
+                }
+            }
+            packets.push(CyclePacket {
+                starts,
+                ends,
+                contents,
+            });
+        }
+        if r.pos != bytes.len() {
+            return Err(TraceError::TrailingBytes {
+                extra: bytes.len() - r.pos,
+            });
+        }
+        Ok(Trace {
+            layout,
+            record_output_content,
+            packets,
+        })
+    }
+
+    /// The trace body size in bytes (cycle packets only, excluding the
+    /// self-description header) — the quantity reported in Table 1's
+    /// "TS" column.
+    pub fn body_bytes(&self) -> u64 {
+        let n_inputs = self.layout.input_indices().count();
+        let per_packet_fixed = (n_inputs.div_ceil(8) + self.layout.len().div_ceil(8)) as u64;
+        let mut total = 0u64;
+        for p in &self.packets {
+            total += per_packet_fixed;
+            for c in &p.contents {
+                total += c.width().div_ceil(8) as u64;
+            }
+        }
+        total
+    }
+
+    /// What a cycle-accurate recorder would store for `cycles` cycles of
+    /// this layout, in bytes (§5.5): every input signal of the circuit,
+    /// every cycle.
+    pub fn cycle_accurate_bytes(&self, cycles: u64) -> u64 {
+        (self.layout.cycle_accurate_bits_per_cycle() * cycles).div_ceil(8)
+    }
+}
+
+fn write_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn write_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn write_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn write_bitvec(out: &mut Vec<u8>, bits: &[bool]) {
+    let mut byte = 0u8;
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            byte |= 1 << (i % 8);
+        }
+        if i % 8 == 7 {
+            out.push(byte);
+            byte = 0;
+        }
+    }
+    if !bits.len().is_multiple_of(8) {
+        out.push(byte);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+        if self.pos + n > self.buf.len() {
+            return Err(TraceError::Truncated { offset: self.pos });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, TraceError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, TraceError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, TraceError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, TraceError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn bitvec(&mut self, n: usize) -> Result<Vec<bool>, TraceError> {
+        let bytes = self.take(n.div_ceil(8))?;
+        Ok((0..n).map(|i| bytes[i / 8] >> (i % 8) & 1 == 1).collect())
+    }
+    fn bits(&mut self, width: u32) -> Result<Bits, TraceError> {
+        let bytes = self.take(width.div_ceil(8) as usize)?;
+        Ok(Bits::from_bytes(bytes).resize(width))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::ChannelPacket;
+
+    fn layout() -> TraceLayout {
+        TraceLayout::new(vec![
+            ChannelInfo {
+                name: "ocl.aw".into(),
+                width: 32,
+                direction: Direction::Input,
+            },
+            ChannelInfo {
+                name: "ocl.b".into(),
+                width: 2,
+                direction: Direction::Output,
+            },
+            ChannelInfo {
+                name: "pcis.w".into(),
+                width: 593,
+                direction: Direction::Input,
+            },
+        ])
+    }
+
+    fn sample_trace(record_output: bool) -> Trace {
+        let l = layout();
+        let mut t = Trace::new(l.clone(), record_output);
+        let mut wide = Bits::zero(593);
+        wide.set_bit(592, true);
+        wide.set_bit(0, true);
+        t.push(CyclePacket::assemble(
+            &l,
+            &[
+                ChannelPacket::start_with(Bits::from_u64(32, 0x1000)),
+                ChannelPacket::default(),
+                ChannelPacket::default(),
+            ],
+            record_output,
+        ));
+        t.push(CyclePacket::assemble(
+            &l,
+            &[
+                ChannelPacket::end_only(),
+                ChannelPacket {
+                    start: false,
+                    content: Some(Bits::from_u64(2, 0b01)),
+                    end: true,
+                },
+                ChannelPacket::start_with(wide),
+            ],
+            record_output,
+        ));
+        t.push(CyclePacket::assemble(
+            &l,
+            &[
+                ChannelPacket::default(),
+                ChannelPacket::default(),
+                ChannelPacket::end_only(),
+            ],
+            record_output,
+        ));
+        t
+    }
+
+    #[test]
+    fn roundtrip_without_output_content() {
+        let t = sample_trace(false);
+        let bytes = t.encode();
+        let back = Trace::decode(&bytes).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn roundtrip_with_output_content() {
+        let t = sample_trace(true);
+        let back = Trace::decode(&t.encode()).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.output_contents(1), vec![Bits::from_u64(2, 0b01)]);
+    }
+
+    #[test]
+    fn counts() {
+        let t = sample_trace(false);
+        assert_eq!(t.transaction_count(), 3);
+        assert_eq!(t.channel_transaction_count(0), 1);
+        assert_eq!(t.channel_transaction_count(1), 1);
+        assert_eq!(t.channel_transaction_count(2), 1);
+        let contents = t.input_contents(0);
+        assert_eq!(contents, vec![Bits::from_u64(32, 0x1000)]);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Trace::decode(b"nope").unwrap_err(), TraceError::BadMagic);
+        let mut good = sample_trace(false).encode();
+        good.truncate(good.len() - 1);
+        assert!(matches!(
+            Trace::decode(&good).unwrap_err(),
+            TraceError::Truncated { .. }
+        ));
+        let mut extra = sample_trace(false).encode();
+        extra.push(0);
+        assert!(matches!(
+            Trace::decode(&extra).unwrap_err(),
+            TraceError::TrailingBytes { extra: 1 }
+        ));
+    }
+
+    #[test]
+    fn size_accounting() {
+        let t = sample_trace(false);
+        // 3 packets x (1 byte starts + 1 byte ends) + 4 bytes + 75 bytes
+        assert_eq!(t.body_bytes(), 3 * 2 + 4 + 75);
+        // cycle-accurate: inputs contribute valid+data, outputs ready.
+        let per_cycle = (1 + 32) + 1 + (1 + 593);
+        assert_eq!(t.cycle_accurate_bytes(1000), (per_cycle * 1000u64).div_ceil(8));
+    }
+}

@@ -1,0 +1,98 @@
+//! The debugging case study (§5.2): reliably reproducing two
+//! hardware-only bugs in an echo server built on a buggy Frame FIFO.
+//!
+//! ```text
+//! cargo run --release --example debugging_case_study
+//! ```
+
+use vidi_repro::apps::{run_echo_fifo, EchoFifoConfig};
+use vidi_repro::chan::FrameFifoMode;
+use vidi_repro::core::VidiConfig;
+use vidi_repro::trace::compare;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("── Bug 1: unaligned DMA access (write-strobe bitmasks) ──────────");
+    // An unaligned transfer masks its leading bytes invalid; the buggy
+    // frontend ignores the strobes and echoes undefined lanes.
+    let buggy = run_echo_fifo(EchoFifoConfig {
+        vidi: VidiConfig::record(),
+        unaligned_skip: 8,
+        respect_strobes: false,
+        ..EchoFifoConfig::default()
+    })?;
+    println!(
+        "  buggy frontend, unaligned DMA:   T1 observes {} (readback[0..4] = {:02x?})",
+        if buggy.consistent { "consistent data" } else { "DATA CORRUPTION" },
+        &buggy.readback[..4.min(buggy.readback.len())],
+    );
+    let fixed = run_echo_fifo(EchoFifoConfig {
+        vidi: VidiConfig::record(),
+        unaligned_skip: 8,
+        respect_strobes: true,
+        ..EchoFifoConfig::default()
+    })?;
+    println!(
+        "  fixed frontend, same transfer:   T1 observes {}",
+        if fixed.consistent { "consistent data" } else { "DATA CORRUPTION" },
+    );
+
+    println!();
+    println!("── Bug 2: delayed start (Frame FIFO overflow drop) ──────────────");
+    // T2 writes the start register only after T1's DMA finished; the buggy
+    // FIFO silently drops the fragments that do not fit.
+    let delayed = run_echo_fifo(EchoFifoConfig {
+        vidi: VidiConfig::record(),
+        start_delay: 1500,
+        ..EchoFifoConfig::default()
+    })?;
+    println!(
+        "  delayed start, buggy FIFO:       T1 observes {} ({} of {} bytes survived)",
+        if delayed.consistent { "consistent data" } else { "DATA LOSS" },
+        delayed
+            .readback
+            .iter()
+            .zip(&delayed.expected)
+            .take_while(|(a, b)| a == b)
+            .count(),
+        delayed.expected.len(),
+    );
+    let reference = delayed.trace.clone().expect("recorded trace");
+
+    // The Vidi workflow: replay the buggy trace as many times as needed.
+    println!("  replaying the buggy trace to reproduce the failure...");
+    for attempt in 1..=3 {
+        let replay = run_echo_fifo(EchoFifoConfig {
+            vidi: VidiConfig::replay_record(reference.clone()),
+            start_delay: 1500,
+            ..EchoFifoConfig::default()
+        })?;
+        let report = compare(&reference, &replay.trace.expect("validation"));
+        println!(
+            "    replay #{attempt}: {} transactions, {} divergences — {}",
+            report.transactions_checked,
+            report.divergences.len(),
+            if report.is_clean() {
+                "identical inconsistency pattern reproduced"
+            } else {
+                "DIVERGED"
+            }
+        );
+        assert!(report.is_clean());
+    }
+
+    let repaired = run_echo_fifo(EchoFifoConfig {
+        vidi: VidiConfig::record(),
+        start_delay: 1500,
+        fifo_mode: FrameFifoMode::Fixed,
+        ..EchoFifoConfig::default()
+    })?;
+    println!(
+        "  delayed start, fixed FIFO:       T1 observes {}",
+        if repaired.consistent { "consistent data" } else { "DATA LOSS" },
+    );
+
+    println!();
+    println!("Vidi reproduced a hardware-only failure deterministically, enabling");
+    println!("repeated diagnosis runs against the identical buggy execution (§5.2).");
+    Ok(())
+}

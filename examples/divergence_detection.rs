@@ -1,0 +1,80 @@
+//! The divergence-detection workflow (§3.6, §5.4): find cycle-dependent
+//! behaviour in the DRAM DMA application and fix it with the interrupt
+//! patch.
+//!
+//! ```text
+//! cargo run --release --example divergence_detection
+//! ```
+
+use vidi_repro::apps::{build_app, dma_setup, run_app, DmaCompletion};
+use vidi_repro::core::VidiConfig;
+use vidi_repro::trace::{compare, Divergence};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tasks = 12;
+    println!("DRAM DMA with polling completion ({tasks} copy tasks):\n");
+
+    // Step 1 (§3.6): record a reference trace with output contents.
+    let setup = |seed| dma_setup(tasks, 4096, DmaCompletion::Polling { interval: 64 }, seed);
+    let rec = run_app(build_app(setup(3), VidiConfig::record()), 50_000_000)?;
+    rec.output_ok.clone().map_err(|e| format!("bad output: {e}"))?;
+    let reference = rec.trace.expect("reference trace");
+    println!(
+        "[1/3] reference trace recorded: {} transactions ({} poll reads issued)",
+        reference.transaction_count(),
+        rec.polls
+    );
+
+    // Step 2: replay while re-recording a validation trace.
+    let val = run_app(
+        build_app(setup(3), VidiConfig::replay_record(reference.clone())),
+        50_000_000,
+    )?;
+    let validation = val.trace.expect("validation trace");
+    let report = compare(&reference, &validation);
+    println!(
+        "[2/3] replayed and compared: {} divergences over {} transactions",
+        report.divergences.len(),
+        report.transactions_checked
+    );
+    for d in report.divergences.iter().take(3) {
+        if let Divergence::ContentMismatch {
+            channel,
+            index,
+            reference,
+            validation,
+            context,
+        } = d
+        {
+            println!(
+                "      -> {channel} transaction #{index}: recorded {reference:x}, replayed \
+                 {validation:x} ({} preceding transactions attached as context)",
+                context.len()
+            );
+        }
+    }
+    if !report.is_clean() {
+        println!("      the report localizes the divergence to the status-register");
+        println!("      channel: the application's polling is cycle-dependent (§3.6).");
+    }
+
+    // Step 3: the 10-line patch — interrupt-driven completion.
+    println!("[3/3] applying the interrupt patch and re-running the workflow...");
+    let setup_fixed = |seed| dma_setup(tasks, 4096, DmaCompletion::Interrupt, seed);
+    let rec = run_app(build_app(setup_fixed(3), VidiConfig::record()), 50_000_000)?;
+    let reference = rec.trace.expect("reference trace");
+    let val = run_app(
+        build_app(setup_fixed(3), VidiConfig::replay_record(reference.clone())),
+        50_000_000,
+    )?;
+    let report = compare(&reference, &val.trace.expect("validation trace"));
+    println!(
+        "      interrupt completion: {} divergences over {} transactions",
+        report.divergences.len(),
+        report.transactions_checked
+    );
+    assert!(report.is_clean(), "the interrupt patch must be divergence-free");
+    println!("\nAll content divergences were caused by the polling construct and");
+    println!("eliminated by cycle-independent interrupts — the §3.6 result.");
+    Ok(())
+}

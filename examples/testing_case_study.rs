@@ -1,0 +1,72 @@
+//! The testing case study (§5.3): exposing a latent ordering bug in
+//! `axi_atop_filter` by mutating a recorded production trace and replaying
+//! it.
+//!
+//! ```text
+//! cargo run --release --example testing_case_study
+//! ```
+
+use vidi_repro::apps::run_echo_atop;
+use vidi_repro::chan::AtopFilterMode;
+use vidi_repro::core::VidiConfig;
+use vidi_repro::trace::{reorder_end_before, EndEventRef};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ── 1. Capture a production trace ────────────────────────────────────
+    // The ping-pong echo server with the buggy filter works fine against a
+    // normal host: the bug never shows in simulation or on hardware.
+    println!("[1/4] recording the ping-pong server (buggy axi_atop_filter)...");
+    let recorded = run_echo_atop(AtopFilterMode::Buggy, VidiConfig::record(), 32, 9)?;
+    assert!(recorded.completed && recorded.host_ok);
+    let trace = recorded.trace.expect("recorded trace");
+    println!(
+        "      completed in {} cycles, {} transactions recorded",
+        recorded.cycles,
+        trace.transaction_count()
+    );
+
+    // ── 2. Mutate the trace offline (§4.2 mutation tool) ─────────────────
+    // Reorder the end event of the first write data transaction on pcim so
+    // it happens before the end event of the write address transaction —
+    // behaviour the AXI spec permits (Fig 2) but this host never exhibited.
+    println!("[2/4] mutating the trace: first pcim W end before first pcim AW end...");
+    let aw = trace.layout().index_of("pcim.aw").expect("pcim.aw channel");
+    let w = trace.layout().index_of("pcim.w").expect("pcim.w channel");
+    let mutated = reorder_end_before(
+        &trace,
+        EndEventRef { channel: w, index: 0 },
+        EndEventRef { channel: aw, index: 0 },
+    )?;
+
+    // ── 3. Replay against the buggy design ────────────────────────────────
+    println!("[3/4] replaying the mutated trace against the buggy filter...");
+    let verdict = run_echo_atop(AtopFilterMode::Buggy, VidiConfig::replay(mutated.clone()), 32, 9)?;
+    println!(
+        "      {}",
+        if verdict.completed {
+            "completed (bug NOT triggered)"
+        } else {
+            "DEADLOCK — the writeback DMA never completes, as §5.3 reports"
+        }
+    );
+    assert!(!verdict.completed);
+
+    // ── 4. Replay against the fixed design ────────────────────────────────
+    println!("[4/4] replaying the same mutated trace against the upstream bugfix...");
+    let fixed = run_echo_atop(AtopFilterMode::Fixed, VidiConfig::replay(mutated), 32, 9)?;
+    println!(
+        "      {}",
+        if fixed.completed {
+            "completed — the bugfix eliminates the deadlock"
+        } else {
+            "still deadlocked?!"
+        }
+    );
+    assert!(fixed.completed);
+
+    println!();
+    println!("Trace mutation turned a recorded production workload into a targeted");
+    println!("protocol corner-case test that neither simulation nor hardware had");
+    println!("ever produced (§5.3).");
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! Renders the Fig 1 VALID/READY handshake as a VCD waveform, plus a Vidi
+//! channel monitor interposed on the same transaction, using the
+//! simulator's built-in waveform dump.
+//!
+//! ```text
+//! cargo run --release --example waveform
+//! # then open /tmp/vidi_handshake.vcd in GTKWave
+//! ```
+
+use vidi_repro::chan::{Channel, Direction, ReceiverLatch, SenderQueue};
+use vidi_repro::core::{VidiConfig, VidiShim};
+use vidi_repro::hwsim::{Bits, Component, SignalPool, Simulator, VcdWriter};
+
+/// Sender that raises VALID at a scripted cycle (T2 in Fig 1).
+struct Sender {
+    tx: SenderQueue,
+    at: u64,
+    cycle: u64,
+}
+impl Component for Sender {
+    fn name(&self) -> &str {
+        "sender"
+    }
+    fn eval(&mut self, p: &mut SignalPool) {
+        self.tx.eval(p, self.cycle >= self.at);
+    }
+    fn tick(&mut self, p: &mut SignalPool) {
+        self.cycle += 1;
+        self.tx.tick(p);
+    }
+}
+
+/// Receiver that raises READY at a scripted cycle (T5 in Fig 1).
+struct Receiver {
+    rx: ReceiverLatch,
+    at: u64,
+    cycle: u64,
+}
+impl Component for Receiver {
+    fn name(&self) -> &str {
+        "receiver"
+    }
+    fn eval(&mut self, p: &mut SignalPool) {
+        let accept = self.cycle >= self.at;
+        self.rx.eval(p, accept);
+    }
+    fn tick(&mut self, p: &mut SignalPool) {
+        self.cycle += 1;
+        self.rx.tick(p);
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut sim = Simulator::new();
+    let ch = Channel::new(sim.pool_mut(), "app.data_in", 8);
+
+    // Interpose a recording Vidi shim so the monitor's handshake with the
+    // trace encoder appears in the waveform too.
+    let shim = VidiShim::install(
+        &mut sim,
+        &[(ch.clone(), Direction::Input)],
+        VidiConfig::record(),
+    )?;
+    let env = shim.env_channel("app.data_in").expect("env channel").clone();
+
+    let mut tx = SenderQueue::new(env.clone());
+    tx.push(Bits::from_u64(8, 0xA5));
+    sim.add_component(Sender {
+        tx,
+        at: 2, // VALID rises before T2, as in Fig 1
+        cycle: 0,
+    });
+    sim.add_component(Receiver {
+        rx: ReceiverLatch::new(ch.clone()),
+        at: 5, // READY rises before T5
+        cycle: 0,
+    });
+
+    let watched = [
+        env.valid, env.data, env.ready, // environment side of the monitor
+        ch.valid, ch.data, ch.ready,    // application side of the monitor
+    ];
+    let vcd = VcdWriter::new(sim.pool(), &watched);
+    sim.attach_vcd(vcd);
+    sim.run(10)?;
+
+    let doc = sim.take_vcd().expect("writer attached").finish();
+    let path = "/tmp/vidi_handshake.vcd";
+    std::fs::write(path, &doc)?;
+    println!("Fig 1 handshake waveform written to {path} ({} bytes).", doc.len());
+    println!("The transaction starts when VALID rises (T2) and fires on the first");
+    println!("cycle where VALID && READY (T5); the monitor forwards it with the");
+    println!("encoder handshake completing in the same cycle as the fire.");
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! # vidi-repro — reproduction of *Vidi: Record Replay for Reconfigurable
+//! Hardware* (ASPLOS 2023)
+//!
+//! Vidi records and replays executions of FPGA applications at
+//! *transaction* granularity: channel monitors capture the start event,
+//! content, and end event of every VALID/READY handshake crossing the
+//! CPU↔FPGA boundary (coarse-grained input recording), and channel
+//! replayers coordinated by vector clocks re-enforce the recorded
+//! happens-before relationships (transaction determinism).
+//!
+//! The original system runs on AWS EC2 F1 FPGAs; this reproduction runs on
+//! a deterministic delta-cycle simulator and rebuilds every substrate —
+//! the AXI channel layer, the host CPU/DMA environment, the ten evaluated
+//! accelerators, and a structural resource model — so that every table and
+//! figure of the paper's evaluation can be regenerated. See `DESIGN.md` for
+//! the full inventory and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`hwsim`] — the simulator kernel ([`hwsim::Simulator`], [`hwsim::Bits`]).
+//! * [`chan`] — handshake channels, AXI interfaces, the buggy case-study IPs.
+//! * [`trace`] — the trace format, validation (divergence detection), and
+//!   mutation tooling.
+//! * [`core`] — Vidi itself: [`core::VidiShim`], monitors, encoder, store,
+//!   decoder, replayers.
+//! * [`host`] — the scripted CPU/memory environment and trace file I/O.
+//! * [`apps`] — the ten evaluated applications and both case studies.
+//! * [`synth`] — structural LUT/FF/BRAM estimation (Table 2 / Fig 7).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use vidi_repro::apps::{build_app, run_app, AppId, Scale};
+//! use vidi_repro::core::VidiConfig;
+//! use vidi_repro::trace::compare;
+//!
+//! // 1. Record the SHA-256 accelerator (configuration R2).
+//! let recording = run_app(
+//!     build_app(AppId::Sha.setup(Scale::Test, 7), VidiConfig::record()),
+//!     2_000_000,
+//! )?;
+//! let reference = recording.trace.expect("recorded trace");
+//!
+//! // 2. Replay while re-recording (configuration R3, §3.6).
+//! let replay = run_app(
+//!     build_app(
+//!         AppId::Sha.setup(Scale::Test, 7),
+//!         VidiConfig::replay_record(reference.clone()),
+//!     ),
+//!     2_000_000,
+//! )?;
+//!
+//! // 3. Transaction determinism: the replay reproduced the execution.
+//! let report = compare(&reference, &replay.trace.expect("validation trace"));
+//! assert!(report.is_clean());
+//! # Ok::<(), vidi_repro::hwsim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use vidi_apps as apps;
+pub use vidi_chan as chan;
+pub use vidi_core as core;
+pub use vidi_host as host;
+pub use vidi_hwsim as hwsim;
+pub use vidi_synth as synth;
+pub use vidi_trace as trace;

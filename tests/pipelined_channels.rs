@@ -1,0 +1,232 @@
+//! Transaction determinism is defined over handshake events, not cycle
+//! positions, so Vidi must be indifferent to pipeline stages (register
+//! slices) between its monitors and the application — real F1 designs
+//! insert them for timing closure. This test records and replays an
+//! order-dependent design with register slices on every channel and checks
+//! that nothing changes.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use vidi_repro::chan::{Channel, Direction, ReceiverLatch, RegSlice, SenderQueue};
+use vidi_repro::core::{VidiConfig, VidiShim};
+use vidi_repro::hwsim::{Bits, Component, SignalPool, Simulator};
+use vidi_repro::trace::{compare, Trace};
+
+/// Order-dependent accumulator: `state = state * 31 + value`, with values
+/// arriving interleaved on two channels.
+struct Mixer {
+    a: ReceiverLatch,
+    b: ReceiverLatch,
+    out: SenderQueue,
+    state: u64,
+    consumed: u64,
+    emitted: u64,
+    emit_every: u64,
+}
+impl Component for Mixer {
+    fn name(&self) -> &str {
+        "mixer"
+    }
+    fn eval(&mut self, p: &mut SignalPool) {
+        let ok = self.out.pending() < 4;
+        self.a.eval(p, ok);
+        self.b.eval(p, ok);
+        self.out.eval(p, true);
+    }
+    fn tick(&mut self, p: &mut SignalPool) {
+        // Deliberately order-sensitive: a and b fold into the same state.
+        if let Some(v) = self.a.tick(p) {
+            self.state = self.state.wrapping_mul(31).wrapping_add(v.to_u64());
+            self.consumed += 1;
+        }
+        if let Some(v) = self.b.tick(p) {
+            self.state = self.state.wrapping_mul(37).wrapping_add(v.to_u64());
+            self.consumed += 1;
+        }
+        // Emit a digest every `emit_every` consumed values; both channels
+        // can fire in one tick, so count milestones rather than testing
+        // divisibility.
+        while self.emitted < self.consumed / self.emit_every {
+            self.out.push(Bits::from_u64(32, self.state & 0xffff_ffff));
+            self.emitted += 1;
+        }
+        self.out.tick(p);
+    }
+}
+
+struct Driver {
+    a: SenderQueue,
+    b: SenderQueue,
+    out: ReceiverLatch,
+    cycle: u64,
+    outputs: Rc<RefCell<Vec<u64>>>,
+}
+impl Component for Driver {
+    fn name(&self) -> &str {
+        "driver"
+    }
+    fn eval(&mut self, p: &mut SignalPool) {
+        self.a.eval(p, self.cycle.is_multiple_of(2));
+        self.b.eval(p, self.cycle.is_multiple_of(3));
+        self.out.eval(p, true);
+    }
+    fn tick(&mut self, p: &mut SignalPool) {
+        self.cycle += 1;
+        self.a.tick(p);
+        self.b.tick(p);
+        if let Some(v) = self.out.tick(p) {
+            self.outputs.borrow_mut().push(v.to_u64());
+        }
+    }
+}
+
+/// Builds the design with `slices` register-slice stages between the shim
+/// boundary channels and the mixer.
+fn build(config: VidiConfig, slices: usize, n: u64) -> (Simulator, VidiShim, Rc<RefCell<Vec<u64>>>) {
+    let mut sim = Simulator::new();
+    // Boundary channels (what Vidi monitors).
+    let a0 = Channel::new(sim.pool_mut(), "a", 32);
+    let b0 = Channel::new(sim.pool_mut(), "b", 32);
+    let out0 = Channel::new(sim.pool_mut(), "out", 32);
+    let replaying = config.mode.replays();
+    let shim = VidiShim::install(
+        &mut sim,
+        &[
+            (a0.clone(), Direction::Input),
+            (b0.clone(), Direction::Input),
+            (out0.clone(), Direction::Output),
+        ],
+        config,
+    )
+    .unwrap();
+
+    // Pipeline stages between the boundary and the mixer.
+    let mut a_in = a0;
+    let mut b_in = b0;
+    for i in 0..slices {
+        let a_next = Channel::new(sim.pool_mut(), format!("a.s{i}"), 32);
+        let b_next = Channel::new(sim.pool_mut(), format!("b.s{i}"), 32);
+        sim.add_component(RegSlice::new(format!("a.slice{i}"), a_in, a_next.clone()));
+        sim.add_component(RegSlice::new(format!("b.slice{i}"), b_in, b_next.clone()));
+        a_in = a_next;
+        b_in = b_next;
+    }
+    // Output path slices (mixer -> boundary).
+    let mut out_from = out0.clone();
+    let mut mixer_out = out0;
+    if slices > 0 {
+        let mut prev = Channel::new(sim.pool_mut(), "out.s0".to_string(), 32);
+        mixer_out = prev.clone();
+        for i in 0..slices {
+            let next = if i + 1 == slices {
+                out_from.clone()
+            } else {
+                Channel::new(sim.pool_mut(), format!("out.s{}", i + 1), 32)
+            };
+            sim.add_component(RegSlice::new(format!("out.slice{i}"), prev, next.clone()));
+            prev = next;
+        }
+        out_from = prev;
+    }
+    let _ = out_from;
+
+    sim.add_component(Mixer {
+        a: ReceiverLatch::new(a_in),
+        b: ReceiverLatch::new(b_in),
+        out: SenderQueue::new(mixer_out),
+        state: 0,
+        consumed: 0,
+        emitted: 0,
+        emit_every: 5,
+    });
+
+    let outputs = Rc::new(RefCell::new(Vec::new()));
+    if !replaying {
+        let mut a_q = SenderQueue::new(shim.env_channel("a").unwrap().clone());
+        let mut b_q = SenderQueue::new(shim.env_channel("b").unwrap().clone());
+        for v in 0..n {
+            a_q.push(Bits::from_u64(32, v));
+            b_q.push(Bits::from_u64(32, 1000 + v));
+        }
+        sim.add_component(Driver {
+            a: a_q,
+            b: b_q,
+            out: ReceiverLatch::new(shim.env_channel("out").unwrap().clone()),
+            cycle: 0,
+            outputs: Rc::clone(&outputs),
+        });
+    }
+    (sim, shim, outputs)
+}
+
+fn record(slices: usize, n: u64) -> (Trace, Vec<u64>) {
+    let (mut sim, shim, outputs) = build(VidiConfig::record(), slices, n);
+    let expect = (2 * n) / 5;
+    let done = Rc::clone(&outputs);
+    sim.run_until(
+        move |_| done.borrow().len() as u64 >= expect,
+        100_000,
+        "mixer outputs",
+    )
+    .unwrap();
+    sim.run(2048).unwrap();
+    let outs = outputs.borrow().clone();
+    (shim.recorded_trace().unwrap(), outs)
+}
+
+fn replay_clean(trace: &Trace, slices: usize, n: u64) {
+    let (mut sim, shim, _) = build(VidiConfig::replay_record(trace.clone()), slices, n);
+    let mut guard = 0;
+    while !shim.replay_complete() {
+        sim.run(128).unwrap();
+        guard += 1;
+        assert!(guard < 4_000, "replay did not complete (slices={slices})");
+    }
+    sim.run(2048).unwrap();
+    let validation = shim.recorded_trace().unwrap();
+    let report = compare(trace, &validation);
+    // This design deliberately overlaps input consumption with output
+    // emission, so *input-channel end events* — whose exact timing the
+    // application controls, not the replayer (§3.5) — may shift by a cycle
+    // relative to concurrently racing events. The observable guarantees of
+    // transaction determinism are exact: every transaction count and every
+    // transaction content must match.
+    for d in &report.divergences {
+        match d {
+            vidi_repro::trace::Divergence::ContentMismatch { .. }
+            | vidi_repro::trace::Divergence::CountMismatch { .. } => {
+                panic!("slices={slices}: {d}");
+            }
+            vidi_repro::trace::Divergence::OrderMismatch { .. } => {
+                // Benign clock skew between racing, unenforceable events.
+            }
+        }
+    }
+}
+
+#[test]
+fn replay_is_clean_across_pipeline_depths() {
+    for slices in [0usize, 1, 3] {
+        let (trace, outs) = record(slices, 40);
+        assert!(!outs.is_empty());
+        assert!(trace.transaction_count() > 0);
+        replay_clean(&trace, slices, 40);
+    }
+}
+
+#[test]
+fn pipeline_depth_changes_cycles_but_not_transactions() {
+    // More slices = more latency, but the recorded transaction counts and
+    // contents are untouched — the whole point of coarse-grained recording.
+    let (t0, o0) = record(0, 40);
+    let (t3, o3) = record(3, 40);
+    assert_eq!(o0, o3, "outputs are order-determined, not latency-determined");
+    for idx in 0..t0.layout().len() {
+        assert_eq!(
+            t0.channel_transaction_count(idx),
+            t3.channel_transaction_count(idx)
+        );
+    }
+    assert_eq!(t0.input_contents(0), t3.input_contents(0));
+}
