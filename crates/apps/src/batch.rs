@@ -170,11 +170,8 @@ mod tests {
 
     #[test]
     fn zero_input_computes_immediately() {
-        let mut k = BatchComputeKernel::new(
-            "const",
-            Box::new(|_, _| vec![7u8; 4]),
-            Box::new(|_, _| 0),
-        );
+        let mut k =
+            BatchComputeKernel::new("const", Box::new(|_, _| vec![7u8; 4]), Box::new(|_, _| 0));
         k.start(&[0, 0, 0, 0]);
         let mut produced = false;
         for _ in 0..4 {

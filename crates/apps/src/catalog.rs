@@ -2,7 +2,9 @@
 
 use crate::dram_dma::{self, DmaCompletion};
 use crate::harness::AppSetup;
-use crate::{bnn, digit_rec, face_detect, mobilenet, optical_flow, rendering3d, sha256, spam_filter, sssp};
+use crate::{
+    bnn, digit_rec, face_detect, mobilenet, optical_flow, rendering3d, sha256, spam_filter, sssp,
+};
 
 /// The ten evaluated applications (Table 1 rows).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]

@@ -101,8 +101,9 @@ fn cost(input: &[u8]) -> u64 {
 /// bias.
 pub fn test_digits(n: u32, seed: u64) -> Vec<u8> {
     let train_seed = 0xd161_u64;
-    let prototypes: Vec<Vec<u8>> =
-        (0..10).map(|l| prng_bytes(train_seed ^ l, DIGIT_BYTES)).collect();
+    let prototypes: Vec<Vec<u8>> = (0..10)
+        .map(|l| prng_bytes(train_seed ^ l, DIGIT_BYTES))
+        .collect();
     let mut out = Vec::with_capacity(n as usize * DIGIT_BYTES);
     for i in 0..n {
         let label = (i % 10) as usize;
@@ -181,6 +182,9 @@ mod tests {
             .enumerate()
             .filter(|(i, &l)| l == (*i % 10) as u8)
             .count();
-        assert!(correct >= 45, "KNN should recover most noisy digits, got {correct}/50");
+        assert!(
+            correct >= 45,
+            "KNN should recover most noisy digits, got {correct}/50"
+        );
     }
 }

@@ -131,6 +131,11 @@ pub struct EchoAtopOutcome {
     pub trace: Option<Trace>,
     /// Cycles to completion (or to the deadlock verdict).
     pub cycles: u64,
+    /// On a deadlock verdict, the watchdog's per-component diagnostics:
+    /// which channels are blocked (VALID/READY state, head-of-line
+    /// element) and where the replay's vector clocks stalled. Empty for
+    /// completed runs.
+    pub diagnostics: Vec<String>,
 }
 
 /// Builds and runs the ping-pong server with the given filter mode.
@@ -159,7 +164,13 @@ pub fn run_echo_atop(
         .flat_map(|i| i.channels_with_direction())
         .collect();
     let shim = VidiShim::install(&mut sim, &app_channels, vidi).expect("shim");
-    let find = |n: &str| ifaces.iter().find(|i| i.name() == n).expect("iface").clone();
+    let find = |n: &str| {
+        ifaces
+            .iter()
+            .find(|i| i.name() == n)
+            .expect("iface")
+            .clone()
+    };
     let pcis = find("pcis");
     let pcim = find("pcim");
 
@@ -204,7 +215,11 @@ pub fn run_echo_atop(
         let env_iface = |src: &AxiIface| {
             let chans: Vec<Channel> = AxiChannel::ALL
                 .iter()
-                .map(|&c| shim.env_channel(src.channel(c).name()).expect("env").clone())
+                .map(|&c| {
+                    shim.env_channel(src.channel(c).name())
+                        .expect("env")
+                        .clone()
+                })
                 .collect();
             AxiIface::from_channels(format!("env.{}", src.name()), src.kind(), src.role(), chans)
         };
@@ -244,6 +259,7 @@ pub fn run_echo_atop(
                 break Err(SimError::Timeout {
                     cycle: c,
                     waiting_for: "ping-pong replay".into(),
+                    diagnostics: sim.diagnostics(),
                 });
             }
             sim.run(128)?;
@@ -253,9 +269,7 @@ pub fn run_echo_atop(
         let acked = Rc::clone(&pongs_acked);
         let cpus = cpu_handles.clone();
         sim.run_until(
-            move |_| {
-                *acked.borrow() >= expected_pongs && cpus.iter().all(|h| h.borrow().finished)
-            },
+            move |_| *acked.borrow() >= expected_pongs && cpus.iter().all(|h| h.borrow().finished),
             budget,
             "all pongs acknowledged",
         )
@@ -274,13 +288,17 @@ pub fn run_echo_atop(
                 host_ok,
                 trace: shim.recorded_trace(),
                 cycles,
+                diagnostics: Vec::new(),
             })
         }
-        Err(SimError::Timeout { cycle, .. }) => Ok(EchoAtopOutcome {
+        Err(SimError::Timeout {
+            cycle, diagnostics, ..
+        }) => Ok(EchoAtopOutcome {
             completed: false,
             host_ok: false,
             trace: shim.recorded_trace(),
             cycles: cycle,
+            diagnostics,
         }),
         Err(e) => Err(e),
     }

@@ -289,6 +289,7 @@ pub fn run_echo_fifo(config: EchoFifoConfig) -> Result<EchoFifoOutcome, SimError
                 return Err(SimError::Timeout {
                     cycle: c,
                     waiting_for: "echo replay".into(),
+                    diagnostics: sim.diagnostics(),
                 });
             }
         }
@@ -352,7 +353,13 @@ fn build_echo_fifo(
         .collect();
     let shim = VidiShim::install(&mut sim, &app_channels, config.vidi.clone()).expect("shim");
 
-    let find = |n: &str| ifaces.iter().find(|i| i.name() == n).expect("iface").clone();
+    let find = |n: &str| {
+        ifaces
+            .iter()
+            .find(|i| i.name() == n)
+            .expect("iface")
+            .clone()
+    };
     let ocl = find("ocl");
     let pcis = find("pcis");
     let pcim = find("pcim");
@@ -412,7 +419,10 @@ fn build_echo_fifo(
     // bytes only. The buggy frontend (ignoring strobes) echoes the
     // undefined lanes too, which is exactly the inconsistency T1 observes.
     assert_eq!(config.unaligned_skip % 4, 0, "skip is dword-granular");
-    assert!(config.unaligned_skip < 64, "skip stays within the first beat");
+    assert!(
+        config.unaligned_skip < 64,
+        "skip stays within the first beat"
+    );
     let payload = crate::util::prng_bytes(config.seed, config.frames as usize * 64);
     let mut wire_payload = payload.clone();
     for b in wire_payload.iter_mut().take(config.unaligned_skip) {
@@ -425,7 +435,11 @@ fn build_echo_fifo(
         let env_iface = |name: &str, src: &AxiIface| {
             let chans: Vec<Channel> = AxiChannel::ALL
                 .iter()
-                .map(|&c| shim.env_channel(src.channel(c).name()).expect("env").clone())
+                .map(|&c| {
+                    shim.env_channel(src.channel(c).name())
+                        .expect("env")
+                        .clone()
+                })
                 .collect();
             AxiIface::from_channels(format!("env.{name}"), src.kind(), src.role(), chans)
         };

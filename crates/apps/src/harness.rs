@@ -7,7 +7,7 @@
 use std::fmt;
 
 use vidi_chan::{AxiChannel, AxiIface, Channel, Direction, F1Interface};
-use vidi_core::{VidiConfig, VidiShim};
+use vidi_core::{FaultInjection, VidiConfig, VidiShim};
 use vidi_host::{CpuHandle, CpuThread, HostMemSubordinate, HostMemory, HostOp};
 use vidi_hwsim::{SignalId, SimError, Simulator};
 use vidi_trace::Trace;
@@ -103,6 +103,17 @@ pub struct RunOutcome {
 /// Builds the full simulation for an application under a Vidi
 /// configuration.
 pub fn build_app(setup: AppSetup, vidi: VidiConfig) -> BuiltApp {
+    build_app_with_faults(setup, vidi, FaultInjection::none())
+}
+
+/// [`build_app`], with deterministic fault injection wired into the shim's
+/// engine — the entry point for robustness harnesses (see the `vidi-faults`
+/// crate and the fault-matrix soak test).
+pub fn build_app_with_faults(
+    setup: AppSetup,
+    vidi: VidiConfig,
+    faults: FaultInjection,
+) -> BuiltApp {
     let mut sim = Simulator::new();
     let replaying = vidi.mode.replays();
 
@@ -116,7 +127,8 @@ pub fn build_app(setup: AppSetup, vidi: VidiConfig) -> BuiltApp {
         .flat_map(|i| i.channels_with_direction())
         .collect();
 
-    let shim = VidiShim::install(&mut sim, &app_channels, vidi).expect("shim install");
+    let shim =
+        VidiShim::install_with_faults(&mut sim, &app_channels, vidi, faults).expect("shim install");
 
     // Environment-side interface views over the shim's channels.
     let env_ifaces: Vec<AxiIface> = ifaces
@@ -177,8 +189,7 @@ pub fn build_app(setup: AppSetup, vidi: VidiConfig) -> BuiltApp {
             "generic harness drives ocl+pcis from one thread"
         );
         // Host memory subordinate behind the env side of pcim.
-        let pcim_chans: [Channel; 5] = AxiChannel::ALL
-            .map(|c| pcim_env.channel(c).clone());
+        let pcim_chans: [Channel; 5] = AxiChannel::ALL.map(|c| pcim_env.channel(c).clone());
         sim.add_component(HostMemSubordinate::new(
             "host.pcim",
             pcim_chans,
@@ -240,6 +251,7 @@ pub fn run_app(mut built: BuiltApp, max_cycles: u64) -> Result<RunOutcome, SimEr
                     waiting_for: format!(
                         "replay completion ({done}/{total} packets; stalled: {stalled})"
                     ),
+                    diagnostics: built.sim.diagnostics(),
                 });
             }
         }
@@ -263,11 +275,7 @@ pub fn run_app(mut built: BuiltApp, max_cycles: u64) -> Result<RunOutcome, SimEr
         trace: built.shim.recorded_trace(),
         trace_bytes: built.shim.recorded_bytes(),
         backpressure_cycles: stats.backpressure_cycles,
-        polls: built
-            .cpu
-            .iter()
-            .map(|h| h.borrow().polls_issued)
-            .sum(),
+        polls: built.cpu.iter().map(|h| h.borrow().polls_issued).sum(),
         output_ok,
         host_mem: built.host_mem,
     })

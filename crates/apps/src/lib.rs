@@ -48,7 +48,8 @@ mod util;
 pub use batch::{BatchComputeKernel, ComputeFn, CostFn};
 pub use catalog::{AppId, Scale};
 pub use harness::{
-    build_app, run_app, AppSetup, BuiltApp, CheckFn, KernelFactory, RunOutcome, ThreadSpec,
+    build_app, build_app_with_faults, run_app, AppSetup, BuiltApp, CheckFn, KernelFactory,
+    RunOutcome, ThreadSpec,
 };
 pub use kernel::{Kernel, KernelStep};
 pub use shell::{regs, AccelShell};
@@ -64,7 +65,10 @@ pub mod algorithms {
     pub use crate::bnn::{classify_all as bnn_classify, BnnWeights};
     pub use crate::digit_rec::{classify_all as knn_classify, test_digits, TrainingSet};
     pub use crate::face_detect::{cascade, detect as face_detect, integral};
-    pub use crate::mobilenet::{classify_all as mnet_classify, gap_features as mnet_gap_debug, test_images as mnet_test_images, MnetWeights};
+    pub use crate::mobilenet::{
+        classify_all as mnet_classify, gap_features as mnet_gap_debug,
+        test_images as mnet_test_images, MnetWeights,
+    };
     pub use crate::optical_flow::{flow, shifted_pair};
     pub use crate::rendering3d::{rasterize, Triangle};
     pub use crate::sha256::{compress as sha256_compress, sha256};

@@ -23,17 +23,20 @@ pub const IMAGE_BYTES: usize = IMG * IMG;
 
 /// The quantized weight set.
 pub struct MnetWeights {
-    conv1: Vec<i8>,   // C1 × 3×3
-    dw: Vec<i8>,      // C1 × 3×3 (depthwise)
-    pw: Vec<i8>,      // C2 × C1 (pointwise)
-    fc: Vec<i8>,      // CLASSES × (4 × C2), over quadrant-pooled features
+    conv1: Vec<i8>, // C1 × 3×3
+    dw: Vec<i8>,    // C1 × 3×3 (depthwise)
+    pw: Vec<i8>,    // C2 × C1 (pointwise)
+    fc: Vec<i8>,    // CLASSES × (4 × C2), over quadrant-pooled features
 }
 
 impl MnetWeights {
     /// Generates the deterministic weights.
     pub fn generate(seed: u64) -> Self {
         let signed = |s: u64, n: usize| -> Vec<i8> {
-            prng_bytes(s, n).into_iter().map(|b| (b as i8) / 8).collect()
+            prng_bytes(s, n)
+                .into_iter()
+                .map(|b| (b as i8) / 8)
+                .collect()
         };
         MnetWeights {
             conv1: signed(seed ^ 1, C1 * 9),
@@ -130,8 +133,16 @@ fn classify_internal(weights: &MnetWeights, image: &[u8]) -> (Vec<i32>, u8) {
     let mut gap: Vec<i32> = Vec::with_capacity(4 * C2);
     for m in &pw_maps {
         for (qy, qx) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
-            let (y0, y1) = if qy == 0 { (0, side / 2) } else { (side / 2, side) };
-            let (x0, x1) = if qx == 0 { (0, side / 2) } else { (side / 2, side) };
+            let (y0, y1) = if qy == 0 {
+                (0, side / 2)
+            } else {
+                (side / 2, side)
+            };
+            let (x0, x1) = if qx == 0 {
+                (0, side / 2)
+            } else {
+                (side / 2, side)
+            };
             let mut sum = 0i64;
             let mut n = 0i64;
             for y in y0..y1 {
@@ -181,7 +192,11 @@ pub fn test_images(n: u32, seed: u64) -> Vec<u8> {
         for y in 0..IMG {
             for x in 0..IMG {
                 let inside = x.abs_diff(cx) < r && y.abs_diff(cy) < r;
-                let v = if inside { bright } else { 20 + (noise[y * IMG + x] % 30) };
+                let v = if inside {
+                    bright
+                } else {
+                    20 + (noise[y * IMG + x] % 30)
+                };
                 out.push(v);
             }
         }

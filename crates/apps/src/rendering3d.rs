@@ -26,11 +26,7 @@ impl Triangle {
     /// Parses a triangle from its 9-byte packed form.
     pub fn from_bytes(b: &[u8]) -> Self {
         Triangle {
-            v: [
-                (b[0], b[1], b[2]),
-                (b[3], b[4], b[5]),
-                (b[6], b[7], b[8]),
-            ],
+            v: [(b[0], b[1], b[2]), (b[3], b[4], b[5]), (b[6], b[7], b[8])],
         }
     }
 }
@@ -45,9 +41,18 @@ fn edge(ax: i32, ay: i32, bx: i32, by: i32, px: i32, py: i32) -> i32 {
 pub fn rasterize(triangles: &[Triangle]) -> Vec<u8> {
     let mut fb = vec![0u8; FRAME * FRAME];
     for t in triangles {
-        let (x0, y0) = (t.v[0].0 as i32 % FRAME as i32, t.v[0].1 as i32 % FRAME as i32);
-        let (x1, y1) = (t.v[1].0 as i32 % FRAME as i32, t.v[1].1 as i32 % FRAME as i32);
-        let (x2, y2) = (t.v[2].0 as i32 % FRAME as i32, t.v[2].1 as i32 % FRAME as i32);
+        let (x0, y0) = (
+            t.v[0].0 as i32 % FRAME as i32,
+            t.v[0].1 as i32 % FRAME as i32,
+        );
+        let (x1, y1) = (
+            t.v[1].0 as i32 % FRAME as i32,
+            t.v[1].1 as i32 % FRAME as i32,
+        );
+        let (x2, y2) = (
+            t.v[2].0 as i32 % FRAME as i32,
+            t.v[2].1 as i32 % FRAME as i32,
+        );
         let z = ((t.v[0].2 as u32 + t.v[1].2 as u32 + t.v[2].2 as u32) / 3) as u8;
         let area = edge(x0, y0, x1, y1, x2, y2);
         if area == 0 {
@@ -90,8 +95,16 @@ fn cost(input: &[u8]) -> u64 {
     parse(input)
         .iter()
         .map(|t| {
-            let xs = [t.v[0].0 as i64 % 64, t.v[1].0 as i64 % 64, t.v[2].0 as i64 % 64];
-            let ys = [t.v[0].1 as i64 % 64, t.v[1].1 as i64 % 64, t.v[2].1 as i64 % 64];
+            let xs = [
+                t.v[0].0 as i64 % 64,
+                t.v[1].0 as i64 % 64,
+                t.v[2].0 as i64 % 64,
+            ];
+            let ys = [
+                t.v[0].1 as i64 % 64,
+                t.v[1].1 as i64 % 64,
+                t.v[2].1 as i64 % 64,
+            ];
             let w = xs.iter().max().unwrap() - xs.iter().min().unwrap() + 1;
             let h = ys.iter().max().unwrap() - ys.iter().min().unwrap() + 1;
             (w * h) as u64 / 4 + 8

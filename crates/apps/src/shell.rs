@@ -176,11 +176,10 @@ impl AccelShell {
 
     fn reg_write(&mut self, addr: u32, value: u32) {
         match addr {
-            regs::CTRL
-                if value & 1 == 1 => {
-                    self.kernel.start(&self.user_regs);
-                    self.running = true;
-                }
+            regs::CTRL if value & 1 == 1 => {
+                self.kernel.start(&self.user_regs);
+                self.running = true;
+            }
             regs::IRQ_EN => self.irq_en = value & 1 == 1,
             a if (regs::USER0..regs::USER0 + (N_USER_REGS as u32) * 4).contains(&a)
                 && a % 4 == 0 =>
@@ -270,7 +269,9 @@ impl AccelShell {
             self.pcis_blocked_reads.push_back(AxFields::unpack(&raw));
         }
         while !self.running {
-            let Some(ar) = self.pcis_blocked_reads.pop_front() else { break };
+            let Some(ar) = self.pcis_blocked_reads.pop_front() else {
+                break;
+            };
             for i in 0..=ar.len as u64 {
                 let bytes = self.fpga_dram.read(ar.addr + i * 64, 64);
                 self.pcis_r.push(
@@ -296,17 +297,14 @@ impl AccelShell {
             self.pcim_outstanding = self.pcim_outstanding.saturating_sub(1);
         }
         self.pcim_r.tick(p); // unused read path; drain politely
-        // Issue a coalesced burst when allowed. Burst formation must be a
-        // pure function of the beat sequence — never of queue depth at some
-        // cycle — or record and replay would form different bursts
-        // (cycle-dependent behaviour, §3.6): wait for a full burst unless
-        // the kernel has finished and is flushing its tail.
+                             // Issue a coalesced burst when allowed. Burst formation must be a
+                             // pure function of the beat sequence — never of queue depth at some
+                             // cycle — or record and replay would form different bursts
+                             // (cycle-dependent behaviour, §3.6): wait for a full burst unless
+                             // the kernel has finished and is flushing its tail.
         let flushable = self.pcim_queue.len() >= PCIM_BURST
             || (self.kernel.done() && !self.pcim_queue.is_empty());
-        if flushable
-            && self.pcim_outstanding < PCIM_OUTSTANDING
-            && self.pcim_aw.pending() == 0
-        {
+        if flushable && self.pcim_outstanding < PCIM_OUTSTANDING && self.pcim_aw.pending() == 0 {
             let (base, _) = *self.pcim_queue.front().expect("non-empty");
             let mut beats = Vec::new();
             while beats.len() < PCIM_BURST {
@@ -387,8 +385,7 @@ impl Component for AccelShell {
         self.ocl_r.eval(p, true);
 
         // pcis: accept writes while the input FIFO has space.
-        let fifo_space =
-            !self.kernel.consumes_stream() || self.input_fifo.len() < INPUT_FIFO_DEPTH;
+        let fifo_space = !self.kernel.consumes_stream() || self.input_fifo.len() < INPUT_FIFO_DEPTH;
         self.pcis_aw.eval(p, true);
         self.pcis_w.eval(p, fifo_space);
         self.pcis_ar.eval(p, true);

@@ -34,16 +34,16 @@ pub fn train(input: &[u8]) -> Vec<u8> {
     let mut weights = [0i32; FEATURES];
     for sample in input.chunks_exact(SAMPLE_BYTES) {
         let label = (sample[FEATURES] & 1) as i32 * 256; // 0 or 1.0 in Q8.8
-        // Dot product: features are i8, weights Q8.8 → product Q8.8.
+                                                         // Dot product: features are i8, weights Q8.8 → product Q8.8.
         let mut dot = 0i32;
         for (i, w) in weights.iter().enumerate() {
             dot += (sample[i] as i8 as i32) * w / 256;
         }
         let pred = sigmoid_q8(dot);
         let err = label - pred; // Q8.8
-        // Learning rate 1/8 (feature × err is Q8.8-scaled by 256, so the
-        // combined divisor is 2048). Large enough that integer updates do
-        // not truncate to zero — SGD must remain genuinely order-sensitive.
+                                // Learning rate 1/8 (feature × err is Q8.8-scaled by 256, so the
+                                // combined divisor is 2048). Large enough that integer updates do
+                                // not truncate to zero — SGD must remain genuinely order-sensitive.
         for (i, w) in weights.iter_mut().enumerate() {
             *w += (sample[i] as i8 as i32) * err / 2048;
             *w = (*w).clamp(-32768, 32767);
@@ -132,10 +132,7 @@ mod tests {
             .map(|i| (i16::from_le_bytes([w[i * 2], w[i * 2 + 1]]) as i32).abs())
             .sum::<i32>()
             / (FEATURES as i32 - 1);
-        assert!(
-            w0 > mean_abs,
-            "w0={w0} should dominate mean |w|={mean_abs}"
-        );
+        assert!(w0 > mean_abs, "w0={w0} should dominate mean |w|={mean_abs}");
     }
 
     #[test]

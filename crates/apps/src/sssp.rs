@@ -148,8 +148,16 @@ mod tests {
     #[test]
     fn line_graph_distances() {
         let edges = vec![
-            Edge { src: 0, dst: 1, weight: 5 },
-            Edge { src: 1, dst: 2, weight: 3 },
+            Edge {
+                src: 0,
+                dst: 1,
+                weight: 5,
+            },
+            Edge {
+                src: 1,
+                dst: 2,
+                weight: 3,
+            },
         ];
         assert_eq!(bellman_ford(3, &edges, 0), vec![0, 5, 8]);
     }
@@ -157,16 +165,32 @@ mod tests {
     #[test]
     fn shorter_path_wins() {
         let edges = vec![
-            Edge { src: 0, dst: 1, weight: 10 },
-            Edge { src: 0, dst: 2, weight: 1 },
-            Edge { src: 2, dst: 1, weight: 2 },
+            Edge {
+                src: 0,
+                dst: 1,
+                weight: 10,
+            },
+            Edge {
+                src: 0,
+                dst: 2,
+                weight: 1,
+            },
+            Edge {
+                src: 2,
+                dst: 1,
+                weight: 2,
+            },
         ];
         assert_eq!(bellman_ford(3, &edges, 0)[1], 3);
     }
 
     #[test]
     fn unreachable_is_inf() {
-        let edges = vec![Edge { src: 0, dst: 1, weight: 1 }];
+        let edges = vec![Edge {
+            src: 0,
+            dst: 1,
+            weight: 1,
+        }];
         assert_eq!(bellman_ford(3, &edges, 0)[2], INF);
     }
 

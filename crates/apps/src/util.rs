@@ -54,27 +54,29 @@ pub fn streaming_script(input: Vec<u8>, user_regs: &[(u32, u32)]) -> Vec<HostOp>
 
 /// A checker asserting that host memory at [`OUT_ADDR`] holds `expected`.
 pub fn host_mem_check(expected: Vec<u8>) -> CheckFn {
-    Box::new(move |host: &HostMemory, _fpga: &HostMemory, cpu: &[CpuHandle]| {
-        if cpu.is_empty() {
-            // Replay mode: there is no host environment to land outputs in;
-            // correctness is established by trace comparison instead.
-            return Ok(());
-        }
-        let got = host.read(OUT_ADDR, expected.len());
-        if got == expected {
-            Ok(())
-        } else {
-            let first_bad = got
-                .iter()
-                .zip(expected.iter())
-                .position(|(a, b)| a != b)
-                .unwrap_or(0);
-            Err(format!(
-                "output mismatch at byte {first_bad}: got {:#x}, expected {:#x}",
-                got[first_bad], expected[first_bad]
-            ))
-        }
-    })
+    Box::new(
+        move |host: &HostMemory, _fpga: &HostMemory, cpu: &[CpuHandle]| {
+            if cpu.is_empty() {
+                // Replay mode: there is no host environment to land outputs in;
+                // correctness is established by trace comparison instead.
+                return Ok(());
+            }
+            let got = host.read(OUT_ADDR, expected.len());
+            if got == expected {
+                Ok(())
+            } else {
+                let first_bad = got
+                    .iter()
+                    .zip(expected.iter())
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(0);
+                Err(format!(
+                    "output mismatch at byte {first_bad}: got {:#x}, expected {:#x}",
+                    got[first_bad], expected[first_bad]
+                ))
+            }
+        },
+    )
 }
 
 /// Deterministic pseudo-random byte generator (xorshift64*), used for

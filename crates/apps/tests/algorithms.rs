@@ -33,7 +33,11 @@ fn sha256_is_sensitive_to_every_bit() {
     for flip in [0usize, 50, 99] {
         let mut m = base.clone();
         m[flip] ^= 1;
-        assert_ne!(sha256(&m), h0, "flipping byte {flip} must change the digest");
+        assert_ne!(
+            sha256(&m),
+            h0,
+            "flipping byte {flip} must change the digest"
+        );
     }
 }
 
@@ -79,8 +83,16 @@ fn bellman_ford_matches_dijkstra_on_random_graphs() {
 #[test]
 fn bellman_ford_self_loops_are_harmless() {
     let edges = vec![
-        Edge { src: 0, dst: 0, weight: 5 },
-        Edge { src: 0, dst: 1, weight: 2 },
+        Edge {
+            src: 0,
+            dst: 0,
+            weight: 5,
+        },
+        Edge {
+            src: 0,
+            dst: 1,
+            weight: 2,
+        },
     ];
     assert_eq!(bellman_ford(2, &edges, 0), vec![0, 2]);
 }

@@ -43,6 +43,7 @@ fn replay_is_platform_parameter_insensitive() {
                     fetch_bytes_per_cycle: bw,
                     fifo_capacity: fifo,
                     record_output_content: true,
+                    stall_budget: None,
                 },
             ),
             10_000_000,

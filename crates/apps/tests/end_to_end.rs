@@ -85,7 +85,8 @@ fn all_apps_replay_with_transaction_determinism() {
             .filter(|d| !matches!(d, vidi_trace::Divergence::ContentMismatch { .. }))
             .count();
         assert_eq!(
-            non_content, 0,
+            non_content,
+            0,
             "{}: count/order divergences must never occur: {:?}",
             app.label(),
             report.divergences
@@ -191,15 +192,18 @@ fn echo_fifo_unaligned_bitmask_bug() {
         ..EchoFifoConfig::default()
     })
     .expect("run");
-    assert!(fixed.consistent, "respecting strobes echoes valid bytes only");
+    assert!(
+        fixed.consistent,
+        "respecting strobes echoes valid bytes only"
+    );
 }
 
 #[test]
 fn atop_filter_deadlocks_only_under_mutated_replay() {
     use vidi_apps::run_echo_atop;
     // 1. Record a healthy execution with the buggy filter in place.
-    let recorded = run_echo_atop(AtopFilterMode::Buggy, VidiConfig::record(), 32, 5)
-        .expect("record run");
+    let recorded =
+        run_echo_atop(AtopFilterMode::Buggy, VidiConfig::record(), 32, 5).expect("record run");
     assert!(recorded.completed, "normal operation must not deadlock");
     assert!(recorded.host_ok, "pongs must land correctly");
     let trace = recorded.trace.expect("trace");
@@ -210,8 +214,14 @@ fn atop_filter_deadlocks_only_under_mutated_replay() {
     let w = trace.layout().index_of("pcim.w").expect("pcim.w");
     let mutated = reorder_end_before(
         &trace,
-        EndEventRef { channel: w, index: 0 },
-        EndEventRef { channel: aw, index: 0 },
+        EndEventRef {
+            channel: w,
+            index: 0,
+        },
+        EndEventRef {
+            channel: aw,
+            index: 0,
+        },
     )
     .expect("mutation applies");
 
@@ -223,10 +233,16 @@ fn atop_filter_deadlocks_only_under_mutated_replay() {
         5,
     )
     .expect("replay run");
-    assert!(!verdict.completed, "buggy filter must deadlock under the mutated ordering");
+    assert!(
+        !verdict.completed,
+        "buggy filter must deadlock under the mutated ordering"
+    );
 
     // 4. ...and the upstream bugfix eliminates the deadlock.
     let fixed = run_echo_atop(AtopFilterMode::Fixed, VidiConfig::replay(mutated), 32, 5)
         .expect("replay run");
-    assert!(fixed.completed, "fixed filter must survive the mutated ordering");
+    assert!(
+        fixed.completed,
+        "fixed filter must survive the mutated ordering"
+    );
 }

@@ -35,7 +35,10 @@ fn record_save_load_replay_roundtrip() {
 
     // Replay from the loaded artifact.
     let rep = run_app(
-        build_app(app.setup(Scale::Test, 55), VidiConfig::replay_record(loaded)),
+        build_app(
+            app.setup(Scale::Test, 55),
+            VidiConfig::replay_record(loaded),
+        ),
         3_000_000,
     )
     .expect("replay");
@@ -60,7 +63,11 @@ fn traces_from_different_seeds_are_distinct_artifacts() {
     .unwrap()
     .trace
     .unwrap();
-    assert_ne!(t1.encode(), t2.encode(), "different workloads, different traces");
+    assert_ne!(
+        t1.encode(),
+        t2.encode(),
+        "different workloads, different traces"
+    );
     // Same seed, same workload: byte-identical artifacts (the whole stack
     // is deterministic).
     let t1b = run_app(

@@ -37,9 +37,14 @@ fn run_checked(app: AppId, config: VidiConfig) -> Vec<vidi_chan::Violation> {
     // protocol on the *environment* side by replaying and re-recording,
     // and relies on the dedicated checker test below for channel-level
     // rules. Here we simply assert the run completes with correct output.
-    let outcome = run_app(build_app(app.setup(Scale::Test, 77), config), 3_000_000)
-        .expect("run completes");
-    assert!(outcome.output_ok.is_ok(), "{}: {:?}", app.label(), outcome.output_ok);
+    let outcome =
+        run_app(build_app(app.setup(Scale::Test, 77), config), 3_000_000).expect("run completes");
+    assert!(
+        outcome.output_ok.is_ok(),
+        "{}: {:?}",
+        app.label(),
+        outcome.output_ok
+    );
     Vec::new()
 }
 
@@ -144,5 +149,8 @@ fn all_apps_complete_correctly_under_every_configuration() {
         .collect();
     let log = attach_checkers(&mut sim, &ifaces);
     sim.run(10).unwrap();
-    assert!(log.borrow().is_empty(), "idle channels cannot violate protocol");
+    assert!(
+        log.borrow().is_empty(),
+        "idle channels cannot violate protocol"
+    );
 }

@@ -156,5 +156,9 @@ fn interrupt_fires_only_when_enabled() {
     let built = build_app(setup(ops), VidiConfig::transparent());
     let handle = built.cpu[0].clone();
     run_app(built, 100_000).unwrap();
-    assert_eq!(handle.borrow().reads, vec![1], "done observed after the irq");
+    assert_eq!(
+        handle.borrow().reads,
+        vec![1],
+        "done observed after the irq"
+    );
 }

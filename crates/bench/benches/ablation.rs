@@ -65,7 +65,10 @@ fn bench_ablation(c: &mut Criterion) {
     // The timed benchmark: the marginal cost of the trace-encoder packet
     // format (assembly + serialization) that buys this property.
     let rec = run_app(
-        build_app(AppId::SpamFilter.setup(Scale::Test, 7), VidiConfig::record()),
+        build_app(
+            AppId::SpamFilter.setup(Scale::Test, 7),
+            VidiConfig::record(),
+        ),
         5_000_000,
     )
     .expect("record");

@@ -7,8 +7,8 @@ use vidi_chan::Direction;
 use vidi_core::VectorClock;
 use vidi_hwsim::Bits;
 use vidi_trace::{
-    compare, pack, reorder_end_before, ChannelInfo, ChannelPacket, CyclePacket, EndEventRef,
-    Trace, TraceLayout,
+    compare, pack, reorder_end_before, ChannelInfo, ChannelPacket, CyclePacket, EndEventRef, Trace,
+    TraceLayout,
 };
 
 fn f1_like_layout() -> TraceLayout {
@@ -121,8 +121,14 @@ fn bench_validation(c: &mut Criterion) {
             |t| {
                 reorder_end_before(
                     &t,
-                    EndEventRef { channel: 3, index: 500 },
-                    EndEventRef { channel: 2, index: 100 },
+                    EndEventRef {
+                        channel: 3,
+                        index: 500,
+                    },
+                    EndEventRef {
+                        channel: 2,
+                        index: 100,
+                    },
                 )
                 .unwrap()
             },

@@ -19,7 +19,10 @@ const MAX: u64 = 50_000_000;
 
 fn overhead(config: VidiConfig) -> (f64, u64) {
     let base = run_app(
-        build_app(AppId::SpamFilter.setup(Scale::Bench, SEED), VidiConfig::transparent()),
+        build_app(
+            AppId::SpamFilter.setup(Scale::Bench, SEED),
+            VidiConfig::transparent(),
+        ),
         MAX,
     )
     .expect("baseline");
@@ -37,7 +40,10 @@ fn overhead(config: VidiConfig) -> (f64, u64) {
 
 fn main() {
     println!("Ablation: recording overhead vs trace-store bandwidth (SpamF)");
-    println!("{:>18} {:>12} {:>20}", "bytes/cycle", "overhead %", "backpressure cycles");
+    println!(
+        "{:>18} {:>12} {:>20}",
+        "bytes/cycle", "overhead %", "backpressure cycles"
+    );
     for bw in [4u32, 8, 12, 16, 22, 32, 48, 64, 96] {
         let (oh, bp) = overhead(VidiConfig {
             store_bytes_per_cycle: bw,
@@ -47,7 +53,10 @@ fn main() {
     }
     println!();
     println!("Ablation: recording overhead vs encoder FIFO capacity (SpamF, 12 B/cycle store)");
-    println!("{:>18} {:>12} {:>20}", "fifo packets", "overhead %", "backpressure cycles");
+    println!(
+        "{:>18} {:>12} {:>20}",
+        "fifo packets", "overhead %", "backpressure cycles"
+    );
     for cap in [64usize, 128, 256, 512, 1024, 4096] {
         let (oh, bp) = overhead(VidiConfig {
             store_bytes_per_cycle: 12,

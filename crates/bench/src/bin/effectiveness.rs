@@ -35,20 +35,28 @@ fn main() {
             row.order_divergences,
             row.content_divergences
         );
-        assert_eq!(row.count_divergences, 0, "count divergences must never occur");
-        assert_eq!(row.order_divergences, 0, "order divergences must never occur");
+        assert_eq!(
+            row.count_divergences, 0,
+            "count divergences must never occur"
+        );
+        assert_eq!(
+            row.order_divergences, 0,
+            "order divergences must never occur"
+        );
     }
 
     // Longer DRAM DMA runs to estimate the content-divergence rate, and the
     // same workload under the interrupt patch.
     println!("\nDRAM DMA divergence rate vs completion mechanism ({dma_tasks} tasks):");
     for (label, completion) in [
-        ("polling (original)", DmaCompletion::Polling { interval: 256 }),
+        (
+            "polling (original)",
+            DmaCompletion::Polling { interval: 256 },
+        ),
         ("interrupt (§3.6 patch)", DmaCompletion::Interrupt),
     ] {
         let setup = |seed| dma_setup(dma_tasks, 4096, completion, seed);
-        let rec = run_app(build_app(setup(7), VidiConfig::record()), MAX_CYCLES)
-            .expect("record");
+        let rec = run_app(build_app(setup(7), VidiConfig::record()), MAX_CYCLES).expect("record");
         let reference = rec.trace.expect("trace");
         let val = run_app(
             build_app(setup(7), VidiConfig::replay_record(reference.clone())),

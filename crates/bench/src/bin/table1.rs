@@ -11,10 +11,7 @@ use vidi_bench::{fmt_factor, measure_table1};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let runs: u32 = args
-        .iter()
-        .find_map(|a| a.parse().ok())
-        .unwrap_or(5);
+    let runs: u32 = args.iter().find_map(|a| a.parse().ok()).unwrap_or(5);
     let scale = if args.iter().any(|a| a == "--test-scale") {
         Scale::Test
     } else {

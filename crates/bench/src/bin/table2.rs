@@ -18,8 +18,14 @@ fn main() {
     let pct = estimate(&layout, VidiFeatures::default()).as_pct();
 
     println!("Table 2 — Vidi resource overhead (structural estimate, % of F1 budget)");
-    println!("configuration: all 5 interfaces, {} monitored bits\n", layout.total_width());
-    println!("{:<8} {:>8} {:>8} {:>9}", "App", "LUT (%)", "FF (%)", "BRAM (%)");
+    println!(
+        "configuration: all 5 interfaces, {} monitored bits\n",
+        layout.total_width()
+    );
+    println!(
+        "{:<8} {:>8} {:>8} {:>9}",
+        "App", "LUT (%)", "FF (%)", "BRAM (%)"
+    );
     for app in AppId::ALL {
         // Identical design point for every app; the estimate does not model
         // per-app Vivado optimization noise.

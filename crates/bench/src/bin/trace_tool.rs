@@ -24,7 +24,9 @@ fn main() -> ExitCode {
             eprintln!("usage:");
             eprintln!("  trace_tool dump <trace>");
             eprintln!("  trace_tool validate <reference> <validation>");
-            eprintln!("  trace_tool mutate <trace> <moved-ch> <moved-idx> <before-ch> <before-idx> <out>");
+            eprintln!(
+                "  trace_tool mutate <trace> <moved-ch> <moved-idx> <before-ch> <before-idx> <out>"
+            );
             return ExitCode::from(2);
         }
     };
@@ -56,7 +58,10 @@ fn dump(path: &str) -> Result<ExitCode, Box<dyn std::error::Error>> {
         trace.records_output_content()
     );
     print!("  {}", trace.stats());
-    println!("\n  {:<4} {:<16} {:>6} {:>6} {:>13}", "idx", "channel", "width", "dir", "transactions");
+    println!(
+        "\n  {:<4} {:<16} {:>6} {:>6} {:>13}",
+        "idx", "channel", "width", "dir", "transactions"
+    );
     for (i, ch) in trace.layout().channels().iter().enumerate() {
         println!(
             "  {:<4} {:<16} {:>6} {:>6} {:>13}",

@@ -67,13 +67,21 @@ pub fn measure_table1(app: AppId, scale: Scale, runs: u32) -> Table1Row {
             MAX_CYCLES,
         )
         .expect("baseline completes");
-        assert!(base.output_ok.is_ok(), "{}: baseline incorrect", app.label());
+        assert!(
+            base.output_ok.is_ok(),
+            "{}: baseline incorrect",
+            app.label()
+        );
         let rec = run_app(
             build_app(app.setup(scale, seed), VidiConfig::record()),
             MAX_CYCLES,
         )
         .expect("recording completes");
-        assert!(rec.output_ok.is_ok(), "{}: recording incorrect", app.label());
+        assert!(
+            rec.output_ok.is_ok(),
+            "{}: recording incorrect",
+            app.label()
+        );
         native.push(base.cycles as f64);
         overheads.push(100.0 * (rec.cycles as f64 - base.cycles as f64) / base.cycles as f64);
         let trace = rec.trace.expect("trace");

@@ -301,7 +301,8 @@ mod tests {
             w_last: false,
         });
         let done = Rc::clone(&got_b);
-        sim.run_until(move |_| *done.borrow(), 500, "write response").is_ok()
+        sim.run_until(move |_| *done.borrow(), 500, "write response")
+            .is_ok()
     }
 
     #[test]

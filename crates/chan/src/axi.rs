@@ -105,7 +105,12 @@ pub struct AxiIface {
 
 impl AxiIface {
     /// Allocates all five channels of an interface in the pool.
-    pub fn new(pool: &mut SignalPool, name: impl Into<String>, kind: AxiKind, role: AxiRole) -> Self {
+    pub fn new(
+        pool: &mut SignalPool,
+        name: impl Into<String>,
+        kind: AxiKind,
+        role: AxiRole,
+    ) -> Self {
         let name = name.into();
         let widths = kind.channel_widths();
         let channels = AxiChannel::ALL
@@ -256,10 +261,16 @@ mod tests {
         assert_eq!(AxiKind::Lite.total_width(), 136);
         assert_eq!(AxiKind::Full512.total_width(), 1324);
         // All three AXI-Lite buses plus both 512-bit buses: 3056 bits (§5.5).
-        let total: u32 = F1Interface::ALL.iter().map(|i| i.kind().total_width()).sum();
+        let total: u32 = F1Interface::ALL
+            .iter()
+            .map(|i| i.kind().total_width())
+            .sum();
         assert_eq!(total, 3056);
         // The largest channel is the 593-bit W channel (§6).
-        assert_eq!(AxiKind::Full512.channel_widths()[AxiChannel::W as usize], 593);
+        assert_eq!(
+            AxiKind::Full512.channel_widths()[AxiChannel::W as usize],
+            593
+        );
     }
 
     #[test]

@@ -96,10 +96,9 @@ impl Component for ProtocolChecker {
         let valid = p.get_bool(self.channel.valid);
         let fired = self.channel.fires(p);
         match (&self.in_flight, valid) {
-            (Some(held), true)
-                if p.get(self.channel.data) != *held => {
-                    self.report(ViolationKind::DataChanged);
-                }
+            (Some(held), true) if p.get(self.channel.data) != *held => {
+                self.report(ViolationKind::DataChanged);
+            }
             (Some(_), false) => {
                 self.report(ViolationKind::ValidDropped);
             }

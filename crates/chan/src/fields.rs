@@ -222,7 +222,11 @@ pub fn unpack_lite_r(b: &Bits) -> (u32, u8) {
 pub fn layout_widths_consistent() -> bool {
     let full = AxiKind::Full512.channel_widths();
     let lite = AxiKind::Lite.channel_widths();
-    full[0] == 91 && full[1] == 593 && full[2] == 18 && full[3] == 91 && full[4] == 531
+    full[0] == 91
+        && full[1] == 593
+        && full[2] == 18
+        && full[3] == 91
+        && full[4] == 531
         && lite[0] == 32
         && lite[1] == 36
         && lite[2] == 2

@@ -31,16 +31,16 @@ mod reg_slice;
 mod wide_frame_fifo;
 
 pub use atop_filter::{AtopFilter, AtopFilterMode};
+pub use axi::{AxiChannel, AxiIface, AxiKind, AxiRole, F1Interface};
+pub use checker::{violation_log, ProtocolChecker, Violation, ViolationKind, ViolationLog};
 pub use fields::{
     layout_widths_consistent, pack_lite_r, pack_lite_w, unpack_lite_r, unpack_lite_w, AxFields,
     BFields, RFields, WFields, W_LAST_BIT,
 };
-pub use axi::{AxiChannel, AxiIface, AxiKind, AxiRole, F1Interface};
-pub use checker::{violation_log, ProtocolChecker, Violation, ViolationKind, ViolationLog};
 pub use fifo::SyncFifo;
 pub use frame_fifo::{FrameFifo, FrameFifoMode};
+pub use handshake::{Channel, Direction, ReceiverLatch, SenderQueue};
+pub use reg_slice::RegSlice;
 pub use wide_frame_fifo::{
     pack_frame, unpack_frame, WideFrameFifo, FRAGS_PER_FRAME, FRAG_BITS, FRAME_CHANNEL_BITS,
 };
-pub use handshake::{Channel, Direction, ReceiverLatch, SenderQueue};
-pub use reg_slice::RegSlice;

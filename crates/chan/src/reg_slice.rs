@@ -29,7 +29,11 @@ impl RegSlice {
     ///
     /// Panics if the channel widths differ.
     pub fn new(name: impl Into<String>, input: Channel, output: Channel) -> Self {
-        assert_eq!(input.width(), output.width(), "register slice width mismatch");
+        assert_eq!(
+            input.width(),
+            output.width(),
+            "register slice width mismatch"
+        );
         RegSlice {
             name: name.into(),
             input,
@@ -199,7 +203,11 @@ mod tests {
         });
         let done = Rc::clone(&got);
         let cycles = sim
-            .run_until(move |_| done.borrow().len() as u64 >= n, 1_000, "all values")
+            .run_until(
+                move |_| done.borrow().len() as u64 >= n,
+                1_000,
+                "all values",
+            )
             .unwrap();
         assert!(
             cycles <= n + 5,

@@ -16,8 +16,8 @@ use std::collections::VecDeque;
 
 use vidi_hwsim::{Bits, Component, SignalId, SignalPool};
 
-use crate::FrameFifoMode;
 use crate::handshake::Channel;
+use crate::FrameFifoMode;
 
 /// Fragments per frame (one 512-bit beat of 32-bit fragments).
 pub const FRAGS_PER_FRAME: usize = 16;
@@ -108,7 +108,10 @@ impl WideFrameFifo {
         let mut data = Bits::zero(512);
         let mut mask = 0u16;
         for (i, frag) in self.buf.iter().take(FRAGS_PER_FRAME).enumerate() {
-            data.set_slice((i as u32) * FRAG_BITS, &Bits::from_u64(FRAG_BITS, *frag as u64));
+            data.set_slice(
+                (i as u32) * FRAG_BITS,
+                &Bits::from_u64(FRAG_BITS, *frag as u64),
+            );
             mask |= 1 << i;
         }
         (data, mask)

@@ -64,6 +64,14 @@ pub struct VidiConfig {
     pub store_bytes_per_cycle: u32,
     /// Bandwidth of trace fetch during replay, in bytes per cycle.
     pub fetch_bytes_per_cycle: u32,
+    /// Lossy-degradation stall budget, in cumulative back-pressure cycles.
+    /// `None` (the default, and the paper's configuration) never drops an
+    /// event: recording back-pressure stalls the application for as long as
+    /// it takes. With `Some(budget)`, once back-pressure has cost more than
+    /// `budget` cycles the trace store sheds cycle packets it cannot afford
+    /// instead of stalling further, counting every drop in
+    /// [`RecordedRun::dropped_packets`](crate::RecordedRun::dropped_packets).
+    pub stall_budget: Option<u64>,
 }
 
 impl Default for VidiConfig {
@@ -74,6 +82,7 @@ impl Default for VidiConfig {
             fifo_capacity: 128,
             store_bytes_per_cycle: 22,
             fetch_bytes_per_cycle: 22,
+            stall_budget: None,
         }
     }
 }

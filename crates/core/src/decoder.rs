@@ -11,17 +11,20 @@ use std::rc::Rc;
 use vidi_chan::Direction;
 use vidi_trace::Trace;
 
+use crate::faults::BandwidthHook;
 use crate::replayer::{ReplayElem, ReplayerCore};
 use crate::store::packet_bytes;
 
 /// The decoder's registered core, embedded in the Vidi engine.
-#[derive(Debug)]
 pub struct DecoderCore {
     trace: Trace,
     next: usize,
     fetch_bytes_per_cycle: u32,
     credit: u64,
     credit_cap: u64,
+    cycle: u64,
+    /// Injected fetch-bandwidth collapse (see [`crate::FaultInjection`]).
+    bandwidth_hook: Option<BandwidthHook>,
 }
 
 impl DecoderCore {
@@ -34,7 +37,14 @@ impl DecoderCore {
             credit: 0,
             // Must admit the largest possible cycle packet (see StoreCore).
             credit_cap: ((fetch_bytes_per_cycle as u64).max(1) * 16).max(8192),
+            cycle: 0,
+            bandwidth_hook: None,
         }
+    }
+
+    /// Installs a per-cycle fetch-bandwidth divisor hook.
+    pub fn set_bandwidth_hook(&mut self, hook: BandwidthHook) {
+        self.bandwidth_hook = Some(hook);
     }
 
     /// Number of cycle packets dispatched so far.
@@ -55,7 +65,15 @@ impl DecoderCore {
     /// Clock-edge phase: dispatches packets to replayers as long as the
     /// fetch bandwidth budget and every replayer's queue space allow.
     pub fn tick(&mut self, replayers: &mut [ReplayerCore]) {
-        self.credit = (self.credit + self.fetch_bytes_per_cycle as u64).min(self.credit_cap);
+        let cycle = self.cycle;
+        self.cycle += 1;
+        let divisor = self
+            .bandwidth_hook
+            .as_mut()
+            .map(|h| h(cycle).max(1))
+            .unwrap_or(1) as u64;
+        self.credit =
+            (self.credit + self.fetch_bytes_per_cycle as u64 / divisor).min(self.credit_cap);
         let layout = self.trace.layout().clone();
         let record_output = self.trace.records_output_content();
         while self.next < self.trace.packets().len() {
@@ -78,12 +96,7 @@ impl DecoderCore {
                     .collect(),
             );
             let channel_packets = packet.disassemble(&layout, record_output);
-            for (idx, (info, pkt)) in layout
-                .channels()
-                .iter()
-                .zip(channel_packets)
-                .enumerate()
-            {
+            for (idx, (info, pkt)) in layout.channels().iter().zip(channel_packets).enumerate() {
                 // Replayers only need content for input starts; output
                 // contents (present in §3.6 reference traces) are checked by
                 // the validation recording path, not the replayer.
@@ -100,5 +113,15 @@ impl DecoderCore {
             }
             self.next += 1;
         }
+    }
+}
+
+impl std::fmt::Debug for DecoderCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecoderCore")
+            .field("dispatched", &self.next)
+            .field("total", &self.trace.packets().len())
+            .field("credit", &self.credit)
+            .finish()
     }
 }

@@ -13,10 +13,10 @@ use vidi_chan::Direction;
 use vidi_hwsim::SignalPool;
 use vidi_trace::{ChannelPacket, CyclePacket, TraceLayout};
 
+use crate::faults::StallHook;
 use crate::port::EncoderPort;
 
 /// The encoder's combinational+registered core, embedded in the Vidi engine.
-#[derive(Debug)]
 pub struct EncoderCore {
     layout: TraceLayout,
     record_output_content: bool,
@@ -27,6 +27,13 @@ pub struct EncoderCore {
     /// back-pressure indicator reported by the shim's statistics.
     backpressure_cycles: u64,
     events_logged: u64,
+    /// Cycles ticked so far (the key for the stall gate).
+    cycle: u64,
+    /// Injected stall storms: while the gate reports `true` for a cycle, no
+    /// reservation is granted, so every monitored channel sees VALID/READY
+    /// back-pressure at once.
+    stall_gate: Option<StallHook>,
+    stall_storm_cycles: u64,
 }
 
 impl EncoderCore {
@@ -58,7 +65,20 @@ impl EncoderCore {
             capacity,
             backpressure_cycles: 0,
             events_logged: 0,
+            cycle: 0,
+            stall_gate: None,
+            stall_storm_cycles: 0,
         }
+    }
+
+    /// Installs an injected stall gate (see [`crate::FaultInjection`]).
+    pub fn set_stall_gate(&mut self, gate: StallHook) {
+        self.stall_gate = Some(gate);
+    }
+
+    /// Cycles during which an injected stall storm denied all grants.
+    pub fn stall_storm_cycles(&self) -> u64 {
+        self.stall_storm_cycles
     }
 
     /// Current FIFO occupancy in cycle packets.
@@ -94,16 +114,20 @@ impl EncoderCore {
     /// of safety margin — so held reservations can always land. The
     /// invariant is re-checked by a hard assertion at collection time.
     pub fn eval(&mut self, p: &mut SignalPool) {
+        let stormed = self
+            .stall_gate
+            .as_mut()
+            .map(|g| g(self.cycle))
+            .unwrap_or(false);
         let held: usize = self
             .ports
             .iter()
             .filter(|port| p.get_bool(port.resv_hold))
             .count();
-        let mut budget =
-            self.capacity as i64 - self.fifo.len() as i64 - 2 * held as i64 - 2;
+        let mut budget = self.capacity as i64 - self.fifo.len() as i64 - 2 * held as i64 - 2;
         for port in &self.ports {
             let req = p.get_bool(port.resv_req);
-            let grant = req && budget >= 2;
+            let grant = req && !stormed && budget >= 2;
             if grant {
                 budget -= 2;
             }
@@ -142,6 +166,12 @@ impl EncoderCore {
         if any_denied {
             self.backpressure_cycles += 1;
         }
+        if let Some(g) = &mut self.stall_gate {
+            if g(self.cycle) {
+                self.stall_storm_cycles += 1;
+            }
+        }
+        self.cycle += 1;
         if any_event {
             let packet = CyclePacket::assemble(&self.layout, &packets, self.record_output_content);
             // Hard assertion (cheap, hot-path-safe): the conservative
@@ -154,5 +184,17 @@ impl EncoderCore {
             );
             self.fifo.push_back(packet);
         }
+    }
+}
+
+impl std::fmt::Debug for EncoderCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EncoderCore")
+            .field("channels", &self.ports.len())
+            .field("fifo_len", &self.fifo.len())
+            .field("capacity", &self.capacity)
+            .field("backpressure_cycles", &self.backpressure_cycles)
+            .field("stall_storm_cycles", &self.stall_storm_cycles)
+            .finish()
     }
 }

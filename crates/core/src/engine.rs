@@ -18,6 +18,7 @@ use vidi_trace::{Trace, TraceLayout};
 
 use crate::decoder::DecoderCore;
 use crate::encoder::EncoderCore;
+use crate::faults::FaultInjection;
 use crate::port::EncoderPort;
 use crate::replayer::ReplayerCore;
 use crate::store::{RecordHandle, StoreCore};
@@ -76,13 +77,9 @@ impl VidiEngine {
         record_output_content: bool,
         store_bytes_per_cycle: u32,
     ) -> (Self, RecordHandle, StatsHandle) {
-        let encoder = EncoderCore::new(
-            layout.clone(),
-            ports,
-            fifo_capacity,
-            record_output_content,
-        );
-        let (store, record) = StoreCore::new(layout.clone(), record_output_content, store_bytes_per_cycle);
+        let encoder = EncoderCore::new(layout.clone(), ports, fifo_capacity, record_output_content);
+        let (store, record) =
+            StoreCore::new(layout.clone(), record_output_content, store_bytes_per_cycle);
         let stats: StatsHandle = Rc::new(RefCell::new(VidiStats::default()));
         let n = layout.len();
         (
@@ -137,6 +134,35 @@ impl VidiEngine {
         self.encoder = None;
         self.store = None;
         self
+    }
+
+    /// Arms the store's lossy-degradation path (no-op without a store).
+    pub(crate) fn set_stall_budget(&mut self, budget: Option<u64>) {
+        if let Some(store) = &mut self.store {
+            store.set_stall_budget(budget);
+        }
+    }
+
+    /// Distributes fault-injection hooks to whichever cores exist.
+    pub(crate) fn apply_faults(&mut self, faults: FaultInjection) {
+        if let Some(hook) = faults.encoder_stall {
+            if let Some(encoder) = &mut self.encoder {
+                encoder.set_stall_gate(hook);
+            }
+        }
+        if let Some(store) = &mut self.store {
+            if let Some(hook) = faults.store_write {
+                store.set_write_hook(hook);
+            }
+            if let Some(hook) = faults.store_bandwidth {
+                store.set_bandwidth_hook(hook);
+            }
+        }
+        if let Some(hook) = faults.fetch_bandwidth {
+            if let Some(decoder) = &mut self.decoder {
+                decoder.set_bandwidth_hook(hook);
+            }
+        }
     }
 }
 
@@ -203,6 +229,51 @@ impl Component for VidiEngine {
                 }
             }
         }
+    }
+
+    fn fault(&self) -> Option<String> {
+        self.replayers
+            .iter()
+            .find_map(|r| r.fault().map(String::from))
+    }
+
+    /// The deadlock diagnoser: reports blocked channels and stalled
+    /// vector-clock entries when a watchdog asks why the design is stuck.
+    fn diagnostics(&self, p: &SignalPool) -> Vec<String> {
+        let mut out = Vec::new();
+        if let Some(encoder) = &self.encoder {
+            if encoder.fifo_len() > 0 || encoder.backpressure_cycles() > 0 {
+                out.push(format!(
+                    "encoder fifo {} packets queued, {} back-pressure cycles, {} storm cycles",
+                    encoder.fifo_len(),
+                    encoder.backpressure_cycles(),
+                    encoder.stall_storm_cycles(),
+                ));
+            }
+        }
+        if let Some(decoder) = &self.decoder {
+            out.push(format!(
+                "decoder dispatched {}/{} packets, t_current={}",
+                decoder.dispatched(),
+                decoder.total(),
+                self.t_current,
+            ));
+            for (r, ch) in self.replayers.iter().zip(&self.replay_channels) {
+                if r.drained() {
+                    continue;
+                }
+                let valid = p.get_bool(ch.valid);
+                let ready = p.get_bool(ch.ready);
+                out.push(format!(
+                    "channel {} blocked (valid={} ready={}): {}",
+                    ch.name(),
+                    valid,
+                    ready,
+                    r.debug_head(&self.t_current),
+                ));
+            }
+        }
+        out
     }
 }
 

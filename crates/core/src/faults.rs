@@ -1,0 +1,80 @@
+//! Fault-injection hooks for the Vidi engine.
+//!
+//! The engine's cores accept optional hooks through which a harness injects
+//! deterministic faults: storage-write failures and bandwidth collapse into
+//! the trace store, reservation stall storms into the encoder (which
+//! propagate as VALID/READY back-pressure through every monitored channel),
+//! and fetch-bandwidth collapse into the replay decoder. The hooks are
+//! plain closures keyed by cycle or operation index, so a seeded plan (see
+//! the `vidi-faults` crate) can replay the exact same failure schedule on
+//! every run.
+//!
+//! Hooks keyed by cycle may be called more than once per cycle (the settle
+//! phase re-evaluates combinational logic), so they must be pure functions
+//! of their arguments.
+
+/// Verdict of one trace-store write attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreWriteOutcome {
+    /// The write succeeds.
+    Commit,
+    /// The write fails transiently; the store retries with backoff and the
+    /// packet stays queued (no data loss).
+    TransientError,
+}
+
+/// Decides the fate of a store write: `(op_index, attempt)` →
+/// [`StoreWriteOutcome`]. `attempt` is 0 on the first try of an op and
+/// increments across retries of the same op.
+pub type StoreWriteHook = Box<dyn FnMut(u64, u32) -> StoreWriteOutcome>;
+
+/// Divides available bandwidth for a cycle: returns a divisor ≥ 1 applied
+/// to the configured bytes-per-cycle (large divisors model a collapsed
+/// PCIe/DRAM path; the result may round down to zero bytes).
+pub type BandwidthHook = Box<dyn FnMut(u64) -> u32>;
+
+/// Gates encoder reservation grants for a cycle: returning `true` denies
+/// every reservation, stalling all monitored channels at once (a
+/// VALID/READY stall storm).
+pub type StallHook = Box<dyn FnMut(u64) -> bool>;
+
+/// A bundle of fault-injection hooks, passed to
+/// [`VidiShim::install_with_faults`](crate::VidiShim::install_with_faults).
+/// Every field defaults to `None` (no injection).
+#[derive(Default)]
+pub struct FaultInjection {
+    /// Per-write verdicts for the trace store (storage failures).
+    pub store_write: Option<StoreWriteHook>,
+    /// Store bandwidth divisor per cycle (recording-path collapse).
+    pub store_bandwidth: Option<BandwidthHook>,
+    /// Encoder reservation stall gate per cycle (stall storms).
+    pub encoder_stall: Option<StallHook>,
+    /// Decoder fetch bandwidth divisor per cycle (replay-path collapse).
+    pub fetch_bandwidth: Option<BandwidthHook>,
+}
+
+impl std::fmt::Debug for FaultInjection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjection")
+            .field("store_write", &self.store_write.is_some())
+            .field("store_bandwidth", &self.store_bandwidth.is_some())
+            .field("encoder_stall", &self.encoder_stall.is_some())
+            .field("fetch_bandwidth", &self.fetch_bandwidth.is_some())
+            .finish()
+    }
+}
+
+impl FaultInjection {
+    /// No injected faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether any hook is installed.
+    pub fn is_active(&self) -> bool {
+        self.store_write.is_some()
+            || self.store_bandwidth.is_some()
+            || self.encoder_stall.is_some()
+            || self.fetch_bandwidth.is_some()
+    }
+}

@@ -45,6 +45,7 @@ mod config;
 mod decoder;
 mod encoder;
 mod engine;
+mod faults;
 mod monitor;
 mod port;
 mod replayer;
@@ -56,6 +57,7 @@ pub use config::{VidiConfig, VidiMode};
 pub use decoder::DecoderCore;
 pub use encoder::EncoderCore;
 pub use engine::{ReplayHandle, ReplayStatus, StatsHandle, VidiEngine, VidiStats};
+pub use faults::{BandwidthHook, FaultInjection, StallHook, StoreWriteHook, StoreWriteOutcome};
 pub use monitor::{ChannelMonitor, MonitorMode};
 pub use port::EncoderPort;
 pub use replayer::{ReplayElem, ReplayerCore};

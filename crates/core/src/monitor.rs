@@ -190,8 +190,7 @@ impl ChannelMonitor {
             let sv = p.get_bool(sender.valid);
             p.set_bool(self.port.resv_req, sv);
         }
-        let grant = exposed
-            || (p.get_bool(sender.valid) && p.get_bool(self.port.resv_grant));
+        let grant = exposed || (p.get_bool(sender.valid) && p.get_bool(self.port.resv_grant));
         if grant {
             p.set_bool(receiver.valid, true);
             p.copy(receiver.data, sender.data);
@@ -236,8 +235,7 @@ impl Component for ChannelMonitor {
         }
         match (&self.state, self.direction) {
             (State::Idle, Direction::Input) => {
-                let granted =
-                    p.get_bool(self.port.resv_req) && p.get_bool(self.port.resv_grant);
+                let granted = p.get_bool(self.port.resv_req) && p.get_bool(self.port.resv_grant);
                 if granted && !fired {
                     self.state = State::Active(p.get(self.env.data));
                 }
@@ -248,8 +246,7 @@ impl Component for ChannelMonitor {
                 }
             }
             (State::Idle, Direction::Output) => {
-                let granted =
-                    p.get_bool(self.port.resv_req) && p.get_bool(self.port.resv_grant);
+                let granted = p.get_bool(self.port.resv_req) && p.get_bool(self.port.resv_grant);
                 if granted && !fired {
                     self.state = State::Exposed;
                 }

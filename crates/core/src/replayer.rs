@@ -60,6 +60,11 @@ pub struct ReplayerCore {
     /// the order-less baseline of §1 (DebugGovernor-style): each channel's
     /// contents are replayed independently, with no cross-channel ordering.
     enforce_ordering: bool,
+    /// A latched unrecoverable condition (e.g. a corrupt trace element),
+    /// surfaced through the engine as a typed
+    /// [`SimError::ComponentFault`](vidi_hwsim::SimError::ComponentFault)
+    /// instead of a panic.
+    fault: Option<String>,
 }
 
 impl ReplayerCore {
@@ -76,7 +81,13 @@ impl ReplayerCore {
             pending_fires: 0,
             replayed: 0,
             enforce_ordering: true,
+            fault: None,
         }
+    }
+
+    /// The latched fault, if any.
+    pub fn fault(&self) -> Option<&str> {
+        self.fault.as_deref()
     }
 
     /// Disables happens-before enforcement (the order-less baseline).
@@ -153,10 +164,19 @@ impl ReplayerCore {
                         p.set_bool(self.channel.valid, true);
                         p.set(self.channel.data, &content);
                     }
-                    Some(None) => panic!(
-                        "replay trace start on {} has no content",
-                        self.channel.name()
-                    ),
+                    Some(None) => {
+                        // A start element with no content is a corrupt or
+                        // mis-assembled trace: latch a typed fault (the
+                        // engine aborts the run with it) instead of
+                        // panicking the whole process.
+                        if self.fault.is_none() {
+                            self.fault = Some(format!(
+                                "replay trace start on {} has no content",
+                                self.channel.name()
+                            ));
+                        }
+                        p.set_bool(self.channel.valid, false);
+                    }
                     None => p.set_bool(self.channel.valid, false),
                 }
             }
@@ -183,7 +203,9 @@ impl ReplayerCore {
     #[allow(clippy::while_let_loop)] // the loop body matches on more than the binding
     pub fn advance(&mut self, t0: &VectorClock) {
         loop {
-            let Some(head) = self.queue.front() else { break };
+            let Some(head) = self.queue.front() else {
+                break;
+            };
             if head.is_bookkeeping() {
                 let ends = Rc::clone(&head.ends);
                 self.queue.pop_front();

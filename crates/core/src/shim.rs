@@ -16,6 +16,7 @@ use vidi_trace::{ChannelInfo, Trace, TraceLayout};
 
 use crate::config::{VidiConfig, VidiMode};
 use crate::engine::{ReplayHandle, StatsHandle, VidiEngine, VidiStats};
+use crate::faults::FaultInjection;
 use crate::monitor::{ChannelMonitor, MonitorMode};
 use crate::port::EncoderPort;
 use crate::store::RecordHandle;
@@ -74,6 +75,26 @@ impl VidiShim {
         sim: &mut Simulator,
         app_channels: &[(Channel, Direction)],
         config: VidiConfig,
+    ) -> Result<VidiShim, ShimError> {
+        Self::install_with_faults(sim, app_channels, config, FaultInjection::none())
+    }
+
+    /// [`install`](VidiShim::install), plus deterministic fault injection:
+    /// the hooks in `faults` are wired into the engine's cores (storage
+    /// writes, store/fetch bandwidth, encoder stall storms). Harnesses use
+    /// this to test how a deployment degrades under storage failures and
+    /// back-pressure; production installs pass
+    /// [`FaultInjection::none`] via [`install`](VidiShim::install).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShimError::LayoutMismatch`] when a replayed trace was
+    /// recorded over a different channel layout.
+    pub fn install_with_faults(
+        sim: &mut Simulator,
+        app_channels: &[(Channel, Direction)],
+        config: VidiConfig,
+        faults: FaultInjection,
     ) -> Result<VidiShim, ShimError> {
         let layout = TraceLayout::new(
             app_channels
@@ -163,7 +184,7 @@ impl VidiShim {
             (engine.without_recording(), None, None)
         };
         let orderless = matches!(config.mode, VidiMode::ReplayOrderless(_));
-        let (engine, replay) = match replay_trace {
+        let (mut engine, replay) = match replay_trace {
             Some(trace) => {
                 let (engine, handle) = engine.with_replay(
                     trace,
@@ -175,6 +196,8 @@ impl VidiShim {
             }
             None => (engine, None),
         };
+        engine.set_stall_budget(config.stall_budget);
+        engine.apply_faults(faults);
         sim.add_component(engine);
 
         Ok(VidiShim {
@@ -211,9 +234,7 @@ impl VidiShim {
 
     /// The environment-side channel for a named application channel.
     pub fn env_channel(&self, name: &str) -> Option<&Channel> {
-        self.layout
-            .index_of(name)
-            .map(|i| &self.env_channels[i])
+        self.layout.index_of(name).map(|i| &self.env_channels[i])
     }
 
     /// The trace recorded so far (clone). `None` in non-recording modes.
@@ -223,7 +244,27 @@ impl VidiShim {
 
     /// Raw trace body bytes written to storage so far.
     pub fn recorded_bytes(&self) -> u64 {
-        self.record.as_ref().map(|r| r.borrow().body_bytes).unwrap_or(0)
+        self.record
+            .as_ref()
+            .map(|r| r.borrow().body_bytes)
+            .unwrap_or(0)
+    }
+
+    /// Cycle packets shed by lossy degradation so far (always 0 without a
+    /// [`VidiConfig::stall_budget`]).
+    pub fn dropped_packets(&self) -> u64 {
+        self.record
+            .as_ref()
+            .map(|r| r.borrow().dropped_packets)
+            .unwrap_or(0)
+    }
+
+    /// Transient storage-write failures absorbed by retry so far.
+    pub fn write_retries(&self) -> u64 {
+        self.record
+            .as_ref()
+            .map(|r| r.borrow().write_retries)
+            .unwrap_or(0)
     }
 
     /// Whether a replay has dispatched every packet and drained every

@@ -11,6 +11,7 @@ use std::rc::Rc;
 use vidi_trace::{storage_bytes, CyclePacket, Trace, TraceLayout};
 
 use crate::encoder::EncoderCore;
+use crate::faults::{BandwidthHook, StoreWriteHook, StoreWriteOutcome};
 
 /// The accumulating result of a recording run.
 #[derive(Debug)]
@@ -19,6 +20,12 @@ pub struct RecordedRun {
     pub trace: Trace,
     /// Raw trace body bytes written to storage.
     pub body_bytes: u64,
+    /// Cycle packets dropped by the lossy-degradation path (see
+    /// [`VidiConfig::stall_budget`](crate::VidiConfig::stall_budget)).
+    /// Always zero in the default lossless configuration.
+    pub dropped_packets: u64,
+    /// Transient storage-write failures absorbed by retry-with-backoff.
+    pub write_retries: u64,
 }
 
 impl RecordedRun {
@@ -43,8 +50,12 @@ pub fn packet_bytes(layout: &TraceLayout, packet: &CyclePacket) -> u64 {
     fixed + contents
 }
 
+/// Backoff before the first storage-write retry, in cycles; doubles per
+/// consecutive failure up to [`RETRY_BACKOFF_CAP`].
+const RETRY_BACKOFF_BASE: u64 = 4;
+const RETRY_BACKOFF_CAP: u64 = 256;
+
 /// The store's registered core, embedded in the Vidi engine.
-#[derive(Debug)]
 pub struct StoreCore {
     layout: TraceLayout,
     handle: RecordHandle,
@@ -54,6 +65,20 @@ pub struct StoreCore {
     /// Cap on accumulated credit so idle periods cannot bank unbounded
     /// burst bandwidth (PCIe posting buffers are finite).
     credit_cap: u64,
+    /// Cycles ticked so far (the key for bandwidth fault hooks).
+    cycle: u64,
+    /// Successful writes so far (the key for write fault hooks).
+    ops: u64,
+    /// Failed attempts on the current front packet.
+    attempt: u32,
+    /// Cycles left before the next write attempt after a transient failure.
+    retry_backoff: u64,
+    /// Lossy degradation: once the encoder's cumulative back-pressure
+    /// exceeds this budget, packets the bandwidth cannot cover are dropped
+    /// (and counted) instead of stalling the application further.
+    stall_budget: Option<u64>,
+    write_hook: Option<StoreWriteHook>,
+    bandwidth_hook: Option<BandwidthHook>,
 }
 
 impl StoreCore {
@@ -66,6 +91,8 @@ impl StoreCore {
         let handle = Rc::new(RefCell::new(RecordedRun {
             trace: Trace::new(layout.clone(), record_output_content),
             body_bytes: 0,
+            dropped_packets: 0,
+            write_retries: 0,
         }));
         let store = StoreCore {
             layout,
@@ -76,24 +103,109 @@ impl StoreCore {
             // burst, but must always admit the largest possible cycle
             // packet or a slow store could wedge forever.
             credit_cap: ((bytes_per_cycle as u64).max(1) * 16).max(8192),
+            cycle: 0,
+            ops: 0,
+            attempt: 0,
+            retry_backoff: 0,
+            stall_budget: None,
+            write_hook: None,
+            bandwidth_hook: None,
         };
         (store, handle)
     }
 
+    /// Arms lossy degradation with a cumulative back-pressure budget.
+    pub fn set_stall_budget(&mut self, budget: Option<u64>) {
+        self.stall_budget = budget;
+    }
+
+    /// Installs a per-write fault hook (storage failures).
+    pub fn set_write_hook(&mut self, hook: StoreWriteHook) {
+        self.write_hook = Some(hook);
+    }
+
+    /// Installs a per-cycle bandwidth divisor hook (bandwidth collapse).
+    pub fn set_bandwidth_hook(&mut self, hook: BandwidthHook) {
+        self.bandwidth_hook = Some(hook);
+    }
+
     /// Clock-edge phase: drains as many packets as the bandwidth budget
-    /// allows from the encoder FIFO to storage.
+    /// allows from the encoder FIFO to storage, honoring injected storage
+    /// faults (retry with exponential backoff) and — when a stall budget is
+    /// armed and exhausted — shedding unaffordable packets instead of
+    /// stalling the application.
     pub fn tick(&mut self, encoder: &mut EncoderCore) {
-        self.credit = (self.credit + self.bytes_per_cycle as u64).min(self.credit_cap);
-        while let Some(front) = encoder.front() {
-            let size = packet_bytes(&self.layout, front);
-            if self.credit < size {
-                break;
+        let cycle = self.cycle;
+        self.cycle += 1;
+        let divisor = self
+            .bandwidth_hook
+            .as_mut()
+            .map(|h| h(cycle).max(1))
+            .unwrap_or(1) as u64;
+        self.credit = (self.credit + self.bytes_per_cycle as u64 / divisor).min(self.credit_cap);
+        if self.retry_backoff > 0 {
+            self.retry_backoff -= 1;
+        } else {
+            while let Some(size) = encoder.front().map(|f| packet_bytes(&self.layout, f)) {
+                if self.credit < size {
+                    break;
+                }
+                let verdict = self
+                    .write_hook
+                    .as_mut()
+                    .map(|h| h(self.ops, self.attempt))
+                    .unwrap_or(StoreWriteOutcome::Commit);
+                match verdict {
+                    StoreWriteOutcome::Commit => {
+                        let Some(packet) = encoder.pop() else { break };
+                        self.credit -= size;
+                        self.ops += 1;
+                        self.attempt = 0;
+                        let mut run = self.handle.borrow_mut();
+                        run.body_bytes += size;
+                        run.trace.push(packet);
+                    }
+                    StoreWriteOutcome::TransientError => {
+                        // The packet stays queued; back off exponentially
+                        // before retrying the same op.
+                        self.attempt += 1;
+                        self.retry_backoff = (RETRY_BACKOFF_BASE << (self.attempt - 1).min(16))
+                            .min(RETRY_BACKOFF_CAP);
+                        self.handle.borrow_mut().write_retries += 1;
+                        break;
+                    }
+                }
             }
-            self.credit -= size;
-            let packet = encoder.pop().expect("front() was Some");
-            let mut run = self.handle.borrow_mut();
-            run.body_bytes += size;
-            run.trace.push(packet);
         }
+        // Lossy degradation: once back-pressure has cost more than the
+        // configured budget, prefer losing trace packets to stalling the
+        // application. Every shed packet is counted — degradation is never
+        // silent.
+        if let Some(budget) = self.stall_budget {
+            if encoder.backpressure_cycles() > budget {
+                while let Some(size) = encoder.front().map(|f| packet_bytes(&self.layout, f)) {
+                    if self.retry_backoff == 0 && self.credit >= size {
+                        break; // affordable; the normal path will write it
+                    }
+                    if encoder.pop().is_none() {
+                        break;
+                    }
+                    self.attempt = 0;
+                    self.handle.borrow_mut().dropped_packets += 1;
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for StoreCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreCore")
+            .field("bytes_per_cycle", &self.bytes_per_cycle)
+            .field("credit", &self.credit)
+            .field("ops", &self.ops)
+            .field("retry_backoff", &self.retry_backoff)
+            .field("stall_budget", &self.stall_budget)
+            .finish()
     }
 }

@@ -15,9 +15,7 @@ pub struct VectorClock {
 impl VectorClock {
     /// The zero clock over `n` channels (replay initial state).
     pub fn zero(n: usize) -> Self {
-        VectorClock {
-            counts: vec![0; n],
-        }
+        VectorClock { counts: vec![0; n] }
     }
 
     /// Builds a clock from explicit counts.
@@ -57,7 +55,11 @@ impl VectorClock {
     ///
     /// Panics if the clocks cover different channel counts.
     pub fn geq(&self, other: &VectorClock) -> bool {
-        assert_eq!(self.counts.len(), other.counts.len(), "clock length mismatch");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "clock length mismatch"
+        );
         self.counts
             .iter()
             .zip(other.counts.iter())

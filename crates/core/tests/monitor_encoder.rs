@@ -94,8 +94,12 @@ fn run_input_channel(
         got: Rc::clone(&got),
     });
     let done = Rc::clone(&got);
-    sim.run_until(move |_| done.borrow().len() as u64 >= n, 100_000, "transfers")
-        .unwrap();
+    sim.run_until(
+        move |_| done.borrow().len() as u64 >= n,
+        100_000,
+        "transfers",
+    )
+    .unwrap();
     sim.run(4096).unwrap();
     let v = got.borrow().clone();
     (v, shim.recorded_trace().unwrap())
@@ -110,7 +114,10 @@ fn back_to_back_transfers_log_same_cycle_start_and_end() {
     assert_eq!(trace.channel_transaction_count(0), 20);
     for p in trace.packets() {
         if p.ends[0] {
-            assert!(p.starts[0], "back-to-back fire should be start+end in one packet");
+            assert!(
+                p.starts[0],
+                "back-to-back fire should be start+end in one packet"
+            );
         }
     }
 }
@@ -235,7 +242,11 @@ fn output_monitor_records_end_events_and_contents() {
         .sum();
     assert_eq!(starts, 0, "output channels contribute no start events");
     // ...but carry content on end events when divergence detection is on.
-    let contents: Vec<u64> = trace.output_contents(0).iter().map(|b| b.to_u64()).collect();
+    let contents: Vec<u64> = trace
+        .output_contents(0)
+        .iter()
+        .map(|b| b.to_u64())
+        .collect();
     assert_eq!(contents, vec![7, 8, 9]);
 }
 

@@ -261,7 +261,8 @@ fn orderless_baseline_is_fine_for_single_channel_apps() {
 
     let (mut sim, shim, got) = build(VidiConfig::record());
     let done = Rc::clone(&got);
-    sim.run_until(move |_| *done.borrow() >= 40, 10_000, "echo").unwrap();
+    sim.run_until(move |_| *done.borrow() >= 40, 10_000, "echo")
+        .unwrap();
     sim.run(2048).unwrap();
     let reference = shim.recorded_trace().unwrap();
 

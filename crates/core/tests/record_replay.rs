@@ -208,7 +208,10 @@ fn replay_reproduces_outputs_exactly() {
         "transaction determinism violated: {:?}",
         report.divergences
     );
-    assert_eq!(validation.transaction_count(), reference.transaction_count());
+    assert_eq!(
+        validation.transaction_count(),
+        reference.transaction_count()
+    );
 }
 
 #[test]

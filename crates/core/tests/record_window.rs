@@ -96,7 +96,10 @@ fn recording_window_captures_only_enabled_transactions() {
     for pair in recorded.windows(2) {
         assert_eq!(pair[1], pair[0] + 1, "window must be contiguous");
     }
-    assert!(recorded[0] >= 9 && recorded[0] <= 11, "window starts at phase 2");
+    assert!(
+        recorded[0] >= 9 && recorded[0] <= 11,
+        "window starts at phase 2"
+    );
 }
 
 #[test]
@@ -127,5 +130,9 @@ fn disabled_recording_is_equivalent_to_transparent() {
     sim.run(1024).unwrap();
     assert_eq!(got.borrow().len(), 10);
     let trace = shim.recorded_trace().unwrap();
-    assert_eq!(trace.transaction_count(), 0, "nothing recorded while disabled");
+    assert_eq!(
+        trace.transaction_count(),
+        0,
+        "nothing recorded while disabled"
+    );
 }

@@ -214,7 +214,11 @@ fn chained_orderings_serialize_a_burst() {
     assert!(shim.replay_complete());
     // cmd#2 must come after resp#1 (its Texpected includes resp#1's end).
     let seq = order.borrow().clone();
-    assert_eq!(seq, vec!["cmd", "resp", "cmd", "resp"], "recorded interleaving enforced");
+    assert_eq!(
+        seq,
+        vec!["cmd", "resp", "cmd", "resp"],
+        "recorded interleaving enforced"
+    );
 }
 
 #[test]

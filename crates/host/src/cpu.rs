@@ -121,10 +121,24 @@ enum OpState {
     Ready,
     AwaitWriteResp,
     AwaitReadResp,
-    Polling { next_poll: u64, outstanding: bool },
-    DmaSending { offset: usize, awaiting_resp: u32, resume_at: u64 },
-    DmaReceiving { collected: Vec<u8>, want: usize, issued: usize, resume_at: u64 },
-    Delaying { until: u64 },
+    Polling {
+        next_poll: u64,
+        outstanding: bool,
+    },
+    DmaSending {
+        offset: usize,
+        awaiting_resp: u32,
+        resume_at: u64,
+    },
+    DmaReceiving {
+        collected: Vec<u8>,
+        want: usize,
+        issued: usize,
+        resume_at: u64,
+    },
+    Delaying {
+        until: u64,
+    },
 }
 
 /// A scripted CPU thread driving the environment side of the design.
@@ -229,14 +243,13 @@ impl CpuThread {
         // `dma_payload` when the op starts, and the in-progress arms read
         // the cache, so the per-cycle snapshot strips `bytes`.
         let op = match (&self.state, &self.ops[self.pc]) {
-            (
-                OpState::DmaSending { .. },
-                HostOp::DmaWrite { iface, addr, .. },
-            ) => HostOp::DmaWrite {
-                iface,
-                addr: *addr,
-                bytes: Vec::new(),
-            },
+            (OpState::DmaSending { .. }, HostOp::DmaWrite { iface, addr, .. }) => {
+                HostOp::DmaWrite {
+                    iface,
+                    addr: *addr,
+                    bytes: Vec::new(),
+                }
+            }
             (
                 OpState::DmaSending { .. },
                 HostOp::DmaWriteMasked {
@@ -280,7 +293,10 @@ impl CpuThread {
                 };
             }
             (
-                OpState::Polling { next_poll, outstanding },
+                OpState::Polling {
+                    next_poll,
+                    outstanding,
+                },
                 HostOp::PollUntil {
                     iface,
                     addr,
@@ -326,16 +342,21 @@ impl CpuThread {
                 };
             }
             (
-                OpState::DmaSending { offset, awaiting_resp, resume_at },
-                HostOp::DmaWrite { iface, addr, .. }
-                | HostOp::DmaWriteMasked { iface, addr, .. },
+                OpState::DmaSending {
+                    offset,
+                    awaiting_resp,
+                    resume_at,
+                },
+                HostOp::DmaWrite { iface, addr, .. } | HostOp::DmaWriteMasked { iface, addr, .. },
             ) => {
                 let first_strb = match &self.ops[self.pc] {
                     HostOp::DmaWriteMasked { first_strb, .. } => Some(*first_strb),
                     _ => None,
                 };
                 let bytes = std::rc::Rc::clone(
-                    self.dma_payload.as_ref().expect("payload cached at op start"),
+                    self.dma_payload
+                        .as_ref()
+                        .expect("payload cached at op start"),
                 );
                 // Retire completed burst responses; pace the next burst by
                 // the PCIe round-trip gap.
@@ -371,8 +392,11 @@ impl CpuThread {
                             _ => u64::MAX,
                         })
                         .collect();
-                    self.dma_mut(iface)
-                        .issue_write_burst_strobed(addr + off as u64, &beats, &strbs);
+                    self.dma_mut(iface).issue_write_burst_strobed(
+                        addr + off as u64,
+                        &beats,
+                        &strbs,
+                    );
                     off += chunk_len;
                     resp += 1;
                 }
@@ -391,7 +415,12 @@ impl CpuThread {
                 };
             }
             (
-                OpState::DmaReceiving { collected, want, issued, resume_at },
+                OpState::DmaReceiving {
+                    collected,
+                    want,
+                    issued,
+                    resume_at,
+                },
                 HostOp::DmaRead { iface, addr, .. },
             ) => {
                 let want = *want;

@@ -18,10 +18,15 @@ mod cpu;
 mod masters;
 mod mem;
 mod runtime;
+mod storage;
 mod subordinate;
 
 pub use cpu::{CpuHandle, CpuResults, CpuThread, HostOp};
 pub use masters::{AxiLiteMaster, AxiMaster, DMA_BURST_BEATS};
 pub use mem::HostMemory;
 pub use runtime::{load_trace, save_trace, RuntimeError};
+pub use storage::{
+    load_trace_durable, save_trace_durable, FileStorage, MemStorage, RetryPolicy, StorageFault,
+    TraceStorage,
+};
 pub use subordinate::HostMemSubordinate;

@@ -21,6 +21,8 @@ pub enum RuntimeError {
     Io(std::io::Error),
     /// The file is not a valid Vidi trace.
     Format(TraceError),
+    /// A storage backend failed even after retries (durable path).
+    Storage(crate::storage::StorageFault),
 }
 
 impl fmt::Display for RuntimeError {
@@ -28,6 +30,7 @@ impl fmt::Display for RuntimeError {
         match self {
             RuntimeError::Io(e) => write!(f, "trace file I/O error: {e}"),
             RuntimeError::Format(e) => write!(f, "trace file format error: {e}"),
+            RuntimeError::Storage(e) => write!(f, "trace storage error: {e}"),
         }
     }
 }
@@ -37,6 +40,7 @@ impl Error for RuntimeError {
         match self {
             RuntimeError::Io(e) => Some(e),
             RuntimeError::Format(e) => Some(e),
+            RuntimeError::Storage(e) => Some(e),
         }
     }
 }

@@ -1,0 +1,352 @@
+//! Durable trace storage with typed faults and retry-with-backoff.
+//!
+//! The plain [`save_trace`](crate::save_trace) path assumes the write
+//! succeeds; real deployments see transient storage hiccups (a busy PCIe
+//! link, an NFS timeout) and occasional hard failures. This module models
+//! storage as a [`TraceStorage`] backend that can fail with a typed
+//! [`StorageFault`], and layers deterministic retry-with-exponential-backoff
+//! on top. Trace bytes go to storage in the CRC-framed layout
+//! ([`Trace::encode_framed`]), so whatever the backend hands back — even a
+//! torn or bit-flipped image — loads as the longest valid packet prefix via
+//! [`recover_trace`].
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io::ErrorKind;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use vidi_trace::{recover_trace, RecoveredTrace, Trace};
+
+use crate::runtime::RuntimeError;
+
+/// A typed storage failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageFault {
+    /// The operation may succeed if retried (timeout, interruption,
+    /// momentary back-pressure).
+    Transient(String),
+    /// The operation will not succeed no matter how often it is retried.
+    Permanent(String),
+}
+
+impl StorageFault {
+    /// Whether a retry could help.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageFault::Transient(_))
+    }
+}
+
+impl fmt::Display for StorageFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageFault::Transient(m) => write!(f, "transient storage fault: {m}"),
+            StorageFault::Permanent(m) => write!(f, "permanent storage fault: {m}"),
+        }
+    }
+}
+
+impl Error for StorageFault {}
+
+/// A byte-level trace storage backend.
+pub trait TraceStorage {
+    /// Replaces the stored image with `bytes`.
+    fn write(&mut self, bytes: &[u8]) -> Result<(), StorageFault>;
+    /// Reads back the stored image.
+    fn read(&mut self) -> Result<Vec<u8>, StorageFault>;
+}
+
+/// File-backed storage. I/O errors that plausibly clear on their own
+/// (interruption, timeout, contention) map to [`StorageFault::Transient`];
+/// everything else is permanent.
+#[derive(Debug, Clone)]
+pub struct FileStorage {
+    path: PathBuf,
+}
+
+impl FileStorage {
+    /// Storage at `path`.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        FileStorage { path: path.into() }
+    }
+}
+
+fn classify_io(e: std::io::Error) -> StorageFault {
+    match e.kind() {
+        ErrorKind::Interrupted | ErrorKind::TimedOut | ErrorKind::WouldBlock => {
+            StorageFault::Transient(e.to_string())
+        }
+        _ => StorageFault::Permanent(e.to_string()),
+    }
+}
+
+impl TraceStorage for FileStorage {
+    fn write(&mut self, bytes: &[u8]) -> Result<(), StorageFault> {
+        fs::write(&self.path, bytes).map_err(classify_io)
+    }
+    fn read(&mut self) -> Result<Vec<u8>, StorageFault> {
+        fs::read(&self.path).map_err(classify_io)
+    }
+}
+
+/// In-memory storage that never fails on its own — the substrate fault
+/// injectors wrap to model failing media deterministically.
+#[derive(Debug, Clone, Default)]
+pub struct MemStorage {
+    bytes: Option<Vec<u8>>,
+}
+
+impl MemStorage {
+    /// Empty storage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Direct access to the stored image (e.g. to corrupt it in tests).
+    pub fn image_mut(&mut self) -> Option<&mut Vec<u8>> {
+        self.bytes.as_mut()
+    }
+}
+
+impl TraceStorage for MemStorage {
+    fn write(&mut self, bytes: &[u8]) -> Result<(), StorageFault> {
+        self.bytes = Some(bytes.to_vec());
+        Ok(())
+    }
+    fn read(&mut self) -> Result<Vec<u8>, StorageFault> {
+        self.bytes
+            .clone()
+            .ok_or_else(|| StorageFault::Permanent("nothing stored".into()))
+    }
+}
+
+/// Retry discipline for transient storage faults: up to `max_attempts`
+/// tries, sleeping `base_backoff * 2^(attempt-1)` between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (must be ≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: fail on the first fault.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Runs `op` under this policy. Permanent faults fail immediately;
+    /// transient faults are retried with exponential backoff until the
+    /// attempt budget is spent.
+    pub fn run<T>(
+        &self,
+        mut op: impl FnMut() -> Result<T, StorageFault>,
+    ) -> Result<T, StorageFault> {
+        let attempts = self.max_attempts.max(1);
+        let mut backoff = self.base_backoff;
+        let mut last = None;
+        for attempt in 1..=attempts {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(f @ StorageFault::Permanent(_)) => return Err(f),
+                Err(f @ StorageFault::Transient(_)) => {
+                    last = Some(f);
+                    if attempt < attempts && !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                        backoff *= 2;
+                    }
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| StorageFault::Permanent("no attempts made".into())))
+    }
+}
+
+/// Saves a trace in the crash-safe framed layout, retrying transient
+/// storage faults per `policy`.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::Storage`] once the retry budget is exhausted or
+/// a permanent fault occurs.
+pub fn save_trace_durable(
+    storage: &mut dyn TraceStorage,
+    trace: &Trace,
+    policy: &RetryPolicy,
+) -> Result<(), RuntimeError> {
+    let framed = trace.encode_framed();
+    policy
+        .run(|| storage.write(&framed))
+        .map_err(RuntimeError::Storage)
+}
+
+/// Loads a framed trace image, retrying transient read faults, and
+/// recovers the longest valid packet prefix from whatever bytes came back.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::Storage`] when reads keep failing, or
+/// [`RuntimeError::Format`] when corruption reaches into the trace header
+/// and nothing is recoverable.
+pub fn load_trace_durable(
+    storage: &mut dyn TraceStorage,
+    policy: &RetryPolicy,
+) -> Result<RecoveredTrace, RuntimeError> {
+    let bytes = policy
+        .run(|| storage.read())
+        .map_err(RuntimeError::Storage)?;
+    Ok(recover_trace(&bytes)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vidi_chan::Direction;
+    use vidi_hwsim::Bits;
+    use vidi_trace::{ChannelInfo, ChannelPacket, CyclePacket, TraceLayout};
+
+    fn sample() -> Trace {
+        let layout = TraceLayout::new(vec![ChannelInfo {
+            name: "c".into(),
+            width: 8,
+            direction: Direction::Input,
+        }]);
+        let mut t = Trace::new(layout.clone(), false);
+        for i in 0..20u64 {
+            t.push(CyclePacket::assemble(
+                &layout,
+                &[ChannelPacket::start_with(Bits::from_u64(8, i))],
+                false,
+            ));
+        }
+        t
+    }
+
+    /// Fails the first `n` operations transiently.
+    struct Flaky {
+        inner: MemStorage,
+        failures_left: u32,
+    }
+    impl TraceStorage for Flaky {
+        fn write(&mut self, bytes: &[u8]) -> Result<(), StorageFault> {
+            if self.failures_left > 0 {
+                self.failures_left -= 1;
+                return Err(StorageFault::Transient("injected".into()));
+            }
+            self.inner.write(bytes)
+        }
+        fn read(&mut self) -> Result<Vec<u8>, StorageFault> {
+            if self.failures_left > 0 {
+                self.failures_left -= 1;
+                return Err(StorageFault::Transient("injected".into()));
+            }
+            self.inner.read()
+        }
+    }
+
+    fn fast_retry(attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: attempts,
+            base_backoff: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn durable_roundtrip() {
+        let t = sample();
+        let mut mem = MemStorage::new();
+        save_trace_durable(&mut mem, &t, &RetryPolicy::none()).unwrap();
+        let rec = load_trace_durable(&mut mem, &RetryPolicy::none()).unwrap();
+        assert!(rec.is_complete());
+        assert_eq!(rec.trace, t);
+    }
+
+    #[test]
+    fn transient_faults_are_retried() {
+        let t = sample();
+        let mut flaky = Flaky {
+            inner: MemStorage::new(),
+            failures_left: 2,
+        };
+        save_trace_durable(&mut flaky, &t, &fast_retry(3)).unwrap();
+        flaky.failures_left = 2;
+        let rec = load_trace_durable(&mut flaky, &fast_retry(3)).unwrap();
+        assert_eq!(rec.trace, t);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_typed_error() {
+        let t = sample();
+        let mut flaky = Flaky {
+            inner: MemStorage::new(),
+            failures_left: 10,
+        };
+        let err = save_trace_durable(&mut flaky, &t, &fast_retry(3)).unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::Storage(StorageFault::Transient(_))
+        ));
+    }
+
+    #[test]
+    fn permanent_fault_fails_fast() {
+        struct Dead;
+        impl TraceStorage for Dead {
+            fn write(&mut self, _: &[u8]) -> Result<(), StorageFault> {
+                Err(StorageFault::Permanent("media gone".into()))
+            }
+            fn read(&mut self) -> Result<Vec<u8>, StorageFault> {
+                Err(StorageFault::Permanent("media gone".into()))
+            }
+        }
+        let err = save_trace_durable(&mut Dead, &sample(), &fast_retry(5)).unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::Storage(StorageFault::Permanent(_))
+        ));
+    }
+
+    #[test]
+    fn corrupted_image_recovers_prefix() {
+        let t = sample();
+        let mut mem = MemStorage::new();
+        save_trace_durable(&mut mem, &t, &RetryPolicy::none()).unwrap();
+        let image = mem.image_mut().unwrap();
+        let n = image.len();
+        image[n - 20] ^= 0x08; // clobber the last storage word
+        let rec = load_trace_durable(&mut mem, &RetryPolicy::none()).unwrap();
+        assert!(!rec.is_complete());
+        assert!(rec.recovered_packets > 0);
+        assert_eq!(
+            rec.trace.packets(),
+            &t.packets()[..rec.recovered_packets as usize]
+        );
+    }
+
+    #[test]
+    fn file_storage_roundtrip() {
+        let t = sample();
+        let dir = std::env::temp_dir().join("vidi_storage_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut fsto = FileStorage::new(dir.join("t.vidif"));
+        save_trace_durable(&mut fsto, &t, &RetryPolicy::default()).unwrap();
+        let rec = load_trace_durable(&mut fsto, &RetryPolicy::default()).unwrap();
+        assert!(rec.is_complete());
+        assert_eq!(rec.trace, t);
+        std::fs::remove_file(dir.join("t.vidif")).ok();
+    }
+}

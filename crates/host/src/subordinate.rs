@@ -123,11 +123,8 @@ impl HostMemSubordinate {
             }
             let (aw, beats) = self.write_in_flight.pop_front().expect("front exists");
             for (i, beat) in beats.iter().enumerate() {
-                self.mem.write_strobed(
-                    aw.addr + (i as u64) * 64,
-                    &beat.data.to_bytes(),
-                    beat.strb,
-                );
+                self.mem
+                    .write_strobed(aw.addr + (i as u64) * 64, &beat.data.to_bytes(), beat.strb);
             }
             let delay = self.latency();
             self.b_pending

@@ -7,8 +7,8 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use vidi_chan::{
-    pack_lite_r, unpack_lite_w, AxFields, AxiChannel, AxiIface, AxiKind, AxiRole, BFields,
-    RFields, ReceiverLatch, SenderQueue, WFields,
+    pack_lite_r, unpack_lite_w, AxFields, AxiChannel, AxiIface, AxiKind, AxiRole, BFields, RFields,
+    ReceiverLatch, SenderQueue, WFields,
 };
 use vidi_host::{CpuThread, HostOp};
 use vidi_hwsim::{Bits, Component, SignalPool, Simulator};
@@ -153,7 +153,12 @@ struct Harness {
 fn harness(ops: Vec<HostOp>, jitter: u64) -> Harness {
     let mut sim = Simulator::new();
     let lite = AxiIface::new(sim.pool_mut(), "ocl", AxiKind::Lite, AxiRole::Subordinate);
-    let dma = AxiIface::new(sim.pool_mut(), "pcis", AxiKind::Full512, AxiRole::Subordinate);
+    let dma = AxiIface::new(
+        sim.pool_mut(),
+        "pcis",
+        AxiKind::Full512,
+        AxiRole::Subordinate,
+    );
     let regs = Rc::new(RefCell::new(vec![0u32; 64]));
     let mem = Rc::new(RefCell::new(Vec::new()));
     let bursts = Rc::new(RefCell::new(Vec::new()));
@@ -243,7 +248,10 @@ fn poll_until_waits_for_the_condition() {
     let results = h.handle.borrow();
     assert!(results.polls_issued >= 2, "several polls before the match");
     let last = *results.reads.last().unwrap();
-    assert!((0x20..0x40).contains(&last), "final read {last:#x} in range");
+    assert!(
+        (0x20..0x40).contains(&last),
+        "final read {last:#x} in range"
+    );
 }
 
 #[test]

@@ -165,7 +165,11 @@ impl Bits {
     ///
     /// Panics if `index >= width`.
     pub fn bit(&self, index: u32) -> bool {
-        assert!(index < self.width, "bit index {index} out of width {}", self.width);
+        assert!(
+            index < self.width,
+            "bit index {index} out of width {}",
+            self.width
+        );
         (self.limbs[(index / LIMB_BITS) as usize] >> (index % LIMB_BITS)) & 1 == 1
     }
 
@@ -175,7 +179,11 @@ impl Bits {
     ///
     /// Panics if `index >= width`.
     pub fn set_bit(&mut self, index: u32, value: bool) {
-        assert!(index < self.width, "bit index {index} out of width {}", self.width);
+        assert!(
+            index < self.width,
+            "bit index {index} out of width {}",
+            self.width
+        );
         let limb = (index / LIMB_BITS) as usize;
         let mask = 1u64 << (index % LIMB_BITS);
         if value {
@@ -434,7 +442,10 @@ mod tests {
 
     #[test]
     fn slice_across_limbs() {
-        let b = Bits::from_u128(128, (0x1111_2222_3333_4444u128 << 64) | 0x5555_6666_7777_8888);
+        let b = Bits::from_u128(
+            128,
+            (0x1111_2222_3333_4444u128 << 64) | 0x5555_6666_7777_8888,
+        );
         assert_eq!(b.slice(32, 64).to_u64(), 0x3333_4444_5555_6666);
         assert_eq!(b.slice(60, 8).to_u64(), 0x45);
     }

@@ -62,4 +62,25 @@ pub trait Component {
     /// The clock edge: reads settled signals and updates internal state.
     /// Must not write signals; see the trait documentation.
     fn tick(&mut self, pool: &mut SignalPool);
+
+    /// Reports why this component is stalled, if it is. Called by the
+    /// scheduler when a watchdog expires (see
+    /// [`Simulator::diagnostics`](crate::Simulator::diagnostics)); each
+    /// returned line should name the blocked resource — a channel waiting on
+    /// READY, an unmet vector-clock entry, an exhausted credit pool. The
+    /// default reports nothing.
+    fn diagnostics(&self, pool: &SignalPool) -> Vec<String> {
+        let _ = pool;
+        Vec::new()
+    }
+
+    /// Reports a latched unrecoverable fault, if any. Polled by the
+    /// scheduler after every clock edge; a `Some` return aborts the run with
+    /// [`SimError::ComponentFault`](crate::SimError::ComponentFault) naming
+    /// this component. Use this instead of panicking for invariants that
+    /// injected faults or corrupt inputs can violate. The default reports no
+    /// fault.
+    fn fault(&self) -> Option<String> {
+        None
+    }
 }

@@ -23,6 +23,27 @@ pub enum SimError {
         cycle: u64,
         /// Human-readable description of what was being awaited.
         waiting_for: String,
+        /// Per-component blocked-state reports collected at the moment of
+        /// the timeout (see [`Component::diagnostics`]). Each line names a
+        /// component and describes why it is stalled — a blocked channel,
+        /// an unmet vector-clock entry, an empty replay queue. Empty when
+        /// no component had anything to report.
+        ///
+        /// [`Component::diagnostics`]: crate::Component::diagnostics
+        diagnostics: Vec<String>,
+    },
+    /// A component latched a typed fault (see [`Component::fault`]): an
+    /// internal invariant the design cannot recover from, reported as an
+    /// error instead of a panic so harnesses can observe it.
+    ///
+    /// [`Component::fault`]: crate::Component::fault
+    ComponentFault {
+        /// Cycle at which the fault was observed.
+        cycle: u64,
+        /// Name of the faulting component.
+        component: String,
+        /// Human-readable description of the fault.
+        detail: String,
     },
 }
 
@@ -33,8 +54,26 @@ impl fmt::Display for SimError {
                 f,
                 "combinational loop: no fixed point after {iterations} eval passes at cycle {cycle}"
             ),
-            SimError::Timeout { cycle, waiting_for } => {
-                write!(f, "timeout at cycle {cycle} waiting for {waiting_for}")
+            SimError::Timeout {
+                cycle,
+                waiting_for,
+                diagnostics,
+            } => {
+                write!(f, "timeout at cycle {cycle} waiting for {waiting_for}")?;
+                for line in diagnostics {
+                    write!(f, "\n  - {line}")?;
+                }
+                Ok(())
+            }
+            SimError::ComponentFault {
+                cycle,
+                component,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "component fault in {component} at cycle {cycle}: {detail}"
+                )
             }
         }
     }

@@ -117,7 +117,12 @@ impl SignalPool {
     ///
     /// Panics in debug builds if the signal is not 1 bit wide.
     pub fn get_bool(&self, id: SignalId) -> bool {
-        debug_assert_eq!(self.width(id), 1, "get_bool on multi-bit signal {}", self.name(id));
+        debug_assert_eq!(
+            self.width(id),
+            1,
+            "get_bool on multi-bit signal {}",
+            self.name(id)
+        );
         self.data[self.meta[id.index()].offset as usize] & 1 == 1
     }
 
@@ -127,7 +132,12 @@ impl SignalPool {
     ///
     /// Panics in debug builds if the signal is not 1 bit wide.
     pub fn set_bool(&mut self, id: SignalId, value: bool) {
-        debug_assert_eq!(self.width(id), 1, "set_bool on multi-bit signal {}", self.name(id));
+        debug_assert_eq!(
+            self.width(id),
+            1,
+            "set_bool on multi-bit signal {}",
+            self.name(id)
+        );
         let off = self.meta[id.index()].offset as usize;
         let new = value as u64;
         if self.data[off] != new {
@@ -149,7 +159,12 @@ impl SignalPool {
     /// Writes a signal from a `u64`, truncating to the signal width.
     pub fn set_u64(&mut self, id: SignalId, value: u64) {
         let m = &self.meta[id.index()];
-        assert!(m.width <= 64, "set_u64 on {}-bit signal {}", m.width, m.name);
+        assert!(
+            m.width <= 64,
+            "set_u64 on {}-bit signal {}",
+            m.width,
+            m.name
+        );
         if m.limbs == 0 {
             return;
         }

@@ -117,8 +117,34 @@ impl Simulator {
         for c in self.components.iter_mut() {
             c.tick(&mut self.pool);
         }
+        // Fault poll: a component that latched an unrecoverable condition
+        // aborts the run with a typed error instead of panicking or hanging.
+        for c in self.components.iter() {
+            if let Some(detail) = c.fault() {
+                return Err(SimError::ComponentFault {
+                    cycle: self.cycle,
+                    component: c.name().to_string(),
+                    detail,
+                });
+            }
+        }
         self.cycle += 1;
         Ok(())
+    }
+
+    /// Collects blocked-state reports from every component (see
+    /// [`Component::diagnostics`]). This is the deadlock diagnoser: when a
+    /// watchdog expires, the returned lines name each stalled component and
+    /// the resource it is waiting on. Harnesses may also call it mid-run to
+    /// snapshot progress.
+    pub fn diagnostics(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for c in self.components.iter() {
+            for line in c.diagnostics(&self.pool) {
+                out.push(format!("{}: {}", c.name(), line));
+            }
+        }
+        out
     }
 
     /// Runs `n` clock cycles.
@@ -156,6 +182,7 @@ impl Simulator {
         Err(SimError::Timeout {
             cycle: self.cycle,
             waiting_for: waiting_for.to_string(),
+            diagnostics: self.diagnostics(),
         })
     }
 }
@@ -229,7 +256,11 @@ mod tests {
         sim.add_component(Reg { d, q, state: 0 });
         sim.pool_mut().set_u64(d, 42);
         sim.run_cycle().unwrap();
-        assert_eq!(sim.pool().get_u64(q), 0, "q must not update until next eval");
+        assert_eq!(
+            sim.pool().get_u64(q),
+            0,
+            "q must not update until next eval"
+        );
         sim.run_cycle().unwrap();
         assert_eq!(sim.pool().get_u64(q), 42);
     }
@@ -293,9 +324,7 @@ mod tests {
         let q = sim.pool_mut().add("q", 8);
         sim.add_component(Reg { d, q, state: 0 });
         sim.pool_mut().set_u64(d, 1);
-        let cycles = sim
-            .run_until(|p| p.get_u64(q) == 1, 100, "q == 1")
-            .unwrap();
+        let cycles = sim.run_until(|p| p.get_u64(q) == 1, 100, "q == 1").unwrap();
         assert_eq!(cycles, 2);
     }
 }

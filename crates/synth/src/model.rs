@@ -156,28 +156,31 @@ pub fn estimate(layout: &TraceLayout, features: VidiFeatures) -> Resources {
             total = total + Resources { lut, ff, bram: 0 };
         }
         if features.replay {
-            total = total + (Resources {
-                lut: REPLAYER_BASE_LUT + (REPLAYER_LUT_PER_BIT * w as f64) as u64,
-                ff: REPLAYER_BASE_FF + (REPLAYER_FF_PER_BIT * w as f64) as u64,
-                bram: 0,
-            });
+            total = total
+                + (Resources {
+                    lut: REPLAYER_BASE_LUT + (REPLAYER_LUT_PER_BIT * w as f64) as u64,
+                    ff: REPLAYER_BASE_FF + (REPLAYER_FF_PER_BIT * w as f64) as u64,
+                    bram: 0,
+                });
         }
     }
     if features.record {
-        total = total + (Resources {
-            lut: ENCODER_BASE_LUT + (ENCODER_LUT_PER_BIT * content_bits as f64) as u64,
-            ff: ENCODER_BASE_FF + (ENCODER_FF_PER_BIT * content_bits as f64) as u64,
-            bram: 0,
-        });
+        total = total
+            + (Resources {
+                lut: ENCODER_BASE_LUT + (ENCODER_LUT_PER_BIT * content_bits as f64) as u64,
+                ff: ENCODER_BASE_FF + (ENCODER_FF_PER_BIT * content_bits as f64) as u64,
+                bram: 0,
+            });
         // Cycle-packet width ≈ event bitvectors + content bits; the staging
         // FIFO is 512 entries deep.
         let packet_bits = (2 * layout.len() as u64) + content_bits;
         let fifo_bram = ((packet_bits as f64 * 512.0) / (BRAM_BITS_PER_TILE * 512.0)).ceil() as u64;
-        total = total + (Resources {
-            lut: STORE_LUT,
-            ff: STORE_FF,
-            bram: STORE_BASE_BRAM + fifo_bram,
-        });
+        total = total
+            + (Resources {
+                lut: STORE_LUT,
+                ff: STORE_FF,
+                bram: STORE_BASE_BRAM + fifo_bram,
+            });
     }
     total
 }

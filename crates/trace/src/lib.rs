@@ -44,8 +44,11 @@ pub use error::TraceError;
 pub use layout::{ChannelInfo, TraceLayout};
 pub use mutate::{reorder_end_before, EndEventRef, MutateError};
 pub use packet::{ChannelPacket, CyclePacket};
-pub use reader::TraceReader;
+pub use reader::{recover_trace, RecoveredTrace, TraceReader};
 pub use stats::{ChannelStats, TraceStats};
-pub use store_format::{pack, storage_bytes, unpack, StorageWord, STORAGE_WORD_BYTES};
+pub use store_format::{
+    crc32, pack, recover_frames, storage_bytes, unpack, FrameRecovery, FrameWriter, StorageWord,
+    FRAME_PAYLOAD_BYTES, FRAME_TRAILER_BYTES, STORAGE_WORD_BYTES,
+};
 pub use trace::Trace;
 pub use validate::{compare, Divergence, DivergenceReport};

@@ -39,7 +39,11 @@ impl fmt::Display for MutateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MutateError::EventNotFound(e) => {
-                write!(f, "end event #{} on channel {} not found", e.index, e.channel)
+                write!(
+                    f,
+                    "end event #{} on channel {} not found",
+                    e.index, e.channel
+                )
             }
             MutateError::SameChannel => {
                 write!(f, "cannot reorder end events within a single channel")
@@ -72,10 +76,7 @@ fn find_end(trace: &Trace, event: EndEventRef) -> Option<usize> {
 /// Finds the packet index holding the `index`-th *start* event on an input
 /// channel (layout position `channel`).
 fn find_start(trace: &Trace, channel: usize, index: usize) -> Option<usize> {
-    let input_pos = trace
-        .layout()
-        .input_indices()
-        .position(|c| c == channel)?;
+    let input_pos = trace.layout().input_indices().position(|c| c == channel)?;
     let mut seen = 0;
     for (pi, p) in trace.packets().iter().enumerate() {
         if p.starts[input_pos] {
@@ -139,16 +140,17 @@ pub fn reorder_end_before(
     // channels).
     let src = &mut rows[pa][moved.channel];
     src.end = false;
-    let carried_content = if layout.channels()[moved.channel].direction
-        == vidi_chan::Direction::Output
-    {
-        src.content.take()
-    } else {
-        None
-    };
+    let carried_content =
+        if layout.channels()[moved.channel].direction == vidi_chan::Direction::Output {
+            src.content.take()
+        } else {
+            None
+        };
 
     // Fresh row carrying only the moved end.
-    let mut fresh: Vec<ChannelPacket> = (0..layout.len()).map(|_| ChannelPacket::default()).collect();
+    let mut fresh: Vec<ChannelPacket> = (0..layout.len())
+        .map(|_| ChannelPacket::default())
+        .collect();
     fresh[moved.channel] = ChannelPacket {
         start: false,
         content: carried_content,
@@ -247,16 +249,21 @@ mod tests {
         let t = sample();
         let mutated = reorder_end_before(
             &t,
-            EndEventRef { channel: 1, index: 0 },
-            EndEventRef { channel: 0, index: 0 },
+            EndEventRef {
+                channel: 1,
+                index: 0,
+            },
+            EndEventRef {
+                channel: 0,
+                index: 0,
+            },
         )
         .unwrap();
         let order = end_order(&mutated);
         let w_pos = order.iter().position(|&(_, c)| c == 1).unwrap();
         let aw_pos = order.iter().position(|&(_, c)| c == 0).unwrap();
         assert!(
-            mutated.packets()[order[w_pos].0].ends[1]
-                && order[w_pos].0 < order[aw_pos].0,
+            mutated.packets()[order[w_pos].0].ends[1] && order[w_pos].0 < order[aw_pos].0,
             "w end must be strictly before aw end: {order:?}"
         );
         // Output content travels with the moved end.
@@ -270,8 +277,14 @@ mod tests {
         let t = sample();
         let same = reorder_end_before(
             &t,
-            EndEventRef { channel: 0, index: 0 },
-            EndEventRef { channel: 1, index: 0 },
+            EndEventRef {
+                channel: 0,
+                index: 0,
+            },
+            EndEventRef {
+                channel: 1,
+                index: 0,
+            },
         )
         .unwrap();
         assert_eq!(same, t);
@@ -283,8 +296,14 @@ mod tests {
         assert_eq!(
             reorder_end_before(
                 &t,
-                EndEventRef { channel: 0, index: 0 },
-                EndEventRef { channel: 0, index: 0 },
+                EndEventRef {
+                    channel: 0,
+                    index: 0
+                },
+                EndEventRef {
+                    channel: 0,
+                    index: 0
+                },
             )
             .unwrap_err(),
             MutateError::SameChannel
@@ -294,9 +313,20 @@ mod tests {
     #[test]
     fn rejects_missing_event() {
         let t = sample();
-        let missing = EndEventRef { channel: 1, index: 5 };
+        let missing = EndEventRef {
+            channel: 1,
+            index: 5,
+        };
         assert_eq!(
-            reorder_end_before(&t, missing, EndEventRef { channel: 0, index: 0 }).unwrap_err(),
+            reorder_end_before(
+                &t,
+                missing,
+                EndEventRef {
+                    channel: 0,
+                    index: 0
+                }
+            )
+            .unwrap_err(),
             MutateError::EventNotFound(missing)
         );
     }
@@ -338,8 +368,14 @@ mod tests {
         ));
         let err = reorder_end_before(
             &t,
-            EndEventRef { channel: 2, index: 0 },
-            EndEventRef { channel: 0, index: 0 },
+            EndEventRef {
+                channel: 2,
+                index: 0,
+            },
+            EndEventRef {
+                channel: 0,
+                index: 0,
+            },
         )
         .unwrap_err();
         assert!(matches!(err, MutateError::EndBeforeOwnStart(_)));

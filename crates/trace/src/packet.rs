@@ -98,7 +98,11 @@ impl CyclePacket {
         packets: &[ChannelPacket],
         record_output_content: bool,
     ) -> Self {
-        assert_eq!(packets.len(), layout.len(), "one channel packet per channel");
+        assert_eq!(
+            packets.len(),
+            layout.len(),
+            "one channel packet per channel"
+        );
         let mut out = CyclePacket::empty(layout);
         let mut input_pos = 0;
         for (idx, (info, pkt)) in layout.channels().iter().zip(packets).enumerate() {
@@ -110,7 +114,12 @@ impl CyclePacket {
                         .content
                         .clone()
                         .unwrap_or_else(|| panic!("input start on {} missing content", info.name));
-                    assert_eq!(content.width(), info.width, "content width mismatch on {}", info.name);
+                    assert_eq!(
+                        content.width(),
+                        info.width,
+                        "content width mismatch on {}",
+                        info.name
+                    );
                     out.contents.push(content);
                 }
                 input_pos += 1;
@@ -120,7 +129,12 @@ impl CyclePacket {
             for (idx, (info, pkt)) in layout.channels().iter().zip(packets).enumerate() {
                 if info.direction == vidi_chan::Direction::Output && out.ends[idx] {
                     if let Some(content) = &pkt.content {
-                        assert_eq!(content.width(), info.width, "content width mismatch on {}", info.name);
+                        assert_eq!(
+                            content.width(),
+                            info.width,
+                            "content width mismatch on {}",
+                            info.name
+                        );
                         out.contents.push(content.clone());
                     }
                 }

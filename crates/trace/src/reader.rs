@@ -12,6 +12,8 @@ use vidi_hwsim::Bits;
 use crate::error::TraceError;
 use crate::layout::{ChannelInfo, TraceLayout};
 use crate::packet::CyclePacket;
+use crate::store_format::recover_frames;
+use crate::trace::Trace;
 
 /// Incremental reader over the serialized trace format.
 ///
@@ -152,6 +154,66 @@ impl<'a> TraceReader<'a> {
     }
 }
 
+/// The result of recovering a CRC-framed trace stream (see
+/// [`Trace::encode_framed`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredTrace {
+    /// The recovered packet prefix, with the original layout.
+    pub trace: Trace,
+    /// Packets actually recovered.
+    pub recovered_packets: u64,
+    /// Packets the (CRC-verified) header declared the trace to hold.
+    pub declared_packets: u64,
+    /// First storage word that failed its integrity check, if any.
+    pub first_corrupt_word: Option<usize>,
+}
+
+impl RecoveredTrace {
+    /// Whether the whole trace survived intact.
+    pub fn is_complete(&self) -> bool {
+        self.first_corrupt_word.is_none() && self.recovered_packets == self.declared_packets
+    }
+}
+
+/// Decodes a CRC-framed trace stream, resynchronizing past corruption.
+///
+/// Every 64-byte storage word is integrity-checked (CRC-32, sequence
+/// number, length bound); the valid payload prefix before the first bad
+/// word is then decoded up to the last packet the frame trailers certify as
+/// complete. Bit flips, torn writes, and truncated tails therefore cost
+/// only the suffix of the trace — the prefix replays normally.
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] only when the corruption reaches into the
+/// self-description header, leaving nothing to recover.
+pub fn recover_trace(framed: &[u8]) -> Result<RecoveredTrace, TraceError> {
+    let rec = recover_frames(framed);
+    let mut reader = TraceReader::new(&rec.payload)?;
+    let declared_packets = reader.remaining();
+    let limit = (rec.packets as u64).min(declared_packets);
+    let mut trace = Trace::new(reader.layout().clone(), reader.records_output_content());
+    let mut recovered_packets = 0u64;
+    while recovered_packets < limit {
+        match reader.next_packet() {
+            Ok(Some(p)) => {
+                trace.push(p);
+                recovered_packets += 1;
+            }
+            // The trailer certified more packets than the payload actually
+            // parses to (adversarial or mis-written frames): keep the packets
+            // that did decode rather than discarding the run.
+            _ => break,
+        }
+    }
+    Ok(RecoveredTrace {
+        trace,
+        recovered_packets,
+        declared_packets,
+        first_corrupt_word: rec.first_corrupt_word,
+    })
+}
+
 impl Iterator for TraceReader<'_> {
     type Item = Result<CyclePacket, TraceError>;
 
@@ -178,13 +240,19 @@ impl<'a> Cursor<'a> {
         Ok(self.take(1)?[0])
     }
     fn u16(&mut self) -> Result<u16, TraceError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
     fn u32(&mut self) -> Result<u32, TraceError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
     fn u64(&mut self) -> Result<u64, TraceError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
     fn bitvec(&mut self, n: usize) -> Result<Vec<bool>, TraceError> {
         let bytes = self.take(n.div_ceil(8))?;
@@ -275,5 +343,61 @@ mod tests {
             TraceReader::new(b"XXXX").unwrap_err(),
             TraceError::BadMagic
         ));
+    }
+
+    #[test]
+    fn framed_roundtrip_recovers_everything() {
+        let trace = sample();
+        let framed = trace.encode_framed();
+        let rec = recover_trace(&framed).unwrap();
+        assert!(rec.is_complete());
+        assert_eq!(rec.recovered_packets, 5);
+        assert_eq!(rec.declared_packets, 5);
+        assert_eq!(rec.trace, trace);
+    }
+
+    #[test]
+    fn framed_bit_flip_recovers_prefix() {
+        let trace = sample();
+        let framed = trace.encode_framed();
+        // Flip a payload bit in the last storage word.
+        let last_word = framed.len() - crate::STORAGE_WORD_BYTES;
+        let mut bad = framed.clone();
+        bad[last_word + 5] ^= 0x10;
+        let rec = recover_trace(&bad).unwrap();
+        assert!(!rec.is_complete());
+        assert_eq!(
+            rec.first_corrupt_word,
+            Some(framed.len() / crate::STORAGE_WORD_BYTES - 1)
+        );
+        assert_eq!(rec.declared_packets, 5);
+        // Everything before the corrupt word replays.
+        assert_eq!(
+            rec.trace.packets(),
+            &trace.packets()[..rec.recovered_packets as usize]
+        );
+    }
+
+    #[test]
+    fn framed_truncation_recovers_prefix() {
+        let trace = sample();
+        let mut framed = trace.encode_framed();
+        // Keep the first word (which holds the header) plus a torn fragment.
+        framed.truncate(crate::STORAGE_WORD_BYTES + 7);
+        let rec = recover_trace(&framed).unwrap();
+        assert!(!rec.is_complete());
+        assert_eq!(
+            rec.trace.packets(),
+            &trace.packets()[..rec.recovered_packets as usize]
+        );
+    }
+
+    #[test]
+    fn framed_header_corruption_is_typed_error() {
+        let trace = sample();
+        let mut framed = trace.encode_framed();
+        framed[3] ^= 0xFF; // word 0 carries the header
+        assert!(recover_trace(&framed).is_err());
+        assert!(recover_trace(&[]).is_err());
     }
 }

@@ -112,6 +112,18 @@ impl Trace {
 
     /// Serializes the trace to its binary format.
     pub fn encode(&self) -> Vec<u8> {
+        let mut out = self.encode_header();
+        let n_inputs = self.layout.input_indices().count();
+        for p in &self.packets {
+            debug_assert_eq!(p.starts.len(), n_inputs);
+            encode_packet_into(&mut out, p);
+        }
+        out
+    }
+
+    /// Serializes the self-description header (everything up to and
+    /// including the packet count).
+    fn encode_header(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
         write_u16(&mut out, VERSION);
@@ -127,16 +139,25 @@ impl Trace {
             });
         }
         write_u64(&mut out, self.packets.len() as u64);
-        let n_inputs = self.layout.input_indices().count();
-        for p in &self.packets {
-            write_bitvec(&mut out, &p.starts);
-            write_bitvec(&mut out, &p.ends);
-            debug_assert_eq!(p.starts.len(), n_inputs);
-            for c in &p.contents {
-                out.extend_from_slice(&c.to_bytes());
-            }
-        }
         out
+    }
+
+    /// Serializes the trace into CRC-framed 64-byte storage words (the
+    /// crash-safe on-storage layout). Unlike [`encode`](Trace::encode), the
+    /// result tolerates bit flips, torn writes, and truncation: a reader
+    /// can always [`recover`](crate::recover_trace) the longest valid
+    /// packet prefix.
+    pub fn encode_framed(&self) -> Vec<u8> {
+        let mut w = crate::store_format::FrameWriter::new();
+        w.push_bytes(&self.encode_header());
+        let mut buf = Vec::new();
+        for p in &self.packets {
+            buf.clear();
+            encode_packet_into(&mut buf, p);
+            w.push_bytes(&buf);
+            w.mark_packet();
+        }
+        w.finish_bytes()
     }
 
     /// Deserializes a trace from its binary format.
@@ -238,6 +259,14 @@ impl Trace {
     /// every cycle.
     pub fn cycle_accurate_bytes(&self, cycles: u64) -> u64 {
         (self.layout.cycle_accurate_bits_per_cycle() * cycles).div_ceil(8)
+    }
+}
+
+fn encode_packet_into(out: &mut Vec<u8>, p: &CyclePacket) {
+    write_bitvec(out, &p.starts);
+    write_bitvec(out, &p.ends);
+    for c in &p.contents {
+        out.extend_from_slice(&c.to_bytes());
     }
 }
 
@@ -418,6 +447,9 @@ mod tests {
         assert_eq!(t.body_bytes(), 3 * 2 + 4 + 75);
         // cycle-accurate: inputs contribute valid+data, outputs ready.
         let per_cycle = (1 + 32) + 1 + (1 + 593);
-        assert_eq!(t.cycle_accurate_bytes(1000), (per_cycle * 1000u64).div_ceil(8));
+        assert_eq!(
+            t.cycle_accurate_bytes(1000),
+            (per_cycle * 1000u64).div_ceil(8)
+        );
     }
 }

@@ -8,8 +8,8 @@
 //! ```
 
 use vidi_repro::apps::{
-    build_app, host_mem_check, run_app, streaming_script, AppSetup, Kernel, KernelStep,
-    ThreadSpec, OUT_ADDR,
+    build_app, host_mem_check, run_app, streaming_script, AppSetup, Kernel, KernelStep, ThreadSpec,
+    OUT_ADDR,
 };
 use vidi_repro::core::VidiConfig;
 use vidi_repro::hwsim::Bits;
@@ -140,7 +140,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Record under Vidi (R2) — the shim interposes on all five interfaces
     // without the kernel knowing anything about it.
     let rec = run_app(build_app(setup(9), VidiConfig::record()), 2_000_000)?;
-    rec.output_ok.clone().map_err(|e| format!("wrong digest: {e}"))?;
+    rec.output_ok
+        .clone()
+        .map_err(|e| format!("wrong digest: {e}"))?;
     let reference = rec.trace.expect("trace");
     println!(
         "recorded: {} cycles, {} transactions, {} trace bytes",

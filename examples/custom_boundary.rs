@@ -33,7 +33,8 @@ impl Component for Squarer {
     fn tick(&mut self, p: &mut SignalPool) {
         if let Some(v) = self.input.tick(p) {
             let x = v.to_u64();
-            self.internal.push(Bits::from_u64(32, (x * x) & 0xffff_ffff));
+            self.internal
+                .push(Bits::from_u64(32, (x * x) & 0xffff_ffff));
         }
         self.internal.tick(p);
     }

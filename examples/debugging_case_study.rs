@@ -5,10 +5,10 @@
 //! cargo run --release --example debugging_case_study
 //! ```
 
-use vidi_repro::apps::{run_echo_fifo, EchoFifoConfig};
-use vidi_repro::chan::FrameFifoMode;
+use vidi_repro::apps::{run_echo_atop, run_echo_fifo, EchoFifoConfig};
+use vidi_repro::chan::{AtopFilterMode, FrameFifoMode};
 use vidi_repro::core::VidiConfig;
-use vidi_repro::trace::compare;
+use vidi_repro::trace::{compare, reorder_end_before, EndEventRef};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("── Bug 1: unaligned DMA access (write-strobe bitmasks) ──────────");
@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })?;
     println!(
         "  buggy frontend, unaligned DMA:   T1 observes {} (readback[0..4] = {:02x?})",
-        if buggy.consistent { "consistent data" } else { "DATA CORRUPTION" },
+        if buggy.consistent {
+            "consistent data"
+        } else {
+            "DATA CORRUPTION"
+        },
         &buggy.readback[..4.min(buggy.readback.len())],
     );
     let fixed = run_echo_fifo(EchoFifoConfig {
@@ -33,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })?;
     println!(
         "  fixed frontend, same transfer:   T1 observes {}",
-        if fixed.consistent { "consistent data" } else { "DATA CORRUPTION" },
+        if fixed.consistent {
+            "consistent data"
+        } else {
+            "DATA CORRUPTION"
+        },
     );
 
     println!();
@@ -47,7 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })?;
     println!(
         "  delayed start, buggy FIFO:       T1 observes {} ({} of {} bytes survived)",
-        if delayed.consistent { "consistent data" } else { "DATA LOSS" },
+        if delayed.consistent {
+            "consistent data"
+        } else {
+            "DATA LOSS"
+        },
         delayed
             .readback
             .iter()
@@ -88,11 +100,59 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })?;
     println!(
         "  delayed start, fixed FIFO:       T1 observes {}",
-        if repaired.consistent { "consistent data" } else { "DATA LOSS" },
+        if repaired.consistent {
+            "consistent data"
+        } else {
+            "DATA LOSS"
+        },
+    );
+
+    println!();
+    println!("── Bug 3: deadlock diagnosis (atomics filter, §5.3) ─────────────");
+    // Record a healthy ping-pong run with the buggy `axi_atop_filter` in
+    // place, then mutate the trace into a legal AXI ordering the hardware
+    // never exhibited. Replaying the mutation deadlocks the buggy filter —
+    // and the watchdog's diagnostics name the blocked channels and stalled
+    // vector-clock entries instead of leaving a silent hang.
+    let recorded = run_echo_atop(AtopFilterMode::Buggy, VidiConfig::record(), 32, 5)?;
+    let trace = recorded.trace.expect("recorded trace");
+    let aw = trace.layout().index_of("pcim.aw").expect("pcim.aw");
+    let w = trace.layout().index_of("pcim.w").expect("pcim.w");
+    let mutated = reorder_end_before(
+        &trace,
+        EndEventRef {
+            channel: w,
+            index: 0,
+        },
+        EndEventRef {
+            channel: aw,
+            index: 0,
+        },
+    )
+    .expect("mutation applies");
+    let verdict = run_echo_atop(AtopFilterMode::Buggy, VidiConfig::replay(mutated), 32, 5)?;
+    println!(
+        "  mutated replay, buggy filter:    {} after {} cycles",
+        if verdict.completed {
+            "completed"
+        } else {
+            "DEADLOCK"
+        },
+        verdict.cycles,
+    );
+    println!("  watchdog diagnostics:");
+    for line in verdict.diagnostics.iter().take(8) {
+        println!("    {line}");
+    }
+    assert!(
+        !verdict.completed && !verdict.diagnostics.is_empty(),
+        "the deadlock verdict must carry diagnostics"
     );
 
     println!();
     println!("Vidi reproduced a hardware-only failure deterministically, enabling");
-    println!("repeated diagnosis runs against the identical buggy execution (§5.2).");
+    println!("repeated diagnosis runs against the identical buggy execution (§5.2),");
+    println!("and its watchdog turned a silent replay hang into a named-channel");
+    println!("deadlock report (§5.3).");
     Ok(())
 }

@@ -17,7 +17,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Step 1 (§3.6): record a reference trace with output contents.
     let setup = |seed| dma_setup(tasks, 4096, DmaCompletion::Polling { interval: 64 }, seed);
     let rec = run_app(build_app(setup(3), VidiConfig::record()), 50_000_000)?;
-    rec.output_ok.clone().map_err(|e| format!("bad output: {e}"))?;
+    rec.output_ok
+        .clone()
+        .map_err(|e| format!("bad output: {e}"))?;
     let reference = rec.trace.expect("reference trace");
     println!(
         "[1/3] reference trace recorded: {} transactions ({} poll reads issued)",
@@ -73,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.divergences.len(),
         report.transactions_checked
     );
-    assert!(report.is_clean(), "the interrupt patch must be divergence-free");
+    assert!(
+        report.is_clean(),
+        "the interrupt patch must be divergence-free"
+    );
     println!("\nAll content divergences were caused by the polling construct and");
     println!("eliminated by cycle-independent interrupts — the §3.6 result.");
     Ok(())

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         build_app(AppId::Sha.setup(Scale::Test, 42), VidiConfig::record()),
         5_000_000,
     )?;
-    recording.output_ok.clone().map_err(|e| format!("wrong output: {e}"))?;
+    recording
+        .output_ok
+        .clone()
+        .map_err(|e| format!("wrong output: {e}"))?;
     let reference = recording.trace.clone().expect("recording produces a trace");
     println!(
         "      {} cycles, {} transactions, {} trace bytes ({} cycle packets)",
@@ -55,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.transactions_checked,
         report.divergences.len()
     );
-    assert!(report.is_clean(), "replay diverged: {:?}", report.divergences);
+    assert!(
+        report.is_clean(),
+        "replay diverged: {:?}",
+        report.divergences
+    );
     println!("\ntransaction determinism held: the replay reproduced the recorded");
     println!("execution's transaction contents and happens-before orderings exactly.");
     std::fs::remove_file(&path).ok();

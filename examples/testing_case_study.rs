@@ -34,13 +34,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w = trace.layout().index_of("pcim.w").expect("pcim.w channel");
     let mutated = reorder_end_before(
         &trace,
-        EndEventRef { channel: w, index: 0 },
-        EndEventRef { channel: aw, index: 0 },
+        EndEventRef {
+            channel: w,
+            index: 0,
+        },
+        EndEventRef {
+            channel: aw,
+            index: 0,
+        },
     )?;
 
     // ── 3. Replay against the buggy design ────────────────────────────────
     println!("[3/4] replaying the mutated trace against the buggy filter...");
-    let verdict = run_echo_atop(AtopFilterMode::Buggy, VidiConfig::replay(mutated.clone()), 32, 9)?;
+    let verdict = run_echo_atop(
+        AtopFilterMode::Buggy,
+        VidiConfig::replay(mutated.clone()),
+        32,
+        9,
+    )?;
     println!(
         "      {}",
         if verdict.completed {

@@ -61,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &[(ch.clone(), Direction::Input)],
         VidiConfig::record(),
     )?;
-    let env = shim.env_channel("app.data_in").expect("env channel").clone();
+    let env = shim
+        .env_channel("app.data_in")
+        .expect("env channel")
+        .clone();
 
     let mut tx = SenderQueue::new(env.clone());
     tx.push(Bits::from_u64(8, 0xA5));
@@ -78,7 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let watched = [
         env.valid, env.data, env.ready, // environment side of the monitor
-        ch.valid, ch.data, ch.ready,    // application side of the monitor
+        ch.valid, ch.data, ch.ready, // application side of the monitor
     ];
     let vcd = VcdWriter::new(sim.pool(), &watched);
     sim.attach_vcd(vcd);
@@ -87,7 +90,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let doc = sim.take_vcd().expect("writer attached").finish();
     let path = "/tmp/vidi_handshake.vcd";
     std::fs::write(path, &doc)?;
-    println!("Fig 1 handshake waveform written to {path} ({} bytes).", doc.len());
+    println!(
+        "Fig 1 handshake waveform written to {path} ({} bytes).",
+        doc.len()
+    );
     println!("The transaction starts when VALID rises (T2) and fires on the first");
     println!("cycle where VALID && READY (T5); the monitor forwards it with the");
     println!("encoder handshake completing in the same cycle as the fire.");

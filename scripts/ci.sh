@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Full CI gate: formatting, lints, build, the complete test suite (which
+# includes the fault-matrix soak), and the runnable examples.
+#
+#   scripts/ci.sh          # everything
+#   scripts/ci.sh quick    # skip release build + examples (inner loop)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-full}"
+
+echo "── fmt ─────────────────────────────────────────────────────────"
+cargo fmt --all --check
+
+echo "── clippy (warnings are errors) ────────────────────────────────"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "── tier-1: release build + tests ───────────────────────────────"
+cargo build --release
+cargo test -q
+
+echo "── workspace tests (unit + integration + fault-matrix soak) ────"
+cargo test -q --workspace
+
+if [ "$mode" = "full" ]; then
+    echo "── examples ────────────────────────────────────────────────"
+    for ex in quickstart debugging_case_study testing_case_study \
+              divergence_detection custom_boundary custom_accelerator; do
+        echo "   running example: $ex"
+        cargo run --release -q --example "$ex" >/dev/null
+    done
+fi
+
+echo "── CI green ────────────────────────────────────────────────────"

@@ -24,6 +24,8 @@
 //! * [`core`] — Vidi itself: [`core::VidiShim`], monitors, encoder, store,
 //!   decoder, replayers.
 //! * [`host`] — the scripted CPU/memory environment and trace file I/O.
+//! * [`faults`] — deterministic seeded fault injection and the crash-safe
+//!   storage/recovery pipeline's test harness.
 //! * [`apps`] — the ten evaluated applications and both case studies.
 //! * [`synth`] — structural LUT/FF/BRAM estimation (Table 2 / Fig 7).
 //!
@@ -62,6 +64,7 @@
 pub use vidi_apps as apps;
 pub use vidi_chan as chan;
 pub use vidi_core as core;
+pub use vidi_faults as faults;
 pub use vidi_host as host;
 pub use vidi_hwsim as hwsim;
 pub use vidi_synth as synth;

@@ -51,7 +51,12 @@ impl Component for Sub {
             self.got_aw = None;
             self.got_w = false;
         }
-        while self.delay.front().map(|(t, _)| *t <= self.cycle).unwrap_or(false) {
+        while self
+            .delay
+            .front()
+            .map(|(t, _)| *t <= self.cycle)
+            .unwrap_or(false)
+        {
             let (_, bf) = self.delay.pop_front().expect("front");
             self.b.push(bf.pack());
         }
@@ -130,7 +135,8 @@ fn write_ordering_is_recorded_as_happens_before() {
         cycle: 0,
     });
     let done = std::rc::Rc::clone(&got_b);
-    sim.run_until(move |_| *done.borrow(), 500, "B response").unwrap();
+    sim.run_until(move |_| *done.borrow(), 500, "B response")
+        .unwrap();
     sim.run(512).unwrap(); // flush the trace store
 
     let trace = shim.recorded_trace().unwrap();

@@ -1,0 +1,295 @@
+//! Fault-matrix soak: seeded fault schedules swept across applications.
+//!
+//! The robustness contract under test: with deterministic faults injected
+//! into every layer Vidi touches — storage writes, store/fetch bandwidth,
+//! channel back-pressure, at-rest trace bytes — every run must end in one
+//! of exactly three ways:
+//!
+//! 1. **clean success** (faults absorbed by retry/back-pressure, output
+//!    intact, replay divergence-free),
+//! 2. **recovered-prefix replay** (corruption cost the trace tail, but the
+//!    reader resynchronized and certified a valid packet prefix), or
+//! 3. **a typed error** (retry budget exhausted → `RuntimeError::Storage`;
+//!    header destroyed → `TraceError`; progress impossible → watchdog
+//!    `SimError::Timeout` carrying per-component diagnostics).
+//!
+//! Never a panic, never a hang, never a silent divergence. Each cell of
+//! the matrix is fully determined by its `(app, seed)` pair, so any
+//! failure here replays exactly under a debugger.
+
+use vidi_repro::apps::{build_app_with_faults, run_app, AppId, RunOutcome, Scale};
+use vidi_repro::core::VidiConfig;
+use vidi_repro::faults::{CorruptionSpec, FaultPlan, FaultSpec, StorageFailureSpec, WindowSpec};
+use vidi_repro::host::{
+    load_trace_durable, save_trace_durable, MemStorage, RetryPolicy, RuntimeError,
+};
+use vidi_repro::hwsim::SimError;
+use vidi_repro::trace::{compare, Trace};
+
+const RECORD_BUDGET: u64 = 6_000_000;
+const REPLAY_BUDGET: u64 = 10_000_000;
+
+/// The three apps of the sweep: a streaming accelerator (SHA-256), a
+/// DRAM-heavy classifier (digit recognition), and a training workload
+/// (spam filter) — distinct channel-usage patterns.
+const APPS: [AppId; 3] = [AppId::Sha, AppId::DigitRec, AppId::SpamFilter];
+
+/// The engine-side fault schedule for one matrix cell: storage-write
+/// failures inside the store's retry budget, periodic bandwidth collapse,
+/// and VALID/READY stall storms.
+fn engine_spec(seed: u64) -> FaultSpec {
+    FaultSpec {
+        seed,
+        store_failures: Some(StorageFailureSpec {
+            per_mille: 150,
+            failures_per_op: 2,
+        }),
+        store_collapse: Some(WindowSpec {
+            period: 1024,
+            window: 96,
+            divisor: 8,
+        }),
+        stall_storm: Some(WindowSpec {
+            period: 512,
+            window: 24,
+            divisor: 1,
+        }),
+        ..FaultSpec::default()
+    }
+}
+
+/// The host-side schedule: flaky storage I/O plus at-rest corruption,
+/// alternating bit flips and tail truncation across seeds.
+fn host_spec(seed: u64) -> FaultSpec {
+    FaultSpec {
+        seed,
+        host_io_failures: Some(StorageFailureSpec {
+            per_mille: 400,
+            failures_per_op: 2,
+        }),
+        corruption: Some(if seed.is_multiple_of(2) {
+            CorruptionSpec::BitFlips(4)
+        } else {
+            CorruptionSpec::Truncate {
+                keep_num: 3,
+                keep_den: 4,
+            }
+        }),
+        ..FaultSpec::default()
+    }
+}
+
+/// Classifies a run result per the contract; panics (failing the test)
+/// only on outcomes the contract forbids.
+fn expect_success_or_typed_error(
+    cell: &str,
+    result: Result<RunOutcome, SimError>,
+) -> Option<RunOutcome> {
+    match result {
+        Ok(outcome) => {
+            assert!(
+                outcome.output_ok.is_ok(),
+                "{cell}: faults silently corrupted application output: {:?}",
+                outcome.output_ok
+            );
+            Some(outcome)
+        }
+        // The watchdog is the anti-hang mechanism: a timeout is a typed,
+        // diagnosable verdict, never a spin. It must carry diagnostics.
+        Err(SimError::Timeout { diagnostics, .. }) => {
+            assert!(
+                !diagnostics.is_empty(),
+                "{cell}: watchdog fired without diagnostics"
+            );
+            None
+        }
+        Err(SimError::ComponentFault { .. }) => None,
+        Err(other) => panic!("{cell}: untyped failure: {other}"),
+    }
+}
+
+#[test]
+fn fault_matrix_soak() {
+    let patient = RetryPolicy {
+        max_attempts: 4,
+        base_backoff: std::time::Duration::ZERO,
+    };
+
+    for app in APPS {
+        for seed in [11u64, 42] {
+            let cell = format!("{}#{seed}", app.label());
+            let plan = FaultPlan::new(engine_spec(seed));
+
+            // --- Record under in-engine faults. Back-pressure and write
+            // retries stall the app but must never alter what it computes.
+            let built = build_app_with_faults(
+                app.setup(Scale::Test, seed),
+                VidiConfig::record(),
+                plan.fault_injection(),
+            );
+            let Some(recorded) = expect_success_or_typed_error(
+                &format!("{cell}/record"),
+                run_app(built, RECORD_BUDGET),
+            ) else {
+                continue;
+            };
+            let reference = recorded.trace.clone().expect("recording produces a trace");
+            assert!(reference.transaction_count() > 0, "{cell}: empty trace");
+
+            // --- Durable save/load through deterministically flaky storage:
+            // a patient retry policy must always get through (the schedule
+            // fails each op fewer times than the attempt budget).
+            let host_plan = FaultPlan::new(host_spec(seed));
+            let mut storage = host_plan.wrap_storage(MemStorage::new());
+            save_trace_durable(&mut storage, &reference, &patient)
+                .unwrap_or_else(|e| panic!("{cell}: patient save failed: {e}"));
+            let rec = load_trace_durable(&mut storage, &patient)
+                .unwrap_or_else(|e| panic!("{cell}: patient load failed: {e}"));
+            assert!(rec.is_complete(), "{cell}: clean image must load complete");
+            assert_eq!(rec.trace, reference, "{cell}: durable roundtrip differs");
+
+            // An impatient policy on the same schedule must fail *typed*
+            // whenever the schedule says the first write op draws a fault.
+            if host_plan.host_io_fails(0, 0) {
+                let mut storage = host_plan.wrap_storage(MemStorage::new());
+                match save_trace_durable(&mut storage, &reference, &RetryPolicy::none()) {
+                    Err(RuntimeError::Storage(f)) => assert!(f.is_transient()),
+                    other => panic!("{cell}: expected typed storage fault, got {other:?}"),
+                }
+            }
+
+            // --- At-rest corruption: recovery must certify a valid packet
+            // prefix (or report a typed header error), never panic.
+            check_corruption_recovery(&cell, &host_plan, &reference);
+
+            // --- Replay the reference under replay-path faults (fetch
+            // bandwidth collapse): transaction determinism must hold.
+            let replay_plan = FaultPlan::new(FaultSpec {
+                seed,
+                fetch_collapse: Some(WindowSpec {
+                    period: 1024,
+                    window: 96,
+                    divisor: 8,
+                }),
+                ..FaultSpec::default()
+            });
+            let built = build_app_with_faults(
+                app.setup(Scale::Test, seed),
+                VidiConfig::replay_record(reference.clone()),
+                replay_plan.fault_injection(),
+            );
+            if let Some(replayed) = expect_success_or_typed_error(
+                &format!("{cell}/replay"),
+                run_app(built, REPLAY_BUDGET),
+            ) {
+                let validation = replayed.trace.expect("validation trace");
+                let report = compare(&reference, &validation);
+                assert!(
+                    report.is_clean(),
+                    "{cell}: replay diverged under fetch collapse: {:?}",
+                    report.divergences
+                );
+            }
+        }
+    }
+}
+
+/// Applies a plan's at-rest corruption to a framed trace image and checks
+/// the acceptance property: the reader recovers at least the packet prefix
+/// before the first corrupted storage word, or reports a typed error when
+/// the header itself is gone.
+fn check_corruption_recovery(cell: &str, plan: &FaultPlan, reference: &Trace) {
+    let mut image = reference.encode_framed();
+    plan.corrupt(&mut image);
+    match vidi_repro::trace::recover_trace(&image) {
+        Ok(rec) => {
+            let n = rec.recovered_packets as usize;
+            assert!(
+                n <= reference.packets().len(),
+                "{cell}: recovered more packets than were written"
+            );
+            assert_eq!(
+                rec.trace.packets(),
+                &reference.packets()[..n],
+                "{cell}: recovered packets are not a prefix of the original"
+            );
+            if rec.first_corrupt_word.is_none() {
+                assert!(rec.is_complete(), "{cell}: no corruption yet incomplete");
+            }
+        }
+        // Corruption reached into word 0 (the trace header): nothing is
+        // recoverable, and the reader says so with a typed error.
+        Err(e) => {
+            let _typed: vidi_repro::trace::TraceError = e;
+        }
+    }
+}
+
+#[test]
+fn lossy_degradation_counts_every_dropped_packet() {
+    // With a stall budget configured, sustained stall storms flip the store
+    // into lossy degradation: it sheds cycle packets it cannot afford — and
+    // every shed packet is counted, never silently lost.
+    let seed = 99u64;
+    let plan = FaultPlan::new(FaultSpec {
+        seed,
+        store_collapse: Some(WindowSpec {
+            period: 256,
+            window: 128,
+            divisor: 64,
+        }),
+        ..FaultSpec::default()
+    });
+    let built = build_app_with_faults(
+        AppId::Sha.setup(Scale::Test, seed),
+        VidiConfig {
+            stall_budget: Some(200),
+            ..VidiConfig::record()
+        },
+        plan.fault_injection(),
+    );
+    let outcome = run_app(built, RECORD_BUDGET).expect("lossy run completes");
+    assert!(
+        outcome.output_ok.is_ok(),
+        "lossy degradation must not corrupt application output"
+    );
+    // The same schedule without a stall budget stalls instead of dropping;
+    // with one, the drops are visible in the handle. Either way the trace
+    // store never lies about completeness.
+    let built = build_app_with_faults(
+        AppId::Sha.setup(Scale::Test, seed),
+        VidiConfig::record(),
+        plan.fault_injection(),
+    );
+    let lossless = run_app(built, RECORD_BUDGET).expect("lossless run completes");
+    assert!(lossless.output_ok.is_ok());
+    assert!(
+        lossless.trace.expect("trace").transaction_count() > 0,
+        "lossless run records everything"
+    );
+}
+
+#[test]
+fn quiet_plan_changes_nothing() {
+    // The null schedule must be bit-identical to a run without the fault
+    // subsystem wired at all.
+    let plain = run_app(
+        build_app_with_faults(
+            AppId::Sha.setup(Scale::Test, 7),
+            VidiConfig::record(),
+            FaultPlan::new(FaultSpec::default()).fault_injection(),
+        ),
+        RECORD_BUDGET,
+    )
+    .expect("quiet run completes");
+    let baseline = run_app(
+        vidi_repro::apps::build_app(AppId::Sha.setup(Scale::Test, 7), VidiConfig::record()),
+        RECORD_BUDGET,
+    )
+    .expect("baseline completes");
+    assert_eq!(
+        plain.trace.expect("trace"),
+        baseline.trace.expect("trace"),
+        "a quiet fault plan must be a perfect no-op"
+    );
+}

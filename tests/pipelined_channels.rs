@@ -83,7 +83,11 @@ impl Component for Driver {
 
 /// Builds the design with `slices` register-slice stages between the shim
 /// boundary channels and the mixer.
-fn build(config: VidiConfig, slices: usize, n: u64) -> (Simulator, VidiShim, Rc<RefCell<Vec<u64>>>) {
+fn build(
+    config: VidiConfig,
+    slices: usize,
+    n: u64,
+) -> (Simulator, VidiShim, Rc<RefCell<Vec<u64>>>) {
     let mut sim = Simulator::new();
     // Boundary channels (what Vidi monitors).
     let a0 = Channel::new(sim.pool_mut(), "a", 32);
@@ -221,7 +225,10 @@ fn pipeline_depth_changes_cycles_but_not_transactions() {
     // contents are untouched — the whole point of coarse-grained recording.
     let (t0, o0) = record(0, 40);
     let (t3, o3) = record(3, 40);
-    assert_eq!(o0, o3, "outputs are order-determined, not latency-determined");
+    assert_eq!(
+        o0, o3,
+        "outputs are order-determined, not latency-determined"
+    );
     for idx in 0..t0.layout().len() {
         assert_eq!(
             t0.channel_transaction_count(idx),
