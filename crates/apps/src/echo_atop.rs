@@ -138,20 +138,26 @@ pub struct EchoAtopOutcome {
     pub diagnostics: Vec<String>,
 }
 
-/// Builds and runs the ping-pong server with the given filter mode.
-///
-/// A [`SimError::Timeout`] from the inner simulation is converted into
-/// `completed: false` — a deadlock verdict, which is the §5.3 signal.
-///
-/// # Errors
-///
-/// Propagates only non-timeout simulator errors.
-pub fn run_echo_atop(
+/// The assembled ping-pong simulation, before any cycle has run.
+pub(crate) struct EchoAtopBuilt {
+    pub(crate) sim: Simulator,
+    pub(crate) shim: VidiShim,
+    pub(crate) app_channels: Vec<(Channel, Direction)>,
+    pub(crate) cpu: Vec<vidi_host::CpuHandle>,
+    pub(crate) pongs_acked: Rc<RefCell<u64>>,
+    pub(crate) host_mem: HostMemory,
+    pub(crate) payload: Vec<u8>,
+}
+
+/// Assembles the ping-pong server (app + filter + shim + host side)
+/// without running it — the build phase of [`run_echo_atop`], also used by
+/// static lint to scan the design.
+pub(crate) fn build_echo_atop(
     filter_mode: AtopFilterMode,
     vidi: VidiConfig,
     pings: u32,
     seed: u64,
-) -> Result<EchoAtopOutcome, SimError> {
+) -> EchoAtopBuilt {
     let mut sim = Simulator::new();
     let replaying = vidi.mode.replays();
 
@@ -161,7 +167,7 @@ pub fn run_echo_atop(
         .collect();
     let app_channels: Vec<(Channel, Direction)> = ifaces
         .iter()
-        .flat_map(|i| i.channels_with_direction())
+        .flat_map(vidi_chan::AxiIface::channels_with_direction)
         .collect();
     let shim = VidiShim::install(&mut sim, &app_channels, vidi).expect("shim");
     let find = |n: &str| {
@@ -243,6 +249,42 @@ pub fn run_echo_atop(
         sim.add_component(t1);
         cpu_handles.push(h1);
     }
+
+    EchoAtopBuilt {
+        sim,
+        shim,
+        app_channels,
+        cpu: cpu_handles,
+        pongs_acked,
+        host_mem,
+        payload,
+    }
+}
+
+/// Builds and runs the ping-pong server with the given filter mode.
+///
+/// A [`SimError::Timeout`] from the inner simulation is converted into
+/// `completed: false` — a deadlock verdict, which is the §5.3 signal.
+///
+/// # Errors
+///
+/// Propagates only non-timeout simulator errors.
+pub fn run_echo_atop(
+    filter_mode: AtopFilterMode,
+    vidi: VidiConfig,
+    pings: u32,
+    seed: u64,
+) -> Result<EchoAtopOutcome, SimError> {
+    let replaying = vidi.mode.replays();
+    let EchoAtopBuilt {
+        mut sim,
+        shim,
+        app_channels: _,
+        cpu: cpu_handles,
+        pongs_acked,
+        host_mem,
+        payload,
+    } = build_echo_atop(filter_mode, vidi, pings, seed);
 
     // Drive to completion: all pongs acknowledged (record) or replay done.
     let expected_pongs = (pings as u64).div_ceil(16);

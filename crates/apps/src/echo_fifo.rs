@@ -277,8 +277,15 @@ pub struct EchoFifoOutcome {
 ///
 /// Returns [`SimError::Timeout`] if the run does not complete.
 pub fn run_echo_fifo(config: EchoFifoConfig) -> Result<EchoFifoOutcome, SimError> {
-    let (sim, shim, dram, expected, cpu, stored) = build_echo_fifo(&config);
-    let mut sim = sim;
+    let EchoFifoBuilt {
+        mut sim,
+        shim,
+        dram,
+        expected,
+        cpu,
+        stored,
+        app_channels: _,
+    } = build_echo_fifo(&config);
     let replaying = config.vidi.mode.replays();
     let cycles = if replaying {
         let mut c = 0u64;
@@ -328,18 +335,20 @@ pub fn run_echo_fifo(config: EchoFifoConfig) -> Result<EchoFifoOutcome, SimError
     })
 }
 
-/// Assembles the echo-server simulation.
-#[allow(clippy::type_complexity)]
-fn build_echo_fifo(
-    config: &EchoFifoConfig,
-) -> (
-    Simulator,
-    VidiShim,
-    HostMemory,
-    Vec<u8>,
-    Vec<vidi_host::CpuHandle>,
-    StoredCount,
-) {
+/// The assembled echo-server simulation, before any cycle has run.
+pub(crate) struct EchoFifoBuilt {
+    pub(crate) sim: Simulator,
+    pub(crate) shim: VidiShim,
+    pub(crate) dram: HostMemory,
+    pub(crate) expected: Vec<u8>,
+    pub(crate) cpu: Vec<vidi_host::CpuHandle>,
+    pub(crate) stored: StoredCount,
+    pub(crate) app_channels: Vec<(Channel, Direction)>,
+}
+
+/// Assembles the echo-server simulation — the build phase of
+/// [`run_echo_fifo`], also used by static lint to scan the design.
+pub(crate) fn build_echo_fifo(config: &EchoFifoConfig) -> EchoFifoBuilt {
     let mut sim = Simulator::new();
     let replaying = config.vidi.mode.replays();
 
@@ -349,7 +358,7 @@ fn build_echo_fifo(
         .collect();
     let app_channels: Vec<(Channel, Direction)> = ifaces
         .iter()
-        .flat_map(|i| i.channels_with_direction())
+        .flat_map(vidi_chan::AxiIface::channels_with_direction)
         .collect();
     let shim = VidiShim::install(&mut sim, &app_channels, config.vidi.clone()).expect("shim");
 
@@ -501,5 +510,13 @@ fn build_echo_fifo(
         cpu_handles.push(h2);
     }
 
-    (sim, shim, dram, expected, cpu_handles, stored)
+    EchoFifoBuilt {
+        sim,
+        shim,
+        dram,
+        expected,
+        cpu: cpu_handles,
+        stored,
+        app_channels,
+    }
 }

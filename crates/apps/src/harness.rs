@@ -77,6 +77,11 @@ pub struct BuiltApp {
     pub check: CheckFn,
     /// Application name.
     pub name: &'static str,
+    /// Every VALID/READY channel crossing the CPU↔FPGA boundary (the
+    /// channels handed to the shim). Static lint compares this inventory
+    /// against the shim's trace layout to prove monitored-boundary
+    /// completeness.
+    pub app_channels: Vec<(Channel, Direction)>,
 }
 
 /// The outcome of a completed run.
@@ -124,7 +129,7 @@ pub fn build_app_with_faults(
         .collect();
     let app_channels: Vec<(Channel, Direction)> = ifaces
         .iter()
-        .flat_map(|i| i.channels_with_direction())
+        .flat_map(vidi_chan::AxiIface::channels_with_direction)
         .collect();
 
     let shim =
@@ -222,6 +227,7 @@ pub fn build_app_with_faults(
         irq,
         check: setup.check,
         name: setup.name,
+        app_channels,
     }
 }
 

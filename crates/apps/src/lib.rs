@@ -24,7 +24,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 mod batch;
 mod bnn;
@@ -36,6 +35,7 @@ mod echo_fifo;
 mod face_detect;
 mod harness;
 mod kernel;
+mod lint_targets;
 mod mobilenet;
 mod optical_flow;
 mod rendering3d;
@@ -52,6 +52,7 @@ pub use harness::{
     RunOutcome, ThreadSpec,
 };
 pub use kernel::{Kernel, KernelStep};
+pub use lint_targets::{lint_targets, LintTarget};
 pub use shell::{regs, AccelShell};
 pub use util::{bytes_to_beats, host_mem_check, prng_bytes, streaming_script, OUT_ADDR};
 

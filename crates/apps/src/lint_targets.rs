@@ -1,0 +1,89 @@
+//! Design inventory for static lint: every design in the repository,
+//! assembled (but never run) so `vidi-lint` can scan it.
+//!
+//! A [`LintTarget`] is the build phase of a run — application components,
+//! the interposed Vidi shim, and the host-side environment model — frozen
+//! before the first clock cycle. Static analyses read the component
+//! read/write sets via [`Simulator::access_scan`] and compare the boundary
+//! channel inventory against the shim's trace layout; nothing is simulated.
+
+use vidi_chan::{AtopFilterMode, Channel, Direction, FrameFifoMode};
+use vidi_core::{VidiConfig, VidiShim};
+use vidi_hwsim::Simulator;
+
+use crate::catalog::{AppId, Scale};
+use crate::echo_atop::build_echo_atop;
+use crate::echo_fifo::{build_echo_fifo, EchoFifoConfig};
+use crate::harness::build_app;
+
+/// A design assembled for static inspection.
+pub struct LintTarget {
+    /// Display name (catalog row label or case-study variant).
+    pub name: String,
+    /// The simulator holding every component of the design.
+    pub sim: Simulator,
+    /// The installed Vidi shim; its trace layout is the monitored-channel
+    /// set used by the boundary-coverage rule.
+    pub shim: VidiShim,
+    /// Every VALID/READY channel crossing the CPU↔FPGA boundary.
+    pub boundary: Vec<(Channel, Direction)>,
+    /// Names of signals the harness forces directly on the pool rather than
+    /// through a component, exempt from floating-input lint.
+    pub external: Vec<String>,
+}
+
+/// Signals forced by every harness: the runtime record-enable line (§4.2)
+/// is set high by the shim installer itself, not by any component.
+fn harness_forced() -> Vec<String> {
+    vec!["vidi.record_enable".to_string()]
+}
+
+/// Builds one lint target per design: the ten catalog applications plus the
+/// buggy and fixed variants of both case studies (the §5.2 Frame FIFO echo
+/// server and the §5.3 `axi_atop_filter` ping-pong server), all assembled
+/// under the recording configuration (R2) that CI gates on.
+pub fn lint_targets() -> Vec<LintTarget> {
+    let mut targets = Vec::new();
+    for id in AppId::ALL {
+        let built = build_app(id.setup(Scale::Test, 42), VidiConfig::record());
+        targets.push(LintTarget {
+            name: built.name.to_string(),
+            sim: built.sim,
+            shim: built.shim,
+            boundary: built.app_channels,
+            external: harness_forced(),
+        });
+    }
+    for (variant, fifo_mode, respect_strobes) in [
+        ("echo_fifo.buggy", FrameFifoMode::Buggy, false),
+        ("echo_fifo.fixed", FrameFifoMode::Fixed, true),
+    ] {
+        let built = build_echo_fifo(&EchoFifoConfig {
+            fifo_mode,
+            respect_strobes,
+            vidi: VidiConfig::record(),
+            ..EchoFifoConfig::default()
+        });
+        targets.push(LintTarget {
+            name: variant.to_string(),
+            sim: built.sim,
+            shim: built.shim,
+            boundary: built.app_channels,
+            external: harness_forced(),
+        });
+    }
+    for (variant, mode) in [
+        ("echo_atop.buggy", AtopFilterMode::Buggy),
+        ("echo_atop.fixed", AtopFilterMode::Fixed),
+    ] {
+        let built = build_echo_atop(mode, VidiConfig::record(), 4, 9);
+        targets.push(LintTarget {
+            name: variant.to_string(),
+            sim: built.sim,
+            shim: built.shim,
+            boundary: built.app_channels,
+            external: harness_forced(),
+        });
+    }
+    targets
+}

@@ -97,7 +97,7 @@ fn bench_cycle_packet_assembly(c: &mut Criterion) {
         ChannelPacket::default(),
     ];
     c.bench_function("cycle_packet_assemble", |b| {
-        b.iter(|| CyclePacket::assemble(&layout, &packets, false))
+        b.iter(|| CyclePacket::assemble(&layout, &packets, false));
     });
 }
 
@@ -113,7 +113,7 @@ fn bench_validation(c: &mut Criterion) {
     let validation = reference.clone();
     let mut g = c.benchmark_group("offline_tools");
     g.bench_function("compare_identical_1000", |b| {
-        b.iter(|| compare(&reference, &validation))
+        b.iter(|| compare(&reference, &validation));
     });
     g.bench_function("mutate_reorder_1000", |b| {
         b.iter_batched(
@@ -133,7 +133,7 @@ fn bench_validation(c: &mut Criterion) {
                 .unwrap()
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     g.finish();
 }

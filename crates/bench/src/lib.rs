@@ -15,7 +15,6 @@
 //! Criterion micro-benchmarks live under `benches/`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 use vidi_apps::{build_app, run_app, AppId, Scale};
 use vidi_core::VidiConfig;

@@ -18,7 +18,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 mod atop_filter;
 mod axi;

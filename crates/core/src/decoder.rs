@@ -67,17 +67,16 @@ impl DecoderCore {
     pub fn tick(&mut self, replayers: &mut [ReplayerCore]) {
         let cycle = self.cycle;
         self.cycle += 1;
-        let divisor = self
-            .bandwidth_hook
-            .as_mut()
-            .map(|h| h(cycle).max(1))
-            .unwrap_or(1) as u64;
+        let divisor = self.bandwidth_hook.as_mut().map_or(1, |h| h(cycle).max(1)) as u64;
         self.credit =
             (self.credit + self.fetch_bytes_per_cycle as u64 / divisor).min(self.credit_cap);
         let layout = self.trace.layout().clone();
         let record_output = self.trace.records_output_content();
         while self.next < self.trace.packets().len() {
-            if !replayers.iter().all(|r| r.has_space()) {
+            if !replayers
+                .iter()
+                .all(super::replayer::ReplayerCore::has_space)
+            {
                 break;
             }
             let packet = &self.trace.packets()[self.next];

@@ -114,11 +114,7 @@ impl EncoderCore {
     /// of safety margin — so held reservations can always land. The
     /// invariant is re-checked by a hard assertion at collection time.
     pub fn eval(&mut self, p: &mut SignalPool) {
-        let stormed = self
-            .stall_gate
-            .as_mut()
-            .map(|g| g(self.cycle))
-            .unwrap_or(false);
+        let stormed = self.stall_gate.as_mut().is_some_and(|g| g(self.cycle));
         let held: usize = self
             .ports
             .iter()

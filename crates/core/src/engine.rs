@@ -210,7 +210,11 @@ impl Component for VidiEngine {
             if let Some(status) = &self.replay_status {
                 let mut s = status.borrow_mut();
                 s.dispatched = decoder.dispatched();
-                s.complete = decoder.done() && self.replayers.iter().all(|r| r.drained());
+                s.complete = decoder.done()
+                    && self
+                        .replayers
+                        .iter()
+                        .all(super::replayer::ReplayerCore::drained);
                 if decoder.done() && !s.complete {
                     s.stalled = self
                         .replayers

@@ -109,7 +109,7 @@ impl ChannelMonitor {
         if !matches!(self.state, State::Idle) {
             return true;
         }
-        self.record_enable.map(|l| p.get_bool(l)).unwrap_or(true)
+        self.record_enable.is_none_or(|l| p.get_bool(l))
     }
 
     /// Total transactions that have completed through this monitor.

@@ -184,8 +184,7 @@ impl ReplayerCore {
                 let accept = self
                     .queue
                     .front()
-                    .map(|head| head.end && self.check(t_current))
-                    .unwrap_or(false);
+                    .is_some_and(|head| head.end && self.check(t_current));
                 p.set_bool(self.channel.ready, accept);
             }
         }

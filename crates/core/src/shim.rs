@@ -244,10 +244,7 @@ impl VidiShim {
 
     /// Raw trace body bytes written to storage so far.
     pub fn recorded_bytes(&self) -> u64 {
-        self.record
-            .as_ref()
-            .map(|r| r.borrow().body_bytes)
-            .unwrap_or(0)
+        self.record.as_ref().map_or(0, |r| r.borrow().body_bytes)
     }
 
     /// Cycle packets shed by lossy degradation so far (always 0 without a
@@ -255,25 +252,18 @@ impl VidiShim {
     pub fn dropped_packets(&self) -> u64 {
         self.record
             .as_ref()
-            .map(|r| r.borrow().dropped_packets)
-            .unwrap_or(0)
+            .map_or(0, |r| r.borrow().dropped_packets)
     }
 
     /// Transient storage-write failures absorbed by retry so far.
     pub fn write_retries(&self) -> u64 {
-        self.record
-            .as_ref()
-            .map(|r| r.borrow().write_retries)
-            .unwrap_or(0)
+        self.record.as_ref().map_or(0, |r| r.borrow().write_retries)
     }
 
     /// Whether a replay has dispatched every packet and drained every
     /// replayer. `false` in non-replay modes.
     pub fn replay_complete(&self) -> bool {
-        self.replay
-            .as_ref()
-            .map(|r| r.borrow().complete)
-            .unwrap_or(false)
+        self.replay.as_ref().is_some_and(|r| r.borrow().complete)
     }
 
     /// Channels whose replayers are stalled (diagnostics).
@@ -286,13 +276,10 @@ impl VidiShim {
 
     /// `(dispatched, total)` cycle packets of the in-progress replay.
     pub fn replay_progress(&self) -> (usize, usize) {
-        self.replay
-            .as_ref()
-            .map(|r| {
-                let s = r.borrow();
-                (s.dispatched, s.total)
-            })
-            .unwrap_or((0, 0))
+        self.replay.as_ref().map_or((0, 0), |r| {
+            let s = r.borrow();
+            (s.dispatched, s.total)
+        })
     }
 
     /// Engine statistics snapshot (zeroes in transparent mode).

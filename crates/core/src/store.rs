@@ -137,11 +137,7 @@ impl StoreCore {
     pub fn tick(&mut self, encoder: &mut EncoderCore) {
         let cycle = self.cycle;
         self.cycle += 1;
-        let divisor = self
-            .bandwidth_hook
-            .as_mut()
-            .map(|h| h(cycle).max(1))
-            .unwrap_or(1) as u64;
+        let divisor = self.bandwidth_hook.as_mut().map_or(1, |h| h(cycle).max(1)) as u64;
         self.credit = (self.credit + self.bytes_per_cycle as u64 / divisor).min(self.credit_cap);
         if self.retry_backoff > 0 {
             self.retry_backoff -= 1;
@@ -153,8 +149,7 @@ impl StoreCore {
                 let verdict = self
                     .write_hook
                     .as_mut()
-                    .map(|h| h(self.ops, self.attempt))
-                    .unwrap_or(StoreWriteOutcome::Commit);
+                    .map_or(StoreWriteOutcome::Commit, |h| h(self.ops, self.attempt));
                 match verdict {
                     StoreWriteOutcome::Commit => {
                         let Some(packet) = encoder.pop() else { break };

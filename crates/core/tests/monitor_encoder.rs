@@ -141,7 +141,11 @@ fn delayed_ready_splits_start_and_end_packets() {
 #[test]
 fn contents_are_recorded_exactly_once_in_order() {
     let (_, trace) = run_input_channel(50, 1, 2, 64, 128);
-    let contents: Vec<u64> = trace.input_contents(0).iter().map(|b| b.to_u64()).collect();
+    let contents: Vec<u64> = trace
+        .input_contents(0)
+        .iter()
+        .map(vidi_hwsim::Bits::to_u64)
+        .collect();
     assert_eq!(contents, (0..50).collect::<Vec<_>>());
 }
 
@@ -151,7 +155,11 @@ fn starving_store_backpressures_but_loses_nothing() {
     let (got, trace) = run_input_channel(30, 0, 1, 1, 8);
     assert_eq!(got, (0..30).collect::<Vec<_>>());
     assert_eq!(trace.channel_transaction_count(0), 30);
-    let contents: Vec<u64> = trace.input_contents(0).iter().map(|b| b.to_u64()).collect();
+    let contents: Vec<u64> = trace
+        .input_contents(0)
+        .iter()
+        .map(vidi_hwsim::Bits::to_u64)
+        .collect();
     assert_eq!(contents, (0..30).collect::<Vec<_>>());
 }
 
@@ -245,7 +253,7 @@ fn output_monitor_records_end_events_and_contents() {
     let contents: Vec<u64> = trace
         .output_contents(0)
         .iter()
-        .map(|b| b.to_u64())
+        .map(vidi_hwsim::Bits::to_u64)
         .collect();
     assert_eq!(contents, vec![7, 8, 9]);
 }

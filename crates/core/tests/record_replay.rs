@@ -242,7 +242,7 @@ fn replay_enforces_recorded_input_ordering() {
         let replayed: Vec<u64> = validation
             .output_contents(2)
             .iter()
-            .map(|b| b.to_u64())
+            .map(vidi_hwsim::Bits::to_u64)
             .collect();
         assert_eq!(replayed, expect, "replayed outputs must match recorded run");
     }

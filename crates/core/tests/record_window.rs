@@ -86,7 +86,11 @@ fn recording_window_captures_only_enabled_transactions() {
     // switch takes effect between transactions, so allow a one-transaction
     // skew at each edge.
     let trace = shim.recorded_trace().unwrap();
-    let recorded: Vec<u64> = trace.input_contents(0).iter().map(|b| b.to_u64()).collect();
+    let recorded: Vec<u64> = trace
+        .input_contents(0)
+        .iter()
+        .map(vidi_hwsim::Bits::to_u64)
+        .collect();
     let n = trace.channel_transaction_count(0);
     assert!(
         (8..=12).contains(&n),

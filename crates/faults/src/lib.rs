@@ -26,7 +26,6 @@
 //!   ([`vidi_trace::recover_trace`]) recovers a clean packet prefix.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 use vidi_core::{FaultInjection, StoreWriteOutcome};
 use vidi_host::{StorageFault, TraceStorage};

@@ -31,8 +31,7 @@ impl HostMemory {
                 let a = addr + i;
                 pages
                     .get(&(a >> PAGE_BITS))
-                    .map(|p| p[(a & (PAGE_SIZE - 1)) as usize])
-                    .unwrap_or(0)
+                    .map_or(0, |p| p[(a & (PAGE_SIZE - 1)) as usize])
             })
             .collect()
     }

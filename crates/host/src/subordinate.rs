@@ -197,8 +197,7 @@ impl Component for HostMemSubordinate {
         while self
             .b_pending
             .front()
-            .map(|(t, _)| *t <= self.cycle)
-            .unwrap_or(false)
+            .is_some_and(|(t, _)| *t <= self.cycle)
         {
             let (_, bf) = self.b_pending.pop_front().expect("front exists");
             self.b.push(bf.pack());
@@ -206,8 +205,7 @@ impl Component for HostMemSubordinate {
         while self
             .r_pending
             .front()
-            .map(|(t, _)| *t <= self.cycle)
-            .unwrap_or(false)
+            .is_some_and(|(t, _)| *t <= self.cycle)
         {
             let (_, beats) = self.r_pending.pop_front().expect("front exists");
             for beat in beats {

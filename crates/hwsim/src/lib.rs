@@ -48,7 +48,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 mod bits;
 mod component;
@@ -60,6 +59,6 @@ mod vcd;
 pub use bits::Bits;
 pub use component::Component;
 pub use error::SimError;
-pub use signal::{SignalId, SignalPool};
-pub use sim::Simulator;
+pub use signal::{SignalAccess, SignalId, SignalPool};
+pub use sim::{ComponentAccess, Simulator};
 pub use vcd::VcdWriter;

@@ -6,6 +6,8 @@
 //! tracks whether any value changed so the scheduler can detect the
 //! combinational fixed point.
 
+use std::cell::{Cell, RefCell};
+
 use crate::bits::Bits;
 
 /// Handle to a signal allocated in a [`SignalPool`].
@@ -30,6 +32,22 @@ struct SignalMeta {
     limbs: u32,
 }
 
+/// One recorded signal access, in program order within an access log.
+///
+/// Produced by [`SignalPool::start_access_log`] /
+/// [`SignalPool::take_access_log`]: while a log is active every getter
+/// records a `Read` and every setter a `Write` (a [`SignalPool::copy`]
+/// records the source read before the destination write). The chronological
+/// order is significant — static analyses use *reads-before-a-write* as the
+/// dependency approximation for that write.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SignalAccess {
+    /// A signal value was read.
+    Read(SignalId),
+    /// A signal value was written (whether or not the value changed).
+    Write(SignalId),
+}
+
 /// Owns the current value of every signal in a simulated design.
 ///
 /// ```
@@ -48,12 +66,47 @@ pub struct SignalPool {
     meta: Vec<SignalMeta>,
     data: Vec<u64>,
     changed: bool,
+    /// Whether accesses are currently being logged. Kept in a `Cell` (and
+    /// the log in a `RefCell`) because getters take `&self`; the pool is
+    /// single-threaded by construction.
+    logging: Cell<bool>,
+    access_log: RefCell<Vec<SignalAccess>>,
 }
 
 impl SignalPool {
     /// Creates an empty pool.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Starts recording every subsequent signal read and write into the
+    /// access log (clearing any previous log). Used by the one-shot
+    /// read/write-set scan behind static design lint — see
+    /// [`Simulator::access_scan`](crate::Simulator::access_scan).
+    pub fn start_access_log(&self) {
+        self.access_log.borrow_mut().clear();
+        self.logging.set(true);
+    }
+
+    /// Stops logging and returns the accesses recorded since
+    /// [`Self::start_access_log`], in chronological order.
+    pub fn take_access_log(&self) -> Vec<SignalAccess> {
+        self.logging.set(false);
+        std::mem::take(&mut self.access_log.borrow_mut())
+    }
+
+    #[inline]
+    fn log_read(&self, id: SignalId) {
+        if self.logging.get() {
+            self.access_log.borrow_mut().push(SignalAccess::Read(id));
+        }
+    }
+
+    #[inline]
+    fn log_write(&self, id: SignalId) {
+        if self.logging.get() {
+            self.access_log.borrow_mut().push(SignalAccess::Write(id));
+        }
     }
 
     /// Allocates a new signal of `width` bits, initially all-zero.
@@ -107,6 +160,7 @@ impl SignalPool {
 
     /// Reads a signal's raw limbs (LSB-first).
     pub fn limbs(&self, id: SignalId) -> &[u64] {
+        self.log_read(id);
         let r = self.range(id);
         &self.data[r]
     }
@@ -123,6 +177,7 @@ impl SignalPool {
             "get_bool on multi-bit signal {}",
             self.name(id)
         );
+        self.log_read(id);
         self.data[self.meta[id.index()].offset as usize] & 1 == 1
     }
 
@@ -138,6 +193,7 @@ impl SignalPool {
             "set_bool on multi-bit signal {}",
             self.name(id)
         );
+        self.log_write(id);
         let off = self.meta[id.index()].offset as usize;
         let new = value as u64;
         if self.data[off] != new {
@@ -148,6 +204,7 @@ impl SignalPool {
 
     /// Reads the low 64 bits of a signal.
     pub fn get_u64(&self, id: SignalId) -> u64 {
+        self.log_read(id);
         let m = &self.meta[id.index()];
         if m.limbs == 0 {
             0
@@ -158,6 +215,7 @@ impl SignalPool {
 
     /// Writes a signal from a `u64`, truncating to the signal width.
     pub fn set_u64(&mut self, id: SignalId, value: u64) {
+        self.log_write(id);
         let m = &self.meta[id.index()];
         assert!(
             m.width <= 64,
@@ -191,6 +249,7 @@ impl SignalPool {
     ///
     /// Panics if the value width does not match the signal width.
     pub fn set(&mut self, id: SignalId, value: &Bits) {
+        self.log_write(id);
         let m = &self.meta[id.index()];
         assert_eq!(
             m.width,
@@ -213,6 +272,8 @@ impl SignalPool {
     ///
     /// Panics if the signal widths differ.
     pub fn copy(&mut self, dst: SignalId, src: SignalId) {
+        self.log_read(src);
+        self.log_write(dst);
         assert_eq!(
             self.width(dst),
             self.width(src),
@@ -322,6 +383,36 @@ mod tests {
         p.set(b, &Bits::zero(100));
         p.copy(a, b);
         assert!(p.get(a).is_zero());
+    }
+
+    #[test]
+    fn access_log_captures_chronological_order() {
+        let mut p = SignalPool::new();
+        let a = p.add("a", 1);
+        let b = p.add("b", 8);
+        let c = p.add("c", 8);
+        // Nothing is logged before the log starts.
+        p.set_bool(a, true);
+        p.start_access_log();
+        let _ = p.get_bool(a);
+        p.set_u64(b, 3);
+        p.copy(c, b);
+        let _ = p.get(c);
+        let log = p.take_access_log();
+        assert_eq!(
+            log,
+            vec![
+                SignalAccess::Read(a),
+                SignalAccess::Write(b),
+                SignalAccess::Read(b),
+                SignalAccess::Write(c),
+                SignalAccess::Read(c),
+            ]
+        );
+        // Logging stops after take.
+        let _ = p.get_bool(a);
+        p.start_access_log();
+        assert_eq!(p.take_access_log(), vec![]);
     }
 
     #[test]

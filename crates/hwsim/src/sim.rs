@@ -2,11 +2,21 @@
 
 use crate::component::Component;
 use crate::error::SimError;
-use crate::signal::SignalPool;
+use crate::signal::{SignalAccess, SignalPool};
 use crate::vcd::VcdWriter;
 
 /// Default bound on combinational settle iterations per cycle.
 const DEFAULT_MAX_EVAL_ITERS: usize = 64;
+
+/// The chronological signal accesses one component made during a single
+/// [`Component::eval`] call, as captured by [`Simulator::access_scan`].
+#[derive(Clone, Debug)]
+pub struct ComponentAccess {
+    /// The component's [`Component::name`].
+    pub component: String,
+    /// Every read and write, in program order.
+    pub accesses: Vec<SignalAccess>,
+}
 
 /// A deterministic delta-cycle simulator.
 ///
@@ -130,6 +140,31 @@ impl Simulator {
         }
         self.cycle += 1;
         Ok(())
+    }
+
+    /// Runs every component's [`Component::eval`] exactly once with signal
+    /// access logging enabled, returning each component's chronological
+    /// read/write log.
+    ///
+    /// This is the one-shot recording pass behind static design lint: because
+    /// `eval` must be idempotent and free of registered side effects, a single
+    /// instrumented pass observes each component's signal footprint without
+    /// advancing simulation time. The scan is intended to run on a freshly
+    /// built design, *before* any [`Self::run_cycle`]; signal values (and
+    /// therefore short-circuit control flow inside `eval`) are whatever the
+    /// harness reset state left behind, which static analyses must treat as a
+    /// conservative sample, not the full footprint.
+    pub fn access_scan(&mut self) -> Vec<ComponentAccess> {
+        let mut out = Vec::with_capacity(self.components.len());
+        for c in self.components.iter_mut() {
+            self.pool.start_access_log();
+            c.eval(&mut self.pool);
+            out.push(ComponentAccess {
+                component: c.name().to_string(),
+                accesses: self.pool.take_access_log(),
+            });
+        }
+        out
     }
 
     /// Collects blocked-state reports from every component (see
@@ -315,6 +350,31 @@ mod tests {
         assert!(doc.contains("$var wire 4"));
         assert!(doc.contains("b1010"), "d's value appears in the dump");
         assert!(sim.take_vcd().is_none(), "taken once");
+    }
+
+    #[test]
+    fn access_scan_reports_per_component_footprints() {
+        use crate::signal::SignalAccess;
+        let mut sim = Simulator::new();
+        let a = sim.pool_mut().add("a", 8);
+        let b = sim.pool_mut().add("b", 8);
+        let d = sim.pool_mut().add("d", 8);
+        let q = sim.pool_mut().add("q", 8);
+        sim.add_component(Wire { x: a, y: b });
+        sim.add_component(Reg { d, q, state: 0 });
+        let scan = sim.access_scan();
+        assert_eq!(scan.len(), 2);
+        assert_eq!(scan[0].component, "wire");
+        assert_eq!(
+            scan[0].accesses,
+            vec![SignalAccess::Read(a), SignalAccess::Write(b)]
+        );
+        assert_eq!(scan[1].component, "reg");
+        assert_eq!(scan[1].accesses, vec![SignalAccess::Write(q)]);
+        // The scan leaves the simulator usable: logging is off again and no
+        // cycles were consumed.
+        assert_eq!(sim.cycle(), 0);
+        sim.run_cycle().unwrap();
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! Allow/deny configuration for lint diagnostics.
+//!
+//! The config is a line-based text file:
+//!
+//! ```text
+//! # comment
+//! allow VL003 */env.sda.*  sda is interposed but undriven (paper worst case)
+//! deny  VL001 *
+//! ```
+//!
+//! Each line is `allow|deny RULE PATTERN [justification…]`. `RULE` is a rule
+//! id or `*`; `PATTERN` is a glob over the diagnostic location where `*`
+//! matches any substring. An `allow` line **must** carry a justification —
+//! suppressing a diagnostic without saying why is itself an error. `deny`
+//! overrides `allow`, so a broad allow can be re-narrowed.
+
+use std::error::Error;
+use std::fmt;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Action {
+    Allow,
+    Deny,
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    action: Action,
+    rule: String,
+    pattern: String,
+    #[allow(dead_code)] // retained so tooling can surface the justification
+    justification: String,
+}
+
+/// A parsed allow/deny configuration.
+#[derive(Clone, Debug, Default)]
+pub struct LintConfig {
+    entries: Vec<Entry>,
+}
+
+/// A malformed config line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConfigError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "config line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+impl LintConfig {
+    /// Parses a config from text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for the first malformed line — including an
+    /// `allow` without a justification.
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let mut entries = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let action = match parts.next() {
+                Some("allow") => Action::Allow,
+                Some("deny") => Action::Deny,
+                Some(other) => {
+                    return Err(ConfigError {
+                        line: i + 1,
+                        message: format!("expected 'allow' or 'deny', got '{other}'"),
+                    })
+                }
+                None => unreachable!("non-empty line has a first token"),
+            };
+            let rule = parts.next().map(str::to_string).ok_or(ConfigError {
+                line: i + 1,
+                message: "missing rule id".into(),
+            })?;
+            if rule != "*" && crate::diag::rule_info(&rule).is_none() {
+                return Err(ConfigError {
+                    line: i + 1,
+                    message: format!("unknown rule id '{rule}'"),
+                });
+            }
+            let pattern = parts.next().map(str::to_string).ok_or(ConfigError {
+                line: i + 1,
+                message: "missing location pattern".into(),
+            })?;
+            let justification = parts.collect::<Vec<_>>().join(" ");
+            if action == Action::Allow && justification.is_empty() {
+                return Err(ConfigError {
+                    line: i + 1,
+                    message: "'allow' requires a justification".into(),
+                });
+            }
+            entries.push(Entry {
+                action,
+                rule,
+                pattern,
+                justification,
+            });
+        }
+        Ok(LintConfig { entries })
+    }
+
+    /// Whether a diagnostic at `location` from `rule` is suppressed: some
+    /// `allow` entry matches and no `deny` entry does.
+    pub fn is_allowed(&self, rule: &str, location: &str) -> bool {
+        let matches =
+            |e: &Entry| (e.rule == "*" || e.rule == rule) && glob_match(&e.pattern, location);
+        let denied = self
+            .entries
+            .iter()
+            .any(|e| e.action == Action::Deny && matches(e));
+        let allowed = self
+            .entries
+            .iter()
+            .any(|e| e.action == Action::Allow && matches(e));
+        allowed && !denied
+    }
+
+    /// Number of parsed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the config has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Glob match where `*` matches any (possibly empty) substring. All other
+/// characters match literally.
+fn glob_match(pattern: &str, text: &str) -> bool {
+    let pat: Vec<char> = pattern.chars().collect();
+    let txt: Vec<char> = text.chars().collect();
+    // Classic two-pointer wildcard matcher with backtracking to the last
+    // star — linear in practice, no recursion.
+    let (mut p, mut t) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None;
+    while t < txt.len() {
+        if p < pat.len() && (pat[p] == txt[t]) {
+            p += 1;
+            t += 1;
+        } else if p < pat.len() && pat[p] == '*' {
+            star = Some((p, t));
+            p += 1;
+        } else if let Some((sp, st)) = star {
+            p = sp + 1;
+            t = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while p < pat.len() && pat[p] == '*' {
+        p += 1;
+    }
+    p == pat.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glob_semantics() {
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("a*c", "abc"));
+        assert!(glob_match("a*c", "ac"));
+        assert!(glob_match("*env.sda.*", "dma/env.sda.aw.valid"));
+        assert!(!glob_match("a*c", "abd"));
+        assert!(!glob_match("abc", "ab"));
+        assert!(glob_match("a**b", "a-x-b"));
+    }
+
+    #[test]
+    fn allow_requires_justification() {
+        let err = LintConfig::parse("allow VL003 *\n").unwrap_err();
+        assert!(err.message.contains("justification"));
+        assert!(LintConfig::parse("allow VL003 * because reasons\n").is_ok());
+    }
+
+    #[test]
+    fn unknown_rule_rejected() {
+        let err = LintConfig::parse("allow VL999 * x\n").unwrap_err();
+        assert!(err.message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn deny_overrides_allow() {
+        let cfg = LintConfig::parse(
+            "# broad allow, narrowed back\n\
+             allow VL003 * interposed-but-undriven interfaces\n\
+             deny VL003 *ocl*\n",
+        )
+        .unwrap();
+        assert!(cfg.is_allowed("VL003", "dma/env.sda.aw.valid"));
+        assert!(!cfg.is_allowed("VL003", "dma/env.ocl.aw.valid"));
+        assert!(!cfg.is_allowed("VL001", "dma/env.sda.aw.valid"));
+        assert_eq!(cfg.len(), 2);
+        assert!(!cfg.is_empty());
+    }
+
+    #[test]
+    fn star_rule_matches_all_rules() {
+        let cfg = LintConfig::parse("allow * sandbox/* scratch designs\n").unwrap();
+        assert!(cfg.is_allowed("VL001", "sandbox/x"));
+        assert!(cfg.is_allowed("VT004", "sandbox/y"));
+        assert!(!cfg.is_allowed("VL001", "prod/x"));
+    }
+}

@@ -1,0 +1,373 @@
+//! The shared diagnostics engine: severities, structured certificates, and
+//! hand-rolled JSON rendering (this repository vendors no serde).
+//!
+//! Every analyzer — the static design lint and the offline trace analyzer —
+//! reports through [`Diagnostic`]. A diagnostic is machine-checkable: besides
+//! the human-readable message it carries a [`Certificate`], the witness that
+//! makes the finding verifiable without re-running the analysis (a signal
+//! loop path, a happens-before cycle, or the raw facts that violate an
+//! invariant).
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Informational finding; never gates CI.
+    Info,
+    /// Suspicious but potentially intentional; gates CI unless allowed.
+    Warning,
+    /// Definite defect; gates CI unless allowed.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in text and JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Which trace ordered the happens-before edge leaving a cycle step.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EdgeOrigin {
+    /// The edge is the recorded execution's order (the reference trace).
+    Recorded,
+    /// The edge is the order the replay engine will enforce (the mutated /
+    /// replayed trace).
+    Replay,
+}
+
+impl EdgeOrigin {
+    fn as_str(self) -> &'static str {
+        match self {
+            EdgeOrigin::Recorded => "recorded",
+            EdgeOrigin::Replay => "replay",
+        }
+    }
+}
+
+/// One step of a combinational-loop certificate: a signal, and the component
+/// whose evaluation propagates it to the next step's signal.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CycleStep {
+    /// Signal name.
+    pub signal: String,
+    /// Component driving the edge from this signal to the next step.
+    pub component: String,
+}
+
+/// One step of a happens-before-cycle certificate: a transaction end event,
+/// and the origin of the ordering edge to the next step.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HbStep {
+    /// Channel name.
+    pub channel: String,
+    /// Zero-based index among the channel's end events.
+    pub end_index: u64,
+    /// Which trace orders this event before the next step's event.
+    pub edge: EdgeOrigin,
+}
+
+/// The machine-readable witness backing a diagnostic.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Certificate {
+    /// No structured witness beyond the message.
+    None,
+    /// A signal dependency loop, in order; the last step feeds the first.
+    SignalCycle(Vec<CycleStep>),
+    /// A happens-before cycle over end events; the last step's edge closes
+    /// the loop back to the first.
+    HbCycle(Vec<HbStep>),
+    /// Key/value facts establishing an invariant violation.
+    Facts(Vec<(String, String)>),
+}
+
+/// A single finding from any analyzer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// Rule identifier (`VL…` for design lint, `VT…` for trace analysis).
+    pub rule: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// Where the finding is: `design/signal` or `trace/channel`.
+    pub location: String,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Machine-readable witness.
+    pub certificate: Certificate,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.rule, self.location, self.message
+        )?;
+        match &self.certificate {
+            Certificate::None => Ok(()),
+            Certificate::SignalCycle(steps) => {
+                write!(f, "\n  loop:")?;
+                for s in steps {
+                    write!(f, "\n    {} --[{}]-->", s.signal, s.component)?;
+                }
+                write!(f, "\n    {} (closes the loop)", steps[0].signal)
+            }
+            Certificate::HbCycle(steps) => {
+                write!(f, "\n  cycle:")?;
+                for s in steps {
+                    write!(
+                        f,
+                        "\n    {}.end#{} --[{} order]-->",
+                        s.channel,
+                        s.end_index,
+                        s.edge.as_str()
+                    )?;
+                }
+                write!(
+                    f,
+                    "\n    {}.end#{} (closes the cycle)",
+                    steps[0].channel, steps[0].end_index
+                )
+            }
+            Certificate::Facts(kv) => {
+                for (k, v) in kv {
+                    write!(f, "\n    {k}: {v}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Certificate {
+    fn to_json(&self) -> String {
+        match self {
+            Certificate::None => "null".to_string(),
+            Certificate::SignalCycle(steps) => {
+                let items: Vec<String> = steps
+                    .iter()
+                    .map(|s| {
+                        format!(
+                            "{{\"signal\":\"{}\",\"component\":\"{}\"}}",
+                            json_escape(&s.signal),
+                            json_escape(&s.component)
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"kind\":\"signal_cycle\",\"steps\":[{}]}}",
+                    items.join(",")
+                )
+            }
+            Certificate::HbCycle(steps) => {
+                let items: Vec<String> = steps
+                    .iter()
+                    .map(|s| {
+                        format!(
+                            "{{\"channel\":\"{}\",\"end_index\":{},\"edge\":\"{}\"}}",
+                            json_escape(&s.channel),
+                            s.end_index,
+                            s.edge.as_str()
+                        )
+                    })
+                    .collect();
+                format!("{{\"kind\":\"hb_cycle\",\"steps\":[{}]}}", items.join(","))
+            }
+            Certificate::Facts(kv) => {
+                let items: Vec<String> = kv
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+                    .collect();
+                format!("{{\"kind\":\"facts\",\"facts\":{{{}}}}}", items.join(","))
+            }
+        }
+    }
+}
+
+impl Diagnostic {
+    /// Renders this diagnostic as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"severity\":\"{}\",\"location\":\"{}\",\"message\":\"{}\",\"certificate\":{}}}",
+            json_escape(self.rule),
+            self.severity.as_str(),
+            json_escape(&self.location),
+            json_escape(&self.message),
+            self.certificate.to_json()
+        )
+    }
+}
+
+/// Renders a slice of diagnostics as a JSON array.
+pub fn diagnostics_to_json(diags: &[Diagnostic]) -> String {
+    let items: Vec<String> = diags.iter().map(Diagnostic::to_json).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// One entry of the rule catalog.
+#[derive(Clone, Copy, Debug)]
+pub struct RuleInfo {
+    /// Rule identifier.
+    pub id: &'static str,
+    /// Default severity.
+    pub severity: Severity,
+    /// One-line summary.
+    pub summary: &'static str,
+}
+
+/// Every rule either analyzer can emit, for `vidi-lint rules` and the
+/// DESIGN.md §8 catalog.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "VL001",
+        severity: Severity::Error,
+        summary: "combinational cycle in the static signal dataflow graph \
+                  (would trip the runtime fixed-point bound)",
+    },
+    RuleInfo {
+        id: "VL002",
+        severity: Severity::Error,
+        summary: "signal driven by more than one component",
+    },
+    RuleInfo {
+        id: "VL003",
+        severity: Severity::Warning,
+        summary: "signal read by a component but driven by none \
+                  (floating input)",
+    },
+    RuleInfo {
+        id: "VL004",
+        severity: Severity::Error,
+        summary: "boundary channel width disagrees with the trace layout, \
+                  or VALID/READY is not 1 bit",
+    },
+    RuleInfo {
+        id: "VL005",
+        severity: Severity::Error,
+        summary: "VALID/READY channel crosses the CPU–FPGA shim without a \
+                  ChannelMonitor (silent break of transaction determinism)",
+    },
+    RuleInfo {
+        id: "VT001",
+        severity: Severity::Error,
+        summary: "happens-before cycle between the recorded order and the \
+                  replayed order (predicted replay deadlock, §5.3)",
+    },
+    RuleInfo {
+        id: "VT002",
+        severity: Severity::Error,
+        summary: "vector-clock monotonicity violation: an input channel's \
+                  in-flight transaction count leaves [0, 1]",
+    },
+    RuleInfo {
+        id: "VT003",
+        severity: Severity::Error,
+        summary: "eager-reservation violation: a recorded start event has no \
+                  matching end event (dangling reservation at end of trace)",
+    },
+    RuleInfo {
+        id: "VT004",
+        severity: Severity::Warning,
+        summary: "polling signature: a long run of identical input \
+                  transactions predicts replay divergence (§3.6)",
+    },
+];
+
+/// Looks up a rule's catalog entry.
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let d = Diagnostic {
+            rule: "VL001",
+            severity: Severity::Error,
+            location: "app/\"sig\"".into(),
+            message: "line1\nline2".into(),
+            certificate: Certificate::SignalCycle(vec![CycleStep {
+                signal: "a".into(),
+                component: "c".into(),
+            }]),
+        };
+        let j = d.to_json();
+        assert!(j.contains("\\\"sig\\\""));
+        assert!(j.contains("line1\\nline2"));
+        assert!(j.contains("\"kind\":\"signal_cycle\""));
+        assert_eq!(
+            diagnostics_to_json(&[d.clone(), d])
+                .matches("VL001")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn display_includes_certificate() {
+        let d = Diagnostic {
+            rule: "VT001",
+            severity: Severity::Error,
+            location: "trace/pcim.w".into(),
+            message: "cycle".into(),
+            certificate: Certificate::HbCycle(vec![
+                HbStep {
+                    channel: "pcim.aw".into(),
+                    end_index: 0,
+                    edge: EdgeOrigin::Recorded,
+                },
+                HbStep {
+                    channel: "pcim.w".into(),
+                    end_index: 0,
+                    edge: EdgeOrigin::Replay,
+                },
+            ]),
+        };
+        let text = d.to_string();
+        assert!(text.contains("error[VT001]"));
+        assert!(text.contains("pcim.aw.end#0 --[recorded order]-->"));
+        assert!(text.contains("closes the cycle"));
+    }
+
+    #[test]
+    fn rule_catalog_is_complete_and_unique() {
+        assert_eq!(RULES.len(), 9);
+        for r in RULES {
+            assert_eq!(RULES.iter().filter(|o| o.id == r.id).count(), 1);
+        }
+        assert!(rule_info("VL005").is_some());
+        assert!(rule_info("VL999").is_none());
+    }
+}

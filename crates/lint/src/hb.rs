@@ -1,0 +1,464 @@
+//! Offline trace analysis (rules `VT001`–`VT004`).
+//!
+//! The replay engine enforces transaction determinism with one gate: before a
+//! cycle packet's end events may complete, every end event of every *earlier*
+//! packet must have completed. The happens-before relation a recorded trace
+//! induces is therefore layered — each non-empty packet is one layer, and
+//! every end in an earlier layer happens before every end in a later one.
+//!
+//! A single well-formed trace can never contradict itself (its layers are a
+//! total preorder), so deadlock detection is a *pair* analysis: given the
+//! recorded reference trace and a mutated (or independently re-recorded)
+//! trace, any pair of end events whose layer order flips between the two is a
+//! happens-before cycle — the design upholds the recorded order while the
+//! replayer enforces the mutated one, and each waits on the other. This is
+//! exactly the §5.3 `axi_atop_filter` diagnosis, derived from the traces
+//! alone, without running the two-step replay workflow.
+
+use std::collections::HashMap;
+
+use vidi_trace::Trace;
+
+use crate::diag::{Certificate, Diagnostic, EdgeOrigin, HbStep, Severity};
+
+/// One transaction end event: a channel index and the zero-based count of
+/// prior ends on that channel.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EndEvent {
+    /// Channel index in the trace layout.
+    pub channel: usize,
+    /// This is the n-th end on the channel (zero-based).
+    pub index: u64,
+}
+
+/// Decomposes a trace into happens-before layers: one layer per packet that
+/// carries at least one end event, each layer listing its end events in
+/// channel order. Every event in layer `i` happens before every event in any
+/// layer `j > i`; events sharing a layer are unordered.
+pub fn end_layers(trace: &Trace) -> Vec<Vec<EndEvent>> {
+    let mut counts = vec![0u64; trace.layout().len()];
+    let mut layers = Vec::new();
+    for p in trace.packets() {
+        let mut layer = Vec::new();
+        for (ch, &ended) in p.ends.iter().enumerate() {
+            if ended {
+                layer.push(EndEvent {
+                    channel: ch,
+                    index: counts[ch],
+                });
+                counts[ch] += 1;
+            }
+        }
+        if !layer.is_empty() {
+            layers.push(layer);
+        }
+    }
+    layers
+}
+
+/// Maps every end event to its layer number.
+fn layer_map(trace: &Trace) -> HashMap<EndEvent, usize> {
+    let mut map = HashMap::new();
+    for (li, layer) in end_layers(trace).into_iter().enumerate() {
+        for ev in layer {
+            map.insert(ev, li);
+        }
+    }
+    map
+}
+
+/// `VT001`: searches a reference/mutated trace pair for an order inversion —
+/// a pair of end events the recorded execution orders one way and the
+/// mutated trace the other. Returns at most one diagnostic carrying the
+/// minimal [`Certificate::HbCycle`] witness.
+///
+/// Channel names are resolved against the *reference* layout; the traces
+/// must describe the same channels (mutation preserves the layout).
+pub fn analyze_pair(name: &str, reference: &Trace, mutated: &Trace) -> Vec<Diagnostic> {
+    let ref_layers = layer_map(reference);
+    let mut_layers = layer_map(mutated);
+
+    // Events present in both traces, sorted by reference order (layer, then
+    // channel, then index) for deterministic witness selection.
+    let mut events: Vec<(usize, EndEvent)> = ref_layers
+        .iter()
+        .filter(|(ev, _)| mut_layers.contains_key(ev))
+        .map(|(&ev, &l)| (l, ev))
+        .collect();
+    events.sort_by_key(|&(l, ev)| (l, ev.channel, ev.index));
+
+    // suffix_min[i] = the event with the smallest mutated layer among
+    // events[i..] (ties broken by channel, then index).
+    let mut suffix_min: Vec<(usize, EndEvent)> = vec![
+        (
+            usize::MAX,
+            EndEvent {
+                channel: 0,
+                index: 0
+            }
+        );
+        events.len()
+    ];
+    let mut best = (
+        usize::MAX,
+        EndEvent {
+            channel: 0,
+            index: 0,
+        },
+    );
+    for i in (0..events.len()).rev() {
+        let ev = events[i].1;
+        let ml = mut_layers[&ev];
+        if (ml, ev.channel, ev.index) < (best.0, best.1.channel, best.1.index) {
+            best = (ml, ev);
+        }
+        suffix_min[i] = best;
+    }
+
+    // The witness pair: the first event `a` in reference order for which
+    // some strictly-later-in-reference event has a strictly smaller mutated
+    // layer, paired with that minimal partner `b`.
+    let mut witness = None;
+    for (i, &(ref_l, a)) in events.iter().enumerate() {
+        // Skip to the first event in a strictly later reference layer:
+        // same-layer events are concurrent, not ordered.
+        let j = events[i..].partition_point(|&(l, _)| l == ref_l) + i;
+        if j >= events.len() {
+            break;
+        }
+        let (b_mut_l, b) = suffix_min[j];
+        if b_mut_l < mut_layers[&a] {
+            witness = Some((a, b));
+            break;
+        }
+    }
+    let Some((a, b)) = witness else {
+        return Vec::new();
+    };
+
+    let channels = reference.layout().channels();
+    let a_name = channels[a.channel].name.clone();
+    let b_name = channels[b.channel].name.clone();
+    vec![Diagnostic {
+        rule: "VT001",
+        severity: Severity::Error,
+        location: format!("{name}/{a_name}"),
+        message: format!(
+            "happens-before cycle between recorded and replayed order: the \
+             recorded execution completes {a_name}.end#{} before \
+             {b_name}.end#{}, but the trace under replay demands \
+             {b_name}.end#{} first — if the design upholds the recorded \
+             order, the replayer's expected-end gate and the design wait on \
+             each other (predicted deadlock, §5.3)",
+            a.index, b.index, b.index
+        ),
+        certificate: Certificate::HbCycle(vec![
+            HbStep {
+                channel: a_name,
+                end_index: a.index,
+                edge: EdgeOrigin::Recorded,
+            },
+            HbStep {
+                channel: b_name,
+                end_index: b.index,
+                edge: EdgeOrigin::Replay,
+            },
+        ]),
+    }]
+}
+
+/// Minimum run of identical input transactions that counts as a polling
+/// signature (`VT004`).
+pub const POLLING_RUN: usize = 8;
+
+/// Runs the single-trace integrity rules (`VT002`–`VT004`) over a trace.
+pub fn analyze_trace(name: &str, trace: &Trace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let channels = trace.layout().channels();
+    let loc = |ch: usize| format!("{name}/{}", channels[ch].name);
+
+    // ── VT002 / VT003: vector-clock monotonicity and eager reservation ──
+    // On every input channel the monitor starts a transaction only after the
+    // previous one ended (eager reservation holds the channel), so at any
+    // prefix of the trace 0 <= starts - ends <= 1, and at end of trace every
+    // start has a matching end.
+    for (input_pos, ch) in trace.layout().input_indices().enumerate() {
+        let mut starts = 0u64;
+        let mut ends = 0u64;
+        let mut reported = false;
+        for (pi, p) in trace.packets().iter().enumerate() {
+            starts += u64::from(p.starts[input_pos]);
+            ends += u64::from(p.ends[ch]);
+            let ok = ends <= starts && starts - ends <= 1;
+            if !ok && !reported {
+                reported = true;
+                let what = if ends > starts {
+                    "an end event with no open transaction"
+                } else {
+                    "a second start while one transaction is still open"
+                };
+                out.push(Diagnostic {
+                    rule: "VT002",
+                    severity: Severity::Error,
+                    location: loc(ch),
+                    message: format!(
+                        "vector-clock monotonicity violated at packet {pi}: \
+                         {what} ({starts} starts vs {ends} ends)"
+                    ),
+                    certificate: Certificate::Facts(vec![
+                        ("packet".to_string(), pi.to_string()),
+                        ("starts".to_string(), starts.to_string()),
+                        ("ends".to_string(), ends.to_string()),
+                    ]),
+                });
+            }
+        }
+        if starts > ends {
+            out.push(Diagnostic {
+                rule: "VT003",
+                severity: Severity::Error,
+                location: loc(ch),
+                message: format!(
+                    "eager-reservation violation: {} transaction(s) started \
+                     but never ended — the reservation is still held at the \
+                     end of the trace",
+                    starts - ends
+                ),
+                certificate: Certificate::Facts(vec![
+                    ("starts".to_string(), starts.to_string()),
+                    ("ends".to_string(), ends.to_string()),
+                ]),
+            });
+        }
+    }
+
+    // ── VT004: polling signatures ────────────────────────────────────────
+    // A long run of identical input transactions is the classic polling
+    // loop; §3.6 shows a replayed execution can legitimately need a
+    // different number of polls, so the run predicts replay divergence.
+    for ch in trace.layout().input_indices() {
+        let contents = trace.input_contents(ch);
+        let mut best_start = 0usize;
+        let mut best_len = 0usize;
+        let mut run_start = 0usize;
+        for i in 1..=contents.len() {
+            if i == contents.len() || contents[i] != contents[run_start] {
+                let len = i - run_start;
+                if len > best_len {
+                    best_len = len;
+                    best_start = run_start;
+                }
+                run_start = i;
+            }
+        }
+        if best_len >= POLLING_RUN {
+            out.push(Diagnostic {
+                rule: "VT004",
+                severity: Severity::Warning,
+                location: loc(ch),
+                message: format!(
+                    "polling signature: {best_len} consecutive identical \
+                     transactions (content {:x}) starting at transaction \
+                     #{best_start} — a replayed execution may need a \
+                     different number of polls, diverging from the recording \
+                     (§3.6)",
+                    contents[best_start]
+                ),
+                certificate: Certificate::Facts(vec![
+                    ("run_start".to_string(), best_start.to_string()),
+                    ("run_length".to_string(), best_len.to_string()),
+                    ("content".to_string(), format!("{:x}", contents[best_start])),
+                ]),
+            });
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vidi_chan::Direction;
+    use vidi_hwsim::Bits;
+    use vidi_trace::{
+        reorder_end_before, ChannelInfo, ChannelPacket, CyclePacket, EndEventRef, TraceLayout,
+    };
+
+    fn layout() -> TraceLayout {
+        TraceLayout::new(vec![
+            ChannelInfo {
+                name: "pcim.aw".into(),
+                width: 32,
+                direction: Direction::Output,
+            },
+            ChannelInfo {
+                name: "pcim.w".into(),
+                width: 64,
+                direction: Direction::Output,
+            },
+            ChannelInfo {
+                name: "ocl.aw".into(),
+                width: 32,
+                direction: Direction::Input,
+            },
+        ])
+    }
+
+    /// One end per listed channel name, one packet per entry.
+    fn trace_of_ends(ends: &[&str]) -> Trace {
+        let l = layout();
+        let mut t = Trace::new(l.clone(), false);
+        for name in ends {
+            let idx = l.index_of(name).unwrap();
+            let mut pkts = vec![ChannelPacket::default(); l.len()];
+            pkts[idx] = ChannelPacket::end_only();
+            t.push(CyclePacket::assemble(&l, &pkts, false));
+        }
+        t
+    }
+
+    #[test]
+    fn layers_number_events_per_channel() {
+        let t = trace_of_ends(&["pcim.aw", "pcim.w", "pcim.aw"]);
+        let layers = end_layers(&t);
+        assert_eq!(layers.len(), 3);
+        assert_eq!(
+            layers[0],
+            vec![EndEvent {
+                channel: 0,
+                index: 0
+            }]
+        );
+        assert_eq!(
+            layers[1],
+            vec![EndEvent {
+                channel: 1,
+                index: 0
+            }]
+        );
+        assert_eq!(
+            layers[2],
+            vec![EndEvent {
+                channel: 0,
+                index: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn identical_traces_have_no_inversion() {
+        let t = trace_of_ends(&["pcim.aw", "pcim.w"]);
+        assert_eq!(analyze_pair("t", &t, &t.clone()), vec![]);
+    }
+
+    #[test]
+    fn reorder_mutation_yields_the_atop_filter_certificate() {
+        // Recorded (fixed-filter-like) order: aw.end#0 then w.end#0. The §5.3
+        // mutation forces w.end#0 before aw.end#0 under replay.
+        let reference = trace_of_ends(&["pcim.aw", "pcim.w"]);
+        let mutated = reorder_end_before(
+            &reference,
+            EndEventRef {
+                channel: 1,
+                index: 0,
+            },
+            EndEventRef {
+                channel: 0,
+                index: 0,
+            },
+        )
+        .unwrap();
+        let diags = analyze_pair("t", &reference, &mutated);
+        assert_eq!(diags.len(), 1);
+        let d = &diags[0];
+        assert_eq!(d.rule, "VT001");
+        assert_eq!(d.location, "t/pcim.aw");
+        assert_eq!(
+            d.certificate,
+            Certificate::HbCycle(vec![
+                HbStep {
+                    channel: "pcim.aw".into(),
+                    end_index: 0,
+                    edge: EdgeOrigin::Recorded,
+                },
+                HbStep {
+                    channel: "pcim.w".into(),
+                    end_index: 0,
+                    edge: EdgeOrigin::Replay,
+                },
+            ])
+        );
+    }
+
+    #[test]
+    fn concurrent_events_are_not_an_inversion() {
+        // Reference orders the two ends in separate packets; the "mutated"
+        // trace merges them into one packet (same layer = concurrent).
+        let l = layout();
+        let reference = trace_of_ends(&["pcim.aw", "pcim.w"]);
+        let mut merged = Trace::new(l.clone(), false);
+        let mut pkts = vec![ChannelPacket::default(); l.len()];
+        pkts[0] = ChannelPacket::end_only();
+        pkts[1] = ChannelPacket::end_only();
+        merged.push(CyclePacket::assemble(&l, &pkts, false));
+        assert_eq!(analyze_pair("t", &reference, &merged), vec![]);
+    }
+
+    #[test]
+    fn vt002_and_vt003_fire_on_malformed_traces() {
+        let l = layout();
+        // End on the input channel without a start: VT002 (and no VT003).
+        let mut t = Trace::new(l.clone(), false);
+        let mut pkts = vec![ChannelPacket::default(); l.len()];
+        pkts[2] = ChannelPacket::end_only();
+        t.push(CyclePacket::assemble(&l, &pkts, false));
+        let diags = analyze_trace("t", &t);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "VT002");
+        assert_eq!(diags[0].location, "t/ocl.aw");
+
+        // Start without an end: VT003.
+        let mut t = Trace::new(l.clone(), false);
+        let mut pkts = vec![ChannelPacket::default(); l.len()];
+        pkts[2] = ChannelPacket::start_with(Bits::from_u64(32, 7));
+        t.push(CyclePacket::assemble(&l, &pkts, false));
+        let diags = analyze_trace("t", &t);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "VT003");
+
+        // Two starts before any end: VT002 at the second start, then VT003.
+        let mut t = Trace::new(l.clone(), false);
+        for _ in 0..2 {
+            let mut pkts = vec![ChannelPacket::default(); l.len()];
+            pkts[2] = ChannelPacket::start_with(Bits::from_u64(32, 7));
+            t.push(CyclePacket::assemble(&l, &pkts, false));
+        }
+        let rules: Vec<&str> = analyze_trace("t", &t).iter().map(|d| d.rule).collect();
+        assert_eq!(rules, vec!["VT002", "VT003"]);
+    }
+
+    #[test]
+    fn polling_run_detected() {
+        let l = layout();
+        let mut t = Trace::new(l.clone(), false);
+        for _ in 0..POLLING_RUN {
+            // Complete start/end pairs with identical content.
+            let mut pkts = vec![ChannelPacket::default(); l.len()];
+            pkts[2] = ChannelPacket {
+                start: true,
+                content: Some(Bits::from_u64(32, 0xA11)),
+                end: true,
+            };
+            t.push(CyclePacket::assemble(&l, &pkts, false));
+        }
+        let diags = analyze_trace("t", &t);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "VT004");
+        assert!(diags[0].message.contains("8 consecutive"));
+
+        // One fewer repetition stays quiet.
+        t.packets_mut().pop();
+        assert_eq!(analyze_trace("t", &t), vec![]);
+    }
+}

@@ -1,0 +1,43 @@
+//! `vidi-lint`: static design lint and offline trace analysis for the Vidi
+//! reproduction.
+//!
+//! Two analyzers share one diagnostics engine:
+//!
+//! * **Design lint** (`VL…`, [`design`]): derives each component's signal
+//!   read/write sets from a one-shot recording pass
+//!   ([`vidi_hwsim::Simulator::access_scan`]), builds the static dataflow
+//!   graph, and proves properties *before* any cycle is simulated —
+//!   combinational-cycle freedom (with the loop path as certificate,
+//!   replacing the runtime's opaque fixed-point abort), single-driver
+//!   discipline, no floating inputs, boundary width agreement, and full
+//!   [`ChannelMonitor`](vidi_core::ChannelMonitor) coverage of every
+//!   VALID/READY channel crossing the CPU↔FPGA shim.
+//!
+//! * **Trace analysis** (`VT…`, [`hb`]): reconstructs the happens-before
+//!   relation the replay engine enforces from a recorded trace's end events
+//!   and detects — without replaying — predicted deadlocks (the §5.3
+//!   `axi_atop_filter` diagnosis, with the order-inversion cycle as
+//!   certificate), vector-clock and eager-reservation violations, and
+//!   polling signatures that predict §3.6 replay divergence.
+//!
+//! Every finding is a structured [`Diagnostic`] with a machine-readable
+//! [`Certificate`]; the [`config`] module supplies allow/deny filtering with
+//! mandatory justifications. The `vidi-lint` binary fronts both analyzers.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod design;
+pub mod diag;
+pub mod graph;
+pub mod hb;
+pub mod target;
+
+pub use config::{ConfigError, LintConfig};
+pub use design::{dependency_edges, lint_design, snapshot_signals, DesignSignal, DesignSpec};
+pub use diag::{
+    diagnostics_to_json, rule_info, Certificate, CycleStep, Diagnostic, EdgeOrigin, HbStep,
+    RuleInfo, Severity, RULES,
+};
+pub use hb::{analyze_pair, analyze_trace, end_layers, EndEvent, POLLING_RUN};
+pub use target::{design_spec, lint_target};

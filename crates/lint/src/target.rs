@@ -1,0 +1,27 @@
+//! Bridges the application inventory ([`vidi_apps::lint_targets`]) to the
+//! design linter: runs the one-shot access scan on an assembled design and
+//! packages everything the rules need into a [`DesignSpec`].
+
+use vidi_apps::LintTarget;
+
+use crate::design::{lint_design, snapshot_signals, DesignSpec};
+use crate::diag::Diagnostic;
+
+/// Extracts a [`DesignSpec`] from an assembled lint target by running the
+/// simulator's one-shot access scan (no clock cycle is simulated).
+pub fn design_spec(target: &mut LintTarget) -> DesignSpec {
+    let components = target.sim.access_scan();
+    DesignSpec {
+        name: target.name.clone(),
+        signals: snapshot_signals(target.sim.pool()),
+        components,
+        boundary: target.boundary.clone(),
+        monitored: target.shim.layout().channels().to_vec(),
+        external: target.external.clone(),
+    }
+}
+
+/// Runs every design-lint rule over an assembled target.
+pub fn lint_target(target: &mut LintTarget) -> Vec<Diagnostic> {
+    lint_design(&design_spec(target))
+}

@@ -1,0 +1,146 @@
+//! Regression: a seeded combinational loop must be rejected *statically*
+//! with the exact signal path — the same design the runtime's fixed-point
+//! bound would only abort on mid-simulation, with no indication of where the
+//! loop is.
+
+use vidi_hwsim::{Component, SignalId, SignalPool, SimError, Simulator};
+use vidi_lint::{lint_design, snapshot_signals, Certificate, DesignSpec};
+
+/// A one-input combinational gate.
+struct Gate {
+    name: String,
+    input: SignalId,
+    output: SignalId,
+    invert: bool,
+}
+
+impl Component for Gate {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn eval(&mut self, pool: &mut SignalPool) {
+        let v = pool.get_bool(self.input);
+        pool.set_bool(self.output, v != self.invert);
+    }
+    fn tick(&mut self, _pool: &mut SignalPool) {}
+}
+
+fn spec_of(sim: &mut Simulator) -> DesignSpec {
+    let components = sim.access_scan();
+    DesignSpec {
+        name: "seeded".into(),
+        signals: snapshot_signals(sim.pool()),
+        components,
+        boundary: Vec::new(),
+        monitored: Vec::new(),
+        external: Vec::new(),
+    }
+}
+
+#[test]
+fn seeded_loop_is_rejected_statically_with_the_path_the_runtime_trips_on() {
+    // inv0: b = !a, buf1: a = b. Odd inversion parity: no fixed point.
+    let mut sim = Simulator::new();
+    let a = sim.pool_mut().add("loop.a", 1);
+    let b = sim.pool_mut().add("loop.b", 1);
+    sim.add_component(Gate {
+        name: "inv0".into(),
+        input: a,
+        output: b,
+        invert: true,
+    });
+    sim.add_component(Gate {
+        name: "buf1".into(),
+        input: b,
+        output: a,
+        invert: false,
+    });
+
+    // Static verdict: one VL001 with the exact loop path, component-labeled.
+    let diags = lint_design(&spec_of(&mut sim));
+    let loops: Vec<_> = diags.iter().filter(|d| d.rule == "VL001").collect();
+    assert_eq!(loops.len(), 1, "expected exactly one loop: {diags:?}");
+    match &loops[0].certificate {
+        Certificate::SignalCycle(steps) => {
+            let path: Vec<(&str, &str)> = steps
+                .iter()
+                .map(|s| (s.signal.as_str(), s.component.as_str()))
+                .collect();
+            assert_eq!(path, vec![("loop.a", "inv0"), ("loop.b", "buf1")]);
+        }
+        other => panic!("expected a signal-cycle certificate, got {other:?}"),
+    }
+
+    // Dynamic verdict on the *same* simulator: the eval bound trips, proving
+    // the static path is precisely what the runtime would die on.
+    assert!(matches!(
+        sim.run_cycle(),
+        Err(SimError::CombinationalLoop { .. })
+    ));
+}
+
+#[test]
+fn even_parity_ring_is_still_reported_statically() {
+    // Two inverters form a bistable ring: the runtime happily settles, but
+    // the dependency cycle is still a design error the lint must surface
+    // (the settled state depends on evaluation order, not the design).
+    let mut sim = Simulator::new();
+    let a = sim.pool_mut().add("latch.a", 1);
+    let b = sim.pool_mut().add("latch.b", 1);
+    sim.add_component(Gate {
+        name: "inv0".into(),
+        input: a,
+        output: b,
+        invert: true,
+    });
+    sim.add_component(Gate {
+        name: "inv1".into(),
+        input: b,
+        output: a,
+        invert: true,
+    });
+
+    let diags = lint_design(&spec_of(&mut sim));
+    assert!(
+        diags.iter().any(|d| d.rule == "VL001"),
+        "static lint must flag the ring even though it happens to settle: {diags:?}"
+    );
+    assert!(sim.run_cycle().is_ok(), "bistable ring settles at runtime");
+}
+
+#[test]
+fn loop_through_three_components_reports_a_closed_path() {
+    let mut sim = Simulator::new();
+    let a = sim.pool_mut().add("r.a", 1);
+    let b = sim.pool_mut().add("r.b", 1);
+    let c = sim.pool_mut().add("r.c", 1);
+    let t = sim.pool_mut().add("r.tail", 1);
+    for (name, input, output, invert) in [
+        ("g0", a, b, true),
+        ("g1", b, c, false),
+        ("g2", c, a, false),
+        ("tap", c, t, false),
+    ] {
+        sim.add_component(Gate {
+            name: name.into(),
+            input,
+            output,
+            invert,
+        });
+    }
+    let diags = lint_design(&spec_of(&mut sim));
+    let cycle = diags
+        .iter()
+        .find(|d| d.rule == "VL001")
+        .expect("loop reported");
+    let Certificate::SignalCycle(steps) = &cycle.certificate else {
+        panic!("wrong certificate: {:?}", cycle.certificate);
+    };
+    // The tail signal is not part of the loop.
+    assert_eq!(steps.len(), 3);
+    assert!(steps.iter().all(|s| s.signal != "r.tail"));
+    assert!(matches!(
+        sim.run_cycle(),
+        Err(SimError::CombinationalLoop { .. })
+    ));
+}

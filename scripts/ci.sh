@@ -22,6 +22,9 @@ cargo test -q
 echo "── workspace tests (unit + integration + fault-matrix soak) ────"
 cargo test -q --workspace
 
+echo "── vidi-lint: static design lint + trace-analysis gate ─────────"
+cargo run --release -q -p vidi-lint -- ci --config scripts/vidi-lint.allow
+
 if [ "$mode" = "full" ]; then
     echo "── examples ────────────────────────────────────────────────"
     for ex in quickstart debugging_case_study testing_case_study \

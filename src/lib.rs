@@ -28,6 +28,9 @@
 //!   storage/recovery pipeline's test harness.
 //! * [`apps`] — the ten evaluated applications and both case studies.
 //! * [`synth`] — structural LUT/FF/BRAM estimation (Table 2 / Fig 7).
+//! * [`lint`] — static design lint and offline trace analysis (the
+//!   `vidi-lint` binary): combinational-cycle, boundary-coverage, and
+//!   happens-before deadlock certificates without running a cycle.
 //!
 //! ## Quickstart
 //!
@@ -59,7 +62,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub use vidi_apps as apps;
 pub use vidi_chan as chan;
@@ -67,5 +69,6 @@ pub use vidi_core as core;
 pub use vidi_faults as faults;
 pub use vidi_host as host;
 pub use vidi_hwsim as hwsim;
+pub use vidi_lint as lint;
 pub use vidi_synth as synth;
 pub use vidi_trace as trace;

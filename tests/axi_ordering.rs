@@ -51,12 +51,7 @@ impl Component for Sub {
             self.got_aw = None;
             self.got_w = false;
         }
-        while self
-            .delay
-            .front()
-            .map(|(t, _)| *t <= self.cycle)
-            .unwrap_or(false)
-        {
+        while self.delay.front().is_some_and(|(t, _)| *t <= self.cycle) {
             let (_, bf) = self.delay.pop_front().expect("front");
             self.b.push(bf.pack());
         }

@@ -523,7 +523,7 @@ proptest! {
         // right content) and one end.
         let trace = shim.recorded_trace().unwrap();
         prop_assert_eq!(trace.channel_transaction_count(0), values.len() as u64);
-        let contents: Vec<u64> = trace.input_contents(0).iter().map(|b| b.to_u64()).collect();
+        let contents: Vec<u64> = trace.input_contents(0).iter().map(Bits::to_u64).collect();
         prop_assert_eq!(contents, values.clone());
         let starts: usize = trace
             .packets()
