@@ -139,20 +139,27 @@ pub struct EchoAtopOutcome {
 }
 
 /// The assembled ping-pong simulation, before any cycle has run.
-pub(crate) struct EchoAtopBuilt {
-    pub(crate) sim: Simulator,
-    pub(crate) shim: VidiShim,
-    pub(crate) app_channels: Vec<(Channel, Direction)>,
-    pub(crate) cpu: Vec<vidi_host::CpuHandle>,
-    pub(crate) pongs_acked: Rc<RefCell<u64>>,
-    pub(crate) host_mem: HostMemory,
-    pub(crate) payload: Vec<u8>,
+pub struct EchoAtopBuilt {
+    /// The simulator holding every component.
+    pub sim: Simulator,
+    /// The installed Vidi shim.
+    pub shim: VidiShim,
+    /// Every VALID/READY channel crossing the CPU↔FPGA boundary.
+    pub app_channels: Vec<(Channel, Direction)>,
+    /// CPU thread result handles (empty in replay modes).
+    pub cpu: Vec<vidi_host::CpuHandle>,
+    /// Count of pongs acknowledged by the server so far.
+    pub pongs_acked: Rc<RefCell<u64>>,
+    /// CPU-side DRAM (pongs land here).
+    pub host_mem: HostMemory,
+    /// The ping payload the workload sends.
+    pub payload: Vec<u8>,
 }
 
 /// Assembles the ping-pong server (app + filter + shim + host side)
 /// without running it — the build phase of [`run_echo_atop`], also used by
-/// static lint to scan the design.
-pub(crate) fn build_echo_atop(
+/// static lint and the scheduler-equivalence suite to inspect the design.
+pub fn build_echo_atop(
     filter_mode: AtopFilterMode,
     vidi: VidiConfig,
     pings: u32,

@@ -336,19 +336,27 @@ pub fn run_echo_fifo(config: EchoFifoConfig) -> Result<EchoFifoOutcome, SimError
 }
 
 /// The assembled echo-server simulation, before any cycle has run.
-pub(crate) struct EchoFifoBuilt {
-    pub(crate) sim: Simulator,
-    pub(crate) shim: VidiShim,
-    pub(crate) dram: HostMemory,
-    pub(crate) expected: Vec<u8>,
-    pub(crate) cpu: Vec<vidi_host::CpuHandle>,
-    pub(crate) stored: StoredCount,
-    pub(crate) app_channels: Vec<(Channel, Direction)>,
+pub struct EchoFifoBuilt {
+    /// The simulator holding every component.
+    pub sim: Simulator,
+    /// The installed Vidi shim.
+    pub shim: VidiShim,
+    /// The server-side DRAM frames are echoed into.
+    pub dram: HostMemory,
+    /// The bytes T1 expects to read back.
+    pub expected: Vec<u8>,
+    /// CPU thread result handles (empty in replay modes).
+    pub cpu: Vec<vidi_host::CpuHandle>,
+    /// Count of fragments stored by the backend so far.
+    pub stored: StoredCount,
+    /// Every VALID/READY channel crossing the CPU↔FPGA boundary.
+    pub app_channels: Vec<(Channel, Direction)>,
 }
 
 /// Assembles the echo-server simulation — the build phase of
-/// [`run_echo_fifo`], also used by static lint to scan the design.
-pub(crate) fn build_echo_fifo(config: &EchoFifoConfig) -> EchoFifoBuilt {
+/// [`run_echo_fifo`], also used by static lint and the
+/// scheduler-equivalence suite to inspect the design.
+pub fn build_echo_fifo(config: &EchoFifoConfig) -> EchoFifoBuilt {
     let mut sim = Simulator::new();
     let replaying = config.vidi.mode.replays();
 

@@ -9,7 +9,7 @@ use std::fmt;
 use vidi_chan::{AxiChannel, AxiIface, Channel, Direction, F1Interface};
 use vidi_core::{FaultInjection, VidiConfig, VidiShim};
 use vidi_host::{CpuHandle, CpuThread, HostMemSubordinate, HostMemory, HostOp};
-use vidi_hwsim::{SignalId, SimError, Simulator};
+use vidi_hwsim::{SignalId, SimError, SimStats, Simulator};
 use vidi_trace::Trace;
 
 use crate::kernel::Kernel;
@@ -103,6 +103,9 @@ pub struct RunOutcome {
     pub output_ok: Result<(), String>,
     /// Host memory after the run.
     pub host_mem: HostMemory,
+    /// Scheduler performance counters accumulated over the whole run
+    /// (including the trace-flush margin); see [`vidi_hwsim::SimStats`].
+    pub sim_stats: SimStats,
 }
 
 /// Builds the full simulation for an application under a Vidi
@@ -284,5 +287,6 @@ pub fn run_app(mut built: BuiltApp, max_cycles: u64) -> Result<RunOutcome, SimEr
         polls: built.cpu.iter().map(|h| h.borrow().polls_issued).sum(),
         output_ok,
         host_mem: built.host_mem,
+        sim_stats: built.sim.stats().clone(),
     })
 }

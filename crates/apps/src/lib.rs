@@ -57,8 +57,10 @@ pub use shell::{regs, AccelShell};
 pub use util::{bytes_to_beats, host_mem_check, prng_bytes, streaming_script, OUT_ADDR};
 
 pub use dram_dma::{setup as dma_setup, DmaCompletion, DramDmaKernel, DMA_DST};
-pub use echo_atop::{run_echo_atop, EchoAtopOutcome, PONG_ADDR};
-pub use echo_fifo::{run_echo_fifo, EchoFifoConfig, EchoFifoOutcome, ECHO_DST};
+pub use echo_atop::{build_echo_atop, run_echo_atop, EchoAtopBuilt, EchoAtopOutcome, PONG_ADDR};
+pub use echo_fifo::{
+    build_echo_fifo, run_echo_fifo, EchoFifoBuilt, EchoFifoConfig, EchoFifoOutcome, ECHO_DST,
+};
 
 pub mod algorithms {
     //! Direct access to each application's computational core and workload

@@ -1,0 +1,116 @@
+//! `bench_sim` — scheduler perf trajectory (`BENCH_sim.json`).
+//!
+//! Runs every catalog application under both settle schedulers, asserts the
+//! recorded traces are bit-identical, and emits machine-readable
+//! measurements (cycles/sec, evals/cycle, wall time) to `BENCH_sim.json`.
+//!
+//! ```text
+//! cargo run --release -p vidi-bench --bin bench_sim -- \
+//!     [--out BENCH_sim.json] [--baseline scripts/bench_sim_baseline.json] \
+//!     [--scale test|bench] [--seed N]
+//! ```
+//!
+//! Exit status is non-zero if any traces diverge between schedulers, if
+//! fewer than half the catalog reaches a 2x eval reduction, or if
+//! `--baseline` is given and evals/cycle regressed more than 10 % on any
+//! app.
+
+use std::process::ExitCode;
+
+use vidi_apps::Scale;
+use vidi_bench::json::Json;
+use vidi_bench::sim_bench::{
+    compare_to_baseline, measure_catalog, rows_with_2x_reduction, to_json,
+};
+
+/// Maximum tolerated growth in per-app evals/cycle versus the baseline.
+const TOLERANCE: f64 = 0.10;
+
+fn main() -> ExitCode {
+    let mut out_path = String::from("BENCH_sim.json");
+    let mut baseline_path: Option<String> = None;
+    let mut scale = Scale::Test;
+    let mut seed = 42u64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--out" => out_path = val("--out"),
+            "--baseline" => baseline_path = Some(val("--baseline")),
+            "--seed" => seed = val("--seed").parse().expect("--seed takes an integer"),
+            "--scale" => {
+                scale = match val("--scale").as_str() {
+                    "test" => Scale::Test,
+                    "bench" => Scale::Bench,
+                    other => panic!("unknown scale {other:?} (use test|bench)"),
+                }
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let rows = measure_catalog(scale, seed);
+    let doc = to_json(&rows, scale);
+    std::fs::write(&out_path, doc.pretty()).expect("write BENCH_sim.json");
+
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>9} {:>10}",
+        "app", "cycles", "evals/cyc F", "evals/cyc I", "reduction", "identical"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:>10} {:>12.2} {:>12.2} {:>8.2}x {:>10}",
+            r.app,
+            r.cycles,
+            r.evals_per_cycle_full,
+            r.evals_per_cycle_incremental,
+            r.eval_reduction,
+            r.traces_identical
+        );
+    }
+
+    let mut ok = true;
+    let divergent: Vec<&str> = rows
+        .iter()
+        .filter(|r| !r.traces_identical)
+        .map(|r| r.app.as_str())
+        .collect();
+    if !divergent.is_empty() {
+        eprintln!("FAIL: traces diverge between schedulers: {divergent:?}");
+        ok = false;
+    }
+    let with_2x = rows_with_2x_reduction(&rows);
+    if with_2x * 2 < rows.len() {
+        eprintln!(
+            "FAIL: only {with_2x}/{} apps reach a 2x eval reduction",
+            rows.len()
+        );
+        ok = false;
+    }
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path).expect("read baseline");
+        let baseline = Json::parse(&text).expect("parse baseline");
+        match compare_to_baseline(&doc, &baseline, TOLERANCE) {
+            Ok(()) => println!("baseline {path}: no evals/cycle regression"),
+            Err(failures) => {
+                for f in failures {
+                    eprintln!("FAIL: {f}");
+                }
+                ok = false;
+            }
+        }
+    }
+    println!(
+        "wrote {out_path} ({with_2x}/{} apps at >=2x reduction)",
+        rows.len()
+    );
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -16,6 +16,9 @@
 
 #![forbid(unsafe_code)]
 
+pub mod json;
+pub mod sim_bench;
+
 use vidi_apps::{build_app, run_app, AppId, Scale};
 use vidi_core::VidiConfig;
 use vidi_trace::{compare, Trace};

@@ -1,0 +1,249 @@
+//! Scheduler perf measurement behind `BENCH_sim.json`.
+//!
+//! For every catalog application this module runs the same recorded
+//! workload under both settle schedulers ([`vidi_hwsim::EvalMode::Full`]
+//! and [`vidi_hwsim::EvalMode::Incremental`]), checks the recorded traces
+//! are bit-identical, replays the incremental trace, and reports
+//! deterministic eval counters plus (informational) wall-clock numbers.
+//! CI regressions are judged **only** on the deterministic counters —
+//! wall time depends on the host and is recorded purely as a trajectory.
+
+use std::time::Instant;
+
+use vidi_apps::{build_app, run_app, AppId, RunOutcome, Scale};
+use vidi_core::VidiConfig;
+use vidi_hwsim::EvalMode;
+
+use crate::json::{obj, Json};
+use crate::MAX_CYCLES;
+
+/// One application's scheduler measurements.
+#[derive(Debug, Clone)]
+pub struct SimBenchRow {
+    /// Application label.
+    pub app: String,
+    /// Workload cycles to completion (identical across modes by
+    /// construction; asserted).
+    pub cycles: u64,
+    /// Wall time of the recording run under the full scheduler, ms.
+    pub wall_ms_full: f64,
+    /// Wall time of the recording run under the incremental scheduler, ms.
+    pub wall_ms_incremental: f64,
+    /// Wall time of replaying the recorded trace (incremental mode), ms.
+    pub replay_wall_ms: f64,
+    /// Simulated cycles per wall-clock second, incremental recording run.
+    pub cycles_per_sec: f64,
+    /// Mean component evals per cycle, full scheduler.
+    pub evals_per_cycle_full: f64,
+    /// Mean component evals per cycle, incremental scheduler.
+    pub evals_per_cycle_incremental: f64,
+    /// `evals_per_cycle_full / evals_per_cycle_incremental`.
+    pub eval_reduction: f64,
+    /// The recorded traces of the two modes are byte-for-byte identical.
+    pub traces_identical: bool,
+}
+
+fn timed_record(app: AppId, scale: Scale, seed: u64, mode: EvalMode) -> (RunOutcome, f64) {
+    let mut built = build_app(app.setup(scale, seed), VidiConfig::record());
+    built.sim.set_eval_mode(mode);
+    let start = Instant::now();
+    let outcome = run_app(built, MAX_CYCLES).expect("recording run completes");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        outcome.output_ok.is_ok(),
+        "{}: wrong output under {mode:?}: {:?}",
+        app.label(),
+        outcome.output_ok
+    );
+    (outcome, wall_ms)
+}
+
+/// Measures one application: record under both schedulers, compare traces,
+/// replay once.
+///
+/// # Panics
+///
+/// Panics if any run fails or produces wrong output — scheduler numbers are
+/// only meaningful over correct executions.
+pub fn measure_app(app: AppId, scale: Scale, seed: u64) -> SimBenchRow {
+    let (full, wall_ms_full) = timed_record(app, scale, seed, EvalMode::Full);
+    let (inc, wall_ms_incremental) = timed_record(app, scale, seed, EvalMode::Incremental);
+
+    assert_eq!(
+        full.cycles,
+        inc.cycles,
+        "{}: cycle counts diverge between schedulers",
+        app.label()
+    );
+    let trace_full = full.trace.as_ref().expect("recording produces a trace");
+    let trace_inc = inc.trace.as_ref().expect("recording produces a trace");
+    let traces_identical = trace_full.encode() == trace_inc.encode();
+
+    // Replay the incremental trace (exercises the decoder/replayer path the
+    // vector-clock scratch buffer optimizes).
+    let replay = build_app(
+        app.setup(scale, seed),
+        VidiConfig::replay(trace_inc.clone()),
+    );
+    let start = Instant::now();
+    run_app(replay, MAX_CYCLES).expect("replay completes");
+    let replay_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let epc_full = full.sim_stats.evals_per_cycle();
+    let epc_inc = inc.sim_stats.evals_per_cycle();
+    SimBenchRow {
+        app: app.label().to_string(),
+        cycles: inc.cycles,
+        wall_ms_full,
+        wall_ms_incremental,
+        replay_wall_ms,
+        cycles_per_sec: inc.sim_stats.cycles as f64 / (wall_ms_incremental / 1e3).max(1e-9),
+        evals_per_cycle_full: epc_full,
+        evals_per_cycle_incremental: epc_inc,
+        eval_reduction: epc_full / epc_inc.max(1e-9),
+        traces_identical,
+    }
+}
+
+/// Measures the whole `AppId::ALL` catalog.
+pub fn measure_catalog(scale: Scale, seed: u64) -> Vec<SimBenchRow> {
+    AppId::ALL
+        .iter()
+        .map(|&app| measure_app(app, scale, seed))
+        .collect()
+}
+
+/// Number of rows whose eval reduction is at least 2x.
+pub fn rows_with_2x_reduction(rows: &[SimBenchRow]) -> usize {
+    rows.iter().filter(|r| r.eval_reduction >= 2.0).count()
+}
+
+/// Serializes rows into the `BENCH_sim.json` document.
+pub fn to_json(rows: &[SimBenchRow], scale: Scale) -> Json {
+    let apps = rows
+        .iter()
+        .map(|r| {
+            obj([
+                ("app", Json::Str(r.app.clone())),
+                ("cycles", Json::Num(r.cycles as f64)),
+                ("wall_ms_full", Json::Num(r.wall_ms_full)),
+                ("wall_ms_incremental", Json::Num(r.wall_ms_incremental)),
+                ("replay_wall_ms", Json::Num(r.replay_wall_ms)),
+                ("cycles_per_sec", Json::Num(r.cycles_per_sec)),
+                ("evals_per_cycle_full", Json::Num(r.evals_per_cycle_full)),
+                (
+                    "evals_per_cycle_incremental",
+                    Json::Num(r.evals_per_cycle_incremental),
+                ),
+                ("eval_reduction", Json::Num(r.eval_reduction)),
+                ("traces_identical", Json::Bool(r.traces_identical)),
+            ])
+        })
+        .collect();
+    obj([
+        ("schema", Json::Str("vidi-bench-sim/1".into())),
+        (
+            "scale",
+            Json::Str(
+                match scale {
+                    Scale::Test => "test",
+                    Scale::Bench => "bench",
+                }
+                .into(),
+            ),
+        ),
+        ("apps", Json::Arr(apps)),
+        (
+            "summary",
+            obj([
+                (
+                    "apps_with_2x_reduction",
+                    Json::Num(rows_with_2x_reduction(rows) as f64),
+                ),
+                ("total_apps", Json::Num(rows.len() as f64)),
+            ]),
+        ),
+    ])
+}
+
+/// Compares a current `BENCH_sim.json` document against a committed
+/// baseline on the **deterministic** counter (`evals_per_cycle_incremental`
+/// per app). Wall-clock fields are never gated.
+///
+/// # Errors
+///
+/// Returns the list of regressions: apps missing from the current document
+/// or whose evals/cycle grew by more than `tolerance` (e.g. `0.10`).
+pub fn compare_to_baseline(
+    current: &Json,
+    baseline: &Json,
+    tolerance: f64,
+) -> Result<(), Vec<String>> {
+    let mut failures = Vec::new();
+    let rows = |doc: &Json| -> Vec<(String, f64)> {
+        doc.get("apps")
+            .and_then(Json::as_arr)
+            .unwrap_or_default()
+            .iter()
+            .filter_map(|r| {
+                Some((
+                    r.get("app")?.as_str()?.to_string(),
+                    r.get("evals_per_cycle_incremental")?.as_f64()?,
+                ))
+            })
+            .collect()
+    };
+    let cur = rows(current);
+    for (app, base_epc) in rows(baseline) {
+        match cur.iter().find(|(a, _)| *a == app) {
+            None => failures.push(format!("{app}: present in baseline but not measured")),
+            Some((_, cur_epc)) => {
+                let limit = base_epc * (1.0 + tolerance);
+                if *cur_epc > limit {
+                    failures.push(format!(
+                        "{app}: evals/cycle regressed {base_epc:.2} -> {cur_epc:.2} \
+                         (limit {limit:.2})"
+                    ));
+                }
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(apps: &[(&str, f64)]) -> Json {
+        let rows = apps
+            .iter()
+            .map(|(a, e)| {
+                obj([
+                    ("app", Json::Str((*a).into())),
+                    ("evals_per_cycle_incremental", Json::Num(*e)),
+                ])
+            })
+            .collect();
+        obj([("apps", Json::Arr(rows))])
+    }
+
+    #[test]
+    fn baseline_comparison_flags_regressions_only() {
+        let base = doc(&[("a", 10.0), ("b", 5.0)]);
+        // Within tolerance and improved: ok.
+        assert_eq!(
+            compare_to_baseline(&doc(&[("a", 10.9), ("b", 3.0)]), &base, 0.10),
+            Ok(())
+        );
+        // One regression, one missing app: both reported.
+        let err = compare_to_baseline(&doc(&[("a", 11.2)]), &base, 0.10).unwrap_err();
+        assert_eq!(err.len(), 2);
+        assert!(err[0].contains("a: evals/cycle regressed"));
+        assert!(err[1].contains("b: present in baseline"));
+    }
+}

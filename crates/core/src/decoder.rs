@@ -22,6 +22,11 @@ pub struct DecoderCore {
     fetch_bytes_per_cycle: u32,
     credit: u64,
     credit_cap: u64,
+    /// Sub-byte accrual carried between cycles: the remainder of the
+    /// bandwidth division, so a divisor larger than
+    /// `fetch_bytes_per_cycle` degrades throughput instead of flooring
+    /// per-cycle accrual to zero and starving replay forever.
+    credit_rem: u64,
     cycle: u64,
     /// Injected fetch-bandwidth collapse (see [`crate::FaultInjection`]).
     bandwidth_hook: Option<BandwidthHook>,
@@ -37,6 +42,7 @@ impl DecoderCore {
             credit: 0,
             // Must admit the largest possible cycle packet (see StoreCore).
             credit_cap: ((fetch_bytes_per_cycle as u64).max(1) * 16).max(8192),
+            credit_rem: 0,
             cycle: 0,
             bandwidth_hook: None,
         }
@@ -68,8 +74,13 @@ impl DecoderCore {
         let cycle = self.cycle;
         self.cycle += 1;
         let divisor = self.bandwidth_hook.as_mut().map_or(1, |h| h(cycle).max(1)) as u64;
-        self.credit =
-            (self.credit + self.fetch_bytes_per_cycle as u64 / divisor).min(self.credit_cap);
+        // Fractional accrual: credit the whole-byte quotient now and carry
+        // the remainder, so mean accrual is fetch/divisor even when the
+        // divisor exceeds fetch_bytes_per_cycle (a collapse that would
+        // otherwise floor to zero bytes/cycle and stall replay permanently).
+        let accrued = self.credit_rem + self.fetch_bytes_per_cycle as u64;
+        self.credit = (self.credit + accrued / divisor).min(self.credit_cap);
+        self.credit_rem = accrued % divisor;
         let layout = self.trace.layout().clone();
         let record_output = self.trace.records_output_content();
         while self.next < self.trace.packets().len() {
@@ -91,7 +102,10 @@ impl DecoderCore {
                     .iter()
                     .enumerate()
                     .filter(|(_, &e)| e)
-                    .map(|(i, _)| i as u16)
+                    .map(|(i, _)| {
+                        u16::try_from(i)
+                            .expect("TraceLayout::try_new caps layouts at u16::MAX channels")
+                    })
                     .collect(),
             );
             let channel_packets = packet.disassemble(&layout, record_output);

@@ -64,6 +64,9 @@ pub struct VidiEngine {
     replayers: Vec<ReplayerCore>,
     replay_channels: Vec<Channel>,
     t_current: VectorClock,
+    /// Scratch buffer for the per-cycle `t0` snapshot in `tick`, reused via
+    /// `clone_from` to avoid a heap allocation every replay cycle.
+    t_scratch: VectorClock,
     replay_status: Option<ReplayHandle>,
     stats: StatsHandle,
 }
@@ -90,6 +93,7 @@ impl VidiEngine {
                 replayers: Vec::new(),
                 replay_channels: Vec::new(),
                 t_current: VectorClock::zero(n),
+                t_scratch: VectorClock::zero(n),
                 replay_status: None,
                 stats: Rc::clone(&stats),
             },
@@ -196,7 +200,8 @@ impl Component for VidiEngine {
         //    advancing decisions must use it so signal driving and stream
         //    consumption agree.
         if let Some(decoder) = &mut self.decoder {
-            let t0 = self.t_current.clone();
+            self.t_scratch.clone_from(&self.t_current);
+            let t0 = &self.t_scratch;
             for (r, ch) in self.replayers.iter_mut().zip(&self.replay_channels) {
                 if ch.fires(p) {
                     r.observe_fire();
@@ -204,7 +209,7 @@ impl Component for VidiEngine {
                 }
             }
             for r in &mut self.replayers {
-                r.advance(&t0);
+                r.advance(t0);
             }
             decoder.tick(&mut self.replayers);
             if let Some(status) = &self.replay_status {

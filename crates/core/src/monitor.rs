@@ -64,6 +64,10 @@ pub struct ChannelMonitor {
     record_enable: Option<SignalId>,
     state: State,
     transactions: u64,
+    /// Whether the last `tick` transitioned `state` — the only internal
+    /// state `eval` depends on. Lets the incremental scheduler skip idle
+    /// monitors (see [`Component::tick_changed_state`]).
+    state_changed_in_tick: bool,
 }
 
 impl ChannelMonitor {
@@ -93,6 +97,7 @@ impl ChannelMonitor {
             record_enable: None,
             state: State::Idle,
             transactions: 0,
+            state_changed_in_tick: false,
         }
     }
 
@@ -225,9 +230,12 @@ impl Component for ChannelMonitor {
     }
 
     fn tick(&mut self, p: &mut SignalPool) {
+        self.state_changed_in_tick = false;
         let (_, receiver) = self.sides();
         let fired = receiver.fires(p);
         if fired {
+            // `transactions` is diagnostics-only; `eval` never reads it, so
+            // incrementing it does not mark the tick non-quiescent.
             self.transactions += 1;
         }
         if self.mode == MonitorMode::Transparent || !self.recording_now(p) {
@@ -238,27 +246,35 @@ impl Component for ChannelMonitor {
                 let granted = p.get_bool(self.port.resv_req) && p.get_bool(self.port.resv_grant);
                 if granted && !fired {
                     self.state = State::Active(p.get(self.env.data));
+                    self.state_changed_in_tick = true;
                 }
             }
             (State::Active(_), Direction::Input) => {
                 if fired {
                     self.state = State::Idle;
+                    self.state_changed_in_tick = true;
                 }
             }
             (State::Idle, Direction::Output) => {
                 let granted = p.get_bool(self.port.resv_req) && p.get_bool(self.port.resv_grant);
                 if granted && !fired {
                     self.state = State::Exposed;
+                    self.state_changed_in_tick = true;
                 }
             }
             (State::Exposed, Direction::Output) => {
                 if fired {
                     self.state = State::Idle;
+                    self.state_changed_in_tick = true;
                 }
             }
             (State::Exposed, Direction::Input) | (State::Active(_), Direction::Output) => {
                 unreachable!("monitor state does not match direction")
             }
         }
+    }
+
+    fn tick_changed_state(&self) -> bool {
+        self.state_changed_in_tick
     }
 }

@@ -7,9 +7,24 @@
 //! relationship is satisfied.
 
 /// A logical timestamp: per-channel completed-transaction counts.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(PartialEq, Eq, Hash, Debug)]
 pub struct VectorClock {
     counts: Vec<u64>,
+}
+
+// Manual impl so `clone_from` forwards to `Vec::clone_from` and reuses the
+// target's allocation — the engine snapshots a clock every replay cycle
+// into a scratch buffer, which a derived `Clone` would reallocate.
+impl Clone for VectorClock {
+    fn clone(&self) -> Self {
+        VectorClock {
+            counts: self.counts.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.counts.clone_from(&source.counts);
+    }
 }
 
 impl VectorClock {

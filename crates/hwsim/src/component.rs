@@ -74,6 +74,37 @@ pub trait Component {
         Vec::new()
     }
 
+    /// Whether the scheduler must re-evaluate this component on **every**
+    /// settle pass, opting out of sensitivity-driven skipping.
+    ///
+    /// The incremental scheduler assumes `eval` is a pure function of the
+    /// component's internal state and the signals it read during its most
+    /// recent `eval` (which the idempotence contract above already implies
+    /// for well-behaved components). A component that violates that
+    /// assumption — e.g. one whose outputs depend on hidden inputs the pool
+    /// cannot observe — must return `true` here to be pinned into every
+    /// pass, restoring full-broadcast semantics for itself alone. The
+    /// default is `false`.
+    fn always_eval(&self) -> bool {
+        false
+    }
+
+    /// Whether the most recent [`tick`](Component::tick) may have changed
+    /// state that [`eval`](Component::eval) depends on.
+    ///
+    /// The incremental scheduler re-evaluates a component at the start of a
+    /// cycle only if a signal in its sensitivity set changed **or** this
+    /// method reports the last clock edge was not quiescent. The default is
+    /// `true` — always conservative, never wrong. Components whose `tick`
+    /// is empty can override to return `false` unconditionally; stateful
+    /// components can track whether the last edge actually mutated
+    /// eval-relevant state (see `ChannelMonitor` in `vidi-core`). State
+    /// `eval` never reads (diagnostic counters, statistics) need not be
+    /// reported.
+    fn tick_changed_state(&self) -> bool {
+        true
+    }
+
     /// Reports a latched unrecoverable fault, if any. Polled by the
     /// scheduler after every clock edge; a `Some` return aborts the run with
     /// [`SimError::ComponentFault`](crate::SimError::ComponentFault) naming

@@ -60,5 +60,5 @@ pub use bits::Bits;
 pub use component::Component;
 pub use error::SimError;
 pub use signal::{SignalAccess, SignalId, SignalPool};
-pub use sim::{ComponentAccess, Simulator};
+pub use sim::{ComponentAccess, EvalMode, SimStats, Simulator};
 pub use vcd::VcdWriter;

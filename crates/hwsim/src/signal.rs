@@ -3,8 +3,10 @@
 //! A [`SignalPool`] owns the value of every wire in the design, stored as a
 //! flat array of 64-bit limbs for cache-friendly access. Components read and
 //! write signals through [`SignalId`] handles during evaluation; the pool
-//! tracks whether any value changed so the scheduler can detect the
-//! combinational fixed point.
+//! tracks *which* signals changed (a dirty list with per-signal generation
+//! stamps, not just a pool-wide flag) so the scheduler can both detect the
+//! combinational fixed point and re-evaluate only the components sensitive
+//! to the signals that actually changed.
 
 use std::cell::{Cell, RefCell};
 
@@ -65,12 +67,29 @@ pub enum SignalAccess {
 pub struct SignalPool {
     meta: Vec<SignalMeta>,
     data: Vec<u64>,
-    changed: bool,
+    /// Signals whose value changed since the last [`Self::clear_changed`] /
+    /// [`Self::drain_dirty`], in first-change order, deduplicated via
+    /// `dirty_stamp`.
+    dirty: Vec<SignalId>,
+    /// Per-signal generation stamp: the value of `dirty_gen` when the signal
+    /// was last pushed onto `dirty`. Stamps never equal a future generation,
+    /// so clearing the dirty list is O(1) plus a generation bump.
+    dirty_stamp: Vec<u64>,
+    /// Current dirty generation (starts at 1; stamp 0 means "never dirty").
+    dirty_gen: u64,
     /// Whether accesses are currently being logged. Kept in a `Cell` (and
     /// the log in a `RefCell`) because getters take `&self`; the pool is
     /// single-threaded by construction.
     logging: Cell<bool>,
     access_log: RefCell<Vec<SignalAccess>>,
+    /// Whether reads are being captured into the (deduplicated) read set —
+    /// the lightweight per-eval sensitivity capture used by the incremental
+    /// scheduler. Independent of `logging`, which records chronological
+    /// read/write logs for static lint.
+    capturing: Cell<bool>,
+    cap_reads: RefCell<Vec<SignalId>>,
+    cap_stamp: RefCell<Vec<u64>>,
+    cap_gen: Cell<u64>,
 }
 
 impl SignalPool {
@@ -95,10 +114,37 @@ impl SignalPool {
         std::mem::take(&mut self.access_log.borrow_mut())
     }
 
+    /// Starts capturing the deduplicated *read set* of subsequent signal
+    /// accesses (clearing any previous capture). This is the cheap per-eval
+    /// sensitivity probe behind the incremental scheduler: unlike the
+    /// chronological access log it records each signal at most once and
+    /// ignores writes.
+    pub fn start_read_capture(&self) {
+        self.cap_reads.borrow_mut().clear();
+        self.cap_gen.set(self.cap_gen.get() + 1);
+        self.capturing.set(true);
+    }
+
+    /// Stops capturing and swaps the captured read set into `out` (in
+    /// first-read order), reusing `out`'s allocation.
+    pub fn take_read_capture(&self, out: &mut Vec<SignalId>) {
+        self.capturing.set(false);
+        out.clear();
+        std::mem::swap(&mut *self.cap_reads.borrow_mut(), out);
+    }
+
     #[inline]
     fn log_read(&self, id: SignalId) {
         if self.logging.get() {
             self.access_log.borrow_mut().push(SignalAccess::Read(id));
+        }
+        if self.capturing.get() {
+            let gen = self.cap_gen.get();
+            let mut stamps = self.cap_stamp.borrow_mut();
+            if stamps[id.index()] != gen {
+                stamps[id.index()] = gen;
+                self.cap_reads.borrow_mut().push(id);
+            }
         }
     }
 
@@ -106,6 +152,15 @@ impl SignalPool {
     fn log_write(&self, id: SignalId) {
         if self.logging.get() {
             self.access_log.borrow_mut().push(SignalAccess::Write(id));
+        }
+    }
+
+    /// Records that a signal's value actually changed.
+    #[inline]
+    fn mark_changed(&mut self, id: SignalId) {
+        if self.dirty_stamp[id.index()] != self.dirty_gen {
+            self.dirty_stamp[id.index()] = self.dirty_gen;
+            self.dirty.push(id);
         }
     }
 
@@ -125,6 +180,8 @@ impl SignalPool {
             offset,
             limbs,
         });
+        self.dirty_stamp.push(0);
+        self.cap_stamp.borrow_mut().push(0);
         id
     }
 
@@ -198,7 +255,7 @@ impl SignalPool {
         let new = value as u64;
         if self.data[off] != new {
             self.data[off] = new;
-            self.changed = true;
+            self.mark_changed(id);
         }
     }
 
@@ -234,7 +291,7 @@ impl SignalPool {
         let off = m.offset as usize;
         if self.data[off] != masked {
             self.data[off] = masked;
-            self.changed = true;
+            self.mark_changed(id);
         }
     }
 
@@ -262,7 +319,7 @@ impl SignalPool {
         let src = value.limbs();
         if dst != src {
             dst.copy_from_slice(src);
-            self.changed = true;
+            self.mark_changed(id);
         }
     }
 
@@ -298,19 +355,36 @@ impl SignalPool {
             } else {
                 lo_slice.copy_from_slice(hi_slice);
             }
-            self.changed = true;
+            self.mark_changed(dst);
         }
     }
 
-    /// Clears the change flag; used by the scheduler before each
+    /// Clears the dirty list; used by the scheduler before each
     /// evaluation pass.
     pub fn clear_changed(&mut self) {
-        self.changed = false;
+        self.dirty.clear();
+        self.dirty_gen += 1;
     }
 
-    /// Whether any signal changed since the last [`Self::clear_changed`].
+    /// Whether any signal changed since the last [`Self::clear_changed`] /
+    /// [`Self::drain_dirty`].
     pub fn any_changed(&self) -> bool {
-        self.changed
+        !self.dirty.is_empty()
+    }
+
+    /// The signals that changed since the last [`Self::clear_changed`] /
+    /// [`Self::drain_dirty`], deduplicated, in first-change order.
+    pub fn dirty_signals(&self) -> &[SignalId] {
+        &self.dirty
+    }
+
+    /// Drains the dirty list into `out` (reusing its allocation) and starts
+    /// a fresh dirty generation. The incremental scheduler calls this after
+    /// each component evaluation to learn which signals that eval changed.
+    pub fn drain_dirty(&mut self, out: &mut Vec<SignalId>) {
+        out.clear();
+        std::mem::swap(&mut self.dirty, out);
+        self.dirty_gen += 1;
     }
 }
 

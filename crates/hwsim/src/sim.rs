@@ -1,8 +1,20 @@
 //! The simulation scheduler.
+//!
+//! Two schedulers share the same two-phase cycle semantics (settle to a
+//! combinational fixed point, then commit the clock edge):
+//!
+//! * [`EvalMode::Full`] — the classic full-broadcast loop: every component's
+//!   `eval` runs on every settle pass until no signal changes.
+//! * [`EvalMode::Incremental`] (the default) — a sensitivity-driven worklist
+//!   scheduler: each settle pass after the first re-evaluates only the
+//!   components whose *sensitivity set* (the signals their previous `eval`
+//!   actually read) intersects the set of signals that changed. Both modes
+//!   produce bit-identical signal trajectories; see [`Simulator`] for the
+//!   argument.
 
 use crate::component::Component;
 use crate::error::SimError;
-use crate::signal::{SignalAccess, SignalPool};
+use crate::signal::{SignalAccess, SignalId, SignalPool};
 use crate::vcd::VcdWriter;
 
 /// Default bound on combinational settle iterations per cycle.
@@ -18,13 +30,109 @@ pub struct ComponentAccess {
     pub accesses: Vec<SignalAccess>,
 }
 
+impl ComponentAccess {
+    /// The deduplicated signals this component read, in first-read order —
+    /// the component's *sensitivity set* under the conservative one-shot
+    /// approximation shared by static lint and the incremental scheduler's
+    /// initial seed.
+    pub fn read_set(&self) -> Vec<SignalId> {
+        let mut out: Vec<SignalId> = Vec::new();
+        for acc in &self.accesses {
+            if let SignalAccess::Read(id) = *acc {
+                if !out.contains(&id) {
+                    out.push(id);
+                }
+            }
+        }
+        out
+    }
+
+    /// The deduplicated signals this component wrote, in first-write order.
+    pub fn write_set(&self) -> Vec<SignalId> {
+        let mut out: Vec<SignalId> = Vec::new();
+        for acc in &self.accesses {
+            if let SignalAccess::Write(id) = *acc {
+                if !out.contains(&id) {
+                    out.push(id);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Which settle-phase scheduler [`Simulator::run_cycle`] uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EvalMode {
+    /// Full broadcast: every component evaluates on every settle pass. The
+    /// original (and reference) scheduler, kept as an escape hatch and as
+    /// the oracle for equivalence tests.
+    Full,
+    /// Sensitivity-driven worklist scheduling (the default): after the
+    /// touch-all first pass of each cycle, only components whose captured
+    /// read set intersects the dirty signal set are re-evaluated.
+    #[default]
+    Incremental,
+}
+
+/// Scheduler performance counters, accumulated across [`Simulator::run_cycle`]
+/// calls until [`Simulator::reset_stats`].
+///
+/// `evals + skipped_evals` is exactly what the full-broadcast scheduler
+/// would have executed over the same settle passes, so
+/// `(evals + skipped_evals) / evals` is the eval-reduction factor of the
+/// incremental scheduler (1.0 in [`EvalMode::Full`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Clock cycles executed.
+    pub cycles: u64,
+    /// [`Component::eval`] calls made during settle phases.
+    pub evals: u64,
+    /// Evals a full-broadcast pass would have made but the worklist skipped.
+    pub skipped_evals: u64,
+    /// Settle passes executed (every cycle has at least one).
+    pub settle_passes: u64,
+    /// Dirty-signal observations: the summed sizes of the per-eval changed
+    /// signal sets the scheduler propagated.
+    pub dirty_signals: u64,
+}
+
+impl SimStats {
+    /// Mean `eval` calls per cycle.
+    pub fn evals_per_cycle(&self) -> f64 {
+        self.evals as f64 / (self.cycles.max(1)) as f64
+    }
+
+    /// Mean settle passes per cycle.
+    pub fn settle_passes_per_cycle(&self) -> f64 {
+        self.settle_passes as f64 / (self.cycles.max(1)) as f64
+    }
+
+    /// Eval-reduction factor versus a full-broadcast scheduler over the same
+    /// settle passes: `(evals + skipped_evals) / evals`.
+    pub fn eval_reduction(&self) -> f64 {
+        (self.evals + self.skipped_evals) as f64 / (self.evals.max(1)) as f64
+    }
+}
+
+/// One entry of a per-signal watcher list: component `comp` had this signal
+/// in its sensitivity set as of sensitivity generation `gen`. Entries whose
+/// generation no longer matches the component's current generation are
+/// stale and are dropped lazily during dirty propagation (and in bulk by
+/// the periodic rebuild).
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    comp: u32,
+    gen: u32,
+}
+
 /// A deterministic delta-cycle simulator.
 ///
 /// Each simulated clock cycle proceeds in two phases:
 ///
-/// 1. **Settle**: every component's [`Component::eval`] runs repeatedly until
-///    no signal changes (the combinational fixed point). A bounded iteration
-///    count turns genuine combinational loops into a
+/// 1. **Settle**: component [`Component::eval`]s run until no signal
+///    changes (the combinational fixed point). A bounded iteration count
+///    turns genuine combinational loops into a
 ///    [`SimError::CombinationalLoop`] instead of a hang.
 /// 2. **Commit**: every component's [`Component::tick`] runs once, observing
 ///    the settled signal values and updating registered state.
@@ -32,6 +140,25 @@ pub struct ComponentAccess {
 /// The simulation is fully deterministic: it is single-threaded, components
 /// are evaluated in insertion order, and any randomness lives in seeded
 /// workload generators outside the kernel.
+///
+/// ## Scheduling modes
+///
+/// By default the settle phase uses a **sensitivity-driven incremental
+/// scheduler** ([`EvalMode::Incremental`]): the pool records *which* signals
+/// change, every `eval` call runs under a read-set capture, and a worklist
+/// sweep re-evaluates only components whose captured read set intersects
+/// the dirty set. The first pass of every cycle conservatively evaluates
+/// all components ("touch-all"), because `tick` may have changed internal
+/// state the scheduler cannot observe.
+///
+/// Both modes produce **bit-identical** signal trajectories: a skipped
+/// component's internal state is unchanged (no tick since its last eval)
+/// and every signal it read last time holds the same value, so by the
+/// idempotence contract of [`Component::eval`] a re-run would take the same
+/// path and write the same values — a no-op the full scheduler merely pays
+/// for. Components whose `eval` is *not* a pure function of its captured
+/// reads can opt out via [`Component::always_eval`], which pins them into
+/// every settle pass (the conservative touch-all fallback).
 ///
 /// See [`Component`] for a complete running example.
 #[derive(Default)]
@@ -41,17 +168,41 @@ pub struct Simulator {
     cycle: u64,
     max_eval_iters: usize,
     vcd: Option<VcdWriter>,
+    eval_mode: EvalMode,
+    stats: SimStats,
+    /// Cached [`Component::always_eval`] per component.
+    always: Vec<bool>,
+    /// Per-component sensitivity set: the read set captured by the
+    /// component's most recent `eval`.
+    sens_reads: Vec<Vec<SignalId>>,
+    /// Per-component sensitivity generation; bumped whenever the captured
+    /// read set differs from the previous one.
+    sens_gen: Vec<u32>,
+    /// Per-signal watcher lists (lazily compacted; see [`Watcher`]).
+    watchers: Vec<Vec<Watcher>>,
+    /// Live watcher entries, for deciding when to rebuild.
+    watcher_entries: usize,
+    /// Total sensitivity-set sizes, for deciding when to rebuild.
+    sens_total: usize,
+    /// Worklist flags for the current and the next settle pass.
+    pending: Vec<bool>,
+    pending_next: Vec<bool>,
+    /// Force a full first pass on the next cycle: set at construction and
+    /// whenever the scheduler's books may be stale (a component was added,
+    /// the eval mode changed, or an access scan ran evals outside capture).
+    touch_all_next: bool,
+    /// Scratch buffers reused across evals to avoid per-eval allocation.
+    read_scratch: Vec<SignalId>,
+    dirty_scratch: Vec<SignalId>,
 }
 
 impl Simulator {
     /// Creates an empty simulator.
     pub fn new() -> Self {
         Simulator {
-            pool: SignalPool::new(),
-            components: Vec::new(),
-            cycle: 0,
             max_eval_iters: DEFAULT_MAX_EVAL_ITERS,
-            vcd: None,
+            touch_all_next: true,
+            ..Simulator::default()
         }
     }
 
@@ -70,12 +221,41 @@ impl Simulator {
     /// they were added (which only affects how quickly the fixed point is
     /// reached, never the result).
     pub fn add_component(&mut self, component: impl Component + 'static) {
+        self.always.push(component.always_eval());
         self.components.push(Box::new(component));
+        self.touch_all_next = true;
     }
 
     /// The number of clock cycles executed so far.
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// Selects the settle-phase scheduler. [`EvalMode::Incremental`] is the
+    /// default; [`EvalMode::Full`] restores the original full-broadcast
+    /// loop (the equivalence oracle). Switching mid-run is safe in either
+    /// direction.
+    pub fn set_eval_mode(&mut self, mode: EvalMode) {
+        self.eval_mode = mode;
+        // Sensitivity sets are not maintained while in Full mode, so any
+        // switch invalidates the incremental scheduler's books.
+        self.touch_all_next = true;
+    }
+
+    /// The active settle-phase scheduler.
+    pub fn eval_mode(&self) -> EvalMode {
+        self.eval_mode
+    }
+
+    /// Scheduler performance counters accumulated since construction or the
+    /// last [`Self::reset_stats`].
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Zeroes the scheduler performance counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = SimStats::default();
     }
 
     /// Overrides the combinational settle bound (default 64). Designs with
@@ -103,22 +283,9 @@ impl Simulator {
     /// Returns [`SimError::CombinationalLoop`] if the design does not settle.
     pub fn run_cycle(&mut self) -> Result<(), SimError> {
         // Settle phase: iterate eval to a fixed point.
-        let mut iters = 0;
-        loop {
-            self.pool.clear_changed();
-            for c in self.components.iter_mut() {
-                c.eval(&mut self.pool);
-            }
-            if !self.pool.any_changed() {
-                break;
-            }
-            iters += 1;
-            if iters >= self.max_eval_iters {
-                return Err(SimError::CombinationalLoop {
-                    cycle: self.cycle,
-                    iterations: self.max_eval_iters,
-                });
-            }
+        match self.eval_mode {
+            EvalMode::Full => self.settle_full()?,
+            EvalMode::Incremental => self.settle_incremental()?,
         }
         if let Some(vcd) = &mut self.vcd {
             vcd.sample(self.cycle, &self.pool);
@@ -139,7 +306,206 @@ impl Simulator {
             }
         }
         self.cycle += 1;
+        self.stats.cycles += 1;
         Ok(())
+    }
+
+    /// The original full-broadcast settle loop: every component evaluates on
+    /// every pass until no signal changes.
+    fn settle_full(&mut self) -> Result<(), SimError> {
+        let mut iters = 0;
+        loop {
+            self.pool.clear_changed();
+            for c in self.components.iter_mut() {
+                c.eval(&mut self.pool);
+            }
+            self.stats.evals += self.components.len() as u64;
+            self.stats.settle_passes += 1;
+            self.stats.dirty_signals += self.pool.dirty_signals().len() as u64;
+            if !self.pool.any_changed() {
+                break;
+            }
+            iters += 1;
+            if iters >= self.max_eval_iters {
+                return Err(SimError::CombinationalLoop {
+                    cycle: self.cycle,
+                    iterations: self.max_eval_iters,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The sensitivity-driven incremental settle loop.
+    ///
+    /// Pass structure: the first pass of a cycle evaluates the components
+    /// that could have changed since their last eval — those whose clock
+    /// edge was not quiescent ([`Component::tick_changed_state`]), those
+    /// watching a signal that changed since the last settle (including
+    /// values a harness forced between cycles), and pinned
+    /// [`Component::always_eval`] components. Each eval runs under a
+    /// read-set capture that refreshes the component's sensitivity set, and
+    /// each signal the eval changed immediately schedules the signal's
+    /// watchers — later components into the *same* sweep (they would have
+    /// seen the new value in a full-broadcast pass too), earlier-or-equal
+    /// ones into the next pass. Sweeps visit components in insertion order,
+    /// preserving the full scheduler's determinism; the pass count is
+    /// bounded by the same `max_eval_iters` as full mode and trips
+    /// [`SimError::CombinationalLoop`] on the same cycle with the same
+    /// iteration count.
+    fn settle_incremental(&mut self) -> Result<(), SimError> {
+        let n = self.components.len();
+        self.ensure_sched_capacity();
+        self.maybe_rebuild_watchers();
+        for p in &mut self.pending_next {
+            *p = false;
+        }
+        let touch_all = std::mem::replace(&mut self.touch_all_next, false);
+        if touch_all {
+            self.pool.clear_changed();
+            for p in &mut self.pending {
+                *p = true;
+            }
+        } else {
+            // Signals that changed since the last settle (harness forces
+            // between cycles) wake their watchers.
+            let mut inter_cycle = std::mem::take(&mut self.dirty_scratch);
+            self.pool.drain_dirty(&mut inter_cycle);
+            for &s in &inter_cycle {
+                let mut list = std::mem::take(&mut self.watchers[s.index()]);
+                let before = list.len();
+                list.retain(|w| self.sens_gen[w.comp as usize] == w.gen);
+                self.watcher_entries -= before - list.len();
+                for w in &list {
+                    self.pending[w.comp as usize] = true;
+                }
+                self.watchers[s.index()] = list;
+            }
+            self.dirty_scratch = inter_cycle;
+            // Components whose clock edge was not quiescent must re-derive
+            // their combinational outputs from the new internal state.
+            for i in 0..n {
+                if self.always[i] || self.components[i].tick_changed_state() {
+                    self.pending[i] = true;
+                }
+            }
+        }
+        let mut read_scratch = std::mem::take(&mut self.read_scratch);
+        let mut dirty_scratch = std::mem::take(&mut self.dirty_scratch);
+        let mut iters = 0;
+        let result = loop {
+            let mut evals = 0u64;
+            let mut changed_this_pass = false;
+            for i in 0..n {
+                if !self.pending[i] {
+                    continue;
+                }
+                self.pending[i] = false;
+                self.pool.start_read_capture();
+                self.components[i].eval(&mut self.pool);
+                self.pool.take_read_capture(&mut read_scratch);
+                evals += 1;
+                if read_scratch != self.sens_reads[i] {
+                    // The read set changed (data-dependent control flow):
+                    // start a new sensitivity generation, implicitly
+                    // invalidating this component's old watcher entries.
+                    self.sens_gen[i] = self.sens_gen[i].wrapping_add(1);
+                    self.sens_total += read_scratch.len();
+                    self.sens_total -= self.sens_reads[i].len();
+                    std::mem::swap(&mut self.sens_reads[i], &mut read_scratch);
+                    let gen = self.sens_gen[i];
+                    for &s in &self.sens_reads[i] {
+                        self.watchers[s.index()].push(Watcher {
+                            comp: i as u32,
+                            gen,
+                        });
+                        self.watcher_entries += 1;
+                    }
+                }
+                self.pool.drain_dirty(&mut dirty_scratch);
+                if !dirty_scratch.is_empty() {
+                    changed_this_pass = true;
+                    self.stats.dirty_signals += dirty_scratch.len() as u64;
+                    for &s in &dirty_scratch {
+                        let mut list = std::mem::take(&mut self.watchers[s.index()]);
+                        let before = list.len();
+                        list.retain(|w| self.sens_gen[w.comp as usize] == w.gen);
+                        self.watcher_entries -= before - list.len();
+                        for w in &list {
+                            let c = w.comp as usize;
+                            if c > i {
+                                self.pending[c] = true;
+                            } else {
+                                self.pending_next[c] = true;
+                            }
+                        }
+                        self.watchers[s.index()] = list;
+                    }
+                }
+            }
+            self.stats.evals += evals;
+            self.stats.skipped_evals += n as u64 - evals;
+            self.stats.settle_passes += 1;
+            if !changed_this_pass {
+                break Ok(());
+            }
+            iters += 1;
+            if iters >= self.max_eval_iters {
+                break Err(SimError::CombinationalLoop {
+                    cycle: self.cycle,
+                    iterations: self.max_eval_iters,
+                });
+            }
+            // `pending` was fully drained by the sweep, so after the swap it
+            // is the all-false buffer for the pass after next.
+            std::mem::swap(&mut self.pending, &mut self.pending_next);
+            for (i, &a) in self.always.iter().enumerate() {
+                if a {
+                    self.pending[i] = true;
+                }
+            }
+        };
+        self.read_scratch = read_scratch;
+        self.dirty_scratch = dirty_scratch;
+        result
+    }
+
+    /// Sizes the scheduler's per-component and per-signal books to the
+    /// current design (components and signals may be added between runs).
+    fn ensure_sched_capacity(&mut self) {
+        let n = self.components.len();
+        if self.sens_reads.len() < n {
+            self.sens_reads.resize_with(n, Vec::new);
+            self.sens_gen.resize(n, 0);
+            self.pending.resize(n, false);
+            self.pending_next.resize(n, false);
+        }
+        let s = self.pool.len();
+        if self.watchers.len() < s {
+            self.watchers.resize_with(s, Vec::new);
+        }
+    }
+
+    /// Bounds stale-watcher accumulation: when lazily-invalidated entries
+    /// outnumber live sensitivity entries by 4x, rebuild every watcher list
+    /// from the current sensitivity sets.
+    fn maybe_rebuild_watchers(&mut self) {
+        if self.watcher_entries <= 4 * self.sens_total + 64 {
+            return;
+        }
+        for list in &mut self.watchers {
+            list.clear();
+        }
+        for (i, reads) in self.sens_reads.iter().enumerate() {
+            let gen = self.sens_gen[i];
+            for &s in reads {
+                self.watchers[s.index()].push(Watcher {
+                    comp: i as u32,
+                    gen,
+                });
+            }
+        }
+        self.watcher_entries = self.sens_total;
     }
 
     /// Runs every component's [`Component::eval`] exactly once with signal
@@ -164,6 +530,9 @@ impl Simulator {
                 accesses: self.pool.take_access_log(),
             });
         }
+        // The scan ran evals outside read capture and may have changed pool
+        // state, so any previously captured sensitivity sets are stale.
+        self.touch_all_next = true;
         out
     }
 
@@ -228,6 +597,7 @@ impl std::fmt::Debug for Simulator {
             .field("cycle", &self.cycle)
             .field("signals", &self.pool.len())
             .field("components", &self.components.len())
+            .field("eval_mode", &self.eval_mode)
             .finish()
     }
 }
@@ -250,6 +620,9 @@ mod tests {
             p.copy(self.y, self.x);
         }
         fn tick(&mut self, _p: &mut SignalPool) {}
+        fn tick_changed_state(&self) -> bool {
+            false
+        }
     }
 
     struct Reg {
@@ -269,35 +642,46 @@ mod tests {
         }
     }
 
+    fn both_modes(test: impl Fn(EvalMode)) {
+        test(EvalMode::Full);
+        test(EvalMode::Incremental);
+    }
+
     #[test]
     fn combinational_chain_settles_in_one_cycle() {
-        let mut sim = Simulator::new();
-        let a = sim.pool_mut().add("a", 8);
-        let b = sim.pool_mut().add("b", 8);
-        let c = sim.pool_mut().add("c", 8);
-        // Deliberately add in reverse order so the fixed point needs >1 pass.
-        sim.add_component(Wire { x: b, y: c });
-        sim.add_component(Wire { x: a, y: b });
-        sim.pool_mut().set_u64(a, 0x5a);
-        sim.run_cycle().unwrap();
-        assert_eq!(sim.pool().get_u64(c), 0x5a);
+        both_modes(|mode| {
+            let mut sim = Simulator::new();
+            sim.set_eval_mode(mode);
+            let a = sim.pool_mut().add("a", 8);
+            let b = sim.pool_mut().add("b", 8);
+            let c = sim.pool_mut().add("c", 8);
+            // Deliberately add in reverse order so the fixed point needs >1 pass.
+            sim.add_component(Wire { x: b, y: c });
+            sim.add_component(Wire { x: a, y: b });
+            sim.pool_mut().set_u64(a, 0x5a);
+            sim.run_cycle().unwrap();
+            assert_eq!(sim.pool().get_u64(c), 0x5a);
+        });
     }
 
     #[test]
     fn register_delays_by_one_cycle() {
-        let mut sim = Simulator::new();
-        let d = sim.pool_mut().add("d", 8);
-        let q = sim.pool_mut().add("q", 8);
-        sim.add_component(Reg { d, q, state: 0 });
-        sim.pool_mut().set_u64(d, 42);
-        sim.run_cycle().unwrap();
-        assert_eq!(
-            sim.pool().get_u64(q),
-            0,
-            "q must not update until next eval"
-        );
-        sim.run_cycle().unwrap();
-        assert_eq!(sim.pool().get_u64(q), 42);
+        both_modes(|mode| {
+            let mut sim = Simulator::new();
+            sim.set_eval_mode(mode);
+            let d = sim.pool_mut().add("d", 8);
+            let q = sim.pool_mut().add("q", 8);
+            sim.add_component(Reg { d, q, state: 0 });
+            sim.pool_mut().set_u64(d, 42);
+            sim.run_cycle().unwrap();
+            assert_eq!(
+                sim.pool().get_u64(q),
+                0,
+                "q must not update until next eval"
+            );
+            sim.run_cycle().unwrap();
+            assert_eq!(sim.pool().get_u64(q), 42);
+        });
     }
 
     /// A deliberate oscillator: y = !y.
@@ -317,11 +701,20 @@ mod tests {
 
     #[test]
     fn combinational_loop_is_detected() {
-        let mut sim = Simulator::new();
-        let y = sim.pool_mut().add("y", 1);
-        sim.add_component(Loop { y });
-        let err = sim.run_cycle().unwrap_err();
-        assert!(matches!(err, SimError::CombinationalLoop { .. }));
+        both_modes(|mode| {
+            let mut sim = Simulator::new();
+            sim.set_eval_mode(mode);
+            let y = sim.pool_mut().add("y", 1);
+            sim.add_component(Loop { y });
+            let err = sim.run_cycle().unwrap_err();
+            assert!(matches!(
+                err,
+                SimError::CombinationalLoop {
+                    cycle: 0,
+                    iterations: 64
+                }
+            ));
+        });
     }
 
     #[test]
@@ -369,8 +762,11 @@ mod tests {
             scan[0].accesses,
             vec![SignalAccess::Read(a), SignalAccess::Write(b)]
         );
+        assert_eq!(scan[0].read_set(), vec![a]);
+        assert_eq!(scan[0].write_set(), vec![b]);
         assert_eq!(scan[1].component, "reg");
         assert_eq!(scan[1].accesses, vec![SignalAccess::Write(q)]);
+        assert_eq!(scan[1].read_set(), vec![]);
         // The scan leaves the simulator usable: logging is off again and no
         // cycles were consumed.
         assert_eq!(sim.cycle(), 0);
@@ -379,12 +775,140 @@ mod tests {
 
     #[test]
     fn run_until_succeeds() {
+        both_modes(|mode| {
+            let mut sim = Simulator::new();
+            sim.set_eval_mode(mode);
+            let d = sim.pool_mut().add("d", 8);
+            let q = sim.pool_mut().add("q", 8);
+            sim.add_component(Reg { d, q, state: 0 });
+            sim.pool_mut().set_u64(d, 1);
+            let cycles = sim.run_until(|p| p.get_u64(q) == 1, 100, "q == 1").unwrap();
+            assert_eq!(cycles, 2);
+        });
+    }
+
+    /// A two-input mux whose read set is data-dependent: reads `sel`, then
+    /// only the selected input. Exercises sensitivity-set refresh.
+    struct Mux {
+        sel: SignalId,
+        a: SignalId,
+        b: SignalId,
+        out: SignalId,
+    }
+    impl Component for Mux {
+        fn name(&self) -> &str {
+            "mux"
+        }
+        fn eval(&mut self, p: &mut SignalPool) {
+            let src = if p.get_bool(self.sel) { self.b } else { self.a };
+            p.copy(self.out, src);
+        }
+        fn tick(&mut self, _p: &mut SignalPool) {}
+        fn tick_changed_state(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn data_dependent_read_sets_stay_sound() {
+        // A mux that switches inputs mid-run: the incremental scheduler must
+        // track the *current* read set, not the first one it saw.
         let mut sim = Simulator::new();
-        let d = sim.pool_mut().add("d", 8);
-        let q = sim.pool_mut().add("q", 8);
-        sim.add_component(Reg { d, q, state: 0 });
-        sim.pool_mut().set_u64(d, 1);
-        let cycles = sim.run_until(|p| p.get_u64(q) == 1, 100, "q == 1").unwrap();
-        assert_eq!(cycles, 2);
+        let sel = sim.pool_mut().add("sel", 1);
+        let a = sim.pool_mut().add("a", 8);
+        let b = sim.pool_mut().add("b", 8);
+        let out = sim.pool_mut().add("out", 8);
+        sim.add_component(Mux { sel, a, b, out });
+        sim.pool_mut().set_u64(a, 1);
+        sim.pool_mut().set_u64(b, 2);
+        sim.run_cycle().unwrap();
+        assert_eq!(sim.pool().get_u64(out), 1);
+        // Flip the select: out follows b.
+        sim.pool_mut().set_bool(sel, true);
+        sim.run_cycle().unwrap();
+        assert_eq!(sim.pool().get_u64(out), 2);
+        // Change b while selected: out follows.
+        sim.pool_mut().set_u64(b, 7);
+        sim.run_cycle().unwrap();
+        assert_eq!(sim.pool().get_u64(out), 7);
+        // Change a while deselected: out unchanged.
+        sim.pool_mut().set_u64(a, 9);
+        sim.run_cycle().unwrap();
+        assert_eq!(sim.pool().get_u64(out), 7);
+    }
+
+    #[test]
+    fn incremental_skips_evals_and_counts_them() {
+        let mut sim = Simulator::new();
+        let a = sim.pool_mut().add("a", 8);
+        let b = sim.pool_mut().add("b", 8);
+        let c = sim.pool_mut().add("c", 8);
+        sim.add_component(Wire { x: b, y: c });
+        sim.add_component(Wire { x: a, y: b });
+        sim.pool_mut().set_u64(a, 3);
+        sim.run(10).unwrap();
+        let inc = sim.stats().clone();
+        assert_eq!(inc.cycles, 10);
+        assert!(
+            inc.skipped_evals > 0,
+            "steady-state cycles must skip evals: {inc:?}"
+        );
+        // The full oracle over the same design executes more evals.
+        let mut full = Simulator::new();
+        full.set_eval_mode(EvalMode::Full);
+        let a = full.pool_mut().add("a", 8);
+        let b = full.pool_mut().add("b", 8);
+        let c = full.pool_mut().add("c", 8);
+        full.add_component(Wire { x: b, y: c });
+        full.add_component(Wire { x: a, y: b });
+        full.pool_mut().set_u64(a, 3);
+        full.run(10).unwrap();
+        assert!(full.stats().evals > inc.evals);
+        assert_eq!(full.stats().skipped_evals, 0);
+        assert_eq!(
+            full.stats().evals,
+            inc.evals + inc.skipped_evals,
+            "full evals must equal incremental evals + skips over identical settle passes"
+        );
+    }
+
+    /// Not a pure function of its reads: exposes an internal value that
+    /// `tick` advances, but also re-reads nothing — a legal component, used
+    /// here with `always_eval` to pin it into every pass.
+    struct Pinned {
+        out: SignalId,
+        evals: std::rc::Rc<std::cell::Cell<u64>>,
+    }
+    impl Component for Pinned {
+        fn name(&self) -> &str {
+            "pinned"
+        }
+        fn eval(&mut self, p: &mut SignalPool) {
+            self.evals.set(self.evals.get() + 1);
+            p.set_u64(self.out, 5);
+        }
+        fn tick(&mut self, _p: &mut SignalPool) {}
+        fn always_eval(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn always_eval_components_run_every_pass() {
+        let mut sim = Simulator::new();
+        let a = sim.pool_mut().add("a", 8);
+        let b = sim.pool_mut().add("b", 8);
+        let o = sim.pool_mut().add("o", 8);
+        let evals = std::rc::Rc::new(std::cell::Cell::new(0));
+        sim.add_component(Pinned {
+            out: o,
+            evals: std::rc::Rc::clone(&evals),
+        });
+        sim.add_component(Wire { x: a, y: b });
+        sim.pool_mut().set_u64(a, 1);
+        sim.run_cycle().unwrap();
+        // Pass 0 touches all; the `a -> b` change forces a second pass, and
+        // the pinned component must be in it as well.
+        assert_eq!(evals.get(), sim.stats().settle_passes);
     }
 }

@@ -131,17 +131,16 @@ pub fn lint_design(spec: &DesignSpec) -> Vec<Diagnostic> {
     }
 
     // ── VL002: multiple drivers ──────────────────────────────────────────
+    // Reader/writer tables come from the same deduplicated read/write sets
+    // the incremental scheduler uses as sensitivity sets.
     let mut writers: Vec<Vec<usize>> = vec![Vec::new(); spec.signals.len()];
     let mut readers: Vec<Vec<usize>> = vec![Vec::new(); spec.signals.len()];
     for (ci, comp) in spec.components.iter().enumerate() {
-        for acc in &comp.accesses {
-            let (list, id) = match *acc {
-                SignalAccess::Read(id) => (&mut readers, id),
-                SignalAccess::Write(id) => (&mut writers, id),
-            };
-            if !list[id.index()].contains(&ci) {
-                list[id.index()].push(ci);
-            }
+        for id in comp.read_set() {
+            readers[id.index()].push(ci);
+        }
+        for id in comp.write_set() {
+            writers[id.index()].push(ci);
         }
     }
     for (s, ws) in writers.iter().enumerate() {

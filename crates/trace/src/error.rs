@@ -22,6 +22,13 @@ pub enum TraceError {
         /// Number of unconsumed bytes.
         extra: usize,
     },
+    /// A layout has more channels than the wire format can index: channel
+    /// counts and the per-packet `Ends` indices are serialized as `u16`, so
+    /// layouts are capped at `u16::MAX` channels.
+    TooManyChannels {
+        /// The rejected channel count.
+        count: usize,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -35,6 +42,14 @@ impl fmt::Display for TraceError {
             TraceError::BadChannelName => write!(f, "channel name is not valid UTF-8"),
             TraceError::TrailingBytes { extra } => {
                 write!(f, "{extra} trailing bytes after the last packet")
+            }
+            TraceError::TooManyChannels { count } => {
+                write!(
+                    f,
+                    "layout has {count} channels but the trace format indexes \
+                     channels as u16 (max {})",
+                    u16::MAX
+                )
             }
         }
     }

@@ -2,6 +2,8 @@
 
 use vidi_chan::Direction;
 
+use crate::error::TraceError;
+
 /// Metadata for one recorded channel.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ChannelInfo {
@@ -26,8 +28,34 @@ pub struct TraceLayout {
 
 impl TraceLayout {
     /// Creates a layout from channel metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout exceeds the wire format's `u16::MAX` channel
+    /// bound; fallible construction is [`TraceLayout::try_new`].
     pub fn new(channels: Vec<ChannelInfo>) -> Self {
-        TraceLayout { channels }
+        Self::try_new(channels).expect("layout within the u16 channel bound")
+    }
+
+    /// Creates a layout from channel metadata, rejecting layouts the wire
+    /// format cannot represent.
+    ///
+    /// The serialized header counts channels as `u16` and every cycle
+    /// packet's `Ends` list stores channel *indices* as `u16`, so this is
+    /// the single place the `<= u16::MAX` channel invariant is enforced —
+    /// every downstream `as u16`/`try_from` cast relies on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::TooManyChannels`] if `channels` has more than
+    /// `u16::MAX` entries.
+    pub fn try_new(channels: Vec<ChannelInfo>) -> Result<Self, TraceError> {
+        if channels.len() > usize::from(u16::MAX) {
+            return Err(TraceError::TooManyChannels {
+                count: channels.len(),
+            });
+        }
+        Ok(TraceLayout { channels })
     }
 
     /// All channels, in trace order.
@@ -118,6 +146,21 @@ mod tests {
         let l = layout();
         assert_eq!(l.input_indices().collect::<Vec<_>>(), vec![0, 2]);
         assert_eq!(l.output_indices().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn try_new_enforces_u16_channel_bound() {
+        let ch = |i: usize| ChannelInfo {
+            name: format!("c{i}"),
+            width: 1,
+            direction: Direction::Input,
+        };
+        let max = usize::from(u16::MAX);
+        assert!(TraceLayout::try_new((0..max).map(ch).collect()).is_ok());
+        assert_eq!(
+            TraceLayout::try_new((0..max + 1).map(ch).collect()),
+            Err(TraceError::TooManyChannels { count: max + 1 })
+        );
     }
 
     #[test]

@@ -128,7 +128,11 @@ impl Trace {
         out.extend_from_slice(MAGIC);
         write_u16(&mut out, VERSION);
         out.push(self.record_output_content as u8);
-        write_u16(&mut out, self.layout.len() as u16);
+        write_u16(
+            &mut out,
+            u16::try_from(self.layout.len())
+                .expect("TraceLayout::try_new caps layouts at u16::MAX channels"),
+        );
         for ch in self.layout.channels() {
             write_u16(&mut out, ch.name.len() as u16);
             out.extend_from_slice(ch.name.as_bytes());

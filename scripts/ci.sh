@@ -25,6 +25,13 @@ cargo test -q --workspace
 echo "── vidi-lint: static design lint + trace-analysis gate ─────────"
 cargo run --release -q -p vidi-lint -- ci --config scripts/vidi-lint.allow
 
+echo "── bench smoke: scheduler equivalence + evals/cycle gate ───────"
+# Emits BENCH_sim.json and fails on trace divergence between schedulers,
+# <2x eval reduction on half the catalog, or >10% evals/cycle regression
+# against the committed baseline.
+cargo run --release -q -p vidi-bench --bin bench_sim -- \
+    --out BENCH_sim.json --baseline scripts/bench_sim_baseline.json
+
 if [ "$mode" = "full" ]; then
     echo "── examples ────────────────────────────────────────────────"
     for ex in quickstart debugging_case_study testing_case_study \

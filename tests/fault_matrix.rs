@@ -17,8 +17,8 @@
 //! the matrix is fully determined by its `(app, seed)` pair, so any
 //! failure here replays exactly under a debugger.
 
-use vidi_repro::apps::{build_app_with_faults, run_app, AppId, RunOutcome, Scale};
-use vidi_repro::core::VidiConfig;
+use vidi_repro::apps::{build_app, build_app_with_faults, run_app, AppId, RunOutcome, Scale};
+use vidi_repro::core::{FaultInjection, VidiConfig};
 use vidi_repro::faults::{CorruptionSpec, FaultPlan, FaultSpec, StorageFailureSpec, WindowSpec};
 use vidi_repro::host::{
     load_trace_durable, save_trace_durable, MemStorage, RetryPolicy, RuntimeError,
@@ -291,5 +291,47 @@ fn quiet_plan_changes_nothing() {
         plain.trace.expect("trace"),
         baseline.trace.expect("trace"),
         "a quiet fault plan must be a perfect no-op"
+    );
+}
+
+#[test]
+fn replay_completes_under_16x_fetch_bandwidth_collapse() {
+    // Regression for the decoder credit-starvation bug: with a constant
+    // bandwidth-collapse divisor larger than `fetch_bytes_per_cycle`,
+    // per-cycle integer division floored the credit accrual to zero and the
+    // replay starved forever. The fractional accumulator carries the
+    // remainder across cycles, so throughput degrades (to divisor/fetch =
+    // 16x slower here) instead of flooring — the replay must run to
+    // completion, divergence-free.
+    let seed = 42u64;
+    let app = AppId::Dma;
+    let recorded = run_app(
+        build_app(app.setup(Scale::Test, seed), VidiConfig::record()),
+        RECORD_BUDGET,
+    )
+    .expect("clean recording completes");
+    assert!(recorded.output_ok.is_ok());
+    let reference = recorded.trace.expect("recording produces a trace");
+
+    let divisor = 16 * VidiConfig::record().fetch_bytes_per_cycle;
+    let mut faults = FaultInjection::none();
+    faults.fetch_bandwidth = Some(Box::new(move |_| divisor));
+    let built = build_app_with_faults(
+        app.setup(Scale::Test, seed),
+        VidiConfig::replay_record(reference.clone()),
+        faults,
+    );
+    let replayed = run_app(built, REPLAY_BUDGET)
+        .expect("replay must complete under a 16x constant fetch collapse");
+    assert!(
+        replayed.output_ok.is_ok(),
+        "collapsed-bandwidth replay corrupted the output: {:?}",
+        replayed.output_ok
+    );
+    let report = compare(&reference, &replayed.trace.expect("validation trace"));
+    assert!(
+        report.is_clean(),
+        "replay diverged under fetch collapse: {:?}",
+        report.divergences
     );
 }

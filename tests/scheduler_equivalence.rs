@@ -1,0 +1,288 @@
+//! Scheduler equivalence suite: the sensitivity-driven incremental
+//! scheduler must be observationally indistinguishable from the full
+//! broadcast scheduler.
+//!
+//! Three layers of evidence, strongest first:
+//!
+//! 1. **Catalog traces** — every catalog application records a
+//!    byte-for-byte identical trace (and cycle count) under both modes.
+//! 2. **Case-study lockstep** — the buggy and fixed variants of both case
+//!    studies run cycle-by-cycle in lockstep with *every pool signal*
+//!    compared after each cycle, which is strictly stronger than trace
+//!    equality (it also covers unmonitored internal signals).
+//! 3. **Random DAGs** — a proptest builds random combinational/registered
+//!    component graphs (including data-dependent read sets, the case a
+//!    static sensitivity analysis gets wrong) under random stimulus and
+//!    checks the two schedulers never diverge on any signal.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use vidi_repro::apps::{
+    build_app, build_echo_atop, build_echo_fifo, run_app, AppId, EchoFifoConfig, Scale,
+};
+use vidi_repro::chan::{AtopFilterMode, FrameFifoMode};
+use vidi_repro::core::VidiConfig;
+use vidi_repro::hwsim::{Component, EvalMode, SignalId, SignalPool, Simulator};
+
+/// Generous per-run budget; every catalog app finishes at `Scale::Test`
+/// within ~26k cycles.
+const BUDGET: u64 = 2_000_000;
+
+// ─────────────────── 1. Catalog: bit-identical traces ──────────────────────
+
+#[test]
+fn catalog_traces_identical_across_schedulers() {
+    for &app in AppId::ALL.iter() {
+        let mut outcomes = Vec::new();
+        for mode in [EvalMode::Full, EvalMode::Incremental] {
+            let mut built = build_app(app.setup(Scale::Test, 42), VidiConfig::record());
+            built.sim.set_eval_mode(mode);
+            let outcome = run_app(built, BUDGET)
+                .unwrap_or_else(|e| panic!("{} under {mode:?}: {e}", app.label()));
+            assert!(
+                outcome.output_ok.is_ok(),
+                "{} under {mode:?}: wrong output: {:?}",
+                app.label(),
+                outcome.output_ok
+            );
+            outcomes.push(outcome);
+        }
+        let (full, inc) = (&outcomes[0], &outcomes[1]);
+        assert_eq!(
+            full.cycles,
+            inc.cycles,
+            "{}: cycle counts diverge between schedulers",
+            app.label()
+        );
+        let t_full = full.trace.as_ref().expect("recording produces a trace");
+        let t_inc = inc.trace.as_ref().expect("recording produces a trace");
+        assert_eq!(
+            t_full.encode(),
+            t_inc.encode(),
+            "{}: recorded traces diverge between schedulers",
+            app.label()
+        );
+        // The incremental run must do real work-skipping, not just match.
+        assert!(
+            inc.sim_stats.skipped_evals > 0,
+            "{}: incremental scheduler never skipped an eval",
+            app.label()
+        );
+    }
+}
+
+// ─────────────────── 2. Case studies: per-signal lockstep ──────────────────
+
+/// Runs the same design under both schedulers in lockstep for `cycles`
+/// cycles, comparing every pool signal after each cycle. `force` is called
+/// on both pools before each cycle to apply identical external stimulus.
+fn assert_lockstep(
+    name: &str,
+    mut full: Simulator,
+    mut inc: Simulator,
+    cycles: u64,
+    mut force: impl FnMut(u64, &mut SignalPool),
+) {
+    full.set_eval_mode(EvalMode::Full);
+    inc.set_eval_mode(EvalMode::Incremental);
+    let ids: Vec<SignalId> = full.pool().ids().collect();
+    for c in 0..cycles {
+        force(c, full.pool_mut());
+        force(c, inc.pool_mut());
+        let rf = full.run_cycle();
+        let ri = inc.run_cycle();
+        match (&rf, &ri) {
+            (Ok(()), Ok(())) => {}
+            (Err(ef), Err(ei)) => {
+                assert_eq!(
+                    ef.to_string(),
+                    ei.to_string(),
+                    "{name}: cycle {c}: schedulers fail differently"
+                );
+                return;
+            }
+            _ => panic!("{name}: cycle {c}: one scheduler failed, the other not: full={rf:?} incremental={ri:?}"),
+        }
+        for &id in &ids {
+            assert_eq!(
+                full.pool().get(id),
+                inc.pool().get(id),
+                "{name}: cycle {c}: signal {:?} diverges between schedulers",
+                full.pool().name(id)
+            );
+        }
+    }
+}
+
+#[test]
+fn case_studies_lockstep_identical() {
+    for (variant, fifo_mode, respect_strobes) in [
+        ("echo_fifo.buggy", FrameFifoMode::Buggy, false),
+        ("echo_fifo.fixed", FrameFifoMode::Fixed, true),
+    ] {
+        let build = || {
+            build_echo_fifo(&EchoFifoConfig {
+                fifo_mode,
+                respect_strobes,
+                vidi: VidiConfig::record(),
+                ..EchoFifoConfig::default()
+            })
+        };
+        assert_lockstep(variant, build().sim, build().sim, 2_500, |_, _| {});
+    }
+    for (variant, mode) in [
+        ("echo_atop.buggy", AtopFilterMode::Buggy),
+        ("echo_atop.fixed", AtopFilterMode::Fixed),
+    ] {
+        let build = || build_echo_atop(mode, VidiConfig::record(), 4, 9);
+        assert_lockstep(variant, build().sim, build().sim, 2_500, |_, _| {});
+    }
+}
+
+// ─────────────────── 3. Random DAGs under random stimulus ──────────────────
+
+/// Combinational XOR-ish gate: a fixed two-signal read set.
+struct XorGate {
+    a: SignalId,
+    b: SignalId,
+    out: SignalId,
+}
+
+impl Component for XorGate {
+    fn name(&self) -> &str {
+        "xor"
+    }
+    fn eval(&mut self, p: &mut SignalPool) {
+        let v = (p.get_u64(self.a) ^ p.get_u64(self.b)).wrapping_mul(0x9e37) & 0xffff;
+        p.set_u64(self.out, v);
+    }
+    fn tick(&mut self, _: &mut SignalPool) {}
+    fn tick_changed_state(&self) -> bool {
+        false
+    }
+}
+
+/// Combinational mux with a **data-dependent read set**: depending on the
+/// low bit of `sel` it reads only `a` or only `b`. This is the shape that
+/// breaks static sensitivity analyses and exercises per-eval re-capture.
+struct MuxGate {
+    sel: SignalId,
+    a: SignalId,
+    b: SignalId,
+    out: SignalId,
+}
+
+impl Component for MuxGate {
+    fn name(&self) -> &str {
+        "mux"
+    }
+    fn eval(&mut self, p: &mut SignalPool) {
+        let v = if p.get_u64(self.sel) & 1 == 0 {
+            p.get_u64(self.a)
+        } else {
+            p.get_u64(self.b)
+        };
+        p.set_u64(self.out, v.wrapping_add(3) & 0xffff);
+    }
+    fn tick(&mut self, _: &mut SignalPool) {}
+    fn tick_changed_state(&self) -> bool {
+        false
+    }
+}
+
+/// Registered stage: output reflects the input latched at the previous
+/// clock edge. Implements the precise tick-quiescence protocol.
+struct RegStage {
+    input: SignalId,
+    out: SignalId,
+    state: u64,
+    changed: bool,
+}
+
+impl Component for RegStage {
+    fn name(&self) -> &str {
+        "reg"
+    }
+    fn eval(&mut self, p: &mut SignalPool) {
+        p.set_u64(self.out, self.state);
+    }
+    fn tick(&mut self, p: &mut SignalPool) {
+        let next = p.get_u64(self.input);
+        self.changed = next != self.state;
+        self.state = next;
+    }
+    fn tick_changed_state(&self) -> bool {
+        self.changed
+    }
+}
+
+/// One random DAG node. Sources index into the signals already defined
+/// when the node is added (primary inputs plus earlier nodes' outputs),
+/// so the graph is acyclic by construction.
+#[derive(Clone, Debug)]
+struct NodeSpec {
+    kind: u8,
+    s0: usize,
+    s1: usize,
+    s2: usize,
+}
+
+/// Builds the DAG described by `spec` over `n_inputs` primary inputs.
+/// Returns the simulator and the primary-input signal ids. Deterministic:
+/// calling it twice yields structurally identical simulators.
+fn build_dag(n_inputs: usize, nodes: &[NodeSpec]) -> (Simulator, Vec<SignalId>) {
+    let mut sim = Simulator::new();
+    let mut signals = Vec::new();
+    for i in 0..n_inputs {
+        signals.push(sim.pool_mut().add(format!("in{i}"), 16));
+    }
+    for (i, n) in nodes.iter().enumerate() {
+        let avail = signals.len();
+        let s0 = signals[n.s0 % avail];
+        let s1 = signals[n.s1 % avail];
+        let s2 = signals[n.s2 % avail];
+        let out = sim.pool_mut().add(format!("n{i}"), 16);
+        match n.kind % 3 {
+            0 => sim.add_component(XorGate { a: s0, b: s1, out }),
+            1 => sim.add_component(MuxGate {
+                sel: s0,
+                a: s1,
+                b: s2,
+                out,
+            }),
+            _ => sim.add_component(RegStage {
+                input: s0,
+                out,
+                state: 0,
+                changed: false,
+            }),
+        }
+        signals.push(out);
+    }
+    (sim, signals[..n_inputs].to_vec())
+}
+
+proptest! {
+    #[test]
+    fn random_dags_never_diverge(
+        n_inputs in 2usize..5,
+        nodes in vec(
+            (0u8..3, any::<usize>(), any::<usize>(), any::<usize>()).prop_map(
+                |(kind, s0, s1, s2)| NodeSpec { kind, s0, s1, s2 },
+            ),
+            1..24,
+        ),
+        stimulus in vec(vec((any::<usize>(), any::<u64>()), 0..4), 1..40),
+    ) {
+        let (full, inputs) = build_dag(n_inputs, &nodes);
+        let (inc, _) = build_dag(n_inputs, &nodes);
+        let cycles = stimulus.len() as u64;
+        assert_lockstep("random_dag", full, inc, cycles, |c, pool| {
+            // Identical harness-forced stimulus on both pools: this is the
+            // inter-cycle dirty path the incremental scheduler must catch.
+            for (idx, val) in &stimulus[c as usize] {
+                pool.set_u64(inputs[idx % inputs.len()], val & 0xffff);
+            }
+        });
+    }
+}
