@@ -7,7 +7,7 @@
 //! performed and (b) the modelled compute latency, i.e. the
 //! compute-to-I/O ratio.
 
-use vidi_hwsim::Bits;
+use vidi_hwsim::{Bits, StateError, StateReader, StateWriter};
 
 use crate::kernel::{Kernel, KernelStep};
 use crate::util::{bytes_to_beats, OUT_ADDR};
@@ -127,6 +127,51 @@ impl Kernel for BatchComputeKernel {
 
     fn done(&self) -> bool {
         self.state == State::Done
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.u8(match self.state {
+            State::Idle => 0,
+            State::Collecting => 1,
+            State::Computing => 2,
+            State::Emitting => 3,
+            State::Done => 4,
+        });
+        w.usize(self.input_needed);
+        w.bytes(&self.buf);
+        w.seq(self.args.iter(), |w, &a| w.u32(a));
+        w.u64(self.remaining_cost);
+        w.seq(self.output.iter(), StateWriter::bits);
+        w.usize(self.emit_idx);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader) -> Result<(), StateError> {
+        self.state = match r.u8()? {
+            0 => State::Idle,
+            1 => State::Collecting,
+            2 => State::Computing,
+            3 => State::Emitting,
+            4 => State::Done,
+            other => {
+                return Err(StateError::Mismatch {
+                    expected: "batch kernel state discriminant 0..=4".into(),
+                    found: format!("{other}"),
+                })
+            }
+        };
+        self.input_needed = r.usize()?;
+        self.buf = r.bytes()?.to_vec();
+        self.args = r.seq(StateReader::u32)?;
+        self.remaining_cost = r.u64()?;
+        self.output = r.seq(StateReader::bits)?;
+        self.emit_idx = r.usize()?;
+        if self.emit_idx > self.output.len() {
+            return Err(StateError::Mismatch {
+                expected: format!("emit index <= {} buffered beats", self.output.len()),
+                found: format!("{}", self.emit_idx),
+            });
+        }
+        Ok(())
     }
 }
 

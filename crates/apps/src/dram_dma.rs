@@ -10,7 +10,7 @@
 //! cycle-independent interrupt instead, eliminating every divergence.
 
 use vidi_host::{CpuHandle, HostMemory, HostOp};
-use vidi_hwsim::Bits;
+use vidi_hwsim::{Bits, StateError, StateReader, StateWriter};
 
 use crate::harness::{AppSetup, ThreadSpec};
 use crate::kernel::{Kernel, KernelStep};
@@ -95,6 +95,21 @@ impl Kernel for DramDmaKernel {
 
     fn done(&self) -> bool {
         self.done
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        // The DRAM handle is a clone of the shell's `fpga_dram` — the shell
+        // serializes that image as its owner.
+        w.u32(self.len);
+        w.u32(self.offset);
+        w.bool(self.done);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader) -> Result<(), StateError> {
+        self.len = r.u32()?;
+        self.offset = r.u32()?;
+        self.done = r.bool()?;
+        Ok(())
     }
 }
 

@@ -22,7 +22,9 @@ use vidi_chan::{
 };
 use vidi_core::{VidiConfig, VidiShim};
 use vidi_host::{CpuThread, HostMemSubordinate, HostMemory, HostOp};
-use vidi_hwsim::{Component, SignalPool, SimError, Simulator};
+use vidi_hwsim::{
+    Component, SignalPool, SimError, Simulator, StateError, StateReader, StateWriter,
+};
 use vidi_trace::Trace;
 
 /// CPU DRAM address where pongs land.
@@ -117,6 +119,45 @@ impl Component for PingPong {
         self.pcis_b.tick(p);
         self.up_aw.tick(p);
         self.up_w.tick(p);
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        self.pcis_aw.save_state(w);
+        self.pcis_w.save_state(w);
+        self.pcis_b.save_state(w);
+        self.up_aw.save_state(w);
+        self.up_w.save_state(w);
+        self.up_b.save_state(w);
+        // This component holds the only handle to the server's DRAM.
+        self.dram.save_contents(w);
+        w.seq(self.bursts.iter(), |w, (aw, beats)| {
+            w.bits(&aw.pack());
+            w.seq(beats.iter(), |w, b| w.bits(&b.pack()));
+        });
+        w.seq(self.orphans.iter(), |w, b| w.bits(&b.pack()));
+        w.u64(*self.pongs_acked.borrow());
+        w.u16(self.next_id);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader) -> Result<(), StateError> {
+        self.pcis_aw.load_state(r)?;
+        self.pcis_w.load_state(r)?;
+        self.pcis_b.load_state(r)?;
+        self.up_aw.load_state(r)?;
+        self.up_w.load_state(r)?;
+        self.up_b.load_state(r)?;
+        self.dram.load_contents(r)?;
+        self.bursts = r
+            .seq(|r| {
+                let aw = AxFields::unpack(&r.bits()?);
+                let beats = r.seq(|r| Ok(WFields::unpack(&r.bits()?)))?;
+                Ok((aw, beats))
+            })?
+            .into();
+        self.orphans = r.seq(|r| Ok(WFields::unpack(&r.bits()?)))?.into();
+        *self.pongs_acked.borrow_mut() = r.u64()?;
+        self.next_id = r.u16()?;
+        Ok(())
     }
 }
 

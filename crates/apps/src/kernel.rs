@@ -1,7 +1,7 @@
 //! The kernel interface: what an accelerator's compute core looks like to
 //! the shared shell.
 
-use vidi_hwsim::Bits;
+use vidi_hwsim::{Bits, StateError, StateReader, StateWriter};
 
 /// What a kernel did in one clock cycle.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -59,5 +59,20 @@ pub trait Kernel {
     /// Application-specific read-only registers (shell addresses 0x80+).
     fn reg_read(&self, _idx: usize) -> u32 {
         0
+    }
+
+    /// Serializes the kernel's mutable state for a checkpoint. Structural
+    /// configuration (compute closures, DRAM handles) is rebuilt by the
+    /// application factory, not serialized. Stateless kernels keep the
+    /// default no-op.
+    fn save_state(&self, _w: &mut StateWriter) {}
+
+    /// Restores state written by [`Kernel::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`StateError`] on truncated or mismatched bytes.
+    fn load_state(&mut self, _r: &mut StateReader) -> Result<(), StateError> {
+        Ok(())
     }
 }

@@ -23,7 +23,7 @@ use vidi_chan::{
     SenderQueue, WFields,
 };
 use vidi_host::HostMemory;
-use vidi_hwsim::{Bits, Component, SignalId, SignalPool};
+use vidi_hwsim::{Bits, Component, SignalId, SignalPool, StateError, StateReader, StateWriter};
 
 use crate::kernel::{Kernel, KernelStep};
 
@@ -410,5 +410,131 @@ impl Component for AccelShell {
         self.tick_pcis(p);
         self.tick_pcim(p);
         self.tick_kernel();
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        self.ocl_aw.save_state(w);
+        self.ocl_w.save_state(w);
+        self.ocl_b.save_state(w);
+        self.ocl_ar.save_state(w);
+        self.ocl_r.save_state(w);
+        self.pcis_aw.save_state(w);
+        self.pcis_w.save_state(w);
+        self.pcis_b.save_state(w);
+        self.pcis_ar.save_state(w);
+        self.pcis_r.save_state(w);
+        self.pcim_aw.save_state(w);
+        self.pcim_w.save_state(w);
+        self.pcim_b.save_state(w);
+        self.pcim_ar.save_state(w);
+        self.pcim_r.save_state(w);
+        // The kernel blob is nested so a kernel that under- or over-reads
+        // its own bytes cannot corrupt the shell fields that follow.
+        let mut kw = StateWriter::new();
+        self.kernel.save_state(&mut kw);
+        w.bytes(kw.as_bytes());
+        for reg in &self.user_regs {
+            w.u32(*reg);
+        }
+        w.bool(self.irq_en);
+        w.bool(self.running);
+        w.opt_u64(self.ocl_pending_aw.map(u64::from));
+        match self.ocl_pending_w {
+            Some((data, strb)) => {
+                w.bool(true);
+                w.u32(data);
+                w.u8(strb);
+            }
+            None => w.bool(false),
+        }
+        w.seq(self.ocl_blocked_reads.iter(), |w, &a| w.u32(a));
+        w.seq(self.pcis_writes.iter(), |w, (aw, got)| {
+            w.bits(&aw.pack());
+            w.usize(*got);
+        });
+        w.seq(self.pcis_orphans.iter(), |w, b| w.bits(&b.pack()));
+        w.seq(self.pcis_blocked_reads.iter(), |w, ar| w.bits(&ar.pack()));
+        // This component owns the on-FPGA DRAM image; the kernel's handle
+        // (if any) is a clone sharing the same pages.
+        self.fpga_dram.save_contents(w);
+        w.seq(self.input_fifo.iter(), |w, (addr, beat)| {
+            w.u64(*addr);
+            w.bits(beat);
+        });
+        w.seq(self.pcim_queue.iter(), |w, (addr, beat)| {
+            w.u64(*addr);
+            w.bits(beat);
+        });
+        w.usize(self.pcim_outstanding);
+        w.u16(self.pcim_next_id);
+        w.u64(self.output_beats_sent);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader) -> Result<(), StateError> {
+        self.ocl_aw.load_state(r)?;
+        self.ocl_w.load_state(r)?;
+        self.ocl_b.load_state(r)?;
+        self.ocl_ar.load_state(r)?;
+        self.ocl_r.load_state(r)?;
+        self.pcis_aw.load_state(r)?;
+        self.pcis_w.load_state(r)?;
+        self.pcis_b.load_state(r)?;
+        self.pcis_ar.load_state(r)?;
+        self.pcis_r.load_state(r)?;
+        self.pcim_aw.load_state(r)?;
+        self.pcim_w.load_state(r)?;
+        self.pcim_b.load_state(r)?;
+        self.pcim_ar.load_state(r)?;
+        self.pcim_r.load_state(r)?;
+        let kernel_bytes = r.bytes()?.to_vec();
+        let mut kr = StateReader::new(&kernel_bytes);
+        self.kernel.load_state(&mut kr)?;
+        kr.finish("kernel")?;
+        for reg in &mut self.user_regs {
+            *reg = r.u32()?;
+        }
+        self.irq_en = r.bool()?;
+        self.running = r.bool()?;
+        self.ocl_pending_aw = match r.opt_u64()? {
+            Some(a) => Some(u32::try_from(a).map_err(|_| StateError::Mismatch {
+                expected: "32-bit ocl write address".into(),
+                found: format!("{a:#x}"),
+            })?),
+            None => None,
+        };
+        self.ocl_pending_w = if r.bool()? {
+            Some((r.u32()?, r.u8()?))
+        } else {
+            None
+        };
+        self.ocl_blocked_reads = r.seq(StateReader::u32)?.into();
+        self.pcis_writes = r
+            .seq(|r| {
+                let aw = AxFields::unpack(&r.bits()?);
+                let got = r.usize()?;
+                Ok((aw, got))
+            })?
+            .into();
+        self.pcis_orphans = r.seq(|r| Ok(WFields::unpack(&r.bits()?)))?.into();
+        self.pcis_blocked_reads = r.seq(|r| Ok(AxFields::unpack(&r.bits()?)))?.into();
+        self.fpga_dram.load_contents(r)?;
+        self.input_fifo = r
+            .seq(|r| {
+                let addr = r.u64()?;
+                let beat = r.bits()?;
+                Ok((addr, beat))
+            })?
+            .into();
+        self.pcim_queue = r
+            .seq(|r| {
+                let addr = r.u64()?;
+                let beat = r.bits()?;
+                Ok((addr, beat))
+            })?
+            .into();
+        self.pcim_outstanding = r.usize()?;
+        self.pcim_next_id = r.u16()?;
+        self.output_beats_sent = r.u64()?;
+        Ok(())
     }
 }

@@ -44,6 +44,7 @@ fn replay_is_platform_parameter_insensitive() {
                     fifo_capacity: fifo,
                     record_output_content: true,
                     stall_budget: None,
+                    checkpoint_every: None,
                 },
             ),
             10_000_000,

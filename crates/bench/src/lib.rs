@@ -11,6 +11,9 @@
 //!   overhead vs monitored width across interface combinations).
 //! * `cargo run --release -p vidi-bench --bin effectiveness` — §5.4
 //!   (divergences per application, and the interrupt patch).
+//! * `cargo run --release -p vidi-bench --bin bench_snap` — checkpoint
+//!   round-trip exactness, seek latency, and segmented-verify speedup
+//!   (`BENCH_snap.json`, gated against `scripts/bench_snap_baseline.json`).
 //!
 //! Criterion micro-benchmarks live under `benches/`.
 
@@ -18,6 +21,7 @@
 
 pub mod json;
 pub mod sim_bench;
+pub mod snap_bench;
 
 use vidi_apps::{build_app, run_app, AppId, Scale};
 use vidi_core::VidiConfig;

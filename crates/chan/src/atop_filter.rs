@@ -14,7 +14,7 @@
 
 use std::collections::VecDeque;
 
-use vidi_hwsim::{Bits, Component, SignalPool};
+use vidi_hwsim::{Bits, Component, SignalPool, StateError, StateReader, StateWriter};
 
 use crate::handshake::Channel;
 
@@ -177,6 +177,21 @@ impl Component for AtopFilter {
         if self.up_b.fires(p) {
             self.b_pending = None;
         }
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.opt_bits(self.aw_pending.as_ref());
+        w.u64(self.aw_credits);
+        w.seq(self.w_buf.iter(), StateWriter::bits);
+        w.opt_bits(self.b_pending.as_ref());
+    }
+
+    fn load_state(&mut self, r: &mut StateReader) -> Result<(), StateError> {
+        self.aw_pending = r.opt_bits()?;
+        self.aw_credits = r.u64()?;
+        self.w_buf = r.seq(StateReader::bits)?.into();
+        self.b_pending = r.opt_bits()?;
+        Ok(())
     }
 }
 

@@ -9,7 +9,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use vidi_hwsim::{Bits, Component, SignalPool};
+use vidi_hwsim::{Bits, Component, SignalPool, StateError, StateReader, StateWriter};
 
 use crate::handshake::Channel;
 
@@ -110,6 +110,19 @@ impl Component for ProtocolChecker {
             None
         };
         self.cycle += 1;
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        // The shared violation log is harness-owned observation output, not
+        // simulation state; only the checker's own cursor is captured.
+        w.u64(self.cycle);
+        w.opt_bits(self.in_flight.as_ref());
+    }
+
+    fn load_state(&mut self, r: &mut StateReader) -> Result<(), StateError> {
+        self.cycle = r.u64()?;
+        self.in_flight = r.opt_bits()?;
+        Ok(())
     }
 }
 

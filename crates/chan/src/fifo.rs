@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use vidi_hwsim::{Bits, Component, SignalPool};
+use vidi_hwsim::{Bits, Component, SignalPool, StateError, StateReader, StateWriter};
 
 use crate::handshake::Channel;
 
@@ -75,6 +75,22 @@ impl Component for SyncFifo {
             debug_assert!(self.buf.len() < self.depth);
             self.buf.push_back(p.get(self.input.data));
         }
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.seq(self.buf.iter(), StateWriter::bits);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader) -> Result<(), StateError> {
+        let buf: VecDeque<Bits> = r.seq(StateReader::bits)?.into();
+        if buf.len() > self.depth {
+            return Err(StateError::Mismatch {
+                expected: format!("at most {} buffered entries", self.depth),
+                found: format!("{}", buf.len()),
+            });
+        }
+        self.buf = buf;
+        Ok(())
     }
 }
 

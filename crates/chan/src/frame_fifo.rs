@@ -11,7 +11,7 @@
 
 use std::collections::VecDeque;
 
-use vidi_hwsim::{Component, SignalId, SignalPool};
+use vidi_hwsim::{Component, SignalId, SignalPool, StateError, StateReader, StateWriter};
 
 use crate::handshake::Channel;
 
@@ -155,6 +155,30 @@ impl Component for FrameFifo {
                 self.dropped += 1;
             }
         }
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.seq(self.buf.iter(), |w, &v| {
+            w.u64(v as u64);
+            w.u64((v >> 64) as u64);
+        });
+        w.bool(self.in_admitted_frame);
+        w.bool(self.mid_frame);
+        w.u64(self.dropped);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader) -> Result<(), StateError> {
+        self.buf = r
+            .seq(|r| {
+                let lo = r.u64()? as u128;
+                let hi = r.u64()? as u128;
+                Ok(lo | (hi << 64))
+            })?
+            .into();
+        self.in_admitted_frame = r.bool()?;
+        self.mid_frame = r.bool()?;
+        self.dropped = r.u64()?;
+        Ok(())
     }
 }
 

@@ -9,7 +9,7 @@
 
 use std::collections::VecDeque;
 
-use vidi_hwsim::{Bits, SignalId, SignalPool};
+use vidi_hwsim::{Bits, SignalId, SignalPool, StateError, StateReader, StateWriter};
 
 /// Which side of the FPGA application a channel is on, from the
 /// application's perspective.
@@ -181,6 +181,25 @@ impl SenderQueue {
             None
         }
     }
+
+    /// Serializes queue contents and protocol state for a checkpoint.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.seq(self.queue.iter(), StateWriter::bits);
+        w.u64(self.sent);
+        w.bool(self.committed);
+    }
+
+    /// Restores state written by [`SenderQueue::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`StateError`] on truncated or mismatched bytes.
+    pub fn load_state(&mut self, r: &mut StateReader) -> Result<(), StateError> {
+        self.queue = r.seq(StateReader::bits)?.into();
+        self.sent = r.u64()?;
+        self.committed = r.bool()?;
+        Ok(())
+    }
 }
 
 /// Receiver-side endpoint helper: captures fired transactions.
@@ -236,6 +255,23 @@ impl ReceiverLatch {
     /// Total transactions completed by this endpoint.
     pub fn received_count(&self) -> u64 {
         self.count
+    }
+
+    /// Serializes buffered values and counters for a checkpoint.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.seq(self.received.iter(), StateWriter::bits);
+        w.u64(self.count);
+    }
+
+    /// Restores state written by [`ReceiverLatch::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`StateError`] on truncated or mismatched bytes.
+    pub fn load_state(&mut self, r: &mut StateReader) -> Result<(), StateError> {
+        self.received = r.seq(StateReader::bits)?.into();
+        self.count = r.u64()?;
+        Ok(())
     }
 }
 

@@ -5,7 +5,7 @@
 //! over handshake events, not cycle positions. The integration tests insert
 //! slices on monitored channels and verify record/replay is unaffected.
 
-use vidi_hwsim::{Bits, Component, SignalPool};
+use vidi_hwsim::{Bits, Component, SignalPool, StateError, StateReader, StateWriter};
 
 use crate::handshake::Channel;
 
@@ -90,6 +90,17 @@ impl Component for RegSlice {
                 unreachable!("register slice accepted while full");
             }
         }
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.opt_bits(self.primary.as_ref());
+        w.opt_bits(self.skid.as_ref());
+    }
+
+    fn load_state(&mut self, r: &mut StateReader) -> Result<(), StateError> {
+        self.primary = r.opt_bits()?;
+        self.skid = r.opt_bits()?;
+        Ok(())
     }
 }
 

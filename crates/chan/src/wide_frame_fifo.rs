@@ -14,7 +14,7 @@
 
 use std::collections::VecDeque;
 
-use vidi_hwsim::{Bits, Component, SignalId, SignalPool};
+use vidi_hwsim::{Bits, Component, SignalId, SignalPool, StateError, StateReader, StateWriter};
 
 use crate::handshake::Channel;
 use crate::FrameFifoMode;
@@ -165,6 +165,17 @@ impl Component for WideFrameFifo {
                 }
             }
         }
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.seq(self.buf.iter(), |w, &frag| w.u32(frag));
+        w.u64(self.dropped);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader) -> Result<(), StateError> {
+        self.buf = r.seq(StateReader::u32)?.into();
+        self.dropped = r.u64()?;
+        Ok(())
     }
 }
 

@@ -72,6 +72,13 @@ pub struct VidiConfig {
     /// instead of stalling further, counting every drop in
     /// [`RecordedRun::dropped_packets`](crate::RecordedRun::dropped_packets).
     pub stall_budget: Option<u64>,
+    /// Deterministic-checkpoint cadence for seekable replay: with
+    /// `Some(n)`, a checkpointing harness (see the `vidi-snap` crate)
+    /// captures a full simulator snapshot every `n` cycles at cycle
+    /// boundaries. `None` (the default) disables checkpointing. The field
+    /// is policy only — the shim itself never snapshots; it is consumed by
+    /// whatever drives the simulation loop.
+    pub checkpoint_every: Option<u64>,
 }
 
 impl Default for VidiConfig {
@@ -83,6 +90,7 @@ impl Default for VidiConfig {
             store_bytes_per_cycle: 22,
             fetch_bytes_per_cycle: 22,
             stall_budget: None,
+            checkpoint_every: None,
         }
     }
 }
@@ -124,6 +132,12 @@ impl VidiConfig {
             mode: VidiMode::ReplayOrderless(trace),
             ..VidiConfig::default()
         }
+    }
+
+    /// The same configuration with checkpointing armed every `every` cycles.
+    pub fn with_checkpoints(mut self, every: u64) -> Self {
+        self.checkpoint_every = Some(every);
+        self
     }
 }
 

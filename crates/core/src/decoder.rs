@@ -9,6 +9,7 @@
 use std::rc::Rc;
 
 use vidi_chan::Direction;
+use vidi_hwsim::{StateError, StateReader, StateWriter};
 use vidi_trace::Trace;
 
 use crate::faults::BandwidthHook;
@@ -53,6 +54,33 @@ impl DecoderCore {
         self.bandwidth_hook = Some(hook);
     }
 
+    /// Serializes the dispatch cursor and credit state for a checkpoint.
+    /// The trace itself is part of the build configuration (the restored
+    /// simulator is constructed over the same trace), so only the position
+    /// within it is captured.
+    pub(crate) fn save_state(&self, w: &mut StateWriter) {
+        w.usize(self.next);
+        w.u64(self.credit);
+        w.u64(self.credit_rem);
+        w.u64(self.cycle);
+    }
+
+    /// Restores state written by [`DecoderCore::save_state`].
+    pub(crate) fn load_state(&mut self, r: &mut StateReader) -> Result<(), StateError> {
+        let next = r.usize()?;
+        if next > self.trace.packets().len() {
+            return Err(StateError::Mismatch {
+                expected: format!("dispatch cursor <= {}", self.trace.packets().len()),
+                found: format!("{next}"),
+            });
+        }
+        self.next = next;
+        self.credit = r.u64()?;
+        self.credit_rem = r.u64()?;
+        self.cycle = r.u64()?;
+        Ok(())
+    }
+
     /// Number of cycle packets dispatched so far.
     pub fn dispatched(&self) -> usize {
         self.next
@@ -81,7 +109,9 @@ impl DecoderCore {
         let accrued = self.credit_rem + self.fetch_bytes_per_cycle as u64;
         self.credit = (self.credit + accrued / divisor).min(self.credit_cap);
         self.credit_rem = accrued % divisor;
-        let layout = self.trace.layout().clone();
+        // Borrow the layout in place: cloning it here cost a deep copy of
+        // every channel name per replay tick.
+        let layout = self.trace.layout();
         let record_output = self.trace.records_output_content();
         while self.next < self.trace.packets().len() {
             if !replayers
@@ -91,7 +121,7 @@ impl DecoderCore {
                 break;
             }
             let packet = &self.trace.packets()[self.next];
-            let size = packet_bytes(&layout, packet);
+            let size = packet_bytes(layout, packet);
             if self.credit < size {
                 break;
             }
@@ -108,7 +138,7 @@ impl DecoderCore {
                     })
                     .collect(),
             );
-            let channel_packets = packet.disassemble(&layout, record_output);
+            let channel_packets = packet.disassemble(layout, record_output);
             for (idx, (info, pkt)) in layout.channels().iter().zip(channel_packets).enumerate() {
                 // Replayers only need content for input starts; output
                 // contents (present in §3.6 reference traces) are checked by

@@ -8,17 +8,34 @@
 //! application's I/O — without ever dropping an event (§3.3, §6).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use vidi_chan::Direction;
-use vidi_hwsim::SignalPool;
+use vidi_hwsim::{SignalPool, StateError, StateReader, StateWriter};
 use vidi_trace::{ChannelPacket, CyclePacket, TraceLayout};
 
 use crate::faults::StallHook;
 use crate::port::EncoderPort;
 
+/// Serializes one cycle packet for a checkpoint blob.
+pub(crate) fn save_cycle_packet(w: &mut StateWriter, p: &CyclePacket) {
+    w.seq(p.starts.iter(), |w, &b| w.bool(b));
+    w.seq(p.ends.iter(), |w, &b| w.bool(b));
+    w.seq(p.contents.iter(), StateWriter::bits);
+}
+
+/// Reads one cycle packet written by [`save_cycle_packet`].
+pub(crate) fn load_cycle_packet(r: &mut StateReader) -> Result<CyclePacket, StateError> {
+    Ok(CyclePacket {
+        starts: r.seq(StateReader::bool)?,
+        ends: r.seq(StateReader::bool)?,
+        contents: r.seq(StateReader::bits)?,
+    })
+}
+
 /// The encoder's combinational+registered core, embedded in the Vidi engine.
 pub struct EncoderCore {
-    layout: TraceLayout,
+    layout: Arc<TraceLayout>,
     record_output_content: bool,
     ports: Vec<EncoderPort>,
     fifo: VecDeque<CyclePacket>,
@@ -45,7 +62,7 @@ impl EncoderCore {
     /// capacity is too small to hold one in-flight reservation per channel
     /// (which would deadlock a fully loaded design).
     pub fn new(
-        layout: TraceLayout,
+        layout: Arc<TraceLayout>,
         ports: Vec<EncoderPort>,
         capacity: usize,
         record_output_content: bool,
@@ -74,6 +91,27 @@ impl EncoderCore {
     /// Installs an injected stall gate (see [`crate::FaultInjection`]).
     pub fn set_stall_gate(&mut self, gate: StallHook) {
         self.stall_gate = Some(gate);
+    }
+
+    /// Serializes the staged FIFO and counters for a checkpoint. The stall
+    /// gate is a deterministic function of the serialized cycle counter, so
+    /// hooks are re-installed at build time rather than captured.
+    pub(crate) fn save_state(&self, w: &mut StateWriter) {
+        w.seq(self.fifo.iter(), save_cycle_packet);
+        w.u64(self.backpressure_cycles);
+        w.u64(self.events_logged);
+        w.u64(self.cycle);
+        w.u64(self.stall_storm_cycles);
+    }
+
+    /// Restores state written by [`EncoderCore::save_state`].
+    pub(crate) fn load_state(&mut self, r: &mut StateReader) -> Result<(), StateError> {
+        self.fifo = r.seq(load_cycle_packet)?.into();
+        self.backpressure_cycles = r.u64()?;
+        self.events_logged = r.u64()?;
+        self.cycle = r.u64()?;
+        self.stall_storm_cycles = r.u64()?;
+        Ok(())
     }
 
     /// Cycles during which an injected stall storm denied all grants.

@@ -11,9 +11,10 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use vidi_chan::{Channel, Direction};
-use vidi_hwsim::{Component, SignalPool};
+use vidi_hwsim::{Component, SignalPool, StateError, StateReader, StateWriter};
 use vidi_trace::{Trace, TraceLayout};
 
 use crate::decoder::DecoderCore;
@@ -62,7 +63,7 @@ pub struct VidiEngine {
     store: Option<StoreCore>,
     decoder: Option<DecoderCore>,
     replayers: Vec<ReplayerCore>,
-    replay_channels: Vec<Channel>,
+    replay_channels: Vec<Rc<Channel>>,
     t_current: VectorClock,
     /// Scratch buffer for the per-cycle `t0` snapshot in `tick`, reused via
     /// `clone_from` to avoid a heap allocation every replay cycle.
@@ -74,17 +75,23 @@ pub struct VidiEngine {
 impl VidiEngine {
     /// Builds the engine for recording: encoder + store over the ports.
     pub(crate) fn recording(
-        layout: TraceLayout,
+        layout: Arc<TraceLayout>,
         ports: Vec<EncoderPort>,
         fifo_capacity: usize,
         record_output_content: bool,
         store_bytes_per_cycle: u32,
     ) -> (Self, RecordHandle, StatsHandle) {
-        let encoder = EncoderCore::new(layout.clone(), ports, fifo_capacity, record_output_content);
-        let (store, record) =
-            StoreCore::new(layout.clone(), record_output_content, store_bytes_per_cycle);
-        let stats: StatsHandle = Rc::new(RefCell::new(VidiStats::default()));
+        // The encoder and store share one layout allocation; only the
+        // self-describing recorded trace keeps a deep copy of its own.
         let n = layout.len();
+        let encoder = EncoderCore::new(
+            Arc::clone(&layout),
+            ports,
+            fifo_capacity,
+            record_output_content,
+        );
+        let (store, record) = StoreCore::new(layout, record_output_content, store_bytes_per_cycle);
+        let stats: StatsHandle = Rc::new(RefCell::new(VidiStats::default()));
         (
             VidiEngine {
                 encoder: Some(encoder),
@@ -112,18 +119,21 @@ impl VidiEngine {
         orderless: bool,
     ) -> (Self, ReplayHandle) {
         let n = env_channels.len();
-        self.replayers = env_channels
-            .iter()
-            .enumerate()
-            .map(|(i, (ch, dir))| {
-                let mut r = ReplayerCore::new(ch.clone(), *dir, i, n);
-                if orderless {
-                    r.set_orderless();
-                }
-                r
-            })
-            .collect();
-        self.replay_channels = env_channels.into_iter().map(|(c, _)| c).collect();
+        let mut replayers = Vec::with_capacity(n);
+        let mut channels = Vec::with_capacity(n);
+        for (i, (ch, dir)) in env_channels.into_iter().enumerate() {
+            // One shared handle per channel: the replayer and the engine's
+            // diagnostic list point at the same allocation.
+            let ch = Rc::new(ch);
+            let mut r = ReplayerCore::new(Rc::clone(&ch), dir, i, n);
+            if orderless {
+                r.set_orderless();
+            }
+            replayers.push(r);
+            channels.push(ch);
+        }
+        self.replayers = replayers;
+        self.replay_channels = channels;
         let status: ReplayHandle = Rc::new(RefCell::new(ReplayStatus {
             total: trace.packets().len(),
             ..ReplayStatus::default()
@@ -244,6 +254,102 @@ impl Component for VidiEngine {
         self.replayers
             .iter()
             .find_map(|r| r.fault().map(String::from))
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.bool(self.encoder.is_some());
+        if let Some(encoder) = &self.encoder {
+            encoder.save_state(w);
+        }
+        w.bool(self.store.is_some());
+        if let Some(store) = &self.store {
+            store.save_state(w);
+        }
+        w.bool(self.decoder.is_some());
+        if let Some(decoder) = &self.decoder {
+            decoder.save_state(w);
+        }
+        w.seq(self.replayers.iter(), |w, r| r.save_state(w));
+        w.seq(self.t_current.counts().iter(), |w, &c| w.u64(c));
+        match &self.replay_status {
+            Some(status) => {
+                let s = status.borrow();
+                w.bool(true);
+                w.usize(s.dispatched);
+                w.usize(s.total);
+                w.bool(s.complete);
+                w.seq(s.stalled.iter(), |w, name| w.str(name));
+            }
+            None => w.bool(false),
+        }
+        let stats = self.stats.borrow();
+        w.u64(stats.backpressure_cycles);
+        w.u64(stats.events_logged);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader) -> Result<(), StateError> {
+        let structural = |what: &str, expected: bool, found: bool| StateError::Mismatch {
+            expected: format!("{what} present={expected}"),
+            found: format!("present={found}"),
+        };
+        let has = r.bool()?;
+        if has != self.encoder.is_some() {
+            return Err(structural("encoder", self.encoder.is_some(), has));
+        }
+        if let Some(encoder) = &mut self.encoder {
+            encoder.load_state(r)?;
+        }
+        let has = r.bool()?;
+        if has != self.store.is_some() {
+            return Err(structural("store", self.store.is_some(), has));
+        }
+        if let Some(store) = &mut self.store {
+            store.load_state(r)?;
+        }
+        let has = r.bool()?;
+        if has != self.decoder.is_some() {
+            return Err(structural("decoder", self.decoder.is_some(), has));
+        }
+        if let Some(decoder) = &mut self.decoder {
+            decoder.load_state(r)?;
+        }
+        let n = r.u32()? as usize;
+        if n != self.replayers.len() {
+            return Err(StateError::Mismatch {
+                expected: format!("{} replayers", self.replayers.len()),
+                found: format!("{n}"),
+            });
+        }
+        for rep in &mut self.replayers {
+            rep.load_state(r)?;
+        }
+        let counts = r.seq(StateReader::u64)?;
+        if counts.len() != self.t_current.len() {
+            return Err(StateError::Mismatch {
+                expected: format!("t_current over {} channels", self.t_current.len()),
+                found: format!("{} channels", counts.len()),
+            });
+        }
+        self.t_current = VectorClock::from_counts(counts);
+        let has = r.bool()?;
+        if has != self.replay_status.is_some() {
+            return Err(structural(
+                "replay status",
+                self.replay_status.is_some(),
+                has,
+            ));
+        }
+        if let Some(status) = &self.replay_status {
+            let mut s = status.borrow_mut();
+            s.dispatched = r.usize()?;
+            s.total = r.usize()?;
+            s.complete = r.bool()?;
+            s.stalled = r.seq(|r| r.str().map(String::from))?;
+        }
+        let mut stats = self.stats.borrow_mut();
+        stats.backpressure_cycles = r.u64()?;
+        stats.events_logged = r.u64()?;
+        Ok(())
     }
 
     /// The deadlock diagnoser: reports blocked channels and stalled

@@ -17,7 +17,7 @@
 //! arrives.
 
 use vidi_chan::{Channel, Direction};
-use vidi_hwsim::{Bits, Component, SignalId, SignalPool};
+use vidi_hwsim::{Bits, Component, SignalId, SignalPool, StateError, StateReader, StateWriter};
 
 use crate::port::EncoderPort;
 
@@ -276,5 +276,35 @@ impl Component for ChannelMonitor {
 
     fn tick_changed_state(&self) -> bool {
         self.state_changed_in_tick
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        match &self.state {
+            State::Idle => w.u8(0),
+            State::Active(content) => {
+                w.u8(1);
+                w.bits(content);
+            }
+            State::Exposed => w.u8(2),
+        }
+        w.u64(self.transactions);
+        w.bool(self.state_changed_in_tick);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader) -> Result<(), StateError> {
+        self.state = match r.u8()? {
+            0 => State::Idle,
+            1 => State::Active(r.bits()?),
+            2 => State::Exposed,
+            d => {
+                return Err(StateError::Mismatch {
+                    expected: "monitor state discriminant 0..=2".into(),
+                    found: format!("{d}"),
+                })
+            }
+        };
+        self.transactions = r.u64()?;
+        self.state_changed_in_tick = r.bool()?;
+        Ok(())
     }
 }

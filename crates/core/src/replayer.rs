@@ -13,7 +13,7 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use vidi_chan::{Channel, Direction};
-use vidi_hwsim::{Bits, SignalPool};
+use vidi_hwsim::{Bits, SignalPool, StateError, StateReader, StateWriter};
 
 use crate::vclock::VectorClock;
 
@@ -43,7 +43,10 @@ impl ReplayElem {
 /// The per-channel replayer core, embedded in the Vidi engine.
 #[derive(Debug)]
 pub struct ReplayerCore {
-    channel: Channel,
+    /// Shared with the engine's `replay_channels` list — `Rc` so the
+    /// channel handle (and its name allocation) exists once per channel
+    /// rather than once per holder.
+    channel: Rc<Channel>,
     direction: Direction,
     /// This channel's index in the trace layout (and in vector clocks).
     index: usize,
@@ -69,7 +72,12 @@ pub struct ReplayerCore {
 
 impl ReplayerCore {
     /// Creates a replayer for the environment side of `channel`.
-    pub fn new(channel: Channel, direction: Direction, index: usize, n_channels: usize) -> Self {
+    pub fn new(
+        channel: Rc<Channel>,
+        direction: Direction,
+        index: usize,
+        n_channels: usize,
+    ) -> Self {
         ReplayerCore {
             channel,
             direction,
@@ -276,5 +284,60 @@ impl ReplayerCore {
         for &c in ends {
             self.t_expected.increment(c as usize);
         }
+    }
+
+    /// Serializes the stream queue, vector clock, and drive state for a
+    /// checkpoint.
+    pub(crate) fn save_state(&self, w: &mut StateWriter) {
+        w.seq(self.queue.iter(), |w, e| {
+            w.bool(e.start);
+            w.bool(e.end);
+            w.opt_bits(e.content.as_ref());
+            w.seq(e.ends.iter(), |w, &c| w.u16(c));
+        });
+        w.seq(self.t_expected.counts().iter(), |w, &c| w.u64(c));
+        w.opt_bits(self.driving.as_ref());
+        w.u64(self.pending_fires);
+        w.u64(self.replayed);
+        match &self.fault {
+            Some(msg) => {
+                w.bool(true);
+                w.str(msg);
+            }
+            None => w.bool(false),
+        }
+    }
+
+    /// Restores state written by [`ReplayerCore::save_state`]. The `Ends`
+    /// lists, shared across replayers when fed by the decoder, are rebuilt
+    /// unshared — semantics are unchanged, only allocation sharing is lost.
+    pub(crate) fn load_state(&mut self, r: &mut StateReader) -> Result<(), StateError> {
+        self.queue = r
+            .seq(|r| {
+                Ok(ReplayElem {
+                    start: r.bool()?,
+                    end: r.bool()?,
+                    content: r.opt_bits()?,
+                    ends: Rc::new(r.seq(StateReader::u16)?),
+                })
+            })?
+            .into();
+        let counts = r.seq(StateReader::u64)?;
+        if counts.len() != self.t_expected.len() {
+            return Err(StateError::Mismatch {
+                expected: format!("vector clock over {} channels", self.t_expected.len()),
+                found: format!("{} channels", counts.len()),
+            });
+        }
+        self.t_expected = VectorClock::from_counts(counts);
+        self.driving = r.opt_bits()?;
+        self.pending_fires = r.u64()?;
+        self.replayed = r.u64()?;
+        self.fault = if r.bool()? {
+            Some(r.str()?.to_string())
+        } else {
+            None
+        };
+        Ok(())
     }
 }

@@ -9,6 +9,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use vidi_chan::{Channel, Direction};
 use vidi_hwsim::{SignalId, Simulator};
@@ -50,7 +51,7 @@ impl Error for ShimError {}
 /// collecting results.
 #[derive(Debug)]
 pub struct VidiShim {
-    layout: TraceLayout,
+    layout: Arc<TraceLayout>,
     env_channels: Vec<Channel>,
     record: Option<RecordHandle>,
     replay: Option<ReplayHandle>,
@@ -96,7 +97,8 @@ impl VidiShim {
         config: VidiConfig,
         faults: FaultInjection,
     ) -> Result<VidiShim, ShimError> {
-        let layout = TraceLayout::new(
+        // One shared layout allocation for the shim, encoder, and store.
+        let layout = Arc::new(TraceLayout::new(
             app_channels
                 .iter()
                 .map(|(ch, dir)| ChannelInfo {
@@ -105,12 +107,12 @@ impl VidiShim {
                     direction: *dir,
                 })
                 .collect(),
-        );
+        ));
 
         // Validate replay traces against the design's layout up front.
         let replay_trace = match &config.mode {
             VidiMode::Replay(t) | VidiMode::ReplayRecord(t) | VidiMode::ReplayOrderless(t) => {
-                if t.layout() != &layout {
+                if t.layout() != layout.as_ref() {
                     return Err(ShimError::LayoutMismatch {
                         expected: format!("{:?}", t.layout()),
                         actual: format!("{layout:?}"),
@@ -172,7 +174,7 @@ impl VidiShim {
 
         // The engine: recording path, replay path, or both (R3).
         let (engine, record, stats) = VidiEngine::recording(
-            layout.clone(),
+            Arc::clone(&layout),
             ports,
             config.fifo_capacity,
             record_output_content,
@@ -240,6 +242,31 @@ impl VidiShim {
     /// The trace recorded so far (clone). `None` in non-recording modes.
     pub fn recorded_trace(&self) -> Option<Trace> {
         self.record.as_ref().map(|r| r.borrow().trace.clone())
+    }
+
+    /// Number of cycle packets committed to the recorded trace so far — a
+    /// cheap cursor (no trace clone) for callers that probe recording
+    /// progress every cycle, such as `vidi-snap`'s divergence-cycle search.
+    pub fn recorded_packet_count(&self) -> usize {
+        self.record
+            .as_ref()
+            .map_or(0, |r| r.borrow().trace.packets().len())
+    }
+
+    /// Per-channel completed-transaction (end-event) counts of the trace
+    /// recorded so far, in layout order, computed without cloning the trace.
+    pub fn recorded_transaction_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.layout.len()];
+        if let Some(rec) = &self.record {
+            for pkt in rec.borrow().trace.packets() {
+                for (i, &ended) in pkt.ends.iter().enumerate() {
+                    if ended {
+                        counts[i] += 1;
+                    }
+                }
+            }
+        }
+        counts
     }
 
     /// Raw trace body bytes written to storage so far.

@@ -7,7 +7,9 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
+use vidi_hwsim::{StateError, StateReader, StateWriter};
 use vidi_trace::{storage_bytes, CyclePacket, Trace, TraceLayout};
 
 use crate::encoder::EncoderCore;
@@ -57,7 +59,7 @@ const RETRY_BACKOFF_CAP: u64 = 256;
 
 /// The store's registered core, embedded in the Vidi engine.
 pub struct StoreCore {
-    layout: TraceLayout,
+    layout: Arc<TraceLayout>,
     handle: RecordHandle,
     bytes_per_cycle: u32,
     /// Accumulated write-bandwidth credit, in bytes.
@@ -84,12 +86,12 @@ pub struct StoreCore {
 impl StoreCore {
     /// Creates a store writing a trace with the given layout.
     pub fn new(
-        layout: TraceLayout,
+        layout: Arc<TraceLayout>,
         record_output_content: bool,
         bytes_per_cycle: u32,
     ) -> (Self, RecordHandle) {
         let handle = Rc::new(RefCell::new(RecordedRun {
-            trace: Trace::new(layout.clone(), record_output_content),
+            trace: Trace::new(layout.as_ref().clone(), record_output_content),
             body_bytes: 0,
             dropped_packets: 0,
             write_retries: 0,
@@ -127,6 +129,48 @@ impl StoreCore {
     /// Installs a per-cycle bandwidth divisor hook (bandwidth collapse).
     pub fn set_bandwidth_hook(&mut self, hook: BandwidthHook) {
         self.bandwidth_hook = Some(hook);
+    }
+
+    /// Serializes the drain-side counters and the recorded-so-far trace for
+    /// a checkpoint. Fault hooks are deterministic functions of the
+    /// serialized `cycle`/`ops`/`attempt` position and are re-installed at
+    /// build time.
+    pub(crate) fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.credit);
+        w.u64(self.cycle);
+        w.u64(self.ops);
+        w.u32(self.attempt);
+        w.u64(self.retry_backoff);
+        let run = self.handle.borrow();
+        w.bytes(&run.trace.encode());
+        w.u64(run.body_bytes);
+        w.u64(run.dropped_packets);
+        w.u64(run.write_retries);
+    }
+
+    /// Restores state written by [`StoreCore::save_state`].
+    pub(crate) fn load_state(&mut self, r: &mut StateReader) -> Result<(), StateError> {
+        self.credit = r.u64()?;
+        self.cycle = r.u64()?;
+        self.ops = r.u64()?;
+        self.attempt = r.u32()?;
+        self.retry_backoff = r.u64()?;
+        let trace = Trace::decode(r.bytes()?).map_err(|e| StateError::Mismatch {
+            expected: "valid embedded trace".into(),
+            found: e.to_string(),
+        })?;
+        if trace.layout() != self.layout.as_ref() {
+            return Err(StateError::Mismatch {
+                expected: "trace layout matching the store's layout".into(),
+                found: "a different channel layout".into(),
+            });
+        }
+        let mut run = self.handle.borrow_mut();
+        run.trace = trace;
+        run.body_bytes = r.u64()?;
+        run.dropped_packets = r.u64()?;
+        run.write_retries = r.u64()?;
+        Ok(())
     }
 
     /// Clock-edge phase: drains as many packets as the bandwidth budget

@@ -14,7 +14,7 @@ use std::rc::Rc;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use vidi_chan::AxiIface;
-use vidi_hwsim::{Bits, Component, SignalId, SignalPool};
+use vidi_hwsim::{Bits, Component, SignalId, SignalPool, StateError, StateReader, StateWriter};
 
 use crate::masters::{AxiLiteMaster, AxiMaster, DMA_BURST_BEATS};
 
@@ -501,6 +501,79 @@ impl CpuThread {
     pub fn finished(&self) -> bool {
         self.pc >= self.ops.len()
     }
+
+    fn save_op_state(&self, w: &mut StateWriter) {
+        match &self.state {
+            OpState::Ready => w.u8(0),
+            OpState::AwaitWriteResp => w.u8(1),
+            OpState::AwaitReadResp => w.u8(2),
+            OpState::Polling {
+                next_poll,
+                outstanding,
+            } => {
+                w.u8(3);
+                w.u64(*next_poll);
+                w.bool(*outstanding);
+            }
+            OpState::DmaSending {
+                offset,
+                awaiting_resp,
+                resume_at,
+            } => {
+                w.u8(4);
+                w.usize(*offset);
+                w.u32(*awaiting_resp);
+                w.u64(*resume_at);
+            }
+            OpState::DmaReceiving {
+                collected,
+                want,
+                issued,
+                resume_at,
+            } => {
+                w.u8(5);
+                w.bytes(collected);
+                w.usize(*want);
+                w.usize(*issued);
+                w.u64(*resume_at);
+            }
+            OpState::Delaying { until } => {
+                w.u8(6);
+                w.u64(*until);
+            }
+        }
+    }
+
+    fn load_op_state(&mut self, r: &mut StateReader) -> Result<(), StateError> {
+        self.state = match r.u8()? {
+            0 => OpState::Ready,
+            1 => OpState::AwaitWriteResp,
+            2 => OpState::AwaitReadResp,
+            3 => OpState::Polling {
+                next_poll: r.u64()?,
+                outstanding: r.bool()?,
+            },
+            4 => OpState::DmaSending {
+                offset: r.usize()?,
+                awaiting_resp: r.u32()?,
+                resume_at: r.u64()?,
+            },
+            5 => OpState::DmaReceiving {
+                collected: r.bytes()?.to_vec(),
+                want: r.usize()?,
+                issued: r.usize()?,
+                resume_at: r.u64()?,
+            },
+            6 => OpState::Delaying { until: r.u64()? },
+            d => {
+                return Err(StateError::Mismatch {
+                    expected: "CPU op-state discriminant 0..=6".into(),
+                    found: format!("{d}"),
+                })
+            }
+        };
+        Ok(())
+    }
 }
 
 impl Component for CpuThread {
@@ -533,5 +606,103 @@ impl Component for CpuThread {
         }
         self.step(p);
         self.cycle += 1;
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.usize(self.pc);
+        self.save_op_state(w);
+        // Interface maps are serialized in sorted key order: HashMap
+        // iteration order varies between processes and the blob must be
+        // deterministic.
+        let mut lites: Vec<(&str, &AxiLiteMaster)> =
+            self.lite.iter().map(|(k, v)| (*k, v)).collect();
+        lites.sort_by_key(|(k, _)| *k);
+        w.seq(lites.iter(), |w, (k, m)| {
+            w.str(k);
+            m.save_state(w);
+        });
+        let mut dmas: Vec<(&str, &AxiMaster)> = self.dma.iter().map(|(k, v)| (*k, v)).collect();
+        dmas.sort_by_key(|(k, _)| *k);
+        w.seq(dmas.iter(), |w, (k, m)| {
+            w.str(k);
+            m.save_state(w);
+        });
+        for word in self.rng.state() {
+            w.u64(word);
+        }
+        w.u64(self.cycle);
+        w.opt_u64(self.pending_think);
+        // The DMA payload cache is rebuilt from the script on load; only
+        // its presence is recorded.
+        w.bool(self.dma_payload.is_some());
+        let res = self.results.borrow();
+        w.seq(res.reads.iter(), |w, &v| w.u32(v));
+        w.seq(res.dma_reads.iter(), |w, buf| w.bytes(buf));
+        w.u64(res.polls_issued);
+        w.bool(res.finished);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader) -> Result<(), StateError> {
+        let pc = r.usize()?;
+        if pc > self.ops.len() {
+            return Err(StateError::Mismatch {
+                expected: format!("pc <= {}", self.ops.len()),
+                found: format!("{pc}"),
+            });
+        }
+        self.pc = pc;
+        self.load_op_state(r)?;
+        for map_len in [self.lite.len(), self.dma.len()] {
+            let n = r.u32()? as usize;
+            if n != map_len {
+                return Err(StateError::Mismatch {
+                    expected: format!("{map_len} interfaces"),
+                    found: format!("{n}"),
+                });
+            }
+            for _ in 0..n {
+                let key = r.str()?.to_string();
+                // The two maps share no keys in practice; try both so the
+                // loop stays shape-agnostic.
+                if let Some(m) = self.lite.get_mut(key.as_str()) {
+                    m.load_state(r)?;
+                } else if let Some(m) = self.dma.get_mut(key.as_str()) {
+                    m.load_state(r)?;
+                } else {
+                    return Err(StateError::Mismatch {
+                        expected: "a known CPU interface".into(),
+                        found: key,
+                    });
+                }
+            }
+        }
+        let mut rng_state = [0u64; 4];
+        for word in &mut rng_state {
+            *word = r.u64()?;
+        }
+        self.rng = SmallRng::from_state(rng_state);
+        self.cycle = r.u64()?;
+        self.pending_think = r.opt_u64()?;
+        self.dma_payload = if r.bool()? {
+            match self.ops.get(self.pc) {
+                Some(HostOp::DmaWrite { bytes, .. } | HostOp::DmaWriteMasked { bytes, .. }) => {
+                    Some(Rc::new(bytes.clone()))
+                }
+                _ => {
+                    return Err(StateError::Mismatch {
+                        expected: "a DMA-write op at the saved pc".into(),
+                        found: format!("op index {}", self.pc),
+                    })
+                }
+            }
+        } else {
+            None
+        };
+        let mut res = self.results.borrow_mut();
+        res.reads = r.seq(StateReader::u32)?;
+        res.dma_reads = r.seq(|r| r.bytes().map(<[u8]>::to_vec))?;
+        res.polls_issued = r.u64()?;
+        res.finished = r.bool()?;
+        Ok(())
     }
 }

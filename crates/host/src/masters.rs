@@ -7,7 +7,7 @@ use vidi_chan::{
     pack_lite_w, unpack_lite_r, AxFields, AxiChannel, AxiIface, BFields, RFields, ReceiverLatch,
     SenderQueue, WFields,
 };
-use vidi_hwsim::{Bits, SignalPool};
+use vidi_hwsim::{Bits, SignalPool, StateError, StateReader, StateWriter};
 
 /// Master endpoint on an AXI-Lite interface (CPU side of `sda`/`ocl`/`bar1`).
 #[derive(Debug)]
@@ -69,6 +69,29 @@ impl AxiLiteMaster {
         self.ar.tick(p);
         self.b.tick(p);
         self.r.tick(p);
+    }
+
+    /// Serializes all five endpoint queues for a checkpoint.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        self.aw.save_state(w);
+        self.w.save_state(w);
+        self.b.save_state(w);
+        self.ar.save_state(w);
+        self.r.save_state(w);
+    }
+
+    /// Restores state written by [`AxiLiteMaster::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`StateError`] on truncated or mismatched bytes.
+    pub fn load_state(&mut self, r: &mut StateReader) -> Result<(), StateError> {
+        self.aw.load_state(r)?;
+        self.w.load_state(r)?;
+        self.b.load_state(r)?;
+        self.ar.load_state(r)?;
+        self.r.load_state(r)?;
+        Ok(())
     }
 }
 
@@ -197,5 +220,30 @@ impl AxiMaster {
         self.ar.tick(p);
         self.b.tick(p);
         self.r.tick(p);
+    }
+
+    /// Serializes all five endpoint queues and the burst-id counter.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        self.aw.save_state(w);
+        self.w.save_state(w);
+        self.b.save_state(w);
+        self.ar.save_state(w);
+        self.r.save_state(w);
+        w.u16(self.next_id);
+    }
+
+    /// Restores state written by [`AxiMaster::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`StateError`] on truncated or mismatched bytes.
+    pub fn load_state(&mut self, r: &mut StateReader) -> Result<(), StateError> {
+        self.aw.load_state(r)?;
+        self.w.load_state(r)?;
+        self.b.load_state(r)?;
+        self.ar.load_state(r)?;
+        self.r.load_state(r)?;
+        self.next_id = r.u16()?;
+        Ok(())
     }
 }

@@ -4,6 +4,8 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use vidi_hwsim::{StateError, StateReader, StateWriter};
+
 const PAGE_BITS: u64 = 12;
 const PAGE_SIZE: u64 = 1 << PAGE_BITS;
 
@@ -62,6 +64,45 @@ impl HostMemory {
     /// Number of resident pages (for tests).
     pub fn resident_pages(&self) -> usize {
         self.pages.borrow().len()
+    }
+
+    /// Serializes the resident pages for a checkpoint, in sorted page order
+    /// so the encoding is deterministic regardless of `HashMap` iteration
+    /// order. Call once per memory *owner* — clones share contents, so
+    /// serializing through every handle would duplicate the image.
+    pub fn save_contents(&self, w: &mut StateWriter) {
+        let pages = self.pages.borrow();
+        let mut keys: Vec<u64> = pages.keys().copied().collect();
+        keys.sort_unstable();
+        w.seq(keys.iter(), |w, k| {
+            w.u64(*k);
+            w.bytes(&pages[k][..]);
+        });
+    }
+
+    /// Restores contents written by [`HostMemory::save_contents`],
+    /// replacing whatever pages are currently resident.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`StateError`] on truncated input or a page of the
+    /// wrong size.
+    pub fn load_contents(&self, r: &mut StateReader) -> Result<(), StateError> {
+        let entries = r.seq(|r| {
+            let key = r.u64()?;
+            let bytes = r.bytes()?;
+            if bytes.len() != PAGE_SIZE as usize {
+                return Err(StateError::Mismatch {
+                    expected: format!("{PAGE_SIZE}-byte page"),
+                    found: format!("{} bytes", bytes.len()),
+                });
+            }
+            let mut page = Box::new([0u8; PAGE_SIZE as usize]);
+            page.copy_from_slice(bytes);
+            Ok((key, page))
+        })?;
+        *self.pages.borrow_mut() = entries.into_iter().collect();
+        Ok(())
     }
 }
 

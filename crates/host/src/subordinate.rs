@@ -11,7 +11,7 @@ use std::collections::VecDeque;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use vidi_chan::{AxFields, BFields, Channel, RFields, ReceiverLatch, SenderQueue, WFields};
-use vidi_hwsim::{Bits, Component, SignalPool};
+use vidi_hwsim::{Bits, Component, SignalPool, StateError, StateReader, StateWriter};
 
 use crate::mem::HostMemory;
 
@@ -214,5 +214,75 @@ impl Component for HostMemSubordinate {
         }
         self.b.tick(p);
         self.r.tick(p);
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        self.aw.save_state(w);
+        self.w.save_state(w);
+        self.b.save_state(w);
+        self.ar.save_state(w);
+        self.r.save_state(w);
+        // This component owns the host-memory image; clones held by the
+        // harness share the same pages, so serializing here covers them.
+        self.mem.save_contents(w);
+        for word in self.rng.state() {
+            w.u64(word);
+        }
+        w.seq(self.write_in_flight.iter(), |w, (aw, beats)| {
+            w.bits(&aw.pack());
+            w.seq(beats.iter(), |w, b| w.bits(&b.pack()));
+        });
+        w.seq(self.orphan_beats.iter(), |w, b| w.bits(&b.pack()));
+        w.seq(self.b_pending.iter(), |w, (t, bf)| {
+            w.u64(*t);
+            w.bits(&bf.pack());
+        });
+        w.seq(self.r_pending.iter(), |w, (t, beats)| {
+            w.u64(*t);
+            w.seq(beats.iter(), |w, b| w.bits(&b.pack()));
+        });
+        w.u64(self.cycle);
+        w.u64(self.writes_serviced);
+        w.u64(self.reads_serviced);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader) -> Result<(), StateError> {
+        self.aw.load_state(r)?;
+        self.w.load_state(r)?;
+        self.b.load_state(r)?;
+        self.ar.load_state(r)?;
+        self.r.load_state(r)?;
+        self.mem.load_contents(r)?;
+        let mut rng_state = [0u64; 4];
+        for word in &mut rng_state {
+            *word = r.u64()?;
+        }
+        self.rng = SmallRng::from_state(rng_state);
+        self.write_in_flight = r
+            .seq(|r| {
+                let aw = AxFields::unpack(&r.bits()?);
+                let beats = r.seq(|r| Ok(WFields::unpack(&r.bits()?)))?;
+                Ok((aw, beats))
+            })?
+            .into();
+        self.orphan_beats = r.seq(|r| Ok(WFields::unpack(&r.bits()?)))?.into();
+        self.b_pending = r
+            .seq(|r| {
+                let t = r.u64()?;
+                let bf = BFields::unpack(&r.bits()?);
+                Ok((t, bf))
+            })?
+            .into();
+        self.r_pending = r
+            .seq(|r| {
+                let t = r.u64()?;
+                let beats = r.seq(|r| Ok(RFields::unpack(&r.bits()?)))?;
+                Ok((t, beats))
+            })?
+            .into();
+        self.cycle = r.u64()?;
+        self.writes_serviced = r.u64()?;
+        self.reads_serviced = r.u64()?;
+        Ok(())
     }
 }

@@ -1,6 +1,7 @@
 //! The component model: synchronous hardware blocks.
 
 use crate::signal::SignalPool;
+use crate::state::{StateError, StateReader, StateWriter};
 
 /// A synchronous hardware component.
 ///
@@ -113,5 +114,34 @@ pub trait Component {
     /// fault.
     fn fault(&self) -> Option<String> {
         None
+    }
+
+    /// Serializes the component's registered state into `w` for a
+    /// checkpoint (see [`Simulator::snapshot`](crate::Simulator::snapshot)).
+    ///
+    /// The encoding contract is positional: [`load_state`] must read the
+    /// exact same fields in the exact same order. Only *dynamic* state
+    /// belongs here — structure (signal ids, wiring, closures, workload
+    /// definitions) is re-created by building the component fresh before
+    /// restoring into it. Purely combinational components can keep the
+    /// default, which writes nothing.
+    ///
+    /// [`load_state`]: Component::load_state
+    fn save_state(&self, w: &mut StateWriter) {
+        let _ = w;
+    }
+
+    /// Restores the state written by [`save_state`] into this (freshly
+    /// constructed, structurally identical) component.
+    ///
+    /// Implementations must consume exactly the bytes their `save_state`
+    /// wrote and must never panic on malformed input: every decode failure
+    /// surfaces as a typed [`StateError`]. The default accepts the default
+    /// `save_state`'s empty blob.
+    ///
+    /// [`save_state`]: Component::save_state
+    fn load_state(&mut self, r: &mut StateReader) -> Result<(), StateError> {
+        let _ = r;
+        Ok(())
     }
 }

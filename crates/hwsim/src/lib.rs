@@ -54,6 +54,7 @@ mod component;
 mod error;
 mod signal;
 mod sim;
+mod state;
 mod vcd;
 
 pub use bits::Bits;
@@ -61,4 +62,5 @@ pub use component::Component;
 pub use error::SimError;
 pub use signal::{SignalAccess, SignalId, SignalPool};
 pub use sim::{ComponentAccess, EvalMode, SimStats, Simulator};
+pub use state::{fnv1a64, StateError, StateReader, StateWriter};
 pub use vcd::VcdWriter;

@@ -11,6 +11,7 @@
 use std::cell::{Cell, RefCell};
 
 use crate::bits::Bits;
+use crate::state::{StateError, StateReader, StateWriter};
 
 /// Handle to a signal allocated in a [`SignalPool`].
 ///
@@ -385,6 +386,66 @@ impl SignalPool {
         out.clear();
         std::mem::swap(&mut self.dirty, out);
         self.dirty_gen += 1;
+    }
+
+    /// Serializes the pool's geometry (signal count and widths, as a
+    /// structural check) and raw limb contents into `w`. Part of
+    /// [`Simulator::snapshot`](crate::Simulator::snapshot); dirty-tracking
+    /// and access-log bookkeeping are scheduler-transient and not captured.
+    pub fn save_values(&self, w: &mut StateWriter) {
+        w.u32(self.meta.len() as u32);
+        for m in &self.meta {
+            w.u32(m.width);
+        }
+        w.u32(self.data.len() as u32);
+        for &limb in &self.data {
+            w.u64(limb);
+        }
+    }
+
+    /// Restores limb contents written by [`SignalPool::save_values`] into a
+    /// pool with identical geometry, marking every signal changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`StateError`] — leaving the pool untouched — if the
+    /// blob is truncated or was captured from a pool with a different
+    /// signal count, widths, or limb count.
+    pub fn restore_values(&mut self, r: &mut StateReader) -> Result<(), StateError> {
+        let n = r.u32()? as usize;
+        if n != self.meta.len() {
+            return Err(StateError::Mismatch {
+                expected: format!("{} signals", self.meta.len()),
+                found: format!("{n} signals"),
+            });
+        }
+        for m in &self.meta {
+            let width = r.u32()?;
+            if width != m.width {
+                return Err(StateError::Mismatch {
+                    expected: format!("signal {} of width {}", m.name, m.width),
+                    found: format!("width {width}"),
+                });
+            }
+        }
+        let limbs = r.u32()? as usize;
+        if limbs != self.data.len() {
+            return Err(StateError::Mismatch {
+                expected: format!("{} limbs", self.data.len()),
+                found: format!("{limbs} limbs"),
+            });
+        }
+        // Decode into a scratch buffer first so a truncated blob leaves the
+        // pool untouched (restore is all-or-nothing per section).
+        let mut new_data = Vec::with_capacity(limbs);
+        for _ in 0..limbs {
+            new_data.push(r.u64()?);
+        }
+        self.data = new_data;
+        for i in 0..self.meta.len() as u32 {
+            self.mark_changed(SignalId(i));
+        }
+        Ok(())
     }
 }
 

@@ -15,10 +15,14 @@
 use crate::component::Component;
 use crate::error::SimError;
 use crate::signal::{SignalAccess, SignalId, SignalPool};
+use crate::state::{StateError, StateReader, StateWriter};
 use crate::vcd::VcdWriter;
 
 /// Default bound on combinational settle iterations per cycle.
 const DEFAULT_MAX_EVAL_ITERS: usize = 64;
+
+/// Version tag of the [`Simulator::snapshot`] blob layout.
+const SNAPSHOT_STATE_VERSION: u16 = 1;
 
 /// The chronological signal accesses one component made during a single
 /// [`Component::eval`] call, as captured by [`Simulator::access_scan`].
@@ -536,6 +540,122 @@ impl Simulator {
         out
     }
 
+    /// Captures the complete dynamic state of the simulation — cycle
+    /// counter, scheduler stats, every signal value, and one
+    /// [`Component::save_state`] blob per component — as a deterministic
+    /// byte string.
+    ///
+    /// Snapshots are taken at cycle boundaries (between [`Self::run_cycle`]
+    /// calls): signal values are the settled values of the last executed
+    /// cycle and component registers hold their post-tick state. Restoring
+    /// the blob into a *freshly built, structurally identical* simulator
+    /// with [`Self::restore`] and running forward produces bit-identical
+    /// signal trajectories to the original run, in either [`EvalMode`].
+    /// Scheduler bookkeeping (sensitivity sets, watcher lists) is not
+    /// captured; restore forces a touch-all settle pass that re-seeds it.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.u16(SNAPSHOT_STATE_VERSION);
+        w.u64(self.cycle);
+        w.u64(self.stats.cycles);
+        w.u64(self.stats.evals);
+        w.u64(self.stats.skipped_evals);
+        w.u64(self.stats.settle_passes);
+        w.u64(self.stats.dirty_signals);
+        self.pool.save_values(&mut w);
+        w.u32(self.components.len() as u32);
+        for c in &self.components {
+            w.str(c.name());
+            let mut cw = StateWriter::new();
+            c.save_state(&mut cw);
+            w.bytes(cw.as_bytes());
+        }
+        w.into_bytes()
+    }
+
+    /// A 64-bit fingerprint of the *deterministic* simulation state: cycle
+    /// counter, every signal value, and every component's state blob.
+    ///
+    /// Unlike [`Self::snapshot`], scheduler statistics are excluded — the
+    /// touch-all settle pass forced by [`Self::restore`] perturbs eval
+    /// counts without affecting the simulated trajectory, so a restored run
+    /// and the original run have identical digests at the same cycle even
+    /// though their `SimStats` differ.
+    pub fn state_digest(&self) -> u64 {
+        let mut w = StateWriter::new();
+        w.u64(self.cycle);
+        self.pool.save_values(&mut w);
+        for c in &self.components {
+            w.str(c.name());
+            let mut cw = StateWriter::new();
+            c.save_state(&mut cw);
+            w.bytes(cw.as_bytes());
+        }
+        crate::state::fnv1a64(w.as_bytes())
+    }
+
+    /// Restores a [`Self::snapshot`] blob into this simulator, which must be
+    /// structurally identical to the one that produced it (same signals in
+    /// the same order with the same widths, same components in the same
+    /// order) — in practice, a simulator rebuilt by the same deterministic
+    /// construction code.
+    ///
+    /// After a successful restore the next cycle begins with a forced
+    /// touch-all settle pass (the incremental scheduler's sensitivity books
+    /// are stale, exactly as after [`Self::access_scan`]); the settled
+    /// signal values it produces are identical to a broadcast pass by eval
+    /// idempotence, so the restored trajectory is bit-exact in both modes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`StateError`] — never panics — on truncated or
+    /// corrupted bytes, a version this build does not read, or a structural
+    /// mismatch with this simulator. On error the simulator may be left
+    /// partially restored and should be rebuilt before further use.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        let mut r = StateReader::new(bytes);
+        let version = r.u16()?;
+        if version != SNAPSHOT_STATE_VERSION {
+            return Err(StateError::UnsupportedVersion { found: version });
+        }
+        let cycle = r.u64()?;
+        let stats = SimStats {
+            cycles: r.u64()?,
+            evals: r.u64()?,
+            skipped_evals: r.u64()?,
+            settle_passes: r.u64()?,
+            dirty_signals: r.u64()?,
+        };
+        self.pool.restore_values(&mut r)?;
+        let n = r.u32()? as usize;
+        if n != self.components.len() {
+            return Err(StateError::Mismatch {
+                expected: format!("{} components", self.components.len()),
+                found: format!("{n} components"),
+            });
+        }
+        for c in self.components.iter_mut() {
+            let name = r.str()?;
+            if name != c.name() {
+                return Err(StateError::Mismatch {
+                    expected: format!("component {}", c.name()),
+                    found: format!("component {name}"),
+                });
+            }
+            let blob = r.bytes()?;
+            let mut cr = StateReader::new(blob);
+            c.load_state(&mut cr)?;
+            cr.finish(c.name())?;
+        }
+        r.finish("simulator")?;
+        self.cycle = cycle;
+        self.stats = stats;
+        // The restored signal values invalidate every previously captured
+        // sensitivity set, exactly as after an access scan.
+        self.touch_all_next = true;
+        Ok(())
+    }
+
     /// Collects blocked-state reports from every component (see
     /// [`Component::diagnostics`]). This is the deadlock diagnoser: when a
     /// watchdog expires, the returned lines name each stalled component and
@@ -891,6 +1011,89 @@ mod tests {
         fn always_eval(&self) -> bool {
             true
         }
+    }
+
+    /// A register with custom save/load, for snapshot round-trip tests.
+    struct SnapReg {
+        d: SignalId,
+        q: SignalId,
+        state: u64,
+    }
+    impl Component for SnapReg {
+        fn name(&self) -> &str {
+            "snapreg"
+        }
+        fn eval(&mut self, p: &mut SignalPool) {
+            p.set_u64(self.q, self.state);
+        }
+        fn tick(&mut self, p: &mut SignalPool) {
+            self.state = self.state.wrapping_add(p.get_u64(self.d));
+        }
+        fn save_state(&self, w: &mut crate::state::StateWriter) {
+            w.u64(self.state);
+        }
+        fn load_state(&mut self, r: &mut crate::state::StateReader) -> Result<(), StateError> {
+            self.state = r.u64()?;
+            Ok(())
+        }
+    }
+
+    fn snap_build() -> (Simulator, SignalId, SignalId) {
+        let mut sim = Simulator::new();
+        let d = sim.pool_mut().add("d", 8);
+        let q = sim.pool_mut().add("q", 8);
+        sim.add_component(SnapReg { d, q, state: 0 });
+        sim.pool_mut().set_u64(d, 3);
+        (sim, d, q)
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_is_bit_exact() {
+        both_modes(|mode| {
+            let (mut sim, _, q) = snap_build();
+            sim.set_eval_mode(mode);
+            sim.run(5).unwrap();
+            let snap = sim.snapshot();
+            sim.run(5).unwrap();
+            let reference = sim.pool().get_u64(q);
+            let ref_cycle = sim.cycle();
+
+            // Restore into a freshly built, structurally identical sim.
+            let (mut fresh, _, q2) = snap_build();
+            fresh.set_eval_mode(mode);
+            fresh.restore(&snap).unwrap();
+            assert_eq!(fresh.cycle(), 5);
+            fresh.run(5).unwrap();
+            assert_eq!(fresh.pool().get_u64(q2), reference);
+            assert_eq!(fresh.cycle(), ref_cycle);
+        });
+    }
+
+    #[test]
+    fn restore_rejects_corruption_with_typed_errors() {
+        let (mut sim, _, _) = snap_build();
+        sim.run(3).unwrap();
+        let snap = sim.snapshot();
+        // Truncation at every boundary: typed error, never a panic.
+        for cut in 0..snap.len() {
+            let (mut fresh, _, _) = snap_build();
+            assert!(fresh.restore(&snap[..cut]).is_err(), "cut at {cut}");
+        }
+        // Structural mismatch: extra component.
+        let (mut bigger, d, q) = snap_build();
+        bigger.add_component(SnapReg { d, q, state: 9 });
+        assert!(matches!(
+            bigger.restore(&snap),
+            Err(StateError::Mismatch { .. })
+        ));
+        // Bad version.
+        let mut bad = snap.clone();
+        bad[0] = 0xff;
+        let (mut fresh, _, _) = snap_build();
+        assert!(matches!(
+            fresh.restore(&bad),
+            Err(StateError::UnsupportedVersion { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Checkpointed replay and seekable replay (`replay_from`).
+
+use vidi_core::VidiConfig;
+
+use crate::{Checkpoint, CheckpointLog, SnapError, SnapSession};
+
+/// How often to checkpoint, in cycles.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CheckpointPolicy {
+    /// Snapshot cadence: a checkpoint every `every` cycles, plus one at
+    /// cycle 0.
+    pub every: u64,
+}
+
+impl CheckpointPolicy {
+    /// Builds a policy with the given cadence.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero cadence.
+    pub fn every(every: u64) -> Self {
+        assert!(every > 0, "checkpoint cadence must be positive");
+        CheckpointPolicy { every }
+    }
+
+    /// The policy a [`VidiConfig`] asks for via
+    /// [`VidiConfig::checkpoint_every`], if any.
+    pub fn from_config(config: &VidiConfig) -> Option<Self> {
+        config.checkpoint_every.map(Self::every)
+    }
+}
+
+/// Cycles the store is given to drain staged packets after a replay
+/// completes, mirroring the application harness's flush margin.
+pub const FLUSH_MARGIN: u64 = 4096;
+
+/// Largest chunk the replay loop advances between completion checks.
+const CHUNK: u64 = 256;
+
+/// Captures one checkpoint of the session at the current cycle boundary.
+fn capture<S: SnapSession>(session: &mut S) -> Checkpoint {
+    let txn_counts = session.shim().recorded_transaction_counts();
+    let sim = session.sim();
+    Checkpoint {
+        cycle: sim.cycle(),
+        digest: sim.state_digest(),
+        txn_counts,
+        state: sim.snapshot(),
+    }
+}
+
+/// Replays the session to completion, snapshotting every `policy.every`
+/// cycles (and once at cycle 0), then runs the store's flush margin.
+///
+/// The session must be freshly built in a replaying, recording mode
+/// (`VidiMode::ReplayRecord`): the validation trace accumulated so far is
+/// part of the captured state, so a restored segment's trace covers the
+/// run from cycle 0.
+///
+/// A replay that fails to complete within `max_cycles` — e.g. the
+/// deadlocking mutated trace of §5.3 — is *not* an error here: the log
+/// comes back with [`CheckpointLog::completed`] `false` and covers every
+/// boundary reached, which is exactly what segmented verification needs to
+/// localize the stall.
+///
+/// # Errors
+///
+/// [`SnapError::NotReplaying`] when the session is not in a replay mode,
+/// [`SnapError::Sim`] when the simulator faults.
+pub fn checkpointed_replay<S: SnapSession>(
+    session: &mut S,
+    policy: CheckpointPolicy,
+    max_cycles: u64,
+) -> Result<CheckpointLog, SnapError> {
+    if session.shim().replay_progress().1 == 0 && session.shim().recorded_packet_count() == 0 {
+        // A session with nothing to dispatch and nothing recorded is either
+        // not replaying or replaying an empty trace; the former is a usage
+        // error worth catching early.
+        if !session.shim().replay_complete() {
+            return Err(SnapError::NotReplaying);
+        }
+    }
+    let mut checkpoints = vec![capture(session)];
+    let mut completed = true;
+    while !session.shim().replay_complete() {
+        let next_boundary = checkpoints.last().expect("cycle-0 checkpoint").cycle + policy.every;
+        while session.sim().cycle() < next_boundary && !session.shim().replay_complete() {
+            let step = (next_boundary - session.sim().cycle()).min(CHUNK);
+            session.sim().run(step)?;
+        }
+        if session.sim().cycle() >= next_boundary {
+            checkpoints.push(capture(session));
+        }
+        if session.sim().cycle() >= max_cycles && !session.shim().replay_complete() {
+            completed = false;
+            break;
+        }
+    }
+    let final_cycle = session.sim().cycle();
+    session.sim().run(FLUSH_MARGIN)?;
+    Ok(CheckpointLog {
+        checkpoints,
+        final_cycle,
+        completed,
+    })
+}
+
+/// Outcome of a seek: where the replay actually restarted from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SeekOutcome {
+    /// Cycle of the checkpoint that was restored.
+    pub restored_from: u64,
+    /// The requested target cycle.
+    pub target: u64,
+    /// Cycles rolled forward from the checkpoint to reach the target.
+    pub rolled_forward: u64,
+}
+
+/// Seeks a freshly built session to `cycle`: restores the nearest
+/// checkpoint at or before it and rolls forward the remainder. The session
+/// must be built by the same deterministic construction (same app, same
+/// config) as the one that produced the log.
+///
+/// # Errors
+///
+/// [`SnapError::NoCheckpoint`] when the log has no checkpoint at or before
+/// `cycle`, [`SnapError::State`] when the snapshot fails to restore,
+/// [`SnapError::Sim`] when the roll-forward faults.
+pub fn replay_from<S: SnapSession>(
+    session: &mut S,
+    log: &CheckpointLog,
+    cycle: u64,
+) -> Result<SeekOutcome, SnapError> {
+    let cp = log
+        .nearest_at_or_before(cycle)
+        .ok_or(SnapError::NoCheckpoint { cycle })?;
+    session.sim().restore(&cp.state)?;
+    let rolled_forward = cycle - cp.cycle;
+    let mut remaining = rolled_forward;
+    while remaining > 0 {
+        let step = remaining.min(CHUNK);
+        session.sim().run(step)?;
+        remaining -= step;
+    }
+    Ok(SeekOutcome {
+        restored_from: cp.cycle,
+        target: cycle,
+        rolled_forward,
+    })
+}

@@ -1,6 +1,15 @@
 //! The divergence-detection workflow (§3.6, §5.4): find cycle-dependent
-//! behaviour in the DRAM DMA application and fix it with the interrupt
-//! patch.
+//! behaviour in the DRAM DMA application, localize its **first divergent
+//! cycle** with segmented parallel verification, and fix it with the
+//! interrupt patch.
+//!
+//! This example used to replay the whole trace serially and diff the
+//! validation trace at the end (`vidi_repro::trace::compare`). With the
+//! `snap` subsystem the replay is checkpointed instead: the verifier
+//! partitions it at checkpoint boundaries, re-runs the segments in
+//! parallel, and pins the divergence to the exact cycle the offending
+//! transaction committed — the same verdict the serial sweep produces,
+//! in a fraction of the wall time on long replays.
 //!
 //! ```text
 //! cargo run --release --example divergence_detection
@@ -8,7 +17,8 @@
 
 use vidi_repro::apps::{build_app, dma_setup, run_app, DmaCompletion};
 use vidi_repro::core::VidiConfig;
-use vidi_repro::trace::{compare, Divergence};
+use vidi_repro::snap::{checkpointed_replay, CheckpointPolicy, ParallelVerifier, VerifyVerdict};
+use vidi_repro::trace::Divergence;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tasks = 12;
@@ -22,58 +32,69 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map_err(|e| format!("bad output: {e}"))?;
     let reference = rec.trace.expect("reference trace");
     println!(
-        "[1/3] reference trace recorded: {} transactions ({} poll reads issued)",
+        "[1/4] reference trace recorded: {} transactions ({} poll reads issued)",
         reference.transaction_count(),
         rec.polls
     );
 
-    // Step 2: replay while re-recording a validation trace.
-    let val = run_app(
-        build_app(setup(3), VidiConfig::replay_record(reference.clone())),
-        50_000_000,
-    )?;
-    let validation = val.trace.expect("validation trace");
-    let report = compare(&reference, &validation);
+    // Step 2: replay once while checkpointing every 1000 cycles. The
+    // checkpoint log is what makes the replay seekable and the
+    // verification segmentable.
+    let replay_cfg = VidiConfig::replay_record(reference.clone());
+    let mut session = build_app(setup(3), replay_cfg.clone());
+    let log = checkpointed_replay(&mut session, CheckpointPolicy::every(1000), 50_000_000)?;
     println!(
-        "[2/3] replayed and compared: {} divergences over {} transactions",
-        report.divergences.len(),
-        report.transactions_checked
+        "[2/4] checkpointed replay: {} checkpoints over {} cycles",
+        log.checkpoints.len(),
+        log.final_cycle
     );
-    for d in report.divergences.iter().take(3) {
-        if let Divergence::ContentMismatch {
-            channel,
-            index,
-            reference,
-            validation,
-            context,
-        } = d
-        {
+
+    // Step 3: verify the segments in parallel. Each worker restores a
+    // checkpoint, replays its slice of the trace, and the reports stitch
+    // into the first divergent cycle.
+    let factory = || build_app(setup(3), replay_cfg.clone());
+    let report = ParallelVerifier::new(factory, &log, &reference).verify_parallel(4)?;
+    match &report.verdict {
+        VerifyVerdict::Diverged { cycle, divergence } => {
             println!(
-                "      -> {channel} transaction #{index}: recorded {reference:x}, replayed \
-                 {validation:x} ({} preceding transactions attached as context)",
-                context.len()
+                "[3/4] parallel verification ({} segments): first divergence at cycle {cycle}",
+                report.segments
             );
+            if let Divergence::ContentMismatch {
+                channel,
+                index,
+                reference,
+                validation,
+                ..
+            } = divergence
+            {
+                println!(
+                    "      -> {channel} transaction #{index}: recorded {reference:x}, \
+                     replayed {validation:x}"
+                );
+            }
+            println!("      the verdict localizes the divergence to the status-register");
+            println!("      channel: the application's polling is cycle-dependent (§3.6).");
+        }
+        other => {
+            return Err(format!("polling replay should diverge, got {other:?}").into());
         }
     }
-    if !report.is_clean() {
-        println!("      the report localizes the divergence to the status-register");
-        println!("      channel: the application's polling is cycle-dependent (§3.6).");
-    }
 
-    // Step 3: the 10-line patch — interrupt-driven completion.
-    println!("[3/3] applying the interrupt patch and re-running the workflow...");
+    // Step 4: the 10-line patch — interrupt-driven completion — verifies
+    // clean through the very same machinery.
+    println!("[4/4] applying the interrupt patch and re-running the workflow...");
     let setup_fixed = |seed| dma_setup(tasks, 4096, DmaCompletion::Interrupt, seed);
     let rec = run_app(build_app(setup_fixed(3), VidiConfig::record()), 50_000_000)?;
-    let reference = rec.trace.expect("reference trace");
-    let val = run_app(
-        build_app(setup_fixed(3), VidiConfig::replay_record(reference.clone())),
-        50_000_000,
-    )?;
-    let report = compare(&reference, &val.trace.expect("validation trace"));
+    let fixed_ref = rec.trace.expect("reference trace");
+    let fixed_cfg = VidiConfig::replay_record(fixed_ref.clone());
+    let mut session = build_app(setup_fixed(3), fixed_cfg.clone());
+    let log = checkpointed_replay(&mut session, CheckpointPolicy::every(1000), 50_000_000)?;
+    let factory = || build_app(setup_fixed(3), fixed_cfg.clone());
+    let report = ParallelVerifier::new(factory, &log, &fixed_ref).verify_parallel(4)?;
     println!(
-        "      interrupt completion: {} divergences over {} transactions",
-        report.divergences.len(),
-        report.transactions_checked
+        "      interrupt completion: {:?} over {} transactions",
+        report.verdict, report.transactions_checked
     );
     assert!(
         report.is_clean(),

@@ -32,6 +32,13 @@ echo "â”€â”€ bench smoke: scheduler equivalence + evals/cycle gate â”€â”€â”€â”€â
 cargo run --release -q -p vidi-bench --bin bench_sim -- \
     --out BENCH_sim.json --baseline scripts/bench_sim_baseline.json
 
+echo "â”€â”€ snap smoke: checkpoint exactness + parallel-verify gate â”€â”€â”€â”€â”€"
+# Emits BENCH_snap.json and fails on any checkpoint round-trip inexactness,
+# serial/parallel report disagreement, verdict drift against the committed
+# baseline, or <2x modeled verify speedup on half the catalog at 4 threads.
+cargo run --release -q -p vidi-bench --bin bench_snap -- \
+    --out BENCH_snap.json --baseline scripts/bench_snap_baseline.json --threads 4
+
 if [ "$mode" = "full" ]; then
     echo "â”€â”€ examples â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€"
     for ex in quickstart debugging_case_study testing_case_study \

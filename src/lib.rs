@@ -28,6 +28,8 @@
 //!   storage/recovery pipeline's test harness.
 //! * [`apps`] — the ten evaluated applications and both case studies.
 //! * [`synth`] — structural LUT/FF/BRAM estimation (Table 2 / Fig 7).
+//! * [`snap`] — deterministic checkpoints, seekable replay, and
+//!   segmented parallel replay verification.
 //! * [`lint`] — static design lint and offline trace analysis (the
 //!   `vidi-lint` binary): combinational-cycle, boundary-coverage, and
 //!   happens-before deadlock certificates without running a cycle.
@@ -70,5 +72,6 @@ pub use vidi_faults as faults;
 pub use vidi_host as host;
 pub use vidi_hwsim as hwsim;
 pub use vidi_lint as lint;
+pub use vidi_snap as snap;
 pub use vidi_synth as synth;
 pub use vidi_trace as trace;

@@ -295,6 +295,93 @@ fn quiet_plan_changes_nothing() {
 }
 
 #[test]
+fn killed_replay_resumes_from_last_durable_checkpoint() {
+    use vidi_repro::snap::{
+        checkpointed_replay, load_checkpoints, replay_from, save_checkpoints, CheckpointPolicy,
+    };
+
+    let seed = 7u64;
+    let app = AppId::Sha;
+    let patient = RetryPolicy {
+        max_attempts: 4,
+        base_backoff: std::time::Duration::ZERO,
+    };
+
+    // Unfaulted baseline: record, then replay to completion with
+    // checkpoints, keeping the full validation trace.
+    let recorded = run_app(
+        build_app(app.setup(Scale::Test, seed), VidiConfig::record()),
+        RECORD_BUDGET,
+    )
+    .expect("clean recording completes");
+    let reference = recorded.trace.expect("recording produces a trace");
+    let replay_cfg = VidiConfig::replay_record(reference.clone());
+    let mut unfaulted = build_app(app.setup(Scale::Test, seed), replay_cfg.clone());
+    let full_log =
+        checkpointed_replay(&mut unfaulted, CheckpointPolicy::every(1000), REPLAY_BUDGET)
+            .expect("unfaulted checkpointed replay");
+    assert!(full_log.completed);
+    let unfaulted_trace = unfaulted.shim.recorded_trace().expect("validation trace");
+
+    // The faulted run: killed mid-trace (the budget expires halfway), with
+    // whatever checkpoints it reached saved durably through flaky storage
+    // that also truncates the image at rest.
+    let kill_at = (full_log.final_cycle / 2).max(1500);
+    let mut killed = build_app(app.setup(Scale::Test, seed), replay_cfg.clone());
+    let killed_log = checkpointed_replay(&mut killed, CheckpointPolicy::every(1000), kill_at)
+        .expect("killed replay returns its partial log");
+    assert!(!killed_log.completed, "the run must die mid-trace");
+    assert!(
+        killed_log.checkpoints.len() >= 2,
+        "at least one durable checkpoint past cycle 0"
+    );
+
+    let host_plan = FaultPlan::new(FaultSpec {
+        seed,
+        host_io_failures: Some(StorageFailureSpec {
+            per_mille: 400,
+            failures_per_op: 2,
+        }),
+        corruption: Some(CorruptionSpec::Truncate {
+            keep_num: 3,
+            keep_den: 4,
+        }),
+        ..FaultSpec::default()
+    });
+    let mut storage = host_plan.wrap_storage(MemStorage::new());
+    save_checkpoints(&mut storage, &killed_log, &patient)
+        .expect("patient save survives transient faults");
+    let mut at_rest = storage.into_inner();
+    host_plan.corrupt(at_rest.image_mut().expect("an image was written"));
+    let mut storage = host_plan.wrap_storage(at_rest);
+
+    // Recovery: the loader certifies a clean checkpoint prefix; the run
+    // resumes from the last durable checkpoint and completes with a trace
+    // identical to the unfaulted run's.
+    let recovered = load_checkpoints(&mut storage, &patient).expect("recover checkpoint prefix");
+    let last = recovered
+        .log
+        .checkpoints
+        .last()
+        .expect("at least the cycle-0 checkpoint survives a 3/4 truncation");
+    assert!(last.cycle <= kill_at);
+    let mut resumed = build_app(app.setup(Scale::Test, seed), replay_cfg);
+    replay_from(&mut resumed, &recovered.log, last.cycle).expect("restore last checkpoint");
+    let mut spent = 0u64;
+    while !resumed.shim.replay_complete() {
+        resumed.sim.run(256).expect("resume run");
+        spent += 256;
+        assert!(spent < REPLAY_BUDGET, "resumed replay must complete");
+    }
+    resumed.sim.run(4096).expect("flush margin");
+    assert_eq!(
+        resumed.shim.recorded_trace().expect("validation trace"),
+        unfaulted_trace,
+        "resumed run must reproduce the unfaulted trace bit-exactly"
+    );
+}
+
+#[test]
 fn replay_completes_under_16x_fetch_bandwidth_collapse() {
     // Regression for the decoder credit-starvation bug: with a constant
     // bandwidth-collapse divisor larger than `fetch_bytes_per_cycle`,
