@@ -97,6 +97,12 @@ pub struct RunOutcome {
     pub trace_bytes: u64,
     /// Cycles during which recording back-pressure denied a request.
     pub backpressure_cycles: u64,
+    /// High-water mark of bytes buffered in the streaming trace sink — the
+    /// bounded-memory witness of the chunked trace path (stays O(chunk
+    /// size) no matter how long the run records).
+    pub peak_buffered_bytes: u64,
+    /// Trace chunks flushed to the store backend during the run.
+    pub chunks_flushed: u64,
     /// Poll reads issued by the CPU side.
     pub polls: u64,
     /// The run's output check passed.
@@ -284,6 +290,8 @@ pub fn run_app(mut built: BuiltApp, max_cycles: u64) -> Result<RunOutcome, SimEr
         trace: built.shim.recorded_trace(),
         trace_bytes: built.shim.recorded_bytes(),
         backpressure_cycles: stats.backpressure_cycles,
+        peak_buffered_bytes: stats.peak_buffered_bytes,
+        chunks_flushed: stats.chunks_flushed,
         polls: built.cpu.iter().map(|h| h.borrow().polls_issued).sum(),
         output_ok,
         host_mem: built.host_mem,

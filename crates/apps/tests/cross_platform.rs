@@ -38,13 +38,11 @@ fn replay_is_platform_parameter_insensitive() {
             build_app(
                 AppId::DigitRec.setup(Scale::Test, 13),
                 VidiConfig {
-                    mode: VidiMode::ReplayRecord(reference.clone()),
+                    mode: VidiMode::ReplayRecord(reference.clone().into()),
                     store_bytes_per_cycle: bw,
                     fetch_bytes_per_cycle: bw,
                     fifo_capacity: fifo,
-                    record_output_content: true,
-                    stall_budget: None,
-                    checkpoint_every: None,
+                    ..VidiConfig::default()
                 },
             ),
             10_000_000,

@@ -20,8 +20,9 @@ use std::process::ExitCode;
 use vidi_apps::Scale;
 use vidi_bench::json::Json;
 use vidi_bench::sim_bench::{
-    compare_to_baseline, measure_catalog, rows_with_2x_reduction, to_json,
+    buffer_bound_failures, compare_to_baseline, measure_catalog, rows_with_2x_reduction, to_json,
 };
+use vidi_core::VidiConfig;
 
 /// Maximum tolerated growth in per-app evals/cycle versus the baseline.
 const TOLERANCE: f64 = 0.10;
@@ -90,6 +91,21 @@ fn main() -> ExitCode {
             rows.len()
         );
         ok = false;
+    }
+    // Bounded-memory gate: recording buffers must stay O(chunk size) no
+    // matter how long the run — the streaming trace path's core promise.
+    let bound = VidiConfig::record().streaming_buffer_bound();
+    for f in buffer_bound_failures(&rows, bound) {
+        eprintln!("FAIL: {f}");
+        ok = false;
+    }
+    if ok {
+        let peak = rows
+            .iter()
+            .map(|r| r.peak_buffered_bytes)
+            .max()
+            .unwrap_or(0);
+        println!("streaming peak buffer {peak} bytes <= bound {bound} (all apps)");
     }
     if let Some(path) = baseline_path {
         let text = std::fs::read_to_string(&path).expect("read baseline");

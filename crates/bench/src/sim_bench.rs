@@ -41,6 +41,13 @@ pub struct SimBenchRow {
     pub eval_reduction: f64,
     /// The recorded traces of the two modes are byte-for-byte identical.
     pub traces_identical: bool,
+    /// High-water mark of bytes buffered in the streaming trace sink, maxed
+    /// over the two recording runs — the bounded-memory witness CI gates
+    /// against [`vidi_core::VidiConfig::streaming_buffer_bound`].
+    pub peak_buffered_bytes: u64,
+    /// Trace chunks the incremental recording run flushed to its store
+    /// backend.
+    pub chunks_flushed: u64,
 }
 
 fn timed_record(app: AppId, scale: Scale, seed: u64, mode: EvalMode) -> (RunOutcome, f64) {
@@ -102,6 +109,8 @@ pub fn measure_app(app: AppId, scale: Scale, seed: u64) -> SimBenchRow {
         evals_per_cycle_incremental: epc_inc,
         eval_reduction: epc_full / epc_inc.max(1e-9),
         traces_identical,
+        peak_buffered_bytes: full.peak_buffered_bytes.max(inc.peak_buffered_bytes),
+        chunks_flushed: inc.chunks_flushed,
     }
 }
 
@@ -116,6 +125,34 @@ pub fn measure_catalog(scale: Scale, seed: u64) -> Vec<SimBenchRow> {
 /// Number of rows whose eval reduction is at least 2x.
 pub fn rows_with_2x_reduction(rows: &[SimBenchRow]) -> usize {
     rows.iter().filter(|r| r.eval_reduction >= 2.0).count()
+}
+
+/// The bounded-memory CI gate over a measured catalog: every app's peak
+/// buffered bytes must stay under `bound` (O(chunk size) + one bandwidth
+/// burst, per [`vidi_core::VidiConfig::streaming_buffer_bound`]), and the
+/// catalog must actually exercise the chunked path — at least one recording
+/// must flush chunks, or the "bounded" witness is vacuous.
+///
+/// Returns the list of violations, empty when the gate passes.
+pub fn buffer_bound_failures(rows: &[SimBenchRow], bound: u64) -> Vec<String> {
+    let mut failures: Vec<String> = rows
+        .iter()
+        .filter(|r| r.peak_buffered_bytes > bound)
+        .map(|r| {
+            format!(
+                "{}: peak buffered {} bytes exceeds the streaming bound {bound}",
+                r.app, r.peak_buffered_bytes
+            )
+        })
+        .collect();
+    if !rows.is_empty() && rows.iter().all(|r| r.chunks_flushed == 0) {
+        failures.push(
+            "no catalog recording flushed a chunk — the bounded-memory gate \
+             never exercised the streaming path"
+                .to_string(),
+        );
+    }
+    failures
 }
 
 /// Serializes rows into the `BENCH_sim.json` document.
@@ -137,6 +174,11 @@ pub fn to_json(rows: &[SimBenchRow], scale: Scale) -> Json {
                 ),
                 ("eval_reduction", Json::Num(r.eval_reduction)),
                 ("traces_identical", Json::Bool(r.traces_identical)),
+                (
+                    "peak_buffered_bytes",
+                    Json::Num(r.peak_buffered_bytes as f64),
+                ),
+                ("chunks_flushed", Json::Num(r.chunks_flushed as f64)),
             ])
         })
         .collect();
@@ -230,6 +272,29 @@ mod tests {
             })
             .collect();
         obj([("apps", Json::Arr(rows))])
+    }
+
+    #[test]
+    fn buffer_bound_gate_flags_overruns_and_vacuous_runs() {
+        let row = |app: &str, peak: u64, chunks: u64| SimBenchRow {
+            app: app.into(),
+            cycles: 0,
+            wall_ms_full: 0.0,
+            wall_ms_incremental: 0.0,
+            replay_wall_ms: 0.0,
+            cycles_per_sec: 0.0,
+            evals_per_cycle_full: 0.0,
+            evals_per_cycle_incremental: 0.0,
+            eval_reduction: 0.0,
+            traces_identical: true,
+            peak_buffered_bytes: peak,
+            chunks_flushed: chunks,
+        };
+        assert!(buffer_bound_failures(&[row("a", 100, 3)], 1000).is_empty());
+        let fails = buffer_bound_failures(&[row("a", 2000, 0), row("b", 100, 0)], 1000);
+        assert_eq!(fails.len(), 2);
+        assert!(fails[0].contains("a: peak buffered"));
+        assert!(fails[1].contains("never exercised"));
     }
 
     #[test]

@@ -85,6 +85,12 @@ pub struct SnapBenchRow {
     /// polls a status register (§3.6) — so the baseline gates verdict
     /// stability, not cleanliness.
     pub verdict: String,
+    /// High-water mark of bytes buffered in the streaming trace sink during
+    /// the reference recording — the bounded-memory witness of the chunked
+    /// trace path.
+    pub peak_buffered_bytes: u64,
+    /// Trace chunks the reference recording flushed to its store backend.
+    pub chunks_flushed: u64,
 }
 
 /// Renders a verdict as the stable string the baseline pins.
@@ -157,6 +163,8 @@ pub fn measure_app(app: AppId, scale: Scale, seed: u64, threads: usize) -> SnapB
         "{}: recording incorrect",
         app.label()
     );
+    let peak_buffered_bytes = rec.peak_buffered_bytes;
+    let chunks_flushed = rec.chunks_flushed;
     let reference = rec.trace.expect("recording produces a trace");
     let replay_cfg = VidiConfig::replay_record(reference.clone());
 
@@ -242,6 +250,8 @@ pub fn measure_app(app: AppId, scale: Scale, seed: u64, threads: usize) -> SnapB
         verify_speedup: schedule_speedup(&log, VERIFY_FLUSH_MARGIN, threads),
         verify_consistent,
         verdict: verdict_label(&serial.verdict),
+        peak_buffered_bytes,
+        chunks_flushed,
     }
 }
 
@@ -277,6 +287,11 @@ pub fn to_json(rows: &[SnapBenchRow], scale: Scale, threads: usize) -> Json {
                 ("verify_speedup", Json::Num(r.verify_speedup)),
                 ("verify_consistent", Json::Bool(r.verify_consistent)),
                 ("verdict", Json::Str(r.verdict.clone())),
+                (
+                    "peak_buffered_bytes",
+                    Json::Num(r.peak_buffered_bytes as f64),
+                ),
+                ("chunks_flushed", Json::Num(r.chunks_flushed as f64)),
             ])
         })
         .collect();

@@ -1,6 +1,6 @@
 //! Vidi shim configuration (the R1/R2/R3 configurations of §5.1).
 
-use vidi_trace::Trace;
+use crate::replay_input::ReplayInput;
 
 /// What the shim does with the channels it interposes.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -14,18 +14,18 @@ pub enum VidiMode {
     /// [`VidiConfig::record_output_content`] is set).
     Record,
     /// Replay a previously recorded trace; monitors are transparent.
-    Replay(Trace),
+    Replay(ReplayInput),
     /// R3: replay a reference trace while simultaneously re-recording (used
     /// by divergence detection, §3.6). Output contents are always recorded
     /// in this mode.
-    ReplayRecord(Trace),
+    ReplayRecord(ReplayInput),
     /// The order-less baseline of §1 (DebugGovernor-style): replay each
     /// channel's recorded contents independently, with **no cross-channel
     /// happens-before enforcement**, while re-recording a validation trace.
     /// Applications whose behaviour depends on transaction ordering produce
     /// wrong outputs under this baseline — the motivating comparison for
     /// transaction determinism.
-    ReplayOrderless(Trace),
+    ReplayOrderless(ReplayInput),
 }
 
 impl VidiMode {
@@ -79,6 +79,11 @@ pub struct VidiConfig {
     /// is policy only — the shim itself never snapshots; it is consumed by
     /// whatever drives the simulation loop.
     pub checkpoint_every: Option<u64>,
+    /// Chunk size of the streaming trace path, in 64-byte storage words.
+    /// The trace store flushes to its chunk backend and the replay decoder
+    /// reads ahead in units of this many words, which bounds both sides'
+    /// buffering at O(chunk size) independent of trace length.
+    pub trace_chunk_words: usize,
 }
 
 impl Default for VidiConfig {
@@ -91,6 +96,7 @@ impl Default for VidiConfig {
             fetch_bytes_per_cycle: 22,
             stall_budget: None,
             checkpoint_every: None,
+            trace_chunk_words: vidi_trace::DEFAULT_CHUNK_WORDS,
         }
     }
 }
@@ -110,26 +116,26 @@ impl VidiConfig {
     }
 
     /// A plain replay of `trace` without re-recording.
-    pub fn replay(trace: Trace) -> Self {
+    pub fn replay(trace: impl Into<ReplayInput>) -> Self {
         VidiConfig {
-            mode: VidiMode::Replay(trace),
+            mode: VidiMode::Replay(trace.into()),
             ..VidiConfig::default()
         }
     }
 
     /// The R3 replay-while-recording configuration of §3.6.
-    pub fn replay_record(trace: Trace) -> Self {
+    pub fn replay_record(trace: impl Into<ReplayInput>) -> Self {
         VidiConfig {
-            mode: VidiMode::ReplayRecord(trace),
+            mode: VidiMode::ReplayRecord(trace.into()),
             ..VidiConfig::default()
         }
     }
 
     /// The order-less baseline (§1): replay without happens-before
     /// enforcement, re-recording a validation trace for comparison.
-    pub fn replay_orderless(trace: Trace) -> Self {
+    pub fn replay_orderless(trace: impl Into<ReplayInput>) -> Self {
         VidiConfig {
-            mode: VidiMode::ReplayOrderless(trace),
+            mode: VidiMode::ReplayOrderless(trace.into()),
             ..VidiConfig::default()
         }
     }
@@ -139,16 +145,34 @@ impl VidiConfig {
         self.checkpoint_every = Some(every);
         self
     }
+
+    /// Upper bound on the bytes the streaming trace sink may buffer in
+    /// memory under this configuration, independent of run length: at most
+    /// one chunk of carry-over plus one bandwidth-credit burst of freshly
+    /// framed words (framing inflates payload by 64/50; the factor of two
+    /// covers it, plus the self-description header and word rounding). CI
+    /// gates the recorded
+    /// [`peak_buffered_bytes`](crate::VidiStats::peak_buffered_bytes)
+    /// high-water mark against this bound — the bounded-memory contract of
+    /// the chunked trace path.
+    pub fn streaming_buffer_bound(&self) -> u64 {
+        let word = vidi_trace::STORAGE_WORD_BYTES as u64;
+        let chunk_bytes = self.trace_chunk_words.max(1) as u64 * word;
+        // Mirrors the store's credit cap: enough banked bandwidth for a
+        // burst, never less than the largest possible cycle packet.
+        let credit_cap = (u64::from(self.store_bytes_per_cycle).max(1) * 16).max(8192);
+        chunk_bytes + 2 * credit_cap + 2 * word
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vidi_trace::TraceLayout;
+    use vidi_trace::{Trace, TraceLayout};
 
     #[test]
     fn mode_predicates() {
-        let t = Trace::new(TraceLayout::default(), true);
+        let t: ReplayInput = Trace::new(TraceLayout::default(), true).into();
         assert!(!VidiMode::Transparent.records());
         assert!(!VidiMode::Transparent.replays());
         assert!(VidiMode::Record.records());

@@ -1,16 +1,18 @@
 //! The trace decoder core (§3.4).
 //!
-//! During replay the decoder fetches cycle packets from the trace store
-//! (bandwidth-limited, like the recording path) and decomposes each into
-//! per-channel stream elements: the channel's own packet plus the cycle's
-//! `Ends` field, which every replayer needs to maintain its `T_expected`
-//! vector clock.
+//! During replay the decoder pulls cycle packets from a streaming
+//! [`TraceSource`] (bandwidth-limited, like the recording path) and
+//! decomposes each into per-channel stream elements: the channel's own
+//! packet plus the cycle's `Ends` field, which every replayer needs to
+//! maintain its `T_expected` vector clock. The source reads the framed
+//! chunk image with a bounded readahead window, so replaying a trace never
+//! materializes it: memory stays O(chunk size) regardless of trace length.
 
 use std::rc::Rc;
 
 use vidi_chan::Direction;
 use vidi_hwsim::{StateError, StateReader, StateWriter};
-use vidi_trace::Trace;
+use vidi_trace::{CyclePacket, SharedChunks, SourcePos, TraceLayout, TraceSource};
 
 use crate::faults::BandwidthHook;
 use crate::replayer::{ReplayElem, ReplayerCore};
@@ -18,8 +20,17 @@ use crate::store::packet_bytes;
 
 /// The decoder's registered core, embedded in the Vidi engine.
 pub struct DecoderCore {
-    trace: Trace,
-    next: usize,
+    source: TraceSource<SharedChunks>,
+    /// The source's layout and content mode, cloned once at construction so
+    /// dispatch can borrow them while the source is borrowed mutably.
+    layout: TraceLayout,
+    record_output: bool,
+    /// One-packet readahead: the next packet decoded from the source but
+    /// not yet affordable/dispatchable.
+    pending: Option<CyclePacket>,
+    /// Source position at which `pending` begins, for checkpointing.
+    pending_pos: SourcePos,
+    dispatched: usize,
     fetch_bytes_per_cycle: u32,
     credit: u64,
     credit_cap: u64,
@@ -31,14 +42,24 @@ pub struct DecoderCore {
     cycle: u64,
     /// Injected fetch-bandwidth collapse (see [`crate::FaultInjection`]).
     bandwidth_hook: Option<BandwidthHook>,
+    /// Sticky fetch failure: a chunk backend error during replay. Replay
+    /// cannot proceed past it; surfaced through [`DecoderCore::fault`].
+    io_fault: Option<String>,
 }
 
 impl DecoderCore {
-    /// Creates a decoder over a previously recorded trace.
-    pub fn new(trace: Trace, fetch_bytes_per_cycle: u32) -> Self {
+    /// Creates a decoder over an opened trace source.
+    pub fn new(source: TraceSource<SharedChunks>, fetch_bytes_per_cycle: u32) -> Self {
+        let layout = source.layout().clone();
+        let record_output = source.records_output_content();
+        let pending_pos = source.position();
         DecoderCore {
-            trace,
-            next: 0,
+            source,
+            layout,
+            record_output,
+            pending: None,
+            pending_pos,
+            dispatched: 0,
             fetch_bytes_per_cycle,
             credit: 0,
             // Must admit the largest possible cycle packet (see StoreCore).
@@ -46,6 +67,7 @@ impl DecoderCore {
             credit_rem: 0,
             cycle: 0,
             bandwidth_hook: None,
+            io_fault: None,
         }
     }
 
@@ -54,12 +76,19 @@ impl DecoderCore {
         self.bandwidth_hook = Some(hook);
     }
 
-    /// Serializes the dispatch cursor and credit state for a checkpoint.
-    /// The trace itself is part of the build configuration (the restored
-    /// simulator is constructed over the same trace), so only the position
-    /// within it is captured.
+    /// Serializes the dispatch cursor, the source position, and the credit
+    /// state for a checkpoint. The chunk image itself is part of the build
+    /// configuration (the restored simulator is constructed over the same
+    /// image), so only the position within it is captured.
     pub(crate) fn save_state(&self, w: &mut StateWriter) {
-        w.usize(self.next);
+        w.usize(self.dispatched);
+        let pos = if self.pending.is_some() {
+            self.pending_pos
+        } else {
+            self.source.position()
+        };
+        w.u64(pos.payload_offset);
+        w.u64(pos.packets_read);
         w.u64(self.credit);
         w.u64(self.credit_rem);
         w.u64(self.cycle);
@@ -67,14 +96,25 @@ impl DecoderCore {
 
     /// Restores state written by [`DecoderCore::save_state`].
     pub(crate) fn load_state(&mut self, r: &mut StateReader) -> Result<(), StateError> {
-        let next = r.usize()?;
-        if next > self.trace.packets().len() {
+        let dispatched = r.usize()?;
+        if dispatched > self.total() {
             return Err(StateError::Mismatch {
-                expected: format!("dispatch cursor <= {}", self.trace.packets().len()),
-                found: format!("{next}"),
+                expected: format!("dispatch cursor <= {}", self.total()),
+                found: format!("{dispatched}"),
             });
         }
-        self.next = next;
+        let pos = SourcePos {
+            payload_offset: r.u64()?,
+            packets_read: r.u64()?,
+        };
+        self.source.seek(pos).map_err(|e| StateError::Mismatch {
+            expected: "a certified trace-source position".into(),
+            found: e.to_string(),
+        })?;
+        self.pending = None;
+        self.pending_pos = pos;
+        self.io_fault = None;
+        self.dispatched = dispatched;
         self.credit = r.u64()?;
         self.credit_rem = r.u64()?;
         self.cycle = r.u64()?;
@@ -83,17 +123,22 @@ impl DecoderCore {
 
     /// Number of cycle packets dispatched so far.
     pub fn dispatched(&self) -> usize {
-        self.next
+        self.dispatched
     }
 
-    /// Total cycle packets in the trace.
+    /// Total certified cycle packets in the trace being replayed.
     pub fn total(&self) -> usize {
-        self.trace.packets().len()
+        usize::try_from(self.source.certified_packets()).unwrap_or(usize::MAX)
     }
 
-    /// Whether every packet has been dispatched to the replayers.
+    /// Whether every certified packet has been dispatched to the replayers.
     pub fn done(&self) -> bool {
-        self.next >= self.trace.packets().len()
+        self.pending.is_none() && self.dispatched >= self.total()
+    }
+
+    /// A sticky fetch failure, if the chunk backend errored mid-replay.
+    pub fn fault(&self) -> Option<&str> {
+        self.io_fault.as_deref()
     }
 
     /// Clock-edge phase: dispatches packets to replayers as long as the
@@ -109,23 +154,37 @@ impl DecoderCore {
         let accrued = self.credit_rem + self.fetch_bytes_per_cycle as u64;
         self.credit = (self.credit + accrued / divisor).min(self.credit_cap);
         self.credit_rem = accrued % divisor;
-        // Borrow the layout in place: cloning it here cost a deep copy of
-        // every channel name per replay tick.
-        let layout = self.trace.layout();
-        let record_output = self.trace.records_output_content();
-        while self.next < self.trace.packets().len() {
+        loop {
+            if self.pending.is_none() {
+                if self.io_fault.is_some() {
+                    break;
+                }
+                let pos = self.source.position();
+                match self.source.next_packet() {
+                    Ok(Some(packet)) => {
+                        self.pending = Some(packet);
+                        self.pending_pos = pos;
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        self.io_fault = Some(format!("trace fetch failed: {e}"));
+                        break;
+                    }
+                }
+            }
             if !replayers
                 .iter()
                 .all(super::replayer::ReplayerCore::has_space)
             {
                 break;
             }
-            let packet = &self.trace.packets()[self.next];
-            let size = packet_bytes(layout, packet);
+            let Some(packet) = &self.pending else { break };
+            let size = packet_bytes(&self.layout, packet);
             if self.credit < size {
                 break;
             }
             self.credit -= size;
+            let packet = self.pending.take().expect("pending packet checked above");
             let ends: Rc<Vec<u16>> = Rc::new(
                 packet
                     .ends
@@ -138,8 +197,14 @@ impl DecoderCore {
                     })
                     .collect(),
             );
-            let channel_packets = packet.disassemble(layout, record_output);
-            for (idx, (info, pkt)) in layout.channels().iter().zip(channel_packets).enumerate() {
+            let channel_packets = packet.disassemble(&self.layout, self.record_output);
+            for (idx, (info, pkt)) in self
+                .layout
+                .channels()
+                .iter()
+                .zip(channel_packets)
+                .enumerate()
+            {
                 // Replayers only need content for input starts; output
                 // contents (present in §3.6 reference traces) are checked by
                 // the validation recording path, not the replayer.
@@ -154,7 +219,7 @@ impl DecoderCore {
                     ends: Rc::clone(&ends),
                 });
             }
-            self.next += 1;
+            self.dispatched += 1;
         }
     }
 }
@@ -162,9 +227,10 @@ impl DecoderCore {
 impl std::fmt::Debug for DecoderCore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DecoderCore")
-            .field("dispatched", &self.next)
-            .field("total", &self.trace.packets().len())
+            .field("dispatched", &self.dispatched)
+            .field("total", &self.source.certified_packets())
             .field("credit", &self.credit)
+            .field("io_fault", &self.io_fault)
             .finish()
     }
 }

@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use vidi_chan::{Channel, Direction};
 use vidi_hwsim::{Component, SignalPool, StateError, StateReader, StateWriter};
-use vidi_trace::{Trace, TraceLayout};
+use vidi_trace::{SharedChunks, TraceLayout, TraceSource};
 
 use crate::decoder::DecoderCore;
 use crate::encoder::EncoderCore;
@@ -50,6 +50,12 @@ pub struct VidiStats {
     pub backpressure_cycles: u64,
     /// Channel-packet events folded into the trace.
     pub events_logged: u64,
+    /// High-water mark of bytes buffered in the streaming trace sink
+    /// awaiting a chunk flush — the bounded-memory witness: stays
+    /// O(chunk size) no matter how long the recording runs.
+    pub peak_buffered_bytes: u64,
+    /// Chunks flushed from the trace sink to its backend.
+    pub chunks_flushed: u64,
 }
 
 /// Shared handle to engine statistics.
@@ -80,6 +86,7 @@ impl VidiEngine {
         fifo_capacity: usize,
         record_output_content: bool,
         store_bytes_per_cycle: u32,
+        trace_chunk_words: usize,
     ) -> (Self, RecordHandle, StatsHandle) {
         // The encoder and store share one layout allocation; only the
         // self-describing recorded trace keeps a deep copy of its own.
@@ -90,7 +97,12 @@ impl VidiEngine {
             fifo_capacity,
             record_output_content,
         );
-        let (store, record) = StoreCore::new(layout, record_output_content, store_bytes_per_cycle);
+        let (store, record) = StoreCore::new(
+            layout,
+            record_output_content,
+            store_bytes_per_cycle,
+            trace_chunk_words,
+        );
         let stats: StatsHandle = Rc::new(RefCell::new(VidiStats::default()));
         (
             VidiEngine {
@@ -113,7 +125,7 @@ impl VidiEngine {
     /// channels) to an engine. `env_channels` must follow layout order.
     pub(crate) fn with_replay(
         mut self,
-        trace: Trace,
+        source: TraceSource<SharedChunks>,
         env_channels: Vec<(Channel, Direction)>,
         fetch_bytes_per_cycle: u32,
         orderless: bool,
@@ -135,10 +147,10 @@ impl VidiEngine {
         self.replayers = replayers;
         self.replay_channels = channels;
         let status: ReplayHandle = Rc::new(RefCell::new(ReplayStatus {
-            total: trace.packets().len(),
+            total: usize::try_from(source.certified_packets()).unwrap_or(usize::MAX),
             ..ReplayStatus::default()
         }));
-        self.decoder = Some(DecoderCore::new(trace, fetch_bytes_per_cycle));
+        self.decoder = Some(DecoderCore::new(source, fetch_bytes_per_cycle));
         self.replay_status = Some(Rc::clone(&status));
         (self, status)
     }
@@ -251,6 +263,9 @@ impl Component for VidiEngine {
     }
 
     fn fault(&self) -> Option<String> {
+        if let Some(fault) = self.decoder.as_ref().and_then(DecoderCore::fault) {
+            return Some(format!("vidi.decoder: {fault}"));
+        }
         self.replayers
             .iter()
             .find_map(|r| r.fault().map(String::from))

@@ -47,6 +47,7 @@ mod engine;
 mod faults;
 mod monitor;
 mod port;
+mod replay_input;
 mod replayer;
 mod shim;
 mod store;
@@ -59,6 +60,7 @@ pub use engine::{ReplayHandle, ReplayStatus, StatsHandle, VidiEngine, VidiStats}
 pub use faults::{BandwidthHook, FaultInjection, StallHook, StoreWriteHook, StoreWriteOutcome};
 pub use monitor::{ChannelMonitor, MonitorMode};
 pub use port::EncoderPort;
+pub use replay_input::ReplayInput;
 pub use replayer::{ReplayElem, ReplayerCore};
 pub use shim::{ShimError, VidiShim};
 pub use store::{packet_bytes, RecordHandle, RecordedRun};

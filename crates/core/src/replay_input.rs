@@ -1,0 +1,135 @@
+//! The replay-side trace input: shared, immutable chunk storage.
+//!
+//! A replay no longer owns a materialized [`Trace`]; it owns a handle to a
+//! framed chunk image ([`SharedChunks`]) and opens an independent
+//! [`TraceSource`] over it. Cloning a [`ReplayInput`] (and therefore a
+//! replay [`VidiConfig`](crate::VidiConfig)) is an `Arc` bump, so N
+//! parallel verification workers share one trace image instead of N packet
+//! clones.
+
+use std::sync::Arc;
+
+use vidi_trace::{ChunkSource, SharedChunks, Trace, TraceError, TraceSource};
+
+/// A framed trace image a replay reads from.
+///
+/// Constructed from an in-memory [`Trace`] (which is encoded into framed
+/// storage words once) or directly from any [`SharedChunks`] backend — a
+/// memory image, a file, or anything else implementing
+/// [`ChunkSource`](vidi_trace::ChunkSource).
+#[derive(Clone)]
+pub struct ReplayInput {
+    chunks: SharedChunks,
+}
+
+impl ReplayInput {
+    /// Wraps an existing shared chunk image.
+    pub fn from_chunks(chunks: SharedChunks) -> Self {
+        ReplayInput { chunks }
+    }
+
+    /// The underlying shared chunk image.
+    pub fn chunks(&self) -> SharedChunks {
+        Arc::clone(&self.chunks)
+    }
+
+    /// Opens an independent [`TraceSource`] over the shared image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] if the image fails certification down to
+    /// the header.
+    pub fn open(&self, chunk_words: usize) -> Result<TraceSource<SharedChunks>, TraceError> {
+        TraceSource::open(Arc::clone(&self.chunks), chunk_words)
+    }
+}
+
+impl From<Trace> for ReplayInput {
+    fn from(trace: Trace) -> Self {
+        ReplayInput {
+            chunks: Arc::new(trace.encode_framed()),
+        }
+    }
+}
+
+impl From<&Trace> for ReplayInput {
+    fn from(trace: &Trace) -> Self {
+        ReplayInput {
+            chunks: Arc::new(trace.encode_framed()),
+        }
+    }
+}
+
+impl From<SharedChunks> for ReplayInput {
+    fn from(chunks: SharedChunks) -> Self {
+        ReplayInput { chunks }
+    }
+}
+
+impl std::fmt::Debug for ReplayInput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplayInput")
+            .field("bytes", &self.chunks.byte_len().unwrap_or(0))
+            .finish()
+    }
+}
+
+impl PartialEq for ReplayInput {
+    /// Byte-level equality of the underlying images (pointer-equal images
+    /// short-circuit). Backends that fail to read compare unequal.
+    fn eq(&self, other: &Self) -> bool {
+        if Arc::ptr_eq(&self.chunks, &other.chunks) {
+            return true;
+        }
+        let (Ok(a), Ok(b)) = (self.chunks.byte_len(), other.chunks.byte_len()) else {
+            return false;
+        };
+        if a != b {
+            return false;
+        }
+        let mut buf_a = vec![0u8; 4096];
+        let mut buf_b = vec![0u8; 4096];
+        let mut off = 0u64;
+        while off < a {
+            let want = ((a - off) as usize).min(4096);
+            let (Ok(na), Ok(nb)) = (
+                self.chunks.read_at(off, &mut buf_a[..want]),
+                other.chunks.read_at(off, &mut buf_b[..want]),
+            ) else {
+                return false;
+            };
+            if na == 0 || na != nb || buf_a[..na] != buf_b[..nb] {
+                return false;
+            }
+            off += na as u64;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vidi_trace::TraceLayout;
+
+    #[test]
+    fn trace_conversion_and_equality() {
+        let t = Trace::new(TraceLayout::default(), true);
+        let a: ReplayInput = t.clone().into();
+        let b: ReplayInput = t.into();
+        assert_eq!(a, b);
+        assert_eq!(a, a.clone());
+        let other = Trace::new(TraceLayout::default(), false);
+        let c: ReplayInput = other.into();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn opens_a_source() {
+        let t = Trace::new(TraceLayout::default(), true);
+        let input: ReplayInput = t.into();
+        let src = input.open(vidi_trace::DEFAULT_CHUNK_WORDS).unwrap();
+        assert_eq!(src.certified_packets(), 0);
+        assert!(src.is_complete());
+    }
+}

@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use vidi_chan::{Channel, Direction};
 use vidi_hwsim::{SignalId, Simulator};
-use vidi_trace::{ChannelInfo, Trace, TraceLayout};
+use vidi_trace::{ChannelInfo, ChunkIoError, ChunkSink, Trace, TraceLayout};
 
 use crate::config::{VidiConfig, VidiMode};
 use crate::engine::{ReplayHandle, StatsHandle, VidiEngine, VidiStats};
@@ -32,6 +32,13 @@ pub enum ShimError {
         /// The layout derived from the design.
         actual: String,
     },
+    /// The replay trace image failed certification down to the header —
+    /// its chunk backend errored or the stream is corrupt before the
+    /// layout could even be read.
+    BadReplayTrace(
+        /// The underlying trace error.
+        String,
+    ),
 }
 
 impl fmt::Display for ShimError {
@@ -41,6 +48,9 @@ impl fmt::Display for ShimError {
                 f,
                 "replay trace layout {expected} does not match design layout {actual}"
             ),
+            ShimError::BadReplayTrace(e) => {
+                write!(f, "replay trace image is unreadable: {e}")
+            }
         }
     }
 }
@@ -109,18 +119,25 @@ impl VidiShim {
                 .collect(),
         ));
 
-        // Validate replay traces against the design's layout up front.
-        let replay_trace = match &config.mode {
-            VidiMode::Replay(t) | VidiMode::ReplayRecord(t) | VidiMode::ReplayOrderless(t) => {
-                if t.layout() != layout.as_ref() {
+        // Open the replay source over the shared chunk image and validate
+        // its layout against the design's up front. Opening certifies the
+        // image's framed words in one bounded-memory pass.
+        let replay_source = match &config.mode {
+            VidiMode::Replay(input)
+            | VidiMode::ReplayRecord(input)
+            | VidiMode::ReplayOrderless(input) => {
+                let source = input
+                    .open(config.trace_chunk_words)
+                    .map_err(|e| ShimError::BadReplayTrace(e.to_string()))?;
+                if source.layout() != layout.as_ref() {
                     return Err(ShimError::LayoutMismatch {
-                        expected: format!("{:?}", t.layout()),
+                        expected: format!("{:?}", source.layout()),
                         actual: format!("{layout:?}"),
                     });
                 }
-                Some(t.clone())
+                Some(source)
             }
-            _ => None,
+            VidiMode::Transparent | VidiMode::Record => None,
         };
 
         let monitor_mode = if config.mode.records() {
@@ -179,6 +196,7 @@ impl VidiShim {
             config.fifo_capacity,
             record_output_content,
             config.store_bytes_per_cycle,
+            config.trace_chunk_words,
         );
         let (engine, record, stats) = if config.mode.records() {
             (engine, Some(record), Some(stats))
@@ -186,10 +204,10 @@ impl VidiShim {
             (engine.without_recording(), None, None)
         };
         let orderless = matches!(config.mode, VidiMode::ReplayOrderless(_));
-        let (mut engine, replay) = match replay_trace {
-            Some(trace) => {
+        let (mut engine, replay) = match replay_source {
+            Some(source) => {
                 let (engine, handle) = engine.with_replay(
-                    trace,
+                    source,
                     env_with_dir,
                     config.fetch_bytes_per_cycle,
                     orderless,
@@ -239,34 +257,66 @@ impl VidiShim {
         self.layout.index_of(name).map(|i| &self.env_channels[i])
     }
 
-    /// The trace recorded so far (clone). `None` in non-recording modes.
+    /// The trace recorded so far, materialized from the streaming sink's
+    /// in-memory chunk image. `None` in non-recording modes and for
+    /// recordings redirected to an external backend with
+    /// [`stream_to`](VidiShim::stream_to) — reopen the external store with
+    /// a [`vidi_trace::TraceSource`] instead.
     pub fn recorded_trace(&self) -> Option<Trace> {
-        self.record.as_ref().map(|r| r.borrow().trace.clone())
+        self.record.as_ref().and_then(|r| r.borrow().trace())
     }
 
-    /// Number of cycle packets committed to the recorded trace so far — a
-    /// cheap cursor (no trace clone) for callers that probe recording
-    /// progress every cycle, such as `vidi-snap`'s divergence-cycle search.
+    /// Number of cycle packets committed to the recorded trace so far — an
+    /// O(1) cursor for callers that probe recording progress every cycle,
+    /// such as `vidi-snap`'s divergence-cycle search.
     pub fn recorded_packet_count(&self) -> usize {
-        self.record
-            .as_ref()
-            .map_or(0, |r| r.borrow().trace.packets().len())
+        self.record.as_ref().map_or(0, |r| {
+            usize::try_from(r.borrow().packet_count()).unwrap_or(usize::MAX)
+        })
     }
 
     /// Per-channel completed-transaction (end-event) counts of the trace
-    /// recorded so far, in layout order, computed without cloning the trace.
+    /// recorded so far, in layout order — maintained incrementally by the
+    /// store, so this is O(channels), not O(packets).
     pub fn recorded_transaction_counts(&self) -> Vec<u64> {
-        let mut counts = vec![0u64; self.layout.len()];
-        if let Some(rec) = &self.record {
-            for pkt in rec.borrow().trace.packets() {
-                for (i, &ended) in pkt.ends.iter().enumerate() {
-                    if ended {
-                        counts[i] += 1;
-                    }
-                }
-            }
+        self.record.as_ref().map_or_else(
+            || vec![0u64; self.layout.len()],
+            |r| r.borrow().transaction_counts(),
+        )
+    }
+
+    /// Redirects the recording's chunk flushes to an external backend
+    /// (e.g. a file sink), so the trace streams out of the process instead
+    /// of accumulating in memory. Must be called right after install,
+    /// before any chunk has been flushed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ChunkIoError`] in non-recording modes or once chunks
+    /// have already been flushed to the previous backend.
+    pub fn stream_to(&self, backend: Box<dyn ChunkSink>) -> Result<(), ChunkIoError> {
+        let Some(rec) = &self.record else {
+            return Err(ChunkIoError(
+                "shim is not recording; nothing to stream".into(),
+            ));
+        };
+        rec.borrow_mut().stream_to(backend)
+    }
+
+    /// Seals and flushes everything the recording has staged, including
+    /// the final partial chunk. Call once at the end of a recording run,
+    /// before reading the backend's bytes as a complete stream. No-op in
+    /// non-recording modes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ChunkIoError`] if the backend rejects a flush; the
+    /// unflushed chunks stay buffered and the call can be retried.
+    pub fn finalize_recording(&self) -> Result<(), ChunkIoError> {
+        match &self.record {
+            Some(rec) => rec.borrow_mut().finalize(),
+            None => Ok(()),
         }
-        counts
     }
 
     /// Raw trace body bytes written to storage so far.
@@ -309,17 +359,29 @@ impl VidiShim {
         })
     }
 
-    /// Engine statistics snapshot (zeroes in transparent mode).
+    /// Engine statistics snapshot (zeroes in transparent mode). The
+    /// streaming counters (`peak_buffered_bytes`, `chunks_flushed`) come
+    /// from the record handle and witness the bounded-memory property of
+    /// the chunked trace path.
     pub fn stats(&self) -> VidiStats {
-        self.stats
+        let mut stats = self
+            .stats
             .as_ref()
             .map(|s| {
                 let s = s.borrow();
                 VidiStats {
                     backpressure_cycles: s.backpressure_cycles,
                     events_logged: s.events_logged,
+                    peak_buffered_bytes: 0,
+                    chunks_flushed: 0,
                 }
             })
-            .unwrap_or_default()
+            .unwrap_or_default();
+        if let Some(rec) = &self.record {
+            let run = rec.borrow();
+            stats.peak_buffered_bytes = run.peak_buffered_bytes();
+            stats.chunks_flushed = run.chunks_flushed();
+        }
+        stats
     }
 }

@@ -1,25 +1,62 @@
 //! The trace store core (§3.3).
 //!
 //! During recording the store drains cycle packets from the encoder FIFO
-//! into external storage (CPU-side DRAM over PCIe on F1), subject to a
-//! sustained-bandwidth budget. The stored trace and its size accounting are
-//! shared with the harness through [`RecordHandle`].
+//! into a streaming [`TraceSink`], which packs them into CRC-framed 64-byte
+//! storage words and flushes fixed-size chunks to a [`RecordBackend`]
+//! (CPU-side DRAM over PCIe on F1, a file, or host storage) subject to a
+//! sustained-bandwidth budget. Buffering on the FPGA side is bounded at
+//! O(chunk size) regardless of trace length; the sink's per-chunk trailers
+//! make every flushed prefix independently recoverable. Size accounting and
+//! progress counters are shared with the harness through [`RecordHandle`].
 
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 
 use vidi_hwsim::{StateError, StateReader, StateWriter};
-use vidi_trace::{storage_bytes, CyclePacket, Trace, TraceLayout};
+use vidi_trace::{
+    recover_trace, storage_bytes, ChunkIoError, ChunkSink, CyclePacket, SinkParts, Trace,
+    TraceLayout, TraceSink,
+};
 
 use crate::encoder::EncoderCore;
 use crate::faults::{BandwidthHook, StoreWriteHook, StoreWriteOutcome};
 
+/// Where the trace store's flushed chunks go.
+pub enum RecordBackend {
+    /// The default in-memory image: flushed chunks accumulate in a buffer
+    /// the harness can snapshot, recover, and replay from directly.
+    Memory(Vec<u8>),
+    /// An external chunk sink (file, host storage): chunks leave the
+    /// process as they flush and the recording never materializes in
+    /// memory. [`RecordedRun::trace`] returns `None` for external backends.
+    External(Box<dyn ChunkSink>),
+}
+
+impl ChunkSink for RecordBackend {
+    fn put_chunk(&mut self, seq: u64, bytes: &[u8]) -> Result<(), ChunkIoError> {
+        match self {
+            RecordBackend::Memory(buf) => buf.put_chunk(seq, bytes),
+            RecordBackend::External(sink) => sink.put_chunk(seq, bytes),
+        }
+    }
+}
+
+impl std::fmt::Debug for RecordBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordBackend::Memory(buf) => write!(f, "Memory({} bytes)", buf.len()),
+            RecordBackend::External(_) => write!(f, "External(..)"),
+        }
+    }
+}
+
 /// The accumulating result of a recording run.
-#[derive(Debug)]
 pub struct RecordedRun {
-    /// The recorded trace (cycle packets in order).
-    pub trace: Trace,
+    /// The streaming sink every recorded packet goes through.
+    sink: TraceSink<RecordBackend>,
+    /// Per-channel completed-transaction (end-event) counts, layout order.
+    txn_counts: Vec<u64>,
     /// Raw trace body bytes written to storage.
     pub body_bytes: u64,
     /// Cycle packets dropped by the lossy-degradation path (see
@@ -34,6 +71,92 @@ impl RecordedRun {
     /// The 64-byte-aligned storage footprint (§3.3).
     pub fn storage_footprint(&self) -> u64 {
         storage_bytes(self.body_bytes)
+    }
+
+    /// Materializes the trace recorded so far.
+    ///
+    /// For the in-memory backend this decodes the flushed chunks plus the
+    /// sink's sealed-but-unflushed tail, so it reflects every packet staged
+    /// up to this instant. Returns `None` for external backends, whose
+    /// chunks have already left the process — reopen the external store
+    /// with a `TraceSource` instead.
+    pub fn trace(&self) -> Option<Trace> {
+        match self.sink.backend() {
+            RecordBackend::Memory(flushed) => {
+                let mut bytes = flushed.clone();
+                bytes.extend_from_slice(&self.sink.unflushed_tail_image());
+                recover_trace(&bytes).ok().map(|r| r.trace)
+            }
+            RecordBackend::External(_) => None,
+        }
+    }
+
+    /// Number of cycle packets committed to the recording so far (O(1)).
+    pub fn packet_count(&self) -> u64 {
+        self.sink.packets()
+    }
+
+    /// Per-channel completed-transaction counts so far, layout order (O(n)
+    /// in channels, not packets).
+    pub fn transaction_counts(&self) -> Vec<u64> {
+        self.txn_counts.clone()
+    }
+
+    /// High-water mark of bytes buffered in the sink awaiting flush.
+    pub fn peak_buffered_bytes(&self) -> u64 {
+        self.sink.peak_buffered_bytes() as u64
+    }
+
+    /// Chunks flushed to the backend so far.
+    pub fn chunks_flushed(&self) -> u64 {
+        self.sink.chunks_flushed()
+    }
+
+    /// Bytes flushed to the backend so far.
+    pub fn flushed_bytes(&self) -> u64 {
+        self.sink.flushed_bytes()
+    }
+
+    /// Redirects all chunk flushes to an external backend. Only legal
+    /// before the first chunk has been flushed (i.e. right after install).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ChunkIoError`] if chunks were already flushed to the
+    /// previous backend — a stream cannot change storage mid-flight.
+    pub fn stream_to(&mut self, backend: Box<dyn ChunkSink>) -> Result<(), ChunkIoError> {
+        if self.sink.chunks_flushed() > 0 {
+            return Err(ChunkIoError(
+                "cannot redirect a recording whose chunks were already flushed".into(),
+            ));
+        }
+        self.sink.swap_backend(RecordBackend::External(backend));
+        Ok(())
+    }
+
+    /// Seals and flushes everything staged, including the final partial
+    /// chunk. Call once at the end of a recording run before handing the
+    /// backend's bytes to a reader that expects a complete stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ChunkIoError`] if the backend rejects a flush; the
+    /// unflushed chunks stay buffered and the call can be retried.
+    pub fn finalize(&mut self) -> Result<(), ChunkIoError> {
+        self.sink.finalize()
+    }
+}
+
+impl std::fmt::Debug for RecordedRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecordedRun")
+            .field("packets", &self.sink.packets())
+            .field("body_bytes", &self.body_bytes)
+            .field("chunks_flushed", &self.sink.chunks_flushed())
+            .field("dropped_packets", &self.dropped_packets)
+            .field("write_retries", &self.write_retries)
+            .field("backend", self.sink.backend())
+            .finish()
     }
 }
 
@@ -60,6 +183,7 @@ const RETRY_BACKOFF_CAP: u64 = 256;
 /// The store's registered core, embedded in the Vidi engine.
 pub struct StoreCore {
     layout: Arc<TraceLayout>,
+    record_output_content: bool,
     handle: RecordHandle,
     bytes_per_cycle: u32,
     /// Accumulated write-bandwidth credit, in bytes.
@@ -69,35 +193,45 @@ pub struct StoreCore {
     credit_cap: u64,
     /// Cycles ticked so far (the key for bandwidth fault hooks).
     cycle: u64,
-    /// Successful writes so far (the key for write fault hooks).
+    /// Successful chunk flushes so far (the key for write fault hooks).
     ops: u64,
-    /// Failed attempts on the current front packet.
+    /// Failed attempts on the current front chunk.
     attempt: u32,
-    /// Cycles left before the next write attempt after a transient failure.
+    /// Cycles left before the next flush attempt after a transient failure.
     retry_backoff: u64,
     /// Lossy degradation: once the encoder's cumulative back-pressure
     /// exceeds this budget, packets the bandwidth cannot cover are dropped
-    /// (and counted) instead of stalling the application further.
+    /// (and counted) instead of stalling the application.
     stall_budget: Option<u64>,
     write_hook: Option<StoreWriteHook>,
     bandwidth_hook: Option<BandwidthHook>,
 }
 
 impl StoreCore {
-    /// Creates a store writing a trace with the given layout.
+    /// Creates a store streaming a trace with the given layout into an
+    /// in-memory backend, flushing in chunks of `chunk_words` storage words.
     pub fn new(
         layout: Arc<TraceLayout>,
         record_output_content: bool,
         bytes_per_cycle: u32,
+        chunk_words: usize,
     ) -> (Self, RecordHandle) {
+        let sink = TraceSink::new(
+            RecordBackend::Memory(Vec::new()),
+            layout.as_ref(),
+            record_output_content,
+            chunk_words,
+        );
         let handle = Rc::new(RefCell::new(RecordedRun {
-            trace: Trace::new(layout.as_ref().clone(), record_output_content),
+            sink,
+            txn_counts: vec![0; layout.len()],
             body_bytes: 0,
             dropped_packets: 0,
             write_retries: 0,
         }));
         let store = StoreCore {
             layout,
+            record_output_content,
             handle: Rc::clone(&handle),
             bytes_per_cycle,
             credit: 0,
@@ -121,7 +255,7 @@ impl StoreCore {
         self.stall_budget = budget;
     }
 
-    /// Installs a per-write fault hook (storage failures).
+    /// Installs a per-flush fault hook (storage failures).
     pub fn set_write_hook(&mut self, hook: StoreWriteHook) {
         self.write_hook = Some(hook);
     }
@@ -131,21 +265,49 @@ impl StoreCore {
         self.bandwidth_hook = Some(hook);
     }
 
-    /// Serializes the drain-side counters and the recorded-so-far trace for
-    /// a checkpoint. Fault hooks are deterministic functions of the
-    /// serialized `cycle`/`ops`/`attempt` position and are re-installed at
-    /// build time.
+    /// The layout fingerprint embedded in checkpoints: the encoding of an
+    /// empty trace over this store's layout, which pins both the channel
+    /// layout and the content mode.
+    fn layout_fingerprint(&self) -> Vec<u8> {
+        Trace::new(self.layout.as_ref().clone(), self.record_output_content).encode()
+    }
+
+    /// Serializes the drain-side counters, the sink's framing state, and
+    /// the in-memory chunk image for a checkpoint. Fault hooks are
+    /// deterministic functions of the serialized `cycle`/`ops`/`attempt`
+    /// position and are re-installed at build time. Recordings streaming to
+    /// an external backend serialize a marker instead of the image and
+    /// cannot be restored from — external chunks live outside the process.
     pub(crate) fn save_state(&self, w: &mut StateWriter) {
         w.u64(self.credit);
         w.u64(self.cycle);
         w.u64(self.ops);
         w.u32(self.attempt);
         w.u64(self.retry_backoff);
+        w.bytes(&self.layout_fingerprint());
         let run = self.handle.borrow();
-        w.bytes(&run.trace.encode());
         w.u64(run.body_bytes);
         w.u64(run.dropped_packets);
         w.u64(run.write_retries);
+        w.seq(run.txn_counts.iter(), |w, &c| w.u64(c));
+        let parts = run.sink.save_parts();
+        w.bytes(&parts.pending);
+        w.bytes(&parts.sealed);
+        w.u64(parts.words_sealed);
+        w.u32(parts.packets_complete);
+        w.u64(parts.packets);
+        w.u64(parts.next_chunk_seq);
+        w.u64(parts.chunks_flushed);
+        w.u64(parts.flushed_bytes);
+        w.u64(parts.peak_buffered);
+        w.bool(parts.finished);
+        match run.sink.backend() {
+            RecordBackend::Memory(flushed) => {
+                w.bool(true);
+                w.bytes(flushed);
+            }
+            RecordBackend::External(_) => w.bool(false),
+        }
     }
 
     /// Restores state written by [`StoreCore::save_state`].
@@ -155,65 +317,125 @@ impl StoreCore {
         self.ops = r.u64()?;
         self.attempt = r.u32()?;
         self.retry_backoff = r.u64()?;
-        let trace = Trace::decode(r.bytes()?).map_err(|e| StateError::Mismatch {
-            expected: "valid embedded trace".into(),
-            found: e.to_string(),
-        })?;
-        if trace.layout() != self.layout.as_ref() {
+        let fingerprint = r.bytes()?.to_vec();
+        if fingerprint != self.layout_fingerprint() {
             return Err(StateError::Mismatch {
                 expected: "trace layout matching the store's layout".into(),
-                found: "a different channel layout".into(),
+                found: "a different channel layout or content mode".into(),
             });
         }
+        let body_bytes = r.u64()?;
+        let dropped_packets = r.u64()?;
+        let write_retries = r.u64()?;
+        let txn_counts = r.seq(StateReader::u64)?;
+        if txn_counts.len() != self.layout.len() {
+            return Err(StateError::Mismatch {
+                expected: format!("transaction counts over {} channels", self.layout.len()),
+                found: format!("{} channels", txn_counts.len()),
+            });
+        }
+        let parts = SinkParts {
+            pending: r.bytes()?.to_vec(),
+            sealed: r.bytes()?.to_vec(),
+            words_sealed: r.u64()?,
+            packets_complete: r.u32()?,
+            packets: r.u64()?,
+            next_chunk_seq: r.u64()?,
+            chunks_flushed: r.u64()?,
+            flushed_bytes: r.u64()?,
+            peak_buffered: r.u64()?,
+            finished: r.bool()?,
+        };
+        let is_memory = r.bool()?;
+        if !is_memory {
+            return Err(StateError::Mismatch {
+                expected: "checkpointable in-memory record backend".into(),
+                found: "external chunk backend".into(),
+            });
+        }
+        let flushed = r.bytes()?.to_vec();
         let mut run = self.handle.borrow_mut();
-        run.trace = trace;
-        run.body_bytes = r.u64()?;
-        run.dropped_packets = r.u64()?;
-        run.write_retries = r.u64()?;
+        if !matches!(run.sink.backend(), RecordBackend::Memory(_)) {
+            return Err(StateError::Mismatch {
+                expected: "in-memory record backend in the restored engine".into(),
+                found: "external chunk backend".into(),
+            });
+        }
+        run.sink.restore_parts(parts);
+        run.sink.swap_backend(RecordBackend::Memory(flushed));
+        run.body_bytes = body_bytes;
+        run.dropped_packets = dropped_packets;
+        run.write_retries = write_retries;
+        run.txn_counts = txn_counts;
         Ok(())
     }
 
-    /// Clock-edge phase: drains as many packets as the bandwidth budget
-    /// allows from the encoder FIFO to storage, honoring injected storage
-    /// faults (retry with exponential backoff) and — when a stall budget is
-    /// armed and exhausted — shedding unaffordable packets instead of
-    /// stalling the application.
+    /// Clock-edge phase: flushes any full chunks to the backend (honoring
+    /// injected storage faults with retry and exponential backoff), then
+    /// drains as many packets as the bandwidth budget allows from the
+    /// encoder FIFO into the sink's framing. When a stall budget is armed
+    /// and exhausted, unaffordable packets are shed (and counted) instead
+    /// of stalling the application.
     pub fn tick(&mut self, encoder: &mut EncoderCore) {
         let cycle = self.cycle;
         self.cycle += 1;
         let divisor = self.bandwidth_hook.as_mut().map_or(1, |h| h(cycle).max(1)) as u64;
         self.credit = (self.credit + self.bytes_per_cycle as u64 / divisor).min(self.credit_cap);
+        let mut flush_blocked = false;
         if self.retry_backoff > 0 {
             self.retry_backoff -= 1;
+            flush_blocked = true;
         } else {
-            while let Some(size) = encoder.front().map(|f| packet_bytes(&self.layout, f)) {
-                if self.credit < size {
-                    break;
-                }
+            // Push every full chunk out through the fault hook before
+            // staging more: the backend sees whole chunks, in order.
+            while self.handle.borrow().sink.full_chunks() > 0 {
                 let verdict = self
                     .write_hook
                     .as_mut()
                     .map_or(StoreWriteOutcome::Commit, |h| h(self.ops, self.attempt));
-                match verdict {
+                let committed = match verdict {
+                    // A backend failure is indistinguishable from an
+                    // injected transient: the chunk stays buffered and the
+                    // same op retries after backoff.
                     StoreWriteOutcome::Commit => {
-                        let Some(packet) = encoder.pop() else { break };
-                        self.credit -= size;
-                        self.ops += 1;
-                        self.attempt = 0;
-                        let mut run = self.handle.borrow_mut();
-                        run.body_bytes += size;
-                        run.trace.push(packet);
+                        self.handle.borrow_mut().sink.flush_one().unwrap_or(false)
                     }
-                    StoreWriteOutcome::TransientError => {
-                        // The packet stays queued; back off exponentially
-                        // before retrying the same op.
-                        self.attempt += 1;
-                        self.retry_backoff = (RETRY_BACKOFF_BASE << (self.attempt - 1).min(16))
-                            .min(RETRY_BACKOFF_CAP);
-                        self.handle.borrow_mut().write_retries += 1;
-                        break;
+                    StoreWriteOutcome::TransientError => false,
+                };
+                if committed {
+                    self.ops += 1;
+                    self.attempt = 0;
+                } else {
+                    self.attempt += 1;
+                    self.retry_backoff =
+                        (RETRY_BACKOFF_BASE << (self.attempt - 1).min(16)).min(RETRY_BACKOFF_CAP);
+                    self.handle.borrow_mut().write_retries += 1;
+                    flush_blocked = true;
+                    break;
+                }
+            }
+        }
+        // Drain the encoder FIFO into the sink's framing. Staging is gated
+        // only on bandwidth credit while flushing is healthy — a chunk that
+        // fills mid-cycle flushes next tick, so per-tick staging stays
+        // bounded by the credit cap. While a flush is backing off, staging
+        // stops and back-pressure propagates to the application, exactly as
+        // the lossless contract requires.
+        if !flush_blocked {
+            while let Some(size) = encoder.front().map(|f| packet_bytes(&self.layout, f)) {
+                if self.credit < size {
+                    break;
+                }
+                let Some(packet) = encoder.pop() else { break };
+                self.credit -= size;
+                let mut run = self.handle.borrow_mut();
+                run.body_bytes += size;
+                for (i, &ended) in packet.ends.iter().enumerate() {
+                    if ended {
+                        run.txn_counts[i] += 1;
                     }
                 }
+                run.sink.stage(&packet);
             }
         }
         // Lossy degradation: once back-pressure has cost more than the
@@ -223,7 +445,7 @@ impl StoreCore {
         if let Some(budget) = self.stall_budget {
             if encoder.backpressure_cycles() > budget {
                 while let Some(size) = encoder.front().map(|f| packet_bytes(&self.layout, f)) {
-                    if self.retry_backoff == 0 && self.credit >= size {
+                    if !flush_blocked && self.retry_backoff == 0 && self.credit >= size {
                         break; // affordable; the normal path will write it
                     }
                     if encoder.pop().is_none() {

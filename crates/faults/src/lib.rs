@@ -302,6 +302,20 @@ impl<S: TraceStorage> TraceStorage for FaultyStorage<S> {
         }
         self.inner.read()
     }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StorageFault> {
+        if self.draws_fault() {
+            return Err(StorageFault::Transient("injected storage fault".into()));
+        }
+        self.inner.append(bytes)
+    }
+
+    fn clear(&mut self) -> Result<(), StorageFault> {
+        if self.draws_fault() {
+            return Err(StorageFault::Transient("injected storage fault".into()));
+        }
+        self.inner.clear()
+    }
 }
 
 #[cfg(test)]

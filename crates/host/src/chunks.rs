@@ -1,0 +1,137 @@
+//! File-backed chunk storage for the streaming trace path.
+//!
+//! [`FileChunkSink`] receives fixed-size chunks from a
+//! [`TraceSink`](vidi_trace::TraceSink) and appends each to a file as it
+//! arrives, so a recording streams to disk incrementally — the trace never
+//! materializes in memory and a crash loses at most the unflushed tail.
+//! [`FileChunkSource`] serves positioned reads over such a file for a
+//! [`TraceSource`](vidi_trace::TraceSource); it is `Send + Sync`, so N
+//! replay workers can share one file through [`file_chunk_source`].
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+use std::sync::Arc;
+
+use vidi_trace::{ChunkIoError, ChunkSink, ChunkSource, SharedChunks};
+
+fn chunk_io(e: &std::io::Error) -> ChunkIoError {
+    ChunkIoError(e.to_string())
+}
+
+/// Appends trace chunks to a file as the sink flushes them.
+#[derive(Debug)]
+pub struct FileChunkSink {
+    file: File,
+}
+
+impl FileChunkSink {
+    /// Creates (or truncates) the file at `path` and streams chunks into
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the filesystem error if the file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileChunkSink { file })
+    }
+}
+
+impl ChunkSink for FileChunkSink {
+    fn put_chunk(&mut self, _seq: u64, bytes: &[u8]) -> Result<(), ChunkIoError> {
+        self.file.write_all(bytes).map_err(|e| chunk_io(&e))?;
+        self.file.flush().map_err(|e| chunk_io(&e))
+    }
+}
+
+/// Positioned reads over a chunk file written by [`FileChunkSink`] (or any
+/// framed trace image on disk).
+#[derive(Debug)]
+pub struct FileChunkSource {
+    file: File,
+}
+
+impl FileChunkSource {
+    /// Opens the file at `path` for reading.
+    ///
+    /// # Errors
+    ///
+    /// Returns the filesystem error if the file cannot be opened.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(FileChunkSource {
+            file: File::open(path)?,
+        })
+    }
+}
+
+impl ChunkSource for FileChunkSource {
+    fn byte_len(&self) -> Result<u64, ChunkIoError> {
+        self.file
+            .metadata()
+            .map(|m| m.len())
+            .map_err(|e| chunk_io(&e))
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize, ChunkIoError> {
+        FileExt::read_at(&self.file, buf, offset).map_err(|e| chunk_io(&e))
+    }
+}
+
+/// Opens a trace chunk file as a [`SharedChunks`] handle, ready to hand to
+/// `vidi_core::ReplayInput` or any number of independent
+/// [`TraceSource`](vidi_trace::TraceSource)s.
+///
+/// # Errors
+///
+/// Returns the filesystem error if the file cannot be opened.
+pub fn file_chunk_source(path: impl AsRef<Path>) -> std::io::Result<SharedChunks> {
+    Ok(Arc::new(FileChunkSource::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vidi_chan::Direction;
+    use vidi_hwsim::Bits;
+    use vidi_trace::{
+        ChannelInfo, ChannelPacket, CyclePacket, TraceLayout, TraceSink, TraceSource,
+    };
+
+    #[test]
+    fn file_sink_source_roundtrip() {
+        let layout = TraceLayout::new(vec![ChannelInfo {
+            name: "c".into(),
+            width: 8,
+            direction: Direction::Input,
+        }]);
+        let dir = std::env::temp_dir().join("vidi_chunks_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.vidif");
+
+        let sink = FileChunkSink::create(&path).unwrap();
+        let mut sink = TraceSink::new(sink, &layout, false, 2);
+        for i in 0..50u64 {
+            sink.push(&CyclePacket::assemble(
+                &layout,
+                &[ChannelPacket::start_with(Bits::from_u64(8, i & 0xff))],
+                false,
+            ))
+            .unwrap();
+        }
+        sink.finish().unwrap();
+
+        let shared = file_chunk_source(&path).unwrap();
+        let mut src = TraceSource::open(shared, 2).unwrap();
+        assert_eq!(src.certified_packets(), 50);
+        assert!(src.is_complete());
+        let cycles: Result<Vec<_>, _> = src.cycles().collect();
+        assert_eq!(cycles.unwrap().len(), 50);
+        std::fs::remove_file(&path).ok();
+    }
+}

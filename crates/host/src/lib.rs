@@ -13,6 +13,7 @@
 
 #![forbid(unsafe_code)]
 
+mod chunks;
 mod cpu;
 mod masters;
 mod mem;
@@ -20,6 +21,7 @@ mod runtime;
 mod storage;
 mod subordinate;
 
+pub use chunks::{file_chunk_source, FileChunkSink, FileChunkSource};
 pub use cpu::{CpuHandle, CpuResults, CpuThread, HostOp};
 pub use masters::{AxiLiteMaster, AxiMaster, DMA_BURST_BEATS};
 pub use mem::HostMemory;

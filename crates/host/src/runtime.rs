@@ -3,16 +3,22 @@
 //! On F1 the runtime reserves huge pages for trace buffering, initializes
 //! the shim before the FPGA application is invoked, and saves/loads traces
 //! to disk. In the reproduction its disk-facing half survives verbatim:
-//! traces serialize to the binary format of `vidi-trace` and round-trip
-//! through files, enabling the record-on-"hardware", replay-later workflow
-//! of the case studies.
+//! traces stream to files in the CRC-framed chunk layout of `vidi-trace`
+//! (every byte that reaches storage goes through the framed
+//! [`TraceSink`](vidi_trace::TraceSink) — there is no unframed path), and
+//! round-trip back, enabling the record-on-"hardware", replay-later
+//! workflow of the case studies.
 
 use std::error::Error;
 use std::fmt;
 use std::fs;
 use std::path::Path;
 
-use vidi_trace::{Trace, TraceError};
+use vidi_trace::{
+    recover_trace, Trace, TraceError, TraceSink, DEFAULT_CHUNK_WORDS, STORAGE_WORD_BYTES,
+};
+
+use crate::chunks::FileChunkSink;
 
 /// An error saving or loading a trace file.
 #[derive(Debug)]
@@ -57,25 +63,53 @@ impl From<TraceError> for RuntimeError {
     }
 }
 
-/// Saves a trace to a file in the Vidi binary format.
+/// Saves a trace to a file, streaming it chunk-by-chunk through the
+/// CRC-framed sink — a thin wrapper over the same encode path the live
+/// recording store uses, so a file written here is byte-identical to one
+/// streamed during recording with the same declared count.
 ///
 /// # Errors
 ///
 /// Returns [`RuntimeError::Io`] on filesystem failure.
 pub fn save_trace(path: impl AsRef<Path>, trace: &Trace) -> Result<(), RuntimeError> {
-    fs::write(path, trace.encode())?;
+    let backend = FileChunkSink::create(path)?;
+    let mut sink = TraceSink::with_declared(
+        backend,
+        trace.layout(),
+        trace.records_output_content(),
+        trace.packets().len() as u64,
+        DEFAULT_CHUNK_WORDS,
+    );
+    for packet in trace.packets() {
+        sink.push(packet).map_err(chunk_io)?;
+    }
+    sink.finish().map_err(chunk_io)?;
     Ok(())
 }
 
-/// Loads a trace previously written by [`save_trace`].
+fn chunk_io(e: vidi_trace::ChunkIoError) -> RuntimeError {
+    RuntimeError::Io(std::io::Error::other(e.to_string()))
+}
+
+/// Loads a trace previously written by [`save_trace`]. Strict: a torn or
+/// corrupted file is a [`RuntimeError::Format`] error here — use
+/// [`load_trace_durable`](crate::load_trace_durable) to recover the
+/// longest certified prefix instead.
 ///
 /// # Errors
 ///
 /// Returns [`RuntimeError::Io`] on filesystem failure or
-/// [`RuntimeError::Format`] if the file is not a valid trace.
+/// [`RuntimeError::Format`] if the file is not a complete valid trace.
 pub fn load_trace(path: impl AsRef<Path>) -> Result<Trace, RuntimeError> {
     let bytes = fs::read(path)?;
-    Ok(Trace::decode(&bytes)?)
+    let rec = recover_trace(&bytes)?;
+    if !rec.is_complete() {
+        let offset = rec
+            .first_corrupt_word
+            .map_or(bytes.len(), |w| w * STORAGE_WORD_BYTES);
+        return Err(RuntimeError::Format(TraceError::Truncated { offset }));
+    }
+    Ok(rec.trace)
 }
 
 #[cfg(test)]

@@ -5,10 +5,11 @@
 //! link, an NFS timeout) and occasional hard failures. This module models
 //! storage as a [`TraceStorage`] backend that can fail with a typed
 //! [`StorageFault`], and layers deterministic retry-with-exponential-backoff
-//! on top. Trace bytes go to storage in the CRC-framed layout
-//! ([`Trace::encode_framed`]), so whatever the backend hands back — even a
-//! torn or bit-flipped image — loads as the longest valid packet prefix via
-//! [`recover_trace`].
+//! on top. Trace bytes reach storage in the CRC-framed chunk layout, one
+//! fixed-size chunk per storage operation ([`save_trace_durable`] streams
+//! through a [`TraceSink`], retrying each chunk independently), so
+//! whatever the backend hands back — even a torn or bit-flipped image —
+//! loads as the longest valid packet prefix via [`recover_trace`].
 
 use std::error::Error;
 use std::fmt;
@@ -17,7 +18,9 @@ use std::io::ErrorKind;
 use std::path::PathBuf;
 use std::time::Duration;
 
-use vidi_trace::{recover_trace, RecoveredTrace, Trace};
+use vidi_trace::{
+    recover_trace, ChunkIoError, ChunkSink, RecoveredTrace, Trace, TraceSink, DEFAULT_CHUNK_WORDS,
+};
 
 use crate::runtime::RuntimeError;
 
@@ -55,6 +58,20 @@ pub trait TraceStorage {
     fn write(&mut self, bytes: &[u8]) -> Result<(), StorageFault>;
     /// Reads back the stored image.
     fn read(&mut self) -> Result<Vec<u8>, StorageFault>;
+    /// Appends `bytes` to the stored image — the streaming path's
+    /// per-chunk operation. The default reads the image back and rewrites
+    /// it whole; backends with a real append (files, memory) override this
+    /// with an O(chunk) version.
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StorageFault> {
+        let mut image = self.read().unwrap_or_default();
+        image.extend_from_slice(bytes);
+        self.write(&image)
+    }
+    /// Empties the stored image so a new stream can begin. The default
+    /// writes an empty image.
+    fn clear(&mut self) -> Result<(), StorageFault> {
+        self.write(&[])
+    }
 }
 
 /// File-backed storage. I/O errors that plausibly clear on their own
@@ -88,6 +105,18 @@ impl TraceStorage for FileStorage {
     fn read(&mut self) -> Result<Vec<u8>, StorageFault> {
         fs::read(&self.path).map_err(classify_io)
     }
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StorageFault> {
+        use std::io::Write;
+        let mut f = fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&self.path)
+            .map_err(classify_io)?;
+        f.write_all(bytes).map_err(classify_io)
+    }
+    fn clear(&mut self) -> Result<(), StorageFault> {
+        fs::write(&self.path, []).map_err(classify_io)
+    }
 }
 
 /// In-memory storage that never fails on its own — the substrate fault
@@ -118,6 +147,16 @@ impl TraceStorage for MemStorage {
         self.bytes
             .clone()
             .ok_or_else(|| StorageFault::Permanent("nothing stored".into()))
+    }
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StorageFault> {
+        self.bytes
+            .get_or_insert_with(Vec::new)
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+    fn clear(&mut self) -> Result<(), StorageFault> {
+        self.bytes = Some(Vec::new());
+        Ok(())
     }
 }
 
@@ -176,22 +215,85 @@ impl RetryPolicy {
     }
 }
 
-/// Saves a trace in the crash-safe framed layout, retrying transient
-/// storage faults per `policy`.
+/// The durable streaming adapter: the first chunk replaces the stored
+/// image, every further chunk appends, and each chunk operation runs under
+/// its own retry budget. The first fault that outlives its retries is kept
+/// typed so the caller sees the real [`StorageFault`], not a stringified
+/// copy.
+struct DurableChunkSink<'a> {
+    storage: &'a mut dyn TraceStorage,
+    policy: RetryPolicy,
+    first_chunk: bool,
+    fault: Option<StorageFault>,
+}
+
+impl ChunkSink for DurableChunkSink<'_> {
+    fn put_chunk(&mut self, _seq: u64, bytes: &[u8]) -> Result<(), ChunkIoError> {
+        let result = if self.first_chunk {
+            self.policy.run(|| self.storage.write(bytes))
+        } else {
+            self.policy.run(|| self.storage.append(bytes))
+        };
+        match result {
+            Ok(()) => {
+                self.first_chunk = false;
+                Ok(())
+            }
+            Err(fault) => {
+                let message = fault.to_string();
+                self.fault = Some(fault);
+                Err(ChunkIoError(message))
+            }
+        }
+    }
+}
+
+/// Saves a trace in the crash-safe framed layout, streaming it to storage
+/// chunk-by-chunk — every chunk already written stays durable even if a
+/// later one fails — and retrying each chunk's transient faults per
+/// `policy`.
 ///
 /// # Errors
 ///
-/// Returns [`RuntimeError::Storage`] once the retry budget is exhausted or
-/// a permanent fault occurs.
+/// Returns [`RuntimeError::Storage`] once a chunk's retry budget is
+/// exhausted or a permanent fault occurs.
 pub fn save_trace_durable(
     storage: &mut dyn TraceStorage,
     trace: &Trace,
     policy: &RetryPolicy,
 ) -> Result<(), RuntimeError> {
-    let framed = trace.encode_framed();
-    policy
-        .run(|| storage.write(&framed))
-        .map_err(RuntimeError::Storage)
+    let backend = DurableChunkSink {
+        storage,
+        policy: *policy,
+        first_chunk: true,
+        fault: None,
+    };
+    let mut sink = TraceSink::with_declared(
+        backend,
+        trace.layout(),
+        trace.records_output_content(),
+        trace.packets().len() as u64,
+        DEFAULT_CHUNK_WORDS,
+    );
+    let mut failed = false;
+    for packet in trace.packets() {
+        if sink.push(packet).is_err() {
+            failed = true;
+            break;
+        }
+    }
+    if !failed && sink.finalize().is_err() {
+        failed = true;
+    }
+    if failed {
+        let fault = sink
+            .backend()
+            .fault
+            .clone()
+            .unwrap_or_else(|| StorageFault::Permanent("chunk sink failed untyped".into()));
+        return Err(RuntimeError::Storage(fault));
+    }
+    Ok(())
 }
 
 /// Loads a framed trace image, retrying transient read faults, and

@@ -17,7 +17,8 @@
 
 use std::collections::HashMap;
 
-use vidi_trace::Trace;
+use vidi_hwsim::Bits;
+use vidi_trace::{ChunkSource, CyclePacket, Trace, TraceError, TraceLayout, TraceSource};
 
 use crate::diag::{Certificate, Diagnostic, EdgeOrigin, HbStep, Severity};
 
@@ -171,27 +172,137 @@ pub fn analyze_pair(name: &str, reference: &Trace, mutated: &Trace) -> Vec<Diagn
 /// signature (`VT004`).
 pub const POLLING_RUN: usize = 8;
 
-/// Runs the single-trace integrity rules (`VT002`–`VT004`) over a trace.
-pub fn analyze_trace(name: &str, trace: &Trace) -> Vec<Diagnostic> {
-    let mut out = Vec::new();
-    let channels = trace.layout().channels();
-    let loc = |ch: usize| format!("{name}/{}", channels[ch].name);
+/// Streaming integrity-rule state for one input channel.
+struct InputScan {
+    /// Channel index in the trace layout.
+    channel: usize,
+    /// Position among input channels (index into `CyclePacket::starts`).
+    input_pos: usize,
+    starts: u64,
+    ends: u64,
+    /// First VT002 violation: `(packet index, starts, ends)` at the moment
+    /// the invariant broke.
+    first_violation: Option<(usize, u64, u64)>,
+    /// Content-bearing start transactions seen so far (VT004 index space).
+    txns: usize,
+    run_content: Option<Bits>,
+    run_start: usize,
+    run_len: usize,
+    best_content: Option<Bits>,
+    best_start: usize,
+    best_len: usize,
+}
 
-    // ── VT002 / VT003: vector-clock monotonicity and eager reservation ──
-    // On every input channel the monitor starts a transaction only after the
-    // previous one ended (eager reservation holds the channel), so at any
-    // prefix of the trace 0 <= starts - ends <= 1, and at end of trace every
-    // start has a matching end.
-    for (input_pos, ch) in trace.layout().input_indices().enumerate() {
-        let mut starts = 0u64;
-        let mut ends = 0u64;
-        let mut reported = false;
-        for (pi, p) in trace.packets().iter().enumerate() {
-            starts += u64::from(p.starts[input_pos]);
-            ends += u64::from(p.ends[ch]);
-            let ok = ends <= starts && starts - ends <= 1;
-            if !ok && !reported {
-                reported = true;
+impl InputScan {
+    fn note_content(&mut self, content: &Bits) {
+        match &self.run_content {
+            Some(rc) if rc == content => self.run_len += 1,
+            _ => {
+                self.close_run();
+                self.run_content = Some(content.clone());
+                self.run_start = self.txns;
+                self.run_len = 1;
+            }
+        }
+        self.txns += 1;
+    }
+
+    fn close_run(&mut self) {
+        if self.run_len > self.best_len {
+            self.best_len = self.run_len;
+            self.best_start = self.run_start;
+            self.best_content.clone_from(&self.run_content);
+        }
+    }
+}
+
+/// Single-pass streaming analyzer for the trace integrity rules
+/// (`VT002`–`VT004`).
+///
+/// Feed cycle packets in order with [`push`](Self::push) and collect the
+/// diagnostics with [`finish`](Self::finish). State is O(channels), so an
+/// arbitrarily long trace can be analyzed straight off a
+/// [`TraceSource`] without materializing it — [`analyze_trace_source`] does
+/// exactly that, and [`analyze_trace`] drives the same scanner over an
+/// in-memory [`Trace`].
+pub struct TraceScan {
+    layout: TraceLayout,
+    record_output_content: bool,
+    inputs: Vec<InputScan>,
+    packet_index: usize,
+}
+
+impl TraceScan {
+    /// Creates a scanner for traces with the given layout and content mode.
+    pub fn new(layout: &TraceLayout, record_output_content: bool) -> Self {
+        let inputs = layout
+            .input_indices()
+            .enumerate()
+            .map(|(input_pos, channel)| InputScan {
+                channel,
+                input_pos,
+                starts: 0,
+                ends: 0,
+                first_violation: None,
+                txns: 0,
+                run_content: None,
+                run_start: 0,
+                run_len: 0,
+                best_content: None,
+                best_start: 0,
+                best_len: 0,
+            })
+            .collect();
+        TraceScan {
+            layout: layout.clone(),
+            record_output_content,
+            inputs,
+            packet_index: 0,
+        }
+    }
+
+    /// Folds the next cycle packet into the scan.
+    pub fn push(&mut self, packet: &CyclePacket) {
+        let pi = self.packet_index;
+        self.packet_index += 1;
+
+        // ── VT002: vector-clock monotonicity ────────────────────────────
+        // On every input channel the monitor starts a transaction only
+        // after the previous one ended (eager reservation holds the
+        // channel), so at any prefix 0 <= starts - ends <= 1.
+        for s in &mut self.inputs {
+            s.starts += u64::from(packet.starts[s.input_pos]);
+            s.ends += u64::from(packet.ends[s.channel]);
+            let ok = s.ends <= s.starts && s.starts - s.ends <= 1;
+            if !ok && s.first_violation.is_none() {
+                s.first_violation = Some((pi, s.starts, s.ends));
+            }
+        }
+
+        // ── VT004 accumulation: runs of identical input contents ────────
+        let pkts = packet.disassemble(&self.layout, self.record_output_content);
+        for s in &mut self.inputs {
+            let cp = &pkts[s.channel];
+            if cp.start {
+                if let Some(c) = &cp.content {
+                    s.note_content(c);
+                }
+            }
+        }
+    }
+
+    /// Ends the scan and produces the diagnostics, attributed to `name`.
+    pub fn finish(mut self, name: &str) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let channels = self.layout.channels();
+        let loc = |ch: usize| format!("{name}/{}", channels[ch].name);
+        for s in &mut self.inputs {
+            s.close_run();
+        }
+
+        // ── VT002 / VT003 verdicts ──────────────────────────────────────
+        for s in &self.inputs {
+            if let Some((pi, starts, ends)) = s.first_violation {
                 let what = if ends > starts {
                     "an end event with no open transaction"
                 } else {
@@ -200,7 +311,7 @@ pub fn analyze_trace(name: &str, trace: &Trace) -> Vec<Diagnostic> {
                 out.push(Diagnostic {
                     rule: "VT002",
                     severity: Severity::Error,
-                    location: loc(ch),
+                    location: loc(s.channel),
                     message: format!(
                         "vector-clock monotonicity violated at packet {pi}: \
                          {what} ({starts} starts vs {ends} ends)"
@@ -212,68 +323,86 @@ pub fn analyze_trace(name: &str, trace: &Trace) -> Vec<Diagnostic> {
                     ]),
                 });
             }
-        }
-        if starts > ends {
-            out.push(Diagnostic {
-                rule: "VT003",
-                severity: Severity::Error,
-                location: loc(ch),
-                message: format!(
-                    "eager-reservation violation: {} transaction(s) started \
-                     but never ended — the reservation is still held at the \
-                     end of the trace",
-                    starts - ends
-                ),
-                certificate: Certificate::Facts(vec![
-                    ("starts".to_string(), starts.to_string()),
-                    ("ends".to_string(), ends.to_string()),
-                ]),
-            });
-        }
-    }
-
-    // ── VT004: polling signatures ────────────────────────────────────────
-    // A long run of identical input transactions is the classic polling
-    // loop; §3.6 shows a replayed execution can legitimately need a
-    // different number of polls, so the run predicts replay divergence.
-    for ch in trace.layout().input_indices() {
-        let contents = trace.input_contents(ch);
-        let mut best_start = 0usize;
-        let mut best_len = 0usize;
-        let mut run_start = 0usize;
-        for i in 1..=contents.len() {
-            if i == contents.len() || contents[i] != contents[run_start] {
-                let len = i - run_start;
-                if len > best_len {
-                    best_len = len;
-                    best_start = run_start;
-                }
-                run_start = i;
+            if s.starts > s.ends {
+                out.push(Diagnostic {
+                    rule: "VT003",
+                    severity: Severity::Error,
+                    location: loc(s.channel),
+                    message: format!(
+                        "eager-reservation violation: {} transaction(s) started \
+                         but never ended — the reservation is still held at the \
+                         end of the trace",
+                        s.starts - s.ends
+                    ),
+                    certificate: Certificate::Facts(vec![
+                        ("starts".to_string(), s.starts.to_string()),
+                        ("ends".to_string(), s.ends.to_string()),
+                    ]),
+                });
             }
         }
-        if best_len >= POLLING_RUN {
-            out.push(Diagnostic {
-                rule: "VT004",
-                severity: Severity::Warning,
-                location: loc(ch),
-                message: format!(
-                    "polling signature: {best_len} consecutive identical \
-                     transactions (content {:x}) starting at transaction \
-                     #{best_start} — a replayed execution may need a \
-                     different number of polls, diverging from the recording \
-                     (§3.6)",
-                    contents[best_start]
-                ),
-                certificate: Certificate::Facts(vec![
-                    ("run_start".to_string(), best_start.to_string()),
-                    ("run_length".to_string(), best_len.to_string()),
-                    ("content".to_string(), format!("{:x}", contents[best_start])),
-                ]),
-            });
-        }
-    }
 
-    out
+        // ── VT004: polling signatures ───────────────────────────────────
+        // A long run of identical input transactions is the classic polling
+        // loop; §3.6 shows a replayed execution can legitimately need a
+        // different number of polls, so the run predicts replay divergence.
+        for s in &self.inputs {
+            if s.best_len >= POLLING_RUN {
+                let content = s.best_content.as_ref().expect("non-empty run has content");
+                out.push(Diagnostic {
+                    rule: "VT004",
+                    severity: Severity::Warning,
+                    location: loc(s.channel),
+                    message: format!(
+                        "polling signature: {} consecutive identical \
+                         transactions (content {content:x}) starting at transaction \
+                         #{} — a replayed execution may need a \
+                         different number of polls, diverging from the recording \
+                         (§3.6)",
+                        s.best_len, s.best_start
+                    ),
+                    certificate: Certificate::Facts(vec![
+                        ("run_start".to_string(), s.best_start.to_string()),
+                        ("run_length".to_string(), s.best_len.to_string()),
+                        ("content".to_string(), format!("{content:x}")),
+                    ]),
+                });
+            }
+        }
+
+        out
+    }
+}
+
+/// Runs the single-trace integrity rules (`VT002`–`VT004`) over an
+/// in-memory trace — [`TraceScan`] driven over [`Trace::packets`].
+pub fn analyze_trace(name: &str, trace: &Trace) -> Vec<Diagnostic> {
+    let mut scan = TraceScan::new(trace.layout(), trace.records_output_content());
+    for p in trace.packets() {
+        scan.push(p);
+    }
+    scan.finish(name)
+}
+
+/// Runs the single-trace integrity rules (`VT002`–`VT004`) over a streaming
+/// [`TraceSource`], decoding packets chunk-by-chunk — memory stays
+/// O(chunk + channels) no matter how long the trace is. Analyzes from the
+/// source's current position through the end of its certified prefix.
+///
+/// # Errors
+///
+/// Propagates any [`TraceError`] from the underlying source (certified
+/// packets decode cleanly, so in practice only backend I/O errors occur).
+pub fn analyze_trace_source<R: ChunkSource>(
+    name: &str,
+    source: &mut TraceSource<R>,
+) -> Result<Vec<Diagnostic>, TraceError> {
+    let layout = source.layout().clone();
+    let mut scan = TraceScan::new(&layout, source.records_output_content());
+    while let Some(p) = source.next_packet()? {
+        scan.push(&p);
+    }
+    Ok(scan.finish(name))
 }
 
 #[cfg(test)]

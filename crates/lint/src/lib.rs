@@ -39,5 +39,7 @@ pub use diag::{
     diagnostics_to_json, rule_info, Certificate, CycleStep, Diagnostic, EdgeOrigin, HbStep,
     RuleInfo, Severity, RULES,
 };
-pub use hb::{analyze_pair, analyze_trace, end_layers, EndEvent, POLLING_RUN};
+pub use hb::{
+    analyze_pair, analyze_trace, analyze_trace_source, end_layers, EndEvent, TraceScan, POLLING_RUN,
+};
 pub use target::{design_spec, lint_target};

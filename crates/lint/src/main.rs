@@ -20,10 +20,11 @@ use vidi_chan::AtopFilterMode;
 use vidi_core::VidiConfig;
 use vidi_hwsim::{Component, SignalPool, Simulator};
 use vidi_lint::{
-    analyze_pair, analyze_trace, diagnostics_to_json, lint_design, lint_target, snapshot_signals,
-    Certificate, DesignSpec, Diagnostic, EdgeOrigin, LintConfig, RULES,
+    analyze_pair, analyze_trace, analyze_trace_source, diagnostics_to_json, lint_design,
+    lint_target, snapshot_signals, Certificate, DesignSpec, Diagnostic, EdgeOrigin, LintConfig,
+    RULES,
 };
-use vidi_trace::{reorder_end_before, EndEventRef, Trace};
+use vidi_trace::{reorder_end_before, EndEventRef, Trace, TraceSource, DEFAULT_CHUNK_WORDS};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -139,14 +140,31 @@ fn cmd_trace(opts: &Options) -> Result<ExitCode, String> {
     let load = |p: &String| -> Result<Trace, String> {
         vidi_host::load_trace(p).map_err(|e| format!("loading {p}: {e}"))
     };
-    let trace = load(file)?;
     let name = std::path::Path::new(file)
         .file_stem()
         .and_then(|s| s.to_str())
         .unwrap_or("trace")
         .to_string();
-    let mut diags = analyze_trace(&name, &trace);
+    // Single-trace rules stream off the file chunk-by-chunk — a trace much
+    // larger than memory analyzes fine, and a torn tail degrades to the
+    // certified prefix rather than a hard error.
+    let chunks = vidi_host::file_chunk_source(file).map_err(|e| format!("opening {file}: {e}"))?;
+    let mut source = TraceSource::open(chunks, DEFAULT_CHUNK_WORDS)
+        .map_err(|e| format!("reading {file}: {e}"))?;
+    if !source.is_complete() {
+        eprintln!(
+            "vidi-lint: {file}: torn or truncated trace — analyzing the \
+             certified prefix ({} of {} declared packets)",
+            source.certified_packets(),
+            source.declared_packets()
+        );
+    }
+    let mut diags =
+        analyze_trace_source(&name, &mut source).map_err(|e| format!("decoding {file}: {e}"))?;
     if let Some(r) = reference {
+        // The pair analysis relates *whole* traces, so both sides load
+        // strictly here.
+        let trace = load(file)?;
         let reference = load(r)?;
         diags.extend(analyze_pair(&name, &reference, &trace));
     }

@@ -133,6 +133,12 @@ struct SegmentResult {
 /// `VidiMode::ReplayRecord` configuration. Sessions hold `Rc` internally
 /// and never cross threads; the factory is called from worker threads, so
 /// it must be `Sync` for the parallel path.
+///
+/// Cloning the replay configuration inside the factory is cheap: the
+/// reference trace lives in a [`vidi_core::ReplayInput`], whose clone is an
+/// `Arc` bump over one immutable chunk image. Every worker session opens
+/// its own independent `TraceSource` cursor over that shared storage — the
+/// packets themselves are never copied per worker.
 pub struct ParallelVerifier<'a, F> {
     factory: F,
     log: &'a CheckpointLog,

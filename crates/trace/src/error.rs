@@ -29,6 +29,11 @@ pub enum TraceError {
         /// The rejected channel count.
         count: usize,
     },
+    /// A chunk storage backend failed while reading the trace stream.
+    Io(
+        /// Backend-specific failure description.
+        String,
+    ),
 }
 
 impl fmt::Display for TraceError {
@@ -51,6 +56,7 @@ impl fmt::Display for TraceError {
                     u16::MAX
                 )
             }
+            TraceError::Io(message) => write!(f, "trace storage I/O failed: {message}"),
         }
     }
 }

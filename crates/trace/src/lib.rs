@@ -36,6 +36,7 @@ mod packet;
 mod reader;
 mod stats;
 mod store_format;
+mod stream;
 mod trace;
 mod validate;
 
@@ -48,6 +49,10 @@ pub use stats::{ChannelStats, TraceStats};
 pub use store_format::{
     crc32, pack, recover_frames, storage_bytes, unpack, FrameRecovery, FrameWriter, StorageWord,
     FRAME_PAYLOAD_BYTES, FRAME_TRAILER_BYTES, STORAGE_WORD_BYTES,
+};
+pub use stream::{
+    ChunkIoError, ChunkSink, ChunkSource, Cycles, SharedChunks, SinkParts, SourcePos, TraceSink,
+    TraceSource, DEFAULT_CHUNK_WORDS,
 };
 pub use trace::Trace;
 pub use validate::{compare, Divergence, DivergenceReport};

@@ -4,7 +4,10 @@
 //! for very long recordings (the paper supports "arbitrarily long execution
 //! traces", §3.3) the offline tools want to scan a trace without holding it
 //! in memory. [`TraceReader`] parses the self-describing header once and
-//! then yields cycle packets one at a time.
+//! then yields cycle packets one at a time. The header and packet codecs
+//! here are the *only* decode path in the crate: [`Trace::decode`], the
+//! chunked [`TraceSource`](crate::TraceSource), and framed recovery all
+//! share them.
 
 use vidi_chan::Direction;
 use vidi_hwsim::Bits;
@@ -12,7 +15,7 @@ use vidi_hwsim::Bits;
 use crate::error::TraceError;
 use crate::layout::{ChannelInfo, TraceLayout};
 use crate::packet::CyclePacket;
-use crate::store_format::recover_frames;
+use crate::stream::{TraceSource, DEFAULT_CHUNK_WORDS};
 use crate::trace::Trace;
 
 /// Incremental reader over the serialized trace format.
@@ -58,39 +61,12 @@ impl<'a> TraceReader<'a> {
     ///
     /// Returns a [`TraceError`] for malformed headers.
     pub fn new(buf: &'a [u8]) -> Result<Self, TraceError> {
-        let mut r = Cursor { buf, pos: 0 };
-        if r.take(4)? != b"VIDI" {
-            return Err(TraceError::BadMagic);
-        }
-        let version = r.u16()?;
-        if version != 1 {
-            return Err(TraceError::BadVersion(version));
-        }
-        let record_output_content = r.u8()? != 0;
-        let n_channels = r.u16()? as usize;
-        let mut channels = Vec::with_capacity(n_channels);
-        for _ in 0..n_channels {
-            let name_len = r.u16()? as usize;
-            let name = std::str::from_utf8(r.take(name_len)?)
-                .map_err(|_| TraceError::BadChannelName)?
-                .to_string();
-            let width = r.u32()?;
-            let direction = if r.u8()? == 0 {
-                Direction::Input
-            } else {
-                Direction::Output
-            };
-            channels.push(ChannelInfo {
-                name,
-                width,
-                direction,
-            });
-        }
-        let remaining = r.u64()?;
+        let mut r = Cursor::new(buf);
+        let (layout, record_output_content, remaining) = decode_header(&mut r)?;
         Ok(TraceReader {
             buf,
             pos: r.pos,
-            layout: TraceLayout::new(channels),
+            layout,
             record_output_content,
             remaining,
         })
@@ -124,34 +100,80 @@ impl<'a> TraceReader<'a> {
             buf: self.buf,
             pos: self.pos,
         };
-        let n_inputs = self.layout.input_indices().count();
-        let starts = r.bitvec(n_inputs)?;
-        let ends = r.bitvec(self.layout.len())?;
-        let mut contents = Vec::new();
-        let mut input_pos = 0;
-        for ch in self.layout.channels() {
-            if ch.direction == Direction::Input {
-                if starts[input_pos] {
-                    contents.push(r.bits(ch.width)?);
-                }
-                input_pos += 1;
-            }
-        }
-        if self.record_output_content {
-            for (idx, ch) in self.layout.channels().iter().enumerate() {
-                if ch.direction == Direction::Output && ends[idx] {
-                    contents.push(r.bits(ch.width)?);
-                }
-            }
-        }
+        let packet = decode_packet(&mut r, &self.layout, self.record_output_content)?;
         self.pos = r.pos;
         self.remaining -= 1;
-        Ok(Some(CyclePacket {
-            starts,
-            ends,
-            contents,
-        }))
+        Ok(Some(packet))
     }
+}
+
+/// Parses the self-description header: layout, output-content flag, and the
+/// declared packet count.
+pub(crate) fn decode_header(r: &mut Cursor<'_>) -> Result<(TraceLayout, bool, u64), TraceError> {
+    if r.take(4)? != b"VIDI" {
+        return Err(TraceError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != 1 {
+        return Err(TraceError::BadVersion(version));
+    }
+    let record_output_content = r.u8()? != 0;
+    let n_channels = r.u16()? as usize;
+    let mut channels = Vec::with_capacity(n_channels);
+    for _ in 0..n_channels {
+        let name_len = r.u16()? as usize;
+        let name = std::str::from_utf8(r.take(name_len)?)
+            .map_err(|_| TraceError::BadChannelName)?
+            .to_string();
+        let width = r.u32()?;
+        let direction = if r.u8()? == 0 {
+            Direction::Input
+        } else {
+            Direction::Output
+        };
+        channels.push(ChannelInfo {
+            name,
+            width,
+            direction,
+        });
+    }
+    let count = r.u64()?;
+    Ok((TraceLayout::new(channels), record_output_content, count))
+}
+
+/// Decodes one self-delimiting cycle packet at the cursor.
+pub(crate) fn decode_packet(
+    r: &mut Cursor<'_>,
+    layout: &TraceLayout,
+    record_output_content: bool,
+) -> Result<CyclePacket, TraceError> {
+    let n_inputs = layout.input_indices().count();
+    let starts = r.bitvec(n_inputs)?;
+    let ends = r.bitvec(layout.len())?;
+    let mut contents = Vec::new();
+    // Input-start contents, in channel order.
+    let mut input_pos = 0;
+    for ch in layout.channels() {
+        if ch.direction == Direction::Input {
+            if starts[input_pos] {
+                contents.push(r.bits(ch.width)?);
+            }
+            input_pos += 1;
+        }
+    }
+    // Output-end contents, when enabled.
+    if record_output_content {
+        for (idx, ch) in layout.channels().iter().enumerate() {
+            if ch.direction == Direction::Output && ends[idx] {
+                contents.push(r.bits(ch.width)?);
+            }
+        }
+    }
+    Ok(CyclePacket {
+        starts,
+        ends,
+        contents,
+    })
 }
 
 /// The result of recovering a CRC-framed trace stream (see
@@ -162,7 +184,9 @@ pub struct RecoveredTrace {
     pub trace: Trace,
     /// Packets actually recovered.
     pub recovered_packets: u64,
-    /// Packets the (CRC-verified) header declared the trace to hold.
+    /// Packets the (CRC-verified) header declared the trace to hold. For a
+    /// streaming recording (whose header carries a sentinel count) this is
+    /// the count the frame trailers certify.
     pub declared_packets: u64,
     /// First storage word that failed its integrity check, if any.
     pub first_corrupt_word: Option<usize>,
@@ -183,34 +207,29 @@ impl RecoveredTrace {
 /// complete. Bit flips, torn writes, and truncated tails therefore cost
 /// only the suffix of the trace — the prefix replays normally.
 ///
+/// This is a convenience over [`TraceSource`]: it opens a source over the
+/// byte image and drains it into an in-memory [`Trace`].
+///
 /// # Errors
 ///
 /// Returns a [`TraceError`] only when the corruption reaches into the
 /// self-description header, leaving nothing to recover.
 pub fn recover_trace(framed: &[u8]) -> Result<RecoveredTrace, TraceError> {
-    let rec = recover_frames(framed);
-    let mut reader = TraceReader::new(&rec.payload)?;
-    let declared_packets = reader.remaining();
-    let limit = (rec.packets as u64).min(declared_packets);
-    let mut trace = Trace::new(reader.layout().clone(), reader.records_output_content());
+    let mut src = TraceSource::open(framed, DEFAULT_CHUNK_WORDS)?;
+    let mut trace = Trace::new(src.layout().clone(), src.records_output_content());
     let mut recovered_packets = 0u64;
-    while recovered_packets < limit {
-        match reader.next_packet() {
-            Ok(Some(p)) => {
-                trace.push(p);
-                recovered_packets += 1;
-            }
-            // The trailer certified more packets than the payload actually
-            // parses to (adversarial or mis-written frames): keep the packets
-            // that did decode rather than discarding the run.
-            _ => break,
-        }
+    // The trailer may certify more packets than the payload actually parses
+    // to (adversarial or mis-written frames): keep the packets that did
+    // decode rather than discarding the run.
+    while let Ok(Some(p)) = src.next_packet() {
+        trace.push(p);
+        recovered_packets += 1;
     }
     Ok(RecoveredTrace {
         trace,
         recovered_packets,
-        declared_packets,
-        first_corrupt_word: rec.first_corrupt_word,
+        declared_packets: src.declared_packets(),
+        first_corrupt_word: src.first_corrupt_word(),
     })
 }
 
@@ -222,13 +241,19 @@ impl Iterator for TraceReader<'_> {
     }
 }
 
-struct Cursor<'a> {
+pub(crate) struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
         if self.pos + n > self.buf.len() {
             return Err(TraceError::Truncated { offset: self.pos });
         }
@@ -249,7 +274,7 @@ impl<'a> Cursor<'a> {
             self.take(4)?.try_into().expect("4 bytes"),
         ))
     }
-    fn u64(&mut self) -> Result<u64, TraceError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, TraceError> {
         Ok(u64::from_le_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
         ))

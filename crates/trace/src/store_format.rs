@@ -105,6 +105,23 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !c
 }
 
+/// Seals one framed storage word: payload, then the `len`/`seq`/`packets`
+/// trailer, then a CRC-32 over everything preceding the CRC field. The one
+/// word-sealing path shared by [`FrameWriter`] and the streaming
+/// [`TraceSink`](crate::TraceSink).
+pub(crate) fn seal_word(payload: &[u8], seq: u32, packets: u32) -> StorageWord {
+    debug_assert!(payload.len() <= FRAME_PAYLOAD_BYTES);
+    let mut w = [0u8; STORAGE_WORD_BYTES];
+    w[..payload.len()].copy_from_slice(payload);
+    let trailer = FRAME_PAYLOAD_BYTES;
+    w[trailer..trailer + 2].copy_from_slice(&(payload.len() as u16).to_le_bytes());
+    w[trailer + 2..trailer + 6].copy_from_slice(&seq.to_le_bytes());
+    w[trailer + 6..trailer + 10].copy_from_slice(&packets.to_le_bytes());
+    let crc = crc32(&w[..STORAGE_WORD_BYTES - 4]);
+    w[STORAGE_WORD_BYTES - 4..].copy_from_slice(&crc.to_le_bytes());
+    w
+}
+
 /// Streams a byte sequence into CRC-framed storage words.
 ///
 /// Each emitted word carries [`FRAME_PAYLOAD_BYTES`] payload bytes plus a
@@ -163,14 +180,11 @@ impl FrameWriter {
     }
 
     fn seal(&mut self) {
-        let mut w = [0u8; STORAGE_WORD_BYTES];
-        w[..self.pending.len()].copy_from_slice(&self.pending);
-        let trailer = FRAME_PAYLOAD_BYTES;
-        w[trailer..trailer + 2].copy_from_slice(&(self.pending.len() as u16).to_le_bytes());
-        w[trailer + 2..trailer + 6].copy_from_slice(&(self.words.len() as u32).to_le_bytes());
-        w[trailer + 6..trailer + 10].copy_from_slice(&self.packets_complete.to_le_bytes());
-        let crc = crc32(&w[..STORAGE_WORD_BYTES - 4]);
-        w[STORAGE_WORD_BYTES - 4..].copy_from_slice(&crc.to_le_bytes());
+        let w = seal_word(
+            &self.pending,
+            self.words.len() as u32,
+            self.packets_complete,
+        );
         self.words.push(w);
         self.pending.clear();
     }

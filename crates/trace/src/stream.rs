@@ -1,0 +1,1004 @@
+//! Streaming trace I/O — the canonical encode/decode path (§3.3).
+//!
+//! Vidi's trace store streams cycle packets to CPU DRAM under back-pressure;
+//! recordings are bounded by storage, not by memory. This module is the
+//! software analogue: [`TraceSink`] accepts cycle packets, packs them into
+//! the CRC-framed 64-byte storage words of
+//! [`store_format`](crate::store_format), and hands fixed-size **chunks** to
+//! a [`ChunkSink`] backend as they fill, so the writer never buffers more
+//! than one chunk window regardless of run length. [`TraceSource`] is the
+//! pull side: it certifies the framed stream word by word in one bounded
+//! pass, then decodes cycle packets through a bounded readahead window
+//! refilled chunk by chunk — a trace larger than RAM replays fine.
+//!
+//! Durability contract: every sealed word carries its own CRC, sequence
+//! number, and cumulative complete-packet count, so a torn tail (a chunk
+//! that never reached the backend, a partial write, a bit flip at rest)
+//! degrades to the longest certified prefix — exactly the
+//! [`recover_trace`](crate::recover_trace) guarantee, which is itself
+//! implemented over [`TraceSource`].
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::TraceError;
+use crate::layout::TraceLayout;
+use crate::packet::CyclePacket;
+use crate::reader::{decode_header, decode_packet, Cursor};
+use crate::store_format::{crc32, seal_word, FRAME_PAYLOAD_BYTES, STORAGE_WORD_BYTES};
+use crate::trace::{encode_header_into, encode_packet_into};
+
+/// Default chunk size in 64-byte storage words (4 KiB chunks).
+pub const DEFAULT_CHUNK_WORDS: usize = 64;
+
+/// Packet count written into a streaming header before the final count is
+/// known. A reader treats it as "trust the frame trailers".
+pub(crate) const STREAMING_PACKET_COUNT: u64 = u64::MAX;
+
+/// An I/O failure in a chunk backend (message is backend-specific).
+///
+/// Backends are expected to absorb transient faults themselves (retry
+/// policies live host-side); an error surfacing here is one the caller must
+/// handle — typically by backing off and retrying the flush.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkIoError(pub String);
+
+impl fmt::Display for ChunkIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chunk I/O error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ChunkIoError {}
+
+/// Receives framed chunks from a [`TraceSink`], in order.
+///
+/// Every call except possibly the last delivers exactly `chunk_words * 64`
+/// bytes; the final call (from [`TraceSink::finalize`]) may be shorter.
+/// `seq` is the zero-based chunk index, for backends that write
+/// positionally.
+pub trait ChunkSink {
+    /// Persists one chunk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChunkIoError`] if the chunk could not be made durable; the
+    /// sink keeps the chunk buffered and the caller may retry.
+    fn put_chunk(&mut self, seq: u64, bytes: &[u8]) -> Result<(), ChunkIoError>;
+}
+
+impl ChunkSink for Vec<u8> {
+    fn put_chunk(&mut self, _seq: u64, bytes: &[u8]) -> Result<(), ChunkIoError> {
+        self.extend_from_slice(bytes);
+        Ok(())
+    }
+}
+
+impl<S: ChunkSink + ?Sized> ChunkSink for Box<S> {
+    fn put_chunk(&mut self, seq: u64, bytes: &[u8]) -> Result<(), ChunkIoError> {
+        (**self).put_chunk(seq, bytes)
+    }
+}
+
+/// Random-access byte storage holding a framed trace stream.
+///
+/// Methods take `&self` so one immutable image can back many concurrent
+/// [`TraceSource`]s (see [`SharedChunks`]) — the parallel-verify workers
+/// each open their own source over the same storage instead of cloning
+/// packets.
+pub trait ChunkSource {
+    /// Total stored bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChunkIoError`] if the backend cannot be sized.
+    fn byte_len(&self) -> Result<u64, ChunkIoError>;
+
+    /// Reads up to `buf.len()` bytes at `offset`, returning the count read
+    /// (0 at end of storage).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChunkIoError`] on backend failure.
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize, ChunkIoError>;
+}
+
+impl ChunkSource for [u8] {
+    fn byte_len(&self) -> Result<u64, ChunkIoError> {
+        Ok(self.len() as u64)
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize, ChunkIoError> {
+        let start = (offset.min(self.len() as u64)) as usize;
+        let n = buf.len().min(self.len() - start);
+        buf[..n].copy_from_slice(&self[start..start + n]);
+        Ok(n)
+    }
+}
+
+impl ChunkSource for Vec<u8> {
+    fn byte_len(&self) -> Result<u64, ChunkIoError> {
+        self.as_slice().byte_len()
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize, ChunkIoError> {
+        self.as_slice().read_at(offset, buf)
+    }
+}
+
+impl<T: ChunkSource + ?Sized> ChunkSource for &T {
+    fn byte_len(&self) -> Result<u64, ChunkIoError> {
+        (**self).byte_len()
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize, ChunkIoError> {
+        (**self).read_at(offset, buf)
+    }
+}
+
+impl<T: ChunkSource + ?Sized> ChunkSource for Arc<T> {
+    fn byte_len(&self) -> Result<u64, ChunkIoError> {
+        (**self).byte_len()
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize, ChunkIoError> {
+        (**self).read_at(offset, buf)
+    }
+}
+
+/// An immutable framed-trace image shareable across threads; the storage
+/// behind independent [`TraceSource`]s.
+pub type SharedChunks = Arc<dyn ChunkSource + Send + Sync>;
+
+/// Streams cycle packets into CRC-framed storage words, flushing fixed-size
+/// chunks to a [`ChunkSink`] backend.
+///
+/// The framing is bit-identical to [`FrameWriter`](crate::FrameWriter) (and
+/// to [`Trace::encode_framed`](crate::Trace::encode_framed), which is built
+/// on this sink): words seal lazily so a packet ending exactly on a word
+/// boundary is counted in that word's trailer. The sink buffers at most the
+/// open chunk plus whatever a caller stages between flushes —
+/// [`peak_buffered_bytes`](TraceSink::peak_buffered_bytes) reports the
+/// high-water mark so harnesses can assert the O(chunk) bound.
+#[derive(Debug)]
+pub struct TraceSink<W: ChunkSink> {
+    backend: W,
+    chunk_bytes: usize,
+    /// Payload of the open (unsealed) word, `< FRAME_PAYLOAD_BYTES + 1`.
+    pending: Vec<u8>,
+    /// Sealed words not yet flushed to the backend.
+    sealed: Vec<u8>,
+    words_sealed: u64,
+    packets_complete: u32,
+    packets: u64,
+    next_chunk_seq: u64,
+    chunks_flushed: u64,
+    flushed_bytes: u64,
+    peak_buffered: usize,
+    finished: bool,
+}
+
+impl<W: ChunkSink> TraceSink<W> {
+    /// Opens a streaming sink: the header is staged immediately with a
+    /// sentinel packet count, so readers rely on the per-word trailers for
+    /// the certified count.
+    pub fn new(
+        backend: W,
+        layout: &TraceLayout,
+        record_output_content: bool,
+        chunk_words: usize,
+    ) -> Self {
+        Self::with_declared(
+            backend,
+            layout,
+            record_output_content,
+            STREAMING_PACKET_COUNT,
+            chunk_words,
+        )
+    }
+
+    /// Opens a sink whose header declares an exact packet count (the
+    /// whole-trace [`encode_framed`](crate::Trace::encode_framed) path).
+    pub fn with_declared(
+        backend: W,
+        layout: &TraceLayout,
+        record_output_content: bool,
+        declared_packets: u64,
+        chunk_words: usize,
+    ) -> Self {
+        let mut sink = TraceSink {
+            backend,
+            chunk_bytes: chunk_words.max(1) * STORAGE_WORD_BYTES,
+            pending: Vec::with_capacity(FRAME_PAYLOAD_BYTES),
+            sealed: Vec::new(),
+            words_sealed: 0,
+            packets_complete: 0,
+            packets: 0,
+            next_chunk_seq: 0,
+            chunks_flushed: 0,
+            flushed_bytes: 0,
+            peak_buffered: 0,
+            finished: false,
+        };
+        let mut header = Vec::new();
+        encode_header_into(&mut header, layout, record_output_content, declared_packets);
+        sink.push_bytes(&header);
+        sink
+    }
+
+    fn push_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            // Seal lazily (see FrameWriter): a full word stays open until
+            // the next byte arrives, so mark_packet lands boundary packets
+            // in the right trailer.
+            if self.pending.len() == FRAME_PAYLOAD_BYTES {
+                self.seal_pending();
+            }
+            self.pending.push(b);
+        }
+        self.peak_buffered = self.peak_buffered.max(self.buffered_bytes());
+    }
+
+    fn seal_pending(&mut self) {
+        let w = seal_word(
+            &self.pending,
+            self.words_sealed as u32,
+            self.packets_complete,
+        );
+        self.sealed.extend_from_slice(&w);
+        self.words_sealed += 1;
+        self.pending.clear();
+    }
+
+    /// Stages one cycle packet into the framing without flushing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sink was already [`finalize`](TraceSink::finalize)d.
+    pub fn stage(&mut self, packet: &CyclePacket) {
+        assert!(!self.finished, "stage after finalize");
+        let mut buf = Vec::new();
+        encode_packet_into(&mut buf, packet);
+        self.push_bytes(&buf);
+        self.packets_complete = self.packets_complete.saturating_add(1);
+        self.packets += 1;
+    }
+
+    /// Full chunks currently buffered and ready to flush.
+    pub fn full_chunks(&self) -> usize {
+        self.sealed.len() / self.chunk_bytes
+    }
+
+    /// Flushes one full chunk to the backend, if one is buffered.
+    ///
+    /// # Errors
+    ///
+    /// Returns the backend's [`ChunkIoError`]; the chunk stays buffered and
+    /// the call can be retried.
+    pub fn flush_one(&mut self) -> Result<bool, ChunkIoError> {
+        if self.sealed.len() < self.chunk_bytes {
+            return Ok(false);
+        }
+        self.backend
+            .put_chunk(self.next_chunk_seq, &self.sealed[..self.chunk_bytes])?;
+        self.sealed.drain(..self.chunk_bytes);
+        self.next_chunk_seq += 1;
+        self.chunks_flushed += 1;
+        self.flushed_bytes += self.chunk_bytes as u64;
+        Ok(true)
+    }
+
+    /// Flushes every full chunk currently buffered.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first backend error; already-flushed chunks stay flushed.
+    pub fn flush_full(&mut self) -> Result<(), ChunkIoError> {
+        while self.flush_one()? {}
+        Ok(())
+    }
+
+    /// Stages one packet and flushes any chunks it filled.
+    ///
+    /// # Errors
+    ///
+    /// Returns the backend's [`ChunkIoError`] (the packet is staged either
+    /// way).
+    pub fn push(&mut self, packet: &CyclePacket) -> Result<(), ChunkIoError> {
+        self.stage(packet);
+        self.flush_full()
+    }
+
+    /// Seals the open word and flushes everything, including a final
+    /// partial chunk. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Returns the backend's [`ChunkIoError`]; retrying resumes where the
+    /// failure left off.
+    pub fn finalize(&mut self) -> Result<(), ChunkIoError> {
+        if !self.finished {
+            if !self.pending.is_empty() {
+                self.seal_pending();
+            }
+            self.finished = true;
+        }
+        self.flush_full()?;
+        if !self.sealed.is_empty() {
+            self.backend.put_chunk(self.next_chunk_seq, &self.sealed)?;
+            self.next_chunk_seq += 1;
+            self.chunks_flushed += 1;
+            self.flushed_bytes += self.sealed.len() as u64;
+            self.sealed.clear();
+        }
+        Ok(())
+    }
+
+    /// Finalizes and returns the backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns the backend's [`ChunkIoError`] from the final flush.
+    pub fn finish(mut self) -> Result<W, ChunkIoError> {
+        self.finalize()?;
+        Ok(self.backend)
+    }
+
+    /// A sealed image of everything staged but not yet flushed: the
+    /// buffered sealed words plus a copy-sealed open word. Appending this to
+    /// the bytes already flushed yields a valid framed stream certifying
+    /// every staged packet — how an in-memory recording materializes a
+    /// [`Trace`](crate::Trace) mid-run without disturbing the sink.
+    pub fn unflushed_tail_image(&self) -> Vec<u8> {
+        let mut out = self.sealed.clone();
+        if !self.pending.is_empty() {
+            out.extend_from_slice(&seal_word(
+                &self.pending,
+                self.words_sealed as u32,
+                self.packets_complete,
+            ));
+        }
+        out
+    }
+
+    /// Bytes currently buffered (sealed-but-unflushed plus the open word).
+    pub fn buffered_bytes(&self) -> usize {
+        self.sealed.len() + self.pending.len()
+    }
+
+    /// High-water mark of [`buffered_bytes`](TraceSink::buffered_bytes).
+    pub fn peak_buffered_bytes(&self) -> usize {
+        self.peak_buffered
+    }
+
+    /// Chunks handed to the backend so far.
+    pub fn chunks_flushed(&self) -> u64 {
+        self.chunks_flushed
+    }
+
+    /// Bytes handed to the backend so far.
+    pub fn flushed_bytes(&self) -> u64 {
+        self.flushed_bytes
+    }
+
+    /// Cycle packets staged so far.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// The backend.
+    pub fn backend(&self) -> &W {
+        &self.backend
+    }
+
+    /// Replaces the backend, returning the old one. Only meaningful before
+    /// the first flush (the caller is responsible for not splitting a
+    /// stream across backends).
+    pub fn swap_backend(&mut self, backend: W) -> W {
+        std::mem::replace(&mut self.backend, backend)
+    }
+
+    /// Serializes the sink's framing state (not the backend) for a
+    /// checkpoint. `sink_state` pairs with [`restore_parts`].
+    pub fn save_parts(&self) -> SinkParts {
+        SinkParts {
+            pending: self.pending.clone(),
+            sealed: self.sealed.clone(),
+            words_sealed: self.words_sealed,
+            packets_complete: self.packets_complete,
+            packets: self.packets,
+            next_chunk_seq: self.next_chunk_seq,
+            chunks_flushed: self.chunks_flushed,
+            flushed_bytes: self.flushed_bytes,
+            peak_buffered: self.peak_buffered as u64,
+            finished: self.finished,
+        }
+    }
+
+    /// Restores framing state captured by [`TraceSink::save_parts`].
+    pub fn restore_parts(&mut self, parts: SinkParts) {
+        self.pending = parts.pending;
+        self.sealed = parts.sealed;
+        self.words_sealed = parts.words_sealed;
+        self.packets_complete = parts.packets_complete;
+        self.packets = parts.packets;
+        self.next_chunk_seq = parts.next_chunk_seq;
+        self.chunks_flushed = parts.chunks_flushed;
+        self.flushed_bytes = parts.flushed_bytes;
+        self.peak_buffered = parts.peak_buffered as usize;
+        self.finished = parts.finished;
+    }
+}
+
+/// A [`TraceSink`]'s framing state, detached from its backend — what a
+/// checkpoint needs to rebuild an in-progress recording.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SinkParts {
+    /// Open-word payload.
+    pub pending: Vec<u8>,
+    /// Sealed-but-unflushed words.
+    pub sealed: Vec<u8>,
+    /// Words sealed so far.
+    pub words_sealed: u64,
+    /// Trailer packet counter.
+    pub packets_complete: u32,
+    /// Packets staged.
+    pub packets: u64,
+    /// Next chunk sequence number.
+    pub next_chunk_seq: u64,
+    /// Chunks flushed.
+    pub chunks_flushed: u64,
+    /// Bytes flushed.
+    pub flushed_bytes: u64,
+    /// Peak buffered bytes.
+    pub peak_buffered: u64,
+    /// Whether the sink was finalized.
+    pub finished: bool,
+}
+
+/// A resumable read position in a [`TraceSource`]: a payload byte offset
+/// plus the number of packets already read. What a checkpoint stores so a
+/// seek can resume mid-stream without re-decoding the prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SourcePos {
+    /// Absolute offset into the certified payload byte stream.
+    pub payload_offset: u64,
+    /// Packets decoded before this position.
+    pub packets_read: u64,
+}
+
+/// Pull-based chunked decoder over a framed trace stream.
+///
+/// `open` makes one bounded-memory certification pass (CRC, sequence,
+/// length per word — the [`recover_frames`](crate::recover_frames)
+/// contract), parses the self-describing header, and records how many
+/// packets the frame trailers certify. `next_packet` then decodes through a
+/// readahead window refilled one chunk at a time, so memory stays
+/// O(chunk + packet) however long the trace is.
+pub struct TraceSource<R: ChunkSource> {
+    backend: R,
+    chunk_words: usize,
+    layout: TraceLayout,
+    record_output_content: bool,
+    header_len: u64,
+    declared_packets: u64,
+    certified_packets: u64,
+    certified_payload_len: u64,
+    certified_words: u64,
+    first_corrupt_word: Option<usize>,
+    total_words: usize,
+    pos: u64,
+    packets_read: u64,
+    win: Vec<u8>,
+    win_start: u64,
+}
+
+impl<R: ChunkSource> fmt::Debug for TraceSource<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceSource")
+            .field("channels", &self.layout.len())
+            .field("certified_packets", &self.certified_packets)
+            .field("declared_packets", &self.declared_packets)
+            .field("packets_read", &self.packets_read)
+            .field("first_corrupt_word", &self.first_corrupt_word)
+            .finish()
+    }
+}
+
+impl<R: ChunkSource> TraceSource<R> {
+    /// Opens a framed trace stream: certifies the frames in one pass and
+    /// parses the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] if the backend fails or the corruption
+    /// reaches into the self-description header, leaving nothing to decode.
+    pub fn open(backend: R, chunk_words: usize) -> Result<Self, TraceError> {
+        let chunk_words = chunk_words.max(1);
+        let total_bytes = backend.byte_len().map_err(io_error)?;
+        let total_words = total_bytes.div_ceil(STORAGE_WORD_BYTES as u64) as usize;
+        let mut buf = vec![0u8; chunk_words * STORAGE_WORD_BYTES];
+        let mut word = 0u64;
+        let mut certified_words = 0u64;
+        let mut certified_payload_len = 0u64;
+        let mut trailer_packets = 0u32;
+        let mut first_corrupt_word = None;
+        let mut saw_short = false;
+        let mut head: Vec<u8> = Vec::new();
+        let mut header: Option<(TraceLayout, bool, u64, u64)> = None;
+        'scan: while word < total_words as u64 {
+            let left = total_bytes - word * STORAGE_WORD_BYTES as u64;
+            let want = (buf.len() as u64).min(left) as usize;
+            read_full(&backend, word * STORAGE_WORD_BYTES as u64, &mut buf[..want])
+                .map_err(io_error)?;
+            for chunk in buf[..want].chunks(STORAGE_WORD_BYTES) {
+                if chunk.len() < STORAGE_WORD_BYTES || saw_short {
+                    // A torn tail fragment, or a word following a
+                    // short-payload word (the writer only ever emits a short
+                    // word as the final one).
+                    first_corrupt_word = Some(word as usize);
+                    break 'scan;
+                }
+                let stored_crc =
+                    u32::from_le_bytes(chunk[STORAGE_WORD_BYTES - 4..].try_into().expect("4"));
+                let len = u16::from_le_bytes(
+                    chunk[FRAME_PAYLOAD_BYTES..FRAME_PAYLOAD_BYTES + 2]
+                        .try_into()
+                        .expect("2"),
+                ) as usize;
+                let seq = u32::from_le_bytes(
+                    chunk[FRAME_PAYLOAD_BYTES + 2..FRAME_PAYLOAD_BYTES + 6]
+                        .try_into()
+                        .expect("4"),
+                );
+                let word_packets = u32::from_le_bytes(
+                    chunk[FRAME_PAYLOAD_BYTES + 6..FRAME_PAYLOAD_BYTES + 10]
+                        .try_into()
+                        .expect("4"),
+                );
+                if crc32(&chunk[..STORAGE_WORD_BYTES - 4]) != stored_crc
+                    || len > FRAME_PAYLOAD_BYTES
+                    || seq != word as u32
+                {
+                    first_corrupt_word = Some(word as usize);
+                    break 'scan;
+                }
+                certified_words += 1;
+                certified_payload_len += len as u64;
+                trailer_packets = word_packets;
+                if len < FRAME_PAYLOAD_BYTES {
+                    saw_short = true;
+                }
+                if header.is_none() {
+                    head.extend_from_slice(&chunk[..len]);
+                    let mut cur = Cursor::new(&head);
+                    match decode_header(&mut cur) {
+                        Ok((layout, roc, count)) => {
+                            header = Some((layout, roc, count, cur.pos() as u64));
+                            head = Vec::new();
+                        }
+                        Err(TraceError::Truncated { .. }) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                word += 1;
+            }
+        }
+        let Some((layout, record_output_content, count, header_len)) = header else {
+            // Re-derive the precise header error from what was certified.
+            let mut cur = Cursor::new(&head);
+            decode_header(&mut cur)?;
+            return Err(TraceError::Truncated { offset: head.len() });
+        };
+        let declared_packets = if count == STREAMING_PACKET_COUNT {
+            u64::from(trailer_packets)
+        } else {
+            count
+        };
+        let certified_packets = declared_packets.min(u64::from(trailer_packets));
+        Ok(TraceSource {
+            backend,
+            chunk_words,
+            layout,
+            record_output_content,
+            header_len,
+            declared_packets,
+            certified_packets,
+            certified_payload_len,
+            certified_words,
+            first_corrupt_word,
+            total_words,
+            pos: header_len,
+            packets_read: 0,
+            win: Vec::new(),
+            win_start: header_len,
+        })
+    }
+
+    /// The trace's channel layout.
+    pub fn layout(&self) -> &TraceLayout {
+        &self.layout
+    }
+
+    /// Whether output contents were recorded.
+    pub fn records_output_content(&self) -> bool {
+        self.record_output_content
+    }
+
+    /// Packets the frame trailers certify as decodable (the replayable
+    /// prefix length).
+    pub fn certified_packets(&self) -> u64 {
+        self.certified_packets
+    }
+
+    /// Packets the header declared. For a streaming recording (sentinel
+    /// header count) this equals the trailer-certified count.
+    pub fn declared_packets(&self) -> u64 {
+        self.declared_packets
+    }
+
+    /// First storage word that failed its integrity check, if any.
+    pub fn first_corrupt_word(&self) -> Option<usize> {
+        self.first_corrupt_word
+    }
+
+    /// Total 64-byte words present in the backend (a torn fragment counts
+    /// as one).
+    pub fn total_words(&self) -> usize {
+        self.total_words
+    }
+
+    /// Whether every word certified and every declared packet is present.
+    pub fn is_complete(&self) -> bool {
+        self.first_corrupt_word.is_none() && self.certified_packets == self.declared_packets
+    }
+
+    /// The current read position, for a later [`seek`](TraceSource::seek).
+    pub fn position(&self) -> SourcePos {
+        SourcePos {
+            payload_offset: self.pos,
+            packets_read: self.packets_read,
+        }
+    }
+
+    /// Jumps to a position previously returned by
+    /// [`position`](TraceSource::position) — O(1), no prefix re-decode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Truncated`] if the position lies outside the
+    /// certified payload (e.g. a checkpoint from a longer recording).
+    pub fn seek(&mut self, pos: SourcePos) -> Result<(), TraceError> {
+        if pos.payload_offset < self.header_len
+            || pos.payload_offset > self.certified_payload_len
+            || pos.packets_read > self.certified_packets
+        {
+            return Err(TraceError::Truncated {
+                offset: pos.payload_offset as usize,
+            });
+        }
+        self.pos = pos.payload_offset;
+        self.packets_read = pos.packets_read;
+        self.win.clear();
+        self.win_start = self.pos;
+        Ok(())
+    }
+
+    /// Decodes the next certified cycle packet, or `None` past the
+    /// certified prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] if the backend fails mid-read or the
+    /// payload does not parse to as many packets as the trailers certify
+    /// (mis-written or adversarial frames).
+    pub fn next_packet(&mut self) -> Result<Option<CyclePacket>, TraceError> {
+        if self.packets_read >= self.certified_packets {
+            return Ok(None);
+        }
+        loop {
+            let attempt = {
+                let rel = (self.pos - self.win_start) as usize;
+                let mut cur = Cursor::new(&self.win[rel..]);
+                decode_packet(&mut cur, &self.layout, self.record_output_content)
+                    .map(|p| (p, cur.pos() as u64))
+            };
+            match attempt {
+                Ok((p, consumed)) => {
+                    self.pos += consumed;
+                    self.packets_read += 1;
+                    return Ok(Some(p));
+                }
+                Err(TraceError::Truncated { .. }) => {
+                    if !self.refill()? {
+                        return Err(TraceError::Truncated {
+                            offset: self.pos as usize,
+                        });
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Extends the readahead window by up to one chunk of certified
+    /// payload. Returns `false` at the end of the certified stream.
+    fn refill(&mut self) -> Result<bool, TraceError> {
+        let consumed = (self.pos - self.win_start) as usize;
+        if consumed > 0 {
+            self.win.drain(..consumed);
+            self.win_start = self.pos;
+        }
+        let end = self.win_start + self.win.len() as u64;
+        if end >= self.certified_payload_len {
+            return Ok(false);
+        }
+        // Every certified word except the final one carries a full payload,
+        // so payload offsets map to word indices arithmetically.
+        let word = end / FRAME_PAYLOAD_BYTES as u64;
+        let skip = (end % FRAME_PAYLOAD_BYTES as u64) as usize;
+        let n_words = (self.chunk_words as u64).min(self.certified_words - word) as usize;
+        let mut buf = vec![0u8; n_words * STORAGE_WORD_BYTES];
+        read_full(&self.backend, word * STORAGE_WORD_BYTES as u64, &mut buf).map_err(io_error)?;
+        for (k, w) in buf.chunks(STORAGE_WORD_BYTES).enumerate() {
+            let widx = word + k as u64;
+            let wlen = if widx == self.certified_words - 1 {
+                (self.certified_payload_len - widx * FRAME_PAYLOAD_BYTES as u64) as usize
+            } else {
+                FRAME_PAYLOAD_BYTES
+            };
+            let s = if k == 0 { skip } else { 0 };
+            self.win.extend_from_slice(&w[s..wlen]);
+        }
+        Ok(true)
+    }
+
+    /// An iterator over the remaining certified cycle packets.
+    pub fn cycles(&mut self) -> Cycles<'_, R> {
+        Cycles { src: self }
+    }
+}
+
+/// Iterator returned by [`TraceSource::cycles`].
+pub struct Cycles<'a, R: ChunkSource> {
+    src: &'a mut TraceSource<R>,
+}
+
+impl<R: ChunkSource> Iterator for Cycles<'_, R> {
+    type Item = Result<CyclePacket, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.src.next_packet().transpose()
+    }
+}
+
+fn io_error(e: ChunkIoError) -> TraceError {
+    TraceError::Io(e.0)
+}
+
+/// Reads exactly `buf.len()` bytes at `offset`, tolerating short reads.
+fn read_full<R: ChunkSource + ?Sized>(
+    backend: &R,
+    offset: u64,
+    buf: &mut [u8],
+) -> Result<(), ChunkIoError> {
+    let mut done = 0usize;
+    while done < buf.len() {
+        let n = backend.read_at(offset + done as u64, &mut buf[done..])?;
+        if n == 0 {
+            return Err(ChunkIoError(format!(
+                "storage ended {} bytes short at offset {}",
+                buf.len() - done,
+                offset + done as u64
+            )));
+        }
+        done += n;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::ChannelInfo;
+    use crate::packet::ChannelPacket;
+    use crate::trace::Trace;
+    use vidi_chan::Direction;
+    use vidi_hwsim::Bits;
+
+    fn layout() -> TraceLayout {
+        TraceLayout::new(vec![
+            ChannelInfo {
+                name: "in".into(),
+                width: 24,
+                direction: Direction::Input,
+            },
+            ChannelInfo {
+                name: "out".into(),
+                width: 8,
+                direction: Direction::Output,
+            },
+        ])
+    }
+
+    fn sample(n: u64, roc: bool) -> Trace {
+        let l = layout();
+        let mut t = Trace::new(l.clone(), roc);
+        for i in 0..n {
+            t.push(CyclePacket::assemble(
+                &l,
+                &[
+                    ChannelPacket {
+                        start: true,
+                        content: Some(Bits::from_u64(24, i * 3)),
+                        end: i % 2 == 0,
+                    },
+                    ChannelPacket {
+                        start: false,
+                        content: roc.then(|| Bits::from_u64(8, i)),
+                        end: true,
+                    },
+                ],
+                roc,
+            ));
+        }
+        t
+    }
+
+    #[test]
+    fn declared_sink_matches_encode_framed() {
+        for roc in [false, true] {
+            let t = sample(40, roc);
+            let framed = t.encode_framed();
+            // encode_framed is itself built on the sink; cross-check against
+            // the legacy FrameWriter to pin the byte format.
+            let mut fw = crate::FrameWriter::new();
+            let mut header = Vec::new();
+            encode_header_into(&mut header, t.layout(), roc, t.packets().len() as u64);
+            fw.push_bytes(&header);
+            let mut buf = Vec::new();
+            for p in t.packets() {
+                buf.clear();
+                encode_packet_into(&mut buf, p);
+                fw.push_bytes(&buf);
+                fw.mark_packet();
+            }
+            assert_eq!(framed, fw.finish_bytes());
+        }
+    }
+
+    #[test]
+    fn streaming_sink_source_roundtrip() {
+        let t = sample(100, true);
+        let mut sink = TraceSink::new(Vec::new(), t.layout(), true, 2);
+        for p in t.packets() {
+            sink.push(p).unwrap();
+        }
+        assert!(sink.peak_buffered_bytes() <= 2 * 64 + FRAME_PAYLOAD_BYTES + 200);
+        let bytes = sink.finish().unwrap();
+        let mut src = TraceSource::open(bytes.as_slice(), 2).unwrap();
+        assert!(src.is_complete());
+        assert_eq!(src.certified_packets(), 100);
+        let got: Vec<CyclePacket> = src.cycles().map(|p| p.unwrap()).collect();
+        assert_eq!(got.as_slice(), t.packets());
+    }
+
+    #[test]
+    fn chunk_flush_sizes_are_fixed() {
+        struct SizeCheck {
+            chunk_bytes: usize,
+            seqs: Vec<u64>,
+            last_len: usize,
+            total: u64,
+        }
+        impl ChunkSink for SizeCheck {
+            fn put_chunk(&mut self, seq: u64, bytes: &[u8]) -> Result<(), ChunkIoError> {
+                assert!(bytes.len() <= self.chunk_bytes);
+                self.seqs.push(seq);
+                self.last_len = bytes.len();
+                self.total += bytes.len() as u64;
+                Ok(())
+            }
+        }
+        let t = sample(64, false);
+        let mut sink = TraceSink::new(
+            SizeCheck {
+                chunk_bytes: 3 * 64,
+                seqs: Vec::new(),
+                last_len: 0,
+                total: 0,
+            },
+            t.layout(),
+            false,
+            3,
+        );
+        for p in t.packets() {
+            sink.push(p).unwrap();
+        }
+        let flushed = sink.chunks_flushed();
+        let check = sink.finish().unwrap();
+        assert!(check.seqs.len() > 1, "trace must span several chunks");
+        assert!(flushed <= check.seqs.len() as u64);
+        let expected: Vec<u64> = (0..check.seqs.len() as u64).collect();
+        assert_eq!(check.seqs, expected);
+        // Every chunk except the last is exactly the chunk window.
+        assert_eq!(check.total as usize % (3 * 64), check.last_len % (3 * 64));
+    }
+
+    #[test]
+    fn tail_image_certifies_staged_packets() {
+        let t = sample(30, false);
+        let mut sink = TraceSink::new(Vec::new(), t.layout(), false, 2);
+        for p in t.packets() {
+            sink.push(p).unwrap();
+        }
+        let mut image = sink.backend().clone();
+        image.extend_from_slice(&sink.unflushed_tail_image());
+        let rec = crate::recover_trace(&image).unwrap();
+        assert_eq!(rec.recovered_packets, 30);
+        assert_eq!(rec.trace.packets(), t.packets());
+        // The sink is undisturbed: staging more still works.
+        sink.push(&t.packets()[0].clone()).unwrap();
+        assert_eq!(sink.packets(), 31);
+    }
+
+    #[test]
+    fn source_seek_roundtrip() {
+        let t = sample(50, true);
+        let bytes = t.encode_framed();
+        let mut src = TraceSource::open(bytes.as_slice(), 1).unwrap();
+        for _ in 0..20 {
+            src.next_packet().unwrap().unwrap();
+        }
+        let mark = src.position();
+        let next_at_mark = src.next_packet().unwrap().unwrap();
+        for _ in 0..10 {
+            src.next_packet().unwrap().unwrap();
+        }
+        src.seek(mark).unwrap();
+        assert_eq!(src.next_packet().unwrap().unwrap(), next_at_mark);
+        // Seeking past the certified payload is a typed error.
+        assert!(src
+            .seek(SourcePos {
+                payload_offset: bytes.len() as u64,
+                packets_read: 0,
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn torn_streaming_tail_degrades_to_chunk_prefix() {
+        let t = sample(200, false);
+        let mut sink = TraceSink::new(Vec::new(), t.layout(), false, 2);
+        for p in t.packets() {
+            sink.push(p).unwrap();
+        }
+        // Simulate a crash: the unflushed tail is lost; only flushed chunks
+        // survive. No finalize.
+        let survived = sink.backend().clone();
+        assert!(
+            sink.chunks_flushed() >= 3,
+            "need several chunks for the test to mean anything"
+        );
+        let rec = crate::recover_trace(&survived).unwrap();
+        assert!(rec.recovered_packets > 0);
+        assert_eq!(
+            rec.trace.packets(),
+            &t.packets()[..rec.recovered_packets as usize]
+        );
+    }
+
+    #[test]
+    fn sink_parts_roundtrip() {
+        let t = sample(25, false);
+        let mut sink = TraceSink::new(Vec::new(), t.layout(), false, 2);
+        for p in &t.packets()[..10] {
+            sink.push(p).unwrap();
+        }
+        let parts = sink.save_parts();
+        let mut clone = TraceSink::new(Vec::new(), t.layout(), false, 2);
+        clone.restore_parts(parts.clone());
+        assert_eq!(clone.save_parts(), parts);
+        assert_eq!(clone.unflushed_tail_image(), sink.unflushed_tail_image());
+    }
+}

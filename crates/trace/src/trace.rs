@@ -4,7 +4,7 @@ use vidi_chan::Direction;
 use vidi_hwsim::Bits;
 
 use crate::error::TraceError;
-use crate::layout::{ChannelInfo, TraceLayout};
+use crate::layout::TraceLayout;
 use crate::packet::CyclePacket;
 
 const MAGIC: &[u8; 4] = b"VIDI";
@@ -125,24 +125,12 @@ impl Trace {
     /// including the packet count).
     fn encode_header(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        out.extend_from_slice(MAGIC);
-        write_u16(&mut out, VERSION);
-        out.push(self.record_output_content as u8);
-        write_u16(
+        encode_header_into(
             &mut out,
-            u16::try_from(self.layout.len())
-                .expect("TraceLayout::try_new caps layouts at u16::MAX channels"),
+            &self.layout,
+            self.record_output_content,
+            self.packets.len() as u64,
         );
-        for ch in self.layout.channels() {
-            write_u16(&mut out, ch.name.len() as u16);
-            out.extend_from_slice(ch.name.as_bytes());
-            write_u32(&mut out, ch.width);
-            out.push(match ch.direction {
-                Direction::Input => 0,
-                Direction::Output => 1,
-            });
-        }
-        write_u64(&mut out, self.packets.len() as u64);
         out
     }
 
@@ -151,17 +139,22 @@ impl Trace {
     /// result tolerates bit flips, torn writes, and truncation: a reader
     /// can always [`recover`](crate::recover_trace) the longest valid
     /// packet prefix.
+    ///
+    /// This is the whole-trace convenience over the streaming
+    /// [`TraceSink`](crate::TraceSink); both produce identical bytes for
+    /// identical packets.
     pub fn encode_framed(&self) -> Vec<u8> {
-        let mut w = crate::store_format::FrameWriter::new();
-        w.push_bytes(&self.encode_header());
-        let mut buf = Vec::new();
+        let mut sink = crate::stream::TraceSink::with_declared(
+            Vec::new(),
+            &self.layout,
+            self.record_output_content,
+            self.packets.len() as u64,
+            crate::stream::DEFAULT_CHUNK_WORDS,
+        );
         for p in &self.packets {
-            buf.clear();
-            encode_packet_into(&mut buf, p);
-            w.push_bytes(&buf);
-            w.mark_packet();
+            sink.push(p).expect("Vec chunk sink cannot fail");
         }
-        w.finish_bytes()
+        sink.finish().expect("Vec chunk sink cannot fail")
     }
 
     /// Deserializes a trace from its binary format.
@@ -170,69 +163,20 @@ impl Trace {
     ///
     /// Returns a [`TraceError`] describing the first structural problem.
     pub fn decode(bytes: &[u8]) -> Result<Self, TraceError> {
-        let mut r = Reader { buf: bytes, pos: 0 };
-        if r.take(4)? != MAGIC {
-            return Err(TraceError::BadMagic);
-        }
-        let version = r.u16()?;
-        if version != VERSION {
-            return Err(TraceError::BadVersion(version));
-        }
-        let record_output_content = r.u8()? != 0;
-        let n_channels = r.u16()? as usize;
-        let mut channels = Vec::with_capacity(n_channels);
-        for _ in 0..n_channels {
-            let name_len = r.u16()? as usize;
-            let name = std::str::from_utf8(r.take(name_len)?)
-                .map_err(|_| TraceError::BadChannelName)?
-                .to_string();
-            let width = r.u32()?;
-            let direction = if r.u8()? == 0 {
-                Direction::Input
-            } else {
-                Direction::Output
-            };
-            channels.push(ChannelInfo {
-                name,
-                width,
-                direction,
-            });
-        }
-        let layout = TraceLayout::new(channels);
-        let n_inputs = layout.input_indices().count();
-        let n_packets = r.u64()? as usize;
+        let mut r = crate::reader::Cursor::new(bytes);
+        let (layout, record_output_content, n_packets) = crate::reader::decode_header(&mut r)?;
+        let n_packets = n_packets as usize;
         let mut packets = Vec::with_capacity(n_packets.min(1 << 20));
         for _ in 0..n_packets {
-            let starts = r.bitvec(n_inputs)?;
-            let ends = r.bitvec(layout.len())?;
-            let mut contents = Vec::new();
-            // Input-start contents, in channel order.
-            let mut input_pos = 0;
-            for ch in layout.channels() {
-                if ch.direction == Direction::Input {
-                    if starts[input_pos] {
-                        contents.push(r.bits(ch.width)?);
-                    }
-                    input_pos += 1;
-                }
-            }
-            // Output-end contents, when enabled.
-            if record_output_content {
-                for (idx, ch) in layout.channels().iter().enumerate() {
-                    if ch.direction == Direction::Output && ends[idx] {
-                        contents.push(r.bits(ch.width)?);
-                    }
-                }
-            }
-            packets.push(CyclePacket {
-                starts,
-                ends,
-                contents,
-            });
+            packets.push(crate::reader::decode_packet(
+                &mut r,
+                &layout,
+                record_output_content,
+            )?);
         }
-        if r.pos != bytes.len() {
+        if r.pos() != bytes.len() {
             return Err(TraceError::TrailingBytes {
-                extra: bytes.len() - r.pos,
+                extra: bytes.len() - r.pos(),
             });
         }
         Ok(Trace {
@@ -266,12 +210,42 @@ impl Trace {
     }
 }
 
-fn encode_packet_into(out: &mut Vec<u8>, p: &CyclePacket) {
+/// Serializes one cycle packet — the single packet-encode path shared by
+/// [`Trace::encode`] and the streaming [`TraceSink`](crate::TraceSink).
+pub(crate) fn encode_packet_into(out: &mut Vec<u8>, p: &CyclePacket) {
     write_bitvec(out, &p.starts);
     write_bitvec(out, &p.ends);
     for c in &p.contents {
         out.extend_from_slice(&c.to_bytes());
     }
+}
+
+/// Serializes the self-description header for `count` packets (a streaming
+/// sink passes a sentinel count; see [`crate::stream`]).
+pub(crate) fn encode_header_into(
+    out: &mut Vec<u8>,
+    layout: &TraceLayout,
+    record_output_content: bool,
+    count: u64,
+) {
+    out.extend_from_slice(MAGIC);
+    write_u16(out, VERSION);
+    out.push(record_output_content as u8);
+    write_u16(
+        out,
+        u16::try_from(layout.len())
+            .expect("TraceLayout::try_new caps layouts at u16::MAX channels"),
+    );
+    for ch in layout.channels() {
+        write_u16(out, ch.name.len() as u16);
+        out.extend_from_slice(ch.name.as_bytes());
+        write_u32(out, ch.width);
+        out.push(match ch.direction {
+            Direction::Input => 0,
+            Direction::Output => 1,
+        });
+    }
+    write_u64(out, count);
 }
 
 fn write_u16(out: &mut Vec<u8>, v: u16) {
@@ -299,45 +273,10 @@ fn write_bitvec(out: &mut Vec<u8>, bits: &[bool]) {
     }
 }
 
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
-        if self.pos + n > self.buf.len() {
-            return Err(TraceError::Truncated { offset: self.pos });
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
-    }
-    fn u8(&mut self) -> Result<u8, TraceError> {
-        Ok(self.take(1)?[0])
-    }
-    fn u16(&mut self) -> Result<u16, TraceError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
-    }
-    fn u32(&mut self) -> Result<u32, TraceError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-    fn u64(&mut self) -> Result<u64, TraceError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-    fn bitvec(&mut self, n: usize) -> Result<Vec<bool>, TraceError> {
-        let bytes = self.take(n.div_ceil(8))?;
-        Ok((0..n).map(|i| bytes[i / 8] >> (i % 8) & 1 == 1).collect())
-    }
-    fn bits(&mut self, width: u32) -> Result<Bits, TraceError> {
-        let bytes = self.take(width.div_ceil(8) as usize)?;
-        Ok(Bits::from_bytes(bytes).resize(width))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::layout::ChannelInfo;
     use crate::packet::ChannelPacket;
 
     fn layout() -> TraceLayout {

@@ -22,6 +22,13 @@ cargo test -q
 echo "── workspace tests (unit + integration + fault-matrix soak) ────"
 cargo test -q --workspace
 
+echo "── streaming soak: bounded-memory record + kill-recovery gate ──"
+# Streams a recording to disk until the framed trace spans several chunk
+# windows (asserting peak buffered bytes stay under the streaming bound),
+# then kills a recording mid-run, tears the final storage word, and
+# asserts the torn file recovers to a bit-exact, replayable prefix.
+cargo test -q --release --test streaming_soak
+
 echo "── vidi-lint: static design lint + trace-analysis gate ─────────"
 cargo run --release -q -p vidi-lint -- ci --config scripts/vidi-lint.allow
 

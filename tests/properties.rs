@@ -217,6 +217,82 @@ proptest! {
         }
     }
 
+    /// The streaming sink is the *same* encoding as the whole-trace path:
+    /// pushing packets one at a time through a chunked [`TraceSink`] with a
+    /// declared count produces bytes bit-for-bit identical to
+    /// `Trace::encode_framed`, for every chunk size and in both content
+    /// modes (`arb_trace` draws the output-content flag) — and a
+    /// [`TraceSource`] over those bytes decodes back the exact packets.
+    #[test]
+    fn streaming_sink_matches_whole_trace_encoding(
+        trace in arb_trace(),
+        chunk_words in 1usize..9,
+    ) {
+        use vidi_repro::trace::{TraceSink, TraceSource};
+        let mut sink = TraceSink::with_declared(
+            Vec::new(),
+            trace.layout(),
+            trace.records_output_content(),
+            trace.packets().len() as u64,
+            chunk_words,
+        );
+        for p in trace.packets() {
+            sink.push(p).expect("Vec backend never fails");
+        }
+        let bytes = sink.finish().expect("Vec backend never fails");
+        prop_assert_eq!(&bytes, &trace.encode_framed(), "chunked != whole-trace encoding");
+
+        let mut source = TraceSource::open(bytes, chunk_words).expect("clean image opens");
+        prop_assert!(source.is_complete());
+        prop_assert_eq!(source.layout(), trace.layout());
+        prop_assert_eq!(source.records_output_content(), trace.records_output_content());
+        let mut back = Vec::new();
+        while let Some(p) = source.next_packet().expect("certified packets decode") {
+            back.push(p);
+        }
+        prop_assert_eq!(&back, trace.packets());
+    }
+
+    /// Corrupting a framed image — one bit flip plus a truncation at an
+    /// arbitrary offset — never panics the chunked reader, and a
+    /// [`TraceSource`] (any chunk size) certifies *exactly* the packet
+    /// prefix the whole-buffer `recover_trace` contract does.
+    #[test]
+    fn streaming_source_corruption_matches_recover_trace(
+        trace in arb_trace(),
+        flip in any::<u64>(),
+        cut in any::<u64>(),
+        chunk_words in 1usize..9,
+    ) {
+        use vidi_repro::trace::{recover_trace, TraceSource};
+        let mut framed = trace.encode_framed();
+        if !framed.is_empty() {
+            let bit = flip % (framed.len() as u64 * 8);
+            framed[(bit / 8) as usize] ^= 1 << (bit % 8);
+            framed.truncate((cut % (framed.len() as u64 + 1)) as usize);
+        }
+        let whole = recover_trace(&framed);
+        let chunked = TraceSource::open(&framed[..], chunk_words);
+        match (whole, chunked) {
+            (Ok(rec), Ok(mut source)) => {
+                prop_assert_eq!(source.certified_packets(), rec.recovered_packets);
+                prop_assert_eq!(source.is_complete(), rec.is_complete());
+                let mut back = Vec::new();
+                while let Some(p) = source.next_packet().expect("certified packets decode") {
+                    back.push(p);
+                }
+                prop_assert_eq!(&back, rec.trace.packets());
+            }
+            (Err(_), Err(_)) => {}
+            (w, c) => prop_assert!(
+                false,
+                "recover_trace and TraceSource disagree: whole={:?} chunked-ok={}",
+                w.map(|r| r.recovered_packets),
+                c.is_ok()
+            ),
+        }
+    }
+
     #[test]
     fn mutation_preserves_transaction_counts(trace in arb_trace()) {
         let layout = trace.layout().clone();
