@@ -1,0 +1,129 @@
+//! `bench_fleet` — multi-tenant fleet soak trajectory (`BENCH_fleet.json`).
+//!
+//! Runs the canonical eight-tenant mix (four clean recordings, four
+//! distinct fault schedules) through one `vidi_fleet::Fleet`, then reports
+//! throughput (sessions/sec, aggregate simulated cycles/sec), per-tenant
+//! outcomes, clean-tenant bit-identity against solo runs, and peak global
+//! buffering against the admission budget.
+//!
+//! ```text
+//! cargo run --release -p vidi-bench --bin bench_fleet -- \
+//!     [--out BENCH_fleet.json] [--baseline scripts/bench_fleet_baseline.json] \
+//!     [--workers N]
+//! ```
+//!
+//! Exit status is non-zero if any clean tenant fails to complete, any
+//! clean tenant's trace diverges from its solo run, the peak reservation
+//! or aggregate buffering passes the budget, or `--baseline` is given and
+//! a deterministic field (outcome, cause, bit-identity, within-budget)
+//! drifted. Wall-clock rates are informational only.
+
+use std::process::ExitCode;
+
+use vidi_bench::fleet_bench::{compare_to_baseline, measure_fleet, to_json};
+use vidi_bench::json::Json;
+
+fn main() -> ExitCode {
+    let mut out_path = String::from("BENCH_fleet.json");
+    let mut baseline_path: Option<String> = None;
+    let mut workers = 8usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--out" => out_path = val("--out"),
+            "--baseline" => baseline_path = Some(val("--baseline")),
+            "--workers" => {
+                workers = val("--workers")
+                    .parse()
+                    .expect("--workers takes an integer");
+                assert!(workers > 0, "--workers must be positive");
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let report = measure_fleet(workers);
+    let doc = to_json(&report, workers);
+    std::fs::write(&out_path, doc.pretty()).expect("write BENCH_fleet.json");
+
+    println!(
+        "{:<18} {:>10} {:>14} {:>8} {:>8} {:>6}",
+        "tenant", "outcome", "cause", "cycles", "packets", "ident"
+    );
+    for r in &report.rows {
+        println!(
+            "{:<18} {:>10} {:>14} {:>8} {:>8} {:>6}",
+            r.name, r.outcome, r.cause, r.cycles, r.packets, r.bit_identical
+        );
+    }
+    println!(
+        "wall {:.1} ms | {:.1} sessions/s | {:.0} cycles/s | peak reserved {} / budget {} B \
+         | sum peak buffered {} B",
+        report.wall_ms,
+        report.sessions_per_sec,
+        report.aggregate_cycles_per_sec,
+        report.peak_reserved,
+        report.budget,
+        report.sum_peak_buffered,
+    );
+
+    let mut ok = true;
+    let broken_clean: Vec<&str> = report
+        .rows
+        .iter()
+        .filter(|r| r.cause == "-" && r.outcome != "completed")
+        .map(|r| r.name.as_str())
+        .collect();
+    if !broken_clean.is_empty() {
+        eprintln!("FAIL: clean tenants did not complete: {broken_clean:?}");
+        ok = false;
+    }
+    let diverged: Vec<&str> = report
+        .rows
+        .iter()
+        .filter(|r| !r.bit_identical)
+        .map(|r| r.name.as_str())
+        .collect();
+    if !diverged.is_empty() {
+        eprintln!("FAIL: clean tenant traces diverged from solo runs: {diverged:?}");
+        ok = false;
+    }
+    if !report.reservation_within_budget {
+        eprintln!(
+            "FAIL: peak reservation {} B exceeded the budget {} B",
+            report.peak_reserved, report.budget
+        );
+        ok = false;
+    }
+    if !report.buffering_within_budget {
+        eprintln!(
+            "FAIL: aggregate peak buffering {} B exceeded the budget {} B",
+            report.sum_peak_buffered, report.budget
+        );
+        ok = false;
+    }
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path).expect("read baseline");
+        let baseline = Json::parse(&text).expect("parse baseline");
+        match compare_to_baseline(&doc, &baseline) {
+            Ok(()) => println!("baseline {path}: no isolation regression"),
+            Err(failures) => {
+                for f in failures {
+                    eprintln!("FAIL: {f}");
+                }
+                ok = false;
+            }
+        }
+    }
+    println!("wrote {out_path} ({workers} workers)");
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,386 @@
+//! Multi-tenant fleet throughput and isolation measurement behind
+//! `BENCH_fleet.json`.
+//!
+//! Runs the canonical eight-tenant mix — four clean recordings plus four
+//! distinct fault schedules (injected engine panic, permanently failing
+//! store writes, total bandwidth collapse, at-rest truncation) — through
+//! one [`vidi_fleet::Fleet`] and measures:
+//!
+//! * **Throughput** — sessions/sec and aggregate simulated cycles/sec over
+//!   the soak's wall time (informational; machine-dependent).
+//! * **Isolation** — every tenant's terminal outcome, and whether each
+//!   clean tenant's trace is bit-identical to its solo run.
+//! * **Admission** — peak global reservation and aggregate peak sink
+//!   buffering against the configured budget.
+//!
+//! CI regressions are judged **only** on deterministic quantities: the
+//! per-tenant outcome labels, the bit-identity boolean, and the
+//! within-budget booleans. Wall-clock rates are recorded as a trajectory.
+
+use std::time::Instant;
+
+use vidi_apps::{build_app_with_faults, AppId, Scale};
+use vidi_core::FaultInjection;
+use vidi_faults::{CorruptionSpec, FaultSpec, StorageFailureSpec, WindowSpec};
+use vidi_fleet::{Fleet, FleetConfig, SessionId, SessionSpec, SessionState};
+
+use crate::json::{obj, Json};
+
+/// Cycle budget for the tenants designed to wedge (see the fleet soak).
+const WEDGE_BUDGET: u64 = 20_000;
+
+/// The canonical tenant mix: four clean, four faulted, every fault plan
+/// distinct. Kept in one place so the bench and its baseline stay honest
+/// about what "the eight-tenant soak" means.
+pub fn tenant_mix() -> Vec<SessionSpec> {
+    vec![
+        SessionSpec::record("clean-sha", AppId::Sha, 7),
+        SessionSpec::record("clean-digitrec", AppId::DigitRec, 11),
+        SessionSpec::record("clean-spamfilter", AppId::SpamFilter, 13),
+        SessionSpec::record("clean-dma", AppId::Dma, 21),
+        // Injected engine panic mid-run; small chunks so a prefix survives.
+        SessionSpec {
+            trace_chunk_words: 4,
+            ..SessionSpec::record("crash-sha", AppId::Sha, 31)
+        }
+        .with_faults(FaultSpec {
+            seed: 31,
+            panic_at: Some(1200),
+            ..FaultSpec::default()
+        }),
+        // Store writes fail forever; bench scale so traffic overwhelms the
+        // encoder FIFO once flushing stops.
+        SessionSpec {
+            max_cycles: WEDGE_BUDGET,
+            trace_chunk_words: 4,
+            scale: Scale::Bench,
+            ..SessionSpec::record("wedge-digitrec", AppId::DigitRec, 33)
+        }
+        .with_faults(FaultSpec {
+            seed: 33,
+            store_failures: Some(StorageFailureSpec {
+                per_mille: 1000,
+                failures_per_op: u32::MAX,
+            }),
+            ..FaultSpec::default()
+        }),
+        // Store bandwidth collapses to zero on every cycle.
+        SessionSpec {
+            max_cycles: WEDGE_BUDGET,
+            scale: Scale::Bench,
+            ..SessionSpec::record("starve-spamfilter", AppId::SpamFilter, 35)
+        }
+        .with_faults(FaultSpec {
+            seed: 35,
+            store_collapse: Some(WindowSpec {
+                period: 1,
+                window: 1,
+                divisor: 1_000_000,
+            }),
+            ..FaultSpec::default()
+        }),
+        // Intact recording, then at-rest tail truncation.
+        SessionSpec::record("rot-dma", AppId::Dma, 37).with_faults(FaultSpec {
+            seed: 37,
+            corruption: Some(CorruptionSpec::Truncate {
+                keep_num: 3,
+                keep_den: 4,
+            }),
+            ..FaultSpec::default()
+        }),
+    ]
+}
+
+/// One tenant's measured outcome.
+#[derive(Debug, Clone)]
+pub struct FleetBenchRow {
+    /// Tenant name (from the spec).
+    pub name: String,
+    /// Terminal state label (`completed` / `failed` / `evicted`).
+    pub outcome: String,
+    /// Failure-cause discriminant (`panicked`, `sim`, `corrupt-trace`,
+    /// `bad-output`, `io`), or `-` for non-failed tenants. Deterministic,
+    /// so the baseline pins it.
+    pub cause: String,
+    /// Cycles the tenant simulated before its terminal transition (0 for
+    /// failed tenants, whose reports are not retained).
+    pub cycles: u64,
+    /// Cycle packets committed to the tenant's trace image.
+    pub packets: u64,
+    /// For clean tenants: trace image bit-identical to the solo run.
+    /// Vacuously true for faulted tenants.
+    pub bit_identical: bool,
+}
+
+/// The whole soak's measurements.
+#[derive(Debug, Clone)]
+pub struct FleetBenchReport {
+    /// Per-tenant rows, in submission order.
+    pub rows: Vec<FleetBenchRow>,
+    /// Wall time of the fleet soak (submission to last terminal), ms.
+    pub wall_ms: f64,
+    /// Terminal sessions per wall second (informational).
+    pub sessions_per_sec: f64,
+    /// Aggregate simulated cycles per wall second (informational).
+    pub aggregate_cycles_per_sec: f64,
+    /// The admission budget the fleet ran under.
+    pub budget: u64,
+    /// Peak global reservation the ledger recorded.
+    pub peak_reserved: u64,
+    /// Aggregate per-tenant peak sink buffering (completed + evicted).
+    pub sum_peak_buffered: u64,
+    /// `peak_reserved <= budget` — the admission invariant.
+    pub reservation_within_budget: bool,
+    /// `sum_peak_buffered <= budget` — the buffering the reservations
+    /// bounded actually stayed inside them.
+    pub buffering_within_budget: bool,
+}
+
+fn cause_label(state: &SessionState) -> &'static str {
+    use vidi_fleet::FailureCause;
+    match state {
+        SessionState::Failed(failure) => match failure.cause {
+            FailureCause::Panicked(_) => "panicked",
+            FailureCause::Sim(_) => "sim",
+            FailureCause::CorruptTrace { .. } => "corrupt-trace",
+            FailureCause::BadOutput(_) => "bad-output",
+            FailureCause::Io(_) => "io",
+        },
+        _ => "-",
+    }
+}
+
+/// Records the spec solo — same configuration, no fleet, no arbiter, no
+/// faults — and returns the finalized trace image (the bit-identity
+/// reference for clean tenants).
+fn solo_image(spec: &SessionSpec) -> Vec<u8> {
+    let image = vidi_fleet::SharedImage::new();
+    let mut built = build_app_with_faults(
+        spec.app.setup(spec.scale, spec.seed),
+        spec.vidi_config(),
+        FaultInjection::none(),
+    );
+    built
+        .shim
+        .stream_to(Box::new(image.clone()))
+        .expect("no chunk flushed yet");
+    let handles = built.cpu.clone();
+    let mut cycles = 0u64;
+    while !handles.iter().all(|h| h.borrow().finished) {
+        built.sim.run(256).expect("solo run progresses");
+        cycles += 256;
+        assert!(cycles < spec.max_cycles, "solo baseline wedged");
+    }
+    built.sim.run(4096).expect("solo flush margin");
+    built.shim.finalize_recording().expect("solo finalize");
+    image.snapshot()
+}
+
+/// Runs the eight-tenant soak on `workers` worker threads and measures it.
+pub fn measure_fleet(workers: usize) -> FleetBenchReport {
+    let mix = tenant_mix();
+    let budget: u64 = mix.iter().map(SessionSpec::buffer_bound).sum();
+    let total_rate: u64 = mix.iter().map(|s| u64::from(s.store_bytes_per_cycle)).sum();
+    let fleet = Fleet::new(FleetConfig {
+        workers,
+        memory_budget: budget,
+        total_store_bytes_per_cycle: total_rate,
+        max_sessions: mix.len(),
+        evict_to_admit: false,
+    });
+
+    let start = Instant::now();
+    let ids: Vec<SessionId> = mix
+        .iter()
+        .map(|spec| fleet.submit(spec.clone()).expect("admission within budget"))
+        .collect();
+    fleet.wait_all();
+    let wall = start.elapsed();
+
+    let rows: Vec<FleetBenchRow> = mix
+        .iter()
+        .zip(&ids)
+        .map(|(spec, &id)| {
+            let state = fleet.state_of(id).expect("session exists");
+            let (cycles, packets) = match &state {
+                SessionState::Completed(r) | SessionState::Evicted(r) => (r.cycles, r.packets),
+                _ => (0, 0),
+            };
+            let bit_identical = if spec.faults.is_none() {
+                let prefix = fleet.fetch_trace(id).expect("trace fetchable");
+                prefix.bytes == solo_image(spec)
+            } else {
+                true
+            };
+            FleetBenchRow {
+                name: spec.name.clone(),
+                outcome: state.label().to_string(),
+                cause: cause_label(&state).to_string(),
+                cycles,
+                packets,
+                bit_identical,
+            }
+        })
+        .collect();
+
+    let stats = fleet.stats();
+    let wall_s = wall.as_secs_f64().max(1e-9);
+    FleetBenchReport {
+        sessions_per_sec: rows.len() as f64 / wall_s,
+        aggregate_cycles_per_sec: stats.total_cycles as f64 / wall_s,
+        wall_ms: wall_s * 1e3,
+        budget: stats.budget,
+        peak_reserved: stats.peak_reserved,
+        sum_peak_buffered: stats.sum_peak_buffered,
+        reservation_within_budget: stats.peak_reserved <= stats.budget,
+        buffering_within_budget: stats.sum_peak_buffered <= stats.budget,
+        rows,
+    }
+}
+
+/// Serializes the report into the `BENCH_fleet.json` document.
+pub fn to_json(report: &FleetBenchReport, workers: usize) -> Json {
+    let tenants = report
+        .rows
+        .iter()
+        .map(|r| {
+            obj([
+                ("name", Json::Str(r.name.clone())),
+                ("outcome", Json::Str(r.outcome.clone())),
+                ("cause", Json::Str(r.cause.clone())),
+                ("cycles", Json::Num(r.cycles as f64)),
+                ("packets", Json::Num(r.packets as f64)),
+                ("bit_identical", Json::Bool(r.bit_identical)),
+            ])
+        })
+        .collect();
+    obj([
+        ("schema", Json::Str("vidi-bench-fleet/1".into())),
+        ("workers", Json::Num(workers as f64)),
+        ("tenants", Json::Arr(tenants)),
+        ("wall_ms", Json::Num(report.wall_ms)),
+        ("sessions_per_sec", Json::Num(report.sessions_per_sec)),
+        (
+            "aggregate_cycles_per_sec",
+            Json::Num(report.aggregate_cycles_per_sec),
+        ),
+        ("budget_bytes", Json::Num(report.budget as f64)),
+        (
+            "peak_reserved_bytes",
+            Json::Num(report.peak_reserved as f64),
+        ),
+        (
+            "sum_peak_buffered_bytes",
+            Json::Num(report.sum_peak_buffered as f64),
+        ),
+        (
+            "reservation_within_budget",
+            Json::Bool(report.reservation_within_budget),
+        ),
+        (
+            "buffering_within_budget",
+            Json::Bool(report.buffering_within_budget),
+        ),
+    ])
+}
+
+/// Compares a current document to the committed baseline on deterministic
+/// fields only: per-tenant outcome and cause labels, bit-identity, and the
+/// within-budget booleans. Wall-clock rates are never gated.
+///
+/// # Errors
+///
+/// Returns every detected drift as a human-readable failure line.
+pub fn compare_to_baseline(current: &Json, baseline: &Json) -> Result<(), Vec<String>> {
+    let mut failures = Vec::new();
+    let rows = |doc: &Json| -> Vec<(String, String, String, bool)> {
+        doc.get("tenants")
+            .and_then(Json::as_arr)
+            .unwrap_or_default()
+            .iter()
+            .filter_map(|r| {
+                Some((
+                    r.get("name")?.as_str()?.to_string(),
+                    r.get("outcome")?.as_str()?.to_string(),
+                    r.get("cause")?.as_str()?.to_string(),
+                    r.get("bit_identical")?.as_bool()?,
+                ))
+            })
+            .collect()
+    };
+    let cur = rows(current);
+    for (name, base_outcome, base_cause, base_ident) in rows(baseline) {
+        match cur.iter().find(|(n, _, _, _)| *n == name) {
+            None => failures.push(format!("{name}: present in baseline but not measured")),
+            Some((_, outcome, cause, ident)) => {
+                if *outcome != base_outcome {
+                    failures.push(format!(
+                        "{name}: outcome drifted {base_outcome:?} -> {outcome:?}"
+                    ));
+                }
+                if *cause != base_cause {
+                    failures.push(format!("{name}: cause drifted {base_cause:?} -> {cause:?}"));
+                }
+                if base_ident && !ident {
+                    failures.push(format!("{name}: trace no longer bit-identical to solo"));
+                }
+            }
+        }
+    }
+    for key in ["reservation_within_budget", "buffering_within_budget"] {
+        let base = baseline.get(key).and_then(Json::as_bool).unwrap_or(true);
+        let cur_v = current.get(key).and_then(Json::as_bool).unwrap_or(false);
+        if base && !cur_v {
+            failures.push(format!("{key} regressed to false"));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(outcome: &str, ident: bool, within: bool) -> Json {
+        obj([
+            (
+                "tenants",
+                Json::Arr(vec![obj([
+                    ("name", Json::Str("t".into())),
+                    ("outcome", Json::Str(outcome.into())),
+                    ("cause", Json::Str("-".into())),
+                    ("bit_identical", Json::Bool(ident)),
+                ])]),
+            ),
+            ("reservation_within_budget", Json::Bool(within)),
+            ("buffering_within_budget", Json::Bool(within)),
+        ])
+    }
+
+    #[test]
+    fn baseline_gates_deterministic_fields() {
+        let base = doc("completed", true, true);
+        assert!(compare_to_baseline(&doc("completed", true, true), &base).is_ok());
+        assert!(compare_to_baseline(&doc("failed", true, true), &base).is_err());
+        assert!(compare_to_baseline(&doc("completed", false, true), &base).is_err());
+        assert!(compare_to_baseline(&doc("completed", true, false), &base).is_err());
+    }
+
+    #[test]
+    fn tenant_mix_is_the_soak_contract() {
+        let mix = tenant_mix();
+        assert_eq!(mix.len(), 8, "eight tenants");
+        assert_eq!(mix.iter().filter(|s| s.faults.is_some()).count(), 4);
+        // The four fault schedules are pairwise distinct.
+        let plans: Vec<_> = mix.iter().filter_map(|s| s.faults).collect();
+        for (i, a) in plans.iter().enumerate() {
+            for b in &plans[i + 1..] {
+                assert_ne!(a, b, "fault plans must be distinct");
+            }
+        }
+    }
+}

@@ -14,11 +14,16 @@
 //! * `cargo run --release -p vidi-bench --bin bench_snap` — checkpoint
 //!   round-trip exactness, seek latency, and segmented-verify speedup
 //!   (`BENCH_snap.json`, gated against `scripts/bench_snap_baseline.json`).
+//! * `cargo run --release -p vidi-bench --bin bench_fleet` — eight-tenant
+//!   multi-session soak: throughput, fault isolation, clean-tenant
+//!   bit-identity, and admission-budget adherence (`BENCH_fleet.json`,
+//!   gated against `scripts/bench_fleet_baseline.json`).
 //!
 //! Criterion micro-benchmarks live under `benches/`.
 
 #![forbid(unsafe_code)]
 
+pub mod fleet_bench;
 pub mod json;
 pub mod sim_bench;
 pub mod snap_bench;

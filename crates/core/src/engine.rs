@@ -76,6 +76,11 @@ pub struct VidiEngine {
     t_scratch: VectorClock,
     replay_status: Option<ReplayHandle>,
     stats: StatsHandle,
+    /// Engine ticks elapsed since install; the key for injected panics and
+    /// the cycle argument handed to the store's credit-arbitration hook.
+    cycle: u64,
+    /// Deterministic crash injection: panic when `cycle` reaches this value.
+    panic_at: Option<u64>,
 }
 
 impl VidiEngine {
@@ -115,6 +120,8 @@ impl VidiEngine {
                 t_scratch: VectorClock::zero(n),
                 replay_status: None,
                 stats: Rc::clone(&stats),
+                cycle: 0,
+                panic_at: None,
             },
             record,
             stats,
@@ -189,6 +196,14 @@ impl VidiEngine {
                 decoder.set_bandwidth_hook(hook);
             }
         }
+        if let Some(hook) = faults.store_credit {
+            if let Some(store) = &mut self.store {
+                store.set_credit_hook(hook);
+            }
+        }
+        if let Some(cycle) = faults.panic_at {
+            self.panic_at = Some(cycle);
+        }
     }
 }
 
@@ -207,6 +222,16 @@ impl Component for VidiEngine {
     }
 
     fn tick(&mut self, p: &mut SignalPool) {
+        // 0. Injected crash: a deterministic panic at a planned tick, used
+        //    to prove a supervisor's catch-unwind boundary contains the
+        //    failure. Fires before any core ticks so the flushed trace
+        //    prefix at the panic point is exactly the pre-crash state.
+        let cycle = self.cycle;
+        self.cycle += 1;
+        if self.panic_at == Some(cycle) {
+            panic!("vidi-faults: injected panic at engine cycle {cycle}");
+        }
+
         // 1. Recording path: collect this cycle's events, drain to storage.
         if let Some(encoder) = &mut self.encoder {
             encoder.tick(p);
@@ -300,6 +325,7 @@ impl Component for VidiEngine {
         let stats = self.stats.borrow();
         w.u64(stats.backpressure_cycles);
         w.u64(stats.events_logged);
+        w.u64(self.cycle);
     }
 
     fn load_state(&mut self, r: &mut StateReader) -> Result<(), StateError> {
@@ -364,6 +390,8 @@ impl Component for VidiEngine {
         let mut stats = self.stats.borrow_mut();
         stats.backpressure_cycles = r.u64()?;
         stats.events_logged = r.u64()?;
+        drop(stats);
+        self.cycle = r.u64()?;
         Ok(())
     }
 

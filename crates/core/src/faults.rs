@@ -38,9 +38,21 @@ pub type BandwidthHook = Box<dyn FnMut(u64) -> u32>;
 /// VALID/READY stall storm).
 pub type StallHook = Box<dyn FnMut(u64) -> bool>;
 
-/// A bundle of fault-injection hooks, passed to
+/// Meters the trace store's per-cycle bandwidth-credit accrual:
+/// `(cycle, requested_bytes)` → granted bytes (clamped to the request by
+/// the store). This is the multi-tenant attachment point: a fleet-level
+/// arbiter installs one hook per session so N concurrent recordings share
+/// one global bandwidth pool with enforced fairness, instead of each
+/// session accruing its configured rate unconditionally. Without a hook
+/// the store grants itself the full request — the single-tenant behaviour.
+pub type CreditHook = Box<dyn FnMut(u64, u64) -> u64>;
+
+/// A bundle of engine hooks, passed to
 /// [`VidiShim::install_with_faults`](crate::VidiShim::install_with_faults).
-/// Every field defaults to `None` (no injection).
+/// Every field defaults to `None` (no injection). Most hooks inject
+/// *faults*; [`store_credit`](FaultInjection::store_credit) is the one
+/// non-fault hook, riding the same plumbing to attach a multi-session
+/// bandwidth arbiter.
 #[derive(Default)]
 pub struct FaultInjection {
     /// Per-write verdicts for the trace store (storage failures).
@@ -51,6 +63,14 @@ pub struct FaultInjection {
     pub encoder_stall: Option<StallHook>,
     /// Decoder fetch bandwidth divisor per cycle (replay-path collapse).
     pub fetch_bandwidth: Option<BandwidthHook>,
+    /// Store bandwidth-credit grant gate per cycle (fleet arbitration).
+    pub store_credit: Option<CreditHook>,
+    /// Deterministic crash injection: the engine panics when its tick
+    /// counter reaches this cycle. Exercises whatever catch-unwind
+    /// boundary supervises the session (see `vidi-fleet`) — a panicking
+    /// session must fail in isolation, leaving its flushed trace chunks
+    /// recoverable to the longest certified prefix.
+    pub panic_at: Option<u64>,
 }
 
 impl std::fmt::Debug for FaultInjection {
@@ -60,6 +80,8 @@ impl std::fmt::Debug for FaultInjection {
             .field("store_bandwidth", &self.store_bandwidth.is_some())
             .field("encoder_stall", &self.encoder_stall.is_some())
             .field("fetch_bandwidth", &self.fetch_bandwidth.is_some())
+            .field("store_credit", &self.store_credit.is_some())
+            .field("panic_at", &self.panic_at)
             .finish()
     }
 }
@@ -76,5 +98,7 @@ impl FaultInjection {
             || self.store_bandwidth.is_some()
             || self.encoder_stall.is_some()
             || self.fetch_bandwidth.is_some()
+            || self.store_credit.is_some()
+            || self.panic_at.is_some()
     }
 }

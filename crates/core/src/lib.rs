@@ -57,7 +57,9 @@ pub use config::{VidiConfig, VidiMode};
 pub use decoder::DecoderCore;
 pub use encoder::EncoderCore;
 pub use engine::{ReplayHandle, ReplayStatus, StatsHandle, VidiEngine, VidiStats};
-pub use faults::{BandwidthHook, FaultInjection, StallHook, StoreWriteHook, StoreWriteOutcome};
+pub use faults::{
+    BandwidthHook, CreditHook, FaultInjection, StallHook, StoreWriteHook, StoreWriteOutcome,
+};
 pub use monitor::{ChannelMonitor, MonitorMode};
 pub use port::EncoderPort;
 pub use replay_input::ReplayInput;

@@ -20,7 +20,7 @@ use vidi_trace::{
 };
 
 use crate::encoder::EncoderCore;
-use crate::faults::{BandwidthHook, StoreWriteHook, StoreWriteOutcome};
+use crate::faults::{BandwidthHook, CreditHook, StoreWriteHook, StoreWriteOutcome};
 
 /// Where the trace store's flushed chunks go.
 pub enum RecordBackend {
@@ -205,6 +205,10 @@ pub struct StoreCore {
     stall_budget: Option<u64>,
     write_hook: Option<StoreWriteHook>,
     bandwidth_hook: Option<BandwidthHook>,
+    /// Multi-tenant arbitration: gates each cycle's credit accrual through
+    /// an external grant decision (see [`CreditHook`]). Absent in the
+    /// single-tenant configuration, where the full request is granted.
+    credit_hook: Option<CreditHook>,
 }
 
 impl StoreCore {
@@ -246,6 +250,7 @@ impl StoreCore {
             stall_budget: None,
             write_hook: None,
             bandwidth_hook: None,
+            credit_hook: None,
         };
         (store, handle)
     }
@@ -263,6 +268,13 @@ impl StoreCore {
     /// Installs a per-cycle bandwidth divisor hook (bandwidth collapse).
     pub fn set_bandwidth_hook(&mut self, hook: BandwidthHook) {
         self.bandwidth_hook = Some(hook);
+    }
+
+    /// Installs a per-cycle credit grant hook (multi-session arbitration).
+    /// Unlike the fault hooks this one is called exactly once per tick, so
+    /// a stateful arbiter (deficit round-robin) is a legal implementation.
+    pub fn set_credit_hook(&mut self, hook: CreditHook) {
+        self.credit_hook = Some(hook);
     }
 
     /// The layout fingerprint embedded in checkpoints: the encoding of an
@@ -380,7 +392,17 @@ impl StoreCore {
         let cycle = self.cycle;
         self.cycle += 1;
         let divisor = self.bandwidth_hook.as_mut().map_or(1, |h| h(cycle).max(1)) as u64;
-        self.credit = (self.credit + self.bytes_per_cycle as u64 / divisor).min(self.credit_cap);
+        // Credit accrual: request this cycle's rate (clipped to headroom
+        // under the cap), then let the arbiter — if any — decide how much
+        // is actually granted. Without a hook the grant equals the request,
+        // which reproduces the historical `min(credit + rate, cap)` update
+        // bit-for-bit.
+        let want = (self.bytes_per_cycle as u64 / divisor).min(self.credit_cap - self.credit);
+        let granted = match self.credit_hook.as_mut() {
+            Some(hook) => hook(cycle, want).min(want),
+            None => want,
+        };
+        self.credit += granted;
         let mut flush_blocked = false;
         if self.retry_backoff > 0 {
             self.retry_backoff -= 1;

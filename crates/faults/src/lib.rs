@@ -123,6 +123,12 @@ pub struct FaultSpec {
     pub host_io_failures: Option<StorageFailureSpec>,
     /// At-rest corruption of serialized traces.
     pub corruption: Option<CorruptionSpec>,
+    /// Injected crash: the engine panics when its tick counter reaches
+    /// this cycle. Unlike every other dimension this one is not recoverable
+    /// in-engine — it exists to exercise a supervisor's catch-unwind
+    /// boundary (see `vidi-fleet`), which must contain the failure and
+    /// recover the flushed trace prefix.
+    pub panic_at: Option<u64>,
 }
 
 /// A compiled, replayable fault schedule. Cheap to clone; every query is a
@@ -179,6 +185,11 @@ impl FaultPlan {
         }
     }
 
+    /// The engine cycle at which this plan injects a panic, if any.
+    pub fn panic_cycle(&self) -> Option<u64> {
+        self.spec.panic_at
+    }
+
     /// Whether host storage operation `op` fails on `attempt` (0-based).
     pub fn host_io_fails(&self, op: u64, attempt: u32) -> bool {
         match self.spec.host_io_failures {
@@ -216,6 +227,7 @@ impl FaultPlan {
             let plan = *self;
             faults.encoder_stall = Some(Box::new(move |cycle| plan.stalled(cycle)));
         }
+        faults.panic_at = self.spec.panic_at;
         faults
     }
 
@@ -411,6 +423,22 @@ mod tests {
     }
 
     #[test]
+    fn panic_injection_passes_through() {
+        let plan = FaultPlan::new(FaultSpec {
+            seed: 1,
+            panic_at: Some(42),
+            ..FaultSpec::default()
+        });
+        assert_eq!(plan.panic_cycle(), Some(42));
+        let inj = plan.fault_injection();
+        assert!(inj.is_active());
+        assert_eq!(inj.panic_at, Some(42));
+        // And the quiet spec keeps it disarmed.
+        let quiet = FaultPlan::new(FaultSpec::default());
+        assert_eq!(quiet.fault_injection().panic_at, None);
+    }
+
+    #[test]
     fn corruption_is_deterministic() {
         let plan = FaultPlan::new(stormy());
         let mut a = vec![0u8; 256];
@@ -464,6 +492,7 @@ mod tests {
         let patient = RetryPolicy {
             max_attempts: 4,
             base_backoff: std::time::Duration::ZERO,
+            jitter_seed: None,
         };
         save_trace_durable(&mut storage, &trace, &patient).unwrap();
         let rec = load_trace_durable(&mut storage, &patient).unwrap();
@@ -474,6 +503,7 @@ mod tests {
         let impatient = RetryPolicy {
             max_attempts: 1,
             base_backoff: std::time::Duration::ZERO,
+            jitter_seed: None,
         };
         assert!(save_trace_durable(&mut storage, &trace, &impatient).is_err());
     }

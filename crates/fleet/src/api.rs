@@ -1,0 +1,129 @@
+//! The in-process, wire-shaped fleet API.
+//!
+//! Every interaction a remote tenant would have with a record/replay
+//! service is expressed as a [`FleetRequest`] → [`FleetResponse`] pair so
+//! the supervisor's surface stays serializable-in-shape (plain data in,
+//! plain data out, no references into fleet internals). A future RPC layer
+//! only has to encode these two enums; today's tests and benches drive
+//! [`Fleet::handle`] directly.
+
+use crate::fleet::{Fleet, FleetStats, SessionStatus};
+use crate::ledger::AdmissionError;
+use crate::session::{SessionId, SessionSpec, SessionState, TracePrefix};
+
+/// A request against the fleet, as a remote tenant would phrase it.
+#[derive(Debug, Clone)]
+pub enum FleetRequest {
+    /// Admit and enqueue a new session. Boxed: a spec (embedded trace,
+    /// fault schedule) dwarfs the id-sized requests around it.
+    Submit(Box<SessionSpec>),
+    /// Poll a session's lifecycle state.
+    Status(SessionId),
+    /// Fetch the session's trace image, certified to its longest intact
+    /// prefix. Valid for live, completed, failed, and evicted sessions.
+    FetchTrace(SessionId),
+    /// Cancel a session, finalizing whatever prefix it has recorded.
+    Evict(SessionId),
+    /// Fetch fleet-wide counters.
+    Stats,
+}
+
+/// The fleet's answer to a [`FleetRequest`].
+#[derive(Debug)]
+pub enum FleetResponse {
+    /// `Submit` succeeded; the id names the session from now on.
+    Admitted(SessionId),
+    /// `Submit` was refused, with the typed reason.
+    Rejected(AdmissionError),
+    /// `Status` result.
+    Status(SessionStatus),
+    /// `FetchTrace` result.
+    Trace(TracePrefix),
+    /// `Evict` result: the terminal state the session landed in.
+    Evicted(SessionState),
+    /// Fleet-wide counters.
+    Stats(FleetStats),
+    /// The named session does not exist (never admitted).
+    UnknownSession(SessionId),
+}
+
+impl Fleet {
+    /// Serves one request. Infallible at this layer: every failure mode is
+    /// a typed response variant, exactly as it would be on a wire.
+    pub fn handle(&self, request: FleetRequest) -> FleetResponse {
+        match request {
+            FleetRequest::Submit(spec) => match self.submit(*spec) {
+                Ok(id) => FleetResponse::Admitted(id),
+                Err(err) => FleetResponse::Rejected(err),
+            },
+            FleetRequest::Status(id) => match self.status(id) {
+                Some(status) => FleetResponse::Status(status),
+                None => FleetResponse::UnknownSession(id),
+            },
+            FleetRequest::FetchTrace(id) => match self.fetch_trace(id) {
+                Some(prefix) => FleetResponse::Trace(prefix),
+                None => FleetResponse::UnknownSession(id),
+            },
+            FleetRequest::Evict(id) => match self.evict(id) {
+                Some(state) => FleetResponse::Evicted(state),
+                None => FleetResponse::UnknownSession(id),
+            },
+            FleetRequest::Stats => FleetResponse::Stats(self.stats()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::FleetConfig;
+    use vidi_apps::AppId;
+
+    #[test]
+    fn unknown_sessions_answer_typed_not_panicky() {
+        let fleet = Fleet::new(FleetConfig {
+            workers: 1,
+            ..FleetConfig::default()
+        });
+        let ghost = SessionId(999);
+        assert!(matches!(
+            fleet.handle(FleetRequest::Status(ghost)),
+            FleetResponse::UnknownSession(id) if id == ghost
+        ));
+        assert!(matches!(
+            fleet.handle(FleetRequest::FetchTrace(ghost)),
+            FleetResponse::UnknownSession(_)
+        ));
+        assert!(matches!(
+            fleet.handle(FleetRequest::Evict(ghost)),
+            FleetResponse::UnknownSession(_)
+        ));
+    }
+
+    #[test]
+    fn submit_poll_fetch_roundtrip_over_the_wire_shape() {
+        let fleet = Fleet::new(FleetConfig {
+            workers: 1,
+            ..FleetConfig::default()
+        });
+        let FleetResponse::Admitted(id) = fleet.handle(FleetRequest::Submit(Box::new(
+            SessionSpec::record("wire-dma", AppId::Dma, 3),
+        ))) else {
+            panic!("expected admission");
+        };
+        fleet.wait_all();
+        let FleetResponse::Status(status) = fleet.handle(FleetRequest::Status(id)) else {
+            panic!("expected status");
+        };
+        assert_eq!(status.state.label(), "completed");
+        let FleetResponse::Trace(prefix) = fleet.handle(FleetRequest::FetchTrace(id)) else {
+            panic!("expected trace");
+        };
+        assert!(prefix.complete);
+        assert!(prefix.certified_packets > 0);
+        let FleetResponse::Stats(stats) = fleet.handle(FleetRequest::Stats) else {
+            panic!("expected stats");
+        };
+        assert_eq!(stats.completed, 1);
+    }
+}

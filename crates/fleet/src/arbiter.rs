@@ -1,0 +1,225 @@
+//! Global bandwidth-credit arbitration across sessions.
+//!
+//! The trace store accrues write-bandwidth credit each cycle
+//! (`store_bytes_per_cycle`, capped). Solo, it grants itself the full rate;
+//! in a fleet, N recordings share one PCIe/DRAM path and the per-store
+//! accrual must come out of a common pool. [`CreditArbiter`] implements
+//! deficit round-robin over that pool: each registered session banks a
+//! weighted quantum of the global rate per own tick (capped, mirroring the
+//! store's credit cap), and a request is served only from the session's own
+//! bank. The two fairness consequences the fleet relies on:
+//!
+//! * **Work conservation per session, not across sessions**: a greedy
+//!   session exhausts its own bank and stalls (or sheds load through its
+//!   own `stall_budget`); it cannot draw down a neighbor's bank.
+//! * **Full grants under provisioning**: when the global rate covers every
+//!   member's demand (`total_rate ≥ Σ demands`), every request is granted
+//!   in full — so a clean session's credit trajectory, and therefore its
+//!   recorded trace, is bit-identical to its solo run.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Per-session grant accounting, for diagnostics and benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArbiterStats {
+    /// Bytes the session asked for, cumulatively.
+    pub requested: u64,
+    /// Bytes actually granted, cumulatively.
+    pub granted: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Member {
+    weight: u64,
+    /// Banked, unspent credit (the DRR deficit counter), in bytes.
+    deficit: u64,
+    stats: ArbiterStats,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    members: BTreeMap<u64, Member>,
+    total_weight: u64,
+}
+
+/// A deficit-round-robin arbiter over a global byte-per-cycle budget.
+///
+/// Thread-safe: sessions call [`request`](CreditArbiter::request) from
+/// their own worker threads, once per engine tick, through the store's
+/// credit hook.
+#[derive(Debug)]
+pub struct CreditArbiter {
+    total_rate: u64,
+    inner: Mutex<Inner>,
+}
+
+impl CreditArbiter {
+    /// An arbiter distributing `total_rate` bytes per cycle across its
+    /// members.
+    pub fn new(total_rate: u64) -> Self {
+        CreditArbiter {
+            total_rate,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The global rate this arbiter distributes.
+    pub fn total_rate(&self) -> u64 {
+        self.total_rate
+    }
+
+    /// Adds a member with the given scheduling weight (≥ 1). Re-registering
+    /// an id resets its bank and statistics.
+    pub fn register(&self, id: u64, weight: u64) {
+        let mut inner = self.inner.lock().expect("arbiter lock");
+        let weight = weight.max(1);
+        if let Some(old) = inner.members.insert(
+            id,
+            Member {
+                weight,
+                deficit: 0,
+                stats: ArbiterStats::default(),
+            },
+        ) {
+            inner.total_weight -= old.weight;
+        }
+        inner.total_weight += weight;
+    }
+
+    /// Removes a member; its unspent bank evaporates and the remaining
+    /// members' shares grow accordingly.
+    pub fn deregister(&self, id: u64) {
+        let mut inner = self.inner.lock().expect("arbiter lock");
+        if let Some(old) = inner.members.remove(&id) {
+            inner.total_weight -= old.weight;
+        }
+    }
+
+    /// One tick's credit request from member `id`: banks the member's
+    /// quantum, then grants `min(want, bank)`. Unregistered members are
+    /// granted nothing (a session must be registered before it runs).
+    pub fn request(&self, id: u64, want: u64) -> u64 {
+        let mut inner = self.inner.lock().expect("arbiter lock");
+        let total_weight = inner.total_weight.max(1);
+        let total_rate = self.total_rate;
+        let Some(m) = inner.members.get_mut(&id) else {
+            return 0;
+        };
+        let quantum = total_rate * m.weight / total_weight;
+        // Mirror the store's credit cap: bank enough for a burst, never so
+        // little that the largest cycle packet starves forever.
+        let cap = (quantum * 16).max(8192);
+        m.deficit = (m.deficit + quantum).min(cap);
+        let granted = want.min(m.deficit);
+        m.deficit -= granted;
+        m.stats.requested += want;
+        m.stats.granted += granted;
+        granted
+    }
+
+    /// Cumulative request/grant counters for a member, if registered.
+    pub fn stats(&self, id: u64) -> Option<ArbiterStats> {
+        let inner = self.inner.lock().expect("arbiter lock");
+        inner.members.get(&id).map(|m| m.stats)
+    }
+
+    /// Number of currently registered members.
+    pub fn members(&self) -> usize {
+        self.inner.lock().expect("arbiter lock").members.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provisioned_members_get_full_grants() {
+        // total rate covers both demands exactly: every request granted in
+        // full — the bit-identical-trace precondition.
+        let arb = CreditArbiter::new(44);
+        arb.register(1, 1);
+        arb.register(2, 1);
+        for _ in 0..1000 {
+            assert_eq!(arb.request(1, 22), 22);
+            assert_eq!(arb.request(2, 22), 22);
+        }
+    }
+
+    #[test]
+    fn oversubscribed_members_share_fairly() {
+        let arb = CreditArbiter::new(20);
+        arb.register(1, 1);
+        arb.register(2, 1);
+        for _ in 0..1000 {
+            arb.request(1, 22);
+            arb.request(2, 22);
+        }
+        let s1 = arb.stats(1).unwrap();
+        let s2 = arb.stats(2).unwrap();
+        // Equal weights → equal throughput, each ~half the global rate.
+        assert_eq!(s1.granted, s2.granted);
+        assert!(s1.granted <= 10 * 1000 + 8192, "bounded by share + bank");
+        assert!(s1.granted >= 9 * 1000, "close to the fair share");
+    }
+
+    #[test]
+    fn greedy_neighbor_cannot_starve_a_light_member() {
+        let arb = CreditArbiter::new(20);
+        arb.register(1, 1); // greedy: wants 100/tick
+        arb.register(2, 1); // light: wants 5/tick, under its 10/tick share
+        for _ in 0..500 {
+            arb.request(1, 100);
+            // The light member's demand is below its quantum, so it must be
+            // granted in full every single tick, no matter the neighbor.
+            assert_eq!(arb.request(2, 5), 5);
+        }
+    }
+
+    #[test]
+    fn weights_skew_the_split() {
+        let arb = CreditArbiter::new(30);
+        arb.register(1, 2);
+        arb.register(2, 1);
+        for _ in 0..1000 {
+            arb.request(1, 100);
+            arb.request(2, 100);
+        }
+        let s1 = arb.stats(1).unwrap().granted;
+        let s2 = arb.stats(2).unwrap().granted;
+        assert_eq!(s1, 2 * s2, "2:1 weights give a 2:1 split");
+    }
+
+    #[test]
+    fn deregistration_reclaims_the_share() {
+        let arb = CreditArbiter::new(22);
+        arb.register(1, 1);
+        arb.register(2, 1);
+        assert_eq!(arb.request(1, 22), 11);
+        arb.deregister(2);
+        // Sole survivor: the full rate flows to member 1 again.
+        assert_eq!(arb.request(1, 22), 22);
+        assert_eq!(arb.members(), 1);
+    }
+
+    #[test]
+    fn unregistered_members_get_nothing() {
+        let arb = CreditArbiter::new(100);
+        assert_eq!(arb.request(9, 50), 0);
+        assert_eq!(arb.stats(9), None);
+    }
+
+    #[test]
+    fn banking_is_capped() {
+        let arb = CreditArbiter::new(1000);
+        arb.register(1, 1);
+        // Idle for a long time, then burst: the grant is bounded by the
+        // bank cap, not by idle_time * rate.
+        for _ in 0..10_000 {
+            arb.request(1, 0);
+        }
+        let burst = arb.request(1, u64::MAX);
+        assert!(burst <= 1000 * 16);
+    }
+}

@@ -1,0 +1,161 @@
+//! Admission accounting under a global memory budget.
+//!
+//! Every admitted session reserves its configuration's
+//! [`streaming_buffer_bound`](vidi_core::VidiConfig::streaming_buffer_bound)
+//! — the proven per-session ceiling on trace-sink buffering — before it may
+//! run, and releases it on any terminal transition. The ledger is a pure
+//! data structure (no locking, no threads) so its never-over-budget
+//! invariant is directly property-testable; [`Fleet`](crate::Fleet) wraps
+//! it in the supervisor's mutex.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why an admission was refused. Typed so callers can distinguish
+/// back-pressure (try later, or evict) from terminal conditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// Admitting the session would push reserved memory past the budget.
+    BudgetExceeded {
+        /// Bytes the session asked to reserve.
+        requested: u64,
+        /// Bytes already reserved by admitted sessions.
+        reserved: u64,
+        /// The global budget.
+        budget: u64,
+    },
+    /// The fleet is already at its live-session limit.
+    TooManySessions {
+        /// Live (non-terminal) sessions right now.
+        live: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The fleet is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::BudgetExceeded {
+                requested,
+                reserved,
+                budget,
+            } => write!(
+                f,
+                "admission would exceed the memory budget: \
+                 {requested} B requested, {reserved} B reserved, {budget} B budget"
+            ),
+            AdmissionError::TooManySessions { live, limit } => {
+                write!(f, "too many live sessions: {live} of {limit}")
+            }
+            AdmissionError::ShuttingDown => write!(f, "fleet is shutting down"),
+        }
+    }
+}
+
+impl Error for AdmissionError {}
+
+/// Reservation ledger: tracks reserved bytes against a budget and the
+/// all-time reservation high-water mark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionLedger {
+    budget: u64,
+    reserved: u64,
+    peak_reserved: u64,
+}
+
+impl AdmissionLedger {
+    /// An empty ledger over `budget` bytes.
+    pub fn new(budget: u64) -> Self {
+        AdmissionLedger {
+            budget,
+            reserved: 0,
+            peak_reserved: 0,
+        }
+    }
+
+    /// The global budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Bytes currently reserved.
+    pub fn reserved(&self) -> u64 {
+        self.reserved
+    }
+
+    /// The highest the reservation ever reached. By construction this never
+    /// exceeds [`budget`](AdmissionLedger::budget) — the acceptance
+    /// invariant the fleet soak asserts.
+    pub fn peak_reserved(&self) -> u64 {
+        self.peak_reserved
+    }
+
+    /// Attempts to reserve `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdmissionError::BudgetExceeded`] (and reserves nothing)
+    /// when the reservation would pass the budget.
+    pub fn try_reserve(&mut self, bytes: u64) -> Result<(), AdmissionError> {
+        let requested_total = self.reserved.saturating_add(bytes);
+        if requested_total > self.budget {
+            return Err(AdmissionError::BudgetExceeded {
+                requested: bytes,
+                reserved: self.reserved,
+                budget: self.budget,
+            });
+        }
+        self.reserved = requested_total;
+        self.peak_reserved = self.peak_reserved.max(self.reserved);
+        Ok(())
+    }
+
+    /// Releases a prior reservation (saturating, so a stray double release
+    /// cannot underflow the counter).
+    pub fn release(&mut self, bytes: u64) {
+        self.reserved = self.reserved.saturating_sub(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_release_roundtrip() {
+        let mut l = AdmissionLedger::new(100);
+        l.try_reserve(60).unwrap();
+        l.try_reserve(40).unwrap();
+        assert_eq!(l.reserved(), 100);
+        assert_eq!(l.peak_reserved(), 100);
+        l.release(60);
+        assert_eq!(l.reserved(), 40);
+        assert_eq!(l.peak_reserved(), 100, "peak is a high-water mark");
+    }
+
+    #[test]
+    fn over_budget_is_typed_and_reserves_nothing() {
+        let mut l = AdmissionLedger::new(100);
+        l.try_reserve(80).unwrap();
+        let err = l.try_reserve(21).unwrap_err();
+        assert_eq!(
+            err,
+            AdmissionError::BudgetExceeded {
+                requested: 21,
+                reserved: 80,
+                budget: 100,
+            }
+        );
+        assert_eq!(l.reserved(), 80, "failed reservation left no residue");
+    }
+
+    #[test]
+    fn overflow_cannot_sneak_past_the_budget() {
+        let mut l = AdmissionLedger::new(u64::MAX - 1);
+        l.try_reserve(u64::MAX - 1).unwrap();
+        assert!(l.try_reserve(u64::MAX).is_err());
+    }
+}

@@ -161,13 +161,23 @@ impl TraceStorage for MemStorage {
 }
 
 /// Retry discipline for transient storage faults: up to `max_attempts`
-/// tries, sleeping `base_backoff * 2^(attempt-1)` between them.
+/// tries with exponential backoff between them — unjittered
+/// `base_backoff * 2^(attempt-1)` by default, or equal-jitter decorrelated
+/// delays when a [`jitter_seed`](RetryPolicy::jitter_seed) is set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempts, including the first (must be ≥ 1).
     pub max_attempts: u32,
     /// Backoff before the first retry; doubles each further retry.
     pub base_backoff: Duration,
+    /// Deterministic backoff decorrelation. `None` keeps the historical
+    /// fixed schedule. `Some(seed)` applies equal jitter: retry `k` sleeps
+    /// `e/2 + hash(seed, k) % (e/2 + 1)` where `e = base_backoff *
+    /// 2^(k-1)`, so the delay stays within `[e/2, e]` (never longer than
+    /// the unjittered schedule, never less than half of it) while N
+    /// sessions with distinct seeds hammer a shared faulted backend at
+    /// decorrelated instants instead of synchronizing into a retry storm.
+    pub jitter_seed: Option<u64>,
 }
 
 impl Default for RetryPolicy {
@@ -175,8 +185,21 @@ impl Default for RetryPolicy {
         RetryPolicy {
             max_attempts: 4,
             base_backoff: Duration::from_millis(1),
+            jitter_seed: None,
         }
     }
+}
+
+/// The same bit-mixing finalizer `vidi-faults` uses for its decision
+/// streams, duplicated locally because the dependency points the other way
+/// (`vidi-faults` wraps this crate's storage). Any good 64-bit mixer works;
+/// what matters is determinism and per-seed decorrelation.
+fn jitter_mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl RetryPolicy {
@@ -185,18 +208,46 @@ impl RetryPolicy {
         RetryPolicy {
             max_attempts: 1,
             base_backoff: Duration::ZERO,
+            jitter_seed: None,
+        }
+    }
+
+    /// This policy with deterministic equal-jitter backoff derived from
+    /// `seed`. Give each concurrent session a distinct seed (e.g. its
+    /// session id) to decorrelate their retry schedules.
+    pub fn with_jitter(self, seed: u64) -> Self {
+        RetryPolicy {
+            jitter_seed: Some(seed),
+            ..self
+        }
+    }
+
+    /// The delay this policy sleeps before retry `attempt` (1-based: the
+    /// delay after the `attempt`-th failed try). Pure and deterministic —
+    /// tests assert on schedules without sleeping through them.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+        match self.jitter_seed {
+            None => exp,
+            Some(seed) => {
+                let half = exp / 2;
+                let span = half.as_nanos().min(u128::from(u64::MAX)) as u64;
+                let offset = jitter_mix(jitter_mix(seed) ^ u64::from(attempt)) % (span + 1);
+                half + Duration::from_nanos(offset)
+            }
         }
     }
 
     /// Runs `op` under this policy. Permanent faults fail immediately;
-    /// transient faults are retried with exponential backoff until the
-    /// attempt budget is spent.
+    /// transient faults are retried with exponential backoff (jittered when
+    /// a seed is set) until the attempt budget is spent.
     pub fn run<T>(
         &self,
         mut op: impl FnMut() -> Result<T, StorageFault>,
     ) -> Result<T, StorageFault> {
         let attempts = self.max_attempts.max(1);
-        let mut backoff = self.base_backoff;
         let mut last = None;
         for attempt in 1..=attempts {
             match op() {
@@ -204,9 +255,11 @@ impl RetryPolicy {
                 Err(f @ StorageFault::Permanent(_)) => return Err(f),
                 Err(f @ StorageFault::Transient(_)) => {
                     last = Some(f);
-                    if attempt < attempts && !backoff.is_zero() {
-                        std::thread::sleep(backoff);
-                        backoff *= 2;
+                    if attempt < attempts {
+                        let delay = self.backoff_for(attempt);
+                        if !delay.is_zero() {
+                            std::thread::sleep(delay);
+                        }
                     }
                 }
             }
@@ -364,6 +417,53 @@ mod tests {
         RetryPolicy {
             max_attempts: attempts,
             base_backoff: Duration::ZERO,
+            jitter_seed: None,
+        }
+    }
+
+    #[test]
+    fn unjittered_backoff_keeps_the_historical_schedule() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(1),
+            jitter_seed: None,
+        };
+        for k in 1..=6u32 {
+            assert_eq!(p.backoff_for(k), Duration::from_millis(1 << (k - 1)));
+        }
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_bounded_and_decorrelated() {
+        let base = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(4),
+            jitter_seed: None,
+        };
+        let a = base.with_jitter(1);
+        let b = base.with_jitter(2);
+        let mut schedules_differ = false;
+        for k in 1..=6u32 {
+            let exp = base.backoff_for(k);
+            let da = a.backoff_for(k);
+            // Deterministic: the same policy always produces the same delay.
+            assert_eq!(da, a.backoff_for(k));
+            // Equal-jitter bounds: within [exp/2, exp].
+            assert!(da >= exp / 2 && da <= exp, "retry {k}: {da:?} vs {exp:?}");
+            if da != b.backoff_for(k) {
+                schedules_differ = true;
+            }
+        }
+        // Decorrelation: distinct seeds must not share the whole schedule —
+        // this is the anti-retry-storm property N sessions rely on.
+        assert!(schedules_differ, "seeds 1 and 2 produced identical jitter");
+    }
+
+    #[test]
+    fn zero_backoff_stays_zero_under_jitter() {
+        let p = fast_retry(4).with_jitter(9);
+        for k in 1..=4u32 {
+            assert_eq!(p.backoff_for(k), Duration::ZERO);
         }
     }
 

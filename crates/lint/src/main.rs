@@ -11,7 +11,9 @@
 //! ```
 //!
 //! Exit codes: `0` clean, `1` diagnostics found (or a CI check failed),
-//! `2` usage or I/O error.
+//! `2` usage or I/O error, `3` torn or truncated trace detected during
+//! `trace` analysis (distinct so fleet health checks can script against
+//! it; takes precedence over `1` when both apply).
 
 use std::process::ExitCode;
 
@@ -151,7 +153,8 @@ fn cmd_trace(opts: &Options) -> Result<ExitCode, String> {
     let chunks = vidi_host::file_chunk_source(file).map_err(|e| format!("opening {file}: {e}"))?;
     let mut source = TraceSource::open(chunks, DEFAULT_CHUNK_WORDS)
         .map_err(|e| format!("reading {file}: {e}"))?;
-    if !source.is_complete() {
+    let torn = !source.is_complete();
+    if torn {
         eprintln!(
             "vidi-lint: {file}: torn or truncated trace — analyzing the \
              certified prefix ({} of {} declared packets)",
@@ -172,7 +175,12 @@ fn cmd_trace(opts: &Options) -> Result<ExitCode, String> {
     if !opts.json {
         println!("vidi-lint: {active} diagnostic(s), {allowed} allowed");
     }
-    Ok(if active == 0 {
+    // A torn trace outranks ordinary diagnostics: the prefix analysis above
+    // is best-effort, and a health check watching for exit code 3 must not
+    // see it masked by (or conflated with) a rule failure.
+    Ok(if torn {
+        ExitCode::from(3)
+    } else if active == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -1,0 +1,52 @@
+//! Exit-code contract of the `vidi-lint` binary's `trace` command: a torn
+//! or truncated trace exits with the distinct code `3`, never masked by
+//! (or conflated with) ordinary rule diagnostics — so fleet health checks
+//! can script against it.
+
+use std::process::Command;
+
+use vidi_apps::{build_app, run_app, AppId, Scale};
+use vidi_core::VidiConfig;
+
+fn lint_trace(path: &std::path::Path) -> i32 {
+    Command::new(env!("CARGO_BIN_EXE_vidi-lint"))
+        .args(["trace", path.to_str().unwrap()])
+        .output()
+        .expect("vidi-lint runs")
+        .status
+        .code()
+        .expect("vidi-lint exits with a code")
+}
+
+#[test]
+fn torn_trace_exits_with_the_distinct_code() {
+    let dir = std::env::temp_dir().join("vidi_lint_exit_codes");
+    std::fs::create_dir_all(&dir).unwrap();
+    let healthy = dir.join("healthy.vidi");
+    let torn = dir.join("torn.vidi");
+
+    let outcome = run_app(
+        build_app(AppId::Dma.setup(Scale::Test, 7), VidiConfig::record()),
+        2_000_000,
+    )
+    .expect("recording completes");
+    let trace = outcome.trace.expect("trace");
+    vidi_host::save_trace(&healthy, &trace).expect("trace saved");
+
+    // The healthy file analyzes without tripping the torn-trace code
+    // (rule diagnostics, if any, use the ordinary failure code 1).
+    let code = lint_trace(&healthy);
+    assert_ne!(code, 3, "healthy trace must not report as torn");
+
+    // Tear the final storage word, as a crash mid-write would.
+    let bytes = std::fs::read(&healthy).unwrap();
+    std::fs::write(&torn, &bytes[..bytes.len() - 13]).unwrap();
+    assert_eq!(
+        lint_trace(&torn),
+        3,
+        "a torn trace must exit with the distinct health-check code"
+    );
+
+    std::fs::remove_file(&healthy).ok();
+    std::fs::remove_file(&torn).ok();
+}

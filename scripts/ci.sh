@@ -39,6 +39,21 @@ echo "â”€â”€ bench smoke: scheduler equivalence + evals/cycle gate â”€â”€â”€â”€â
 cargo run --release -q -p vidi-bench --bin bench_sim -- \
     --out BENCH_sim.json --baseline scripts/bench_sim_baseline.json
 
+echo "â”€â”€ fleet soak: multi-tenant isolation + admission gate â”€â”€â”€â”€â”€â”€â”€â”€â”€"
+# Eight tenants (four clean, four under distinct fault schedules including
+# an injected panic) share one supervisor, credit arbiter, and memory
+# budget: clean traces must stay bit-identical to solo runs, faults must
+# stay contained with attributed causes, and admission must never
+# over-commit.
+cargo test -q --release -p vidi-fleet
+
+echo "â”€â”€ fleet bench: throughput + isolation trajectory â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€â”€"
+# Emits BENCH_fleet.json (sessions/sec, aggregate cycles/sec, peak global
+# buffered bytes vs budget) and fails on any outcome/cause drift,
+# bit-identity loss, or budget violation against the committed baseline.
+cargo run --release -q -p vidi-bench --bin bench_fleet -- \
+    --out BENCH_fleet.json --baseline scripts/bench_fleet_baseline.json
+
 echo "â”€â”€ snap smoke: checkpoint exactness + parallel-verify gate â”€â”€â”€â”€â”€"
 # Emits BENCH_snap.json and fails on any checkpoint round-trip inexactness,
 # serial/parallel report disagreement, verdict drift against the committed

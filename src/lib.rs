@@ -33,6 +33,10 @@
 //! * [`lint`] — static design lint and offline trace analysis (the
 //!   `vidi-lint` binary): combinational-cycle, boundary-coverage, and
 //!   happens-before deadlock certificates without running a cycle.
+//! * [`fleet`] — multi-tenant session supervision: fault-isolated worker
+//!   pool ([`fleet::Fleet`]), deficit-round-robin bandwidth arbitration
+//!   ([`fleet::CreditArbiter`]), memory-budgeted admission with LRU
+//!   eviction, and a wire-shaped request/response API.
 //!
 //! ## Quickstart
 //!
@@ -69,6 +73,7 @@ pub use vidi_apps as apps;
 pub use vidi_chan as chan;
 pub use vidi_core as core;
 pub use vidi_faults as faults;
+pub use vidi_fleet as fleet;
 pub use vidi_host as host;
 pub use vidi_hwsim as hwsim;
 pub use vidi_lint as lint;

@@ -113,6 +113,7 @@ fn fault_matrix_soak() {
     let patient = RetryPolicy {
         max_attempts: 4,
         base_backoff: std::time::Duration::ZERO,
+        jitter_seed: None,
     };
 
     for app in APPS {
@@ -305,6 +306,7 @@ fn killed_replay_resumes_from_last_durable_checkpoint() {
     let patient = RetryPolicy {
         max_attempts: 4,
         base_backoff: std::time::Duration::ZERO,
+        jitter_seed: None,
     };
 
     // Unfaulted baseline: record, then replay to completion with
