@@ -100,6 +100,13 @@ pub struct AccelShell {
     pcim_outstanding: usize,
     pcim_next_id: u16,
     output_beats_sent: u64,
+
+    /// Scheduler scratch: whether the last executed tick did any work at
+    /// all, and whether it mutated state the `eval` phase can observe.
+    /// Not serialized — a restore invalidates the simulator's tick books,
+    /// which forces re-execution anyway.
+    tick_active: bool,
+    tick_changed: bool,
 }
 
 impl AccelShell {
@@ -149,7 +156,17 @@ impl AccelShell {
             pcim_outstanding: 0,
             pcim_next_id: 0,
             output_beats_sent: 0,
+            tick_active: true,
+            tick_changed: true,
         }
+    }
+
+    /// Records that the current tick both did work and touched state the
+    /// `eval` phase can observe (queue/latch contents, accept gates, the
+    /// running/done pair behind STATUS and the interrupt line).
+    fn mark(&mut self) {
+        self.tick_active = true;
+        self.tick_changed = true;
     }
 
     /// Total output beats the kernel has emitted via pcim.
@@ -191,47 +208,58 @@ impl AccelShell {
     }
 
     fn tick_ocl(&mut self, p: &mut SignalPool) {
-        if let Some(raw) = self.ocl_aw.tick(p) {
+        if let Some(raw) = self.ocl_aw.take(p) {
             debug_assert!(self.ocl_pending_aw.is_none());
             self.ocl_pending_aw = Some(raw.to_u64() as u32);
+            self.mark();
         }
-        if let Some(raw) = self.ocl_w.tick(p) {
+        if let Some(raw) = self.ocl_w.take(p) {
             debug_assert!(self.ocl_pending_w.is_none());
             self.ocl_pending_w = Some(unpack_lite_w(&raw));
+            self.mark();
         }
         if let (Some(addr), Some((data, _strb))) = (self.ocl_pending_aw, self.ocl_pending_w) {
             self.reg_write(addr, data);
             self.ocl_pending_aw = None;
             self.ocl_pending_w = None;
             self.ocl_b.push(Bits::from_u64(2, 0)); // OKAY
+            self.mark();
         }
-        if let Some(raw) = self.ocl_ar.tick(p) {
+        if let Some(raw) = self.ocl_ar.take(p) {
             let addr = raw.to_u64() as u32;
             if addr == regs::STATUS_BLOCKING {
                 self.ocl_blocked_reads.push_back(addr);
             } else {
                 self.ocl_r.push(pack_lite_r(self.reg_read_value(addr), 0));
             }
+            self.mark();
         }
         // Release blocking reads once the task has completed.
         if !self.running && self.kernel.done() {
             while self.ocl_blocked_reads.pop_front().is_some() {
                 self.ocl_r.push(pack_lite_r(1, 0));
+                self.mark();
             }
         }
-        self.ocl_b.tick(p);
-        self.ocl_r.tick(p);
+        if self.ocl_b.tick_report(p) {
+            self.mark();
+        }
+        if self.ocl_r.tick_report(p) {
+            self.mark();
+        }
     }
 
     fn tick_pcis(&mut self, p: &mut SignalPool) {
-        if let Some(raw) = self.pcis_aw.tick(p) {
+        if let Some(raw) = self.pcis_aw.take(p) {
             self.pcis_writes.push_back((AxFields::unpack(&raw), 0));
+            self.mark();
         }
-        if let Some(raw) = self.pcis_w.tick(p) {
+        if let Some(raw) = self.pcis_w.take(p) {
             // AXI permits W beats to arrive before their AW (and monitor
             // back-pressure can skew the two channels), so stage beats and
             // match them to bursts separately.
             self.pcis_orphans.push_back(WFields::unpack(&raw));
+            self.mark();
         }
         // Match staged beats to the oldest incomplete burst.
         while !self.pcis_orphans.is_empty() {
@@ -259,19 +287,22 @@ impl AccelShell {
                 self.pcis_writes.remove(pos);
                 self.pcis_b.push(BFields { id, resp: 0 }.pack());
             }
+            self.mark();
         }
         // DRAM reads arbitrate against the kernel's DRAM port: they are
         // served only while no task is running. (Serving them mid-task
         // would make response contents depend on the read's cycle-level
         // timing relative to the computation — cycle-dependent behaviour
         // that replay could not reproduce, §3.6.)
-        if let Some(raw) = self.pcis_ar.tick(p) {
+        if let Some(raw) = self.pcis_ar.take(p) {
             self.pcis_blocked_reads.push_back(AxFields::unpack(&raw));
+            self.mark();
         }
         while !self.running {
             let Some(ar) = self.pcis_blocked_reads.pop_front() else {
                 break;
             };
+            self.mark();
             for i in 0..=ar.len as u64 {
                 let bytes = self.fpga_dram.read(ar.addr + i * 64, 64);
                 self.pcis_r.push(
@@ -285,23 +316,31 @@ impl AccelShell {
                 );
             }
         }
-        self.pcis_b.tick(p);
-        self.pcis_r.tick(p);
+        if self.pcis_b.tick_report(p) {
+            self.mark();
+        }
+        if self.pcis_r.tick_report(p) {
+            self.mark();
+        }
     }
 
     fn tick_pcim(&mut self, p: &mut SignalPool) {
-        if self.pcim_b.tick(p).is_some() {
+        if self.pcim_b.take(p).is_some() {
             // Saturating: a spurious early B (possible under the order-less
             // replay baseline, which violates ordering) confuses the engine
             // but must not wrap the counter.
             self.pcim_outstanding = self.pcim_outstanding.saturating_sub(1);
+            self.mark();
         }
-        self.pcim_r.tick(p); // unused read path; drain politely
-                             // Issue a coalesced burst when allowed. Burst formation must be a
-                             // pure function of the beat sequence — never of queue depth at some
-                             // cycle — or record and replay would form different bursts
-                             // (cycle-dependent behaviour, §3.6): wait for a full burst unless
-                             // the kernel has finished and is flushing its tail.
+        if self.pcim_r.take(p).is_some() {
+            // Unused read path; drain politely.
+            self.mark();
+        }
+        // Issue a coalesced burst when allowed. Burst formation must be a
+        // pure function of the beat sequence — never of queue depth at some
+        // cycle — or record and replay would form different bursts
+        // (cycle-dependent behaviour, §3.6): wait for a full burst unless
+        // the kernel has finished and is flushing its tail.
         let flushable = self.pcim_queue.len() >= PCIM_BURST
             || (self.kernel.done() && !self.pcim_queue.is_empty());
         if flushable && self.pcim_outstanding < PCIM_OUTSTANDING && self.pcim_aw.pending() == 0 {
@@ -341,10 +380,17 @@ impl AccelShell {
             }
             self.pcim_outstanding += 1;
             self.output_beats_sent += n as u64;
+            self.mark();
         }
-        self.pcim_aw.tick(p);
-        self.pcim_w.tick(p);
-        self.pcim_ar.tick(p);
+        if self.pcim_aw.tick_report(p) {
+            self.mark();
+        }
+        if self.pcim_w.tick_report(p) {
+            self.mark();
+        }
+        if self.pcim_ar.tick_report(p) {
+            self.mark();
+        }
     }
 
     fn tick_kernel(&mut self) {
@@ -352,18 +398,32 @@ impl AccelShell {
         if self.kernel.wants_input() {
             if let Some((addr, beat)) = self.input_fifo.pop_front() {
                 self.kernel.consume(addr, beat);
+                // Popping frees input-FIFO space, which `eval` exposes as
+                // pcis W-channel READY.
+                self.mark();
             }
         }
-        if self.running && self.pcim_queue.len() < 64 {
-            match self.kernel.step() {
-                KernelStep::Idle | KernelStep::Busy => {}
-                KernelStep::Output { addr, beat } => {
-                    debug_assert_eq!(beat.width(), 512, "pcim beats are 512 bits");
-                    self.pcim_queue.push_back((addr, beat));
+        if self.running {
+            // A running kernel does genuine work (or drains its output
+            // queue through pcim burst formation) every edge; its ticks
+            // are never skippable. Pure compute steps with no output do
+            // not touch eval-visible state, though, so they alone do not
+            // force a re-evaluation sweep.
+            self.tick_active = true;
+            if self.pcim_queue.len() < 64 {
+                match self.kernel.step() {
+                    KernelStep::Idle | KernelStep::Busy => {}
+                    KernelStep::Output { addr, beat } => {
+                        debug_assert_eq!(beat.width(), 512, "pcim beats are 512 bits");
+                        self.pcim_queue.push_back((addr, beat));
+                    }
                 }
-            }
-            if self.kernel.done() && self.pcim_queue.is_empty() && self.pcim_outstanding == 0 {
-                self.running = false;
+                if self.kernel.done() && self.pcim_queue.is_empty() && self.pcim_outstanding == 0 {
+                    self.running = false;
+                    // STATUS, the interrupt line, and blocked reads all
+                    // key off this transition.
+                    self.mark();
+                }
             }
         }
     }
@@ -406,10 +466,44 @@ impl Component for AccelShell {
     }
 
     fn tick(&mut self, p: &mut SignalPool) {
+        self.tick_active = false;
+        self.tick_changed = false;
         self.tick_ocl(p);
         self.tick_pcis(p);
         self.tick_pcim(p);
         self.tick_kernel();
+    }
+
+    fn tick_changed_state(&self) -> bool {
+        self.tick_changed
+    }
+
+    fn tick_reads(&self) -> Option<Vec<SignalId>> {
+        let mut out = Vec::with_capacity(45);
+        for ch in [
+            self.ocl_aw.channel(),
+            self.ocl_w.channel(),
+            self.ocl_b.channel(),
+            self.ocl_ar.channel(),
+            self.ocl_r.channel(),
+            self.pcis_aw.channel(),
+            self.pcis_w.channel(),
+            self.pcis_b.channel(),
+            self.pcis_ar.channel(),
+            self.pcis_r.channel(),
+            self.pcim_aw.channel(),
+            self.pcim_w.channel(),
+            self.pcim_b.channel(),
+            self.pcim_ar.channel(),
+            self.pcim_r.channel(),
+        ] {
+            out.extend([ch.valid, ch.data, ch.ready]);
+        }
+        Some(out)
+    }
+
+    fn tick_quiet(&self) -> bool {
+        !self.tick_active
     }
 
     fn save_state(&self, w: &mut StateWriter) {

@@ -1,8 +1,9 @@
 //! `bench_sim` — scheduler perf trajectory (`BENCH_sim.json`).
 //!
-//! Runs every catalog application under both settle schedulers, asserts the
-//! recorded traces are bit-identical, and emits machine-readable
-//! measurements (cycles/sec, evals/cycle, wall time) to `BENCH_sim.json`.
+//! Runs every catalog application under all three settle schedulers,
+//! asserts the recorded traces are bit-identical, and emits
+//! machine-readable measurements (cycles/sec, evals/cycle, wall time,
+//! compiled deopt/tick-skip counters) to `BENCH_sim.json`.
 //!
 //! ```text
 //! cargo run --release -p vidi-bench --bin bench_sim -- \
@@ -11,16 +12,19 @@
 //! ```
 //!
 //! Exit status is non-zero if any traces diverge between schedulers, if
-//! fewer than half the catalog reaches a 2x eval reduction, or if
-//! `--baseline` is given and evals/cycle regressed more than 10 % on any
-//! app.
+//! fewer than half the catalog reaches a 2x eval reduction, if fewer than
+//! half reaches a 2x compiled cycles/sec speedup over incremental (or no
+//! compiled run ever skipped a clock edge — the vacuous-gate guard), or if
+//! `--baseline` is given and a deterministic evals/cycle counter regressed
+//! more than 10 % on any app.
 
 use std::process::ExitCode;
 
 use vidi_apps::Scale;
 use vidi_bench::json::Json;
 use vidi_bench::sim_bench::{
-    buffer_bound_failures, compare_to_baseline, measure_catalog, rows_with_2x_reduction, to_json,
+    buffer_bound_failures, compare_to_baseline, compiled_speedup_failures, measure_catalog,
+    rows_with_2x_compiled_speedup, rows_with_2x_reduction, to_json,
 };
 use vidi_core::VidiConfig;
 
@@ -59,17 +63,26 @@ fn main() -> ExitCode {
     std::fs::write(&out_path, doc.pretty()).expect("write BENCH_sim.json");
 
     println!(
-        "{:<14} {:>10} {:>12} {:>12} {:>9} {:>10}",
-        "app", "cycles", "evals/cyc F", "evals/cyc I", "reduction", "identical"
+        "{:<14} {:>10} {:>12} {:>12} {:>9} {:>9} {:>8} {:>10}",
+        "app",
+        "cycles",
+        "evals/cyc F",
+        "evals/cyc I",
+        "reduction",
+        "compiled",
+        "deopts",
+        "identical"
     );
     for r in &rows {
         println!(
-            "{:<14} {:>10} {:>12.2} {:>12.2} {:>8.2}x {:>10}",
+            "{:<14} {:>10} {:>12.2} {:>12.2} {:>8.2}x {:>8.2}x {:>8} {:>10}",
             r.app,
             r.cycles,
             r.evals_per_cycle_full,
             r.evals_per_cycle_incremental,
             r.eval_reduction,
+            r.compiled_speedup,
+            r.deopts,
             r.traces_identical
         );
     }
@@ -90,6 +103,12 @@ fn main() -> ExitCode {
             "FAIL: only {with_2x}/{} apps reach a 2x eval reduction",
             rows.len()
         );
+        ok = false;
+    }
+    // Compiled throughput gate: the levelized scheduler must earn its keep
+    // in wall-clock terms, and do so through real tick scheduling.
+    for f in compiled_speedup_failures(&rows) {
+        eprintln!("FAIL: {f}");
         ok = false;
     }
     // Bounded-memory gate: recording buffers must stay O(chunk size) no
@@ -121,7 +140,9 @@ fn main() -> ExitCode {
         }
     }
     println!(
-        "wrote {out_path} ({with_2x}/{} apps at >=2x reduction)",
+        "wrote {out_path} ({with_2x}/{} apps at >=2x eval reduction, {}/{} at >=2x compiled speedup)",
+        rows.len(),
+        rows_with_2x_compiled_speedup(&rows),
         rows.len()
     );
     if ok {

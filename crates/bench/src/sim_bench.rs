@@ -1,12 +1,16 @@
 //! Scheduler perf measurement behind `BENCH_sim.json`.
 //!
 //! For every catalog application this module runs the same recorded
-//! workload under both settle schedulers ([`vidi_hwsim::EvalMode::Full`]
-//! and [`vidi_hwsim::EvalMode::Incremental`]), checks the recorded traces
-//! are bit-identical, replays the incremental trace, and reports
-//! deterministic eval counters plus (informational) wall-clock numbers.
-//! CI regressions are judged **only** on the deterministic counters —
-//! wall time depends on the host and is recorded purely as a trajectory.
+//! workload under all three settle schedulers ([`vidi_hwsim::EvalMode::Full`],
+//! [`vidi_hwsim::EvalMode::Incremental`], and
+//! [`vidi_hwsim::EvalMode::Compiled`]), checks the recorded traces are
+//! bit-identical, replays the incremental trace, and reports deterministic
+//! eval counters plus (informational) wall-clock numbers. Baseline
+//! regressions are judged **only** on the deterministic counters — wall
+//! time depends on the host and is recorded as a trajectory — with one
+//! deliberate exception: the compiled scheduler exists *for* wall-clock
+//! throughput, so `bench_sim` additionally gates its cycles/sec speedup
+//! over the incremental scheduler.
 
 use std::time::Instant;
 
@@ -29,20 +33,35 @@ pub struct SimBenchRow {
     pub wall_ms_full: f64,
     /// Wall time of the recording run under the incremental scheduler, ms.
     pub wall_ms_incremental: f64,
+    /// Wall time of the recording run under the compiled scheduler, ms.
+    pub wall_ms_compiled: f64,
     /// Wall time of replaying the recorded trace (incremental mode), ms.
     pub replay_wall_ms: f64,
     /// Simulated cycles per wall-clock second, incremental recording run.
     pub cycles_per_sec: f64,
+    /// Simulated cycles per wall-clock second, compiled recording run.
+    pub cycles_per_sec_compiled: f64,
+    /// `cycles_per_sec_compiled / cycles_per_sec` — the compiled
+    /// scheduler's throughput advantage over incremental.
+    pub compiled_speedup: f64,
     /// Mean component evals per cycle, full scheduler.
     pub evals_per_cycle_full: f64,
     /// Mean component evals per cycle, incremental scheduler.
     pub evals_per_cycle_incremental: f64,
+    /// Mean component evals per cycle, compiled scheduler.
+    pub evals_per_cycle_compiled: f64,
     /// `evals_per_cycle_full / evals_per_cycle_incremental`.
     pub eval_reduction: f64,
-    /// The recorded traces of the two modes are byte-for-byte identical.
+    /// Schedule deopts (backward wakes) taken by the compiled run.
+    pub deopts: u64,
+    /// Schedule compilations (including the initial one), compiled run.
+    pub recompiles: u64,
+    /// Clock edges the compiled run skipped for quiescent components.
+    pub tick_skips: u64,
+    /// The recorded traces of all three modes are byte-for-byte identical.
     pub traces_identical: bool,
     /// High-water mark of bytes buffered in the streaming trace sink, maxed
-    /// over the two recording runs — the bounded-memory witness CI gates
+    /// over the recording runs — the bounded-memory witness CI gates
     /// against [`vidi_core::VidiConfig::streaming_buffer_bound`].
     pub peak_buffered_bytes: u64,
     /// Trace chunks the incremental recording run flushed to its store
@@ -50,23 +69,34 @@ pub struct SimBenchRow {
     pub chunks_flushed: u64,
 }
 
+/// Runs one recorded workload twice and keeps the better wall time (the
+/// outcome is deterministic, so either run's outcome serves). Best-of-two
+/// damps scheduler-independent noise — page faults, frequency ramps — that
+/// would otherwise dominate the compiled-vs-incremental speedup at small
+/// scales.
 fn timed_record(app: AppId, scale: Scale, seed: u64, mode: EvalMode) -> (RunOutcome, f64) {
-    let mut built = build_app(app.setup(scale, seed), VidiConfig::record());
-    built.sim.set_eval_mode(mode);
-    let start = Instant::now();
-    let outcome = run_app(built, MAX_CYCLES).expect("recording run completes");
-    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-    assert!(
-        outcome.output_ok.is_ok(),
-        "{}: wrong output under {mode:?}: {:?}",
-        app.label(),
-        outcome.output_ok
-    );
-    (outcome, wall_ms)
+    let mut best: Option<(RunOutcome, f64)> = None;
+    for _ in 0..2 {
+        let mut built = build_app(app.setup(scale, seed), VidiConfig::record());
+        built.sim.set_eval_mode(mode);
+        let start = Instant::now();
+        let outcome = run_app(built, MAX_CYCLES).expect("recording run completes");
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            outcome.output_ok.is_ok(),
+            "{}: wrong output under {mode:?}: {:?}",
+            app.label(),
+            outcome.output_ok
+        );
+        if best.as_ref().is_none_or(|(_, b)| wall_ms < *b) {
+            best = Some((outcome, wall_ms));
+        }
+    }
+    best.expect("at least one timed run")
 }
 
-/// Measures one application: record under both schedulers, compare traces,
-/// replay once.
+/// Measures one application: record under all three schedulers, compare
+/// traces, replay once.
 ///
 /// # Panics
 ///
@@ -75,16 +105,21 @@ fn timed_record(app: AppId, scale: Scale, seed: u64, mode: EvalMode) -> (RunOutc
 pub fn measure_app(app: AppId, scale: Scale, seed: u64) -> SimBenchRow {
     let (full, wall_ms_full) = timed_record(app, scale, seed, EvalMode::Full);
     let (inc, wall_ms_incremental) = timed_record(app, scale, seed, EvalMode::Incremental);
+    let (comp, wall_ms_compiled) = timed_record(app, scale, seed, EvalMode::Compiled);
 
-    assert_eq!(
-        full.cycles,
-        inc.cycles,
-        "{}: cycle counts diverge between schedulers",
-        app.label()
-    );
+    for (mode, outcome) in [("Incremental", &inc), ("Compiled", &comp)] {
+        assert_eq!(
+            full.cycles,
+            outcome.cycles,
+            "{}: cycle counts diverge between Full and {mode}",
+            app.label()
+        );
+    }
     let trace_full = full.trace.as_ref().expect("recording produces a trace");
     let trace_inc = inc.trace.as_ref().expect("recording produces a trace");
-    let traces_identical = trace_full.encode() == trace_inc.encode();
+    let trace_comp = comp.trace.as_ref().expect("recording produces a trace");
+    let reference = trace_full.encode();
+    let traces_identical = reference == trace_inc.encode() && reference == trace_comp.encode();
 
     // Replay the incremental trace (exercises the decoder/replayer path the
     // vector-clock scratch buffer optimizes).
@@ -98,18 +133,30 @@ pub fn measure_app(app: AppId, scale: Scale, seed: u64) -> SimBenchRow {
 
     let epc_full = full.sim_stats.evals_per_cycle();
     let epc_inc = inc.sim_stats.evals_per_cycle();
+    let cycles_per_sec = inc.sim_stats.cycles as f64 / (wall_ms_incremental / 1e3).max(1e-9);
+    let cycles_per_sec_compiled = comp.sim_stats.cycles as f64 / (wall_ms_compiled / 1e3).max(1e-9);
     SimBenchRow {
         app: app.label().to_string(),
         cycles: inc.cycles,
         wall_ms_full,
         wall_ms_incremental,
+        wall_ms_compiled,
         replay_wall_ms,
-        cycles_per_sec: inc.sim_stats.cycles as f64 / (wall_ms_incremental / 1e3).max(1e-9),
+        cycles_per_sec,
+        cycles_per_sec_compiled,
+        compiled_speedup: cycles_per_sec_compiled / cycles_per_sec.max(1e-9),
         evals_per_cycle_full: epc_full,
         evals_per_cycle_incremental: epc_inc,
+        evals_per_cycle_compiled: comp.sim_stats.evals_per_cycle(),
         eval_reduction: epc_full / epc_inc.max(1e-9),
+        deopts: comp.sim_stats.deopts,
+        recompiles: comp.sim_stats.recompiles,
+        tick_skips: comp.sim_stats.tick_skips,
         traces_identical,
-        peak_buffered_bytes: full.peak_buffered_bytes.max(inc.peak_buffered_bytes),
+        peak_buffered_bytes: full
+            .peak_buffered_bytes
+            .max(inc.peak_buffered_bytes)
+            .max(comp.peak_buffered_bytes),
         chunks_flushed: inc.chunks_flushed,
     }
 }
@@ -125,6 +172,38 @@ pub fn measure_catalog(scale: Scale, seed: u64) -> Vec<SimBenchRow> {
 /// Number of rows whose eval reduction is at least 2x.
 pub fn rows_with_2x_reduction(rows: &[SimBenchRow]) -> usize {
     rows.iter().filter(|r| r.eval_reduction >= 2.0).count()
+}
+
+/// Number of rows where the compiled scheduler reaches at least 2x the
+/// incremental scheduler's cycles/sec.
+pub fn rows_with_2x_compiled_speedup(rows: &[SimBenchRow]) -> usize {
+    rows.iter().filter(|r| r.compiled_speedup >= 2.0).count()
+}
+
+/// The compiled-scheduler CI gate over a measured catalog: at least half
+/// the apps must reach a 2x cycles/sec speedup over incremental, and the
+/// speedup must come from real tick scheduling — at least one run must
+/// skip a clock edge, or the "compiled" numbers are vacuous (the backend
+/// silently fell back to per-edge broadcast).
+///
+/// Returns the list of violations, empty when the gate passes.
+pub fn compiled_speedup_failures(rows: &[SimBenchRow]) -> Vec<String> {
+    let mut failures = Vec::new();
+    let with_2x = rows_with_2x_compiled_speedup(rows);
+    if with_2x * 2 < rows.len() {
+        failures.push(format!(
+            "only {with_2x}/{} apps reach a 2x compiled cycles/sec speedup",
+            rows.len()
+        ));
+    }
+    if !rows.is_empty() && rows.iter().all(|r| r.tick_skips == 0) {
+        failures.push(
+            "no compiled run skipped a clock edge — the speedup gate never \
+             exercised compiled tick scheduling"
+                .to_string(),
+        );
+    }
+    failures
 }
 
 /// The bounded-memory CI gate over a measured catalog: every app's peak
@@ -165,14 +244,27 @@ pub fn to_json(rows: &[SimBenchRow], scale: Scale) -> Json {
                 ("cycles", Json::Num(r.cycles as f64)),
                 ("wall_ms_full", Json::Num(r.wall_ms_full)),
                 ("wall_ms_incremental", Json::Num(r.wall_ms_incremental)),
+                ("wall_ms_compiled", Json::Num(r.wall_ms_compiled)),
                 ("replay_wall_ms", Json::Num(r.replay_wall_ms)),
                 ("cycles_per_sec", Json::Num(r.cycles_per_sec)),
+                (
+                    "cycles_per_sec_compiled",
+                    Json::Num(r.cycles_per_sec_compiled),
+                ),
+                ("compiled_speedup", Json::Num(r.compiled_speedup)),
                 ("evals_per_cycle_full", Json::Num(r.evals_per_cycle_full)),
                 (
                     "evals_per_cycle_incremental",
                     Json::Num(r.evals_per_cycle_incremental),
                 ),
+                (
+                    "evals_per_cycle_compiled",
+                    Json::Num(r.evals_per_cycle_compiled),
+                ),
                 ("eval_reduction", Json::Num(r.eval_reduction)),
+                ("deopts", Json::Num(r.deopts as f64)),
+                ("recompiles", Json::Num(r.recompiles as f64)),
+                ("tick_skips", Json::Num(r.tick_skips as f64)),
                 ("traces_identical", Json::Bool(r.traces_identical)),
                 (
                     "peak_buffered_bytes",
@@ -183,7 +275,7 @@ pub fn to_json(rows: &[SimBenchRow], scale: Scale) -> Json {
         })
         .collect();
     obj([
-        ("schema", Json::Str("vidi-bench-sim/1".into())),
+        ("schema", Json::Str("vidi-bench-sim/2".into())),
         (
             "scale",
             Json::Str(
@@ -202,6 +294,10 @@ pub fn to_json(rows: &[SimBenchRow], scale: Scale) -> Json {
                     "apps_with_2x_reduction",
                     Json::Num(rows_with_2x_reduction(rows) as f64),
                 ),
+                (
+                    "apps_with_2x_compiled_speedup",
+                    Json::Num(rows_with_2x_compiled_speedup(rows) as f64),
+                ),
                 ("total_apps", Json::Num(rows.len() as f64)),
             ]),
         ),
@@ -209,8 +305,9 @@ pub fn to_json(rows: &[SimBenchRow], scale: Scale) -> Json {
 }
 
 /// Compares a current `BENCH_sim.json` document against a committed
-/// baseline on the **deterministic** counter (`evals_per_cycle_incremental`
-/// per app). Wall-clock fields are never gated.
+/// baseline on the **deterministic** counters (`evals_per_cycle_incremental`
+/// and, when the baseline carries it, `evals_per_cycle_compiled`, per app).
+/// Wall-clock fields are never gated here.
 ///
 /// # Errors
 ///
@@ -221,32 +318,40 @@ pub fn compare_to_baseline(
     baseline: &Json,
     tolerance: f64,
 ) -> Result<(), Vec<String>> {
+    const GATED: [&str; 2] = ["evals_per_cycle_incremental", "evals_per_cycle_compiled"];
     let mut failures = Vec::new();
-    let rows = |doc: &Json| -> Vec<(String, f64)> {
+    let rows = |doc: &Json| -> Vec<(String, Vec<(String, f64)>)> {
         doc.get("apps")
             .and_then(Json::as_arr)
             .unwrap_or_default()
             .iter()
             .filter_map(|r| {
-                Some((
-                    r.get("app")?.as_str()?.to_string(),
-                    r.get("evals_per_cycle_incremental")?.as_f64()?,
-                ))
+                let app = r.get("app")?.as_str()?.to_string();
+                let metrics = GATED
+                    .iter()
+                    .filter_map(|&m| Some((m.to_string(), r.get(m)?.as_f64()?)))
+                    .collect();
+                Some((app, metrics))
             })
             .collect()
     };
     let cur = rows(current);
-    for (app, base_epc) in rows(baseline) {
-        match cur.iter().find(|(a, _)| *a == app) {
-            None => failures.push(format!("{app}: present in baseline but not measured")),
-            Some((_, cur_epc)) => {
-                let limit = base_epc * (1.0 + tolerance);
-                if *cur_epc > limit {
-                    failures.push(format!(
-                        "{app}: evals/cycle regressed {base_epc:.2} -> {cur_epc:.2} \
-                         (limit {limit:.2})"
-                    ));
-                }
+    for (app, base_metrics) in rows(baseline) {
+        let Some((_, cur_metrics)) = cur.iter().find(|(a, _)| *a == app) else {
+            failures.push(format!("{app}: present in baseline but not measured"));
+            continue;
+        };
+        for (metric, base_epc) in base_metrics {
+            let Some((_, cur_epc)) = cur_metrics.iter().find(|(m, _)| *m == metric) else {
+                failures.push(format!("{app}: baseline metric {metric} not measured"));
+                continue;
+            };
+            let limit = base_epc * (1.0 + tolerance);
+            if *cur_epc > limit {
+                failures.push(format!(
+                    "{app}: {metric} regressed {base_epc:.2} -> {cur_epc:.2} \
+                     (limit {limit:.2})"
+                ));
             }
         }
     }
@@ -274,27 +379,63 @@ mod tests {
         obj([("apps", Json::Arr(rows))])
     }
 
-    #[test]
-    fn buffer_bound_gate_flags_overruns_and_vacuous_runs() {
-        let row = |app: &str, peak: u64, chunks: u64| SimBenchRow {
+    fn row(app: &str) -> SimBenchRow {
+        SimBenchRow {
             app: app.into(),
             cycles: 0,
             wall_ms_full: 0.0,
             wall_ms_incremental: 0.0,
+            wall_ms_compiled: 0.0,
             replay_wall_ms: 0.0,
             cycles_per_sec: 0.0,
+            cycles_per_sec_compiled: 0.0,
+            compiled_speedup: 0.0,
             evals_per_cycle_full: 0.0,
             evals_per_cycle_incremental: 0.0,
+            evals_per_cycle_compiled: 0.0,
             eval_reduction: 0.0,
+            deopts: 0,
+            recompiles: 0,
+            tick_skips: 0,
             traces_identical: true,
-            peak_buffered_bytes: peak,
-            chunks_flushed: chunks,
+            peak_buffered_bytes: 0,
+            chunks_flushed: 0,
+        }
+    }
+
+    #[test]
+    fn buffer_bound_gate_flags_overruns_and_vacuous_runs() {
+        let mk = |app: &str, peak: u64, chunks: u64| {
+            let mut r = row(app);
+            r.peak_buffered_bytes = peak;
+            r.chunks_flushed = chunks;
+            r
         };
-        assert!(buffer_bound_failures(&[row("a", 100, 3)], 1000).is_empty());
-        let fails = buffer_bound_failures(&[row("a", 2000, 0), row("b", 100, 0)], 1000);
+        assert!(buffer_bound_failures(&[mk("a", 100, 3)], 1000).is_empty());
+        let fails = buffer_bound_failures(&[mk("a", 2000, 0), mk("b", 100, 0)], 1000);
         assert_eq!(fails.len(), 2);
         assert!(fails[0].contains("a: peak buffered"));
         assert!(fails[1].contains("never exercised"));
+    }
+
+    #[test]
+    fn compiled_speedup_gate_flags_slow_and_vacuous_runs() {
+        let mk = |app: &str, speedup: f64, skips: u64| {
+            let mut r = row(app);
+            r.compiled_speedup = speedup;
+            r.tick_skips = skips;
+            r
+        };
+        // Half the catalog at 2x with real skips: gate passes.
+        assert!(compiled_speedup_failures(&[mk("a", 2.5, 10), mk("b", 1.2, 3)]).is_empty());
+        // Under half at 2x: flagged.
+        let fails = compiled_speedup_failures(&[mk("a", 1.9, 10), mk("b", 1.2, 5)]);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("0/2 apps reach a 2x"));
+        // Fast but with zero tick skips everywhere: the number is vacuous.
+        let fails = compiled_speedup_failures(&[mk("a", 2.5, 0), mk("b", 2.5, 0)]);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("never exercised compiled tick scheduling"));
     }
 
     #[test]
@@ -308,7 +449,41 @@ mod tests {
         // One regression, one missing app: both reported.
         let err = compare_to_baseline(&doc(&[("a", 11.2)]), &base, 0.10).unwrap_err();
         assert_eq!(err.len(), 2);
-        assert!(err[0].contains("a: evals/cycle regressed"));
+        assert!(err[0].contains("a: evals_per_cycle_incremental regressed"));
         assert!(err[1].contains("b: present in baseline"));
+    }
+
+    #[test]
+    fn baseline_comparison_gates_compiled_counter_when_present() {
+        let mk_doc = |inc: f64, comp: Option<f64>| {
+            let mut fields = vec![
+                ("app", Json::Str("a".into())),
+                ("evals_per_cycle_incremental", Json::Num(inc)),
+            ];
+            if let Some(c) = comp {
+                fields.push(("evals_per_cycle_compiled", Json::Num(c)));
+            }
+            let row = Json::Obj(
+                fields
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            );
+            obj([("apps", Json::Arr(vec![row]))])
+        };
+        let base = mk_doc(10.0, Some(4.0));
+        // Compiled counter regressed beyond tolerance: flagged by name.
+        let err = compare_to_baseline(&mk_doc(10.0, Some(5.0)), &base, 0.10).unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert!(err[0].contains("evals_per_cycle_compiled regressed"));
+        // Baseline expects the compiled counter; its absence is a failure.
+        let err = compare_to_baseline(&mk_doc(10.0, None), &base, 0.10).unwrap_err();
+        assert!(err[0].contains("evals_per_cycle_compiled not measured"));
+        // An old baseline without the counter never demands it.
+        let old_base = mk_doc(10.0, None);
+        assert_eq!(
+            compare_to_baseline(&mk_doc(10.0, None), &old_base, 0.10),
+            Ok(())
+        );
     }
 }

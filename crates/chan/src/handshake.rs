@@ -182,6 +182,23 @@ impl SenderQueue {
         }
     }
 
+    /// Runs [`tick`](SenderQueue::tick) and reports whether it mutated any
+    /// endpoint state — a fire, or a newly presented transfer committing.
+    /// This is the activity bit tick-scheduling quiet predicates aggregate:
+    /// an endpoint whose `tick_report` returns `false` would do nothing if
+    /// the edge were skipped, since its behaviour depends only on its
+    /// channel signals.
+    pub fn tick_report(&mut self, pool: &SignalPool) -> bool {
+        let was_committed = self.committed;
+        self.tick(pool).is_some() || self.committed != was_committed
+    }
+
+    /// Whether the endpoint is between transactions with nothing queued:
+    /// `tick` cannot mutate state until a value is pushed or presented.
+    pub fn idle(&self) -> bool {
+        self.queue.is_empty() && !self.committed
+    }
+
     /// Serializes queue contents and protocol state for a checkpoint.
     pub fn save_state(&self, w: &mut StateWriter) {
         w.seq(self.queue.iter(), StateWriter::bits);
@@ -237,6 +254,20 @@ impl ReceiverLatch {
             self.count += 1;
             self.received.push_back(v.clone());
             Some(v)
+        } else {
+            None
+        }
+    }
+
+    /// Captures a fired transaction, if any, *without* buffering it —
+    /// the [`tick`](ReceiverLatch::tick) analogue for receivers that
+    /// consume the value immediately. Keeping such values out of the
+    /// `received` queue bounds the endpoint's memory (and checkpoint
+    /// size) over arbitrarily long runs.
+    pub fn take(&mut self, pool: &SignalPool) -> Option<Bits> {
+        if self.channel.fires(pool) {
+            self.count += 1;
+            Some(pool.get(self.channel.data).clone())
         } else {
             None
         }

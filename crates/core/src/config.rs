@@ -84,6 +84,11 @@ pub struct VidiConfig {
     /// reads ahead in units of this many words, which bounds both sides'
     /// buffering at O(chunk size) independent of trace length.
     pub trace_chunk_words: usize,
+    /// Settle-phase scheduler of the underlying simulator (see
+    /// [`vidi_hwsim::EvalMode`]). All modes are bit-identical; this is a
+    /// pure performance knob, consumed by whatever builds the simulation
+    /// (e.g. the app harness) rather than by the shim itself.
+    pub eval_mode: vidi_hwsim::EvalMode,
 }
 
 impl Default for VidiConfig {
@@ -97,6 +102,7 @@ impl Default for VidiConfig {
             stall_budget: None,
             checkpoint_every: None,
             trace_chunk_words: vidi_trace::DEFAULT_CHUNK_WORDS,
+            eval_mode: vidi_hwsim::EvalMode::default(),
         }
     }
 }
@@ -143,6 +149,12 @@ impl VidiConfig {
     /// The same configuration with checkpointing armed every `every` cycles.
     pub fn with_checkpoints(mut self, every: u64) -> Self {
         self.checkpoint_every = Some(every);
+        self
+    }
+
+    /// The same configuration with a different settle-phase scheduler.
+    pub fn with_eval_mode(mut self, mode: vidi_hwsim::EvalMode) -> Self {
+        self.eval_mode = mode;
         self
     }
 

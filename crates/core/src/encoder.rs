@@ -169,8 +169,41 @@ impl EncoderCore {
         }
     }
 
+    /// Whether an injected stall gate is installed. A gated encoder's
+    /// behaviour is a function of its cycle counter, so its engine must not
+    /// elide clock edges (and must re-evaluate every cycle).
+    pub fn has_stall_gate(&self) -> bool {
+        self.stall_gate.is_some()
+    }
+
+    /// Every port signal this encoder's `tick` observes, in layout order —
+    /// the recording path's contribution to a declared tick-read set.
+    pub fn tick_read_signals(&self) -> Vec<vidi_hwsim::SignalId> {
+        let mut out = Vec::with_capacity(self.ports.len() * 6);
+        for port in &self.ports {
+            out.extend([
+                port.resv_req,
+                port.resv_grant,
+                port.pkt_valid,
+                port.pkt_start,
+                port.pkt_end,
+                port.pkt_content,
+            ]);
+        }
+        out
+    }
+
+    /// Replays one elided clock edge: an idle tick (no presented events, no
+    /// denied reservations, no stall gate) mutates only the cycle counter.
+    pub fn tick_elided(&mut self) {
+        self.cycle += 1;
+    }
+
     /// Clock-edge phase: collects presented events into one cycle packet.
-    pub fn tick(&mut self, p: &mut SignalPool) {
+    /// Returns whether the edge mutated anything beyond the cycle counter —
+    /// an event was collected, a reservation was denied, or a stall storm
+    /// was counted.
+    pub fn tick(&mut self, p: &mut SignalPool) -> bool {
         let mut any_denied = false;
         let mut any_event = false;
         let mut packets: Vec<ChannelPacket> = Vec::with_capacity(self.layout.len());
@@ -200,9 +233,11 @@ impl EncoderCore {
         if any_denied {
             self.backpressure_cycles += 1;
         }
+        let mut stormed = false;
         if let Some(g) = &mut self.stall_gate {
             if g(self.cycle) {
                 self.stall_storm_cycles += 1;
+                stormed = true;
             }
         }
         self.cycle += 1;
@@ -218,6 +253,7 @@ impl EncoderCore {
             );
             self.fifo.push_back(packet);
         }
+        any_event || any_denied || stormed
     }
 }
 

@@ -81,6 +81,14 @@ pub struct VidiEngine {
     cycle: u64,
     /// Deterministic crash injection: panic when `cycle` reaches this value.
     panic_at: Option<u64>,
+    /// Whether the most recent executed tick mutated anything beyond local
+    /// time. Scheduler scratch, not serialized: conservatively `true`
+    /// until a tick says otherwise (restores re-execute the next edge
+    /// anyway).
+    tick_active: bool,
+    /// Whether the most recent executed tick changed eval-relevant state
+    /// (the staged-FIFO occupancy the encoder's grant budget reads).
+    tick_changed: bool,
 }
 
 impl VidiEngine {
@@ -122,6 +130,8 @@ impl VidiEngine {
                 stats: Rc::clone(&stats),
                 cycle: 0,
                 panic_at: None,
+                tick_active: true,
+                tick_changed: true,
             },
             record,
             stats,
@@ -233,15 +243,25 @@ impl Component for VidiEngine {
         }
 
         // 1. Recording path: collect this cycle's events, drain to storage.
+        let mut enc_active = false;
+        let mut store_active = false;
+        let mut fifo_occupied = false;
         if let Some(encoder) = &mut self.encoder {
-            encoder.tick(p);
+            enc_active = encoder.tick(p);
             if let Some(store) = &mut self.store {
-                store.tick(encoder);
+                store_active = store.tick(encoder);
             }
+            // Staged packets awaiting bandwidth credit make the edge
+            // time-sensitive: future accrual drains them with no signal
+            // change, so the engine must keep ticking until the FIFO is
+            // empty.
+            fifo_occupied = encoder.fifo_len() > 0;
             let mut stats = self.stats.borrow_mut();
             stats.backpressure_cycles = encoder.backpressure_cycles();
             stats.events_logged = encoder.events_logged();
         }
+        self.tick_changed = enc_active || store_active;
+        self.tick_active = enc_active || store_active || fifo_occupied || self.decoder.is_some();
 
         // 2. Replay path. `t0` is the clock value this cycle's eval exposed;
         //    advancing decisions must use it so signal driving and stream
@@ -284,6 +304,55 @@ impl Component for VidiEngine {
                         .collect();
                 }
             }
+        }
+    }
+
+    fn tick_changed_state(&self) -> bool {
+        // A stall gate makes the encoder's grant budget a function of the
+        // cycle counter, and the replay path's eval follows the vector
+        // clock: both must re-evaluate every cycle.
+        self.decoder.is_some()
+            || self
+                .encoder
+                .as_ref()
+                .is_some_and(EncoderCore::has_stall_gate)
+            || self.tick_changed
+    }
+
+    fn tick_reads(&self) -> Option<Vec<vidi_hwsim::SignalId>> {
+        // The engine's clock edge may only be scheduled when its behaviour
+        // is a pure function of (port signals, internal state): no replay
+        // path, no injected crash, and no cycle-keyed fault or arbitration
+        // hooks.
+        let time_sensitive = self.decoder.is_some()
+            || self.panic_at.is_some()
+            || self
+                .encoder
+                .as_ref()
+                .is_some_and(EncoderCore::has_stall_gate)
+            || self.store.as_ref().is_some_and(StoreCore::time_sensitive);
+        if time_sensitive {
+            return None;
+        }
+        Some(
+            self.encoder
+                .as_ref()
+                .map(EncoderCore::tick_read_signals)
+                .unwrap_or_default(),
+        )
+    }
+
+    fn tick_quiet(&self) -> bool {
+        !self.tick_active
+    }
+
+    fn tick_elided(&mut self) {
+        self.cycle += 1;
+        if let Some(encoder) = &mut self.encoder {
+            encoder.tick_elided();
+        }
+        if let Some(store) = &mut self.store {
+            store.tick_elided();
         }
     }
 

@@ -68,6 +68,12 @@ pub struct ChannelMonitor {
     /// state `eval` depends on. Lets the incremental scheduler skip idle
     /// monitors (see [`Component::tick_changed_state`]).
     state_changed_in_tick: bool,
+    /// Whether the last executed `tick` mutated *nothing* (no firing, no
+    /// state transition, no flag reset). Together with the declared
+    /// [`Component::tick_reads`] set this lets the compiled scheduler skip
+    /// the clock edges of idle monitors entirely. Not serialized: a restore
+    /// conservatively re-runs every tick.
+    tick_was_quiet: bool,
 }
 
 impl ChannelMonitor {
@@ -98,6 +104,7 @@ impl ChannelMonitor {
             state: State::Idle,
             transactions: 0,
             state_changed_in_tick: false,
+            tick_was_quiet: false,
         }
     }
 
@@ -230,52 +237,85 @@ impl Component for ChannelMonitor {
     }
 
     fn tick(&mut self, p: &mut SignalPool) {
+        // Resetting a raised flag is itself a mutation, so the quiescence
+        // computed below must account for the flag's entry value.
+        let was_changed = self.state_changed_in_tick;
         self.state_changed_in_tick = false;
         let (_, receiver) = self.sides();
         let fired = receiver.fires(p);
         if fired {
             // `transactions` is diagnostics-only; `eval` never reads it, so
-            // incrementing it does not mark the tick non-quiescent.
+            // incrementing it does not mark the tick non-quiescent (it does
+            // make the tick non-quiet: a skipped edge must not lose counts).
             self.transactions += 1;
         }
-        if self.mode == MonitorMode::Transparent || !self.recording_now(p) {
-            return;
+        if self.mode == MonitorMode::Record && self.recording_now(p) {
+            match (&self.state, self.direction) {
+                (State::Idle, Direction::Input) => {
+                    let granted =
+                        p.get_bool(self.port.resv_req) && p.get_bool(self.port.resv_grant);
+                    if granted && !fired {
+                        self.state = State::Active(p.get(self.env.data));
+                        self.state_changed_in_tick = true;
+                    }
+                }
+                (State::Active(_), Direction::Input) => {
+                    if fired {
+                        self.state = State::Idle;
+                        self.state_changed_in_tick = true;
+                    }
+                }
+                (State::Idle, Direction::Output) => {
+                    let granted =
+                        p.get_bool(self.port.resv_req) && p.get_bool(self.port.resv_grant);
+                    if granted && !fired {
+                        self.state = State::Exposed;
+                        self.state_changed_in_tick = true;
+                    }
+                }
+                (State::Exposed, Direction::Output) => {
+                    if fired {
+                        self.state = State::Idle;
+                        self.state_changed_in_tick = true;
+                    }
+                }
+                (State::Exposed, Direction::Input) | (State::Active(_), Direction::Output) => {
+                    unreachable!("monitor state does not match direction")
+                }
+            }
         }
-        match (&self.state, self.direction) {
-            (State::Idle, Direction::Input) => {
-                let granted = p.get_bool(self.port.resv_req) && p.get_bool(self.port.resv_grant);
-                if granted && !fired {
-                    self.state = State::Active(p.get(self.env.data));
-                    self.state_changed_in_tick = true;
-                }
-            }
-            (State::Active(_), Direction::Input) => {
-                if fired {
-                    self.state = State::Idle;
-                    self.state_changed_in_tick = true;
-                }
-            }
-            (State::Idle, Direction::Output) => {
-                let granted = p.get_bool(self.port.resv_req) && p.get_bool(self.port.resv_grant);
-                if granted && !fired {
-                    self.state = State::Exposed;
-                    self.state_changed_in_tick = true;
-                }
-            }
-            (State::Exposed, Direction::Output) => {
-                if fired {
-                    self.state = State::Idle;
-                    self.state_changed_in_tick = true;
-                }
-            }
-            (State::Exposed, Direction::Input) | (State::Active(_), Direction::Output) => {
-                unreachable!("monitor state does not match direction")
-            }
-        }
+        self.tick_was_quiet = !fired && !was_changed && !self.state_changed_in_tick;
     }
 
     fn tick_changed_state(&self) -> bool {
         self.state_changed_in_tick
+    }
+
+    fn tick_reads(&self) -> Option<Vec<SignalId>> {
+        // Everything `tick` can read on any path, for either direction and
+        // either mode: the handshake lines of both sides, the data being
+        // latched, the reservation handshake, and the record-enable line.
+        // The monitor's `tick` is a pure function of these signals and its
+        // own state, and its `fault` is the default `None`, so it satisfies
+        // the compiled scheduler's skip contract.
+        let mut sigs = vec![
+            self.env.valid,
+            self.env.ready,
+            self.env.data,
+            self.app.valid,
+            self.app.ready,
+            self.app.data,
+            self.port.resv_req,
+            self.port.resv_grant,
+        ];
+        if let Some(line) = self.record_enable {
+            sigs.push(line);
+        }
+        Some(sigs)
+    }
+
+    fn tick_quiet(&self) -> bool {
+        self.tick_was_quiet
     }
 
     fn save_state(&self, w: &mut StateWriter) {

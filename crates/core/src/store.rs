@@ -382,13 +382,30 @@ impl StoreCore {
         Ok(())
     }
 
+    /// Whether any per-cycle fault or arbitration hook is installed. A
+    /// hooked store's behaviour is a function of its cycle/op counters, so
+    /// its engine must not elide clock edges.
+    pub fn time_sensitive(&self) -> bool {
+        self.write_hook.is_some() || self.bandwidth_hook.is_some() || self.credit_hook.is_some()
+    }
+
+    /// Replays one elided clock edge: an idle, unhooked tick (nothing
+    /// staged, nothing to flush, no retry pending) mutates only the cycle
+    /// counter and the saturating credit accrual.
+    pub fn tick_elided(&mut self) {
+        self.cycle += 1;
+        self.credit = (self.credit + self.bytes_per_cycle as u64).min(self.credit_cap);
+    }
+
     /// Clock-edge phase: flushes any full chunks to the backend (honoring
     /// injected storage faults with retry and exponential backoff), then
     /// drains as many packets as the bandwidth budget allows from the
     /// encoder FIFO into the sink's framing. When a stall budget is armed
     /// and exhausted, unaffordable packets are shed (and counted) instead
-    /// of stalling the application.
-    pub fn tick(&mut self, encoder: &mut EncoderCore) {
+    /// of stalling the application. Returns whether the edge mutated
+    /// anything beyond the cycle counter and credit accrual.
+    pub fn tick(&mut self, encoder: &mut EncoderCore) -> bool {
+        let mut active = false;
         let cycle = self.cycle;
         self.cycle += 1;
         let divisor = self.bandwidth_hook.as_mut().map_or(1, |h| h(cycle).max(1)) as u64;
@@ -406,11 +423,13 @@ impl StoreCore {
         let mut flush_blocked = false;
         if self.retry_backoff > 0 {
             self.retry_backoff -= 1;
+            active = true;
             flush_blocked = true;
         } else {
             // Push every full chunk out through the fault hook before
             // staging more: the backend sees whole chunks, in order.
             while self.handle.borrow().sink.full_chunks() > 0 {
+                active = true;
                 let verdict = self
                     .write_hook
                     .as_mut()
@@ -449,6 +468,7 @@ impl StoreCore {
                     break;
                 }
                 let Some(packet) = encoder.pop() else { break };
+                active = true;
                 self.credit -= size;
                 let mut run = self.handle.borrow_mut();
                 run.body_bytes += size;
@@ -473,11 +493,13 @@ impl StoreCore {
                     if encoder.pop().is_none() {
                         break;
                     }
+                    active = true;
                     self.attempt = 0;
                     self.handle.borrow_mut().dropped_packets += 1;
                 }
             }
         }
+        active
     }
 }
 

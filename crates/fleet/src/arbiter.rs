@@ -34,6 +34,12 @@ struct Member {
     weight: u64,
     /// Banked, unspent credit (the DRR deficit counter), in bytes.
     deficit: u64,
+    /// Fractional quantum remainder carried across ticks, in units of
+    /// `1/total_weight` bytes — always `< total_weight`. Without the carry,
+    /// integer division starves any member whose weighted share is below
+    /// one byte per tick (e.g. 16 weight-1 members of a rate-10 pool) and
+    /// silently leaks the rounding loss of everyone else.
+    rem: u64,
     stats: ArbiterStats,
 }
 
@@ -79,12 +85,15 @@ impl CreditArbiter {
             Member {
                 weight,
                 deficit: 0,
+                rem: 0,
                 stats: ArbiterStats::default(),
             },
         ) {
-            inner.total_weight -= old.weight;
+            inner.total_weight = inner.total_weight.saturating_sub(old.weight);
         }
-        inner.total_weight += weight;
+        // Saturate rather than overflow: with absurd weight sums the split
+        // merely skews toward the saturated total, it never panics.
+        inner.total_weight = inner.total_weight.saturating_add(weight);
     }
 
     /// Removes a member; its unspent bank evaporates and the remaining
@@ -92,7 +101,7 @@ impl CreditArbiter {
     pub fn deregister(&self, id: u64) {
         let mut inner = self.inner.lock().expect("arbiter lock");
         if let Some(old) = inner.members.remove(&id) {
-            inner.total_weight -= old.weight;
+            inner.total_weight = inner.total_weight.saturating_sub(old.weight);
         }
     }
 
@@ -106,15 +115,27 @@ impl CreditArbiter {
         let Some(m) = inner.members.get_mut(&id) else {
             return 0;
         };
-        let quantum = total_rate * m.weight / total_weight;
+        // The exact weighted share is `total_rate * weight / total_weight`
+        // bytes per tick, which is fractional in general. Accumulate in
+        // u128 (the product alone can overflow u64 for large rates ×
+        // weights) and carry the remainder across ticks so every member —
+        // including those whose share rounds to zero bytes — receives its
+        // exact long-run share instead of the truncated one.
+        let num = u128::from(total_rate) * u128::from(m.weight) + u128::from(m.rem);
+        let quantum = num / u128::from(total_weight);
+        m.rem = u64::try_from(num % u128::from(total_weight))
+            .expect("remainder < total_weight, which is a u64");
         // Mirror the store's credit cap: bank enough for a burst, never so
         // little that the largest cycle packet starves forever.
-        let cap = (quantum * 16).max(8192);
-        m.deficit = (m.deficit + quantum).min(cap);
+        let cap = (quantum.saturating_mul(16)).max(8192);
+        let banked = (u128::from(m.deficit) + quantum).min(cap);
+        m.deficit = u64::try_from(banked.min(u128::from(u64::MAX))).expect("clamped to u64::MAX");
         let granted = want.min(m.deficit);
         m.deficit -= granted;
-        m.stats.requested += want;
-        m.stats.granted += granted;
+        // Diagnostics-only counters: saturate instead of overflowing on
+        // pathological cumulative demand.
+        m.stats.requested = m.stats.requested.saturating_add(want);
+        m.stats.granted = m.stats.granted.saturating_add(granted);
         granted
     }
 
@@ -208,6 +229,63 @@ mod tests {
         let arb = CreditArbiter::new(100);
         assert_eq!(arb.request(9, 50), 0);
         assert_eq!(arb.stats(9), None);
+    }
+
+    #[test]
+    fn low_weight_members_are_not_starved_by_truncation() {
+        // 16 weight-1 members of a rate-10 pool: each exact share is 10/16
+        // of a byte per tick. Truncating division banked zero forever; the
+        // remainder carry must pay every member its long-run share.
+        const MEMBERS: u64 = 16;
+        const RATE: u64 = 10;
+        const TICKS: u64 = 800;
+        let arb = CreditArbiter::new(RATE);
+        for id in 0..MEMBERS {
+            arb.register(id, 1);
+        }
+        for _ in 0..TICKS {
+            for id in 0..MEMBERS {
+                arb.request(id, 3);
+            }
+        }
+        let mut total = 0;
+        for id in 0..MEMBERS {
+            let granted = arb.stats(id).unwrap().granted;
+            assert!(granted > 0, "member {id} starved: {granted}");
+            // Everyone converges on the exact fair share RATE/MEMBERS
+            // bytes/tick; allow the one-bank slack of the carry.
+            let fair = RATE * TICKS / MEMBERS;
+            assert!(
+                granted + 16 >= fair && granted <= fair + 16,
+                "member {id}: granted {granted}, fair {fair}"
+            );
+            total += granted;
+        }
+        // Conservation: the pool hands out at most RATE bytes/tick and, at
+        // saturation, all of it up to the final fractional residue.
+        assert!(total <= RATE * TICKS);
+        assert!(total + MEMBERS >= RATE * TICKS, "rounding leak: {total}");
+    }
+
+    proptest::proptest! {
+        /// `request` never panics (no multiply overflow) and never grants
+        /// more than asked, for arbitrary rates, weights, and demands.
+        #[test]
+        fn request_never_panics_and_never_overgrants(
+            rate in proptest::prelude::any::<u64>(),
+            weights in proptest::collection::vec(proptest::prelude::any::<u64>(), 1..8),
+            wants in proptest::collection::vec(proptest::prelude::any::<u64>(), 1..32),
+        ) {
+            let arb = CreditArbiter::new(rate);
+            for (id, w) in weights.iter().enumerate() {
+                arb.register(id as u64, *w);
+            }
+            let n = weights.len() as u64;
+            for (i, want) in wants.iter().enumerate() {
+                let granted = arb.request(i as u64 % n, *want);
+                proptest::prop_assert!(granted <= *want);
+            }
+        }
     }
 
     #[test]

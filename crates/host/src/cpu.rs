@@ -160,6 +160,10 @@ pub struct CpuThread {
     /// per-cycle state machine never clones a multi-kilobyte buffer.
     dma_payload: Option<std::rc::Rc<Vec<u8>>>,
     results: CpuHandle,
+    /// Whether the most recent executed tick mutated anything beyond the
+    /// local cycle counter. Scheduler scratch, not serialized:
+    /// conservatively `true` until a tick says otherwise.
+    tick_active: bool,
 }
 
 impl CpuThread {
@@ -191,6 +195,7 @@ impl CpuThread {
                 pending_think: None,
                 dma_payload: None,
                 results,
+                tick_active: true,
             },
             handle,
         )
@@ -233,10 +238,12 @@ impl CpuThread {
         }
     }
 
-    /// Advances the script state machine by one cycle.
-    fn step(&mut self, p: &mut SignalPool) {
+    /// Advances the script state machine by one cycle. Returns whether the
+    /// step mutated anything — issued a request, consumed a response,
+    /// changed op state — as opposed to waiting in place.
+    fn step(&mut self, p: &mut SignalPool) -> bool {
         if self.cycle < self.start_at || self.pc >= self.ops.len() {
-            return;
+            return false;
         }
         // Clone the current op for the match below — but never the DMA
         // payload on steady-state cycles: the heavy buffer is cached in
@@ -270,20 +277,28 @@ impl CpuThread {
             (OpState::Ready, HostOp::LiteWrite { iface, addr, data }) => {
                 self.lite_mut(iface).issue_write(addr, data);
                 self.state = OpState::AwaitWriteResp;
+                true
             }
             (OpState::AwaitWriteResp, HostOp::LiteWrite { iface, .. }) => {
                 if self.lite_mut(iface).take_write_resp().is_some() {
                     self.finish_op();
+                    true
+                } else {
+                    false
                 }
             }
             (OpState::Ready, HostOp::LiteRead { iface, addr }) => {
                 self.lite_mut(iface).issue_read(addr);
                 self.state = OpState::AwaitReadResp;
+                true
             }
             (OpState::AwaitReadResp, HostOp::LiteRead { iface, .. }) => {
                 if let Some((v, _)) = self.lite_mut(iface).take_read_resp() {
                     self.results.borrow_mut().reads.push(v);
                     self.finish_op();
+                    true
+                } else {
+                    false
                 }
             }
             (OpState::Ready, HostOp::PollUntil { .. }) => {
@@ -291,6 +306,7 @@ impl CpuThread {
                     next_poll: self.cycle,
                     outstanding: false,
                 };
+                true
             }
             (
                 OpState::Polling {
@@ -318,6 +334,9 @@ impl CpuThread {
                                 outstanding: false,
                             };
                         }
+                        true
+                    } else {
+                        false
                     }
                 } else if self.cycle >= *next_poll {
                     self.lite_mut(iface).issue_read(addr);
@@ -328,6 +347,9 @@ impl CpuThread {
                         },
                         other => other,
                     };
+                    true
+                } else {
+                    false
                 }
             }
             (
@@ -340,6 +362,7 @@ impl CpuThread {
                     awaiting_resp: 0,
                     resume_at: 0,
                 };
+                true
             }
             (
                 OpState::DmaSending {
@@ -360,19 +383,21 @@ impl CpuThread {
                 );
                 // Retire completed burst responses; pace the next burst by
                 // the PCIe round-trip gap.
+                let mut acted = false;
                 let mut resp = *awaiting_resp;
                 let mut off = *offset;
                 let mut resume = *resume_at;
                 while self.dma_mut(iface).take_write_resp().is_some() {
                     resp -= 1;
                     resume = self.cycle + DMA_BURST_GAP;
+                    acted = true;
                 }
                 // Issue the next burst when the previous ones are retired
                 // (simple, strictly ordered DMA engine).
                 if resp == 0 && self.cycle >= resume {
                     if off >= bytes.len() {
                         self.finish_op();
-                        return;
+                        return true;
                     }
                     let chunk_len = (bytes.len() - off).min(DMA_BURST_BEATS * 64);
                     let mut beats = Vec::new();
@@ -399,12 +424,14 @@ impl CpuThread {
                     );
                     off += chunk_len;
                     resp += 1;
+                    acted = true;
                 }
                 self.state = OpState::DmaSending {
                     offset: off,
                     awaiting_resp: resp,
                     resume_at: resume,
                 };
+                acted
             }
             (OpState::Ready, HostOp::DmaRead { len, .. }) => {
                 self.state = OpState::DmaReceiving {
@@ -413,6 +440,7 @@ impl CpuThread {
                     issued: 0,
                     resume_at: 0,
                 };
+                true
             }
             (
                 OpState::DmaReceiving {
@@ -424,18 +452,20 @@ impl CpuThread {
                 HostOp::DmaRead { iface, addr, .. },
             ) => {
                 let want = *want;
+                let mut acted = false;
                 let mut collected = std::mem::take(collected);
                 let mut issued = *issued;
                 let mut resume = *resume_at;
                 // Collect beats.
                 while let Some(beat) = self.dma_mut(iface).take_read_beat() {
                     collected.extend_from_slice(&beat.data.to_bytes());
+                    acted = true;
                 }
                 if collected.len() >= want {
                     collected.truncate(want);
                     self.results.borrow_mut().dma_reads.push(collected);
                     self.finish_op();
-                    return;
+                    return true;
                 }
                 // Issue the next burst once the previous one fully arrived
                 // (simple, strictly ordered DMA engine), paced by the PCIe
@@ -447,6 +477,7 @@ impl CpuThread {
                 {
                     if issued > 0 && resume == 0 {
                         resume = self.cycle + DMA_BURST_GAP;
+                        acted = true;
                     }
                     if issued == 0 || self.cycle >= resume {
                         let n = (beats_needed - issued).min(DMA_BURST_BEATS);
@@ -454,6 +485,7 @@ impl CpuThread {
                             .issue_read_burst(addr + (issued as u64) * 64, n);
                         issued += n;
                         resume = 0;
+                        acted = true;
                     }
                 }
                 self.state = OpState::DmaReceiving {
@@ -462,21 +494,29 @@ impl CpuThread {
                     issued,
                     resume_at: resume,
                 };
+                acted
             }
             (OpState::Ready, HostOp::WaitIrq) => {
                 let irq = self.irq.expect("WaitIrq without attached irq line");
                 if p.get_bool(irq) {
                     self.finish_op();
+                    true
+                } else {
+                    false
                 }
             }
             (OpState::Ready, HostOp::Delay(n)) => {
                 self.state = OpState::Delaying {
                     until: self.cycle + n,
                 };
+                true
             }
             (OpState::Delaying { until }, HostOp::Delay(_)) => {
                 if self.cycle >= *until {
                     self.finish_op();
+                    true
+                } else {
+                    false
                 }
             }
             (state, op) => unreachable!("CPU state {state:?} does not match op {op:?}"),
@@ -591,20 +631,93 @@ impl Component for CpuThread {
     }
 
     fn tick(&mut self, p: &mut SignalPool) {
+        let mut active = false;
         for m in self.lite.values_mut() {
-            m.tick(p);
+            active |= m.tick(p);
         }
         for m in self.dma.values_mut() {
-            m.tick(p);
+            active |= m.tick(p);
         }
         if let Some(t) = self.pending_think {
             if self.cycle < t {
                 self.cycle += 1;
+                self.tick_active = active;
                 return;
             }
             self.pending_think = None;
+            active = true;
         }
-        self.step(p);
+        active |= self.step(p);
+        self.cycle += 1;
+        self.tick_active = active;
+    }
+
+    fn tick_changed_state(&self) -> bool {
+        // `eval` only drives the masters' channel endpoints; any mutation
+        // of those (or of the op state that feeds them) is covered by the
+        // activity flag.
+        self.tick_active
+    }
+
+    fn tick_reads(&self) -> Option<Vec<SignalId>> {
+        // Sorted key order: HashMap iteration varies between processes and
+        // the declared set must be deterministic (it shapes the compiled
+        // schedule's wake tables).
+        let mut out = Vec::new();
+        let mut lites: Vec<&&'static str> = self.lite.keys().collect();
+        lites.sort_unstable();
+        for k in lites {
+            out.extend(self.lite[*k].channel_signals());
+        }
+        let mut dmas: Vec<&&'static str> = self.dma.keys().collect();
+        dmas.sort_unstable();
+        for k in dmas {
+            out.extend(self.dma[*k].channel_signals());
+        }
+        out.extend(self.irq);
+        Some(out)
+    }
+
+    fn tick_quiet(&self) -> bool {
+        !self.tick_active
+    }
+
+    fn tick_holdoff(&self) -> Option<u64> {
+        // `cycle` here is the post-tick value, which is exactly the value
+        // the next tick's comparisons will observe; a deadline `t` permits
+        // `t - cycle` idle edges before the edge that observes `cycle == t`
+        // must execute. Waiting-for-response states wake on declared
+        // channel signals instead and need no timer bound.
+        if self.pc >= self.ops.len() {
+            return None; // script complete: idle until the end of time
+        }
+        let deadline = if let Some(t) = self.pending_think {
+            t
+        } else if self.cycle < self.start_at {
+            self.start_at
+        } else {
+            match &self.state {
+                OpState::Polling {
+                    next_poll,
+                    outstanding: false,
+                } => *next_poll,
+                OpState::DmaSending {
+                    awaiting_resp: 0,
+                    resume_at,
+                    ..
+                } => *resume_at,
+                // A paced DMA read wakes itself at `resume_at`; while beats
+                // are in flight the stale (or zero) value yields a holdoff
+                // of 0, which conservatively keeps every edge executing.
+                OpState::DmaReceiving { resume_at, .. } => *resume_at,
+                OpState::Delaying { until } => *until,
+                _ => return None,
+            }
+        };
+        Some(deadline.saturating_sub(self.cycle))
+    }
+
+    fn tick_elided(&mut self) {
         self.cycle += 1;
     }
 

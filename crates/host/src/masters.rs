@@ -62,13 +62,34 @@ impl AxiLiteMaster {
         self.r.eval(p, true);
     }
 
-    /// Commits fires on all five channels.
-    pub fn tick(&mut self, p: &mut SignalPool) {
-        self.aw.tick(p);
-        self.w.tick(p);
-        self.ar.tick(p);
-        self.b.tick(p);
-        self.r.tick(p);
+    /// Commits fires on all five channels. Returns whether any endpoint
+    /// mutated state (a fire, a commit, a latched response) — the activity
+    /// bit the CPU model's tick-scheduling quiet predicate aggregates.
+    pub fn tick(&mut self, p: &mut SignalPool) -> bool {
+        let mut active = self.aw.tick_report(p);
+        active |= self.w.tick_report(p);
+        active |= self.ar.tick_report(p);
+        active |= self.b.tick(p).is_some();
+        active |= self.r.tick(p).is_some();
+        active
+    }
+
+    /// Whether every endpoint is between transactions with no queued
+    /// requests and no unconsumed responses: `tick` depends only on the
+    /// interface's channel signals until the owner issues or pops.
+    pub fn idle(&self) -> bool {
+        self.aw.idle()
+            && self.w.idle()
+            && self.ar.idle()
+            && self.b.buffered() == 0
+            && self.r.buffered() == 0
+    }
+
+    /// Every signal of the five channels this master's `tick` observes, in
+    /// a fixed order — the interface's contribution to a declared
+    /// tick-read set.
+    pub fn channel_signals(&self) -> Vec<vidi_hwsim::SignalId> {
+        channel_signals([&self.aw, &self.w, &self.ar], [&self.b, &self.r])
     }
 
     /// Serializes all five endpoint queues for a checkpoint.
@@ -93,6 +114,26 @@ impl AxiLiteMaster {
         self.r.load_state(r)?;
         Ok(())
     }
+}
+
+/// The `valid`/`data`/`ready` signals of three sender and two receiver
+/// endpoints, in endpoint order — shared by both masters'
+/// `channel_signals`.
+fn channel_signals(
+    senders: [&SenderQueue; 3],
+    receivers: [&ReceiverLatch; 2],
+) -> Vec<vidi_hwsim::SignalId> {
+    let mut out = Vec::with_capacity(15);
+    for ch in senders
+        .iter()
+        .map(|s| s.channel())
+        .chain(receivers.iter().map(|r| r.channel()))
+    {
+        out.push(ch.valid);
+        out.push(ch.data);
+        out.push(ch.ready);
+    }
+    out
 }
 
 /// Master endpoint on a 512-bit AXI4 interface (CPU side of `pcis`).
@@ -213,13 +254,34 @@ impl AxiMaster {
         self.r.eval(p, true);
     }
 
-    /// Commits fires on all five channels.
-    pub fn tick(&mut self, p: &mut SignalPool) {
-        self.aw.tick(p);
-        self.w.tick(p);
-        self.ar.tick(p);
-        self.b.tick(p);
-        self.r.tick(p);
+    /// Commits fires on all five channels. Returns whether any endpoint
+    /// mutated state (a fire, a commit, a latched response) — the activity
+    /// bit the CPU model's tick-scheduling quiet predicate aggregates.
+    pub fn tick(&mut self, p: &mut SignalPool) -> bool {
+        let mut active = self.aw.tick_report(p);
+        active |= self.w.tick_report(p);
+        active |= self.ar.tick_report(p);
+        active |= self.b.tick(p).is_some();
+        active |= self.r.tick(p).is_some();
+        active
+    }
+
+    /// Whether every endpoint is between transactions with no queued
+    /// requests and no unconsumed responses: `tick` depends only on the
+    /// interface's channel signals until the owner issues or pops.
+    pub fn idle(&self) -> bool {
+        self.aw.idle()
+            && self.w.idle()
+            && self.ar.idle()
+            && self.b.buffered() == 0
+            && self.r.buffered() == 0
+    }
+
+    /// Every signal of the five channels this master's `tick` observes, in
+    /// a fixed order — the interface's contribution to a declared
+    /// tick-read set.
+    pub fn channel_signals(&self) -> Vec<vidi_hwsim::SignalId> {
+        channel_signals([&self.aw, &self.w, &self.ar], [&self.b, &self.r])
     }
 
     /// Serializes all five endpoint queues and the burst-id counter.

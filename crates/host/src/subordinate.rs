@@ -39,6 +39,10 @@ pub struct HostMemSubordinate {
     latency_range: (u64, u64),
     writes_serviced: u64,
     reads_serviced: u64,
+    /// Scheduler scratch: whether the last executed tick did anything beyond
+    /// advancing the cycle counter. Not serialized — a restore invalidates
+    /// the simulator's tick books, which forces re-execution anyway.
+    tick_active: bool,
 }
 
 impl HostMemSubordinate {
@@ -69,6 +73,7 @@ impl HostMemSubordinate {
             latency_range,
             writes_serviced: 0,
             reads_serviced: 0,
+            tick_active: true,
         }
     }
 
@@ -115,12 +120,14 @@ impl HostMemSubordinate {
         self.orphan_beats.push_back(beat);
     }
 
-    fn complete_writes(&mut self) {
+    fn complete_writes(&mut self) -> bool {
+        let mut any = false;
         while let Some((aw, beats)) = self.write_in_flight.front() {
             let expected = aw.len as usize + 1;
             if beats.len() < expected {
                 break;
             }
+            any = true;
             let (aw, beats) = self.write_in_flight.pop_front().expect("front exists");
             for (i, beat) in beats.iter().enumerate() {
                 self.mem
@@ -131,6 +138,7 @@ impl HostMemSubordinate {
                 .push_back((self.cycle + delay, BFields { id: aw.id, resp: 0 }));
             self.writes_serviced += 1;
         }
+        any
     }
 }
 
@@ -150,7 +158,9 @@ impl Component for HostMemSubordinate {
 
     fn tick(&mut self, p: &mut SignalPool) {
         self.cycle += 1;
-        if let Some(raw) = self.aw.tick(p) {
+        let mut active = false;
+        if let Some(raw) = self.aw.take(p) {
+            active = true;
             let aw = AxFields::unpack(&raw);
             let mut beats = Vec::with_capacity(aw.len as usize + 1);
             // Adopt any orphan beats that belong to this burst.
@@ -168,13 +178,15 @@ impl Component for HostMemSubordinate {
             }
             self.write_in_flight.push_back((aw, beats));
         }
-        if let Some(raw) = self.w.tick(p) {
+        if let Some(raw) = self.w.take(p) {
+            active = true;
             let beat = WFields::unpack(&raw);
             self.attach_beat(beat);
         }
-        self.complete_writes();
+        active |= self.complete_writes();
 
-        if let Some(raw) = self.ar.tick(p) {
+        if let Some(raw) = self.ar.take(p) {
+            active = true;
             let ar = AxFields::unpack(&raw);
             let n = ar.len as usize + 1;
             let beats: Vec<RFields> = (0..n)
@@ -201,6 +213,7 @@ impl Component for HostMemSubordinate {
         {
             let (_, bf) = self.b_pending.pop_front().expect("front exists");
             self.b.push(bf.pack());
+            active = true;
         }
         while self
             .r_pending
@@ -211,9 +224,52 @@ impl Component for HostMemSubordinate {
             for beat in beats {
                 self.r.push(beat.pack());
             }
+            active = true;
         }
-        self.b.tick(p);
-        self.r.tick(p);
+        active |= self.b.tick_report(p);
+        active |= self.r.tick_report(p);
+        self.tick_active = active;
+    }
+
+    fn tick_changed_state(&self) -> bool {
+        self.tick_active
+    }
+
+    fn tick_reads(&self) -> Option<Vec<vidi_hwsim::SignalId>> {
+        let mut out = Vec::with_capacity(15);
+        for ch in [
+            self.aw.channel(),
+            self.w.channel(),
+            self.b.channel(),
+            self.ar.channel(),
+            self.r.channel(),
+        ] {
+            out.extend([ch.valid, ch.data, ch.ready]);
+        }
+        Some(out)
+    }
+
+    fn tick_quiet(&self) -> bool {
+        !self.tick_active
+    }
+
+    fn tick_holdoff(&self) -> Option<u64> {
+        // The only timers are the delayed-response queues; each drains its
+        // front entry when `cycle` (incremented at the start of the tick)
+        // reaches the due time, so a front due at `t` allows `t - cycle - 1`
+        // idle edges. Everything else is woken by declared channel signals.
+        let next_due = [
+            self.b_pending.front().map(|(t, _)| *t),
+            self.r_pending.front().map(|(t, _)| *t),
+        ]
+        .into_iter()
+        .flatten()
+        .min()?;
+        Some(next_due.saturating_sub(self.cycle + 1))
+    }
+
+    fn tick_elided(&mut self) {
+        self.cycle += 1;
     }
 
     fn save_state(&self, w: &mut StateWriter) {

@@ -102,7 +102,8 @@ impl Bits {
 
     /// Creates a value of `width = 8 * bytes.len()` from little-endian bytes.
     pub fn from_bytes(bytes: &[u8]) -> Self {
-        let width = (bytes.len() * 8) as u32;
+        let width = u32::try_from(bytes.len() * 8)
+            .expect("byte string exceeds the 2^32-bit Bits width limit");
         let mut b = Bits::zero(width);
         for (i, byte) in bytes.iter().enumerate() {
             let limb = i / 8;

@@ -106,6 +106,78 @@ pub trait Component {
         true
     }
 
+    /// Declares the superset of signals this component's
+    /// [`tick`](Component::tick) ever reads, opting into clock-edge
+    /// skipping under [`EvalMode::Compiled`](crate::EvalMode::Compiled).
+    ///
+    /// `None` (the default) means "undeclared": the tick runs every cycle,
+    /// which is always sound. A `Some` declaration is a contract with the
+    /// compiled scheduler, which then skips the component's tick on cycles
+    /// where **no declared signal changed since its last executed tick**
+    /// *and* that last tick reported itself quiet via
+    /// [`tick_quiet`](Component::tick_quiet). Soundness is by induction:
+    /// same inputs + a `tick` that is a pure function of (declared signals,
+    /// internal state) + a previous edge that mutated nothing ⇒ this edge
+    /// mutates nothing either, so not running it is unobservable.
+    ///
+    /// Declaring components must therefore (a) list **every** signal their
+    /// `tick` can read on any path, (b) have a `tick` with no hidden inputs
+    /// (no RNG, no shared channels), and (c) have a
+    /// [`fault`](Component::fault) that depends only on state its own tick
+    /// mutates — the scheduler also skips the fault poll of a skipped edge.
+    /// The returned set must be stable for the component's lifetime.
+    fn tick_reads(&self) -> Option<Vec<crate::SignalId>> {
+        None
+    }
+
+    /// Whether the most recent **executed** [`tick`](Component::tick)
+    /// mutated nothing beyond what [`tick_elided`](Component::tick_elided)
+    /// replays.
+    ///
+    /// Stricter than [`tick_changed_state`](Component::tick_changed_state)
+    /// (which only covers eval-relevant state): counters, statistics, and
+    /// buffered transactions all count as mutations here, because a skipped
+    /// edge executes only `tick_elided`. Free-running local time (a cycle
+    /// counter, saturating credit accrual) is the one exception: a tick that
+    /// did nothing but advance it may still report quiet, provided
+    /// `tick_elided` advances it identically. Only consulted for components
+    /// that declare [`tick_reads`](Component::tick_reads); the default
+    /// `false` never skips.
+    fn tick_quiet(&self) -> bool {
+        false
+    }
+
+    /// An upper bound on how many *consecutive* future clock edges this
+    /// component's [`tick`](Component::tick) is guaranteed to be idle for —
+    /// equivalent to [`tick_elided`](Component::tick_elided) — assuming no
+    /// declared [`tick_reads`](Component::tick_reads) signal changes.
+    ///
+    /// Polled once after every executed tick. `None` (the default) means
+    /// *unbounded*: the component is purely signal-driven and idles forever
+    /// until an input changes. A component with an armed local timer (a
+    /// wake-up deadline, a delayed response becoming due) must instead
+    /// return `Some(k)` where the timer cannot fire within the next `k`
+    /// edges; the scheduler executes the `k+1`-th edge even if no declared
+    /// signal changed. `Some(0)` forces the very next edge to execute.
+    fn tick_holdoff(&self) -> Option<u64> {
+        None
+    }
+
+    /// Replays one skipped clock edge's worth of free-running local time.
+    ///
+    /// Called by the compiled scheduler *instead of* [`tick`] on each edge
+    /// it skips, so that local clocks stay exact and snapshots, digests and
+    /// diagnostics taken at any cycle boundary are bit-identical to a run
+    /// that never skipped. Must mutate exactly what an idle `tick` (one
+    /// within the [`tick_holdoff`](Component::tick_holdoff) window, with
+    /// unchanged declared signals, following a
+    /// [`tick_quiet`](Component::tick_quiet) edge) would have mutated, and
+    /// must be cheap — it runs on every skipped edge. The default does
+    /// nothing, which is correct for components with no local clock.
+    ///
+    /// [`tick`]: Component::tick
+    fn tick_elided(&mut self) {}
+
     /// Reports a latched unrecoverable fault, if any. Polled by the
     /// scheduler after every clock edge; a `Some` return aborts the run with
     /// [`SimError::ComponentFault`](crate::SimError::ComponentFault) naming

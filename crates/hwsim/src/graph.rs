@@ -1,5 +1,12 @@
-//! Directed-graph algorithms shared by the analyzers: strongly connected
-//! components (Tarjan, iterative) and representative-cycle extraction.
+//! Directed-graph algorithms shared by the compiled scheduler and the
+//! static analyzers (`vidi-lint` re-exports this module): strongly
+//! connected components (Tarjan, iterative) and representative-cycle
+//! extraction.
+//!
+//! This module used to live in `vidi-lint`; it moved here when the
+//! [`EvalMode::Compiled`](crate::EvalMode::Compiled) scheduler started
+//! levelizing the same reads-before-write dataflow graph at simulator
+//! setup, so both consumers now share one implementation.
 
 /// Computes the strongly connected components of a directed graph given as
 /// an adjacency list. Returns the components in reverse topological order

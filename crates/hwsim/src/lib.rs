@@ -52,6 +52,8 @@
 mod bits;
 mod component;
 mod error;
+pub mod graph;
+pub mod levelize;
 mod signal;
 mod sim;
 mod state;
@@ -60,6 +62,7 @@ mod vcd;
 pub use bits::Bits;
 pub use component::Component;
 pub use error::SimError;
+pub use levelize::{dependency_edges, CompiledSchedule};
 pub use signal::{SignalAccess, SignalId, SignalPool};
 pub use sim::{ComponentAccess, EvalMode, SimStats, Simulator};
 pub use state::{fnv1a64, StateError, StateReader, StateWriter};

@@ -7,6 +7,12 @@
 //! stamps, not just a pool-wide flag) so the scheduler can both detect the
 //! combinational fixed point and re-evaluate only the components sensitive
 //! to the signals that actually changed.
+//!
+//! Signal metadata is laid out in parallel arrays (structure-of-arrays)
+//! rather than a `Vec<struct>`: the getters on the settle-phase hot path
+//! touch only `offsets`/`limbs`/`widths`, and packing those contiguously
+//! keeps the per-read working set to the arrays actually used instead of
+//! dragging every signal's name through the cache.
 
 use std::cell::{Cell, RefCell};
 
@@ -27,14 +33,6 @@ impl SignalId {
     }
 }
 
-#[derive(Debug)]
-struct SignalMeta {
-    name: String,
-    width: u32,
-    offset: u32,
-    limbs: u32,
-}
-
 /// One recorded signal access, in program order within an access log.
 ///
 /// Produced by [`SignalPool::start_access_log`] /
@@ -51,6 +49,11 @@ pub enum SignalAccess {
     Write(SignalId),
 }
 
+/// `track` bit: chronological access logging is active.
+const TRACK_LOG: u8 = 1 << 0;
+/// `track` bit: deduplicated read-set capture is active.
+const TRACK_CAPTURE: u8 = 1 << 1;
+
 /// Owns the current value of every signal in a simulated design.
 ///
 /// ```
@@ -66,7 +69,14 @@ pub enum SignalAccess {
 /// ```
 #[derive(Debug, Default)]
 pub struct SignalPool {
-    meta: Vec<SignalMeta>,
+    /// Diagnostic names, indexed by signal. Off the hot path.
+    names: Vec<String>,
+    /// Declared widths in bits, indexed by signal.
+    widths: Vec<u32>,
+    /// First limb of each signal within `data`.
+    offsets: Vec<u32>,
+    /// Limb count of each signal.
+    limbs: Vec<u32>,
     data: Vec<u64>,
     /// Signals whose value changed since the last [`Self::clear_changed`] /
     /// [`Self::drain_dirty`], in first-change order, deduplicated via
@@ -78,16 +88,16 @@ pub struct SignalPool {
     dirty_stamp: Vec<u64>,
     /// Current dirty generation (starts at 1; stamp 0 means "never dirty").
     dirty_gen: u64,
-    /// Whether accesses are currently being logged. Kept in a `Cell` (and
-    /// the log in a `RefCell`) because getters take `&self`; the pool is
-    /// single-threaded by construction.
-    logging: Cell<bool>,
+    /// Which access-tracking modes are active, as a bitmask of `TRACK_*`
+    /// bits. Kept in a single `Cell` (and the logs in `RefCell`s) because
+    /// getters take `&self`; the pool is single-threaded by construction.
+    /// Folding both flags into one word gives every untracked read — the
+    /// overwhelmingly common case during settle — a single branch on zero.
+    track: Cell<u8>,
+    /// Chronological read/write log for static lint (`TRACK_LOG`).
     access_log: RefCell<Vec<SignalAccess>>,
-    /// Whether reads are being captured into the (deduplicated) read set —
-    /// the lightweight per-eval sensitivity capture used by the incremental
-    /// scheduler. Independent of `logging`, which records chronological
-    /// read/write logs for static lint.
-    capturing: Cell<bool>,
+    /// Deduplicated per-eval read set for the incremental and compiled
+    /// schedulers (`TRACK_CAPTURE`). Independent of the chronological log.
     cap_reads: RefCell<Vec<SignalId>>,
     cap_stamp: RefCell<Vec<u64>>,
     cap_gen: Cell<u64>,
@@ -105,13 +115,13 @@ impl SignalPool {
     /// [`Simulator::access_scan`](crate::Simulator::access_scan).
     pub fn start_access_log(&self) {
         self.access_log.borrow_mut().clear();
-        self.logging.set(true);
+        self.track.set(self.track.get() | TRACK_LOG);
     }
 
     /// Stops logging and returns the accesses recorded since
     /// [`Self::start_access_log`], in chronological order.
     pub fn take_access_log(&self) -> Vec<SignalAccess> {
-        self.logging.set(false);
+        self.track.set(self.track.get() & !TRACK_LOG);
         std::mem::take(&mut self.access_log.borrow_mut())
     }
 
@@ -123,23 +133,27 @@ impl SignalPool {
     pub fn start_read_capture(&self) {
         self.cap_reads.borrow_mut().clear();
         self.cap_gen.set(self.cap_gen.get() + 1);
-        self.capturing.set(true);
+        self.track.set(self.track.get() | TRACK_CAPTURE);
     }
 
     /// Stops capturing and swaps the captured read set into `out` (in
     /// first-read order), reusing `out`'s allocation.
     pub fn take_read_capture(&self, out: &mut Vec<SignalId>) {
-        self.capturing.set(false);
+        self.track.set(self.track.get() & !TRACK_CAPTURE);
         out.clear();
         std::mem::swap(&mut *self.cap_reads.borrow_mut(), out);
     }
 
     #[inline]
     fn log_read(&self, id: SignalId) {
-        if self.logging.get() {
+        let track = self.track.get();
+        if track == 0 {
+            return;
+        }
+        if track & TRACK_LOG != 0 {
             self.access_log.borrow_mut().push(SignalAccess::Read(id));
         }
-        if self.capturing.get() {
+        if track & TRACK_CAPTURE != 0 {
             let gen = self.cap_gen.get();
             let mut stamps = self.cap_stamp.borrow_mut();
             if stamps[id.index()] != gen {
@@ -151,7 +165,7 @@ impl SignalPool {
 
     #[inline]
     fn log_write(&self, id: SignalId) {
-        if self.logging.get() {
+        if self.track.get() & TRACK_LOG != 0 {
             self.access_log.borrow_mut().push(SignalAccess::Write(id));
         }
     }
@@ -172,15 +186,17 @@ impl SignalPool {
     /// make waveforms much easier to read.
     pub fn add(&mut self, name: impl Into<String>, width: u32) -> SignalId {
         let limbs = width.div_ceil(64);
-        let offset = self.data.len() as u32;
+        let offset = u32::try_from(self.data.len())
+            .expect("signal storage exceeds u32 limbs; designs stay far below this");
         self.data.extend(std::iter::repeat_n(0, limbs as usize));
-        let id = SignalId(self.meta.len() as u32);
-        self.meta.push(SignalMeta {
-            name: name.into(),
-            width,
-            offset,
-            limbs,
-        });
+        let id = SignalId(
+            u32::try_from(self.names.len())
+                .expect("signal count exceeds u32; designs stay far below this"),
+        );
+        self.names.push(name.into());
+        self.widths.push(width);
+        self.offsets.push(offset);
+        self.limbs.push(limbs);
         self.dirty_stamp.push(0);
         self.cap_stamp.borrow_mut().push(0);
         id
@@ -188,32 +204,35 @@ impl SignalPool {
 
     /// The number of signals allocated.
     pub fn len(&self) -> usize {
-        self.meta.len()
+        self.widths.len()
     }
 
     /// Whether the pool has no signals.
     pub fn is_empty(&self) -> bool {
-        self.meta.is_empty()
+        self.widths.is_empty()
     }
 
     /// The declared width of a signal.
     pub fn width(&self, id: SignalId) -> u32 {
-        self.meta[id.index()].width
+        self.widths[id.index()]
     }
 
     /// The diagnostic name of a signal.
     pub fn name(&self, id: SignalId) -> &str {
-        &self.meta[id.index()].name
+        &self.names[id.index()]
     }
 
     /// All signal ids, in allocation order.
     pub fn ids(&self) -> impl Iterator<Item = SignalId> {
-        (0..self.meta.len() as u32).map(SignalId)
+        // `add` guarantees the count fits in u32.
+        let n = u32::try_from(self.widths.len()).expect("signal count fits u32 by construction");
+        (0..n).map(SignalId)
     }
 
     fn range(&self, id: SignalId) -> std::ops::Range<usize> {
-        let m = &self.meta[id.index()];
-        m.offset as usize..(m.offset + m.limbs) as usize
+        let i = id.index();
+        let offset = self.offsets[i] as usize;
+        offset..offset + self.limbs[i] as usize
     }
 
     /// Reads a signal's raw limbs (LSB-first).
@@ -236,7 +255,7 @@ impl SignalPool {
             self.name(id)
         );
         self.log_read(id);
-        self.data[self.meta[id.index()].offset as usize] & 1 == 1
+        self.data[self.offsets[id.index()] as usize] & 1 == 1
     }
 
     /// Writes a 1-bit signal from a `bool`.
@@ -252,8 +271,8 @@ impl SignalPool {
             self.name(id)
         );
         self.log_write(id);
-        let off = self.meta[id.index()].offset as usize;
-        let new = value as u64;
+        let off = self.offsets[id.index()] as usize;
+        let new = u64::from(value);
         if self.data[off] != new {
             self.data[off] = new;
             self.mark_changed(id);
@@ -263,33 +282,34 @@ impl SignalPool {
     /// Reads the low 64 bits of a signal.
     pub fn get_u64(&self, id: SignalId) -> u64 {
         self.log_read(id);
-        let m = &self.meta[id.index()];
-        if m.limbs == 0 {
+        let i = id.index();
+        if self.limbs[i] == 0 {
             0
         } else {
-            self.data[m.offset as usize]
+            self.data[self.offsets[i] as usize]
         }
     }
 
     /// Writes a signal from a `u64`, truncating to the signal width.
     pub fn set_u64(&mut self, id: SignalId, value: u64) {
         self.log_write(id);
-        let m = &self.meta[id.index()];
+        let i = id.index();
+        let width = self.widths[i];
         assert!(
-            m.width <= 64,
+            width <= 64,
             "set_u64 on {}-bit signal {}",
-            m.width,
-            m.name
+            width,
+            self.names[i]
         );
-        if m.limbs == 0 {
+        if self.limbs[i] == 0 {
             return;
         }
-        let masked = if m.width == 64 {
+        let masked = if width == 64 {
             value
         } else {
-            value & ((1u64 << m.width) - 1)
+            value & ((1u64 << width) - 1)
         };
-        let off = m.offset as usize;
+        let off = self.offsets[i] as usize;
         if self.data[off] != masked {
             self.data[off] = masked;
             self.mark_changed(id);
@@ -308,12 +328,12 @@ impl SignalPool {
     /// Panics if the value width does not match the signal width.
     pub fn set(&mut self, id: SignalId, value: &Bits) {
         self.log_write(id);
-        let m = &self.meta[id.index()];
+        let i = id.index();
         assert_eq!(
-            m.width,
+            self.widths[i],
             value.width(),
             "width mismatch writing signal {}",
-            m.name
+            self.names[i]
         );
         let r = self.range(id);
         let dst = &mut self.data[r];
@@ -393,11 +413,11 @@ impl SignalPool {
     /// [`Simulator::snapshot`](crate::Simulator::snapshot); dirty-tracking
     /// and access-log bookkeeping are scheduler-transient and not captured.
     pub fn save_values(&self, w: &mut StateWriter) {
-        w.u32(self.meta.len() as u32);
-        for m in &self.meta {
-            w.u32(m.width);
+        w.u32(u32::try_from(self.widths.len()).expect("signal count fits u32 by construction"));
+        for &width in &self.widths {
+            w.u32(width);
         }
-        w.u32(self.data.len() as u32);
+        w.u32(u32::try_from(self.data.len()).expect("limb count fits u32 by construction"));
         for &limb in &self.data {
             w.u64(limb);
         }
@@ -413,17 +433,17 @@ impl SignalPool {
     /// signal count, widths, or limb count.
     pub fn restore_values(&mut self, r: &mut StateReader) -> Result<(), StateError> {
         let n = r.u32()? as usize;
-        if n != self.meta.len() {
+        if n != self.widths.len() {
             return Err(StateError::Mismatch {
-                expected: format!("{} signals", self.meta.len()),
+                expected: format!("{} signals", self.widths.len()),
                 found: format!("{n} signals"),
             });
         }
-        for m in &self.meta {
+        for i in 0..self.widths.len() {
             let width = r.u32()?;
-            if width != m.width {
+            if width != self.widths[i] {
                 return Err(StateError::Mismatch {
-                    expected: format!("signal {} of width {}", m.name, m.width),
+                    expected: format!("signal {} of width {}", self.names[i], self.widths[i]),
                     found: format!("width {width}"),
                 });
             }
@@ -442,8 +462,9 @@ impl SignalPool {
             new_data.push(r.u64()?);
         }
         self.data = new_data;
-        for i in 0..self.meta.len() as u32 {
-            self.mark_changed(SignalId(i));
+        let ids: Vec<SignalId> = self.ids().collect();
+        for id in ids {
+            self.mark_changed(id);
         }
         Ok(())
     }
@@ -548,6 +569,32 @@ mod tests {
         let _ = p.get_bool(a);
         p.start_access_log();
         assert_eq!(p.take_access_log(), vec![]);
+    }
+
+    #[test]
+    fn access_log_and_read_capture_are_independent() {
+        // The two tracking modes share one `track` word; enabling or
+        // stopping one must not disturb the other.
+        let mut p = SignalPool::new();
+        let a = p.add("a", 8);
+        let b = p.add("b", 8);
+        p.start_access_log();
+        p.start_read_capture();
+        let _ = p.get_u64(a);
+        let mut reads = Vec::new();
+        p.take_read_capture(&mut reads);
+        assert_eq!(reads, vec![a]);
+        // The log is still running after the capture stopped.
+        p.set_u64(b, 1);
+        let log = p.take_access_log();
+        assert_eq!(log, vec![SignalAccess::Read(a), SignalAccess::Write(b)]);
+        // And a capture survives the log being taken.
+        p.start_access_log();
+        p.start_read_capture();
+        let _ = p.take_access_log();
+        let _ = p.get_u64(b);
+        p.take_read_capture(&mut reads);
+        assert_eq!(reads, vec![b]);
     }
 
     #[test]

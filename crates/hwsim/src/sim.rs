@@ -1,6 +1,6 @@
 //! The simulation scheduler.
 //!
-//! Two schedulers share the same two-phase cycle semantics (settle to a
+//! Three schedulers share the same two-phase cycle semantics (settle to a
 //! combinational fixed point, then commit the clock edge):
 //!
 //! * [`EvalMode::Full`] — the classic full-broadcast loop: every component's
@@ -8,12 +8,23 @@
 //! * [`EvalMode::Incremental`] (the default) — a sensitivity-driven worklist
 //!   scheduler: each settle pass after the first re-evaluates only the
 //!   components whose *sensitivity set* (the signals their previous `eval`
-//!   actually read) intersects the set of signals that changed. Both modes
-//!   produce bit-identical signal trajectories; see [`Simulator`] for the
-//!   argument.
+//!   actually read) intersects the set of signals that changed.
+//! * [`EvalMode::Compiled`] — a levelized scheduler: the component dataflow
+//!   graph is topologically sorted **once at setup** (see
+//!   [`levelize`](crate::levelize)), so an acyclic steady-state settle is a
+//!   single upstream-first sweep; components whose runtime reads escape the
+//!   compiled order *deoptimize* to the incremental worklist's multi-pass
+//!   fallback for that cycle and trigger a bounded recompile. The clock
+//!   edge is scheduled too: components that declare
+//!   [`Component::tick_reads`] have their ticks (and fault polls) skipped
+//!   on cycles that provably cannot change their state.
+//!
+//! All modes produce bit-identical signal trajectories; see [`Simulator`]
+//! for the argument.
 
 use crate::component::Component;
 use crate::error::SimError;
+use crate::levelize::{self, CompiledSchedule};
 use crate::signal::{SignalAccess, SignalId, SignalPool};
 use crate::state::{StateError, StateReader, StateWriter};
 use crate::vcd::VcdWriter;
@@ -22,7 +33,13 @@ use crate::vcd::VcdWriter;
 const DEFAULT_MAX_EVAL_ITERS: usize = 64;
 
 /// Version tag of the [`Simulator::snapshot`] blob layout.
-const SNAPSHOT_STATE_VERSION: u16 = 1;
+const SNAPSHOT_STATE_VERSION: u16 = 2;
+
+/// How many times a compiled schedule may be rebuilt in response to
+/// observed deoptimizations before the scheduler stops recompiling and
+/// lives with multi-pass settles. Bounds compile churn on designs whose
+/// read sets never stabilize; the schedule stays sound either way.
+const RECOMPILE_BUDGET: u32 = 64;
 
 /// The chronological signal accesses one component made during a single
 /// [`Component::eval`] call, as captured by [`Simulator::access_scan`].
@@ -77,6 +94,14 @@ pub enum EvalMode {
     /// read set intersects the dirty signal set are re-evaluated.
     #[default]
     Incremental,
+    /// Levelized compiled scheduling: the dataflow graph is Tarjan-sorted
+    /// once at setup into an upstream-first sweep order, so steady-state
+    /// settles are single-pass; runtime reads that escape the compiled
+    /// order deoptimize to worklist iteration for that cycle (counted in
+    /// [`SimStats::deopts`]) and trigger a bounded recompile. Clock edges
+    /// of components declaring [`Component::tick_reads`] are skipped when
+    /// provably quiescent.
+    Compiled,
 }
 
 /// Scheduler performance counters, accumulated across [`Simulator::run_cycle`]
@@ -99,6 +124,16 @@ pub struct SimStats {
     /// Dirty-signal observations: the summed sizes of the per-eval changed
     /// signal sets the scheduler propagated.
     pub dirty_signals: u64,
+    /// Compiled-mode deoptimizations: writes that had to wake a component
+    /// at an earlier-or-equal schedule position that was *not* known
+    /// cyclic — i.e. cycles where the compiled order was wrong and the
+    /// settle fell back to worklist iteration. Zero in other modes.
+    pub deopts: u64,
+    /// Compiled-mode schedule builds, including the initial compile.
+    pub recompiles: u64,
+    /// Compiled-mode clock edges skipped as provably quiescent (see
+    /// [`Component::tick_reads`]). Zero in other modes.
+    pub tick_skips: u64,
 }
 
 impl SimStats {
@@ -198,6 +233,39 @@ pub struct Simulator {
     /// Scratch buffers reused across evals to avoid per-eval allocation.
     read_scratch: Vec<SignalId>,
     dirty_scratch: Vec<SignalId>,
+    /// The levelized schedule, while [`EvalMode::Compiled`] is active.
+    /// `None` until the first compiled settle and after any structural
+    /// change (a component was added).
+    schedule: Option<CompiledSchedule>,
+    /// A deopt was observed (or a read/write set grew) since the last
+    /// compile: rebuild the schedule at the next settle entry, budget
+    /// permitting.
+    recompile_pending: bool,
+    /// Remaining [`RECOMPILE_BUDGET`] for the current design.
+    recompile_budget: u32,
+    /// Per-component: a signal in the component's declared
+    /// [`Component::tick_reads`] set changed since its last executed tick.
+    tick_pending: Vec<bool>,
+    /// Per-component: the last *executed* tick reported
+    /// [`Component::tick_quiet`].
+    tick_quiet_cache: Vec<bool>,
+    /// Per-component: the last executed tick reported
+    /// [`Component::tick_changed_state`] (cached at commit so the settle
+    /// entry makes no dynamic calls). Skipped ticks cannot have changed
+    /// state, so their entry is forced `false`.
+    tick_wake: Vec<bool>,
+    /// Per-component: whether the last commit executed the tick (skipped
+    /// edges also skip the fault poll).
+    ticked: Vec<bool>,
+    /// Per-component: remaining edges of the
+    /// [`Component::tick_holdoff`] window cached at the last executed tick
+    /// (`u64::MAX` for an unbounded `None`), decremented per skipped edge.
+    /// An exhausted window forces the next edge to execute even if no
+    /// declared signal changed.
+    tick_holdoff_left: Vec<u64>,
+    /// Per-component [`Component::tick_reads`] declaration flag, copied out
+    /// of the schedule so the commit loop borrows no schedule state.
+    tick_skippable: Vec<bool>,
 }
 
 impl Simulator {
@@ -228,6 +296,11 @@ impl Simulator {
         self.always.push(component.always_eval());
         self.components.push(Box::new(component));
         self.touch_all_next = true;
+        // The compiled schedule describes a fixed component set; adding one
+        // invalidates it (and refreshes the recompile budget for the new
+        // design).
+        self.schedule = None;
+        self.recompile_pending = false;
     }
 
     /// The number of clock cycles executed so far.
@@ -242,8 +315,10 @@ impl Simulator {
     pub fn set_eval_mode(&mut self, mode: EvalMode) {
         self.eval_mode = mode;
         // Sensitivity sets are not maintained while in Full mode, so any
-        // switch invalidates the incremental scheduler's books.
+        // switch invalidates the incremental scheduler's books — and the
+        // compiled scheduler's tick books, which other modes do not keep.
         self.touch_all_next = true;
+        self.invalidate_tick_books();
     }
 
     /// The active settle-phase scheduler.
@@ -290,23 +365,29 @@ impl Simulator {
         match self.eval_mode {
             EvalMode::Full => self.settle_full()?,
             EvalMode::Incremental => self.settle_incremental()?,
+            EvalMode::Compiled => self.settle_compiled()?,
         }
         if let Some(vcd) = &mut self.vcd {
             vcd.sample(self.cycle, &self.pool);
         }
-        // Commit phase: clock edge.
-        for c in self.components.iter_mut() {
-            c.tick(&mut self.pool);
-        }
-        // Fault poll: a component that latched an unrecoverable condition
-        // aborts the run with a typed error instead of panicking or hanging.
-        for c in self.components.iter() {
-            if let Some(detail) = c.fault() {
-                return Err(SimError::ComponentFault {
-                    cycle: self.cycle,
-                    component: c.name().to_string(),
-                    detail,
-                });
+        if self.eval_mode == EvalMode::Compiled {
+            self.commit_compiled()?;
+        } else {
+            // Commit phase: clock edge.
+            for c in self.components.iter_mut() {
+                c.tick(&mut self.pool);
+            }
+            // Fault poll: a component that latched an unrecoverable
+            // condition aborts the run with a typed error instead of
+            // panicking or hanging.
+            for c in self.components.iter() {
+                if let Some(detail) = c.fault() {
+                    return Err(SimError::ComponentFault {
+                        cycle: self.cycle,
+                        component: c.name().to_string(),
+                        detail,
+                    });
+                }
             }
         }
         self.cycle += 1;
@@ -418,11 +499,9 @@ impl Simulator {
                     self.sens_total -= self.sens_reads[i].len();
                     std::mem::swap(&mut self.sens_reads[i], &mut read_scratch);
                     let gen = self.sens_gen[i];
+                    let comp = u32::try_from(i).expect("component count fits u32");
                     for &s in &self.sens_reads[i] {
-                        self.watchers[s.index()].push(Watcher {
-                            comp: i as u32,
-                            gen,
-                        });
+                        self.watchers[s.index()].push(Watcher { comp, gen });
                         self.watcher_entries += 1;
                     }
                 }
@@ -474,6 +553,309 @@ impl Simulator {
         result
     }
 
+    /// The levelized compiled settle.
+    ///
+    /// Entry rebuilds the schedule if it is missing (first compiled cycle,
+    /// or a component was added) or a deopt requested a recompile and the
+    /// budget allows one. The sweep itself visits components in compiled
+    /// order; on an acyclic design with stable read sets every writer runs
+    /// before its readers and the fixed point is reached in **one pass**.
+    ///
+    /// Every eval still runs under read capture: reads outside the compiled
+    /// read set are unioned into the schedule's wake tables immediately, so
+    /// wake propagation stays complete and any stale value is healed by a
+    /// backward wake into the next pass — the extra passes *are* the
+    /// incremental worklist fallback, with the same
+    /// [`SimError::CombinationalLoop`] bound.
+    fn settle_compiled(&mut self) -> Result<(), SimError> {
+        self.ensure_sched_capacity();
+        self.ensure_compiled_capacity();
+        if self.schedule.is_none() {
+            self.recompile_budget = RECOMPILE_BUDGET;
+            self.compile();
+        } else if self.recompile_pending && self.recompile_budget > 0 {
+            self.recompile_budget -= 1;
+            self.compile();
+        }
+        self.recompile_pending = false;
+        let mut sched = self.schedule.take().expect("compiled above");
+        let result = self.settle_compiled_sweep(&mut sched);
+        self.schedule = Some(sched);
+        result
+    }
+
+    /// Builds (or rebuilds) the compiled schedule: one instrumented eval
+    /// per component yields its read/write footprint (unioned with every
+    /// footprint the previous schedule observed at runtime, so recompiles
+    /// only ever see a *larger* graph), then [`levelize::compile_schedule`]
+    /// levelizes the dataflow graph.
+    fn compile(&mut self) {
+        let n = self.components.len();
+        let (mut reads, mut writes) = match self.schedule.take() {
+            Some(old) => (old.reads, old.writes),
+            None => (vec![Vec::new(); n], vec![Vec::new(); n]),
+        };
+        for i in 0..n {
+            self.pool.start_access_log();
+            self.components[i].eval(&mut self.pool);
+            for acc in self.pool.take_access_log() {
+                match acc {
+                    SignalAccess::Read(id) => {
+                        if !reads[i].contains(&id) {
+                            reads[i].push(id);
+                        }
+                    }
+                    SignalAccess::Write(id) => {
+                        if !writes[i].contains(&id) {
+                            writes[i].push(id);
+                        }
+                    }
+                }
+            }
+        }
+        let tick_decls: Vec<Option<Vec<SignalId>>> =
+            self.components.iter().map(|c| c.tick_reads()).collect();
+        let sched = levelize::compile_schedule(self.pool.len(), reads, writes, &tick_decls);
+        self.tick_skippable.clear();
+        self.tick_skippable.extend_from_slice(&sched.tick_skippable);
+        self.schedule = Some(sched);
+        self.stats.recompiles += 1;
+        // The scan ran evals outside read capture and may have changed pool
+        // state: force a full first pass and a full tick round, exactly as
+        // after an access scan.
+        self.touch_all_next = true;
+        self.invalidate_tick_books();
+    }
+
+    /// One compiled settle over `sched` (taken out of `self` so the sweep
+    /// can borrow components and schedule simultaneously).
+    fn settle_compiled_sweep(&mut self, sched: &mut CompiledSchedule) -> Result<(), SimError> {
+        let n = self.components.len();
+        // Signals allocated after the compile have no wake entries yet.
+        if sched.readers.len() < self.pool.len() {
+            sched.readers.resize_with(self.pool.len(), Vec::new);
+            sched.tick_readers.resize_with(self.pool.len(), Vec::new);
+        }
+        for p in &mut self.pending_next {
+            *p = false;
+        }
+        let touch_all = std::mem::replace(&mut self.touch_all_next, false);
+        if touch_all {
+            // The inter-cycle dirty set is discarded below, so every tick
+            // watcher must be conservatively marked.
+            self.pool.clear_changed();
+            for p in &mut self.pending {
+                *p = true;
+            }
+            for t in &mut self.tick_pending {
+                *t = true;
+            }
+        } else {
+            // Harness forces between cycles wake both eval and tick
+            // watchers of the changed signals.
+            let mut inter_cycle = std::mem::take(&mut self.dirty_scratch);
+            self.pool.drain_dirty(&mut inter_cycle);
+            for &s in &inter_cycle {
+                for &w in &sched.readers[s.index()] {
+                    self.pending[w as usize] = true;
+                }
+                for &t in &sched.tick_readers[s.index()] {
+                    self.tick_pending[t as usize] = true;
+                }
+            }
+            self.dirty_scratch = inter_cycle;
+            // Components whose executed clock edge was not quiescent
+            // re-derive their outputs; skipped edges changed nothing.
+            for i in 0..n {
+                if self.always[i] || self.tick_wake[i] {
+                    self.pending[i] = true;
+                }
+            }
+        }
+        let mut read_scratch = std::mem::take(&mut self.read_scratch);
+        let mut dirty_scratch = std::mem::take(&mut self.dirty_scratch);
+        let mut iters = 0;
+        let result = loop {
+            let mut evals = 0u64;
+            let mut changed_this_pass = false;
+            for k in 0..sched.order.len() {
+                let i = sched.order[k] as usize;
+                if !self.pending[i] {
+                    continue;
+                }
+                self.pending[i] = false;
+                self.pool.start_read_capture();
+                self.components[i].eval(&mut self.pool);
+                self.pool.take_read_capture(&mut read_scratch);
+                evals += 1;
+                // Union data-dependent reads into the wake tables at once:
+                // completeness of the wake relation is what makes every
+                // stale read heal on a later pass. Steady state takes the
+                // equality fast path — an unchanged capture is already
+                // fully unioned, so the per-read scans are skipped.
+                if read_scratch != sched.last_reads[i] {
+                    for &s in &read_scratch {
+                        if !sched.reads[i].contains(&s) {
+                            sched.reads[i].push(s);
+                            sched.readers[s.index()].push(
+                                u32::try_from(i)
+                                    .expect("component count fits u32 (checked at compile)"),
+                            );
+                        }
+                    }
+                    std::mem::swap(&mut sched.last_reads[i], &mut read_scratch);
+                }
+                self.pool.drain_dirty(&mut dirty_scratch);
+                if !dirty_scratch.is_empty() {
+                    changed_this_pass = true;
+                    self.stats.dirty_signals += dirty_scratch.len() as u64;
+                    for &s in &dirty_scratch {
+                        if !sched.writes[i].contains(&s) {
+                            // An unobserved write: remember it so the next
+                            // recompile sees the full graph.
+                            sched.writes[i].push(s);
+                        }
+                        for &t in &sched.tick_readers[s.index()] {
+                            self.tick_pending[t as usize] = true;
+                        }
+                        for &w in &sched.readers[s.index()] {
+                            let c = w as usize;
+                            if sched.pos[c] as usize > k {
+                                self.pending[c] = true;
+                            } else {
+                                // A wake against the compiled order. For a
+                                // known-cyclic component this is ordinary
+                                // worklist iteration; otherwise the order
+                                // was wrong: count a deopt and request a
+                                // recompile.
+                                self.pending_next[c] = true;
+                                if !sched.cyclic[c] {
+                                    self.stats.deopts += 1;
+                                    self.recompile_pending = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            self.stats.evals += evals;
+            self.stats.skipped_evals += n as u64 - evals;
+            self.stats.settle_passes += 1;
+            if !changed_this_pass {
+                break Ok(());
+            }
+            iters += 1;
+            if iters >= self.max_eval_iters {
+                break Err(SimError::CombinationalLoop {
+                    cycle: self.cycle,
+                    iterations: self.max_eval_iters,
+                });
+            }
+            // `pending` was fully drained by the sweep (wakes at later
+            // positions were consumed in-pass), so after the swap it is the
+            // all-false buffer for the pass after next.
+            std::mem::swap(&mut self.pending, &mut self.pending_next);
+            for (i, &a) in self.always.iter().enumerate() {
+                if a {
+                    self.pending[i] = true;
+                }
+            }
+        };
+        self.read_scratch = read_scratch;
+        self.dirty_scratch = dirty_scratch;
+        result
+    }
+
+    /// The compiled commit phase: clock edges of components with a declared
+    /// tick read set are skipped when no declared signal changed since
+    /// their last executed tick, that tick mutated nothing beyond local
+    /// time ([`Component::tick_quiet`]), and the component's
+    /// [`Component::tick_holdoff`] window has not expired — by induction
+    /// the skipped edge would do nothing an edge-cheap
+    /// [`Component::tick_elided`] call does not replay. Skipped edges also
+    /// skip the fault poll (a fault is latched state; an idle edge cannot
+    /// newly latch one).
+    fn commit_compiled(&mut self) -> Result<(), SimError> {
+        let n = self.components.len();
+        for i in 0..n {
+            if self.tick_skippable[i]
+                && !self.tick_pending[i]
+                && self.tick_quiet_cache[i]
+                && self.tick_holdoff_left[i] > 0
+            {
+                self.ticked[i] = false;
+                self.tick_wake[i] = false;
+                self.tick_holdoff_left[i] -= 1;
+                self.components[i].tick_elided();
+                self.stats.tick_skips += 1;
+                continue;
+            }
+            self.ticked[i] = true;
+            self.tick_pending[i] = false;
+            let c = &mut self.components[i];
+            c.tick(&mut self.pool);
+            self.tick_quiet_cache[i] = c.tick_quiet();
+            self.tick_holdoff_left[i] = c.tick_holdoff().unwrap_or(u64::MAX);
+            // Poll the settle-wake predicate once, here, instead of once
+            // per component at every settle entry.
+            self.tick_wake[i] = c.tick_changed_state();
+        }
+        for (i, c) in self.components.iter().enumerate() {
+            if !self.ticked[i] {
+                continue;
+            }
+            if let Some(detail) = c.fault() {
+                return Err(SimError::ComponentFault {
+                    cycle: self.cycle,
+                    component: c.name().to_string(),
+                    detail,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Sizes the compiled scheduler's per-component tick books, with
+    /// conservative defaults for new components (tick pending, not quiet,
+    /// wake the settle, not skippable until a compile says otherwise).
+    fn ensure_compiled_capacity(&mut self) {
+        let n = self.components.len();
+        if self.tick_pending.len() < n {
+            self.tick_pending.resize(n, true);
+            self.tick_quiet_cache.resize(n, false);
+            self.tick_wake.resize(n, true);
+            self.ticked.resize(n, true);
+            // Conservative: no holdoff window until an executed tick grants
+            // one (skipping already requires an executed quiet tick first).
+            self.tick_holdoff_left.resize(n, 0);
+        }
+        if self.tick_skippable.len() < n {
+            self.tick_skippable.resize(n, false);
+        }
+    }
+
+    /// Conservatively resets the compiled tick books: every component's
+    /// next clock edge runs and the next settle treats every edge as
+    /// non-quiescent. Called whenever tick state may be stale (mode
+    /// switches, restores, schedule rebuilds).
+    fn invalidate_tick_books(&mut self) {
+        for t in &mut self.tick_pending {
+            *t = true;
+        }
+        for q in &mut self.tick_quiet_cache {
+            *q = false;
+        }
+        for w in &mut self.tick_wake {
+            *w = true;
+        }
+        for t in &mut self.ticked {
+            *t = true;
+        }
+        for h in &mut self.tick_holdoff_left {
+            *h = 0;
+        }
+    }
+
     /// Sizes the scheduler's per-component and per-signal books to the
     /// current design (components and signals may be added between runs).
     fn ensure_sched_capacity(&mut self) {
@@ -502,11 +884,9 @@ impl Simulator {
         }
         for (i, reads) in self.sens_reads.iter().enumerate() {
             let gen = self.sens_gen[i];
+            let comp = u32::try_from(i).expect("component count fits u32");
             for &s in reads {
-                self.watchers[s.index()].push(Watcher {
-                    comp: i as u32,
-                    gen,
-                });
+                self.watchers[s.index()].push(Watcher { comp, gen });
             }
         }
         self.watcher_entries = self.sens_total;
@@ -537,6 +917,7 @@ impl Simulator {
         // The scan ran evals outside read capture and may have changed pool
         // state, so any previously captured sensitivity sets are stale.
         self.touch_all_next = true;
+        self.invalidate_tick_books();
         out
     }
 
@@ -562,8 +943,11 @@ impl Simulator {
         w.u64(self.stats.skipped_evals);
         w.u64(self.stats.settle_passes);
         w.u64(self.stats.dirty_signals);
+        w.u64(self.stats.deopts);
+        w.u64(self.stats.recompiles);
+        w.u64(self.stats.tick_skips);
         self.pool.save_values(&mut w);
-        w.u32(self.components.len() as u32);
+        w.u32(u32::try_from(self.components.len()).expect("component count fits u32"));
         for c in &self.components {
             w.str(c.name());
             let mut cw = StateWriter::new();
@@ -625,6 +1009,9 @@ impl Simulator {
             skipped_evals: r.u64()?,
             settle_passes: r.u64()?,
             dirty_signals: r.u64()?,
+            deopts: r.u64()?,
+            recompiles: r.u64()?,
+            tick_skips: r.u64()?,
         };
         self.pool.restore_values(&mut r)?;
         let n = r.u32()? as usize;
@@ -651,8 +1038,10 @@ impl Simulator {
         self.cycle = cycle;
         self.stats = stats;
         // The restored signal values invalidate every previously captured
-        // sensitivity set, exactly as after an access scan.
+        // sensitivity set, exactly as after an access scan — and the
+        // compiled tick books, which describe the pre-restore trajectory.
         self.touch_all_next = true;
+        self.invalidate_tick_books();
         Ok(())
     }
 
@@ -762,14 +1151,15 @@ mod tests {
         }
     }
 
-    fn both_modes(test: impl Fn(EvalMode)) {
+    fn all_modes(test: impl Fn(EvalMode)) {
         test(EvalMode::Full);
         test(EvalMode::Incremental);
+        test(EvalMode::Compiled);
     }
 
     #[test]
     fn combinational_chain_settles_in_one_cycle() {
-        both_modes(|mode| {
+        all_modes(|mode| {
             let mut sim = Simulator::new();
             sim.set_eval_mode(mode);
             let a = sim.pool_mut().add("a", 8);
@@ -786,7 +1176,7 @@ mod tests {
 
     #[test]
     fn register_delays_by_one_cycle() {
-        both_modes(|mode| {
+        all_modes(|mode| {
             let mut sim = Simulator::new();
             sim.set_eval_mode(mode);
             let d = sim.pool_mut().add("d", 8);
@@ -821,7 +1211,7 @@ mod tests {
 
     #[test]
     fn combinational_loop_is_detected() {
-        both_modes(|mode| {
+        all_modes(|mode| {
             let mut sim = Simulator::new();
             sim.set_eval_mode(mode);
             let y = sim.pool_mut().add("y", 1);
@@ -895,7 +1285,7 @@ mod tests {
 
     #[test]
     fn run_until_succeeds() {
-        both_modes(|mode| {
+        all_modes(|mode| {
             let mut sim = Simulator::new();
             sim.set_eval_mode(mode);
             let d = sim.pool_mut().add("d", 8);
@@ -1049,7 +1439,7 @@ mod tests {
 
     #[test]
     fn snapshot_restore_roundtrip_is_bit_exact() {
-        both_modes(|mode| {
+        all_modes(|mode| {
             let (mut sim, _, q) = snap_build();
             sim.set_eval_mode(mode);
             sim.run(5).unwrap();
@@ -1094,6 +1484,141 @@ mod tests {
             fresh.restore(&bad),
             Err(StateError::UnsupportedVersion { .. })
         ));
+    }
+
+    /// A clock-edge counter that declares its tick reads: counts while
+    /// `en` is high. The compiled scheduler may skip its tick (and does,
+    /// whenever `en` is low and unchanged).
+    struct TickCounter {
+        en: SignalId,
+        ticks: std::rc::Rc<std::cell::Cell<u64>>,
+        quiet: bool,
+    }
+    impl Component for TickCounter {
+        fn name(&self) -> &str {
+            "tickctr"
+        }
+        fn eval(&mut self, _p: &mut SignalPool) {}
+        fn tick(&mut self, p: &mut SignalPool) {
+            if p.get_bool(self.en) {
+                self.ticks.set(self.ticks.get() + 1);
+                self.quiet = false;
+            } else {
+                self.quiet = true;
+            }
+        }
+        fn tick_changed_state(&self) -> bool {
+            false
+        }
+        fn tick_reads(&self) -> Option<Vec<SignalId>> {
+            Some(vec![self.en])
+        }
+        fn tick_quiet(&self) -> bool {
+            self.quiet
+        }
+    }
+
+    #[test]
+    fn compiled_skips_quiescent_ticks_but_never_live_ones() {
+        let mut sim = Simulator::new();
+        sim.set_eval_mode(EvalMode::Compiled);
+        let en = sim.pool_mut().add("en", 1);
+        let ticks = std::rc::Rc::new(std::cell::Cell::new(0));
+        sim.add_component(TickCounter {
+            en,
+            ticks: std::rc::Rc::clone(&ticks),
+            quiet: false,
+        });
+        // Idle: the first edge runs (conservative books), every later edge
+        // is skipped.
+        sim.run(10).unwrap();
+        assert_eq!(ticks.get(), 0, "en low: no counts");
+        assert!(
+            sim.stats().tick_skips >= 8,
+            "idle edges must be skipped: {:?}",
+            sim.stats()
+        );
+        // Raise en: the dirty signal re-arms the tick, which then counts on
+        // every cycle (each executed edge mutates state, so none may skip).
+        sim.pool_mut().set_bool(en, true);
+        sim.run(5).unwrap();
+        assert_eq!(ticks.get(), 5, "every live edge must execute");
+        // Drop en: one more edge observes the low level, then skips resume.
+        sim.pool_mut().set_bool(en, false);
+        let skips_before = sim.stats().tick_skips;
+        sim.run(5).unwrap();
+        assert_eq!(ticks.get(), 5, "no counts after en fell");
+        assert!(sim.stats().tick_skips > skips_before);
+    }
+
+    #[test]
+    fn compiled_tick_skipping_matches_full_oracle() {
+        // The same stimulus through Full and Compiled: identical counts.
+        let run = |mode: EvalMode| {
+            let mut sim = Simulator::new();
+            sim.set_eval_mode(mode);
+            let en = sim.pool_mut().add("en", 1);
+            let ticks = std::rc::Rc::new(std::cell::Cell::new(0));
+            sim.add_component(TickCounter {
+                en,
+                ticks: std::rc::Rc::clone(&ticks),
+                quiet: false,
+            });
+            for c in 0..20u64 {
+                sim.pool_mut().set_bool(en, c % 3 == 0);
+                sim.run_cycle().unwrap();
+            }
+            ticks.get()
+        };
+        assert_eq!(run(EvalMode::Full), run(EvalMode::Compiled));
+    }
+
+    #[test]
+    fn compiled_deopt_falls_back_and_recompiles() {
+        // W is inserted first, M second; with no edges between them the
+        // compiled order puts M before W. Flipping the mux select makes M
+        // read `b` — which W writes *after* M ran — so the settle must
+        // deopt (backward wake), still converge to the right value, and
+        // recompile into the corrected order for later cycles.
+        let mut sim = Simulator::new();
+        sim.set_eval_mode(EvalMode::Compiled);
+        let sel = sim.pool_mut().add("sel", 1);
+        let a = sim.pool_mut().add("a", 8);
+        let x = sim.pool_mut().add("x", 8);
+        let b = sim.pool_mut().add("b", 8);
+        let out = sim.pool_mut().add("out", 8);
+        sim.add_component(Wire { x, y: b });
+        sim.add_component(Mux { sel, a, b, out });
+        sim.pool_mut().set_u64(a, 1);
+        sim.run_cycle().unwrap();
+        assert_eq!(sim.pool().get_u64(out), 1);
+        assert_eq!(sim.stats().deopts, 0);
+        assert_eq!(sim.stats().recompiles, 1);
+
+        // Flip the select and change the upstream value in the same cycle.
+        sim.pool_mut().set_bool(sel, true);
+        sim.pool_mut().set_u64(x, 5);
+        sim.run_cycle().unwrap();
+        assert_eq!(
+            sim.pool().get_u64(out),
+            5,
+            "deopt cycle still settles right"
+        );
+        assert!(sim.stats().deopts >= 1, "stale-order wake must count");
+
+        // The requested recompile reorders W before M: later propagation is
+        // deopt-free.
+        sim.run_cycle().unwrap();
+        assert_eq!(sim.stats().recompiles, 2);
+        let deopts = sim.stats().deopts;
+        sim.pool_mut().set_u64(x, 7);
+        sim.run_cycle().unwrap();
+        assert_eq!(sim.pool().get_u64(out), 7);
+        assert_eq!(
+            sim.stats().deopts,
+            deopts,
+            "recompiled order needs no deopt"
+        );
     }
 
     #[test]

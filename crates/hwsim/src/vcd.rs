@@ -27,7 +27,8 @@ fn vcd_ident(index: usize) -> String {
     let mut n = index;
     let mut out = String::new();
     loop {
-        out.push((b'!' + (n % 94) as u8) as char);
+        let digit = u8::try_from(n % 94).expect("modulo 94 fits u8");
+        out.push((b'!' + digit) as char);
         n /= 94;
         if n == 0 {
             break;

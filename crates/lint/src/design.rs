@@ -12,10 +12,10 @@
 //! an oscillating `eval` necessarily reads the looping signal before
 //! rewriting it.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use vidi_chan::{Channel, Direction};
-use vidi_hwsim::{ComponentAccess, SignalAccess, SignalPool};
+use vidi_hwsim::{ComponentAccess, SignalPool};
 use vidi_trace::ChannelInfo;
 
 use crate::diag::{Certificate, CycleStep, Diagnostic, Severity};
@@ -59,33 +59,9 @@ pub struct DesignSpec {
     pub external: Vec<String>,
 }
 
-/// Dependency edges `(read signal, written signal, component index)` under
-/// the reads-before-a-write approximation, deduplicated, in first-seen
-/// order.
-pub fn dependency_edges(components: &[ComponentAccess]) -> Vec<(usize, usize, usize)> {
-    let mut edges = Vec::new();
-    let mut seen: HashSet<(usize, usize)> = HashSet::new();
-    for (ci, comp) in components.iter().enumerate() {
-        let mut reads: Vec<usize> = Vec::new();
-        for acc in &comp.accesses {
-            match *acc {
-                SignalAccess::Read(id) => {
-                    if !reads.contains(&id.index()) {
-                        reads.push(id.index());
-                    }
-                }
-                SignalAccess::Write(id) => {
-                    for &r in &reads {
-                        if seen.insert((r, id.index())) {
-                            edges.push((r, id.index(), ci));
-                        }
-                    }
-                }
-            }
-        }
-    }
-    edges
-}
+// The reads-before-a-write edge builder now lives next to the compiled
+// scheduler, which levelizes the same graph at simulator setup.
+pub use vidi_hwsim::dependency_edges;
 
 /// Runs every static rule over a design, returning the diagnostics in rule
 /// order (`VL001` first).

@@ -29,7 +29,7 @@
 pub mod config;
 pub mod design;
 pub mod diag;
-pub mod graph;
+pub use vidi_hwsim::graph;
 pub mod hb;
 pub mod target;
 

@@ -33,9 +33,12 @@ echo "── vidi-lint: static design lint + trace-analysis gate ─────
 cargo run --release -q -p vidi-lint -- ci --config scripts/vidi-lint.allow
 
 echo "── bench smoke: scheduler equivalence + evals/cycle gate ───────"
-# Emits BENCH_sim.json and fails on trace divergence between schedulers,
-# <2x eval reduction on half the catalog, or >10% evals/cycle regression
-# against the committed baseline.
+# Emits BENCH_sim.json and fails on trace divergence between the three
+# schedulers (full / incremental / compiled), <2x eval reduction on half
+# the catalog, <2x compiled wall-clock speedup over incremental on half
+# the catalog (with all-zero tick_skips treated as a vacuous-gate
+# failure), or >10% per-mode evals/cycle regression against the
+# committed baseline.
 cargo run --release -q -p vidi-bench --bin bench_sim -- \
     --out BENCH_sim.json --baseline scripts/bench_sim_baseline.json
 

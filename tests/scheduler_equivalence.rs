@@ -1,19 +1,23 @@
 //! Scheduler equivalence suite: the sensitivity-driven incremental
-//! scheduler must be observationally indistinguishable from the full
-//! broadcast scheduler.
+//! scheduler and the levelized compiled scheduler must both be
+//! observationally indistinguishable from the full broadcast scheduler.
 //!
 //! Three layers of evidence, strongest first:
 //!
 //! 1. **Catalog traces** — every catalog application records a
-//!    byte-for-byte identical trace (and cycle count) under both modes.
+//!    byte-for-byte identical trace (and cycle count) under all three
+//!    modes.
 //! 2. **Case-study lockstep** — the buggy and fixed variants of both case
 //!    studies run cycle-by-cycle in lockstep with *every pool signal*
 //!    compared after each cycle, which is strictly stronger than trace
 //!    equality (it also covers unmonitored internal signals).
 //! 3. **Random DAGs** — a proptest builds random combinational/registered
 //!    component graphs (including data-dependent read sets, the case a
-//!    static sensitivity analysis gets wrong) under random stimulus and
-//!    checks the two schedulers never diverge on any signal.
+//!    static schedule gets wrong) under random stimulus and checks the
+//!    three schedulers never diverge on any signal; a deterministic
+//!    companion pins an adversarial DAG that forces the compiled
+//!    scheduler through its deopt-and-recompile path, asserted via
+//!    [`SimStats::deopts`](vidi_repro::hwsim::SimStats).
 
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -28,13 +32,16 @@ use vidi_repro::hwsim::{Component, EvalMode, SignalId, SignalPool, Simulator};
 /// within ~26k cycles.
 const BUDGET: u64 = 2_000_000;
 
+/// Every scheduler backend, reference mode first.
+const MODES: [EvalMode; 3] = [EvalMode::Full, EvalMode::Incremental, EvalMode::Compiled];
+
 // ─────────────────── 1. Catalog: bit-identical traces ──────────────────────
 
 #[test]
 fn catalog_traces_identical_across_schedulers() {
     for &app in AppId::ALL.iter() {
         let mut outcomes = Vec::new();
-        for mode in [EvalMode::Full, EvalMode::Incremental] {
+        for mode in MODES {
             let mut built = build_app(app.setup(Scale::Test, 42), VidiConfig::record());
             built.sim.set_eval_mode(mode);
             let outcome = run_app(built, BUDGET)
@@ -47,25 +54,45 @@ fn catalog_traces_identical_across_schedulers() {
             );
             outcomes.push(outcome);
         }
-        let (full, inc) = (&outcomes[0], &outcomes[1]);
-        assert_eq!(
-            full.cycles,
-            inc.cycles,
-            "{}: cycle counts diverge between schedulers",
-            app.label()
-        );
+        let full = &outcomes[0];
         let t_full = full.trace.as_ref().expect("recording produces a trace");
-        let t_inc = inc.trace.as_ref().expect("recording produces a trace");
-        assert_eq!(
-            t_full.encode(),
-            t_inc.encode(),
-            "{}: recorded traces diverge between schedulers",
-            app.label()
-        );
-        // The incremental run must do real work-skipping, not just match.
+        for (outcome, mode) in outcomes.iter().zip(MODES).skip(1) {
+            assert_eq!(
+                full.cycles,
+                outcome.cycles,
+                "{}: cycle counts diverge between Full and {mode:?}",
+                app.label()
+            );
+            let t = outcome.trace.as_ref().expect("recording produces a trace");
+            assert_eq!(
+                t_full.encode(),
+                t.encode(),
+                "{}: recorded traces diverge between Full and {mode:?}",
+                app.label()
+            );
+        }
+        // Equivalence must come from real work-skipping, not from both
+        // backends silently degenerating to broadcast.
+        let inc = &outcomes[1];
         assert!(
             inc.sim_stats.skipped_evals > 0,
             "{}: incremental scheduler never skipped an eval",
+            app.label()
+        );
+        let compiled = &outcomes[2];
+        assert!(
+            compiled.sim_stats.skipped_evals > 0,
+            "{}: compiled scheduler never skipped an eval",
+            app.label()
+        );
+        assert!(
+            compiled.sim_stats.tick_skips > 0,
+            "{}: compiled scheduler never skipped a quiescent tick",
+            app.label()
+        );
+        assert!(
+            compiled.sim_stats.recompiles >= 1,
+            "{}: compiled scheduler never built a schedule",
             app.label()
         );
     }
@@ -73,45 +100,70 @@ fn catalog_traces_identical_across_schedulers() {
 
 // ─────────────────── 2. Case studies: per-signal lockstep ──────────────────
 
-/// Runs the same design under both schedulers in lockstep for `cycles`
-/// cycles, comparing every pool signal after each cycle. `force` is called
-/// on both pools before each cycle to apply identical external stimulus.
+/// Runs the same design under each `(mode, simulator)` pair in lockstep for
+/// `cycles` cycles, comparing every pool signal of every simulator against
+/// the first after each cycle. `force` is called on every pool before each
+/// cycle to apply identical external stimulus. Returns the simulators for
+/// post-hoc stats inspection.
 fn assert_lockstep(
     name: &str,
-    mut full: Simulator,
-    mut inc: Simulator,
+    mut sims: Vec<(EvalMode, Simulator)>,
     cycles: u64,
     mut force: impl FnMut(u64, &mut SignalPool),
-) {
-    full.set_eval_mode(EvalMode::Full);
-    inc.set_eval_mode(EvalMode::Incremental);
-    let ids: Vec<SignalId> = full.pool().ids().collect();
+) -> Vec<(EvalMode, Simulator)> {
+    for (mode, sim) in sims.iter_mut() {
+        sim.set_eval_mode(*mode);
+    }
+    let ids: Vec<SignalId> = sims[0].1.pool().ids().collect();
     for c in 0..cycles {
-        force(c, full.pool_mut());
-        force(c, inc.pool_mut());
-        let rf = full.run_cycle();
-        let ri = inc.run_cycle();
-        match (&rf, &ri) {
-            (Ok(()), Ok(())) => {}
-            (Err(ef), Err(ei)) => {
-                assert_eq!(
-                    ef.to_string(),
-                    ei.to_string(),
-                    "{name}: cycle {c}: schedulers fail differently"
-                );
-                return;
+        let mut results = Vec::new();
+        for (_, sim) in sims.iter_mut() {
+            force(c, sim.pool_mut());
+            results.push(sim.run_cycle());
+        }
+        match &results[0] {
+            Ok(()) => {
+                for ((mode, _), r) in sims.iter().zip(&results).skip(1) {
+                    assert!(
+                        r.is_ok(),
+                        "{name}: cycle {c}: {mode:?} failed where Full succeeded: {r:?}"
+                    );
+                }
             }
-            _ => panic!("{name}: cycle {c}: one scheduler failed, the other not: full={rf:?} incremental={ri:?}"),
+            Err(e0) => {
+                for ((mode, _), r) in sims.iter().zip(&results).skip(1) {
+                    match r {
+                        Err(e) => assert_eq!(
+                            e0.to_string(),
+                            e.to_string(),
+                            "{name}: cycle {c}: {mode:?} fails differently from Full"
+                        ),
+                        Ok(()) => {
+                            panic!("{name}: cycle {c}: {mode:?} succeeded where Full failed: {e0}")
+                        }
+                    }
+                }
+                return sims;
+            }
         }
         for &id in &ids {
-            assert_eq!(
-                full.pool().get(id),
-                inc.pool().get(id),
-                "{name}: cycle {c}: signal {:?} diverges between schedulers",
-                full.pool().name(id)
-            );
+            let reference = sims[0].1.pool().get(id);
+            for (mode, sim) in sims.iter().skip(1) {
+                assert_eq!(
+                    reference,
+                    sim.pool().get(id),
+                    "{name}: cycle {c}: signal {:?} diverges between Full and {mode:?}",
+                    sims[0].1.pool().name(id)
+                );
+            }
         }
     }
+    sims
+}
+
+/// Builds one simulator per scheduler mode from a deterministic builder.
+fn all_mode_sims(mut build: impl FnMut() -> Simulator) -> Vec<(EvalMode, Simulator)> {
+    MODES.iter().map(|&m| (m, build())).collect()
 }
 
 #[test]
@@ -120,22 +172,23 @@ fn case_studies_lockstep_identical() {
         ("echo_fifo.buggy", FrameFifoMode::Buggy, false),
         ("echo_fifo.fixed", FrameFifoMode::Fixed, true),
     ] {
-        let build = || {
+        let sims = all_mode_sims(|| {
             build_echo_fifo(&EchoFifoConfig {
                 fifo_mode,
                 respect_strobes,
                 vidi: VidiConfig::record(),
                 ..EchoFifoConfig::default()
             })
-        };
-        assert_lockstep(variant, build().sim, build().sim, 2_500, |_, _| {});
+            .sim
+        });
+        assert_lockstep(variant, sims, 2_500, |_, _| {});
     }
     for (variant, mode) in [
         ("echo_atop.buggy", AtopFilterMode::Buggy),
         ("echo_atop.fixed", AtopFilterMode::Fixed),
     ] {
-        let build = || build_echo_atop(mode, VidiConfig::record(), 4, 9);
-        assert_lockstep(variant, build().sim, build().sim, 2_500, |_, _| {});
+        let sims = all_mode_sims(|| build_echo_atop(mode, VidiConfig::record(), 4, 9).sim);
+        assert_lockstep(variant, sims, 2_500, |_, _| {});
     }
 }
 
@@ -164,7 +217,9 @@ impl Component for XorGate {
 
 /// Combinational mux with a **data-dependent read set**: depending on the
 /// low bit of `sel` it reads only `a` or only `b`. This is the shape that
-/// breaks static sensitivity analyses and exercises per-eval re-capture.
+/// breaks static sensitivity analyses and static schedules alike: it
+/// exercises per-eval re-capture in the incremental scheduler and the
+/// deopt fallback in the compiled one.
 struct MuxGate {
     sel: SignalId,
     a: SignalId,
@@ -262,6 +317,57 @@ fn build_dag(n_inputs: usize, nodes: &[NodeSpec]) -> (Simulator, Vec<SignalId>) 
     (sim, signals[..n_inputs].to_vec())
 }
 
+/// An adversarial DAG that forces the compiled scheduler to deopt: the mux
+/// is compiled while `sel` selects the primary input, so no dependency edge
+/// to the xor is observed and the schedule orders the mux *before* the xor
+/// (edge-free components levelize in reverse insertion order). Flipping
+/// `sel` in the same cycle as a data change makes the mux read the xor's
+/// output before the xor has run — a backward wake, the deopt case — yet
+/// all three schedulers must still converge to identical signals.
+#[test]
+fn compiled_deopt_path_is_exercised_and_stays_equivalent() {
+    let nodes = [
+        // n0 = xor(in0, in1)
+        NodeSpec {
+            kind: 0,
+            s0: 0,
+            s1: 1,
+            s2: 0,
+        },
+        // n1 = mux(sel=in1, a=in0, b=n0)
+        NodeSpec {
+            kind: 1,
+            s0: 1,
+            s1: 0,
+            s2: 2,
+        },
+    ];
+    let sims = all_mode_sims(|| build_dag(2, &nodes).0);
+    let inputs = build_dag(2, &nodes).1;
+    let sims = assert_lockstep("deopt_dag", sims, 4, |c, pool| match c {
+        // Compile with sel even: the mux's read of n0 stays unobserved.
+        0 => {}
+        // Flip sel and change data in one cycle: backward wake → deopt.
+        1 => {
+            pool.set_u64(inputs[0], 5);
+            pool.set_u64(inputs[1], 1);
+        }
+        // Post-recompile cycles run on the corrected schedule.
+        _ => pool.set_u64(inputs[0], 5 + c),
+    });
+    let (_, compiled) = &sims[2];
+    assert!(
+        compiled.stats().deopts >= 1,
+        "adversarial DAG never took the deopt path: {:?}",
+        compiled.stats()
+    );
+    assert!(
+        compiled.stats().recompiles >= 2,
+        "deopt never triggered a recompile: {:?}",
+        compiled.stats()
+    );
+}
+
 proptest! {
     #[test]
     fn random_dags_never_diverge(
@@ -274,12 +380,12 @@ proptest! {
         ),
         stimulus in vec(vec((any::<usize>(), any::<u64>()), 0..4), 1..40),
     ) {
-        let (full, inputs) = build_dag(n_inputs, &nodes);
-        let (inc, _) = build_dag(n_inputs, &nodes);
+        let sims = all_mode_sims(|| build_dag(n_inputs, &nodes).0);
+        let (_, inputs) = build_dag(n_inputs, &nodes);
         let cycles = stimulus.len() as u64;
-        assert_lockstep("random_dag", full, inc, cycles, |c, pool| {
-            // Identical harness-forced stimulus on both pools: this is the
-            // inter-cycle dirty path the incremental scheduler must catch.
+        assert_lockstep("random_dag", sims, cycles, |c, pool| {
+            // Identical harness-forced stimulus on all pools: this is the
+            // inter-cycle dirty path every scheduler must catch.
             for (idx, val) in &stimulus[c as usize] {
                 pool.set_u64(inputs[idx % inputs.len()], val & 0xffff);
             }
