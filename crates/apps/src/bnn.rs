@@ -7,7 +7,7 @@
 
 use crate::batch::BatchComputeKernel;
 use crate::harness::{AppSetup, ThreadSpec};
-use crate::util::{host_mem_check, prng_bytes, streaming_script};
+use crate::util::{burst_noise, host_mem_check, prng_bytes, streaming_script};
 
 /// Input vector width in bits.
 pub const IN_BITS: usize = 1024;
@@ -98,10 +98,25 @@ fn cost(input: &[u8]) -> u64 {
     samples * ops / 512
 }
 
-/// Builds the BNN workload: `n_samples` random binary vectors.
+/// Generates `n` binarized samples as a streaming-inference batch:
+/// consecutive sensor windows of one mostly-static scene, perturbed by an
+/// occasional localized bit burst (real inference streams are temporally
+/// correlated — most windows repeat verbatim, change is an event).
+pub fn sample_stream(n: u32, seed: u64) -> Vec<u8> {
+    let base = prng_bytes(seed ^ 0xb17, SAMPLE_BYTES);
+    let len = n as usize * SAMPLE_BYTES;
+    let noise = burst_noise(seed ^ 0x5a00, len, 2 * SAMPLE_BYTES, 2);
+    noise
+        .iter()
+        .enumerate()
+        .map(|(i, m)| base[i % SAMPLE_BYTES] ^ m)
+        .collect()
+}
+
+/// Builds the BNN workload: `n_samples` binarized sensor windows.
 pub fn setup(n_samples: u32, seed: u64) -> AppSetup {
     let weight_seed = 0xb44_u64;
-    let input = prng_bytes(seed, n_samples as usize * SAMPLE_BYTES);
+    let input = sample_stream(n_samples, seed);
     let weights = BnnWeights::generate(weight_seed);
     let expected = classify_all(&weights, &input);
     let len = input.len() as u32;

@@ -89,7 +89,7 @@ impl AppId {
             AppId::Bnn => bnn::setup(if bench { 60 } else { 4 }, seed),
             AppId::DigitRec => digit_rec::setup(if bench { 200 } else { 8 }, seed),
             AppId::FaceDetect => face_detect::setup(if bench { 3 } else { 1 }, seed),
-            AppId::SpamFilter => spam_filter::setup(if bench { 600 } else { 16 }, seed),
+            AppId::SpamFilter => spam_filter::setup(if bench { 600 } else { 48 }, seed),
             AppId::OpticalFlow => optical_flow::setup(if bench { 10 } else { 1 }, seed),
             AppId::Sssp => sssp::setup(
                 if bench { 300 } else { 24 },
@@ -97,7 +97,7 @@ impl AppId {
                 seed,
             ),
             AppId::Sha => sha256::setup(if bench { 96_000 } else { 2048 }, seed),
-            AppId::MobileNet => mobilenet::setup(if bench { 80 } else { 2 }, seed),
+            AppId::MobileNet => mobilenet::setup(if bench { 80 } else { 4 }, seed),
         }
     }
 }

@@ -113,6 +113,31 @@ impl Kernel for DramDmaKernel {
     }
 }
 
+/// DMA verification payload: even tasks carry a repeating 8-byte fill
+/// pattern, odd tasks carry a descriptor ring — 64-byte descriptors with
+/// an advancing buffer address and constant control words. These are the
+/// two buffer shapes real DMA traffic has (memtest fills and queue rings);
+/// uniform noise is neither.
+fn task_payload(task: u32, seed: u64, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len + 64);
+    if task.is_multiple_of(2) {
+        let pat = prng_bytes(seed.wrapping_add(u64::from(task)), 8);
+        while out.len() < len {
+            out.extend_from_slice(&pat);
+        }
+    } else {
+        let base = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (u64::from(task) << 32);
+        let control = prng_bytes(seed ^ u64::from(task), 48);
+        for desc in 0..len.div_ceil(64) {
+            out.extend_from_slice(&base.wrapping_add(desc as u64 * 4096).to_le_bytes());
+            out.extend_from_slice(&4096u64.to_le_bytes());
+            out.extend_from_slice(&control);
+        }
+    }
+    out.truncate(len);
+    out
+}
+
 /// Builds the DRAM DMA workload: `tasks` sequential copy tasks of
 /// `task_bytes` each, with readback verification after every task.
 pub fn setup(tasks: u32, task_bytes: u32, completion: DmaCompletion, seed: u64) -> AppSetup {
@@ -131,7 +156,7 @@ pub fn setup(tasks: u32, task_bytes: u32, completion: DmaCompletion, seed: u64) 
         // for some tasks — the razor-thin window in which the polling race
         // manifests (§3.6).
         let this_task = task_bytes + 512 * (t % 5);
-        let payload = prng_bytes(seed.wrapping_add(t as u64), this_task as usize);
+        let payload = task_payload(t, seed, this_task as usize);
         ops.push(HostOp::DmaWrite {
             iface: "pcis",
             addr: 0,

@@ -149,12 +149,14 @@ impl Component for PingPong {
         self.dram.load_contents(r)?;
         self.bursts = r
             .seq(|r| {
-                let aw = AxFields::unpack(&r.bits()?);
-                let beats = r.seq(|r| Ok(WFields::unpack(&r.bits()?)))?;
+                let aw = AxFields::unpack(&r.bits_expect(91, "AW")?);
+                let beats = r.seq(|r| Ok(WFields::unpack(&r.bits_expect(593, "W")?)))?;
                 Ok((aw, beats))
             })?
             .into();
-        self.orphans = r.seq(|r| Ok(WFields::unpack(&r.bits()?)))?.into();
+        self.orphans = r
+            .seq(|r| Ok(WFields::unpack(&r.bits_expect(593, "W")?)))?
+            .into();
         *self.pongs_acked.borrow_mut() = r.u64()?;
         self.next_id = r.u16()?;
         Ok(())

@@ -114,10 +114,33 @@ fn cost(input: &[u8]) -> u64 {
     images * ((IMG * IMG) as u64 + windows * (FEATS as u64 * 2 + 3))
 }
 
+/// Generates one synthetic 64×64 scene: a uniform background with a
+/// handful of uniform rectangles (the id-photo / document shape integral
+/// image cascades are built for — real camera frames are piecewise-flat,
+/// not uniform noise).
+pub fn test_image(seed: u64) -> Vec<u8> {
+    let r = prng_bytes(seed ^ 0xface_0000, 8 + 8 * 6);
+    let mut img = vec![40 + r[0] % 80; IMG * IMG];
+    for k in 0..6 {
+        let p = &r[8 + k * 8..8 + (k + 1) * 8];
+        let x0 = (p[0] as usize) % (IMG - 8);
+        let y0 = (p[1] as usize) % (IMG - 8);
+        let w = ((p[2] as usize) % 28 + 4).min(IMG - x0);
+        let h = ((p[3] as usize) % 28 + 4).min(IMG - y0);
+        let level = p[4];
+        for row in img[y0 * IMG..].chunks_mut(IMG).take(h) {
+            row[x0..x0 + w].fill(level);
+        }
+    }
+    img
+}
+
 /// Builds the FaceD workload over `n_images` synthetic images.
 pub fn setup(n_images: u32, seed: u64) -> AppSetup {
     let cascade_seed = 0xface_u64;
-    let input = prng_bytes(seed, n_images as usize * IMG * IMG);
+    let input: Vec<u8> = (0..n_images)
+        .flat_map(|i| test_image(seed.wrapping_add(u64::from(i))))
+        .collect();
     let c = cascade(cascade_seed);
     let expected: Vec<u8> = input
         .chunks_exact(IMG * IMG)

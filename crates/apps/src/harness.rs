@@ -103,6 +103,14 @@ pub struct RunOutcome {
     pub peak_buffered_bytes: u64,
     /// Trace chunks flushed to the store backend during the run.
     pub chunks_flushed: u64,
+    /// Exact length of the recorded chunk stream in bytes — the compressed
+    /// length when the run records through a block codec, so the ratio of
+    /// [`RunOutcome::trace_bytes`] to this is the achieved compression.
+    pub bytes_written: u64,
+    /// Recorded stream bytes per workload cycle — the storage bandwidth the
+    /// run actually consumed (compression lowers it; see
+    /// [`RunOutcome::bytes_written`]).
+    pub bytes_per_cycle: f64,
     /// Poll reads issued by the CPU side.
     pub polls: u64,
     /// The run's output check passed.
@@ -293,6 +301,12 @@ pub fn run_app(mut built: BuiltApp, max_cycles: u64) -> Result<RunOutcome, SimEr
         backpressure_cycles: stats.backpressure_cycles,
         peak_buffered_bytes: stats.peak_buffered_bytes,
         chunks_flushed: stats.chunks_flushed,
+        bytes_written: stats.bytes_written,
+        bytes_per_cycle: if cycles == 0 {
+            0.0
+        } else {
+            stats.bytes_written as f64 / cycles as f64
+        },
         polls: built.cpu.iter().map(|h| h.borrow().polls_issued).sum(),
         output_ok,
         host_mem: built.host_mem,

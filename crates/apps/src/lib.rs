@@ -54,7 +54,10 @@ pub use harness::{
 pub use kernel::{Kernel, KernelStep};
 pub use lint_targets::{lint_targets, LintTarget};
 pub use shell::{regs, AccelShell};
-pub use util::{bytes_to_beats, host_mem_check, prng_bytes, streaming_script, OUT_ADDR};
+pub use util::{
+    burst_noise, bytes_to_beats, host_mem_check, prng_bytes, streaming_script, telemetry_bytes,
+    OUT_ADDR,
+};
 
 pub use dram_dma::{setup as dma_setup, DmaCompletion, DramDmaKernel, DMA_DST};
 pub use echo_atop::{build_echo_atop, run_echo_atop, EchoAtopBuilt, EchoAtopOutcome, PONG_ADDR};

@@ -177,9 +177,10 @@ fn classify_internal(weights: &MnetWeights, image: &[u8]) -> (Vec<i32>, u8) {
 }
 
 /// Generates `n` structured test images (a bright rectangle of varying
-/// size/position over a dim textured background). Uniform random noise is
-/// the wrong workload for a convolutional network: global average pooling
-/// averages unstructured noise into near-identical features.
+/// size/position over a dim background with sparse sensor speckle).
+/// Uniform random noise is the wrong workload for a convolutional network:
+/// global average pooling averages unstructured noise into near-identical
+/// features — real sensor frames are flat fields plus isolated speckle.
 pub fn test_images(n: u32, seed: u64) -> Vec<u8> {
     let mut out = Vec::with_capacity(n as usize * IMAGE_BYTES);
     for i in 0..n {
@@ -192,10 +193,13 @@ pub fn test_images(n: u32, seed: u64) -> Vec<u8> {
         for y in 0..IMG {
             for x in 0..IMG {
                 let inside = x.abs_diff(cx) < r && y.abs_diff(cy) < r;
+                let n = noise[y * IMG + x];
                 let v = if inside {
                     bright
+                } else if n < 3 {
+                    28 + n * 24 // isolated hot pixel
                 } else {
-                    20 + (noise[y * IMG + x] % 30)
+                    20
                 };
                 out.push(v);
             }

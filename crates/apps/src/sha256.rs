@@ -9,7 +9,7 @@
 
 use crate::batch::BatchComputeKernel;
 use crate::harness::{AppSetup, ThreadSpec};
-use crate::util::{host_mem_check, prng_bytes, streaming_script};
+use crate::util::{host_mem_check, streaming_script, telemetry_bytes};
 
 const K: [u32; 64] = [
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
@@ -97,9 +97,10 @@ fn cost(input: &[u8]) -> u64 {
     ((input.len() as u64 + 64) / 64 + 1) * 68
 }
 
-/// Builds the SHA workload: hash `n_bytes` of random data.
+/// Builds the SHA workload: integrity-hash `n_bytes` of telemetry log —
+/// the integrity-checking use case SHA accelerators serve.
 pub fn setup(n_bytes: u32, seed: u64) -> AppSetup {
-    let input = prng_bytes(seed, n_bytes as usize);
+    let input = telemetry_bytes(seed, n_bytes as usize);
     let expected = sha256(&input).to_vec();
     let len = input.len() as u32;
     AppSetup {

@@ -604,13 +604,17 @@ impl Component for AccelShell {
         self.ocl_blocked_reads = r.seq(StateReader::u32)?.into();
         self.pcis_writes = r
             .seq(|r| {
-                let aw = AxFields::unpack(&r.bits()?);
+                let aw = AxFields::unpack(&r.bits_expect(91, "AW")?);
                 let got = r.usize()?;
                 Ok((aw, got))
             })?
             .into();
-        self.pcis_orphans = r.seq(|r| Ok(WFields::unpack(&r.bits()?)))?.into();
-        self.pcis_blocked_reads = r.seq(|r| Ok(AxFields::unpack(&r.bits()?)))?.into();
+        self.pcis_orphans = r
+            .seq(|r| Ok(WFields::unpack(&r.bits_expect(593, "W")?)))?
+            .into();
+        self.pcis_blocked_reads = r
+            .seq(|r| Ok(AxFields::unpack(&r.bits_expect(91, "AR")?)))?
+            .into();
         self.fpga_dram.load_contents(r)?;
         self.input_fifo = r
             .seq(|r| {

@@ -62,17 +62,32 @@ fn cost(input: &[u8]) -> u64 {
 }
 
 /// Generates `n` packed training samples with a linearly separable-ish
-/// structure: label = sign of feature 0 + noise.
+/// structure: label = sign of feature 0 + noise. Samples have the sparse
+/// bag-of-words shape of real spam features: a dense head of common-token
+/// counts, a mostly-zero tail of rare tokens.
 pub fn samples(n: u32, seed: u64) -> Vec<u8> {
     let raw = prng_bytes(seed, n as usize * SAMPLE_BYTES);
-    let mut out = raw;
-    for s in out.chunks_exact_mut(SAMPLE_BYTES) {
-        let f0 = s[0] as i8 as i32;
-        let noise = (s[1] as i8 as i32) / 4;
-        s[FEATURES] = ((f0 + noise) > 0) as u8;
-        for b in s[FEATURES + 1..].iter_mut() {
-            *b = 0;
+    let mut out = vec![0u8; n as usize * SAMPLE_BYTES];
+    for (s, r) in out
+        .chunks_exact_mut(SAMPLE_BYTES)
+        .zip(raw.chunks_exact(SAMPLE_BYTES))
+    {
+        // Common tokens: the first 8 features are usually present.
+        for i in 0..8 {
+            if r[i] % 4 != 0 {
+                s[i] = (r[i] / 8).wrapping_sub(16); // small signed counts
+            }
         }
+        // Rare tokens: the tail is overwhelmingly zero.
+        for i in 8..FEATURES {
+            if r[i] % 64 == 0 {
+                s[i] = r[i].wrapping_add(7) / 16;
+            }
+        }
+        s[0] = r[0]; // the informative feature stays dense
+        let f0 = s[0] as i8 as i32;
+        let noise = (r[1] as i8 as i32) / 4;
+        s[FEATURES] = ((f0 + noise) > 0) as u8;
     }
     out
 }

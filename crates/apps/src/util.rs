@@ -93,6 +93,65 @@ pub fn prng_bytes(seed: u64, len: usize) -> Vec<u8> {
         .collect()
 }
 
+/// Deterministic telemetry-log synthesis: 64-byte records with a constant
+/// magic, an incrementing sequence number, a monotone timestamp, eight
+/// slowly-drifting sensor words and an occasional event burst. This is the
+/// byte-level shape of the log and sensor streams accelerators actually
+/// ingest — consecutive records share almost every byte, unlike uniform
+/// noise which no realistic input resembles.
+pub fn telemetry_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let n_records = len.div_ceil(64);
+    let rnd = prng_bytes(seed ^ 0x7e1e, n_records * 16);
+    let mut sensors = [0u32; 8];
+    for (i, s) in sensors.iter_mut().enumerate() {
+        *s = 1000 + 37 * i as u32;
+    }
+    let mut out = Vec::with_capacity(n_records * 64);
+    for i in 0..n_records {
+        let r = &rnd[i * 16..(i + 1) * 16];
+        out.extend_from_slice(b"VIDITLM\0");
+        out.extend_from_slice(&(i as u32).to_le_bytes());
+        out.extend_from_slice(&[0u8; 4]);
+        out.extend_from_slice(&(0x0600_0000_0000u64 + 7 * i as u64).to_le_bytes());
+        for (j, s) in sensors.iter_mut().enumerate() {
+            // Each sensor drifts by a small signed step once in a while.
+            if r[j].is_multiple_of(8) {
+                *s = s.wrapping_add((r[j] >> 3) as u32 % 7).wrapping_sub(3);
+            }
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        // Status word: idle most records, a 4-byte event burst otherwise.
+        if r[8].is_multiple_of(16) {
+            out.extend_from_slice(&r[9..13]);
+            out.extend_from_slice(&[0u8; 4]);
+        } else {
+            out.extend_from_slice(&[0u8; 8]);
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+/// Burst noise: zero everywhere except one short cluster of entropy bytes
+/// per `window`-byte lane — the shape of localized frame-to-frame change
+/// (a flipped sensor region, a moved edge), as opposed to uniform noise.
+pub fn burst_noise(seed: u64, len: usize, window: usize, burst: usize) -> Vec<u8> {
+    assert!(window >= burst && burst > 0);
+    let n_windows = len.div_ceil(window);
+    let rnd = prng_bytes(seed ^ 0xb0b0, n_windows * (burst + 1));
+    let mut out = vec![0u8; len];
+    for w in 0..n_windows {
+        let r = &rnd[w * (burst + 1)..(w + 1) * (burst + 1)];
+        let at = w * window + (r[0] as usize) % (window - burst + 1);
+        for (k, &b) in r[1..].iter().enumerate() {
+            if let Some(slot) = out.get_mut(at + k) {
+                *slot = b;
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +175,34 @@ mod tests {
         assert_ne!(a, c);
         // Not constant.
         assert!(a.iter().any(|&x| x != a[0]));
+    }
+
+    #[test]
+    fn telemetry_records_are_structured() {
+        let t = telemetry_bytes(9, 64 * 20);
+        assert_eq!(t.len(), 64 * 20);
+        assert_eq!(&t[..7], b"VIDITLM");
+        assert_eq!(&t[64..71], b"VIDITLM");
+        // Consecutive records share most bytes: that is the whole point.
+        let same = t[..64]
+            .iter()
+            .zip(&t[64..128])
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(
+            same > 48,
+            "records should be near-duplicates, {same}/64 equal"
+        );
+        assert_eq!(telemetry_bytes(9, 100).len(), 100);
+    }
+
+    #[test]
+    fn burst_noise_is_sparse_and_clustered() {
+        let n = burst_noise(5, 640, 64, 3);
+        let nonzero = n.iter().filter(|&&b| b != 0).count();
+        assert!(nonzero <= 3 * 10, "at most one burst per window");
+        assert!(n.iter().any(|&b| b != 0), "bursts do land");
+        assert_eq!(burst_noise(5, 640, 64, 3), n, "deterministic");
     }
 
     #[test]

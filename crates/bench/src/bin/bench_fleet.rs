@@ -52,13 +52,20 @@ fn main() -> ExitCode {
     std::fs::write(&out_path, doc.pretty()).expect("write BENCH_fleet.json");
 
     println!(
-        "{:<18} {:>10} {:>14} {:>8} {:>8} {:>6}",
-        "tenant", "outcome", "cause", "cycles", "packets", "ident"
+        "{:<18} {:>10} {:>14} {:>8} {:>8} {:>10} {:>10} {:>6}",
+        "tenant", "outcome", "cause", "cycles", "packets", "codec", "bytes", "ident"
     );
     for r in &report.rows {
         println!(
-            "{:<18} {:>10} {:>14} {:>8} {:>8} {:>6}",
-            r.name, r.outcome, r.cause, r.cycles, r.packets, r.bit_identical
+            "{:<18} {:>10} {:>14} {:>8} {:>8} {:>10} {:>10} {:>6}",
+            r.name,
+            r.outcome,
+            r.cause,
+            r.cycles,
+            r.packets,
+            r.codec,
+            r.bytes_written,
+            r.bit_identical
         );
     }
     println!(

@@ -14,17 +14,20 @@
 //! Exit status is non-zero if any traces diverge between schedulers, if
 //! fewer than half the catalog reaches a 2x eval reduction, if fewer than
 //! half reaches a 2x compiled cycles/sec speedup over incremental (or no
-//! compiled run ever skipped a clock edge — the vacuous-gate guard), or if
-//! `--baseline` is given and a deterministic evals/cycle counter regressed
-//! more than 10 % on any app.
+//! compiled run ever skipped a clock edge — the vacuous-gate guard), if any
+//! codec stream fails to round-trip or fewer than half the catalog reaches
+//! a 3x best-codec compression ratio, or if `--baseline` is given and a
+//! deterministic counter (evals/cycle, compression ratio) regressed more
+//! than 10 % on any app.
 
 use std::process::ExitCode;
 
 use vidi_apps::Scale;
 use vidi_bench::json::Json;
 use vidi_bench::sim_bench::{
-    buffer_bound_failures, compare_to_baseline, compiled_speedup_failures, measure_catalog,
-    rows_with_2x_compiled_speedup, rows_with_2x_reduction, to_json,
+    buffer_bound_failures, compare_to_baseline, compiled_speedup_failures, compression_failures,
+    measure_catalog, rows_with_2x_compiled_speedup, rows_with_2x_reduction,
+    rows_with_3x_compression, to_json,
 };
 use vidi_core::VidiConfig;
 
@@ -63,7 +66,7 @@ fn main() -> ExitCode {
     std::fs::write(&out_path, doc.pretty()).expect("write BENCH_sim.json");
 
     println!(
-        "{:<14} {:>10} {:>12} {:>12} {:>9} {:>9} {:>8} {:>10}",
+        "{:<14} {:>10} {:>12} {:>12} {:>9} {:>9} {:>8} {:>9} {:>8} {:>10}",
         "app",
         "cycles",
         "evals/cyc F",
@@ -71,11 +74,13 @@ fn main() -> ExitCode {
         "reduction",
         "compiled",
         "deopts",
+        "bytes/cyc",
+        "ratio",
         "identical"
     );
     for r in &rows {
         println!(
-            "{:<14} {:>10} {:>12.2} {:>12.2} {:>8.2}x {:>8.2}x {:>8} {:>10}",
+            "{:<14} {:>10} {:>12.2} {:>12.2} {:>8.2}x {:>8.2}x {:>8} {:>9.2} {:>7.2}x {:>10}",
             r.app,
             r.cycles,
             r.evals_per_cycle_full,
@@ -83,6 +88,8 @@ fn main() -> ExitCode {
             r.eval_reduction,
             r.compiled_speedup,
             r.deopts,
+            r.bytes_per_cycle,
+            r.compression_ratio,
             r.traces_identical
         );
     }
@@ -108,6 +115,12 @@ fn main() -> ExitCode {
     // Compiled throughput gate: the levelized scheduler must earn its keep
     // in wall-clock terms, and do so through real tick scheduling.
     for f in compiled_speedup_failures(&rows) {
+        eprintln!("FAIL: {f}");
+        ok = false;
+    }
+    // Compression gate: every codec round-trips, and the best codec earns
+    // a 3x bandwidth reduction on at least half the catalog.
+    for f in compression_failures(&rows) {
         eprintln!("FAIL: {f}");
         ok = false;
     }
@@ -140,9 +153,12 @@ fn main() -> ExitCode {
         }
     }
     println!(
-        "wrote {out_path} ({with_2x}/{} apps at >=2x eval reduction, {}/{} at >=2x compiled speedup)",
+        "wrote {out_path} ({with_2x}/{} apps at >=2x eval reduction, {}/{} at >=2x compiled \
+         speedup, {}/{} at >=3x compression)",
         rows.len(),
         rows_with_2x_compiled_speedup(&rows),
+        rows.len(),
+        rows_with_3x_compression(&rows),
         rows.len()
     );
     if ok {

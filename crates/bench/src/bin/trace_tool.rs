@@ -5,14 +5,29 @@
 //! trace_tool validate <reference> <validation>  # divergence detection (§3.6)
 //! trace_tool mutate <trace> <moved-ch> <moved-idx> <before-ch> <before-idx> <out>
 //!                                               # reorder end events (§5.3)
+//! trace_tool convert <in> <out> --codec <name>  # transcode a chunk stream
+//! trace_tool sample <out> [--app LABEL] [--seed N] [--codec NAME]
+//!                                               # record a catalog app to a stream
 //! ```
 //!
-//! Channel arguments accept names (`pcim.w`) or layout indices.
+//! `convert` transcodes a framed chunk stream between block codecs (`raw`,
+//! `delta-rle`, `xor-dict`, `columnar`) packet by packet. Only the
+//! certified prefix is transcoded — a torn input yields a clean, fully
+//! certified output of exactly the packets the input's CRC trailers vouch
+//! for — and the streaming-sentinel header declaration is preserved, so a
+//! converted stream is indistinguishable from one recorded under the
+//! target codec. Channel arguments accept names (`pcim.w`) or layout
+//! indices.
 
 use std::process::ExitCode;
 
-use vidi_host::{load_trace, save_trace};
-use vidi_trace::{compare, reorder_end_before, Divergence, EndEventRef, Trace};
+use vidi_apps::{build_app, AppId, Scale};
+use vidi_core::VidiConfig;
+use vidi_host::{file_chunk_source, load_trace, save_trace, FileChunkSink};
+use vidi_trace::{
+    compare, reorder_end_before, CodecId, Divergence, EndEventRef, Trace, TraceSink, TraceSource,
+    DEFAULT_CHUNK_WORDS,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,12 +35,19 @@ fn main() -> ExitCode {
         Some("dump") if args.len() == 2 => dump(&args[1]),
         Some("validate") if args.len() == 3 => validate(&args[1], &args[2]),
         Some("mutate") if args.len() == 7 => mutate(&args[1..]),
+        Some("convert") if args.len() >= 3 => convert(&args[1..]),
+        Some("sample") if args.len() >= 2 => sample(&args[1..]),
         _ => {
             eprintln!("usage:");
             eprintln!("  trace_tool dump <trace>");
             eprintln!("  trace_tool validate <reference> <validation>");
             eprintln!(
                 "  trace_tool mutate <trace> <moved-ch> <moved-idx> <before-ch> <before-idx> <out>"
+            );
+            eprintln!("  trace_tool convert <in> <out> --codec <name> [--chunk-words N]");
+            eprintln!(
+                "  trace_tool sample <out> [--app LABEL] [--seed N] [--codec NAME] \
+                 [--chunk-words N]"
             );
             return ExitCode::from(2);
         }
@@ -129,6 +151,148 @@ fn validate(ref_path: &str, val_path: &str) -> Result<ExitCode, Box<dyn std::err
     } else {
         ExitCode::FAILURE
     })
+}
+
+/// Parses trailing `--flag value` pairs shared by `convert` and `sample`.
+struct StreamOpts {
+    codec: Option<CodecId>,
+    chunk_words: usize,
+    app: AppId,
+    seed: u64,
+}
+
+fn stream_opts(args: &[String]) -> Result<StreamOpts, String> {
+    let mut opts = StreamOpts {
+        codec: None,
+        chunk_words: DEFAULT_CHUNK_WORDS,
+        app: AppId::Sha,
+        seed: 42,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let val = it
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .as_str();
+        match flag.as_str() {
+            "--codec" => {
+                opts.codec = Some(CodecId::from_name(val).ok_or_else(|| {
+                    format!(
+                        "unknown codec '{val}' (expected one of {})",
+                        CodecId::ALL.map(CodecId::name).join(", ")
+                    )
+                })?);
+            }
+            "--chunk-words" => {
+                opts.chunk_words = val.parse().map_err(|_| "--chunk-words takes an integer")?;
+            }
+            "--app" => {
+                opts.app = AppId::ALL
+                    .into_iter()
+                    .find(|a| a.label().eq_ignore_ascii_case(val))
+                    .ok_or_else(|| {
+                        format!(
+                            "unknown app '{val}' (expected one of {})",
+                            AppId::ALL.map(AppId::label).join(", ")
+                        )
+                    })?;
+            }
+            "--seed" => {
+                opts.seed = val.parse().map_err(|_| "--seed takes an integer")?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn convert(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let opts = stream_opts(&args[2..])?;
+    let codec = opts.codec.ok_or("convert requires --codec <name>")?;
+    let shared = file_chunk_source(&args[0])?;
+    let mut src = TraceSource::open(shared, opts.chunk_words)?;
+    let certified = src.certified_packets();
+    if !src.is_complete() {
+        eprintln!(
+            "warning: input is torn (certified {certified} of {} declared packets); \
+             transcoding the certified prefix",
+            src.declared_packets()
+        );
+    }
+    // Preserve the header declaration: a streaming recording stays
+    // sentinel-declared (readers trust the word trailers), a finalized
+    // whole-trace image declares its exact packet count.
+    let layout = src.layout().clone();
+    let sink = FileChunkSink::create(&args[1])?;
+    let mut sink = if src.declared_streaming() {
+        TraceSink::with_codec(
+            sink,
+            &layout,
+            src.records_output_content(),
+            opts.chunk_words,
+            codec,
+        )
+    } else {
+        TraceSink::with_codec_declared(
+            sink,
+            &layout,
+            src.records_output_content(),
+            certified,
+            opts.chunk_words,
+            codec,
+        )
+    };
+    let mut packets = 0u64;
+    while let Some(p) = src.next_packet()? {
+        sink.push(&p)?;
+        packets += 1;
+    }
+    sink.finalize()?;
+    let wire_bytes = sink.bytes_written();
+    let raw_bytes = wire_bytes + sink.take_compression_savings();
+    println!(
+        "transcoded {packets} packets {} -> {}: {} B on the wire ({} B raw payload, {:.2}x)",
+        src.codec().name(),
+        codec.name(),
+        wire_bytes,
+        raw_bytes,
+        raw_bytes as f64 / wire_bytes.max(1) as f64,
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn sample(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let opts = stream_opts(&args[1..])?;
+    let codec = opts.codec.unwrap_or(CodecId::Raw);
+    let mut built = build_app(
+        opts.app.setup(Scale::Test, opts.seed),
+        VidiConfig {
+            trace_chunk_words: opts.chunk_words,
+            ..VidiConfig::record()
+        }
+        .with_trace_codec(codec),
+    );
+    let handles = built.cpu.clone();
+    built.sim.run_until(
+        move |_| handles.iter().all(|h| h.borrow().finished),
+        2_000_000,
+        "all CPU threads to finish",
+    )?;
+    built.sim.run(4096)?;
+    let image = built
+        .shim
+        .recorded_stream_image()
+        .ok_or("recording produced no stream image")?;
+    std::fs::write(&args[0], &image)?;
+    println!(
+        "recorded {} (seed {}) through {}: {} B -> {}",
+        opts.app.label(),
+        opts.seed,
+        codec.name(),
+        image.len(),
+        args[0]
+    );
+    Ok(ExitCode::SUCCESS)
 }
 
 fn mutate(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {

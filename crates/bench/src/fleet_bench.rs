@@ -30,13 +30,19 @@ use crate::json::{obj, Json};
 const WEDGE_BUDGET: u64 = 20_000;
 
 /// The canonical tenant mix: four clean, four faulted, every fault plan
-/// distinct. Kept in one place so the bench and its baseline stay honest
-/// about what "the eight-tenant soak" means.
+/// distinct. Two clean tenants record through compressed codecs so the soak
+/// exercises codec negotiation under fleet admission (compressed tenants
+/// reserve and account the same buffer bound; the ratio shows up in
+/// `bytes_written`). Kept in one place so the bench and its baseline stay
+/// honest about what "the eight-tenant soak" means.
 pub fn tenant_mix() -> Vec<SessionSpec> {
+    use vidi_trace::CodecId;
     vec![
         SessionSpec::record("clean-sha", AppId::Sha, 7),
-        SessionSpec::record("clean-digitrec", AppId::DigitRec, 11),
-        SessionSpec::record("clean-spamfilter", AppId::SpamFilter, 13),
+        SessionSpec::record("clean-digitrec", AppId::DigitRec, 11)
+            .with_trace_codec(CodecId::Columnar),
+        SessionSpec::record("clean-spamfilter", AppId::SpamFilter, 13)
+            .with_trace_codec(CodecId::XorDict),
         SessionSpec::record("clean-dma", AppId::Dma, 21),
         // Injected engine panic mid-run; small chunks so a prefix survives.
         SessionSpec {
@@ -107,6 +113,11 @@ pub struct FleetBenchRow {
     pub cycles: u64,
     /// Cycle packets committed to the tenant's trace image.
     pub packets: u64,
+    /// Wire name of the chunk codec the tenant recorded through.
+    pub codec: String,
+    /// Encoded bytes the tenant's sink pushed to the store (0 for failed
+    /// tenants, whose reports are not retained).
+    pub bytes_written: u64,
     /// For clean tenants: trace image bit-identical to the solo run.
     /// Vacuously true for faulted tenants.
     pub bit_identical: bool,
@@ -202,9 +213,11 @@ pub fn measure_fleet(workers: usize) -> FleetBenchReport {
         .zip(&ids)
         .map(|(spec, &id)| {
             let state = fleet.state_of(id).expect("session exists");
-            let (cycles, packets) = match &state {
-                SessionState::Completed(r) | SessionState::Evicted(r) => (r.cycles, r.packets),
-                _ => (0, 0),
+            let (cycles, packets, bytes_written) = match &state {
+                SessionState::Completed(r) | SessionState::Evicted(r) => {
+                    (r.cycles, r.packets, r.bytes_written)
+                }
+                _ => (0, 0, 0),
             };
             let bit_identical = if spec.faults.is_none() {
                 let prefix = fleet.fetch_trace(id).expect("trace fetchable");
@@ -218,6 +231,8 @@ pub fn measure_fleet(workers: usize) -> FleetBenchReport {
                 cause: cause_label(&state).to_string(),
                 cycles,
                 packets,
+                codec: spec.trace_codec.name().to_string(),
+                bytes_written,
                 bit_identical,
             }
         })
@@ -250,12 +265,14 @@ pub fn to_json(report: &FleetBenchReport, workers: usize) -> Json {
                 ("cause", Json::Str(r.cause.clone())),
                 ("cycles", Json::Num(r.cycles as f64)),
                 ("packets", Json::Num(r.packets as f64)),
+                ("codec", Json::Str(r.codec.clone())),
+                ("bytes_written", Json::Num(r.bytes_written as f64)),
                 ("bit_identical", Json::Bool(r.bit_identical)),
             ])
         })
         .collect();
     obj([
-        ("schema", Json::Str("vidi-bench-fleet/1".into())),
+        ("schema", Json::Str("vidi-bench-fleet/2".into())),
         ("workers", Json::Num(workers as f64)),
         ("tenants", Json::Arr(tenants)),
         ("wall_ms", Json::Num(report.wall_ms)),
@@ -375,6 +392,15 @@ mod tests {
         let mix = tenant_mix();
         assert_eq!(mix.len(), 8, "eight tenants");
         assert_eq!(mix.iter().filter(|s| s.faults.is_some()).count(), 4);
+        // At least two clean tenants record through compressed codecs, and
+        // at least one clean tenant stays raw (codec-negotiation coverage).
+        let clean: Vec<_> = mix.iter().filter(|s| s.faults.is_none()).collect();
+        let compressed = clean
+            .iter()
+            .filter(|s| s.trace_codec != vidi_trace::CodecId::Raw)
+            .count();
+        assert!(compressed >= 2, "compressed clean tenants: {compressed}");
+        assert!(compressed < clean.len(), "keep a raw clean tenant");
         // The four fault schedules are pairwise distinct.
         let plans: Vec<_> = mix.iter().filter_map(|s| s.faults).collect();
         for (i, a) in plans.iter().enumerate() {

@@ -12,11 +12,13 @@
 //! throughput, so `bench_sim` additionally gates its cycles/sec speedup
 //! over the incremental scheduler.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use vidi_apps::{build_app, run_app, AppId, RunOutcome, Scale};
-use vidi_core::VidiConfig;
+use vidi_core::{ReplayInput, VidiConfig};
 use vidi_hwsim::EvalMode;
+use vidi_trace::{CodecId, SharedChunks, Trace};
 
 use crate::json::{obj, Json};
 use crate::MAX_CYCLES;
@@ -67,6 +69,23 @@ pub struct SimBenchRow {
     /// Trace chunks the incremental recording run flushed to its store
     /// backend.
     pub chunks_flushed: u64,
+    /// Finalized raw (uncompressed) stream length in bytes — the codec
+    /// sweep's denominator-free reference.
+    pub bytes_written: u64,
+    /// Raw stream bytes per workload cycle — the storage bandwidth an
+    /// uncompressed recording of this app consumes.
+    pub bytes_per_cycle: f64,
+    /// `raw bytes / delta-rle bytes` for the same recording.
+    pub compression_ratio_delta_rle: f64,
+    /// `raw bytes / xor-dict bytes` for the same recording.
+    pub compression_ratio_xor_dict: f64,
+    /// `raw bytes / columnar bytes` for the same recording.
+    pub compression_ratio_columnar: f64,
+    /// Best ratio across the three compressed codecs — what CI gates.
+    pub compression_ratio: f64,
+    /// Every codec's stream decoded to the reference packets and replayed
+    /// to completion.
+    pub codec_roundtrip_ok: bool,
 }
 
 /// Runs one recorded workload twice and keeps the better wall time (the
@@ -93,6 +112,33 @@ fn timed_record(app: AppId, scale: Scale, seed: u64, mode: EvalMode) -> (RunOutc
         }
     }
     best.expect("at least one timed run")
+}
+
+/// Records `app` through `codec` (incremental scheduler), returning the
+/// finalized chunk-stream image — compressed on the wire for block codecs
+/// — and the trace it decodes to.
+fn record_stream(app: AppId, scale: Scale, seed: u64, codec: CodecId) -> (Vec<u8>, Trace) {
+    let mut built = build_app(
+        app.setup(scale, seed),
+        VidiConfig::record().with_trace_codec(codec),
+    );
+    let handles = built.cpu.clone();
+    built
+        .sim
+        .run_until(
+            move |_| handles.iter().all(|h| h.borrow().finished),
+            MAX_CYCLES,
+            "all CPU threads to finish",
+        )
+        .expect("codec recording completes");
+    built.sim.run(4096).expect("flush margin");
+    (
+        built
+            .shim
+            .recorded_stream_image()
+            .expect("recording yields a stream image"),
+        built.shim.recorded_trace().expect("trace materializes"),
+    )
 }
 
 /// Measures one application: record under all three schedulers, compare
@@ -131,6 +177,25 @@ pub fn measure_app(app: AppId, scale: Scale, seed: u64) -> SimBenchRow {
     run_app(replay, MAX_CYCLES).expect("replay completes");
     let replay_wall_ms = start.elapsed().as_secs_f64() * 1e3;
 
+    // Codec sweep: record the same workload through every block codec and
+    // check each compressed stream decodes to the reference packets *and*
+    // replays to completion straight from its compressed chunks — the
+    // record+replay-through-every-codec contract, measured per app.
+    let (raw_image, raw_trace) = record_stream(app, scale, seed, CodecId::Raw);
+    let mut codec_roundtrip_ok = raw_trace.encode() == reference;
+    let mut ratios = [0.0f64; 3];
+    for (slot, &codec) in ratios.iter_mut().zip(CodecId::COMPRESSED.iter()) {
+        let (image, trace) = record_stream(app, scale, seed, codec);
+        *slot = raw_image.len() as f64 / image.len().max(1) as f64;
+        codec_roundtrip_ok &= trace.encode() == reference;
+        let chunks: SharedChunks = Arc::new(image);
+        let replay = build_app(
+            app.setup(scale, seed),
+            VidiConfig::replay(ReplayInput::from_chunks(chunks)),
+        );
+        codec_roundtrip_ok &= run_app(replay, MAX_CYCLES).is_ok();
+    }
+
     let epc_full = full.sim_stats.evals_per_cycle();
     let epc_inc = inc.sim_stats.evals_per_cycle();
     let cycles_per_sec = inc.sim_stats.cycles as f64 / (wall_ms_incremental / 1e3).max(1e-9);
@@ -158,6 +223,13 @@ pub fn measure_app(app: AppId, scale: Scale, seed: u64) -> SimBenchRow {
             .max(inc.peak_buffered_bytes)
             .max(comp.peak_buffered_bytes),
         chunks_flushed: inc.chunks_flushed,
+        bytes_written: raw_image.len() as u64,
+        bytes_per_cycle: raw_image.len() as f64 / (inc.cycles as f64).max(1.0),
+        compression_ratio_delta_rle: ratios[0],
+        compression_ratio_xor_dict: ratios[1],
+        compression_ratio_columnar: ratios[2],
+        compression_ratio: ratios.iter().copied().fold(0.0, f64::max),
+        codec_roundtrip_ok,
     }
 }
 
@@ -200,6 +272,41 @@ pub fn compiled_speedup_failures(rows: &[SimBenchRow]) -> Vec<String> {
         failures.push(
             "no compiled run skipped a clock edge — the speedup gate never \
              exercised compiled tick scheduling"
+                .to_string(),
+        );
+    }
+    failures
+}
+
+/// Number of rows whose best-codec compression ratio is at least 3x.
+pub fn rows_with_3x_compression(rows: &[SimBenchRow]) -> usize {
+    rows.iter().filter(|r| r.compression_ratio >= 3.0).count()
+}
+
+/// The compression CI gate over a measured catalog: every codec's stream
+/// must round-trip (decode to the reference packets and replay), at least
+/// half the apps must reach a 3x best-codec ratio, and the numbers must
+/// come from real recordings — at least one app must have written stream
+/// bytes, or the ratio gate is vacuous.
+///
+/// Returns the list of violations, empty when the gate passes.
+pub fn compression_failures(rows: &[SimBenchRow]) -> Vec<String> {
+    let mut failures: Vec<String> = rows
+        .iter()
+        .filter(|r| !r.codec_roundtrip_ok)
+        .map(|r| format!("{}: a codec stream failed to round-trip", r.app))
+        .collect();
+    let with_3x = rows_with_3x_compression(rows);
+    if with_3x * 2 < rows.len() {
+        failures.push(format!(
+            "only {with_3x}/{} apps reach a 3x best-codec compression ratio",
+            rows.len()
+        ));
+    }
+    if !rows.is_empty() && rows.iter().all(|r| r.bytes_written == 0) {
+        failures.push(
+            "no catalog recording wrote stream bytes — the compression gate \
+             never exercised the codec path"
                 .to_string(),
         );
     }
@@ -271,11 +378,27 @@ pub fn to_json(rows: &[SimBenchRow], scale: Scale) -> Json {
                     Json::Num(r.peak_buffered_bytes as f64),
                 ),
                 ("chunks_flushed", Json::Num(r.chunks_flushed as f64)),
+                ("bytes_written", Json::Num(r.bytes_written as f64)),
+                ("bytes_per_cycle", Json::Num(r.bytes_per_cycle)),
+                (
+                    "compression_ratio_delta_rle",
+                    Json::Num(r.compression_ratio_delta_rle),
+                ),
+                (
+                    "compression_ratio_xor_dict",
+                    Json::Num(r.compression_ratio_xor_dict),
+                ),
+                (
+                    "compression_ratio_columnar",
+                    Json::Num(r.compression_ratio_columnar),
+                ),
+                ("compression_ratio", Json::Num(r.compression_ratio)),
+                ("codec_roundtrip_ok", Json::Bool(r.codec_roundtrip_ok)),
             ])
         })
         .collect();
     obj([
-        ("schema", Json::Str("vidi-bench-sim/2".into())),
+        ("schema", Json::Str("vidi-bench-sim/3".into())),
         (
             "scale",
             Json::Str(
@@ -298,6 +421,10 @@ pub fn to_json(rows: &[SimBenchRow], scale: Scale) -> Json {
                     "apps_with_2x_compiled_speedup",
                     Json::Num(rows_with_2x_compiled_speedup(rows) as f64),
                 ),
+                (
+                    "apps_with_3x_compression",
+                    Json::Num(rows_with_3x_compression(rows) as f64),
+                ),
                 ("total_apps", Json::Num(rows.len() as f64)),
             ]),
         ),
@@ -306,19 +433,26 @@ pub fn to_json(rows: &[SimBenchRow], scale: Scale) -> Json {
 
 /// Compares a current `BENCH_sim.json` document against a committed
 /// baseline on the **deterministic** counters (`evals_per_cycle_incremental`
-/// and, when the baseline carries it, `evals_per_cycle_compiled`, per app).
-/// Wall-clock fields are never gated here.
+/// and, when the baseline carries them, `evals_per_cycle_compiled` and
+/// `compression_ratio`, per app). Wall-clock fields are never gated here.
 ///
 /// # Errors
 ///
-/// Returns the list of regressions: apps missing from the current document
-/// or whose evals/cycle grew by more than `tolerance` (e.g. `0.10`).
+/// Returns the list of regressions: apps missing from the current document,
+/// whose evals/cycle grew by more than `tolerance` (e.g. `0.10`), or whose
+/// best-codec compression ratio shrank by more than `tolerance`.
 pub fn compare_to_baseline(
     current: &Json,
     baseline: &Json,
     tolerance: f64,
 ) -> Result<(), Vec<String>> {
-    const GATED: [&str; 2] = ["evals_per_cycle_incremental", "evals_per_cycle_compiled"];
+    /// `(metric, lower_is_better)` — a shrinking ratio is a regression just
+    /// like growing evals/cycle.
+    const GATED: [(&str, bool); 3] = [
+        ("evals_per_cycle_incremental", true),
+        ("evals_per_cycle_compiled", true),
+        ("compression_ratio", false),
+    ];
     let mut failures = Vec::new();
     let rows = |doc: &Json| -> Vec<(String, Vec<(String, f64)>)> {
         doc.get("apps")
@@ -329,7 +463,7 @@ pub fn compare_to_baseline(
                 let app = r.get("app")?.as_str()?.to_string();
                 let metrics = GATED
                     .iter()
-                    .filter_map(|&m| Some((m.to_string(), r.get(m)?.as_f64()?)))
+                    .filter_map(|&(m, _)| Some((m.to_string(), r.get(m)?.as_f64()?)))
                     .collect();
                 Some((app, metrics))
             })
@@ -341,16 +475,27 @@ pub fn compare_to_baseline(
             failures.push(format!("{app}: present in baseline but not measured"));
             continue;
         };
-        for (metric, base_epc) in base_metrics {
-            let Some((_, cur_epc)) = cur_metrics.iter().find(|(m, _)| *m == metric) else {
+        for (metric, base_val) in base_metrics {
+            let Some((_, cur_val)) = cur_metrics.iter().find(|(m, _)| *m == metric) else {
                 failures.push(format!("{app}: baseline metric {metric} not measured"));
                 continue;
             };
-            let limit = base_epc * (1.0 + tolerance);
-            if *cur_epc > limit {
+            let lower_is_better = GATED
+                .iter()
+                .find(|(m, _)| *m == metric)
+                .is_some_and(|(_, l)| *l);
+            let regressed = if lower_is_better {
+                let limit = base_val * (1.0 + tolerance);
+                *cur_val > limit
+            } else {
+                let limit = base_val * (1.0 - tolerance);
+                *cur_val < limit
+            };
+            if regressed {
                 failures.push(format!(
-                    "{app}: {metric} regressed {base_epc:.2} -> {cur_epc:.2} \
-                     (limit {limit:.2})"
+                    "{app}: {metric} regressed {base_val:.2} -> {cur_val:.2} \
+                     (tolerance {tolerance:.0}%)",
+                    tolerance = tolerance * 100.0
                 ));
             }
         }
@@ -400,7 +545,63 @@ mod tests {
             traces_identical: true,
             peak_buffered_bytes: 0,
             chunks_flushed: 0,
+            bytes_written: 0,
+            bytes_per_cycle: 0.0,
+            compression_ratio_delta_rle: 0.0,
+            compression_ratio_xor_dict: 0.0,
+            compression_ratio_columnar: 0.0,
+            compression_ratio: 0.0,
+            codec_roundtrip_ok: true,
         }
+    }
+
+    #[test]
+    fn compression_gate_flags_weak_broken_and_vacuous_runs() {
+        let mk = |app: &str, ratio: f64, bytes: u64, ok: bool| {
+            let mut r = row(app);
+            r.compression_ratio = ratio;
+            r.bytes_written = bytes;
+            r.codec_roundtrip_ok = ok;
+            r
+        };
+        // Half the catalog at 3x over real bytes: gate passes.
+        assert!(
+            compression_failures(&[mk("a", 3.5, 900, true), mk("b", 1.5, 800, true)]).is_empty()
+        );
+        // Under half at 3x: flagged.
+        let fails = compression_failures(&[mk("a", 2.9, 900, true), mk("b", 1.5, 800, true)]);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("0/2 apps reach a 3x"));
+        // A broken round-trip is always a failure, even at a great ratio.
+        let fails = compression_failures(&[mk("a", 5.0, 900, false), mk("b", 4.0, 800, true)]);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("a: a codec stream failed to round-trip"));
+        // Ratios over zero written bytes are vacuous.
+        let fails = compression_failures(&[mk("a", 5.0, 0, true), mk("b", 4.0, 0, true)]);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("never exercised the codec path"));
+    }
+
+    #[test]
+    fn baseline_comparison_gates_compression_ratio_downward() {
+        let mk_doc = |ratio: f64| {
+            obj([(
+                "apps",
+                Json::Arr(vec![obj([
+                    ("app", Json::Str("a".into())),
+                    ("evals_per_cycle_incremental", Json::Num(10.0)),
+                    ("compression_ratio", Json::Num(ratio)),
+                ])]),
+            )])
+        };
+        let base = mk_doc(4.0);
+        // Holding or improving the ratio: ok.
+        assert_eq!(compare_to_baseline(&mk_doc(4.0), &base, 0.10), Ok(()));
+        assert_eq!(compare_to_baseline(&mk_doc(5.0), &base, 0.10), Ok(()));
+        // Shrinking beyond tolerance: flagged by name.
+        let err = compare_to_baseline(&mk_doc(3.0), &base, 0.10).unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert!(err[0].contains("a: compression_ratio regressed"));
     }
 
     #[test]

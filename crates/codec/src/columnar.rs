@@ -1,0 +1,219 @@
+//! Codec 3: columnar transpose of the block.
+//!
+//! Instead of interleaving channels packet-by-packet, the block stores one
+//! bit column per input (its start bits across all packets) and per channel
+//! (its end bits), then one contiguous content stream per channel,
+//! dictionary-compressed with the same XOR+MTF scheme as codec 2. Keeping a
+//! channel's words adjacent maximizes dictionary hits and gives per-channel
+//! replay and parallel verification cache locality.
+//!
+//! Wire form: `varint(len) zrle(columns) sections…` where `columns` is
+//! `(n_inputs + n_channels) × ceil(n/8)` bytes of bit columns (start
+//! columns first), and each content-carrying channel contributes
+//! `varint(n_tokens) tokens varint(len) zrle(residues)` in layout order.
+
+use crate::dict::{DictDecoder, DictEncoder};
+use crate::schema::{bit, items_of, set_bit, walk_packets, PacketSchema};
+use crate::vint::{read_len, write_varint, zrle_decode, zrle_encode};
+use crate::CodecError;
+
+/// Encodes a block.
+pub fn encode(schema: &PacketSchema, raw: &[u8], n_packets: u32) -> Result<Vec<u8>, CodecError> {
+    let n = n_packets as usize;
+    let col = n.div_ceil(8);
+    let n_in = schema.n_inputs();
+    let n_ch = schema.n_channels();
+    let mut columns = vec![0u8; (n_in + n_ch) * col];
+    let mut values: Vec<Vec<u8>> = vec![Vec::new(); n_ch];
+    walk_packets(schema, raw, n_packets, |p, view| {
+        for i in 0..n_in {
+            if bit(view.starts, i) {
+                set_bit(&mut columns[i * col..(i + 1) * col], p);
+            }
+        }
+        for c in 0..n_ch {
+            if bit(view.ends, c) {
+                set_bit(&mut columns[(n_in + c) * col..(n_in + c + 1) * col], p);
+            }
+        }
+        for (c, bytes) in &view.items {
+            values[*c].extend_from_slice(bytes);
+        }
+    })?;
+
+    let mut out = Vec::new();
+    let cols_rle = zrle_encode(&columns);
+    write_varint(&mut out, cols_rle.len() as u64);
+    out.extend_from_slice(&cols_rle);
+    for (c, channel) in values.iter().enumerate() {
+        if !schema.carries_content(c) {
+            continue;
+        }
+        let width = schema.width(c);
+        let mut coder = DictEncoder::new(width);
+        let mut tokens = Vec::new();
+        let mut residues = Vec::new();
+        if width > 0 {
+            for value in channel.chunks_exact(width) {
+                coder.push(value, &mut tokens, &mut residues);
+            }
+        }
+        write_varint(&mut out, tokens.len() as u64);
+        out.extend_from_slice(&tokens);
+        let rr = zrle_encode(&residues);
+        write_varint(&mut out, rr.len() as u64);
+        out.extend_from_slice(&rr);
+    }
+    Ok(out)
+}
+
+/// Decodes a block.
+pub fn decode(
+    schema: &PacketSchema,
+    enc: &[u8],
+    n_packets: u32,
+    raw_len: usize,
+) -> Result<Vec<u8>, CodecError> {
+    let n = n_packets as usize;
+    let col = n.div_ceil(8);
+    let n_in = schema.n_inputs();
+    let n_ch = schema.n_channels();
+
+    let mut pos = 0;
+    let cols_len = read_len(enc, &mut pos)?;
+    let cols_rle = enc.get(pos..pos + cols_len).ok_or(CodecError::Truncated)?;
+    pos += cols_len;
+    let columns = zrle_decode(cols_rle, (n_in + n_ch) * col)?;
+
+    // How many content items each channel carries: popcount of the column
+    // that gates its content (start column for inputs, end column for
+    // recorded outputs).
+    let items_in_channel = |c: usize| -> usize {
+        let idx = if schema.is_input(c) {
+            schema_input_bit(schema, c)
+        } else {
+            n_in + c
+        };
+        let column = &columns[idx * col..(idx + 1) * col];
+        (0..n).filter(|&p| bit(column, p)).count()
+    };
+
+    // Decode each channel's value stream.
+    let mut channel_values: Vec<Vec<Vec<u8>>> = vec![Vec::new(); n_ch];
+    for (c, slot) in channel_values.iter_mut().enumerate() {
+        if !schema.carries_content(c) {
+            continue;
+        }
+        let width = schema.width(c);
+        let expect_items = if width > 0 { items_in_channel(c) } else { 0 };
+        let n_tokens = read_len(enc, &mut pos)?;
+        if n_tokens != expect_items {
+            return Err(CodecError::Corrupt(
+                "channel token count disagrees with column",
+            ));
+        }
+        let tokens = enc.get(pos..pos + n_tokens).ok_or(CodecError::Truncated)?;
+        pos += n_tokens;
+        let residue_len = tokens
+            .iter()
+            .filter(|&&t| DictDecoder::is_literal(t))
+            .count()
+            * width;
+        let rr_len = read_len(enc, &mut pos)?;
+        let rr = enc.get(pos..pos + rr_len).ok_or(CodecError::Truncated)?;
+        pos += rr_len;
+        let residues = zrle_decode(rr, residue_len)?;
+        let mut coder = DictDecoder::new(width);
+        let mut rpos = 0;
+        let mut vals = Vec::with_capacity(n_tokens);
+        for &t in tokens {
+            vals.push(coder.next(t, &residues, &mut rpos)?);
+        }
+        *slot = vals;
+    }
+    if pos != enc.len() {
+        return Err(CodecError::Corrupt("trailing bytes after channel sections"));
+    }
+
+    // Re-assemble the row-major raw stream.
+    let sb = schema.starts_bytes();
+    let eb = schema.ends_bytes();
+    let mut cursors = vec![0usize; n_ch];
+    let mut out = Vec::with_capacity(raw_len);
+    for p in 0..n {
+        let mut starts = vec![0u8; sb];
+        for i in 0..n_in {
+            if bit(&columns[i * col..(i + 1) * col], p) {
+                set_bit(&mut starts, i);
+            }
+        }
+        let mut ends = vec![0u8; eb];
+        for c in 0..n_ch {
+            if bit(&columns[(n_in + c) * col..(n_in + c + 1) * col], p) {
+                set_bit(&mut ends, c);
+            }
+        }
+        out.extend_from_slice(&starts);
+        out.extend_from_slice(&ends);
+        for (c, width) in items_of(schema, &starts, &ends) {
+            if width == 0 {
+                continue;
+            }
+            let value = channel_values[c]
+                .get(cursors[c])
+                .ok_or(CodecError::Corrupt("channel value stream exhausted"))?;
+            cursors[c] += 1;
+            out.extend_from_slice(value);
+        }
+    }
+    Ok(out)
+}
+
+/// Start-bit index of input channel `c`.
+fn schema_input_bit(schema: &PacketSchema, c: usize) -> usize {
+    (0..schema.n_inputs())
+        .find(|&i| schema.input_channel(i) == c)
+        .expect("channel is an input")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_channel_grouping_beats_interleaved_repeats() {
+        // Two channels alternate distinct-but-repeating values; grouped per
+        // channel each stream is pure dictionary hits.
+        let schema = PacketSchema::new(&[(4, true), (4, true)], false);
+        let mut raw = Vec::new();
+        for i in 0..80u32 {
+            if i % 2 == 0 {
+                raw.push(0b01);
+                raw.push(0);
+                raw.extend_from_slice(&[0xaa, 0xbb, 0xcc, 0xdd]);
+            } else {
+                raw.push(0b10);
+                raw.push(0);
+                raw.extend_from_slice(&[0x11, 0x22, 0x33, 0x44]);
+            }
+        }
+        let enc = encode(&schema, &raw, 80).unwrap();
+        assert!(
+            enc.len() < raw.len() / 3,
+            "enc {} raw {}",
+            enc.len(),
+            raw.len()
+        );
+        assert_eq!(decode(&schema, &enc, 80, raw.len()).unwrap(), raw);
+    }
+
+    #[test]
+    fn zero_width_channels_are_handled() {
+        let schema = PacketSchema::new(&[(0, true), (2, false)], true);
+        // Packet: input 0 starts (no content bytes), output 1 ends with
+        // content.
+        let raw = vec![0x01, 0x02, 0x55, 0x66];
+        let enc = encode(&schema, &raw, 1).unwrap();
+        assert_eq!(decode(&schema, &enc, 1, raw.len()).unwrap(), raw);
+    }
+}

@@ -1,0 +1,152 @@
+//! Codec 1: XOR-delta + zero-RLE on the starts/ends bit-vectors.
+//!
+//! Consecutive cycles mostly touch the same channels, so XOR-ing each
+//! packet's bit-vectors against the previous packet's yields near-zero
+//! streams that zero-RLE collapses. Content bytes ride uncompressed.
+//!
+//! Wire form: `varint(len) zrle(starts_deltas) varint(len) zrle(ends_deltas)
+//! contents`, where the delta streams are `n_packets × starts_bytes` and
+//! `n_packets × ends_bytes` long before compression.
+
+use crate::schema::{walk_packets, PacketSchema};
+use crate::vint::{read_len, write_varint, zrle_decode, zrle_encode};
+use crate::CodecError;
+
+/// The block split shared with the dictionary codec: XOR-delta'd starts
+/// stream, XOR-delta'd ends stream, and the raw content bytes in wire order.
+pub struct Sections {
+    /// `n_packets × starts_bytes` of starts deltas.
+    pub starts_deltas: Vec<u8>,
+    /// `n_packets × ends_bytes` of ends deltas.
+    pub ends_deltas: Vec<u8>,
+    /// Concatenated content bytes.
+    pub contents: Vec<u8>,
+}
+
+/// Encodes the bit-vector sections shared with the dictionary codec.
+pub fn split_sections(
+    schema: &PacketSchema,
+    raw: &[u8],
+    n_packets: u32,
+) -> Result<Sections, CodecError> {
+    let sb = schema.starts_bytes();
+    let eb = schema.ends_bytes();
+    let mut sa = Vec::with_capacity(n_packets as usize * sb);
+    let mut ea = Vec::with_capacity(n_packets as usize * eb);
+    let mut contents = Vec::new();
+    let mut prev_s = vec![0u8; sb];
+    let mut prev_e = vec![0u8; eb];
+    walk_packets(schema, raw, n_packets, |_, view| {
+        sa.extend(view.starts.iter().zip(&prev_s).map(|(a, b)| a ^ b));
+        ea.extend(view.ends.iter().zip(&prev_e).map(|(a, b)| a ^ b));
+        prev_s.copy_from_slice(view.starts);
+        prev_e.copy_from_slice(view.ends);
+        for (_, bytes) in &view.items {
+            contents.extend_from_slice(bytes);
+        }
+    })?;
+    Ok(Sections {
+        starts_deltas: sa,
+        ends_deltas: ea,
+        contents,
+    })
+}
+
+/// Appends the compressed bit-vector sections to `out`.
+pub fn push_bitvec_sections(out: &mut Vec<u8>, starts_deltas: &[u8], ends_deltas: &[u8]) {
+    for section in [starts_deltas, ends_deltas] {
+        let enc = zrle_encode(section);
+        write_varint(out, enc.len() as u64);
+        out.extend_from_slice(&enc);
+    }
+}
+
+/// Reads back the two delta streams and un-deltas them into per-packet
+/// bit-vectors: returns `(starts_per_packet, ends_per_packet)` as flat
+/// `n_packets × width` streams of absolute (not delta) bytes.
+pub fn read_bitvec_sections(
+    schema: &PacketSchema,
+    enc: &[u8],
+    pos: &mut usize,
+    n_packets: u32,
+) -> Result<(Vec<u8>, Vec<u8>), CodecError> {
+    let n = n_packets as usize;
+    let mut absolute = Vec::with_capacity(2);
+    for width in [schema.starts_bytes(), schema.ends_bytes()] {
+        let len = read_len(enc, pos)?;
+        let section = enc.get(*pos..*pos + len).ok_or(CodecError::Truncated)?;
+        *pos += len;
+        let mut deltas = zrle_decode(section, n * width)?;
+        // Integrate: packet p's bytes ^= packet p-1's bytes.
+        for p in 1..n {
+            for b in 0..width {
+                deltas[p * width + b] ^= deltas[(p - 1) * width + b];
+            }
+        }
+        absolute.push(deltas);
+    }
+    let ends = absolute.pop().unwrap_or_default();
+    let starts = absolute.pop().unwrap_or_default();
+    Ok((starts, ends))
+}
+
+/// Encodes a block.
+pub fn encode(schema: &PacketSchema, raw: &[u8], n_packets: u32) -> Result<Vec<u8>, CodecError> {
+    let sections = split_sections(schema, raw, n_packets)?;
+    let mut out = Vec::new();
+    push_bitvec_sections(&mut out, &sections.starts_deltas, &sections.ends_deltas);
+    out.extend_from_slice(&sections.contents);
+    Ok(out)
+}
+
+/// Decodes a block.
+pub fn decode(
+    schema: &PacketSchema,
+    enc: &[u8],
+    n_packets: u32,
+    raw_len: usize,
+) -> Result<Vec<u8>, CodecError> {
+    let mut pos = 0;
+    let (starts, ends) = read_bitvec_sections(schema, enc, &mut pos, n_packets)?;
+    let sb = schema.starts_bytes();
+    let eb = schema.ends_bytes();
+    let mut out = Vec::with_capacity(raw_len);
+    let mut cpos = pos; // contents ride raw after the bit-vector sections
+    for p in 0..n_packets as usize {
+        let s = &starts[p * sb..(p + 1) * sb];
+        let e = &ends[p * eb..(p + 1) * eb];
+        out.extend_from_slice(s);
+        out.extend_from_slice(e);
+        for (_, width) in crate::schema::items_of(schema, s, e) {
+            let bytes = enc.get(cpos..cpos + width).ok_or(CodecError::Truncated)?;
+            out.extend_from_slice(bytes);
+            cpos += width;
+        }
+    }
+    if cpos != enc.len() {
+        return Err(CodecError::Corrupt("contents section trailing bytes"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_bitvecs_shrink() {
+        // 100 quiet packets after one active one: deltas are almost all
+        // zero, so the encoded block is far smaller than raw.
+        let schema = PacketSchema::new(&[(2, true), (2, false)], false);
+        let mut raw = vec![0x01, 0x01, 0xab, 0xcd]; // start ch0 + end ch0 + content
+        raw.extend(std::iter::repeat_n(0u8, 2 * 100)); // 100 quiet packets
+        let enc = encode(&schema, &raw, 101).unwrap();
+        assert!(
+            enc.len() < raw.len() / 4,
+            "enc {} raw {}",
+            enc.len(),
+            raw.len()
+        );
+        assert_eq!(decode(&schema, &enc, 101, raw.len()).unwrap(), raw);
+    }
+}

@@ -1,0 +1,254 @@
+//! Codec 2: delta+RLE bit-vectors plus XOR-previous and a small
+//! move-to-front dictionary over content words.
+//!
+//! Each channel keeps its own coder state: the previous value and a
+//! 16-entry most-recently-used dictionary. A content item that matches a
+//! dictionary entry becomes one token byte (its index, then moved to
+//! front); anything else emits the literal token `0xFF` plus the value
+//! XOR-ed with the channel's previous value into a residue stream, which
+//! zero-RLE collapses when values change slowly.
+//!
+//! Wire form: `varint(len) zrle(starts_deltas) varint(len)
+//! zrle(ends_deltas) varint(n_tokens) tokens varint(len) zrle(residues)`.
+
+use crate::delta::{push_bitvec_sections, read_bitvec_sections, split_sections};
+use crate::schema::{items_of, walk_packets, PacketSchema};
+use crate::vint::{read_len, write_varint, zrle_decode, zrle_encode};
+use crate::CodecError;
+
+/// Dictionary entries kept per channel.
+const DICT_CAP: usize = 16;
+
+/// Token byte marking a literal (residue-stream) value.
+const LITERAL: u8 = 0xFF;
+
+/// Per-channel encoder state for the XOR+dictionary scheme.
+pub struct DictEncoder {
+    width: usize,
+    prev: Vec<u8>,
+    dict: Vec<Vec<u8>>,
+}
+
+impl DictEncoder {
+    /// Fresh state for a channel whose values are `width` bytes.
+    #[must_use]
+    pub fn new(width: usize) -> DictEncoder {
+        DictEncoder {
+            width,
+            prev: vec![0; width],
+            dict: Vec::new(),
+        }
+    }
+
+    /// Encodes one value: appends a token byte and, for literals, the
+    /// XOR-previous residue bytes.
+    pub fn push(&mut self, value: &[u8], tokens: &mut Vec<u8>, residues: &mut Vec<u8>) {
+        debug_assert_eq!(value.len(), self.width);
+        if let Some(i) = self.dict.iter().position(|d| d == value) {
+            tokens.push(u8::try_from(i).unwrap_or(LITERAL));
+            let hit = self.dict.remove(i);
+            self.dict.insert(0, hit);
+        } else {
+            tokens.push(LITERAL);
+            residues.extend(value.iter().zip(&self.prev).map(|(v, p)| v ^ p));
+            self.dict.insert(0, value.to_vec());
+            self.dict.truncate(DICT_CAP);
+        }
+        self.prev.clear();
+        self.prev.extend_from_slice(value);
+    }
+}
+
+/// Per-channel decoder state mirroring [`DictEncoder`].
+pub struct DictDecoder {
+    width: usize,
+    prev: Vec<u8>,
+    dict: Vec<Vec<u8>>,
+}
+
+impl DictDecoder {
+    /// Fresh state for a channel whose values are `width` bytes.
+    #[must_use]
+    pub fn new(width: usize) -> DictDecoder {
+        DictDecoder {
+            width,
+            prev: vec![0; width],
+            dict: Vec::new(),
+        }
+    }
+
+    /// Whether `token` consumes residue bytes (is a literal).
+    #[must_use]
+    pub fn is_literal(token: u8) -> bool {
+        token == LITERAL
+    }
+
+    /// Decodes one value from `token` and, for literals, `width` bytes at
+    /// `residues[*rpos..]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Corrupt`] on an out-of-range dictionary token
+    /// and [`CodecError::Truncated`] when the residue stream runs short.
+    pub fn next(
+        &mut self,
+        token: u8,
+        residues: &[u8],
+        rpos: &mut usize,
+    ) -> Result<Vec<u8>, CodecError> {
+        let value = if token == LITERAL {
+            let bytes = residues
+                .get(*rpos..*rpos + self.width)
+                .ok_or(CodecError::Truncated)?;
+            *rpos += self.width;
+            let value: Vec<u8> = bytes.iter().zip(&self.prev).map(|(r, p)| r ^ p).collect();
+            self.dict.insert(0, value.clone());
+            self.dict.truncate(DICT_CAP);
+            value
+        } else {
+            let i = usize::from(token);
+            if i >= self.dict.len() {
+                return Err(CodecError::Corrupt("dictionary token out of range"));
+            }
+            let hit = self.dict.remove(i);
+            self.dict.insert(0, hit.clone());
+            hit
+        };
+        self.prev.clear();
+        self.prev.extend_from_slice(&value);
+        Ok(value)
+    }
+}
+
+/// Encodes a block.
+pub fn encode(schema: &PacketSchema, raw: &[u8], n_packets: u32) -> Result<Vec<u8>, CodecError> {
+    let sections = split_sections(schema, raw, n_packets)?;
+    let mut coders: Vec<DictEncoder> = (0..schema.n_channels())
+        .map(|c| DictEncoder::new(schema.width(c)))
+        .collect();
+    let mut tokens = Vec::new();
+    let mut residues = Vec::new();
+    walk_packets(schema, raw, n_packets, |_, view| {
+        for (c, bytes) in &view.items {
+            coders[*c].push(bytes, &mut tokens, &mut residues);
+        }
+    })?;
+    let mut out = Vec::new();
+    push_bitvec_sections(&mut out, &sections.starts_deltas, &sections.ends_deltas);
+    write_varint(&mut out, tokens.len() as u64);
+    out.extend_from_slice(&tokens);
+    let rr = zrle_encode(&residues);
+    write_varint(&mut out, rr.len() as u64);
+    out.extend_from_slice(&rr);
+    Ok(out)
+}
+
+/// Decodes a block.
+pub fn decode(
+    schema: &PacketSchema,
+    enc: &[u8],
+    n_packets: u32,
+    raw_len: usize,
+) -> Result<Vec<u8>, CodecError> {
+    let mut pos = 0;
+    let (starts, ends) = read_bitvec_sections(schema, enc, &mut pos, n_packets)?;
+    let sb = schema.starts_bytes();
+    let eb = schema.ends_bytes();
+
+    // Reconstruct the item sequence from the bit-vectors, then size the
+    // residue stream from the literal tokens before decoding values.
+    let mut item_seq: Vec<(usize, usize)> = Vec::new();
+    for p in 0..n_packets as usize {
+        let s = &starts[p * sb..(p + 1) * sb];
+        let e = &ends[p * eb..(p + 1) * eb];
+        item_seq.extend(items_of(schema, s, e));
+    }
+
+    let n_tokens = read_len(enc, &mut pos)?;
+    if n_tokens != item_seq.len() {
+        return Err(CodecError::Corrupt(
+            "token count disagrees with bit-vectors",
+        ));
+    }
+    let tokens = enc.get(pos..pos + n_tokens).ok_or(CodecError::Truncated)?;
+    pos += n_tokens;
+    let residue_len: usize = item_seq
+        .iter()
+        .zip(tokens)
+        .filter(|&(_, &t)| DictDecoder::is_literal(t))
+        .map(|(&(_, w), _)| w)
+        .sum();
+    let rr_len = read_len(enc, &mut pos)?;
+    let rr = enc.get(pos..pos + rr_len).ok_or(CodecError::Truncated)?;
+    pos += rr_len;
+    if pos != enc.len() {
+        return Err(CodecError::Corrupt("trailing bytes after residues"));
+    }
+    let residues = zrle_decode(rr, residue_len)?;
+
+    let mut coders: Vec<DictDecoder> = (0..schema.n_channels())
+        .map(|c| DictDecoder::new(schema.width(c)))
+        .collect();
+    let mut out = Vec::with_capacity(raw_len);
+    let mut t = 0usize;
+    let mut rpos = 0usize;
+    for p in 0..n_packets as usize {
+        let s = &starts[p * sb..(p + 1) * sb];
+        let e = &ends[p * eb..(p + 1) * eb];
+        out.extend_from_slice(s);
+        out.extend_from_slice(e);
+        for (c, _) in items_of(schema, s, e) {
+            let value = coders[c].next(tokens[t], &residues, &mut rpos)?;
+            t += 1;
+            out.extend_from_slice(&value);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_values_become_tokens() {
+        // One input channel firing every packet with the same 8-byte value:
+        // after the first literal, every item is a single token byte.
+        let schema = PacketSchema::new(&[(8, true)], false);
+        let mut raw = Vec::new();
+        for _ in 0..50 {
+            raw.push(0x01); // start bit
+            raw.push(0x00); // end bits
+            raw.extend_from_slice(&[9, 8, 7, 6, 5, 4, 3, 2]);
+        }
+        let enc = encode(&schema, &raw, 50).unwrap();
+        assert!(
+            enc.len() < raw.len() / 3,
+            "enc {} raw {}",
+            enc.len(),
+            raw.len()
+        );
+        assert_eq!(decode(&schema, &enc, 50, raw.len()).unwrap(), raw);
+    }
+
+    #[test]
+    fn slowly_varying_values_yield_sparse_residues() {
+        // A counter increments its low byte: XOR-previous residues are
+        // mostly zero except the low byte, so zero-RLE bites.
+        let schema = PacketSchema::new(&[(8, true)], false);
+        let mut raw = Vec::new();
+        for i in 0u8..100 {
+            raw.push(0x01);
+            raw.push(0x00);
+            raw.extend_from_slice(&[i, 0, 0, 0, 0, 0, 0, 0x42]);
+        }
+        let enc = encode(&schema, &raw, 100).unwrap();
+        assert!(
+            enc.len() < raw.len() / 2,
+            "enc {} raw {}",
+            enc.len(),
+            raw.len()
+        );
+        assert_eq!(decode(&schema, &enc, 100, raw.len()).unwrap(), raw);
+    }
+}

@@ -84,6 +84,14 @@ pub struct VidiConfig {
     /// reads ahead in units of this many words, which bounds both sides'
     /// buffering at O(chunk size) independent of trace length.
     pub trace_chunk_words: usize,
+    /// Block codec the trace store compresses recordings with (see
+    /// [`vidi_trace::CodecId`]). [`CodecId::Raw`](vidi_trace::CodecId::Raw)
+    /// — the default — is byte-identical to the legacy uncompressed path;
+    /// compressed codecs trade encode work for storage bandwidth, and the
+    /// store refunds the saved bytes to its bandwidth credit so the
+    /// compression ratio multiplies effective drain rate. Replay is
+    /// self-configuring: the codec rides in the recorded stream's header.
+    pub trace_codec: vidi_trace::CodecId,
     /// Settle-phase scheduler of the underlying simulator (see
     /// [`vidi_hwsim::EvalMode`]). All modes are bit-identical; this is a
     /// pure performance knob, consumed by whatever builds the simulation
@@ -102,6 +110,7 @@ impl Default for VidiConfig {
             stall_budget: None,
             checkpoint_every: None,
             trace_chunk_words: vidi_trace::DEFAULT_CHUNK_WORDS,
+            trace_codec: vidi_trace::CodecId::Raw,
             eval_mode: vidi_hwsim::EvalMode::default(),
         }
     }
@@ -158,6 +167,12 @@ impl VidiConfig {
         self
     }
 
+    /// The same configuration recording through a trace block codec.
+    pub fn with_trace_codec(mut self, codec: vidi_trace::CodecId) -> Self {
+        self.trace_codec = codec;
+        self
+    }
+
     /// Upper bound on the bytes the streaming trace sink may buffer in
     /// memory under this configuration, independent of run length: at most
     /// one chunk of carry-over plus one bandwidth-credit burst of freshly
@@ -173,7 +188,16 @@ impl VidiConfig {
         // Mirrors the store's credit cap: enough banked bandwidth for a
         // burst, never less than the largest possible cycle packet.
         let credit_cap = (u64::from(self.store_bytes_per_cycle).max(1) * 16).max(8192);
-        chunk_bytes + 2 * credit_cap + 2 * word
+        let raw_bound = chunk_bytes + 2 * credit_cap + 2 * word;
+        if self.trace_codec.is_compressed() {
+            // A compressed sink additionally buffers the open raw block
+            // (about one chunk of payload) and, at the instant a block
+            // seals, its framed wire form (at most another chunk's worth
+            // given the stored-raw fallback) before the next flush.
+            raw_bound + 2 * chunk_bytes + word
+        } else {
+            raw_bound
+        }
     }
 }
 

@@ -89,6 +89,9 @@ impl DecoderCore {
         };
         w.u64(pos.payload_offset);
         w.u64(pos.packets_read);
+        w.u64(pos.base_packets);
+        w.u8(pos.codec);
+        w.u32(pos.chunk_words);
         w.u64(self.credit);
         w.u64(self.credit_rem);
         w.u64(self.cycle);
@@ -106,6 +109,9 @@ impl DecoderCore {
         let pos = SourcePos {
             payload_offset: r.u64()?,
             packets_read: r.u64()?,
+            base_packets: r.u64()?,
+            codec: r.u8()?,
+            chunk_words: r.u32()?,
         };
         self.source.seek(pos).map_err(|e| StateError::Mismatch {
             expected: "a certified trace-source position".into(),

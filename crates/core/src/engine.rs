@@ -56,6 +56,9 @@ pub struct VidiStats {
     pub peak_buffered_bytes: u64,
     /// Chunks flushed from the trace sink to its backend.
     pub chunks_flushed: u64,
+    /// Framed stream bytes the trace sink produced (compressed length
+    /// under a block codec; equals the raw stream length otherwise).
+    pub bytes_written: u64,
 }
 
 /// Shared handle to engine statistics.
@@ -100,6 +103,7 @@ impl VidiEngine {
         record_output_content: bool,
         store_bytes_per_cycle: u32,
         trace_chunk_words: usize,
+        trace_codec: vidi_trace::CodecId,
     ) -> (Self, RecordHandle, StatsHandle) {
         // The encoder and store share one layout allocation; only the
         // self-describing recorded trace keeps a deep copy of its own.
@@ -115,6 +119,7 @@ impl VidiEngine {
             record_output_content,
             store_bytes_per_cycle,
             trace_chunk_words,
+            trace_codec,
         );
         let stats: StatsHandle = Rc::new(RefCell::new(VidiStats::default()));
         (

@@ -197,6 +197,7 @@ impl VidiShim {
             record_output_content,
             config.store_bytes_per_cycle,
             config.trace_chunk_words,
+            config.trace_codec,
         );
         let (engine, record, stats) = if config.mode.records() {
             (engine, Some(record), Some(stats))
@@ -264,6 +265,17 @@ impl VidiShim {
     /// a [`vidi_trace::TraceSource`] instead.
     pub fn recorded_trace(&self) -> Option<Trace> {
         self.record.as_ref().and_then(|r| r.borrow().trace())
+    }
+
+    /// The framed chunk-stream image recorded so far (flushed chunks plus a
+    /// certified image of the staged tail), exactly as a finalized backend
+    /// would hold it — compressed when the run records through a block
+    /// codec. `None` in non-recording modes and for recordings redirected
+    /// to an external backend. Feed it to
+    /// [`ReplayInput::from_chunks`](crate::ReplayInput::from_chunks) to
+    /// replay without materializing the trace.
+    pub fn recorded_stream_image(&self) -> Option<Vec<u8>> {
+        self.record.as_ref().and_then(|r| r.borrow().stream_image())
     }
 
     /// Number of cycle packets committed to the recorded trace so far — an
@@ -374,6 +386,7 @@ impl VidiShim {
                     events_logged: s.events_logged,
                     peak_buffered_bytes: 0,
                     chunks_flushed: 0,
+                    bytes_written: 0,
                 }
             })
             .unwrap_or_default();
@@ -381,6 +394,7 @@ impl VidiShim {
             let run = rec.borrow();
             stats.peak_buffered_bytes = run.peak_buffered_bytes();
             stats.chunks_flushed = run.chunks_flushed();
+            stats.bytes_written = run.bytes_written();
         }
         stats
     }

@@ -81,11 +81,21 @@ impl RecordedRun {
     /// chunks have already left the process — reopen the external store
     /// with a `TraceSource` instead.
     pub fn trace(&self) -> Option<Trace> {
+        self.stream_image()
+            .and_then(|bytes| recover_trace(&bytes).ok().map(|r| r.trace))
+    }
+
+    /// The framed stream image recorded so far: flushed chunks plus the
+    /// sink's sealed tail — exactly the bytes a `TraceSource` (or
+    /// [`ReplayInput::from_chunks`](crate::ReplayInput)) would read. `None`
+    /// for external backends. Unlike [`RecordedRun::trace`] this preserves
+    /// the stream's codec framing instead of materializing packets.
+    pub fn stream_image(&self) -> Option<Vec<u8>> {
         match self.sink.backend() {
             RecordBackend::Memory(flushed) => {
                 let mut bytes = flushed.clone();
                 bytes.extend_from_slice(&self.sink.unflushed_tail_image());
-                recover_trace(&bytes).ok().map(|r| r.trace)
+                Some(bytes)
             }
             RecordBackend::External(_) => None,
         }
@@ -94,6 +104,20 @@ impl RecordedRun {
     /// Number of cycle packets committed to the recording so far (O(1)).
     pub fn packet_count(&self) -> u64 {
         self.sink.packets()
+    }
+
+    /// Total framed stream bytes produced by the sink (flushed plus
+    /// buffered framing) — the storage-bandwidth numerator. Reflects
+    /// compression: under a block codec this is the *compressed* stream
+    /// length, while [`body_bytes`](RecordedRun::body_bytes) stays the raw
+    /// packet byte count, so `body_bytes / bytes_written` is the ratio.
+    pub fn bytes_written(&self) -> u64 {
+        self.sink.bytes_written()
+    }
+
+    /// The block codec this recording compresses with.
+    pub fn codec(&self) -> vidi_trace::CodecId {
+        self.sink.codec()
     }
 
     /// Per-channel completed-transaction counts so far, layout order (O(n)
@@ -213,18 +237,23 @@ pub struct StoreCore {
 
 impl StoreCore {
     /// Creates a store streaming a trace with the given layout into an
-    /// in-memory backend, flushing in chunks of `chunk_words` storage words.
+    /// in-memory backend, flushing in chunks of `chunk_words` storage words
+    /// and compressing packet blocks under `codec`
+    /// ([`CodecId::Raw`](vidi_trace::CodecId::Raw) reproduces the legacy
+    /// uncompressed stream byte-for-byte).
     pub fn new(
         layout: Arc<TraceLayout>,
         record_output_content: bool,
         bytes_per_cycle: u32,
         chunk_words: usize,
+        codec: vidi_trace::CodecId,
     ) -> (Self, RecordHandle) {
-        let sink = TraceSink::new(
+        let sink = TraceSink::with_codec(
             RecordBackend::Memory(Vec::new()),
             layout.as_ref(),
             record_output_content,
             chunk_words,
+            codec,
         );
         let handle = Rc::new(RefCell::new(RecordedRun {
             sink,
@@ -313,6 +342,10 @@ impl StoreCore {
         w.u64(parts.flushed_bytes);
         w.u64(parts.peak_buffered);
         w.bool(parts.finished);
+        w.bytes(&parts.blk_raw);
+        w.u32(parts.blk_packets);
+        w.u64(parts.savings);
+        w.u8(run.sink.codec() as u8);
         match run.sink.backend() {
             RecordBackend::Memory(flushed) => {
                 w.bool(true);
@@ -357,7 +390,17 @@ impl StoreCore {
             flushed_bytes: r.u64()?,
             peak_buffered: r.u64()?,
             finished: r.bool()?,
+            blk_raw: r.bytes()?.to_vec(),
+            blk_packets: r.u32()?,
+            savings: r.u64()?,
         };
+        let codec = r.u8()?;
+        if codec != self.handle.borrow().sink.codec() as u8 {
+            return Err(StateError::Mismatch {
+                expected: format!("trace codec {}", self.handle.borrow().sink.codec() as u8),
+                found: format!("trace codec {codec}"),
+            });
+        }
         let is_memory = r.bool()?;
         if !is_memory {
             return Err(StateError::Mismatch {
@@ -478,6 +521,14 @@ impl StoreCore {
                     }
                 }
                 run.sink.stage(&packet);
+            }
+            // Compression refund: raw bytes the codec saved while sealing
+            // blocks this tick return to the credit pool, so the ratio
+            // multiplies effective drain bandwidth. Non-zero only when
+            // staging sealed a block, so `active` is already set.
+            let saved = self.handle.borrow_mut().sink.take_compression_savings();
+            if saved > 0 {
+                self.credit = (self.credit + saved).min(self.credit_cap);
             }
         }
         // Lossy degradation: once back-pressure has cost more than the

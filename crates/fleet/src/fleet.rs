@@ -607,6 +607,7 @@ fn run_session(claim: &Claim, arbiter: &Arc<CreditArbiter>) -> Result<RunEnd, Fa
         packets: built.shim.recorded_packet_count() as u64,
         peak_buffered_bytes: stats.peak_buffered_bytes,
         chunks_flushed: stats.chunks_flushed,
+        bytes_written: stats.bytes_written,
         dropped_packets: built.shim.dropped_packets(),
         write_retries: built.shim.write_retries(),
     };

@@ -59,6 +59,13 @@ pub struct SessionSpec {
     /// [`VidiConfig::stall_budget`]). A starved session degrades through
     /// this, its own budget — never by taking a neighbor's credit.
     pub stall_budget: Option<u64>,
+    /// Block codec the session records through (see
+    /// [`vidi_trace::CodecId`]). Compression multiplies the session's
+    /// effective share of the fleet's store bandwidth; its admission
+    /// reservation grows by the codec's extra staging buffers (the budget
+    /// accounts in bytes actually buffered and written, i.e. compressed
+    /// bytes).
+    pub trace_codec: vidi_trace::CodecId,
     /// Cycle budget before the session is failed as timed out.
     pub max_cycles: u64,
 }
@@ -76,6 +83,7 @@ impl SessionSpec {
             store_bytes_per_cycle: VidiConfig::default().store_bytes_per_cycle,
             trace_chunk_words: vidi_trace::DEFAULT_CHUNK_WORDS,
             stall_budget: None,
+            trace_codec: vidi_trace::CodecId::Raw,
             max_cycles: 6_000_000,
         }
     }
@@ -100,6 +108,12 @@ impl SessionSpec {
         self
     }
 
+    /// This spec recording through a trace block codec.
+    pub fn with_trace_codec(mut self, codec: vidi_trace::CodecId) -> Self {
+        self.trace_codec = codec;
+        self
+    }
+
     /// The shim configuration this session runs under.
     pub fn vidi_config(&self) -> VidiConfig {
         let base = match &self.mode {
@@ -110,6 +124,7 @@ impl SessionSpec {
             store_bytes_per_cycle: self.store_bytes_per_cycle,
             trace_chunk_words: self.trace_chunk_words,
             stall_budget: self.stall_budget,
+            trace_codec: self.trace_codec,
             ..base
         }
     }
@@ -134,6 +149,10 @@ pub struct SessionReport {
     pub peak_buffered_bytes: u64,
     /// Chunks flushed to the shared image.
     pub chunks_flushed: u64,
+    /// Exact bytes written to the session's trace image — the compressed
+    /// length under a block codec, so fleet bandwidth accounting and the
+    /// admission budget both see what storage actually carried.
+    pub bytes_written: u64,
     /// Packets shed by lossy degradation (always counted, never silent).
     pub dropped_packets: u64,
     /// Transient store-write failures absorbed by in-engine retry.
@@ -356,6 +375,15 @@ mod tests {
         assert_eq!(cfg.stall_budget, Some(5000));
         assert!(cfg.mode.records() && !cfg.mode.replays());
         assert_eq!(spec.buffer_bound(), cfg.streaming_buffer_bound());
+
+        // Compression threads through to the shim config, and the admission
+        // reservation grows to cover the codec's extra staging buffers.
+        let compressed = spec.clone().with_trace_codec(vidi_trace::CodecId::Columnar);
+        assert_eq!(
+            compressed.vidi_config().trace_codec,
+            vidi_trace::CodecId::Columnar
+        );
+        assert!(compressed.buffer_bound() > spec.buffer_bound());
     }
 
     #[test]

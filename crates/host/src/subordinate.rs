@@ -316,23 +316,25 @@ impl Component for HostMemSubordinate {
         self.rng = SmallRng::from_state(rng_state);
         self.write_in_flight = r
             .seq(|r| {
-                let aw = AxFields::unpack(&r.bits()?);
-                let beats = r.seq(|r| Ok(WFields::unpack(&r.bits()?)))?;
+                let aw = AxFields::unpack(&r.bits_expect(91, "AW")?);
+                let beats = r.seq(|r| Ok(WFields::unpack(&r.bits_expect(593, "W")?)))?;
                 Ok((aw, beats))
             })?
             .into();
-        self.orphan_beats = r.seq(|r| Ok(WFields::unpack(&r.bits()?)))?.into();
+        self.orphan_beats = r
+            .seq(|r| Ok(WFields::unpack(&r.bits_expect(593, "W")?)))?
+            .into();
         self.b_pending = r
             .seq(|r| {
                 let t = r.u64()?;
-                let bf = BFields::unpack(&r.bits()?);
+                let bf = BFields::unpack(&r.bits_expect(18, "B")?);
                 Ok((t, bf))
             })?
             .into();
         self.r_pending = r
             .seq(|r| {
                 let t = r.u64()?;
-                let beats = r.seq(|r| Ok(RFields::unpack(&r.bits()?)))?;
+                let beats = r.seq(|r| Ok(RFields::unpack(&r.bits_expect(531, "R")?)))?;
                 Ok((t, beats))
             })?
             .into();

@@ -296,6 +296,20 @@ impl<'a> StateReader<'a> {
         Ok(Bits::from_bytes(raw).resize(width))
     }
 
+    /// Reads a [`Bits`] value and validates its width, returning a typed
+    /// error instead of letting a downstream `unpack` panic on a corrupt
+    /// snapshot. `what` names the payload in the error message.
+    pub fn bits_expect(&mut self, width: u32, what: &str) -> Result<Bits, StateError> {
+        let b = self.bits()?;
+        if b.width() != width {
+            return Err(StateError::Mismatch {
+                expected: format!("{width}-bit {what} payload"),
+                found: format!("{} bits", b.width()),
+            });
+        }
+        Ok(b)
+    }
+
     /// Reads an `Option<Bits>` written by [`StateWriter::opt_bits`].
     pub fn opt_bits(&mut self) -> Result<Option<Bits>, StateError> {
         if self.bool()? {

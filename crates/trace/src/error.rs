@@ -34,6 +34,34 @@ pub enum TraceError {
         /// Backend-specific failure description.
         String,
     ),
+    /// The stream header names a block codec this reader cannot decode in
+    /// this context: an id this build does not know, or a compressed stream
+    /// handed to a raw-body decoder.
+    UnsupportedCodec {
+        /// The codec id byte from the header.
+        codec: u8,
+    },
+    /// A [`SourcePos`](crate::SourcePos) was minted by a source with a
+    /// different codec or chunk size than the one being seeked — honoring it
+    /// would decode garbage, so the mismatch is rejected up front.
+    SeekMismatch {
+        /// Codec id recorded in the position.
+        pos_codec: u8,
+        /// Chunk size (in storage words) recorded in the position.
+        pos_chunk_words: u32,
+        /// Codec id of the source being seeked.
+        source_codec: u8,
+        /// Chunk size (in storage words) of the source being seeked.
+        source_chunk_words: u32,
+    },
+    /// A compressed block inside a certified payload failed to decode
+    /// (mis-written or adversarial frames; CRC-clean but structurally bad).
+    BadBlock {
+        /// Payload byte offset of the block header.
+        offset: u64,
+        /// What failed.
+        detail: String,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -57,6 +85,22 @@ impl fmt::Display for TraceError {
                 )
             }
             TraceError::Io(message) => write!(f, "trace storage I/O failed: {message}"),
+            TraceError::UnsupportedCodec { codec } => {
+                write!(f, "trace uses block codec {codec}, unsupported here")
+            }
+            TraceError::SeekMismatch {
+                pos_codec,
+                pos_chunk_words,
+                source_codec,
+                source_chunk_words,
+            } => write!(
+                f,
+                "seek position from codec {pos_codec}/chunk {pos_chunk_words} does not \
+                 match source codec {source_codec}/chunk {source_chunk_words}"
+            ),
+            TraceError::BadBlock { offset, detail } => {
+                write!(f, "bad block at payload offset {offset}: {detail}")
+            }
         }
     }
 }

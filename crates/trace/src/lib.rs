@@ -56,3 +56,4 @@ pub use stream::{
 };
 pub use trace::Trace;
 pub use validate::{compare, Divergence, DivergenceReport};
+pub use vidi_codec::{CodecError, CodecId, PacketSchema};

@@ -62,7 +62,12 @@ impl<'a> TraceReader<'a> {
     /// Returns a [`TraceError`] for malformed headers.
     pub fn new(buf: &'a [u8]) -> Result<Self, TraceError> {
         let mut r = Cursor::new(buf);
-        let (layout, record_output_content, remaining) = decode_header(&mut r)?;
+        let (layout, record_output_content, remaining, codec) = decode_header(&mut r)?;
+        if codec != 0 {
+            // The unframed reader decodes raw packet bytes only; compressed
+            // streams live under the chunk framing (use TraceSource).
+            return Err(TraceError::UnsupportedCodec { codec });
+        }
         Ok(TraceReader {
             buf,
             pos: r.pos,
@@ -107,17 +112,22 @@ impl<'a> TraceReader<'a> {
     }
 }
 
-/// Parses the self-description header: layout, output-content flag, and the
-/// declared packet count.
-pub(crate) fn decode_header(r: &mut Cursor<'_>) -> Result<(TraceLayout, bool, u64), TraceError> {
+/// Parses the self-description header: layout, output-content flag, the
+/// declared packet count, and the negotiated block-codec id byte (version-1
+/// headers are raw; version-2 headers carry the codec byte after the
+/// output-content flag).
+pub(crate) fn decode_header(
+    r: &mut Cursor<'_>,
+) -> Result<(TraceLayout, bool, u64, u8), TraceError> {
     if r.take(4)? != b"VIDI" {
         return Err(TraceError::BadMagic);
     }
     let version = r.u16()?;
-    if version != 1 {
+    if version != 1 && version != 2 {
         return Err(TraceError::BadVersion(version));
     }
     let record_output_content = r.u8()? != 0;
+    let codec = if version == 2 { r.u8()? } else { 0 };
     let n_channels = r.u16()? as usize;
     let mut channels = Vec::with_capacity(n_channels);
     for _ in 0..n_channels {
@@ -138,7 +148,12 @@ pub(crate) fn decode_header(r: &mut Cursor<'_>) -> Result<(TraceLayout, bool, u6
         });
     }
     let count = r.u64()?;
-    Ok((TraceLayout::new(channels), record_output_content, count))
+    Ok((
+        TraceLayout::new(channels),
+        record_output_content,
+        count,
+        codec,
+    ))
 }
 
 /// Decodes one self-delimiting cycle packet at the cursor.

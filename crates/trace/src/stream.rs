@@ -11,15 +11,32 @@
 //! pass, then decodes cycle packets through a bounded readahead window
 //! refilled chunk by chunk — a trace larger than RAM replays fine.
 //!
+//! # Block codecs
+//!
+//! A sink opened with [`TraceSink::with_codec`] compresses packets through a
+//! [`vidi_codec`] block codec *under* the CRC framing: packets accumulate
+//! into a raw block about one chunk of payload long, the block is encoded,
+//! and the encoded bytes are framed like any other payload behind a 13-byte
+//! block header (`codec, n_packets, raw_len, enc_len`, all little-endian).
+//! A block that fails to shrink is stored raw (header codec byte 0), so a
+//! compressed stream is never pathologically larger than raw plus the block
+//! headers. The negotiated codec rides in the stream header (format
+//! version 2), so [`TraceSource::open`] is self-configuring and raw traces
+//! remain byte-identical version-1 streams.
+//!
 //! Durability contract: every sealed word carries its own CRC, sequence
 //! number, and cumulative complete-packet count, so a torn tail (a chunk
 //! that never reached the backend, a partial write, a bit flip at rest)
 //! degrades to the longest certified prefix — exactly the
 //! [`recover_trace`](crate::recover_trace) guarantee, which is itself
-//! implemented over [`TraceSource`].
+//! implemented over [`TraceSource`]. Under a codec the trailer count only
+//! advances when a whole block has been staged, so the certified prefix
+//! never ends mid-block and recovery needs no codec-specific resync.
 
 use std::fmt;
 use std::sync::Arc;
+
+use vidi_codec::{CodecId, PacketSchema};
 
 use crate::error::TraceError;
 use crate::layout::TraceLayout;
@@ -34,6 +51,14 @@ pub const DEFAULT_CHUNK_WORDS: usize = 64;
 /// Packet count written into a streaming header before the final count is
 /// known. A reader treats it as "trust the frame trailers".
 pub(crate) const STREAMING_PACKET_COUNT: u64 = u64::MAX;
+
+/// Bytes of the per-block header framed ahead of each encoded block:
+/// `[codec u8][n_packets u32][raw_len u32][enc_len u32]`, little-endian.
+pub(crate) const BLOCK_HEADER_BYTES: usize = 13;
+
+/// Upper bound a reader accepts for one block's decoded size — a sanity cap
+/// against corrupt-but-CRC-clean headers asking for absurd allocations.
+const MAX_BLOCK_RAW_BYTES: usize = 1 << 28;
 
 /// An I/O failure in a chunk backend (message is backend-specific).
 ///
@@ -150,20 +175,73 @@ impl<T: ChunkSource + ?Sized> ChunkSource for Arc<T> {
 /// behind independent [`TraceSource`]s.
 pub type SharedChunks = Arc<dyn ChunkSource + Send + Sync>;
 
+/// Derives the codec-facing packet shape from a trace layout: per-channel
+/// content width in bytes and direction, plus the output-content flag.
+pub(crate) fn schema_of(layout: &TraceLayout, record_output_content: bool) -> PacketSchema {
+    let channels: Vec<(usize, bool)> = layout
+        .channels()
+        .iter()
+        .map(|ch| {
+            (
+                (ch.width as usize).div_ceil(8),
+                ch.direction == vidi_chan::Direction::Input,
+            )
+        })
+        .collect();
+    PacketSchema::new(&channels, record_output_content)
+}
+
+/// Encodes one raw packet block into its framed wire form: the 13-byte block
+/// header plus the encoded payload. Falls back to storing the block raw
+/// (header codec byte 0) when the codec fails to shrink it, so compression
+/// never expands the stream beyond the per-block header overhead.
+fn block_wire_bytes(codec: CodecId, schema: &PacketSchema, raw: &[u8], n_packets: u32) -> Vec<u8> {
+    let enc = vidi_codec::encode_block(codec, schema, raw, n_packets)
+        .expect("sink-staged packets always parse under the sink's own schema");
+    let (wire_codec, payload) = if enc.len() < raw.len() {
+        (codec as u8, enc)
+    } else {
+        (CodecId::Raw as u8, raw.to_vec())
+    };
+    let mut out = Vec::with_capacity(BLOCK_HEADER_BYTES + payload.len());
+    out.push(wire_codec);
+    out.extend_from_slice(&n_packets.to_le_bytes());
+    let raw_len = u32::try_from(raw.len()).expect("block raw size fits u32");
+    let enc_len = u32::try_from(payload.len()).expect("block payload size fits u32");
+    out.extend_from_slice(&raw_len.to_le_bytes());
+    out.extend_from_slice(&enc_len.to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
 /// Streams cycle packets into CRC-framed storage words, flushing fixed-size
 /// chunks to a [`ChunkSink`] backend.
 ///
-/// The framing is bit-identical to [`FrameWriter`](crate::FrameWriter) (and
-/// to [`Trace::encode_framed`](crate::Trace::encode_framed), which is built
-/// on this sink): words seal lazily so a packet ending exactly on a word
-/// boundary is counted in that word's trailer. The sink buffers at most the
-/// open chunk plus whatever a caller stages between flushes —
+/// The raw framing is bit-identical to [`FrameWriter`](crate::FrameWriter)
+/// (and to [`Trace::encode_framed`](crate::Trace::encode_framed), which is
+/// built on this sink): words seal lazily so a packet ending exactly on a
+/// word boundary is counted in that word's trailer. Under a block codec
+/// ([`TraceSink::with_codec`]) packets accumulate into a raw block first and
+/// the trailer count advances only when the whole block is staged. The sink
+/// buffers at most the open chunk plus one raw block plus whatever a caller
+/// stages between flushes —
 /// [`peak_buffered_bytes`](TraceSink::peak_buffered_bytes) reports the
 /// high-water mark so harnesses can assert the O(chunk) bound.
 #[derive(Debug)]
 pub struct TraceSink<W: ChunkSink> {
     backend: W,
     chunk_bytes: usize,
+    codec: CodecId,
+    schema: PacketSchema,
+    /// Raw packet bytes of the open (not yet encoded) block.
+    blk_raw: Vec<u8>,
+    /// Packets in the open block.
+    blk_packets: u32,
+    /// Raw bytes at which the open block seals — about one chunk of payload.
+    blk_target: usize,
+    /// Cumulative raw-minus-wire bytes saved by compression, until
+    /// [`take_compression_savings`](TraceSink::take_compression_savings).
+    savings: u64,
     /// Payload of the open (unsealed) word, `< FRAME_PAYLOAD_BYTES + 1`.
     pending: Vec<u8>,
     /// Sealed words not yet flushed to the backend.
@@ -206,9 +284,55 @@ impl<W: ChunkSink> TraceSink<W> {
         declared_packets: u64,
         chunk_words: usize,
     ) -> Self {
+        Self::with_codec_declared(
+            backend,
+            layout,
+            record_output_content,
+            declared_packets,
+            chunk_words,
+            CodecId::Raw,
+        )
+    }
+
+    /// Opens a streaming sink that compresses packet blocks under `codec`.
+    /// With [`CodecId::Raw`] this is exactly [`TraceSink::new`].
+    pub fn with_codec(
+        backend: W,
+        layout: &TraceLayout,
+        record_output_content: bool,
+        chunk_words: usize,
+        codec: CodecId,
+    ) -> Self {
+        Self::with_codec_declared(
+            backend,
+            layout,
+            record_output_content,
+            STREAMING_PACKET_COUNT,
+            chunk_words,
+            codec,
+        )
+    }
+
+    /// Opens a sink with both a declared packet count and a block codec —
+    /// the fully general constructor the other three delegate to.
+    pub fn with_codec_declared(
+        backend: W,
+        layout: &TraceLayout,
+        record_output_content: bool,
+        declared_packets: u64,
+        chunk_words: usize,
+        codec: CodecId,
+    ) -> Self {
+        let chunk_bytes = chunk_words.max(1) * STORAGE_WORD_BYTES;
         let mut sink = TraceSink {
             backend,
-            chunk_bytes: chunk_words.max(1) * STORAGE_WORD_BYTES,
+            chunk_bytes,
+            codec,
+            schema: schema_of(layout, record_output_content),
+            blk_raw: Vec::new(),
+            blk_packets: 0,
+            blk_target: (chunk_bytes / STORAGE_WORD_BYTES) * FRAME_PAYLOAD_BYTES,
+            savings: 0,
             pending: Vec::with_capacity(FRAME_PAYLOAD_BYTES),
             sealed: Vec::new(),
             words_sealed: 0,
@@ -221,7 +345,13 @@ impl<W: ChunkSink> TraceSink<W> {
             finished: false,
         };
         let mut header = Vec::new();
-        encode_header_into(&mut header, layout, record_output_content, declared_packets);
+        encode_header_into(
+            &mut header,
+            layout,
+            record_output_content,
+            declared_packets,
+            codec,
+        );
         sink.push_bytes(&header);
         sink
     }
@@ -250,6 +380,22 @@ impl<W: ChunkSink> TraceSink<W> {
         self.pending.clear();
     }
 
+    /// Encodes and frames the open block, if non-empty. The trailer packet
+    /// count bumps only after the whole block is staged, so certified
+    /// prefixes never end mid-block.
+    fn seal_block(&mut self) {
+        if self.blk_packets == 0 {
+            return;
+        }
+        let raw = std::mem::take(&mut self.blk_raw);
+        let n = self.blk_packets;
+        self.blk_packets = 0;
+        let wire = block_wire_bytes(self.codec, &self.schema, &raw, n);
+        self.savings += (raw.len() as u64).saturating_sub(wire.len() as u64);
+        self.push_bytes(&wire);
+        self.packets_complete = self.packets_complete.saturating_add(n);
+    }
+
     /// Stages one cycle packet into the framing without flushing.
     ///
     /// # Panics
@@ -257,10 +403,19 @@ impl<W: ChunkSink> TraceSink<W> {
     /// Panics if the sink was already [`finalize`](TraceSink::finalize)d.
     pub fn stage(&mut self, packet: &CyclePacket) {
         assert!(!self.finished, "stage after finalize");
-        let mut buf = Vec::new();
-        encode_packet_into(&mut buf, packet);
-        self.push_bytes(&buf);
-        self.packets_complete = self.packets_complete.saturating_add(1);
+        if self.codec == CodecId::Raw {
+            let mut buf = Vec::new();
+            encode_packet_into(&mut buf, packet);
+            self.push_bytes(&buf);
+            self.packets_complete = self.packets_complete.saturating_add(1);
+        } else {
+            encode_packet_into(&mut self.blk_raw, packet);
+            self.blk_packets = self.blk_packets.saturating_add(1);
+            if self.blk_raw.len() >= self.blk_target {
+                self.seal_block();
+            }
+            self.peak_buffered = self.peak_buffered.max(self.buffered_bytes());
+        }
         self.packets += 1;
     }
 
@@ -309,8 +464,8 @@ impl<W: ChunkSink> TraceSink<W> {
         self.flush_full()
     }
 
-    /// Seals the open word and flushes everything, including a final
-    /// partial chunk. Idempotent.
+    /// Seals the open block and the open word, then flushes everything,
+    /// including a final partial chunk. Idempotent.
     ///
     /// # Errors
     ///
@@ -318,6 +473,7 @@ impl<W: ChunkSink> TraceSink<W> {
     /// failure left off.
     pub fn finalize(&mut self) -> Result<(), ChunkIoError> {
         if !self.finished {
+            self.seal_block();
             if !self.pending.is_empty() {
                 self.seal_pending();
             }
@@ -345,25 +501,42 @@ impl<W: ChunkSink> TraceSink<W> {
     }
 
     /// A sealed image of everything staged but not yet flushed: the
-    /// buffered sealed words plus a copy-sealed open word. Appending this to
-    /// the bytes already flushed yields a valid framed stream certifying
-    /// every staged packet — how an in-memory recording materializes a
+    /// buffered sealed words, the open block (encoded and framed as if
+    /// sealed now), and a copy-sealed open word. Appending this to the bytes
+    /// already flushed yields a valid framed stream certifying every staged
+    /// packet — how an in-memory recording materializes a
     /// [`Trace`](crate::Trace) mid-run without disturbing the sink.
     pub fn unflushed_tail_image(&self) -> Vec<u8> {
-        let mut out = self.sealed.clone();
-        if !self.pending.is_empty() {
-            out.extend_from_slice(&seal_word(
-                &self.pending,
-                self.words_sealed as u32,
-                self.packets_complete,
-            ));
+        let mut sealed = self.sealed.clone();
+        let mut pending = self.pending.clone();
+        let mut words_sealed = self.words_sealed;
+        let mut packets_complete = self.packets_complete;
+        if self.blk_packets > 0 {
+            let wire = block_wire_bytes(self.codec, &self.schema, &self.blk_raw, self.blk_packets);
+            for &b in &wire {
+                if pending.len() == FRAME_PAYLOAD_BYTES {
+                    sealed.extend_from_slice(&seal_word(
+                        &pending,
+                        words_sealed as u32,
+                        packets_complete,
+                    ));
+                    words_sealed += 1;
+                    pending.clear();
+                }
+                pending.push(b);
+            }
+            packets_complete = packets_complete.saturating_add(self.blk_packets);
         }
-        out
+        if !pending.is_empty() {
+            sealed.extend_from_slice(&seal_word(&pending, words_sealed as u32, packets_complete));
+        }
+        sealed
     }
 
-    /// Bytes currently buffered (sealed-but-unflushed plus the open word).
+    /// Bytes currently buffered (sealed-but-unflushed, the open word, and
+    /// the open raw block).
     pub fn buffered_bytes(&self) -> usize {
-        self.sealed.len() + self.pending.len()
+        self.sealed.len() + self.pending.len() + self.blk_raw.len()
     }
 
     /// High-water mark of [`buffered_bytes`](TraceSink::buffered_bytes).
@@ -379,6 +552,26 @@ impl<W: ChunkSink> TraceSink<W> {
     /// Bytes handed to the backend so far.
     pub fn flushed_bytes(&self) -> u64 {
         self.flushed_bytes
+    }
+
+    /// Total framed-stream bytes produced so far: flushed plus buffered
+    /// framing (the open raw block is excluded until it seals). After
+    /// [`finalize`](TraceSink::finalize) this is the exact stream length —
+    /// the numerator of the bytes-per-cycle storage-bandwidth metric.
+    pub fn bytes_written(&self) -> u64 {
+        self.flushed_bytes + (self.sealed.len() + self.pending.len()) as u64
+    }
+
+    /// The block codec this sink encodes with.
+    pub fn codec(&self) -> CodecId {
+        self.codec
+    }
+
+    /// Raw-minus-wire bytes saved by compression since the last call, then
+    /// resets the counter. The store's bandwidth-credit loop refunds these
+    /// bytes so compression ratio multiplies effective drain bandwidth.
+    pub fn take_compression_savings(&mut self) -> u64 {
+        std::mem::take(&mut self.savings)
     }
 
     /// Cycle packets staged so far.
@@ -412,6 +605,9 @@ impl<W: ChunkSink> TraceSink<W> {
             flushed_bytes: self.flushed_bytes,
             peak_buffered: self.peak_buffered as u64,
             finished: self.finished,
+            blk_raw: self.blk_raw.clone(),
+            blk_packets: self.blk_packets,
+            savings: self.savings,
         }
     }
 
@@ -427,6 +623,9 @@ impl<W: ChunkSink> TraceSink<W> {
         self.flushed_bytes = parts.flushed_bytes;
         self.peak_buffered = parts.peak_buffered as usize;
         self.finished = parts.finished;
+        self.blk_raw = parts.blk_raw;
+        self.blk_packets = parts.blk_packets;
+        self.savings = parts.savings;
     }
 }
 
@@ -454,32 +653,59 @@ pub struct SinkParts {
     pub peak_buffered: u64,
     /// Whether the sink was finalized.
     pub finished: bool,
+    /// Raw packet bytes of the open block (empty for raw sinks).
+    pub blk_raw: Vec<u8>,
+    /// Packets in the open block.
+    pub blk_packets: u32,
+    /// Unclaimed compression savings.
+    pub savings: u64,
 }
 
 /// A resumable read position in a [`TraceSource`]: a payload byte offset
 /// plus the number of packets already read. What a checkpoint stores so a
 /// seek can resume mid-stream without re-decoding the prefix.
+///
+/// Positions are codec- and chunk-size-stamped: for a compressed stream
+/// `payload_offset` addresses the containing *block* header (with
+/// `base_packets` counting the packets before that block), so
+/// [`TraceSource::seek`] can land on the block boundary and re-decode
+/// forward. Handing a position to a source with a different codec or chunk
+/// size is a typed error ([`TraceError::SeekMismatch`]), never a garbage
+/// decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SourcePos {
-    /// Absolute offset into the certified payload byte stream.
+    /// Absolute offset into the certified payload byte stream. Under a
+    /// block codec this is the containing block's header offset.
     pub payload_offset: u64,
     /// Packets decoded before this position.
     pub packets_read: u64,
+    /// Packets decoded before the block at `payload_offset`; equals
+    /// `packets_read` for raw streams and block boundaries.
+    pub base_packets: u64,
+    /// Wire id of the codec that minted this position.
+    pub codec: u8,
+    /// Chunk size (in storage words) of the source that minted this
+    /// position.
+    pub chunk_words: u32,
 }
 
 /// Pull-based chunked decoder over a framed trace stream.
 ///
 /// `open` makes one bounded-memory certification pass (CRC, sequence,
 /// length per word — the [`recover_frames`](crate::recover_frames)
-/// contract), parses the self-describing header, and records how many
-/// packets the frame trailers certify. `next_packet` then decodes through a
-/// readahead window refilled one chunk at a time, so memory stays
-/// O(chunk + packet) however long the trace is.
+/// contract), parses the self-describing header (including the negotiated
+/// block codec), and records how many packets the frame trailers certify.
+/// `next_packet` then decodes through a bounded window — raw streams read
+/// ahead one chunk at a time; compressed streams decode one block at a time
+/// — so memory stays O(chunk + block) however long the trace is.
 pub struct TraceSource<R: ChunkSource> {
     backend: R,
     chunk_words: usize,
     layout: TraceLayout,
     record_output_content: bool,
+    codec: CodecId,
+    schema: PacketSchema,
+    header_sentinel: bool,
     header_len: u64,
     declared_packets: u64,
     certified_packets: u64,
@@ -491,12 +717,25 @@ pub struct TraceSource<R: ChunkSource> {
     packets_read: u64,
     win: Vec<u8>,
     win_start: u64,
+    /// Decoded raw bytes of the current block (block-codec streams only).
+    blk: Vec<u8>,
+    /// Read cursor within `blk`.
+    blk_pos: usize,
+    /// Payload offset of the current block's header.
+    blk_start: u64,
+    /// Packets decoded before the current block.
+    blk_base: u64,
+    /// Packets in the current block (0 = no block loaded).
+    blk_n: u32,
+    /// Payload offset of the next block's header.
+    blk_next: u64,
 }
 
 impl<R: ChunkSource> fmt::Debug for TraceSource<R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("TraceSource")
             .field("channels", &self.layout.len())
+            .field("codec", &self.codec)
             .field("certified_packets", &self.certified_packets)
             .field("declared_packets", &self.declared_packets)
             .field("packets_read", &self.packets_read)
@@ -511,8 +750,9 @@ impl<R: ChunkSource> TraceSource<R> {
     ///
     /// # Errors
     ///
-    /// Returns a [`TraceError`] if the backend fails or the corruption
-    /// reaches into the self-description header, leaving nothing to decode.
+    /// Returns a [`TraceError`] if the backend fails, the corruption
+    /// reaches into the self-description header (leaving nothing to
+    /// decode), or the header names a codec this build does not know.
     pub fn open(backend: R, chunk_words: usize) -> Result<Self, TraceError> {
         let chunk_words = chunk_words.max(1);
         let total_bytes = backend.byte_len().map_err(io_error)?;
@@ -525,7 +765,7 @@ impl<R: ChunkSource> TraceSource<R> {
         let mut first_corrupt_word = None;
         let mut saw_short = false;
         let mut head: Vec<u8> = Vec::new();
-        let mut header: Option<(TraceLayout, bool, u64, u64)> = None;
+        let mut header: Option<(TraceLayout, bool, u64, u64, u8)> = None;
         'scan: while word < total_words as u64 {
             let left = total_bytes - word * STORAGE_WORD_BYTES as u64;
             let want = (buf.len() as u64).min(left) as usize;
@@ -573,8 +813,8 @@ impl<R: ChunkSource> TraceSource<R> {
                     head.extend_from_slice(&chunk[..len]);
                     let mut cur = Cursor::new(&head);
                     match decode_header(&mut cur) {
-                        Ok((layout, roc, count)) => {
-                            header = Some((layout, roc, count, cur.pos() as u64));
+                        Ok((layout, roc, count, codec)) => {
+                            header = Some((layout, roc, count, cur.pos() as u64, codec));
                             head = Vec::new();
                         }
                         Err(TraceError::Truncated { .. }) => {}
@@ -584,13 +824,17 @@ impl<R: ChunkSource> TraceSource<R> {
                 word += 1;
             }
         }
-        let Some((layout, record_output_content, count, header_len)) = header else {
+        let Some((layout, record_output_content, count, header_len, codec_byte)) = header else {
             // Re-derive the precise header error from what was certified.
             let mut cur = Cursor::new(&head);
             decode_header(&mut cur)?;
             return Err(TraceError::Truncated { offset: head.len() });
         };
-        let declared_packets = if count == STREAMING_PACKET_COUNT {
+        let codec = CodecId::from_u8(codec_byte)
+            .ok_or(TraceError::UnsupportedCodec { codec: codec_byte })?;
+        let schema = schema_of(&layout, record_output_content);
+        let header_sentinel = count == STREAMING_PACKET_COUNT;
+        let declared_packets = if header_sentinel {
             u64::from(trailer_packets)
         } else {
             count
@@ -601,6 +845,9 @@ impl<R: ChunkSource> TraceSource<R> {
             chunk_words,
             layout,
             record_output_content,
+            codec,
+            schema,
+            header_sentinel,
             header_len,
             declared_packets,
             certified_packets,
@@ -612,6 +859,12 @@ impl<R: ChunkSource> TraceSource<R> {
             packets_read: 0,
             win: Vec::new(),
             win_start: header_len,
+            blk: Vec::new(),
+            blk_pos: 0,
+            blk_start: header_len,
+            blk_base: 0,
+            blk_n: 0,
+            blk_next: header_len,
         })
     }
 
@@ -623,6 +876,18 @@ impl<R: ChunkSource> TraceSource<R> {
     /// Whether output contents were recorded.
     pub fn records_output_content(&self) -> bool {
         self.record_output_content
+    }
+
+    /// The block codec negotiated in the stream header.
+    pub fn codec(&self) -> CodecId {
+        self.codec
+    }
+
+    /// Whether the header carried the streaming sentinel count (a live
+    /// recording) rather than an exact declared packet count. Transcoders
+    /// preserve this so converted streams keep the writer's intent.
+    pub fn declared_streaming(&self) -> bool {
+        self.header_sentinel
     }
 
     /// Packets the frame trailers certify as decodable (the replayable
@@ -655,32 +920,77 @@ impl<R: ChunkSource> TraceSource<R> {
 
     /// The current read position, for a later [`seek`](TraceSource::seek).
     pub fn position(&self) -> SourcePos {
+        let (payload_offset, base_packets) = if self.codec == CodecId::Raw {
+            (self.pos, self.packets_read)
+        } else if self.blk_n != 0 && self.packets_read < self.blk_base + u64::from(self.blk_n) {
+            // Mid-block: address the containing block and count the skip.
+            (self.blk_start, self.blk_base)
+        } else {
+            (self.blk_next, self.packets_read)
+        };
         SourcePos {
-            payload_offset: self.pos,
+            payload_offset,
             packets_read: self.packets_read,
+            base_packets,
+            codec: self.codec as u8,
+            chunk_words: self.chunk_words as u32,
         }
     }
 
     /// Jumps to a position previously returned by
-    /// [`position`](TraceSource::position) — O(1), no prefix re-decode.
+    /// [`position`](TraceSource::position). O(1) for raw streams; under a
+    /// block codec it re-decodes at most one block to reach the packet.
     ///
     /// # Errors
     ///
-    /// Returns [`TraceError::Truncated`] if the position lies outside the
-    /// certified payload (e.g. a checkpoint from a longer recording).
+    /// Returns [`TraceError::SeekMismatch`] if the position was minted by a
+    /// source with a different codec or chunk size, and
+    /// [`TraceError::Truncated`] if it lies outside the certified payload
+    /// (e.g. a checkpoint from a longer recording).
     pub fn seek(&mut self, pos: SourcePos) -> Result<(), TraceError> {
+        if pos.codec != self.codec as u8 || pos.chunk_words as usize != self.chunk_words {
+            return Err(TraceError::SeekMismatch {
+                pos_codec: pos.codec,
+                pos_chunk_words: pos.chunk_words,
+                source_codec: self.codec as u8,
+                source_chunk_words: self.chunk_words as u32,
+            });
+        }
         if pos.payload_offset < self.header_len
             || pos.payload_offset > self.certified_payload_len
             || pos.packets_read > self.certified_packets
+            || pos.base_packets > pos.packets_read
         {
             return Err(TraceError::Truncated {
                 offset: pos.payload_offset as usize,
             });
         }
+        if self.codec == CodecId::Raw {
+            self.pos = pos.payload_offset;
+            self.packets_read = pos.packets_read;
+            self.win.clear();
+            self.win_start = self.pos;
+            return Ok(());
+        }
+        // Block codec: land on the recorded block boundary, then re-decode
+        // forward to the exact packet.
         self.pos = pos.payload_offset;
-        self.packets_read = pos.packets_read;
         self.win.clear();
         self.win_start = self.pos;
+        self.blk.clear();
+        self.blk_pos = 0;
+        self.blk_n = 0;
+        self.blk_start = pos.payload_offset;
+        self.blk_next = pos.payload_offset;
+        self.blk_base = pos.base_packets;
+        self.packets_read = pos.base_packets;
+        for _ in pos.base_packets..pos.packets_read {
+            if self.next_packet()?.is_none() {
+                return Err(TraceError::Truncated {
+                    offset: pos.payload_offset as usize,
+                });
+            }
+        }
         Ok(())
     }
 
@@ -695,6 +1005,9 @@ impl<R: ChunkSource> TraceSource<R> {
     pub fn next_packet(&mut self) -> Result<Option<CyclePacket>, TraceError> {
         if self.packets_read >= self.certified_packets {
             return Ok(None);
+        }
+        if self.codec != CodecId::Raw {
+            return self.next_packet_block().map(Some);
         }
         loop {
             let attempt = {
@@ -719,6 +1032,114 @@ impl<R: ChunkSource> TraceSource<R> {
                 Err(e) => return Err(e),
             }
         }
+    }
+
+    /// Decodes one packet from the current block, loading the next block
+    /// first if the current one is exhausted.
+    fn next_packet_block(&mut self) -> Result<CyclePacket, TraceError> {
+        if self.blk_n == 0 || self.packets_read >= self.blk_base + u64::from(self.blk_n) {
+            self.load_block()?;
+        }
+        let mut cur = Cursor::new(&self.blk[self.blk_pos..]);
+        let p = decode_packet(&mut cur, &self.layout, self.record_output_content).map_err(|e| {
+            TraceError::BadBlock {
+                offset: self.blk_start,
+                detail: format!("decoded block does not parse as packets: {e}"),
+            }
+        })?;
+        self.blk_pos += cur.pos();
+        self.packets_read += 1;
+        Ok(p)
+    }
+
+    /// Reads and decodes the block whose header sits at `blk_next`.
+    fn load_block(&mut self) -> Result<(), TraceError> {
+        let off = self.blk_next;
+        let bad = |detail: String| TraceError::BadBlock {
+            offset: off,
+            detail,
+        };
+        if off + BLOCK_HEADER_BYTES as u64 > self.certified_payload_len {
+            return Err(bad("block header past certified payload".into()));
+        }
+        let mut hdr = [0u8; BLOCK_HEADER_BYTES];
+        self.read_payload(off, &mut hdr)?;
+        let wire_byte = hdr[0];
+        let n = u32::from_le_bytes(hdr[1..5].try_into().expect("4"));
+        let raw_len = u32::from_le_bytes(hdr[5..9].try_into().expect("4")) as usize;
+        let enc_len = u32::from_le_bytes(hdr[9..13].try_into().expect("4")) as usize;
+        if n == 0 {
+            return Err(bad("empty block".into()));
+        }
+        if raw_len > MAX_BLOCK_RAW_BYTES {
+            return Err(bad(format!("block claims {raw_len} raw bytes")));
+        }
+        let fixed = self.schema.fixed_bytes();
+        if fixed > 0 && u64::from(n).saturating_mul(fixed as u64) > raw_len as u64 {
+            return Err(bad(format!(
+                "{n} packets cannot fit in {raw_len} raw bytes"
+            )));
+        }
+        if off + (BLOCK_HEADER_BYTES + enc_len) as u64 > self.certified_payload_len {
+            return Err(bad("block payload past certified payload".into()));
+        }
+        let mut enc = vec![0u8; enc_len];
+        self.read_payload(off + BLOCK_HEADER_BYTES as u64, &mut enc)?;
+        let raw = if wire_byte == CodecId::Raw as u8 {
+            if enc_len != raw_len {
+                return Err(bad("stored block length mismatch".into()));
+            }
+            enc
+        } else {
+            let wire_codec = CodecId::from_u8(wire_byte)
+                .ok_or_else(|| bad(format!("unknown block codec {wire_byte}")))?;
+            vidi_codec::decode_block(wire_codec, &self.schema, &enc, n, raw_len)
+                .map_err(|e| bad(e.to_string()))?
+        };
+        self.blk = raw;
+        self.blk_pos = 0;
+        self.blk_start = off;
+        self.blk_base = self.packets_read;
+        self.blk_n = n;
+        self.blk_next = off + (BLOCK_HEADER_BYTES + enc_len) as u64;
+        Ok(())
+    }
+
+    /// Reads `out.len()` payload bytes starting at payload offset `offset`,
+    /// mapping through the storage-word framing. Only certified words are
+    /// touched.
+    fn read_payload(&self, offset: u64, out: &mut [u8]) -> Result<(), TraceError> {
+        let mut off = offset;
+        let mut done = 0usize;
+        let mut wbuf = [0u8; STORAGE_WORD_BYTES];
+        while done < out.len() {
+            // Every certified word except the final one carries a full
+            // payload, so payload offsets map to word indices arithmetically.
+            let word = off / FRAME_PAYLOAD_BYTES as u64;
+            let skip = (off % FRAME_PAYLOAD_BYTES as u64) as usize;
+            if word >= self.certified_words {
+                return Err(TraceError::Truncated {
+                    offset: off as usize,
+                });
+            }
+            let wlen = if word == self.certified_words - 1 {
+                (self.certified_payload_len - word * FRAME_PAYLOAD_BYTES as u64) as usize
+            } else {
+                FRAME_PAYLOAD_BYTES
+            };
+            if skip >= wlen {
+                return Err(TraceError::Truncated {
+                    offset: off as usize,
+                });
+            }
+            read_full(&self.backend, word * STORAGE_WORD_BYTES as u64, &mut wbuf)
+                .map_err(io_error)?;
+            let n = (wlen - skip).min(out.len() - done);
+            out[done..done + n].copy_from_slice(&wbuf[skip..skip + n]);
+            done += n;
+            off += n as u64;
+        }
+        Ok(())
     }
 
     /// Extends the readahead window by up to one chunk of certified
@@ -845,6 +1266,32 @@ mod tests {
         t
     }
 
+    /// A trace whose cycles repeat a small value set — the shape block
+    /// codecs are built for.
+    fn repetitive(n: u64) -> Trace {
+        let l = layout();
+        let mut t = Trace::new(l.clone(), true);
+        for i in 0..n {
+            t.push(CyclePacket::assemble(
+                &l,
+                &[
+                    ChannelPacket {
+                        start: true,
+                        content: Some(Bits::from_u64(24, 0xABCD00 + (i % 2))),
+                        end: false,
+                    },
+                    ChannelPacket {
+                        start: false,
+                        content: Some(Bits::from_u64(8, 0x5A)),
+                        end: i % 4 == 0,
+                    },
+                ],
+                true,
+            ));
+        }
+        t
+    }
+
     #[test]
     fn declared_sink_matches_encode_framed() {
         for roc in [false, true] {
@@ -854,7 +1301,13 @@ mod tests {
             // the legacy FrameWriter to pin the byte format.
             let mut fw = crate::FrameWriter::new();
             let mut header = Vec::new();
-            encode_header_into(&mut header, t.layout(), roc, t.packets().len() as u64);
+            encode_header_into(
+                &mut header,
+                t.layout(),
+                roc,
+                t.packets().len() as u64,
+                CodecId::Raw,
+            );
             fw.push_bytes(&header);
             let mut buf = Vec::new();
             for p in t.packets() {
@@ -879,6 +1332,63 @@ mod tests {
         let mut src = TraceSource::open(bytes.as_slice(), 2).unwrap();
         assert!(src.is_complete());
         assert_eq!(src.certified_packets(), 100);
+        let got: Vec<CyclePacket> = src.cycles().map(|p| p.unwrap()).collect();
+        assert_eq!(got.as_slice(), t.packets());
+    }
+
+    #[test]
+    fn compressed_streaming_roundtrip_every_codec() {
+        let t = sample(150, true);
+        let raw_len = {
+            let mut sink = TraceSink::new(Vec::new(), t.layout(), true, 2);
+            for p in t.packets() {
+                sink.push(p).unwrap();
+            }
+            sink.finish().unwrap().len()
+        };
+        for codec in CodecId::ALL {
+            let mut sink = TraceSink::with_codec(Vec::new(), t.layout(), true, 2, codec);
+            for p in t.packets() {
+                sink.push(p).unwrap();
+            }
+            let bytes = sink.finish().unwrap();
+            let mut src = TraceSource::open(bytes.as_slice(), 2).unwrap();
+            assert_eq!(src.codec(), codec);
+            assert!(src.is_complete(), "codec {codec}");
+            assert_eq!(src.certified_packets(), 150, "codec {codec}");
+            let got: Vec<CyclePacket> = src.cycles().map(|p| p.unwrap()).collect();
+            assert_eq!(got.as_slice(), t.packets(), "codec {codec}");
+            // Even a poorly-matched codec stays near raw thanks to the
+            // stored-block fallback (block headers are the only overhead).
+            assert!(
+                bytes.len() <= raw_len + raw_len / 4 + 256,
+                "codec {codec}: {} vs raw {raw_len}",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn repetitive_stream_compresses() {
+        let t = repetitive(600);
+        let mut raw_sink = TraceSink::new(Vec::new(), t.layout(), true, 4);
+        let mut col_sink =
+            TraceSink::with_codec(Vec::new(), t.layout(), true, 4, CodecId::Columnar);
+        for p in t.packets() {
+            raw_sink.push(p).unwrap();
+            col_sink.push(p).unwrap();
+        }
+        let savings = col_sink.take_compression_savings();
+        assert!(savings > 0, "compression must report savings");
+        let raw = raw_sink.finish().unwrap();
+        let col = col_sink.finish().unwrap();
+        assert!(
+            col.len() * 2 < raw.len(),
+            "columnar {} vs raw {}",
+            col.len(),
+            raw.len()
+        );
+        let mut src = TraceSource::open(col.as_slice(), 4).unwrap();
         let got: Vec<CyclePacket> = src.cycles().map(|p| p.unwrap()).collect();
         assert_eq!(got.as_slice(), t.packets());
     }
@@ -943,6 +1453,25 @@ mod tests {
     }
 
     #[test]
+    fn compressed_tail_image_certifies_staged_packets() {
+        let t = sample(45, true);
+        for codec in CodecId::COMPRESSED {
+            let mut sink = TraceSink::with_codec(Vec::new(), t.layout(), true, 2, codec);
+            for p in t.packets() {
+                sink.push(p).unwrap();
+            }
+            let mut image = sink.backend().clone();
+            image.extend_from_slice(&sink.unflushed_tail_image());
+            let rec = crate::recover_trace(&image).unwrap();
+            assert_eq!(rec.recovered_packets, 45, "codec {codec}");
+            assert_eq!(rec.trace.packets(), t.packets(), "codec {codec}");
+            // The sink is undisturbed: the open block keeps accumulating.
+            sink.push(&t.packets()[0].clone()).unwrap();
+            assert_eq!(sink.packets(), 46, "codec {codec}");
+        }
+    }
+
+    #[test]
     fn source_seek_roundtrip() {
         let t = sample(50, true);
         let bytes = t.encode_framed();
@@ -962,8 +1491,70 @@ mod tests {
             .seek(SourcePos {
                 payload_offset: bytes.len() as u64,
                 packets_read: 0,
+                base_packets: 0,
+                codec: 0,
+                chunk_words: 1,
             })
             .is_err());
+    }
+
+    #[test]
+    fn compressed_seek_roundtrip() {
+        let t = sample(120, true);
+        for codec in CodecId::COMPRESSED {
+            let mut sink = TraceSink::with_codec(Vec::new(), t.layout(), true, 2, codec);
+            for p in t.packets() {
+                sink.push(p).unwrap();
+            }
+            let bytes = sink.finish().unwrap();
+            let mut src = TraceSource::open(bytes.as_slice(), 2).unwrap();
+            for skip in [0u64, 7, 40, 95] {
+                let mut fresh = TraceSource::open(bytes.as_slice(), 2).unwrap();
+                for _ in 0..skip {
+                    fresh.next_packet().unwrap().unwrap();
+                }
+                let mark = fresh.position();
+                assert_eq!(mark.packets_read, skip, "codec {codec}");
+                src.seek(mark).unwrap();
+                let got = src.next_packet().unwrap().unwrap();
+                assert_eq!(got, t.packets()[skip as usize], "codec {codec} @{skip}");
+            }
+        }
+    }
+
+    #[test]
+    fn seek_rejects_mismatched_positions() {
+        let t = sample(60, true);
+        let raw_bytes = t.encode_framed();
+        let mut comp_sink =
+            TraceSink::with_codec(Vec::new(), t.layout(), true, 2, CodecId::XorDict);
+        for p in t.packets() {
+            comp_sink.push(p).unwrap();
+        }
+        let comp_bytes = comp_sink.finish().unwrap();
+
+        // A position minted by a compressed source is rejected by a raw one.
+        let mut comp_src = TraceSource::open(comp_bytes.as_slice(), 2).unwrap();
+        comp_src.next_packet().unwrap().unwrap();
+        let comp_pos = comp_src.position();
+        let mut raw_src = TraceSource::open(raw_bytes.as_slice(), 2).unwrap();
+        assert!(matches!(
+            raw_src.seek(comp_pos),
+            Err(TraceError::SeekMismatch { .. })
+        ));
+
+        // A position minted under one chunk size is rejected by another.
+        let mut wide_src = TraceSource::open(raw_bytes.as_slice(), 4).unwrap();
+        wide_src.next_packet().unwrap().unwrap();
+        let wide_pos = wide_src.position();
+        assert!(matches!(
+            raw_src.seek(wide_pos),
+            Err(TraceError::SeekMismatch { .. })
+        ));
+        // Matching codec and chunk size still works.
+        let mut same_src = TraceSource::open(raw_bytes.as_slice(), 2).unwrap();
+        same_src.next_packet().unwrap().unwrap();
+        raw_src.seek(same_src.position()).unwrap();
     }
 
     #[test]
@@ -989,6 +1580,37 @@ mod tests {
     }
 
     #[test]
+    fn torn_compressed_tail_recovers_block_prefix() {
+        let t = sample(400, true);
+        for codec in CodecId::COMPRESSED {
+            let mut sink = TraceSink::with_codec(Vec::new(), t.layout(), true, 2, codec);
+            for p in t.packets() {
+                sink.push(p).unwrap();
+            }
+            // Crash without finalize: only flushed chunks survive.
+            let survived = sink.backend().clone();
+            assert!(sink.chunks_flushed() >= 3, "codec {codec}");
+            let rec = crate::recover_trace(&survived).unwrap();
+            assert!(rec.recovered_packets > 0, "codec {codec}");
+            assert_eq!(
+                rec.trace.packets(),
+                &t.packets()[..rec.recovered_packets as usize],
+                "codec {codec}"
+            );
+            // Arbitrary further truncation still yields a clean prefix —
+            // never a panic, never garbage packets.
+            for cut in [survived.len() - 1, survived.len() - 63, survived.len() / 2] {
+                let rec = crate::recover_trace(&survived[..cut]).unwrap();
+                assert_eq!(
+                    rec.trace.packets(),
+                    &t.packets()[..rec.recovered_packets as usize],
+                    "codec {codec} cut {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn sink_parts_roundtrip() {
         let t = sample(25, false);
         let mut sink = TraceSink::new(Vec::new(), t.layout(), false, 2);
@@ -1000,5 +1622,35 @@ mod tests {
         clone.restore_parts(parts.clone());
         assert_eq!(clone.save_parts(), parts);
         assert_eq!(clone.unflushed_tail_image(), sink.unflushed_tail_image());
+    }
+
+    #[test]
+    fn compressed_sink_parts_roundtrip() {
+        let t = sample(25, true);
+        let mut sink = TraceSink::with_codec(Vec::new(), t.layout(), true, 2, CodecId::Columnar);
+        for p in &t.packets()[..10] {
+            sink.push(p).unwrap();
+        }
+        let parts = sink.save_parts();
+        assert!(!parts.blk_raw.is_empty(), "open block must be captured");
+        let mut clone = TraceSink::with_codec(Vec::new(), t.layout(), true, 2, CodecId::Columnar);
+        clone.restore_parts(parts.clone());
+        assert_eq!(clone.save_parts(), parts);
+        assert_eq!(clone.unflushed_tail_image(), sink.unflushed_tail_image());
+    }
+
+    #[test]
+    fn bytes_written_matches_stream_length() {
+        let t = sample(80, true);
+        for codec in [CodecId::Raw, CodecId::Columnar] {
+            let mut sink = TraceSink::with_codec(Vec::new(), t.layout(), true, 2, codec);
+            for p in t.packets() {
+                sink.push(p).unwrap();
+            }
+            sink.finalize().unwrap();
+            let written = sink.bytes_written();
+            let bytes = sink.finish().unwrap();
+            assert_eq!(written, bytes.len() as u64, "codec {codec}");
+        }
     }
 }

@@ -9,6 +9,10 @@ use crate::packet::CyclePacket;
 
 const MAGIC: &[u8; 4] = b"VIDI";
 const VERSION: u16 = 1;
+/// Header version that carries a block-codec id byte after the
+/// output-content flag. Version-1 headers are byte-identical to the
+/// pre-codec format and imply [`vidi_codec::CodecId::Raw`].
+const VERSION_CODEC: u16 = 2;
 
 /// A complete recorded execution trace: the channel layout plus the sequence
 /// of cycle packets emitted by the trace encoder.
@@ -130,6 +134,7 @@ impl Trace {
             &self.layout,
             self.record_output_content,
             self.packets.len() as u64,
+            vidi_codec::CodecId::Raw,
         );
         out
     }
@@ -164,7 +169,13 @@ impl Trace {
     /// Returns a [`TraceError`] describing the first structural problem.
     pub fn decode(bytes: &[u8]) -> Result<Self, TraceError> {
         let mut r = crate::reader::Cursor::new(bytes);
-        let (layout, record_output_content, n_packets) = crate::reader::decode_header(&mut r)?;
+        let (layout, record_output_content, n_packets, codec) =
+            crate::reader::decode_header(&mut r)?;
+        if codec != vidi_codec::CodecId::Raw as u8 {
+            // An unframed body is always raw packets; compressed streams
+            // only exist under the chunk framing (use TraceSource).
+            return Err(TraceError::UnsupportedCodec { codec });
+        }
         let n_packets = n_packets as usize;
         let mut packets = Vec::with_capacity(n_packets.min(1 << 20));
         for _ in 0..n_packets {
@@ -222,15 +233,27 @@ pub(crate) fn encode_packet_into(out: &mut Vec<u8>, p: &CyclePacket) {
 
 /// Serializes the self-description header for `count` packets (a streaming
 /// sink passes a sentinel count; see [`crate::stream`]).
+///
+/// A raw-codec header is the byte-identical version-1 format; any other
+/// codec writes a version-2 header carrying the codec id byte, which is how
+/// the codec is negotiated to readers — raw and compressed streams
+/// interoperate through the same [`TraceSource`](crate::TraceSource).
 pub(crate) fn encode_header_into(
     out: &mut Vec<u8>,
     layout: &TraceLayout,
     record_output_content: bool,
     count: u64,
+    codec: vidi_codec::CodecId,
 ) {
     out.extend_from_slice(MAGIC);
-    write_u16(out, VERSION);
-    out.push(record_output_content as u8);
+    if codec == vidi_codec::CodecId::Raw {
+        write_u16(out, VERSION);
+        out.push(record_output_content as u8);
+    } else {
+        write_u16(out, VERSION_CODEC);
+        out.push(record_output_content as u8);
+        out.push(codec as u8);
+    }
     write_u16(
         out,
         u16::try_from(layout.len())

@@ -29,6 +29,22 @@ echo "â”€â”€ streaming soak: bounded-memory record + kill-recovery gate â”€â”€"
 # asserts the torn file recovers to a bit-exact, replayable prefix.
 cargo test -q --release --test streaming_soak
 
+echo "â”€â”€ codec round-trip: raw -> compressed -> raw byte-identity â”€â”€â”€â”€"
+# Records a catalog app to a framed chunk stream, transcodes it through
+# every compressed codec and back to raw, and requires the reconstructed
+# raw stream to be byte-identical to the original â€” codec negotiation and
+# the transcoder preserve the stream exactly, not merely semantically.
+tt=(cargo run --release -q -p vidi-bench --bin trace_tool --)
+convert_dir="$(mktemp -d)"
+trap 'rm -rf "$convert_dir"' EXIT
+"${tt[@]}" sample "$convert_dir/orig.vidi" --app sha --seed 9
+for codec in delta-rle xor-dict columnar; do
+    "${tt[@]}" convert "$convert_dir/orig.vidi" "$convert_dir/$codec.vidi" --codec "$codec"
+    "${tt[@]}" convert "$convert_dir/$codec.vidi" "$convert_dir/$codec-back.vidi" --codec raw
+    cmp "$convert_dir/orig.vidi" "$convert_dir/$codec-back.vidi" \
+        || { echo "FAIL: $codec round-trip is not byte-identical"; exit 1; }
+done
+
 echo "â”€â”€ vidi-lint: static design lint + trace-analysis gate â”€â”€â”€â”€â”€â”€â”€â”€â”€"
 cargo run --release -q -p vidi-lint -- ci --config scripts/vidi-lint.allow
 
@@ -37,7 +53,9 @@ echo "â”€â”€ bench smoke: scheduler equivalence + evals/cycle gate â”€â”€â”€â”€â
 # schedulers (full / incremental / compiled), <2x eval reduction on half
 # the catalog, <2x compiled wall-clock speedup over incremental on half
 # the catalog (with all-zero tick_skips treated as a vacuous-gate
-# failure), or >10% per-mode evals/cycle regression against the
+# failure), any codec round-trip mismatch, <3x best-codec compression on
+# half the catalog (all-raw ratios are a vacuous-gate failure), or a
+# per-mode evals/cycle or compression-ratio regression against the
 # committed baseline.
 cargo run --release -q -p vidi-bench --bin bench_sim -- \
     --out BENCH_sim.json --baseline scripts/bench_sim_baseline.json

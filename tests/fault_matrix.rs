@@ -271,6 +271,94 @@ fn lossy_degradation_counts_every_dropped_packet() {
 }
 
 #[test]
+fn killed_compressed_record_leaves_certified_replayable_prefix() {
+    // Kill-mid-record with a *compressed* sink: the torn tail loses at
+    // most the unflushed chunk plus the open block, and whatever the word
+    // trailers certify is a bit-exact, replayable packet prefix — the same
+    // contract the raw streaming soak establishes, under a block codec.
+    use vidi_repro::core::ReplayInput;
+    use vidi_repro::host::{file_chunk_source, FileChunkSink};
+    use vidi_repro::trace::{CodecId, TraceSource, STORAGE_WORD_BYTES};
+
+    const CHUNK_WORDS: usize = 4;
+    let seed = 7u64;
+    let app = AppId::Sha;
+    let cfg = VidiConfig {
+        trace_chunk_words: CHUNK_WORDS,
+        ..VidiConfig::record()
+    }
+    .with_trace_codec(CodecId::XorDict);
+
+    let dir = std::env::temp_dir().join("vidi_fault_matrix");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("killed_compressed.vidi");
+
+    let built = build_app(app.setup(Scale::Test, seed), cfg.clone());
+    built
+        .shim
+        .stream_to(Box::new(FileChunkSink::create(&path).unwrap()))
+        .expect("no chunk flushed yet");
+    {
+        let mut built = built;
+        built.sim.run(1200).expect("partial run");
+    } // dropped: no finalize, the unflushed tail is lost
+    let len = std::fs::metadata(&path).unwrap().len();
+    assert!(
+        len >= 2 * (CHUNK_WORDS * STORAGE_WORD_BYTES) as u64,
+        "kill point must land after several chunk flushes ({len} bytes)"
+    );
+    let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+    file.set_len(len - 13).unwrap(); // torn final word
+    drop(file);
+
+    // The reference packet sequence is codec-independent: record the same
+    // execution in memory, raw.
+    let reference = run_app(
+        build_app(app.setup(Scale::Test, seed), VidiConfig::record()),
+        RECORD_BUDGET,
+    )
+    .expect("reference recording completes")
+    .trace
+    .expect("trace");
+
+    let mut source = TraceSource::open(file_chunk_source(&path).unwrap(), CHUNK_WORDS)
+        .expect("torn compressed file still opens");
+    assert_eq!(
+        source.codec(),
+        CodecId::XorDict,
+        "codec rides in the header"
+    );
+    assert!(!source.is_complete(), "torn tail must not certify");
+    let certified = usize::try_from(source.certified_packets()).unwrap();
+    assert!(certified > 0, "kill point too early: nothing certified");
+    assert!(
+        certified < reference.packets().len(),
+        "kill point too late: whole trace survived"
+    );
+    let mut packets = Vec::new();
+    while let Some(p) = source.next_packet().expect("certified packets decode") {
+        packets.push(p);
+    }
+    assert_eq!(
+        packets.as_slice(),
+        &reference.packets()[..certified],
+        "recovered packets are not a prefix of the reference"
+    );
+
+    // The certified prefix replays to completion straight off the torn
+    // compressed file — replay self-configures from the header codec.
+    let input = ReplayInput::from_chunks(file_chunk_source(&path).unwrap());
+    let replay_cfg = VidiConfig {
+        trace_chunk_words: CHUNK_WORDS,
+        ..VidiConfig::replay(input)
+    };
+    let replay = build_app(app.setup(Scale::Test, seed), replay_cfg);
+    run_app(replay, REPLAY_BUDGET).expect("compressed prefix replay completes");
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn quiet_plan_changes_nothing() {
     // The null schedule must be bit-identical to a run without the fault
     // subsystem wired at all.
