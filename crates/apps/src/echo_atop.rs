@@ -20,7 +20,7 @@ use vidi_chan::{
     AtopFilter, AtopFilterMode, AxFields, AxiChannel, AxiIface, BFields, Channel, Direction,
     F1Interface, ReceiverLatch, SenderQueue, WFields, W_LAST_BIT,
 };
-use vidi_core::{VidiConfig, VidiShim};
+use vidi_core::{DriveSession, RawSession, SessionCursor, Stop, StopReason, VidiConfig, VidiShim};
 use vidi_host::{CpuThread, HostMemSubordinate, HostMemory, HostOp};
 use vidi_hwsim::{
     Component, SignalPool, SimError, Simulator, StateError, StateReader, StateWriter,
@@ -199,6 +199,15 @@ pub struct EchoAtopBuilt {
     pub payload: Vec<u8>,
 }
 
+impl DriveSession for EchoAtopBuilt {
+    fn sim(&mut self) -> &mut Simulator {
+        &mut self.sim
+    }
+    fn shim(&self) -> &VidiShim {
+        &self.shim
+    }
+}
+
 /// Assembles the ping-pong server (app + filter + shim + host side)
 /// without running it — the build phase of [`run_echo_atop`], also used by
 /// static lint and the scheduler-equivalence suite to inspect the design.
@@ -342,20 +351,19 @@ pub fn run_echo_atop(
     // never misreported as a deadlock.
     let budget = 400_000u64.max(pings as u64 * 2_000);
     let result = if replaying {
-        let mut c = 0u64;
-        loop {
-            if shim.replay_complete() {
-                break Ok(c);
-            }
-            if c > budget {
-                break Err(SimError::Timeout {
-                    cycle: c,
-                    waiting_for: "ping-pong replay".into(),
-                    diagnostics: sim.diagnostics(),
-                });
-            }
-            sim.run(128)?;
-            c += 128;
+        let mut session = RawSession {
+            sim: &mut sim,
+            shim: &shim,
+        };
+        let ev = SessionCursor::new(&mut session)
+            .run_until(Stop::replay_complete().with_budget(budget).check_every(128))?;
+        match ev.reason {
+            StopReason::ReplayComplete => Ok(ev.advanced),
+            _ => Err(SimError::Timeout {
+                cycle: ev.advanced,
+                waiting_for: "ping-pong replay".into(),
+                diagnostics: sim.diagnostics(),
+            }),
         }
     } else {
         let acked = Rc::clone(&pongs_acked);
@@ -369,7 +377,7 @@ pub fn run_echo_atop(
 
     match result {
         Ok(cycles) => {
-            sim.run(4096)?;
+            sim.run(vidi_core::drive::FLUSH_MARGIN)?;
             let host_ok = if replaying {
                 true
             } else {

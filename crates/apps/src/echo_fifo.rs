@@ -24,7 +24,7 @@ use vidi_chan::{
     F1Interface, FrameFifoMode, RFields, ReceiverLatch, SenderQueue, WFields, WideFrameFifo,
     FRAGS_PER_FRAME, FRAG_BITS, FRAME_CHANNEL_BITS,
 };
-use vidi_core::{VidiConfig, VidiShim};
+use vidi_core::{DriveSession, RawSession, SessionCursor, Stop, StopReason, VidiConfig, VidiShim};
 use vidi_host::{CpuThread, HostMemSubordinate, HostMemory, HostOp};
 use vidi_hwsim::{Bits, Component, SignalId, SignalPool, SimError, Simulator};
 use vidi_trace::Trace;
@@ -288,19 +288,20 @@ pub fn run_echo_fifo(config: EchoFifoConfig) -> Result<EchoFifoOutcome, SimError
     } = build_echo_fifo(&config);
     let replaying = config.vidi.mode.replays();
     let cycles = if replaying {
-        let mut c = 0u64;
-        while !shim.replay_complete() {
-            sim.run(256)?;
-            c += 256;
-            if c > 4_000_000 {
-                return Err(SimError::Timeout {
-                    cycle: c,
-                    waiting_for: "echo replay".into(),
-                    diagnostics: sim.diagnostics(),
-                });
-            }
+        let mut session = RawSession {
+            sim: &mut sim,
+            shim: &shim,
+        };
+        let ev = SessionCursor::new(&mut session)
+            .run_until(Stop::replay_complete().with_budget(4_000_000))?;
+        if ev.reason != StopReason::ReplayComplete {
+            return Err(SimError::Timeout {
+                cycle: ev.advanced,
+                waiting_for: "echo replay".into(),
+                diagnostics: sim.diagnostics(),
+            });
         }
-        c
+        ev.advanced
     } else {
         let handles = cpu.clone();
         sim.run_until(
@@ -309,7 +310,7 @@ pub fn run_echo_fifo(config: EchoFifoConfig) -> Result<EchoFifoOutcome, SimError
             "echo CPU threads",
         )?
     };
-    sim.run(4096)?;
+    sim.run(vidi_core::drive::FLUSH_MARGIN)?;
 
     let total_bytes = expected.len();
     let readback = if replaying {
@@ -351,6 +352,15 @@ pub struct EchoFifoBuilt {
     pub stored: StoredCount,
     /// Every VALID/READY channel crossing the CPU↔FPGA boundary.
     pub app_channels: Vec<(Channel, Direction)>,
+}
+
+impl DriveSession for EchoFifoBuilt {
+    fn sim(&mut self) -> &mut Simulator {
+        &mut self.sim
+    }
+    fn shim(&self) -> &VidiShim {
+        &self.shim
+    }
 }
 
 /// Assembles the echo-server simulation — the build phase of

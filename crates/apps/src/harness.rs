@@ -7,7 +7,9 @@
 use std::fmt;
 
 use vidi_chan::{AxiChannel, AxiIface, Channel, Direction, F1Interface};
-use vidi_core::{FaultInjection, VidiConfig, VidiShim};
+use vidi_core::{
+    DriveSession, FaultInjection, SessionCursor, Stop, StopReason, VidiConfig, VidiShim,
+};
 use vidi_host::{CpuHandle, CpuThread, HostMemSubordinate, HostMemory, HostOp};
 use vidi_hwsim::{SignalId, SimError, SimStats, Simulator};
 use vidi_trace::Trace;
@@ -82,6 +84,15 @@ pub struct BuiltApp {
     /// against the shim's trace layout to prove monitored-boundary
     /// completeness.
     pub app_channels: Vec<(Channel, Direction)>,
+}
+
+impl DriveSession for BuiltApp {
+    fn sim(&mut self) -> &mut Simulator {
+        &mut self.sim
+    }
+    fn shim(&self) -> &VidiShim {
+        &self.shim
+    }
 }
 
 /// The outcome of a completed run.
@@ -263,33 +274,36 @@ pub fn build_app_with_faults(
 pub fn run_app(mut built: BuiltApp, max_cycles: u64) -> Result<RunOutcome, SimError> {
     let replaying = built.cpu.is_empty();
     let cycles = if replaying {
-        let mut cycles = 0u64;
-        while !built.shim.replay_complete() {
-            built.sim.run(256)?;
-            cycles += 256;
-            if cycles > max_cycles {
-                let (done, total) = built.shim.replay_progress();
-                let stalled = built.shim.replay_stalled().join(", ");
-                return Err(SimError::Timeout {
-                    cycle: cycles,
-                    waiting_for: format!(
-                        "replay completion ({done}/{total} packets; stalled: {stalled})"
-                    ),
-                    diagnostics: built.sim.diagnostics(),
-                });
-            }
+        let mut cursor = SessionCursor::new(&mut built);
+        let ev = cursor.run_until(Stop::replay_complete().with_budget(max_cycles))?;
+        if ev.reason != StopReason::ReplayComplete {
+            let progress = built.shim.replay_progress();
+            let stalled = built.shim.replay_stalled().join(", ");
+            return Err(SimError::Timeout {
+                cycle: ev.advanced,
+                waiting_for: format!("replay completion ({progress} packets; stalled: {stalled})"),
+                diagnostics: built.sim.diagnostics(),
+            });
         }
-        cycles
+        ev.advanced
     } else {
-        let handles = built.cpu.clone();
-        built.sim.run_until(
-            move |_| handles.iter().all(|h| h.borrow().finished),
-            max_cycles,
-            "all CPU threads to finish",
-        )?
+        let mut cursor = SessionCursor::new(&mut built);
+        let ev = cursor.run_until(
+            Stop::when(|b: &mut BuiltApp| b.cpu.iter().all(|h| h.borrow().finished))
+                .or_at_cycle(max_cycles)
+                .check_every(1),
+        )?;
+        if ev.reason != StopReason::PredicateTrue {
+            return Err(SimError::Timeout {
+                cycle: ev.cycle,
+                waiting_for: "all CPU threads to finish".to_string(),
+                diagnostics: built.sim.diagnostics(),
+            });
+        }
+        ev.cycle
     };
     // Flush margin for the trace store.
-    built.sim.run(4096)?;
+    built.sim.run(vidi_core::drive::FLUSH_MARGIN)?;
 
     let stats = built.shim.stats();
     let output_ok = (built.check)(&built.host_mem, &built.fpga_dram, &built.cpu);

@@ -23,6 +23,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod debug;
 pub mod fleet_bench;
 pub mod json;
 pub mod sim_bench;

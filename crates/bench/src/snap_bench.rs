@@ -80,6 +80,14 @@ pub struct SnapBenchRow {
     pub verify_speedup: f64,
     /// Serial and parallel verification returned the identical report.
     pub verify_consistent: bool,
+    /// Worst-case roll-forward (cycles) a single reverse-step can pay
+    /// anywhere in this replay — the debugger's `rstep` cost ceiling, a
+    /// pure function of the checkpoint cadence. Deterministic, so CI gates
+    /// on it; see [`worst_rstep_roll_forward`].
+    pub rstep_worst_roll_forward: u64,
+    /// Measured wall time of a reverse-step at that worst-case position,
+    /// ms (informational; host-dependent).
+    pub rstep_worst_ms: f64,
     /// The (deterministic) verdict, e.g. `"clean"` or `"diverged@2841"`.
     /// Divergence is *expected* for cycle-dependent apps — the catalog DMA
     /// polls a status register (§3.6) — so the baseline gates verdict
@@ -143,6 +151,33 @@ fn schedule_speedup(log: &CheckpointLog, flush_margin: u64, threads: usize) -> f
         busy[next] += cost;
     }
     total as f64 / *busy.iter().max().expect("threads > 0") as f64
+}
+
+/// Worst-case roll-forward (in cycles) of a single reverse-step anywhere
+/// in the replay, and the seek target that realizes it. A reverse-step
+/// from cycle `c` restores the nearest checkpoint at or before `c - 1` and
+/// rolls forward the difference; the worst position is one cycle short of
+/// a checkpoint (or of the final cycle). Purely a function of the log —
+/// denser checkpoints shrink it, which is exactly the cost model §15 of
+/// DESIGN.md gates.
+pub fn worst_rstep_roll_forward(log: &CheckpointLog) -> (u64, u64) {
+    let cps = &log.checkpoints;
+    let mut worst = 0u64;
+    let mut at = 0u64;
+    for w in cps.windows(2) {
+        let roll = w[1].cycle - w[0].cycle - 1;
+        if roll > worst {
+            worst = roll;
+            at = w[1].cycle - 1;
+        }
+    }
+    let last = cps.last().expect("checkpoint logs start at cycle 0");
+    let tail = log.final_cycle.saturating_sub(last.cycle + 1);
+    if tail > worst {
+        worst = tail;
+        at = log.final_cycle - 1;
+    }
+    (worst, at)
 }
 
 /// Measures one application: record, checkpointed replay, container
@@ -218,6 +253,14 @@ pub fn measure_app(app: AppId, scale: Scale, seed: u64, threads: usize) -> SnapB
         app.label()
     );
 
+    // Reverse-step cost: deterministic worst-case roll-forward from the
+    // checkpoint cadence, plus a measured reverse-step at that position.
+    let (rstep_worst_roll_forward, rstep_target) = worst_rstep_roll_forward(&log);
+    let mut rstep = build_app(app.setup(scale, seed), replay_cfg.clone());
+    let start = Instant::now();
+    replay_from(&mut rstep, &log, rstep_target).expect("worst-case reverse-step");
+    let rstep_worst_ms = start.elapsed().as_secs_f64() * 1e3;
+
     // Verification: serial sweep vs `threads`-way parallel sweep over the
     // same segments; the reports must be identical. A non-clean verdict is
     // valid data — catalog DMA diverges by design — as long as serial and
@@ -249,6 +292,8 @@ pub fn measure_app(app: AppId, scale: Scale, seed: u64, threads: usize) -> SnapB
         verify_parallel_ms,
         verify_speedup: schedule_speedup(&log, VERIFY_FLUSH_MARGIN, threads),
         verify_consistent,
+        rstep_worst_roll_forward,
+        rstep_worst_ms,
         verdict: verdict_label(&serial.verdict),
         peak_buffered_bytes,
         chunks_flushed,
@@ -286,6 +331,11 @@ pub fn to_json(rows: &[SnapBenchRow], scale: Scale, threads: usize) -> Json {
                 ("verify_parallel_ms", Json::Num(r.verify_parallel_ms)),
                 ("verify_speedup", Json::Num(r.verify_speedup)),
                 ("verify_consistent", Json::Bool(r.verify_consistent)),
+                (
+                    "rstep_worst_roll_forward",
+                    Json::Num(r.rstep_worst_roll_forward as f64),
+                ),
+                ("rstep_worst_ms", Json::Num(r.rstep_worst_ms)),
                 ("verdict", Json::Str(r.verdict.clone())),
                 (
                     "peak_buffered_bytes",
@@ -333,18 +383,27 @@ pub fn to_json(rows: &[SnapBenchRow], scale: Scale, threads: usize) -> Json {
 /// Compares a current `BENCH_snap.json` document against a committed
 /// baseline on the **deterministic** fields only: every app present in the
 /// baseline must still be measured, its `roundtrip_exact` boolean must not
-/// regress, and its verification verdict — clean or not — must be the
-/// *same verdict at the same cycle* the baseline pinned. Wall-clock and
-/// speedup values are never gated per app — the speedup floor is enforced
-/// on the current run's summary by the binary itself.
+/// regress, its verification verdict — clean or not — must be the *same
+/// verdict at the same cycle* the baseline pinned, and its worst-case
+/// reverse-step roll-forward must not drift from the cadence the baseline
+/// recorded. Wall-clock and speedup values are never gated per app — the
+/// speedup floor is enforced on the current run's summary by the binary
+/// itself.
+///
+/// The reverse-step gate also self-checks for vacuousness: if every
+/// current row reports a worst-case roll-forward of zero, the gate is
+/// gating nothing (a zero ceiling means checkpoints at every cycle, which
+/// no real cadence produces) and the comparison fails rather than
+/// silently passing forever.
 ///
 /// # Errors
 ///
 /// Returns the list of regressions: apps missing from the current
-/// document, exactness flips, or verdict drift.
+/// document, exactness flips, verdict drift, reverse-step drift, or a
+/// vacuous reverse-step gate.
 pub fn compare_to_baseline(current: &Json, baseline: &Json) -> Result<(), Vec<String>> {
     let mut failures = Vec::new();
-    let rows = |doc: &Json| -> Vec<(String, bool, String)> {
+    let rows = |doc: &Json| -> Vec<(String, bool, String, Option<u64>)> {
         doc.get("apps")
             .and_then(Json::as_arr)
             .unwrap_or_default()
@@ -354,15 +413,18 @@ pub fn compare_to_baseline(current: &Json, baseline: &Json) -> Result<(), Vec<St
                     r.get("app")?.as_str()?.to_string(),
                     r.get("roundtrip_exact")?.as_bool()?,
                     r.get("verdict")?.as_str()?.to_string(),
+                    r.get("rstep_worst_roll_forward")
+                        .and_then(Json::as_f64)
+                        .map(|n| n as u64),
                 ))
             })
             .collect()
     };
     let cur = rows(current);
-    for (app, base_exact, base_verdict) in rows(baseline) {
-        match cur.iter().find(|(a, _, _)| *a == app) {
+    for (app, base_exact, base_verdict, base_rstep) in rows(baseline) {
+        match cur.iter().find(|(a, _, _, _)| *a == app) {
             None => failures.push(format!("{app}: present in baseline but not measured")),
-            Some((_, cur_exact, cur_verdict)) => {
+            Some((_, cur_exact, cur_verdict, cur_rstep)) => {
                 if base_exact && !cur_exact {
                     failures.push(format!("{app}: checkpoint round trip no longer exact"));
                 }
@@ -371,8 +433,24 @@ pub fn compare_to_baseline(current: &Json, baseline: &Json) -> Result<(), Vec<St
                         "{app}: verdict drifted {base_verdict:?} -> {cur_verdict:?}"
                     ));
                 }
+                // Old baselines predate the field; gate only when pinned.
+                if let (Some(base), Some(cur)) = (base_rstep, cur_rstep) {
+                    if *cur != base {
+                        failures.push(format!(
+                            "{app}: worst-case reverse-step roll-forward drifted {base} -> {cur}"
+                        ));
+                    }
+                }
             }
         }
+    }
+    // Vacuous-gate detection: a reverse-step gate where every measured
+    // ceiling is zero pins nothing.
+    let rstep_values: Vec<u64> = cur.iter().filter_map(|(_, _, _, r)| *r).collect();
+    if !rstep_values.is_empty() && rstep_values.iter().all(|&v| v == 0) {
+        failures.push(
+            "reverse-step gate is vacuous: every app reports a zero worst-case roll-forward".into(),
+        );
     }
     if failures.is_empty() {
         Ok(())
@@ -399,6 +477,21 @@ mod tests {
         obj([("apps", Json::Arr(rows))])
     }
 
+    fn doc_with_rstep(apps: &[(&str, bool, &str, u64)]) -> Json {
+        let rows = apps
+            .iter()
+            .map(|(a, exact, verdict, rstep)| {
+                obj([
+                    ("app", Json::Str((*a).into())),
+                    ("roundtrip_exact", Json::Bool(*exact)),
+                    ("verdict", Json::Str((*verdict).into())),
+                    ("rstep_worst_roll_forward", Json::Num(*rstep as f64)),
+                ])
+            })
+            .collect();
+        obj([("apps", Json::Arr(rows))])
+    }
+
     #[test]
     fn baseline_compare_flags_regressions() {
         let base = doc(&[("a", true, "clean"), ("b", true, "diverged@100")]);
@@ -413,6 +506,70 @@ mod tests {
         let failures = compare_to_baseline(&missing, &base).unwrap_err();
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains('b'));
+    }
+
+    #[test]
+    fn baseline_compare_gates_reverse_step_drift() {
+        let base = doc_with_rstep(&[("a", true, "clean", 255), ("b", true, "clean", 511)]);
+        let same = doc_with_rstep(&[("a", true, "clean", 255), ("b", true, "clean", 511)]);
+        assert!(compare_to_baseline(&same, &base).is_ok());
+
+        let drifted = doc_with_rstep(&[("a", true, "clean", 255), ("b", true, "clean", 1023)]);
+        let failures = compare_to_baseline(&drifted, &base).unwrap_err();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("reverse-step"), "{failures:?}");
+
+        // A baseline predating the field gates nothing per app.
+        let old_base = doc(&[("a", true, "clean"), ("b", true, "clean")]);
+        assert!(compare_to_baseline(&same, &old_base).is_ok());
+    }
+
+    #[test]
+    fn baseline_compare_rejects_vacuous_reverse_step_gate() {
+        let base = doc_with_rstep(&[("a", true, "clean", 0), ("b", true, "clean", 0)]);
+        let cur = doc_with_rstep(&[("a", true, "clean", 0), ("b", true, "clean", 0)]);
+        let failures = compare_to_baseline(&cur, &base).unwrap_err();
+        assert!(
+            failures.iter().any(|f| f.contains("vacuous")),
+            "{failures:?}"
+        );
+        // One non-zero ceiling is enough to make the gate meaningful.
+        let mixed = doc_with_rstep(&[("a", true, "clean", 0), ("b", true, "clean", 511)]);
+        let mixed_base = doc_with_rstep(&[("a", true, "clean", 0), ("b", true, "clean", 511)]);
+        assert!(compare_to_baseline(&mixed, &mixed_base).is_ok());
+    }
+
+    #[test]
+    fn worst_rstep_roll_forward_tracks_checkpoint_density() {
+        use vidi_snap::Checkpoint;
+        let cp = |cycle| Checkpoint {
+            cycle,
+            digest: 0,
+            txn_counts: Vec::new(),
+            state: Vec::new(),
+        };
+        // Windows of 100 and 300 cycles, tail of 50: worst is one short of
+        // the 300-gap checkpoint.
+        let log = CheckpointLog {
+            checkpoints: vec![cp(0), cp(100), cp(400)],
+            final_cycle: 450,
+            completed: true,
+        };
+        assert_eq!(worst_rstep_roll_forward(&log), (299, 399));
+        // The tail wins when it is the widest gap.
+        let log = CheckpointLog {
+            checkpoints: vec![cp(0), cp(100)],
+            final_cycle: 450,
+            completed: true,
+        };
+        assert_eq!(worst_rstep_roll_forward(&log), (349, 449));
+        // Denser checkpoints shrink the ceiling — the §15 cost model.
+        let log = CheckpointLog {
+            checkpoints: vec![cp(0), cp(50), cp(100), cp(150)],
+            final_cycle: 160,
+            completed: true,
+        };
+        assert_eq!(worst_rstep_roll_forward(&log), (49, 49));
     }
 
     #[test]

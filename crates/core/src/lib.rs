@@ -42,6 +42,7 @@
 
 mod config;
 mod decoder;
+pub mod drive;
 mod encoder;
 mod engine;
 mod faults;
@@ -55,6 +56,9 @@ mod vclock;
 
 pub use config::{VidiConfig, VidiMode};
 pub use decoder::DecoderCore;
+pub use drive::{
+    DriveSession, RawSession, SessionCursor, Stop, StopEvent, StopReason, WatchCond, Watchpoint,
+};
 pub use encoder::EncoderCore;
 pub use engine::{ReplayHandle, ReplayStatus, StatsHandle, VidiEngine, VidiStats};
 pub use faults::{
@@ -64,6 +68,6 @@ pub use monitor::{ChannelMonitor, MonitorMode};
 pub use port::EncoderPort;
 pub use replay_input::ReplayInput;
 pub use replayer::{ReplayElem, ReplayerCore};
-pub use shim::{ShimError, VidiShim};
+pub use shim::{ReplayProgress, ShimError, VidiShim};
 pub use store::{packet_bytes, RecordHandle, RecordedRun};
 pub use vclock::VectorClock;

@@ -57,6 +57,21 @@ impl fmt::Display for ShimError {
 
 impl Error for ShimError {}
 
+/// Progress of an in-flight replay, in cycle packets.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct ReplayProgress {
+    /// Packets dispatched to the channel replayers so far.
+    pub dispatched: usize,
+    /// Total packets in the replayed trace.
+    pub total: usize,
+}
+
+impl fmt::Display for ReplayProgress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.dispatched, self.total)
+    }
+}
+
 /// An installed Vidi shim: handles for driving the environment side and for
 /// collecting results.
 #[derive(Debug)]
@@ -363,11 +378,15 @@ impl VidiShim {
             .unwrap_or_default()
     }
 
-    /// `(dispatched, total)` cycle packets of the in-progress replay.
-    pub fn replay_progress(&self) -> (usize, usize) {
-        self.replay.as_ref().map_or((0, 0), |r| {
+    /// Progress of the in-progress replay, in cycle packets. All-zero in
+    /// non-replay modes.
+    pub fn replay_progress(&self) -> ReplayProgress {
+        self.replay.as_ref().map_or(ReplayProgress::default(), |r| {
             let s = r.borrow();
-            (s.dispatched, s.total)
+            ReplayProgress {
+                dispatched: s.dispatched,
+                total: s.total,
+            }
         })
     }
 

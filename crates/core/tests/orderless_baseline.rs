@@ -12,7 +12,7 @@ use std::rc::Rc;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use vidi_chan::{Channel, Direction, ReceiverLatch, SenderQueue};
-use vidi_core::{VidiConfig, VidiShim};
+use vidi_core::{RawSession, SessionCursor, Stop, StopReason, VidiConfig, VidiShim};
 use vidi_hwsim::{Bits, Component, SignalPool, Simulator};
 use vidi_trace::{compare, Trace};
 
@@ -137,11 +137,23 @@ fn record(n: usize) -> Trace {
 
 fn replay(config: VidiConfig, n: usize) -> Trace {
     let (mut sim, shim, _) = build(config, n);
-    let mut guard = 0;
-    while !shim.replay_complete() {
-        sim.run(128).unwrap();
-        guard += 1;
-        assert!(guard < 4_000, "replay did not complete");
+    {
+        let mut session = RawSession {
+            sim: &mut sim,
+            shim: &shim,
+        };
+        let ev = SessionCursor::new(&mut session)
+            .run_until(
+                Stop::replay_complete()
+                    .with_budget(4_000 * 128)
+                    .check_every(128),
+            )
+            .unwrap();
+        assert_eq!(
+            ev.reason,
+            StopReason::ReplayComplete,
+            "replay did not complete"
+        );
     }
     sim.run(2048).unwrap();
     shim.recorded_trace().unwrap()
@@ -267,11 +279,23 @@ fn orderless_baseline_is_fine_for_single_channel_apps() {
     let reference = shim.recorded_trace().unwrap();
 
     let (mut sim, shim, _) = build(VidiConfig::replay_orderless(reference.clone()));
-    let mut guard = 0;
-    while !shim.replay_complete() {
-        sim.run(128).unwrap();
-        guard += 1;
-        assert!(guard < 2_000, "orderless replay did not complete");
+    {
+        let mut session = RawSession {
+            sim: &mut sim,
+            shim: &shim,
+        };
+        let ev = SessionCursor::new(&mut session)
+            .run_until(
+                Stop::replay_complete()
+                    .with_budget(2_000 * 128)
+                    .check_every(128),
+            )
+            .unwrap();
+        assert_eq!(
+            ev.reason,
+            StopReason::ReplayComplete,
+            "orderless replay did not complete"
+        );
     }
     sim.run(2048).unwrap();
     let validation = shim.recorded_trace().unwrap();

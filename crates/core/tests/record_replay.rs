@@ -11,7 +11,7 @@ use std::rc::Rc;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use vidi_chan::{Channel, Direction, ReceiverLatch, SenderQueue};
-use vidi_core::{VidiConfig, VidiShim};
+use vidi_core::{RawSession, SessionCursor, Stop, StopReason, VidiConfig, VidiShim};
 use vidi_hwsim::{Bits, Component, SignalPool, Simulator};
 use vidi_trace::{compare, Trace};
 
@@ -193,11 +193,23 @@ fn replay_reproduces_outputs_exactly() {
     // R3: replay the reference while re-recording a validation trace.
     let mut replay = build(VidiConfig::replay_record(reference.clone()), 0, n);
     // Drive until the replay engine reports completion.
-    let mut cycles = 0u64;
-    while !replay.shim.replay_complete() {
-        replay.sim.run(100).expect("replay advances");
-        cycles += 100;
-        assert!(cycles < 500_000, "replay did not complete");
+    {
+        let mut session = RawSession {
+            sim: &mut replay.sim,
+            shim: &replay.shim,
+        };
+        let ev = SessionCursor::new(&mut session)
+            .run_until(
+                Stop::replay_complete()
+                    .with_budget(500_000)
+                    .check_every(100),
+            )
+            .expect("replay advances");
+        assert_eq!(
+            ev.reason,
+            StopReason::ReplayComplete,
+            "replay did not complete"
+        );
     }
     replay.sim.run(2000).unwrap(); // flush validation store
     let validation = replay.shim.recorded_trace().unwrap();
@@ -229,11 +241,23 @@ fn replay_enforces_recorded_input_ordering() {
 
     for (trace, expect) in [(trace_a, out_a), (trace_b, out_b)] {
         let mut replay = build(VidiConfig::replay_record(trace.clone()), 0, n);
-        let mut cycles = 0u64;
-        while !replay.shim.replay_complete() {
-            replay.sim.run(100).expect("replay advances");
-            cycles += 100;
-            assert!(cycles < 500_000, "replay did not complete");
+        {
+            let mut session = RawSession {
+                sim: &mut replay.sim,
+                shim: &replay.shim,
+            };
+            let ev = SessionCursor::new(&mut session)
+                .run_until(
+                    Stop::replay_complete()
+                        .with_budget(500_000)
+                        .check_every(100),
+                )
+                .expect("replay advances");
+            assert_eq!(
+                ev.reason,
+                StopReason::ReplayComplete,
+                "replay did not complete"
+            );
         }
         replay.sim.run(2000).unwrap();
         let validation = replay.shim.recorded_trace().unwrap();

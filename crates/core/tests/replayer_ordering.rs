@@ -6,7 +6,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use vidi_chan::{Channel, Direction, ReceiverLatch, SenderQueue};
-use vidi_core::{VidiConfig, VidiShim};
+use vidi_core::{RawSession, SessionCursor, Stop, StopReason, VidiConfig, VidiShim};
 use vidi_hwsim::{Bits, Component, SignalPool, Simulator};
 use vidi_trace::{ChannelInfo, ChannelPacket, CyclePacket, Trace, TraceLayout};
 
@@ -88,13 +88,18 @@ fn run_replay(trace: Trace) -> (Option<u64>, Option<u64>) {
         resp_fired_at: Rc::clone(&resp_at),
         cmd_fired_at: Rc::clone(&cmd_at),
     });
-    for _ in 0..50 {
-        sim.run(16).unwrap();
-        if shim.replay_complete() {
-            break;
-        }
-    }
-    assert!(shim.replay_complete(), "replay must complete");
+    let mut session = RawSession {
+        sim: &mut sim,
+        shim: &shim,
+    };
+    let ev = SessionCursor::new(&mut session)
+        .run_until(Stop::replay_complete().or_at_cycle(800).check_every(16))
+        .unwrap();
+    assert_eq!(
+        ev.reason,
+        StopReason::ReplayComplete,
+        "replay must complete"
+    );
     let r = *resp_at.borrow();
     let c = *cmd_at.borrow();
     (c, r)
@@ -205,13 +210,14 @@ fn chained_orderings_serialize_a_burst() {
         resp: tx,
         order: Rc::clone(&order),
     });
-    for _ in 0..100 {
-        sim.run(16).unwrap();
-        if shim.replay_complete() {
-            break;
-        }
-    }
-    assert!(shim.replay_complete());
+    let mut session = RawSession {
+        sim: &mut sim,
+        shim: &shim,
+    };
+    let ev = SessionCursor::new(&mut session)
+        .run_until(Stop::replay_complete().or_at_cycle(1_600).check_every(16))
+        .unwrap();
+    assert_eq!(ev.reason, StopReason::ReplayComplete);
     // cmd#2 must come after resp#1 (its Texpected includes resp#1's end).
     let seq = order.borrow().clone();
     assert_eq!(

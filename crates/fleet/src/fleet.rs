@@ -8,7 +8,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once};
 use std::thread::JoinHandle;
 
 use vidi_apps::build_app_with_faults;
-use vidi_core::{FaultInjection, VidiConfig};
+use vidi_core::{FaultInjection, SessionCursor, Stop, StopReason, VidiConfig};
 use vidi_faults::FaultPlan;
 
 use crate::arbiter::CreditArbiter;
@@ -23,8 +23,8 @@ use crate::session::{
 const RUN_SLICE: u64 = 256;
 
 /// Extra cycles simulated after workload completion so the trace store
-/// drains (mirrors the solo harness's flush margin).
-const FLUSH_MARGIN: u64 = 4096;
+/// drains — the stack-wide flush margin from the unified drive core.
+const FLUSH_MARGIN: u64 = vidi_core::drive::FLUSH_MARGIN;
 
 /// Fleet-wide policy knobs.
 #[derive(Debug, Clone)]
@@ -553,37 +553,42 @@ fn run_session(claim: &Claim, arbiter: &Arc<CreditArbiter>) -> Result<RunEnd, Fa
         .map_err(|e| FailureCause::Io(e.to_string()))?;
 
     let replaying = built.cpu.is_empty();
-    let mut cycles = 0u64;
-    let evicted = loop {
-        if claim.cancel.load(Ordering::Relaxed) {
-            break true;
-        }
-        let done = if replaying {
-            built.shim.replay_complete()
+    // Cancellation (eviction) and workload completion fold into one stop
+    // predicate; the flag records which one actually fired, preserving the
+    // legacy check order (cancel before done, both before the budget).
+    let evicted_flag = std::cell::Cell::new(false);
+    let ev = SessionCursor::new(&mut built)
+        .run_until(
+            Stop::when(|b: &mut vidi_apps::BuiltApp| {
+                if claim.cancel.load(Ordering::Relaxed) {
+                    evicted_flag.set(true);
+                    return true;
+                }
+                if replaying {
+                    b.shim.replay_complete()
+                } else {
+                    b.cpu.iter().all(|h| h.borrow().finished)
+                }
+            })
+            .or_at_cycle(spec.max_cycles)
+            .check_every(RUN_SLICE),
+        )
+        .map_err(|e| FailureCause::Sim(e.to_string()))?;
+    if ev.reason == StopReason::CycleReached {
+        let waiting = if replaying {
+            let progress = built.shim.replay_progress();
+            format!("replay completion ({progress} packets)")
         } else {
-            built.cpu.iter().all(|h| h.borrow().finished)
+            "all CPU threads to finish".to_string()
         };
-        if done {
-            break false;
-        }
-        if cycles >= spec.max_cycles {
-            let waiting = if replaying {
-                let (done, total) = built.shim.replay_progress();
-                format!("replay completion ({done}/{total} packets)")
-            } else {
-                "all CPU threads to finish".to_string()
-            };
-            return Err(FailureCause::Sim(format!(
-                "timeout at cycle {cycles} waiting for {waiting}; diagnostics: {}",
-                built.sim.diagnostics().join(" | ")
-            )));
-        }
-        built
-            .sim
-            .run(RUN_SLICE)
-            .map_err(|e| FailureCause::Sim(e.to_string()))?;
-        cycles += RUN_SLICE;
-    };
+        return Err(FailureCause::Sim(format!(
+            "timeout at cycle {} waiting for {waiting}; diagnostics: {}",
+            ev.cycle,
+            built.sim.diagnostics().join(" | ")
+        )));
+    }
+    let cycles = ev.cycle;
+    let evicted = evicted_flag.get();
 
     if !evicted {
         built

@@ -222,6 +222,27 @@ impl SignalPool {
         &self.names[id.index()]
     }
 
+    /// Finds a signal by its diagnostic name (first match in allocation
+    /// order — names are not required to be unique). Linear scan: this is
+    /// a debugger/diagnostic entry point, never on the settle hot path.
+    pub fn lookup(&self, name: &str) -> Option<SignalId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| SignalId(i as u32))
+    }
+
+    /// Signals whose diagnostic name contains `fragment`, for "did you
+    /// mean" suggestions when a [`Self::lookup`] misses.
+    pub fn lookup_fuzzy(&self, fragment: &str) -> Vec<SignalId> {
+        self.names
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.contains(fragment))
+            .map(|(i, _)| SignalId(i as u32))
+            .collect()
+    }
+
     /// All signal ids, in allocation order.
     pub fn ids(&self) -> impl Iterator<Item = SignalId> {
         // `add` guarantees the count fits in u32.

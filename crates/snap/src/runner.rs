@@ -1,8 +1,14 @@
-//! Checkpointed replay and seekable replay (`replay_from`).
+//! Checkpointed replay and seekable replay (`replay_from`), driven through
+//! the unified [`SessionCursor`] stepping core.
 
-use vidi_core::VidiConfig;
+use vidi_core::{SessionCursor, Stop, StopReason, VidiConfig};
 
 use crate::{Checkpoint, CheckpointLog, SnapError, SnapSession};
+
+/// Cycles the store is given to drain staged packets after a replay
+/// completes — the stack-wide flush margin, re-exported from the drive core
+/// so every layer shares one definition.
+pub use vidi_core::drive::FLUSH_MARGIN;
 
 /// How often to checkpoint, in cycles.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -30,22 +36,19 @@ impl CheckpointPolicy {
     }
 }
 
-/// Cycles the store is given to drain staged packets after a replay
-/// completes, mirroring the application harness's flush margin.
-pub const FLUSH_MARGIN: u64 = 4096;
-
-/// Largest chunk the replay loop advances between completion checks.
-const CHUNK: u64 = 256;
-
-/// Captures one checkpoint of the session at the current cycle boundary.
-fn capture<S: SnapSession>(session: &mut S) -> Checkpoint {
-    let txn_counts = session.shim().recorded_transaction_counts();
-    let sim = session.sim();
-    Checkpoint {
-        cycle: sim.cycle(),
-        digest: sim.state_digest(),
-        txn_counts,
-        state: sim.snapshot(),
+impl Checkpoint {
+    /// Captures one checkpoint of the session at the current cycle
+    /// boundary: cycle, state digest, per-channel transaction counts, and
+    /// the full restorable snapshot.
+    pub fn capture<S: SnapSession + ?Sized>(session: &mut S) -> Checkpoint {
+        let txn_counts = session.shim().recorded_transaction_counts();
+        let sim = session.sim();
+        Checkpoint {
+            cycle: sim.cycle(),
+            digest: sim.state_digest(),
+            txn_counts,
+            state: sim.snapshot(),
+        }
     }
 }
 
@@ -67,12 +70,12 @@ fn capture<S: SnapSession>(session: &mut S) -> Checkpoint {
 ///
 /// [`SnapError::NotReplaying`] when the session is not in a replay mode,
 /// [`SnapError::Sim`] when the simulator faults.
-pub fn checkpointed_replay<S: SnapSession>(
+pub fn checkpointed_replay<S: SnapSession + ?Sized>(
     session: &mut S,
     policy: CheckpointPolicy,
     max_cycles: u64,
 ) -> Result<CheckpointLog, SnapError> {
-    if session.shim().replay_progress().1 == 0 && session.shim().recorded_packet_count() == 0 {
+    if session.shim().replay_progress().total == 0 && session.shim().recorded_packet_count() == 0 {
         // A session with nothing to dispatch and nothing recorded is either
         // not replaying or replaying an empty trace; the former is a usage
         // error worth catching early.
@@ -80,24 +83,24 @@ pub fn checkpointed_replay<S: SnapSession>(
             return Err(SnapError::NotReplaying);
         }
     }
-    let mut checkpoints = vec![capture(session)];
+    let mut checkpoints = vec![Checkpoint::capture(session)];
     let mut completed = true;
-    while !session.shim().replay_complete() {
+    let mut cursor = SessionCursor::new(session);
+    let mut done = cursor.session().shim().replay_complete();
+    while !done {
         let next_boundary = checkpoints.last().expect("cycle-0 checkpoint").cycle + policy.every;
-        while session.sim().cycle() < next_boundary && !session.shim().replay_complete() {
-            let step = (next_boundary - session.sim().cycle()).min(CHUNK);
-            session.sim().run(step)?;
+        let ev = cursor.run_until(Stop::replay_complete().or_at_cycle(next_boundary))?;
+        done = ev.reason == StopReason::ReplayComplete;
+        if cursor.cycle() >= next_boundary {
+            checkpoints.push(Checkpoint::capture(cursor.session()));
         }
-        if session.sim().cycle() >= next_boundary {
-            checkpoints.push(capture(session));
-        }
-        if session.sim().cycle() >= max_cycles && !session.shim().replay_complete() {
+        if !done && cursor.cycle() >= max_cycles {
             completed = false;
             break;
         }
     }
-    let final_cycle = session.sim().cycle();
-    session.sim().run(FLUSH_MARGIN)?;
+    let final_cycle = cursor.cycle();
+    cursor.flush()?;
     Ok(CheckpointLog {
         checkpoints,
         final_cycle,
@@ -126,7 +129,7 @@ pub struct SeekOutcome {
 /// [`SnapError::NoCheckpoint`] when the log has no checkpoint at or before
 /// `cycle`, [`SnapError::State`] when the snapshot fails to restore,
 /// [`SnapError::Sim`] when the roll-forward faults.
-pub fn replay_from<S: SnapSession>(
+pub fn replay_from<S: SnapSession + ?Sized>(
     session: &mut S,
     log: &CheckpointLog,
     cycle: u64,
@@ -136,12 +139,7 @@ pub fn replay_from<S: SnapSession>(
         .ok_or(SnapError::NoCheckpoint { cycle })?;
     session.sim().restore(&cp.state)?;
     let rolled_forward = cycle - cp.cycle;
-    let mut remaining = rolled_forward;
-    while remaining > 0 {
-        let step = remaining.min(CHUNK);
-        session.sim().run(step)?;
-        remaining -= step;
-    }
+    SessionCursor::new(session).step(rolled_forward)?;
     Ok(SeekOutcome {
         restored_from: cp.cycle,
         target: cycle,

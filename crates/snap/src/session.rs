@@ -2,46 +2,14 @@
 //! checkpoint runner and segmented verifier work with both the catalog
 //! harness ([`vidi_apps::BuiltApp`]) and the §5.3 echo/ATOP case study
 //! ([`vidi_apps::EchoAtopBuilt`]).
+//!
+//! Since the session drive loops were unified, this is the same trait the
+//! rest of the stack drives through: [`vidi_core::DriveSession`], re-exported
+//! under the historical name. The `BuiltApp`/`EchoAtopBuilt` impls live next
+//! to those types in `vidi-apps`.
+//!
+//! Sessions are built fresh per thread by a verification factory — the
+//! simulator graph holds `Rc` handles and never crosses threads; only the
+//! factory closure, checkpoint byte blobs, and traces do.
 
-use vidi_apps::{BuiltApp, EchoAtopBuilt};
-use vidi_core::VidiShim;
-use vidi_hwsim::Simulator;
-
-/// One replayable simulation session: a simulator plus its installed shim.
-///
-/// Sessions are built fresh per thread by a verification factory — the
-/// simulator graph holds `Rc` handles and never crosses threads; only the
-/// factory closure, checkpoint byte blobs, and traces do.
-pub trait SnapSession {
-    /// The simulator holding the design.
-    fn sim(&mut self) -> &mut Simulator;
-    /// The installed Vidi shim.
-    fn shim(&self) -> &VidiShim;
-}
-
-impl SnapSession for BuiltApp {
-    fn sim(&mut self) -> &mut Simulator {
-        &mut self.sim
-    }
-    fn shim(&self) -> &VidiShim {
-        &self.shim
-    }
-}
-
-impl SnapSession for EchoAtopBuilt {
-    fn sim(&mut self) -> &mut Simulator {
-        &mut self.sim
-    }
-    fn shim(&self) -> &VidiShim {
-        &self.shim
-    }
-}
-
-impl SnapSession for Box<dyn SnapSession> {
-    fn sim(&mut self) -> &mut Simulator {
-        self.as_mut().sim()
-    }
-    fn shim(&self) -> &VidiShim {
-        self.as_ref().shim()
-    }
-}
+pub use vidi_core::DriveSession as SnapSession;

@@ -22,13 +22,11 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use vidi_core::{SessionCursor, Stop, StopReason};
 use vidi_trace::{compare, Divergence, Trace};
 
 use crate::runner::FLUSH_MARGIN;
 use crate::{Checkpoint, CheckpointLog, SnapError, SnapSession};
-
-/// Largest chunk a segment advances between completion checks.
-const CHUNK: u64 = 256;
 
 /// Knobs for segment execution.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -204,10 +202,7 @@ where
         let mut deadlock: Option<(u64, Vec<String>)> = None;
         match seg.end {
             Some((end_cycle, _)) => {
-                while s.sim().cycle() < end_cycle {
-                    let step = (end_cycle - s.sim().cycle()).min(CHUNK);
-                    s.sim().run(step)?;
-                }
+                SessionCursor::new(&mut s).run_until(Stop::at_cycle(end_cycle))?;
             }
             None => {
                 // The final segment runs to replay completion. The bound
@@ -217,13 +212,10 @@ where
                 // and parallel paths.
                 let budget_end =
                     (seg.start.cycle + self.options.final_budget).max(self.log.final_cycle + 1);
-                while !s.shim().replay_complete() {
-                    if s.sim().cycle() >= budget_end {
-                        deadlock = Some((s.sim().cycle(), s.shim().replay_stalled()));
-                        break;
-                    }
-                    let step = (budget_end - s.sim().cycle()).min(CHUNK);
-                    s.sim().run(step)?;
+                let ev = SessionCursor::new(&mut s)
+                    .run_until(Stop::replay_complete().or_at_cycle(budget_end))?;
+                if ev.reason == StopReason::CycleReached {
+                    deadlock = Some((ev.cycle, s.shim().replay_stalled()));
                 }
                 s.sim().run(self.options.flush_margin)?;
             }
@@ -317,13 +309,12 @@ where
     ) -> Result<u64, SnapError> {
         let mut s = (self.factory)();
         s.sim().restore(&seg.start.state)?;
-        while s.shim().recorded_packet_count() <= target {
-            if s.sim().cycle() >= hard_stop + self.options.flush_margin {
-                break;
-            }
-            s.sim().run(1)?;
-        }
-        Ok(s.sim().cycle())
+        let ev = SessionCursor::new(&mut s).run_until(
+            Stop::when(move |s: &mut S| s.shim().recorded_packet_count() > target)
+                .or_at_cycle(hard_stop + self.options.flush_margin)
+                .check_every(1),
+        )?;
+        Ok(ev.cycle)
     }
 
     fn aggregate(

@@ -45,6 +45,48 @@ for codec in delta-rle xor-dict columnar; do
         || { echo "FAIL: $codec round-trip is not byte-identical"; exit 1; }
 done
 
+echo "── vidi debug: scripted time-travel session on both case studies ─"
+# §3.6: record the naturally-diverging DMA poll (seed 42), then drive a
+# scripted debugger session over the trace alone — seek, reverse-step, a
+# watchpoint on the status-read response, and bisect. The watch must fire
+# and bisect must pin the divergence at cycle 215 with its causal
+# transaction.
+"${tt[@]}" sample "$convert_dir/dma.vidi" --app dma --seed 42
+cat > "$convert_dir/dma.dbg" <<'EOF'
+seek 100
+step 50
+rstep 25
+watch ocl.r.valid rise
+bisect
+EOF
+"${tt[@]}" debug "$convert_dir/dma.vidi" --app dma --seed 42 \
+    --script "$convert_dir/dma.dbg" | tee "$convert_dir/dma.out"
+grep -q "reverse-stepped 25 -> @cycle 125" "$convert_dir/dma.out" \
+    || { echo "FAIL: debugger reverse-step did not land on cycle 125"; exit 1; }
+grep -q "watch hit: ocl.r.valid Rise @cycle 215" "$convert_dir/dma.out" \
+    || { echo "FAIL: debugger watchpoint missed the cycle-215 status read"; exit 1; }
+grep -q "verdict: diverged@215" "$convert_dir/dma.out" \
+    || { echo "FAIL: debugger bisect did not reproduce the §3.6 divergence at cycle 215"; exit 1; }
+grep -q "causal transaction: ocl.r end #1" "$convert_dir/dma.out" \
+    || { echo "FAIL: debugger bisect did not name the causal status-read transaction"; exit 1; }
+
+# §5.3: record the buggy-ATOP ping-pong server, reorder the first pcim.w
+# completion ahead of its address phase (the mutated-trace experiment),
+# and let the debugger bisect the resulting deadlock from the traces
+# alone. It must name the reordered write-data beat as the causal
+# transaction.
+"${tt[@]}" sample "$convert_dir/atop.vidi" --case echo-atop --filter buggy \
+    --pings 32 --seed 5
+"${tt[@]}" mutate "$convert_dir/atop.vidi" pcim.w 0 pcim.aw 0 "$convert_dir/atop-mut.vidi"
+printf 'bisect\n' > "$convert_dir/atop.dbg"
+"${tt[@]}" debug "$convert_dir/atop-mut.vidi" --case echo-atop --filter buggy \
+    --pings 32 --seed 5 --max-cycles 20000 --final-budget 5000 \
+    --script "$convert_dir/atop.dbg" | tee "$convert_dir/atop.out"
+grep -q "verdict: deadlock@" "$convert_dir/atop.out" \
+    || { echo "FAIL: debugger bisect did not detect the §5.3 deadlock"; exit 1; }
+grep -q "causal transaction: pcim.w end #0" "$convert_dir/atop.out" \
+    || { echo "FAIL: debugger bisect did not name the reordered pcim.w transaction"; exit 1; }
+
 echo "── vidi-lint: static design lint + trace-analysis gate ─────────"
 cargo run --release -q -p vidi-lint -- ci --config scripts/vidi-lint.allow
 
@@ -78,7 +120,9 @@ cargo run --release -q -p vidi-bench --bin bench_fleet -- \
 echo "── snap smoke: checkpoint exactness + parallel-verify gate ─────"
 # Emits BENCH_snap.json and fails on any checkpoint round-trip inexactness,
 # serial/parallel report disagreement, verdict drift against the committed
-# baseline, or <2x modeled verify speedup on half the catalog at 4 threads.
+# baseline, <2x modeled verify speedup on half the catalog at 4 threads,
+# worst-case reverse-step roll-forward drift from the pinned cadence, or
+# an all-zero reverse-step column (vacuous gate).
 cargo run --release -q -p vidi-bench --bin bench_snap -- \
     --out BENCH_snap.json --baseline scripts/bench_snap_baseline.json --threads 4
 

@@ -18,7 +18,7 @@
 //! failure here replays exactly under a debugger.
 
 use vidi_repro::apps::{build_app, build_app_with_faults, run_app, AppId, RunOutcome, Scale};
-use vidi_repro::core::{FaultInjection, VidiConfig};
+use vidi_repro::core::{FaultInjection, SessionCursor, Stop, StopReason, VidiConfig};
 use vidi_repro::faults::{CorruptionSpec, FaultPlan, FaultSpec, StorageFailureSpec, WindowSpec};
 use vidi_repro::host::{
     load_trace_durable, save_trace_durable, MemStorage, RetryPolicy, RuntimeError,
@@ -457,12 +457,14 @@ fn killed_replay_resumes_from_last_durable_checkpoint() {
     assert!(last.cycle <= kill_at);
     let mut resumed = build_app(app.setup(Scale::Test, seed), replay_cfg);
     replay_from(&mut resumed, &recovered.log, last.cycle).expect("restore last checkpoint");
-    let mut spent = 0u64;
-    while !resumed.shim.replay_complete() {
-        resumed.sim.run(256).expect("resume run");
-        spent += 256;
-        assert!(spent < REPLAY_BUDGET, "resumed replay must complete");
-    }
+    let ev = SessionCursor::new(&mut resumed)
+        .run_until(Stop::replay_complete().with_budget(REPLAY_BUDGET))
+        .expect("resume run");
+    assert_eq!(
+        ev.reason,
+        StopReason::ReplayComplete,
+        "resumed replay must complete"
+    );
     resumed.sim.run(4096).expect("flush margin");
     assert_eq!(
         resumed.shim.recorded_trace().expect("validation trace"),

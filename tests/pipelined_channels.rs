@@ -9,7 +9,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use vidi_repro::chan::{Channel, Direction, ReceiverLatch, RegSlice, SenderQueue};
-use vidi_repro::core::{VidiConfig, VidiShim};
+use vidi_repro::core::{RawSession, SessionCursor, Stop, StopReason, VidiConfig, VidiShim};
 use vidi_repro::hwsim::{Bits, Component, SignalPool, Simulator};
 use vidi_repro::trace::{compare, Trace};
 
@@ -181,11 +181,23 @@ fn record(slices: usize, n: u64) -> (Trace, Vec<u64>) {
 
 fn replay_clean(trace: &Trace, slices: usize, n: u64) {
     let (mut sim, shim, _) = build(VidiConfig::replay_record(trace.clone()), slices, n);
-    let mut guard = 0;
-    while !shim.replay_complete() {
-        sim.run(128).unwrap();
-        guard += 1;
-        assert!(guard < 4_000, "replay did not complete (slices={slices})");
+    {
+        let mut session = RawSession {
+            sim: &mut sim,
+            shim: &shim,
+        };
+        let ev = SessionCursor::new(&mut session)
+            .run_until(
+                Stop::replay_complete()
+                    .with_budget(4_000 * 128)
+                    .check_every(128),
+            )
+            .unwrap();
+        assert_eq!(
+            ev.reason,
+            StopReason::ReplayComplete,
+            "replay did not complete (slices={slices})"
+        );
     }
     sim.run(2048).unwrap();
     let validation = shim.recorded_trace().unwrap();

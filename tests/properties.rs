@@ -9,7 +9,9 @@ use std::rc::Rc;
 use proptest::collection::vec;
 use proptest::prelude::*;
 use vidi_repro::chan::{Channel, Direction, ReceiverLatch, SenderQueue};
-use vidi_repro::core::{VectorClock, VidiConfig, VidiShim};
+use vidi_repro::core::{
+    RawSession, SessionCursor, Stop, StopReason, VectorClock, VidiConfig, VidiShim,
+};
 use vidi_repro::hwsim::{Bits, Component, SignalPool, Simulator};
 use vidi_repro::trace::{
     compare, reorder_end_before, ChannelInfo, ChannelPacket, CyclePacket, EndEventRef, Trace,
@@ -552,11 +554,15 @@ proptest! {
             store_bytes_per_cycle: store_bw,
             ..VidiConfig::replay_record(reference.clone())
         });
-        let mut guard = 0;
-        while !shim.replay_complete() {
-            sim.run(128).unwrap();
-            guard += 1;
-            prop_assert!(guard < 2_000, "replay did not complete");
+        {
+            let mut session = RawSession {
+                sim: &mut sim,
+                shim: &shim,
+            };
+            let ev = SessionCursor::new(&mut session)
+                .run_until(Stop::replay_complete().with_budget(2_000 * 128).check_every(128))
+                .unwrap();
+            prop_assert_eq!(ev.reason, StopReason::ReplayComplete, "replay did not complete");
         }
         sim.run(2_048).unwrap();
         let validation = shim.recorded_trace().unwrap();
